@@ -1,0 +1,35 @@
+/// Figure 5: per-iteration runtime breakdown (Train / Encode / Rank) of
+/// each method on DBLP at 50% corruption. Absolute numbers differ from
+/// the paper's GPU testbed; the shape (Loss cheapest, InfLoss dominated
+/// by per-record solves, TwoStep/Holistic dominated by ranking) should
+/// hold.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+
+using namespace rain;         // NOLINT
+using namespace rain::bench;  // NOLINT
+
+int main() {
+  std::printf("Figure 5 reproduction: per-iteration runtime breakdown (seconds)\n");
+  Experiment exp = DblpCount(0.5);
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = 50;  // 5 iterations is enough for stable means
+
+  TablePrinter table({"method", "train_s", "query_s", "encode_s", "rank_s", "total_s"});
+  for (const std::string& m : {"loss", "infloss", "twostep", "holistic"}) {
+    MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
+    if (!run.ok) {
+      table.AddRow({m, "-", "-", "-", "-", "fail"});
+      continue;
+    }
+    PhaseMeans ph = MeanPhases(run);
+    table.AddRow({m, TablePrinter::Num(ph.train, 4), TablePrinter::Num(ph.query, 4),
+                  TablePrinter::Num(ph.encode, 4), TablePrinter::Num(ph.rank, 4),
+                  TablePrinter::Num(ph.train + ph.query + ph.encode + ph.rank, 4)});
+  }
+  EmitTable("Fig5 per-iteration runtime, DBLP 50% corruption", table);
+  return 0;
+}

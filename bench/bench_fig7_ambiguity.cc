@@ -1,0 +1,53 @@
+/// Figure 7: ambiguity sweep. A fraction of the MNIST join-tuple
+/// complaints is replaced by unambiguous point complaints over the model
+/// mispredictions; TwoStep converges to Holistic as ambiguity drops.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/workloads.h"
+
+using namespace rain;         // NOLINT
+using namespace rain::bench;  // NOLINT
+
+int main() {
+  // The paper uses 30% corruption; at our (smaller) scale the complaints
+  // fully resolve within one train-rank-fix iteration at 30%, leaving the
+  // discrete TwoStep without signal, so we run the sweep at 50% where
+  // mispredictions persist across iterations (see EXPERIMENTS.md).
+  std::printf(
+      "Figure 7 reproduction: replacing join-tuple complaints with point "
+      "complaints (50%% corruption)\n");
+  TablePrinter table({"point_fraction", "method", "tuple_c", "point_c", "AUCCR"});
+  for (double frac : {0.1, 0.3, 0.5, 0.8}) {
+    MnistJoinOptions opts;
+    opts.corruption = 0.5;
+    opts.max_per_digit = 25;
+    opts.point_complaint_fraction = frac;
+    opts.sparse_tuple_complaints = true;
+    Experiment exp = MnistJoin(opts);
+    size_t tuple_c = 0, point_c = 0;
+    for (const auto& qc : exp.workload) {
+      for (const auto& c : qc.complaints) {
+        if (c.kind == ComplaintSpec::Kind::kPoint) {
+          ++point_c;
+        } else {
+          ++tuple_c;
+        }
+      }
+    }
+
+    DebugConfig cfg;
+    cfg.top_k_per_iter = 10;
+    cfg.max_deletions = static_cast<int>(exp.corrupted.size());
+    cfg.ilp.time_limit_s = 5.0;
+
+    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+      MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
+      table.AddRow({TablePrinter::Num(frac, 1), m, std::to_string(tuple_c),
+                    std::to_string(point_c),
+                    run.ok ? TablePrinter::Num(run.auccr, 3) : "fail"});
+    }
+  }
+  EmitTable("Fig7 ambiguity sweep", table);
+  return 0;
+}

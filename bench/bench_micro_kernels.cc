@@ -1,0 +1,201 @@
+/// Microbenchmarks of Rain's hot kernels (google-benchmark): HVPs, the
+/// conjugate-gradient Hessian solve, relaxed-polynomial evaluation and
+/// reverse-mode gradients, joins with model predicates, ILP solves, the
+/// LIKE matcher, SQL parsing and L-BFGS training.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/mnist.h"
+#include "ilp/solver.h"
+#include "influence/conjugate_gradient.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/softmax_regression.h"
+#include "ml/trainer.h"
+#include "provenance/poly.h"
+#include "relax/relaxed_poly.h"
+#include "sql/parser.h"
+
+namespace rain {
+namespace {
+
+Dataset RandomDataset(size_t n, size_t d, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, d);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) x.At(i, f) = rng.Gaussian();
+    y[i] = static_cast<int>(rng.UniformInt(classes));
+  }
+  return Dataset(std::move(x), std::move(y), classes);
+}
+
+void BM_LogisticHvp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset d = RandomDataset(n, 17, 2, 1);
+  LogisticRegression m(17);
+  Vec v(m.num_params(), 0.5);
+  Vec out;
+  for (auto _ : state) {
+    m.HessianVectorProduct(d, v, 1e-3, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_LogisticHvp)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_SoftmaxHvp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset d = RandomDataset(n, 64, 10, 2);
+  SoftmaxRegression m(64, 10);
+  Vec v(m.num_params(), 0.1);
+  Vec out;
+  for (auto _ : state) {
+    m.HessianVectorProduct(d, v, 1e-3, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SoftmaxHvp)->Arg(500)->Arg(2000);
+
+void BM_MlpPearlmutterHvp(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset d = RandomDataset(n, 64, 10, 3);
+  Mlp m(64, 24, 10);
+  Vec v(m.num_params(), 0.01);
+  Vec out;
+  for (auto _ : state) {
+    m.HessianVectorProduct(d, v, 1e-3, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MlpPearlmutterHvp)->Arg(200)->Arg(800);
+
+void BM_CgHessianSolve(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Dataset d = RandomDataset(n, 17, 2, 4);
+  LogisticRegression m(17);
+  TrainConfig tc;
+  (void)TrainModel(&m, d, tc);
+  LinearOperator op = [&](const Vec& v, Vec* out) {
+    m.HessianVectorProduct(d, v, tc.l2, out);
+  };
+  Vec b(m.num_params(), 1.0);
+  for (auto _ : state) {
+    auto r = ConjugateGradient(op, b);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_CgHessianSolve)->Arg(500)->Arg(2000);
+
+PolyArena* MakeCountArena(size_t rows, PolyId* root) {
+  auto* arena = new PolyArena();
+  std::vector<PolyId> terms;
+  for (size_t r = 0; r < rows; ++r) {
+    terms.push_back(arena->Var(PredVar{0, static_cast<int64_t>(r), 1}));
+  }
+  *root = arena->Add(terms);
+  return arena;
+}
+
+void BM_RelaxEvaluate(benchmark::State& state) {
+  PolyId root;
+  std::unique_ptr<PolyArena> arena(MakeCountArena(state.range(0), &root));
+  RelaxedPoly poly(arena.get(), root);
+  Vec probs(arena->num_vars(), 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Evaluate(probs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RelaxEvaluate)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RelaxGradient(benchmark::State& state) {
+  // Join-shaped polynomial: sum over pairs of OR_c AND(vl, vr).
+  const int side = static_cast<int>(state.range(0));
+  PolyArena arena;
+  std::vector<PolyId> pairs;
+  for (int l = 0; l < side; ++l) {
+    for (int r = 0; r < side; ++r) {
+      std::vector<PolyId> ors;
+      for (int c = 0; c < 10; ++c) {
+        ors.push_back(arena.And({arena.Var(PredVar{0, l, c}),
+                                 arena.Var(PredVar{1, r, c})}));
+      }
+      pairs.push_back(arena.Or(std::move(ors)));
+    }
+  }
+  const PolyId root = arena.Add(std::move(pairs));
+  RelaxedPoly poly(&arena, root);
+  Vec probs(arena.num_vars(), 0.1);
+  Vec grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly.Gradient(probs, &grad));
+  }
+  state.SetItemsProcessed(state.iterations() * side * side);
+}
+BENCHMARK(BM_RelaxGradient)->Arg(10)->Arg(30);
+
+void BM_IlpCountDecomposition(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  IlpProblem p;
+  std::vector<int> class1;
+  Rng rng(5);
+  for (int r = 0; r < rows; ++r) {
+    const int cur = static_cast<int>(rng.UniformInt(2));
+    const int v0 = p.AddVar(cur == 0 ? 0.0 : 1.0);
+    const int v1 = p.AddVar(cur == 1 ? 0.0 : 1.0);
+    p.AddCardinality({v0, v1}, ConstraintSense::kEq, 1.0);
+    class1.push_back(v1);
+  }
+  p.AddCardinality(class1, ConstraintSense::kEq,
+                   static_cast<double>(2 * rows / 3));
+  IlpSolveOptions opts;
+  opts.coupling_constraint = static_cast<int>(p.num_constraints()) - 1;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    opts.seed = ++seed;
+    auto sol = SolveIlp(p, opts);
+    benchmark::DoNotOptimize(sol.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_IlpCountDecomposition)->Arg(100)->Arg(1000)->Arg(5000);
+
+void BM_LbfgsTrainLogistic(benchmark::State& state) {
+  Dataset d = RandomDataset(static_cast<size_t>(state.range(0)), 17, 2, 6);
+  for (auto _ : state) {
+    LogisticRegression m(17);
+    auto r = TrainModel(&m, d);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_LbfgsTrainLogistic)->Arg(500)->Arg(2000);
+
+void BM_LikeMatch(benchmark::State& state) {
+  const std::string text =
+      "tok1 tok2 tok3 http tok4 tok5 deal tok6 tok7 tok8 tok9 tok10";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LikeMatch(text, "%http%"));
+    benchmark::DoNotOptimize(LikeMatch(text, "%missing%"));
+  }
+}
+BENCHMARK(BM_LikeMatch);
+
+void BM_ParseSql(benchmark::State& state) {
+  const std::string q =
+      "SELECT gender, AVG(predict(*)) AS avg_income FROM adult "
+      "WHERE agedecade >= 2 AND text LIKE '%x%' GROUP BY gender";
+  for (auto _ : state) {
+    auto r = sql::ParseSelect(q);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_ParseSql);
+
+}  // namespace
+}  // namespace rain
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+
+namespace rain {
+namespace bench {
+
+MethodRun RunMethod(
+    const std::string& method,
+    const std::function<std::unique_ptr<Query2Pipeline>()>& make_pipeline,
+    const std::vector<QueryComplaints>& workload,
+    const std::vector<size_t>& corrupted, DebugConfig config) {
+  MethodRun run;
+  run.method = method;
+  auto ranker = MakeRanker(method);
+  if (!ranker.ok()) {
+    run.error = ranker.status().ToString();
+    return run;
+  }
+  std::unique_ptr<Query2Pipeline> pipeline = make_pipeline();
+  Debugger debugger(pipeline.get(), std::move(*ranker), config);
+  auto report = debugger.Run(workload);
+  if (!report.ok()) {
+    run.error = report.status().ToString();
+    return run;
+  }
+  run.ok = true;
+  run.deletions = report->deletions;
+  run.iterations = report->iterations;
+  run.recall = RecallCurve(run.deletions, corrupted);
+  run.auccr = Auccr(run.recall);
+  return run;
+}
+
+std::vector<std::string> RecallHeader() {
+  return {"r@10%", "r@25%", "r@50%", "r@75%", "r@100%", "AUCCR"};
+}
+
+std::vector<std::string> RecallRow(const MethodRun& run) {
+  if (!run.ok || run.recall.empty()) {
+    return {"-", "-", "-", "-", "-", run.ok ? "0.000" : "fail"};
+  }
+  auto at = [&](double frac) {
+    size_t k = static_cast<size_t>(frac * run.recall.size());
+    if (k == 0) k = 1;
+    return TablePrinter::Num(run.recall[k - 1], 3);
+  };
+  return {at(0.10), at(0.25), at(0.50),
+          at(0.75), at(1.00), TablePrinter::Num(run.auccr, 3)};
+}
+
+PhaseMeans MeanPhases(const MethodRun& run) {
+  PhaseMeans m;
+  if (run.iterations.empty()) return m;
+  for (const IterationStats& it : run.iterations) {
+    m.train += it.train_seconds;
+    m.query += it.query_seconds;
+    m.encode += it.encode_seconds;
+    m.rank += it.rank_seconds;
+  }
+  const double n = static_cast<double>(run.iterations.size());
+  m.train /= n;
+  m.query /= n;
+  m.encode /= n;
+  m.rank /= n;
+  return m;
+}
+
+void EmitTable(const std::string& title, const TablePrinter& table) {
+  std::printf("\n== %s ==\n%s", title.c_str(), table.ToText().c_str());
+  std::printf("-- csv --\n%s", table.ToCsv().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace rain

@@ -1,0 +1,56 @@
+#ifndef RAIN_BENCH_BENCH_UTIL_H_
+#define RAIN_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/debugger.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+
+namespace rain {
+namespace bench {
+
+/// One debugger run of one method. `ok == false` records solver/budget
+/// failures (e.g. the TwoStep ILP timing out, Section 6.3).
+struct MethodRun {
+  std::string method;
+  bool ok = false;
+  std::string error;
+  std::vector<size_t> deletions;
+  std::vector<IterationStats> iterations;
+  std::vector<double> recall;  // vs the experiment's corruption set
+  double auccr = 0.0;
+};
+
+/// Runs `method` ("loss", "infloss", "twostep", "holistic") on a fresh
+/// pipeline produced by `make_pipeline` against `workload`, evaluating
+/// the deletion sequence against `corrupted`.
+MethodRun RunMethod(
+    const std::string& method,
+    const std::function<std::unique_ptr<Query2Pipeline>()>& make_pipeline,
+    const std::vector<QueryComplaints>& workload,
+    const std::vector<size_t>& corrupted, DebugConfig config);
+
+/// Sampled recall@k columns (k at 10%, 25%, 50%, 75%, 100% of K) for
+/// compact paper-style tables.
+std::vector<std::string> RecallRow(const MethodRun& run);
+std::vector<std::string> RecallHeader();
+
+/// Mean per-iteration phase seconds across a run.
+struct PhaseMeans {
+  double train = 0.0, query = 0.0, encode = 0.0, rank = 0.0;
+};
+PhaseMeans MeanPhases(const MethodRun& run);
+
+/// Prints the table as text and appends its CSV to stdout (tagged).
+void EmitTable(const std::string& title, const TablePrinter& table);
+
+}  // namespace bench
+}  // namespace rain
+
+#endif  // RAIN_BENCH_BENCH_UTIL_H_

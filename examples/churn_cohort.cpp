@@ -1,0 +1,134 @@
+/// CompanyX churn-cohort scenario (Figure 1 of the paper).
+///
+/// A marketing pipeline joins Users with Logins, keeps users active last
+/// month, and counts those the model predicts will churn:
+///
+///   SELECT COUNT(*) FROM Users U JOIN Logins L ON U.id = L.uid
+///   WHERE L.active_last_month AND M.predict(U.*) = 1
+///
+/// A website change breaks the scraper: transactions stop being logged
+/// for a slice of customers, so the retrained model labels similar users
+/// as churners. The customer sees the cohort size jump in the monitoring
+/// chart and complains; Rain traces the complaint back to the corrupted
+/// training records.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "ml/logistic_regression.h"
+#include "sql/planner.h"
+
+using namespace rain;  // NOLINT
+
+namespace {
+
+constexpr size_t kProfileFeatures = 8;
+
+/// User profiles: churners have low engagement features.
+Dataset MakeUsers(size_t n, Rng* rng) {
+  Matrix x(n, kProfileFeatures);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool churn = rng->Bernoulli(0.25);
+    y[i] = churn ? 1 : 0;
+    for (size_t f = 0; f < kProfileFeatures; ++f) {
+      x.At(i, f) = rng->Gaussian(churn ? -0.8 : 0.8, 1.0);
+    }
+  }
+  return Dataset(std::move(x), std::move(y), 2);
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(2024);
+  Dataset train = MakeUsers(900, &rng);
+  Dataset users_features = MakeUsers(500, &rng);
+
+  int64_t true_cohort = 0;
+
+  // Users table: id + plan tier (unused by the model, queryable).
+  Table users(Schema({Field{"id", DataType::kInt64, ""},
+                      Field{"tier", DataType::kString, ""}}));
+  // Logins table: uid + active_last_month.
+  Table logins(Schema({Field{"uid", DataType::kInt64, ""},
+                       Field{"active_last_month", DataType::kBool, ""}}));
+  std::vector<bool> active(users_features.size());
+  for (size_t i = 0; i < users_features.size(); ++i) {
+    active[i] = rng.Bernoulli(0.7);
+    users.AppendRowUnchecked(
+        {Value(static_cast<int64_t>(i)),
+         Value(std::string(rng.Bernoulli(0.3) ? "premium" : "basic"))});
+    logins.AppendRowUnchecked({Value(static_cast<int64_t>(i)), Value(active[i])});
+    if (active[i] && users_features.label(i) == 1) ++true_cohort;
+  }
+
+  // Systematic scraper breakage: a slice of *retained* users (label 0)
+  // with high engagement suddenly gets labeled churn (label 1).
+  std::vector<size_t> corrupted;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train.label(i) == 0 && train.features().At(i, 0) > 0.9 &&
+        rng.Bernoulli(0.8)) {
+      train.set_label(i, 1);
+      corrupted.push_back(i);
+    }
+  }
+  std::printf("scraper breakage corrupted %zu training labels\n", corrupted.size());
+
+  Catalog catalog;
+  if (!catalog.AddTable("users", std::move(users), std::move(users_features)).ok() ||
+      !catalog.AddTable("logins", std::move(logins)).ok()) {
+    return 1;
+  }
+  Query2Pipeline pipeline(std::move(catalog),
+                          std::make_unique<LogisticRegression>(kProfileFeatures),
+                          std::move(train));
+  if (!pipeline.Train().ok()) return 1;
+
+  const std::string sql =
+      "SELECT COUNT(*) AS cohort FROM users U JOIN logins L ON U.id = L.uid "
+      "WHERE L.active_last_month AND M.predict(U.*) = 1";
+  auto before = pipeline.ExecuteSql(sql, false);
+  if (!before.ok()) {
+    std::printf("query failed: %s\n", before.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("cohort size reported: %lld (customer expected about %lld)\n",
+              static_cast<long long>(before->table.rows[0][0].AsInt64()),
+              static_cast<long long>(true_cohort));
+
+  // The customer's complaint: "the cohort should be ~true_cohort".
+  auto plan = sql::PlanQuery(sql, pipeline.catalog());
+  if (!plan.ok()) return 1;
+  QueryComplaints qc;
+  qc.query = *plan;
+  qc.complaints = {ComplaintSpec::ValueEq("cohort", static_cast<double>(true_cohort))};
+
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = static_cast<int>(corrupted.size());
+  Debugger debugger(&pipeline, MakeHolisticRanker(), cfg);
+  auto report = debugger.Run({qc});
+  if (!report.ok()) {
+    std::printf("debugging failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<bool> truth(pipeline.train_data()->size(), false);
+  for (size_t i : corrupted) truth[i] = true;
+  size_t hits = 0;
+  for (size_t i : report->deletions) hits += truth[i];
+  std::printf(
+      "Rain flagged %zu training records; %zu of them were scraper-corrupted\n",
+      report->deletions.size(), hits);
+
+  auto after = pipeline.ExecuteSql(sql, false);
+  if (after.ok()) {
+    std::printf("cohort size after removing flagged records: %lld\n",
+                static_cast<long long>(after->table.rows[0][0].AsInt64()));
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+/// Hot-dog classifier scenario (Section 2.1, "Image Analysis").
+///
+/// An engineer labels images with a programmatic labeling function and
+/// trains a binary hot-dog classifier. She equi-joins a hot-dog dataset
+/// with a non-hot-dog dataset on the predicted label and plots the
+/// count — which should be zero. It is not, because the labeling
+/// function systematically mislabels a cluster of images. She complains
+/// `count = 0` and Rain surfaces the mislabeled training images.
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "ml/logistic_regression.h"
+#include "sql/planner.h"
+
+using namespace rain;  // NOLINT
+
+namespace {
+
+constexpr size_t kPixels = 36;  // 6x6 "images"
+
+/// Two visual clusters per class; cluster 3 (a hot-dog-like sandwich) is
+/// the one the labeling function gets wrong.
+Dataset MakeImages(size_t n, Rng* rng, std::vector<int>* cluster_out = nullptr) {
+  Matrix x(n, kPixels);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int cluster = static_cast<int>(rng->UniformInt(4));
+    const bool hotdog = cluster < 2;
+    y[i] = hotdog ? 1 : 0;
+    for (size_t p = 0; p < kPixels; ++p) {
+      const double base = (p % 4) == static_cast<size_t>(cluster) ? 1.2 : -0.4;
+      x.At(i, p) = base + 0.5 * rng->Gaussian();
+    }
+    if (cluster_out != nullptr) cluster_out->push_back(cluster);
+  }
+  return Dataset(std::move(x), std::move(y), 2);
+}
+
+Table IdTable(size_t n) {
+  Table t(Schema({Field{"id", DataType::kInt64, ""}}));
+  for (size_t i = 0; i < n; ++i) t.AppendRowUnchecked({Value(static_cast<int64_t>(i))});
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  std::vector<int> train_clusters;
+  Dataset train = MakeImages(700, &rng, &train_clusters);
+
+  // Distant supervision gone wrong: the labeling function marks cluster-3
+  // sandwiches as hot dogs.
+  std::vector<size_t> corrupted;
+  for (size_t i = 0; i < train.size(); ++i) {
+    if (train_clusters[i] == 3 && train.label(i) == 0 && rng.Bernoulli(0.85)) {
+      train.set_label(i, 1);
+      corrupted.push_back(i);
+    }
+  }
+  std::printf("labeling function mislabeled %zu sandwich images as hot dogs\n",
+              corrupted.size());
+
+  // Curated evaluation sets: 30 hot dogs and 30 non-hot-dogs.
+  auto curate = [&](int label, size_t want) {
+    Matrix x(want, kPixels);
+    std::vector<int> y(want, label);
+    size_t got = 0;
+    while (got < want) {
+      Dataset batch = MakeImages(8, &rng);
+      for (size_t i = 0; i < batch.size() && got < want; ++i) {
+        if (batch.label(i) != label) continue;
+        for (size_t p = 0; p < kPixels; ++p) x.At(got, p) = batch.features().At(i, p);
+        ++got;
+      }
+    }
+    return Dataset(std::move(x), std::move(y), 2);
+  };
+  Dataset hotdogs = curate(1, 30);
+  Dataset others = curate(0, 30);
+
+  Catalog catalog;
+  Table hotdog_ids = IdTable(hotdogs.size());
+  Table other_ids = IdTable(others.size());
+  if (!catalog.AddTable("hotdogs", std::move(hotdog_ids), std::move(hotdogs)).ok() ||
+      !catalog.AddTable("others", std::move(other_ids), std::move(others)).ok()) {
+    return 1;
+  }
+  Query2Pipeline pipeline(std::move(catalog),
+                          std::make_unique<LogisticRegression>(kPixels),
+                          std::move(train));
+  if (!pipeline.Train().ok()) return 1;
+
+  // Equi-join the two datasets on the predicted label: any result is a
+  // contradiction (one side is certainly not a hot dog).
+  const std::string sql =
+      "SELECT COUNT(*) AS collisions FROM hotdogs H, others O "
+      "WHERE predict(H.*) = predict(O.*)";
+  auto before = pipeline.ExecuteSql(sql, false);
+  if (!before.ok()) {
+    std::printf("query failed: %s\n", before.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("join collisions reported: %lld (should be 0)\n",
+              static_cast<long long>(before->table.rows[0][0].AsInt64()));
+
+  auto plan = sql::PlanQuery(sql, pipeline.catalog());
+  if (!plan.ok()) return 1;
+  QueryComplaints qc;
+  qc.query = *plan;
+  qc.complaints = {ComplaintSpec::ValueEq("collisions", 0.0)};
+
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = static_cast<int>(corrupted.size());
+  Debugger debugger(&pipeline, MakeHolisticRanker(), cfg);
+  auto report = debugger.Run({qc});
+  if (!report.ok()) {
+    std::printf("debugging failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<bool> truth(pipeline.train_data()->size(), false);
+  for (size_t i : corrupted) truth[i] = true;
+  size_t hits = 0;
+  for (size_t i : report->deletions) hits += truth[i];
+  std::printf("Rain flagged %zu images; %zu were mislabeled sandwiches\n",
+              report->deletions.size(), hits);
+
+  auto after = pipeline.ExecuteSql(sql, false);
+  if (after.ok()) {
+    std::printf("join collisions after debugging: %lld\n",
+                static_cast<long long>(after->table.rows[0][0].AsInt64()));
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef RAIN_COMMON_LOGGING_H_
+#define RAIN_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace rain {
+
+/// Log severity levels; kFatal aborts after printing.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Global minimum severity that is actually emitted (default kInfo).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log sink flushed (and possibly aborting) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rain
+
+#define RAIN_LOG(level)                                                      \
+  ::rain::internal::LogMessage(::rain::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+/// Invariant check that is active in all build modes (database idiom:
+/// corrupting results is worse than aborting).
+#define RAIN_CHECK(cond)                                          \
+  if (!(cond))                                                    \
+  RAIN_LOG(Fatal) << "Check failed: " #cond " "
+
+#define RAIN_DCHECK(cond) RAIN_CHECK(cond)
+
+#endif  // RAIN_COMMON_LOGGING_H_

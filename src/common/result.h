@@ -1,0 +1,71 @@
+#ifndef RAIN_COMMON_RESULT_H_
+#define RAIN_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace rain {
+
+/// \brief Value-or-Status, the Arrow `Result<T>` idiom.
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the
+/// value of an errored result aborts (programming error), so callers must
+/// check `ok()` first or use `RAIN_ASSIGN_OR_RETURN`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (status_.ok()) {
+      // An OK status with no value is a contract violation.
+      status_ = Status::Internal("Result constructed from OK status without value");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Moves the value out; valid only when `ok()`.
+  T MoveValueUnsafe() { return std::move(*value_); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Evaluates a Result-returning expression; on error returns the Status,
+/// otherwise assigns the unwrapped value to `lhs`.
+#define RAIN_CONCAT_IMPL(x, y) x##y
+#define RAIN_CONCAT(x, y) RAIN_CONCAT_IMPL(x, y)
+#define RAIN_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto RAIN_CONCAT(_result_, __LINE__) = (expr);                     \
+  if (!RAIN_CONCAT(_result_, __LINE__).ok())                         \
+    return RAIN_CONCAT(_result_, __LINE__).status();                 \
+  lhs = RAIN_CONCAT(_result_, __LINE__).MoveValueUnsafe()
+
+}  // namespace rain
+
+#endif  // RAIN_COMMON_RESULT_H_

@@ -1,0 +1,69 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  RAIN_CHECK(row.size() == header_.size()) << "row arity mismatch";
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string TablePrinter::ToText() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t c = 0; c < widths.size(); ++c) sep += std::string(widths[c] + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  out += sep;
+  return out;
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto escape = [](const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string out = "\"";
+    for (char ch : field) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ",";
+      out += escape(row[c]);
+    }
+    out += "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+}  // namespace rain

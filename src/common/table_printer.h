@@ -1,0 +1,35 @@
+#ifndef RAIN_COMMON_TABLE_PRINTER_H_
+#define RAIN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace rain {
+
+/// \brief Column-aligned text table used by the bench harnesses to print
+/// paper-style result tables, plus CSV emission for downstream plotting.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Aligned, boxed text rendering.
+  std::string ToText() const;
+  /// RFC-4180-ish CSV (values containing commas/quotes are quoted).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,30 @@
+#ifndef RAIN_COMMON_TIMER_H_
+#define RAIN_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rain {
+
+/// Monotonic wall-clock stopwatch used by the debugger's per-phase
+/// runtime accounting (Figure 5 / Figure 12 breakdowns).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_COMMON_TIMER_H_

@@ -1,0 +1,210 @@
+#include "core/complaint.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+
+ComplaintSpec ComplaintSpec::ValueEq(std::string agg_name, double target,
+                                     std::vector<Value> group_keys) {
+  ComplaintSpec s;
+  s.kind = Kind::kValue;
+  s.agg_name = std::move(agg_name);
+  s.op = ComplaintOp::kEq;
+  s.target = target;
+  s.group_keys = std::move(group_keys);
+  return s;
+}
+
+ComplaintSpec ComplaintSpec::ValueGe(std::string agg_name, double target,
+                                     std::vector<Value> group_keys) {
+  ComplaintSpec s = ValueEq(std::move(agg_name), target, std::move(group_keys));
+  s.op = ComplaintOp::kGe;
+  return s;
+}
+
+ComplaintSpec ComplaintSpec::ValueLe(std::string agg_name, double target,
+                                     std::vector<Value> group_keys) {
+  ComplaintSpec s = ValueEq(std::move(agg_name), target, std::move(group_keys));
+  s.op = ComplaintOp::kLe;
+  return s;
+}
+
+ComplaintSpec ComplaintSpec::TupleNotExists(std::vector<std::string> key_cols,
+                                            std::vector<Value> key_vals) {
+  ComplaintSpec s;
+  s.kind = Kind::kTuple;
+  s.tuple_key_cols = std::move(key_cols);
+  s.tuple_key_vals = std::move(key_vals);
+  return s;
+}
+
+ComplaintSpec ComplaintSpec::Point(std::string table, int64_t row, int correct_class) {
+  ComplaintSpec s;
+  s.kind = Kind::kPoint;
+  s.point_table = std::move(table);
+  s.point_row = row;
+  s.point_class = correct_class;
+  return s;
+}
+
+namespace {
+
+bool IsViolated(ComplaintOp op, double current, double target) {
+  constexpr double kTol = 1e-9;
+  switch (op) {
+    case ComplaintOp::kEq:
+      return std::fabs(current - target) > kTol;
+    case ComplaintOp::kLe:
+      return current > target + kTol;
+    case ComplaintOp::kGe:
+      return current < target - kTol;
+  }
+  return true;
+}
+
+Result<std::vector<BoundComplaint>> BindValue(const ComplaintSpec& spec,
+                                              const ExecResult& result) {
+  if (!result.is_aggregate) {
+    return Status::InvalidArgument(
+        "value complaints require an aggregate query result");
+  }
+  // Locate the aggregate column.
+  int agg_idx = -1;
+  for (size_t i = 0; i < result.agg_names.size(); ++i) {
+    if (result.agg_names[i] == spec.agg_name) agg_idx = static_cast<int>(i);
+  }
+  if (agg_idx < 0) {
+    return Status::NotFound("aggregate output '" + spec.agg_name + "' not found");
+  }
+  // Locate the group row.
+  if (spec.group_keys.size() != result.num_group_cols) {
+    return Status::InvalidArgument(StrFormat(
+        "complaint provides %zu group keys but the query groups by %zu columns",
+        spec.group_keys.size(), result.num_group_cols));
+  }
+  int row = -1;
+  for (size_t r = 0; r < result.table.num_rows(); ++r) {
+    bool match = true;
+    for (size_t g = 0; g < spec.group_keys.size(); ++g) {
+      if (!(result.table.rows[r][g] == spec.group_keys[g])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) {
+      row = static_cast<int>(r);
+      break;
+    }
+  }
+  std::vector<BoundComplaint> out;
+  if (row < 0) return out;  // group absent: nothing to complain about (yet)
+
+  BoundComplaint b;
+  b.poly = result.agg_polys[row][agg_idx];
+  b.op = spec.op;
+  b.target = spec.target;
+  RAIN_ASSIGN_OR_RETURN(
+      b.current,
+      result.table.rows[row][result.num_group_cols + agg_idx].ToNumeric());
+  b.violated = IsViolated(spec.op, b.current, spec.target);
+  out.push_back(b);
+  return out;
+}
+
+Result<std::vector<BoundComplaint>> BindTuple(const ComplaintSpec& spec,
+                                              const ExecResult& result) {
+  std::vector<int> col_idx;
+  for (const std::string& name : spec.tuple_key_cols) {
+    // Accept either "alias.col" or plain "col".
+    std::string qualifier;
+    std::string col = name;
+    const size_t dot = name.find('.');
+    if (dot != std::string::npos) {
+      qualifier = name.substr(0, dot);
+      col = name.substr(dot + 1);
+    }
+    const int idx = result.table.schema.FindField(col, qualifier);
+    if (idx < 0) {
+      return Status::NotFound("tuple complaint key column '" + name + "' not found");
+    }
+    col_idx.push_back(idx);
+  }
+  if (col_idx.size() != spec.tuple_key_vals.size()) {
+    return Status::InvalidArgument("tuple key cols/vals arity mismatch");
+  }
+  std::vector<BoundComplaint> out;
+  for (size_t r = 0; r < result.table.num_rows(); ++r) {
+    bool match = true;
+    for (size_t k = 0; k < col_idx.size(); ++k) {
+      if (!(result.table.rows[r][col_idx[k]] == spec.tuple_key_vals[k])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    // Candidate (non-concrete) rows still bind: the tuple's *relaxed*
+    // existence probability stays positive, and Holistic keeps pushing it
+    // toward 0 even after the tuple concretely disappears. `violated`
+    // (used for resolution reporting and by the discrete TwoStep ILP)
+    // reflects concrete existence.
+    BoundComplaint b;
+    b.poly = result.table.cond[r];
+    b.op = ComplaintOp::kEq;
+    b.target = 0.0;
+    b.current = result.table.concrete[r] ? 1.0 : 0.0;
+    b.violated = result.table.concrete[r] != 0;
+    out.push_back(b);
+  }
+  return out;
+}
+
+Result<std::vector<BoundComplaint>> BindPoint(const ComplaintSpec& spec,
+                                              PolyArena* arena,
+                                              const PredictionStore& predictions,
+                                              const Catalog& catalog) {
+  const Catalog::Entry* entry = catalog.Find(spec.point_table);
+  if (entry == nullptr) {
+    return Status::NotFound("point complaint table '" + spec.point_table +
+                            "' not found");
+  }
+  if (!predictions.HasTable(entry->table_id)) {
+    return Status::InvalidArgument("no predictions for table '" + spec.point_table +
+                                   "'");
+  }
+  if (spec.point_row < 0 ||
+      static_cast<size_t>(spec.point_row) >= predictions.NumRows(entry->table_id)) {
+    return Status::OutOfRange("point complaint row out of range");
+  }
+  if (spec.point_class < 0 || spec.point_class >= predictions.NumClasses(entry->table_id)) {
+    return Status::OutOfRange("point complaint class out of range");
+  }
+  BoundComplaint b;
+  b.poly = arena->Var(PredVar{entry->table_id, spec.point_row, spec.point_class});
+  b.op = ComplaintOp::kEq;
+  b.target = 1.0;
+  const int cur = predictions.PredictedClass(entry->table_id, spec.point_row);
+  b.current = cur == spec.point_class ? 1.0 : 0.0;
+  b.violated = cur != spec.point_class;
+  return std::vector<BoundComplaint>{b};
+}
+
+}  // namespace
+
+Result<std::vector<BoundComplaint>> BindComplaint(
+    const ComplaintSpec& spec, const ExecResult& result, PolyArena* arena,
+    const PredictionStore& predictions, const Catalog& catalog) {
+  switch (spec.kind) {
+    case ComplaintSpec::Kind::kValue:
+      return BindValue(spec, result);
+    case ComplaintSpec::Kind::kTuple:
+      return BindTuple(spec, result);
+    case ComplaintSpec::Kind::kPoint:
+      return BindPoint(spec, arena, predictions, catalog);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace rain

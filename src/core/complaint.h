@@ -1,0 +1,86 @@
+#ifndef RAIN_CORE_COMPLAINT_H_
+#define RAIN_CORE_COMPLAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/poly.h"
+#include "relational/executor.h"
+#include "relational/plan.h"
+
+namespace rain {
+
+/// Comparison in a value complaint (Definition 3.1: op in {=, <=, >=}).
+enum class ComplaintOp : uint8_t { kEq, kLe, kGe };
+
+/// \brief A declarative complaint over a query's output (Definition 3.1).
+///
+/// Complaints are declarative so the debugger can re-bind them to fresh
+/// provenance every train-rank-fix iteration:
+///  * Value complaint: "aggregate cell `agg_name` of the group identified
+///    by `group_keys` should be (op) target".
+///  * Tuple complaint: "every output row whose `tuple_key_cols` equal
+///    `tuple_key_vals` should not exist".
+///  * Point complaint: "the model should predict `point_class` on row
+///    `point_row` of queried table `point_table`" (an intermediate-result
+///    complaint on the prediction view itself; Sections 6.4/6.6 use these).
+struct ComplaintSpec {
+  enum class Kind : uint8_t { kValue, kTuple, kPoint };
+  Kind kind = Kind::kValue;
+
+  // kValue
+  std::string agg_name;
+  std::vector<Value> group_keys;  // empty for global aggregates
+  ComplaintOp op = ComplaintOp::kEq;
+  double target = 0.0;
+
+  // kTuple
+  std::vector<std::string> tuple_key_cols;
+  std::vector<Value> tuple_key_vals;
+
+  // kPoint
+  std::string point_table;
+  int64_t point_row = -1;
+  int point_class = -1;
+
+  static ComplaintSpec ValueEq(std::string agg_name, double target,
+                               std::vector<Value> group_keys = {});
+  static ComplaintSpec ValueGe(std::string agg_name, double target,
+                               std::vector<Value> group_keys = {});
+  static ComplaintSpec ValueLe(std::string agg_name, double target,
+                               std::vector<Value> group_keys = {});
+  static ComplaintSpec TupleNotExists(std::vector<std::string> key_cols,
+                                      std::vector<Value> key_vals);
+  static ComplaintSpec Point(std::string table, int64_t row, int correct_class);
+};
+
+/// A complaint bound to one execution's provenance: "poly (op) target".
+/// `violated` records whether the complaint currently fails under the
+/// concrete (argmax) semantics — used for resolution reporting.
+struct BoundComplaint {
+  PolyId poly = kInvalidPoly;
+  ComplaintOp op = ComplaintOp::kEq;
+  double target = 0.0;
+  double current = 0.0;  // concrete value of the complained quantity
+  bool violated = true;
+
+  /// Whether rankers should optimize this complaint. Inequality
+  /// complaints that already hold are ignored (Section 5.3.2); equality
+  /// complaints always rank, because the *relaxed* value (a sum of
+  /// probabilities) keeps carrying gradient even when the concrete
+  /// (argmax) value matches the target.
+  bool ShouldRank() const { return op == ComplaintOp::kEq || violated; }
+};
+
+/// Binds `spec` against the debug-mode execution `result` of its query.
+/// Tuple specs may bind to several output rows (one BoundComplaint each);
+/// specs whose rows/groups are absent bind to nothing (already resolved).
+/// Point specs ignore `result` and bind directly against the arena.
+Result<std::vector<BoundComplaint>> BindComplaint(
+    const ComplaintSpec& spec, const ExecResult& result, PolyArena* arena,
+    const PredictionStore& predictions, const Catalog& catalog);
+
+}  // namespace rain
+
+#endif  // RAIN_CORE_COMPLAINT_H_

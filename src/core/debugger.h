@@ -1,0 +1,82 @@
+#ifndef RAIN_CORE_DEBUGGER_H_
+#define RAIN_CORE_DEBUGGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+
+namespace rain {
+
+/// A query and the complaints the user filed against its output. `query`
+/// may be null when every complaint is a point complaint (predictions are
+/// complained about directly, no SQL execution needed).
+struct QueryComplaints {
+  PlanPtr query;
+  std::vector<ComplaintSpec> complaints;
+};
+
+struct DebugConfig {
+  /// Records removed per train-rank-fix iteration (paper: 10).
+  int top_k_per_iter = 10;
+  /// Total explanation size |D| to produce.
+  int max_deletions = 100;
+  int max_iterations = 10000;
+  /// Stop as soon as every complaint holds.
+  bool stop_when_resolved = false;
+  InfluenceOptions influence;
+  IlpSolveOptions ilp;
+  /// Forwarded to RankContext (ablation knobs).
+  RelaxMode relax_mode = RelaxMode::kIndependent;
+  bool twostep_encode_all = false;
+};
+
+/// Per-iteration phase timings and bookkeeping (Figures 5 and 12 report
+/// Train / Encode / Rank).
+struct IterationStats {
+  double train_seconds = 0.0;
+  double query_seconds = 0.0;   // debug-mode provenance capture
+  double encode_seconds = 0.0;  // grad q construction / ILP solve
+  double rank_seconds = 0.0;    // CG Hessian solve + scoring
+  int violated_complaints = 0;
+  size_t deletions_after = 0;
+  std::string note;
+};
+
+struct DebugReport {
+  /// Training-record ids in deletion order — the explanation D.
+  std::vector<size_t> deletions;
+  std::vector<IterationStats> iterations;
+  /// True if the last retraining satisfied every complaint.
+  bool complaints_resolved = false;
+};
+
+/// \brief The Rain train-rank-fix debugger (Section 5.1).
+///
+/// Each iteration retrains the model on the surviving training records
+/// (warm start), reruns every complained-about query in debug mode,
+/// re-binds the complaints to the fresh provenance, ranks training
+/// records with the configured approach, and deletes the top-k. Deleted
+/// records accumulate into the explanation D.
+class Debugger {
+ public:
+  /// `pipeline` is borrowed; `ranker` is owned.
+  Debugger(Query2Pipeline* pipeline, std::unique_ptr<Ranker> ranker,
+           DebugConfig config = DebugConfig());
+
+  Result<DebugReport> Run(const std::vector<QueryComplaints>& workload);
+
+  const Ranker& ranker() const { return *ranker_; }
+
+ private:
+  Query2Pipeline* pipeline_;
+  std::unique_ptr<Ranker> ranker_;
+  DebugConfig config_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_CORE_DEBUGGER_H_

@@ -1,0 +1,297 @@
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/ranker.h"
+#include "ilp/tiresias.h"
+#include "relax/relaxed_poly.h"
+
+namespace rain {
+
+Status AccumulateProbaGradients(
+    const Catalog& catalog, const Model& model,
+    const std::map<std::pair<int32_t, int64_t>, Vec>& weights, Vec* grad) {
+  for (const auto& [key, class_weights] : weights) {
+    const Catalog::Entry* entry = catalog.FindById(key.first);
+    if (entry == nullptr || !entry->features.has_value()) {
+      return Status::Internal("queried table lacks a feature dataset");
+    }
+    if (key.second < 0 ||
+        static_cast<size_t>(key.second) >= entry->features->size()) {
+      return Status::OutOfRange("queried row out of range");
+    }
+    model.AddProbaGradient(entry->features->row(static_cast<size_t>(key.second)),
+                           class_weights, grad);
+  }
+  return Status::OK();
+}
+
+Approach SelectApproach(const PolyArena& arena,
+                        const std::vector<BoundComplaint>& complaints) {
+  // A point complaint's polynomial is a single prediction variable: there
+  // is exactly one way to satisfy it, so the ILP has a unique minimal
+  // repair and TwoStep is safe. Anything else (aggregates, join tuples)
+  // admits multiple satisfying repairs -> Holistic.
+  for (const BoundComplaint& c : complaints) {
+    if (!c.violated) continue;
+    if (c.poly == kInvalidPoly) return Approach::kHolistic;
+    if (arena.node(c.poly).op != PolyOp::kVar) return Approach::kHolistic;
+  }
+  return Approach::kTwoStep;
+}
+
+namespace {
+
+/// Validates the common parts of a RankContext.
+Status CheckContext(const RankContext& ctx, bool needs_complaints) {
+  if (ctx.model == nullptr || ctx.train == nullptr) {
+    return Status::InvalidArgument("RankContext requires model and train set");
+  }
+  if (needs_complaints &&
+      (ctx.complaints == nullptr || ctx.arena == nullptr ||
+       ctx.predictions == nullptr || ctx.catalog == nullptr)) {
+    return Status::InvalidArgument(
+        "complaint-driven rankers require arena/predictions/catalog/complaints");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Loss baseline: per-example training loss, descending.
+// ---------------------------------------------------------------------------
+class LossRanker : public Ranker {
+ public:
+  std::string name() const override { return "loss"; }
+
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RAIN_RETURN_NOT_OK(CheckContext(ctx, /*needs_complaints=*/false));
+    Timer timer;
+    RankOutput out;
+    out.scores.assign(ctx.train->size(), 0.0);
+    for (size_t i = 0; i < ctx.train->size(); ++i) {
+      if (!ctx.train->active(i)) continue;
+      out.scores[i] = ctx.model->ExampleLoss(ctx.train->row(i), ctx.train->label(i));
+    }
+    out.rank_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// InfLoss baseline: self-influence (one CG solve per record) [35].
+// ---------------------------------------------------------------------------
+class InfLossRanker : public Ranker {
+ public:
+  std::string name() const override { return "infloss"; }
+
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RAIN_RETURN_NOT_OK(CheckContext(ctx, /*needs_complaints=*/false));
+    Timer timer;
+    InfluenceScorer scorer(ctx.model, ctx.train, ctx.influence);
+    RAIN_ASSIGN_OR_RETURN(std::vector<double> self, scorer.SelfInfluenceAll());
+    RankOutput out;
+    out.scores.assign(ctx.train->size(), 0.0);
+    // self(z) <= 0; the most negative values (largest own-loss increase on
+    // removal) rank at the top, so negate.
+    for (size_t i = 0; i < self.size(); ++i) {
+      if (ctx.train->active(i)) out.scores[i] = -self[i];
+    }
+    out.rank_seconds = timer.ElapsedSeconds();
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Holistic (Section 5.3): q = sum over violated complaints of
+// (rq(theta) - X)^2, differentiated through the relaxed provenance
+// polynomial into the model, then one influence solve.
+// ---------------------------------------------------------------------------
+class HolisticRanker : public Ranker {
+ public:
+  std::string name() const override { return "holistic"; }
+
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RAIN_RETURN_NOT_OK(CheckContext(ctx, /*needs_complaints=*/true));
+    Timer encode_timer;
+    const Vec probs = ctx.predictions->RelaxedAssignment(*ctx.arena);
+
+    // Per-(table,row) class-weight seeds accumulated over complaints.
+    std::map<std::pair<int32_t, int64_t>, Vec> weights;
+    bool any_violated = false;
+    for (const BoundComplaint& c : *ctx.complaints) {
+      if (!c.ShouldRank() || c.poly == kInvalidPoly) continue;
+      any_violated = true;
+      RelaxedPoly poly(ctx.arena, c.poly, ctx.relax_mode);
+      Vec var_grad;
+      const double rq = poly.Gradient(probs, &var_grad);
+      // q_c = (rq - X)^2  =>  dq_c/dp_v = 2 (rq - X) * d rq / d p_v.
+      const double outer = 2.0 * (rq - c.target);
+      if (outer == 0.0) continue;
+      for (VarId v : poly.variables()) {
+        if (var_grad[v] == 0.0) continue;
+        const PredVar& pv = ctx.arena->var(v);
+        Vec& w = weights[{pv.table_id, pv.row}];
+        if (w.empty()) w.assign(ctx.predictions->NumClasses(pv.table_id), 0.0);
+        w[pv.cls] += outer * var_grad[v];
+      }
+    }
+    RankOutput out;
+    out.scores.assign(ctx.train->size(), 0.0);
+    if (!any_violated || weights.empty()) {
+      out.note = "no violated complaints";
+      out.encode_seconds = encode_timer.ElapsedSeconds();
+      return out;
+    }
+
+    Vec q_grad(ctx.model->num_params(), 0.0);
+    RAIN_RETURN_NOT_OK(
+        AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights, &q_grad));
+    out.encode_seconds = encode_timer.ElapsedSeconds();
+
+    Timer rank_timer;
+    InfluenceScorer scorer(ctx.model, ctx.train, ctx.influence);
+    RAIN_RETURN_NOT_OK(scorer.Prepare(q_grad));
+    out.scores = scorer.ScoreAll();
+    out.rank_seconds = rank_timer.ElapsedSeconds();
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// TwoStep (Section 5.2): ILP-repair the prediction view, mark the changed
+// predictions, q = -sum p_{t_i}(x_i), then one influence solve.
+// ---------------------------------------------------------------------------
+class TwoStepRanker : public Ranker {
+ public:
+  std::string name() const override { return "twostep"; }
+
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RAIN_RETURN_NOT_OK(CheckContext(ctx, /*needs_complaints=*/true));
+    Timer encode_timer;
+
+    std::vector<IlpComplaint> ilp_complaints;
+    for (const BoundComplaint& c : *ctx.complaints) {
+      // TwoStep's ILP is discrete: a concretely-satisfied equality has a
+      // trivial no-flip optimum, so skip satisfied complaints entirely.
+      if (!c.violated || c.poly == kInvalidPoly) continue;
+      IlpComplaint ic;
+      ic.poly = c.poly;
+      ic.sense = c.op == ComplaintOp::kEq
+                     ? ConstraintSense::kEq
+                     : (c.op == ComplaintOp::kLe ? ConstraintSense::kLe
+                                                 : ConstraintSense::kGe);
+      ic.rhs = c.target;
+      ilp_complaints.push_back(ic);
+    }
+    RankOutput out;
+    out.scores.assign(ctx.train->size(), 0.0);
+    if (ilp_complaints.empty()) {
+      out.note = "no violated complaints";
+      out.encode_seconds = encode_timer.ElapsedSeconds();
+      return out;
+    }
+
+    RAIN_ASSIGN_OR_RETURN(
+        TiresiasEncoding enc,
+        EncodeTiresias(ctx.arena, *ctx.predictions, ilp_complaints));
+    IlpSolveOptions ilp_opts = ctx.ilp;
+    if (ilp_opts.coupling_constraint < 0) {
+      ilp_opts.coupling_constraint = enc.coupling_constraint;
+    }
+    RAIN_ASSIGN_OR_RETURN(IlpSolution sol, SolveIlp(enc.problem, ilp_opts));
+    if (!sol.optimal) out.note = "ilp budget exhausted; using incumbent";
+    const std::vector<MarkedPrediction> marked = DecodeMarkedPredictions(enc, sol);
+
+    // q = -sum over marked rows of p_{t_i}(x_i): seed weight -1 on the
+    // assigned class (Section 5.2, marked-mispredictions-only encoding).
+    std::map<std::pair<int32_t, int64_t>, Vec> weights;
+    for (const MarkedPrediction& m : marked) {
+      Vec& w = weights[{m.table_id, m.row}];
+      if (w.empty()) w.assign(ctx.predictions->NumClasses(m.table_id), 0.0);
+      w[m.assigned_class] += -1.0;
+    }
+    if (ctx.twostep_encode_all) {
+      // Ablation: also encode the rows whose assignment the solver kept
+      // (q = -sum over all assigned rows of p_{t_i}).
+      for (const auto& rv : enc.rows) {
+        for (size_t c = 0; c < rv.class_vars.size(); ++c) {
+          const int var = rv.class_vars[c];
+          if (var >= 0 && sol.values[var] &&
+              static_cast<int>(c) == rv.current_class) {
+            Vec& w = weights[{rv.table_id, rv.row}];
+            if (w.empty()) w.assign(ctx.predictions->NumClasses(rv.table_id), 0.0);
+            w[c] += -1.0;
+          }
+        }
+      }
+    }
+    if (weights.empty()) {
+      out.note = "ilp repair changed no predictions";
+      out.encode_seconds = encode_timer.ElapsedSeconds();
+      return out;
+    }
+    Vec q_grad(ctx.model->num_params(), 0.0);
+    RAIN_RETURN_NOT_OK(
+        AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights, &q_grad));
+    out.encode_seconds = encode_timer.ElapsedSeconds();
+
+    Timer rank_timer;
+    InfluenceScorer scorer(ctx.model, ctx.train, ctx.influence);
+    RAIN_RETURN_NOT_OK(scorer.Prepare(q_grad));
+    out.scores = scorer.ScoreAll();
+    out.rank_seconds = rank_timer.ElapsedSeconds();
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Auto (Section 5.1 optimizer): per iteration, TwoStep when the repair is
+// unique (all violated complaints are point complaints), else Holistic.
+// ---------------------------------------------------------------------------
+class AutoRanker : public Ranker {
+ public:
+  AutoRanker() : twostep_(MakeTwoStepRanker()), holistic_(MakeHolisticRanker()) {}
+
+  std::string name() const override { return "auto"; }
+
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RAIN_RETURN_NOT_OK(CheckContext(ctx, /*needs_complaints=*/true));
+    const Approach approach = SelectApproach(*ctx.arena, *ctx.complaints);
+    Ranker* chosen =
+        approach == Approach::kTwoStep ? twostep_.get() : holistic_.get();
+    RAIN_ASSIGN_OR_RETURN(RankOutput out, chosen->Rank(ctx));
+    out.note = std::string("auto->") + chosen->name() +
+               (out.note.empty() ? "" : "; " + out.note);
+    return out;
+  }
+
+ private:
+  std::unique_ptr<Ranker> twostep_;
+  std::unique_ptr<Ranker> holistic_;
+};
+
+}  // namespace
+
+std::unique_ptr<Ranker> MakeLossRanker() { return std::make_unique<LossRanker>(); }
+std::unique_ptr<Ranker> MakeInfLossRanker() {
+  return std::make_unique<InfLossRanker>();
+}
+std::unique_ptr<Ranker> MakeTwoStepRanker() {
+  return std::make_unique<TwoStepRanker>();
+}
+std::unique_ptr<Ranker> MakeHolisticRanker() {
+  return std::make_unique<HolisticRanker>();
+}
+
+std::unique_ptr<Ranker> MakeAutoRanker() { return std::make_unique<AutoRanker>(); }
+
+Result<std::unique_ptr<Ranker>> MakeRanker(const std::string& name) {
+  if (name == "loss") return MakeLossRanker();
+  if (name == "infloss") return MakeInfLossRanker();
+  if (name == "twostep") return MakeTwoStepRanker();
+  if (name == "holistic") return MakeHolisticRanker();
+  if (name == "auto") return MakeAutoRanker();
+  return Status::InvalidArgument("unknown ranker '" + name + "'");
+}
+
+}  // namespace rain

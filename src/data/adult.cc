@@ -1,0 +1,105 @@
+#include "data/adult.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ml/logistic_regression.h"
+
+namespace rain {
+namespace {
+
+/// Calibrated so that P(male)=0.67, P(decade 4 | male)=0.231 and
+/// P(male | decade 4)=0.713 (the selectivities Section 6.5 reports), and
+/// roughly 8.2% of records satisfy low-income AND male AND 40-50.
+struct Attrs {
+  int decade;  // 2..9
+  int education;
+  int gender;  // 1 = male
+};
+
+Attrs DrawAttrs(Rng* rng) {
+  Attrs a;
+  a.gender = rng->Bernoulli(0.67) ? 1 : 0;
+  const double p_dec4 = a.gender == 1 ? 0.231 : 0.188;
+  if (rng->Bernoulli(p_dec4)) {
+    a.decade = 4;
+  } else {
+    // Uniform over the remaining 7 decades {2,3,5,6,7,8,9}.
+    static const int kOthers[] = {2, 3, 5, 6, 7, 8, 9};
+    a.decade = kOthers[rng->UniformInt(7)];
+  }
+  a.education = static_cast<int>(rng->UniformInt(kAdultEducations));
+  return a;
+}
+
+int DrawIncome(const Attrs& a, Rng* rng) {
+  // Higher education and middle age raise income odds; mild male bias.
+  const double z = -2.2 + 0.35 * a.education + (a.decade == 4 || a.decade == 5 ? 0.8 : 0.0) +
+                   (a.gender == 1 ? 0.4 : 0.0);
+  return rng->Bernoulli(Sigmoid(z)) ? 1 : 0;
+}
+
+void Encode(const Attrs& a, double* row) {
+  for (size_t f = 0; f < kAdultFeatures; ++f) row[f] = 0.0;
+  row[a.decade - 2] = 1.0;                      // age one-hot (decades 2..9)
+  row[kAdultAgeDecades + a.education] = 1.0;    // education one-hot
+  row[kAdultAgeDecades + kAdultEducations + a.gender] = 1.0;  // gender one-hot
+}
+
+}  // namespace
+
+AdultData MakeAdult(const AdultConfig& config) {
+  Rng rng(config.seed);
+  AdultData data;
+
+  auto generate = [&](size_t n, bool keep_attrs) {
+    Matrix x(n, kAdultFeatures);
+    std::vector<int> y(n);
+    std::vector<Attrs> attrs(n);
+    for (size_t i = 0; i < n; ++i) {
+      attrs[i] = DrawAttrs(&rng);
+      y[i] = DrawIncome(attrs[i], &rng);
+      Encode(attrs[i], x.Row(i));
+      if (keep_attrs) {
+        data.train_age_decade.push_back(attrs[i].decade);
+        data.train_education.push_back(attrs[i].education);
+        data.train_gender.push_back(attrs[i].gender);
+      }
+    }
+    return std::make_pair(Dataset(std::move(x), std::move(y), 2), std::move(attrs));
+  };
+
+  auto [train, train_attrs] = generate(config.train_size, /*keep_attrs=*/true);
+  data.train = std::move(train);
+  auto [query, query_attrs] = generate(config.query_size, /*keep_attrs=*/false);
+  data.query = std::move(query);
+
+  Schema schema({Field{"id", DataType::kInt64, ""},
+                 Field{"gender", DataType::kString, ""},
+                 Field{"agedecade", DataType::kInt64, ""},
+                 Field{"truth", DataType::kInt64, ""}});
+  Table table(schema);
+  for (size_t i = 0; i < data.query.size(); ++i) {
+    table.AppendRowUnchecked(
+        {Value(static_cast<int64_t>(i)),
+         Value(std::string(query_attrs[i].gender == 1 ? "Male" : "Female")),
+         Value(static_cast<int64_t>(query_attrs[i].decade)),
+         Value(static_cast<int64_t>(data.query.label(i)))});
+  }
+  data.query_table = std::move(table);
+  return data;
+}
+
+std::vector<size_t> AdultCorruptionCandidates(const AdultData& data) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < data.train.size(); ++i) {
+    if (data.train.label(i) == 0 && data.train_gender[i] == 1 &&
+        data.train_age_decade[i] == 4) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace rain

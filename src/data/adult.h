@@ -1,0 +1,46 @@
+#ifndef RAIN_DATA_ADULT_H_
+#define RAIN_DATA_ADULT_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// Synthetic Adult/"Census Income" stand-in (Section 6.5): records carry
+/// only (age decade, education, gender), one-hot encoded into 18 binary
+/// features (8 + 8 + 2) following the preprocessing of [16]. The coarse
+/// domain makes most feature vectors duplicates — the property that
+/// hampers TwoStep/Loss in Figure 8.
+struct AdultConfig {
+  size_t train_size = 6500;
+  size_t query_size = 3000;
+  uint64_t seed = 13;
+};
+
+inline constexpr int kAdultAgeDecades = 8;   // decades 2..9 (20s..90s)
+inline constexpr int kAdultEducations = 8;
+inline constexpr size_t kAdultFeatures = kAdultAgeDecades + kAdultEducations + 2;
+
+struct AdultData {
+  Dataset train;  // label 1 = income > 50K
+  Dataset query;
+  /// Querying relation: (id INT64, gender STRING, agedecade INT64,
+  /// truth INT64).
+  Table query_table;
+  /// Raw attributes of training rows (corruption predicates).
+  std::vector<int> train_age_decade;   // 2..9
+  std::vector<int> train_education;    // 0..7
+  std::vector<int> train_gender;       // 1 = male
+};
+
+AdultData MakeAdult(const AdultConfig& config = AdultConfig());
+
+/// Training rows matching the paper's corruption predicate:
+/// low income AND male AND age in [40, 50).
+std::vector<size_t> AdultCorruptionCandidates(const AdultData& data);
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_ADULT_H_

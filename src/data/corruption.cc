@@ -1,0 +1,45 @@
+#include "data/corruption.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+std::vector<size_t> IndicesWithLabel(const Dataset& data, int label) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (data.label(i) == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> CorruptLabels(Dataset* data, const std::vector<size_t>& candidates,
+                                  double fraction, int new_label, Rng* rng) {
+  RAIN_CHECK(data != nullptr && rng != nullptr);
+  RAIN_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const size_t k = static_cast<size_t>(fraction * static_cast<double>(candidates.size()) + 0.5);
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(candidates.size(), k);
+  std::vector<size_t> corrupted;
+  for (size_t p : picks) {
+    const size_t idx = candidates[p];
+    if (data->label(idx) != new_label) {
+      data->set_label(idx, new_label);
+      corrupted.push_back(idx);
+    }
+  }
+  return corrupted;
+}
+
+std::vector<size_t> CorruptAll(Dataset* data, const std::vector<size_t>& candidates,
+                               int new_label) {
+  RAIN_CHECK(data != nullptr);
+  std::vector<size_t> corrupted;
+  for (size_t idx : candidates) {
+    if (data->label(idx) != new_label) {
+      data->set_label(idx, new_label);
+      corrupted.push_back(idx);
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace rain

@@ -1,0 +1,29 @@
+#ifndef RAIN_DATA_CORRUPTION_H_
+#define RAIN_DATA_CORRUPTION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace rain {
+
+/// Indices of records currently labeled `label`.
+std::vector<size_t> IndicesWithLabel(const Dataset& data, int label);
+
+/// \brief Systematic label corruption (Section 6.1.3): flips the labels
+/// of a random `fraction` of `candidates` to `new_label`, returning the
+/// indices whose label actually changed (the ground-truth corruption set
+/// used by recall@k).
+std::vector<size_t> CorruptLabels(Dataset* data, const std::vector<size_t>& candidates,
+                                  double fraction, int new_label, Rng* rng);
+
+/// Flips every candidate whose label differs from `new_label` (rule-based
+/// labeling-function corruption, e.g. "every email containing 'http' is
+/// spam"). Returns the changed indices.
+std::vector<size_t> CorruptAll(Dataset* data, const std::vector<size_t>& candidates,
+                               int new_label);
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_CORRUPTION_H_

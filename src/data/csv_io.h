@@ -1,0 +1,29 @@
+#ifndef RAIN_DATA_CSV_IO_H_
+#define RAIN_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// \brief CSV import/export for datasets and tables, so users can bring
+/// their own training/queried data instead of the synthetic generators.
+///
+/// Dataset CSV layout: a header row, feature columns, and one label
+/// column named `label` (anywhere). Values must be numeric; labels must
+/// be integers in [0, num_classes).
+Result<Dataset> ReadDatasetCsv(const std::string& path, int num_classes);
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Table CSV layout: header row `name:type,...` with type in
+/// {INT64, DOUBLE, STRING, BOOL}; one row per line. Strings are quoted
+/// with RFC-4180 double-quote escaping when needed.
+Result<Table> ReadTableCsv(const std::string& path);
+Status WriteTableCsv(const Table& table, const std::string& path);
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_CSV_IO_H_

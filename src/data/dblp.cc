@@ -1,0 +1,52 @@
+#include "data/dblp.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace rain {
+namespace {
+
+/// Match pairs draw each similarity from a high-mode Beta, non-matches
+/// from a low-mode Beta; a few features are "noisy" (near-uninformative)
+/// as in real Magellan feature sets.
+Dataset GenerateSplit(size_t n, double match_rate, Rng* rng) {
+  Matrix x(n, kDblpFeatures);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const bool match = rng->Bernoulli(match_rate);
+    y[i] = match ? 1 : 0;
+    for (size_t f = 0; f < kDblpFeatures; ++f) {
+      const bool noisy_feature = f >= 13;  // last 4 features carry no signal
+      double v;
+      if (noisy_feature) {
+        v = rng->Beta(2.0, 2.0);
+      } else if (match) {
+        v = rng->Beta(6.0, 2.0);
+      } else {
+        v = rng->Beta(2.0, 6.0);
+      }
+      x.At(i, f) = v;
+    }
+  }
+  return Dataset(std::move(x), std::move(y), 2);
+}
+
+}  // namespace
+
+DblpData MakeDblp(const DblpConfig& config) {
+  Rng rng(config.seed);
+  DblpData data;
+  data.train = GenerateSplit(config.train_size, config.match_rate, &rng);
+  data.query = GenerateSplit(config.query_size, config.match_rate, &rng);
+
+  Schema schema({Field{"id", DataType::kInt64, ""}, Field{"truth", DataType::kInt64, ""}});
+  Table table(schema);
+  for (size_t i = 0; i < data.query.size(); ++i) {
+    table.AppendRowUnchecked({Value(static_cast<int64_t>(i)),
+                              Value(static_cast<int64_t>(data.query.label(i)))});
+  }
+  data.query_table = std::move(table);
+  return data;
+}
+
+}  // namespace rain

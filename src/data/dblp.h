@@ -1,0 +1,36 @@
+#ifndef RAIN_DATA_DBLP_H_
+#define RAIN_DATA_DBLP_H_
+
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// Configuration for the synthetic DBLP-Scholar entity-resolution stand-in
+/// (see DESIGN.md substitutions). Each record is a candidate publication
+/// pair described by 17 similarity features (Magellan-style); `match`
+/// pairs draw high similarities, non-matches low.
+struct DblpConfig {
+  size_t train_size = 2000;
+  size_t query_size = 1000;
+  /// Fraction of pairs that are true matches (label 1).
+  double match_rate = 0.30;
+  uint64_t seed = 7;
+};
+
+struct DblpData {
+  Dataset train;
+  Dataset query;
+  /// Relational view of the querying set: (id INT64, truth INT64). `truth`
+  /// is ground truth used only by experiment harnesses to build complaints.
+  Table query_table;
+};
+
+/// Number of similarity features (title/author/venue/year grams etc.).
+inline constexpr size_t kDblpFeatures = 17;
+
+DblpData MakeDblp(const DblpConfig& config = DblpConfig());
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_DBLP_H_

@@ -1,0 +1,106 @@
+#include "data/enron.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace rain {
+namespace {
+
+struct TokenStats {
+  // P(token | spam), P(token | ham) for the two special tokens, derived
+  // from the paper's marginals at the configured spam rate.
+  double http_given_spam, http_given_ham;
+  double deal_given_spam, deal_given_ham;
+};
+
+TokenStats DeriveStats(double spam_rate) {
+  TokenStats s{};
+  // http: P(http)=0.13, P(spam|http)=0.76.
+  const double p_http_and_spam = 0.13 * 0.76;
+  const double p_http_and_ham = 0.13 * 0.24;
+  s.http_given_spam = p_http_and_spam / spam_rate;
+  s.http_given_ham = p_http_and_ham / (1.0 - spam_rate);
+  // deal: P(deal)=0.18, P(spam|deal)=0.027.
+  const double p_deal_and_spam = 0.18 * 0.027;
+  const double p_deal_and_ham = 0.18 * 0.973;
+  s.deal_given_spam = p_deal_and_spam / spam_rate;
+  s.deal_given_ham = p_deal_and_ham / (1.0 - spam_rate);
+  return s;
+}
+
+}  // namespace
+
+EnronData MakeEnron(const EnronConfig& config) {
+  RAIN_CHECK(config.vocab_size >= 20);
+  Rng rng(config.seed);
+  EnronData data;
+  const size_t v = config.vocab_size;
+  data.http_feature = v - 2;
+  data.deal_feature = v - 1;
+  const TokenStats stats = DeriveStats(config.spam_rate);
+
+  // Per-class word frequencies for the ordinary vocabulary: spammy words
+  // concentrate in the first half, hammy in the second.
+  std::vector<double> p_spam(v, 0.0), p_ham(v, 0.0);
+  for (size_t w = 0; w + 2 < v; ++w) {
+    const double spammy = w < v / 2 ? 0.20 : 0.04;
+    const double hammy = w < v / 2 ? 0.04 : 0.20;
+    p_spam[w] = spammy;
+    p_ham[w] = hammy;
+  }
+  p_spam[data.http_feature] = stats.http_given_spam;
+  p_ham[data.http_feature] = stats.http_given_ham;
+  p_spam[data.deal_feature] = stats.deal_given_spam;
+  p_ham[data.deal_feature] = stats.deal_given_ham;
+
+  auto token_name = [&](size_t w) -> std::string {
+    if (w == data.http_feature) return "http";
+    if (w == data.deal_feature) return "deal";
+    return StrFormat("tok%zu", w);
+  };
+
+  auto generate = [&](size_t n, std::vector<std::string>* texts) {
+    Matrix x(n, v);
+    std::vector<int> y(n);
+    if (texts != nullptr) texts->reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const bool spam = rng.Bernoulli(config.spam_rate);
+      y[i] = spam ? 1 : 0;
+      std::vector<std::string> words;
+      for (size_t w = 0; w < v; ++w) {
+        const bool present = rng.Bernoulli(spam ? p_spam[w] : p_ham[w]);
+        x.At(i, w) = present ? 1.0 : 0.0;
+        if (present) words.push_back(token_name(w));
+      }
+      if (texts != nullptr) texts->push_back(Join(words, " "));
+    }
+    return Dataset(std::move(x), std::move(y), 2);
+  };
+
+  data.train = generate(config.train_size, &data.train_texts);
+  std::vector<std::string> query_texts;
+  data.query = generate(config.query_size, &query_texts);
+
+  Schema schema({Field{"id", DataType::kInt64, ""}, Field{"text", DataType::kString, ""},
+                 Field{"truth", DataType::kInt64, ""}});
+  Table table(schema);
+  for (size_t i = 0; i < data.query.size(); ++i) {
+    table.AppendRowUnchecked({Value(static_cast<int64_t>(i)), Value(query_texts[i]),
+                              Value(static_cast<int64_t>(data.query.label(i)))});
+  }
+  data.query_table = std::move(table);
+  return data;
+}
+
+std::vector<size_t> TrainEmailsContaining(const EnronData& data,
+                                          const std::string& token) {
+  std::vector<size_t> out;
+  const std::string pattern = "%" + token + "%";
+  for (size_t i = 0; i < data.train_texts.size(); ++i) {
+    if (LikeMatch(data.train_texts[i], pattern)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rain

@@ -1,0 +1,48 @@
+#ifndef RAIN_DATA_ENRON_H_
+#define RAIN_DATA_ENRON_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// Synthetic ENRON spam stand-in: bag-of-words emails with controlled
+/// marginals for the tokens 'http' and 'deal' matching the paper's
+/// Section 6.2 statistics (http: 13% of emails, 76% of those spam;
+/// deal: 18% of emails, 2.7% of those spam), so the rule-based label
+/// corruptions flip ~3.1% and ~17.5% of training labels respectively.
+struct EnronConfig {
+  size_t train_size = 2000;
+  size_t query_size = 1200;
+  /// Vocabulary size (binary word-presence features).
+  size_t vocab_size = 120;
+  /// Base spam rate.
+  double spam_rate = 0.29;
+  uint64_t seed = 11;
+};
+
+struct EnronData {
+  Dataset train;  // binary word features; label 1 = spam
+  Dataset query;
+  /// Querying set as a relation: (id INT64, text STRING, truth INT64).
+  /// `text` joins the email's tokens with spaces so SQL LIKE works.
+  Table query_table;
+  /// Token text per training email (rule-based corruption predicates).
+  std::vector<std::string> train_texts;
+  /// Feature indices of the special tokens.
+  size_t http_feature = 0;
+  size_t deal_feature = 0;
+};
+
+EnronData MakeEnron(const EnronConfig& config = EnronConfig());
+
+/// Indices of training emails whose text contains `token`.
+std::vector<size_t> TrainEmailsContaining(const EnronData& data,
+                                          const std::string& token);
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_ENRON_H_

@@ -1,0 +1,116 @@
+#include "data/mnist.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rain {
+namespace {
+
+/// Class prototypes drawn once from a fixed stream so that every dataset
+/// size shares the same "digits".
+Matrix MakePrototypes(int num_pixels) {
+  Rng rng(0xD161750FULL);
+  Matrix protos(10, static_cast<size_t>(num_pixels));
+  for (size_t c = 0; c < 10; ++c) {
+    for (int p = 0; p < num_pixels; ++p) {
+      protos.At(c, static_cast<size_t>(p)) = rng.Gaussian();
+    }
+  }
+  return protos;
+}
+
+Dataset GenerateSplit(size_t n, int num_pixels, double noise, const Matrix& protos,
+                      Rng* rng) {
+  Matrix x(n, static_cast<size_t>(num_pixels));
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int digit = static_cast<int>(rng->UniformInt(10));
+    y[i] = digit;
+    const double* proto = protos.Row(static_cast<size_t>(digit));
+    for (int p = 0; p < num_pixels; ++p) {
+      x.At(i, static_cast<size_t>(p)) = proto[p] + noise * rng->Gaussian();
+    }
+  }
+  return Dataset(std::move(x), std::move(y), 10);
+}
+
+MnistSubset BuildSubset(const MnistData& data, std::vector<size_t> rows) {
+  MnistSubset subset;
+  const size_t d = data.query.num_features();
+  Matrix x(rows.size(), d);
+  std::vector<int> y(rows.size());
+  Schema schema(
+      {Field{"id", DataType::kInt64, ""}, Field{"truth", DataType::kInt64, ""}});
+  Table table(schema);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t src = rows[i];
+    for (size_t f = 0; f < d; ++f) x.At(i, f) = data.query.features().At(src, f);
+    y[i] = data.query.label(src);
+    table.AppendRowUnchecked({Value(static_cast<int64_t>(src)),
+                              Value(static_cast<int64_t>(y[i]))});
+  }
+  subset.features = Dataset(std::move(x), std::move(y), 10);
+  subset.table = std::move(table);
+  subset.source_rows = std::move(rows);
+  return subset;
+}
+
+}  // namespace
+
+MnistData MakeMnist(const MnistConfig& config) {
+  Rng rng(config.seed);
+  const int pixels = config.image_side * config.image_side;
+  const Matrix protos = MakePrototypes(pixels);
+  MnistData data;
+  data.config = config;
+  data.train = GenerateSplit(config.train_size, pixels, config.pixel_noise, protos, &rng);
+  data.query = GenerateSplit(config.query_size, pixels, config.pixel_noise, protos, &rng);
+  return data;
+}
+
+MnistSubset SelectByTrueDigit(const MnistData& data, const std::vector<int>& digits,
+                              size_t max_per_digit, const std::vector<size_t>& skip) {
+  std::vector<uint8_t> skipped(data.query.size(), 0);
+  for (size_t s : skip) skipped[s] = 1;
+  std::vector<size_t> per_digit(10, 0);
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < data.query.size(); ++i) {
+    if (skipped[i]) continue;
+    const int y = data.query.label(i);
+    if (std::find(digits.begin(), digits.end(), y) == digits.end()) continue;
+    if (max_per_digit > 0 && per_digit[y] >= max_per_digit) continue;
+    ++per_digit[y];
+    rows.push_back(i);
+  }
+  return BuildSubset(data, std::move(rows));
+}
+
+size_t MixSubsets(MnistSubset* from, MnistSubset* to, const MnistData& data,
+                  int digit, double mix_rate, Rng* rng) {
+  RAIN_CHECK(from != nullptr && to != nullptr && rng != nullptr);
+  std::vector<size_t> movable_positions;
+  for (size_t i = 0; i < from->source_rows.size(); ++i) {
+    if (data.query.label(from->source_rows[i]) == digit) movable_positions.push_back(i);
+  }
+  const size_t k = static_cast<size_t>(
+      mix_rate * static_cast<double>(movable_positions.size()) + 0.5);
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(movable_positions.size(), k);
+  std::vector<uint8_t> moving(from->source_rows.size(), 0);
+  for (size_t p : picks) moving[movable_positions[p]] = 1;
+
+  std::vector<size_t> from_rows;
+  std::vector<size_t> to_rows = to->source_rows;
+  for (size_t i = 0; i < from->source_rows.size(); ++i) {
+    if (moving[i]) {
+      to_rows.push_back(from->source_rows[i]);
+    } else {
+      from_rows.push_back(from->source_rows[i]);
+    }
+  }
+  *from = BuildSubset(data, std::move(from_rows));
+  *to = BuildSubset(data, std::move(to_rows));
+  return k;
+}
+
+}  // namespace rain

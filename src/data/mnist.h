@@ -1,0 +1,57 @@
+#ifndef RAIN_DATA_MNIST_H_
+#define RAIN_DATA_MNIST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// Synthetic MNIST stand-in (see DESIGN.md): ten 8x8 class prototypes
+/// plus Gaussian pixel noise. The join experiments only need a 10-class
+/// task where digit-1 images can be systematically mislabeled 7 and
+/// where join predicates over predictions are ambiguous.
+struct MnistConfig {
+  size_t train_size = 1500;
+  size_t query_size = 800;
+  int image_side = 8;
+  double pixel_noise = 0.55;
+  uint64_t seed = 17;
+};
+
+struct MnistData {
+  Dataset train;  // labels 0..9
+  Dataset query;  // ground-truth labels (harness only)
+  MnistConfig config;
+};
+
+MnistData MakeMnist(const MnistConfig& config = MnistConfig());
+
+/// A subset of the querying set restricted to the given true digits,
+/// materialized as a relation (id INT64, truth INT64) plus the aligned
+/// feature dataset for predict(). `source_rows` maps subset row -> row in
+/// the full querying set.
+struct MnistSubset {
+  Table table;
+  Dataset features;
+  std::vector<size_t> source_rows;
+};
+
+/// Selects up to `max_per_digit` query rows per digit in `digits`
+/// (0 = unlimited). Use `skip` to carve disjoint subsets from the same
+/// pool (rows already taken by another subset).
+MnistSubset SelectByTrueDigit(const MnistData& data, const std::vector<int>& digits,
+                              size_t max_per_digit = 0,
+                              const std::vector<size_t>& skip = {});
+
+/// Moves a random `mix_rate` fraction of the rows with true digit
+/// `digit` from `from` to `to` (the Section 6.3 mix-rate manipulation).
+/// Both subsets are rebuilt; returns the number of rows moved.
+size_t MixSubsets(MnistSubset* from, MnistSubset* to, const MnistData& data,
+                  int digit, double mix_rate, Rng* rng);
+
+}  // namespace rain
+
+#endif  // RAIN_DATA_MNIST_H_

@@ -1,0 +1,541 @@
+#include "ilp/solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rain {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+bool IsInt(double v) { return std::fabs(v - std::llround(v)) < kEps; }
+
+// ---------------------------------------------------------------------------
+// Decomposition fast path: remove one coupling constraint, enumerate the
+// resulting independent components, and run a DP over their contributions.
+// ---------------------------------------------------------------------------
+
+struct ComponentChoice {
+  // One feasible assignment of the component's variables.
+  std::vector<uint8_t> assignment;
+};
+
+struct ContributionEntry {
+  double min_cost = std::numeric_limits<double>::infinity();
+  // Reservoir of min-cost assignments for randomized tie-breaking.
+  std::vector<ComponentChoice> reservoir;
+  size_t min_cost_count = 0;
+};
+
+constexpr size_t kMaxComponentVars = 14;
+constexpr size_t kReservoirSize = 4;
+
+bool TryDecomposition(const IlpProblem& problem, const IlpSolveOptions& options,
+                      Rng* rng, IlpSolution* out) {
+  const int k = options.coupling_constraint;
+  if (k < 0 || static_cast<size_t>(k) >= problem.num_constraints()) return false;
+  const LinearConstraint& coupling = problem.constraints()[k];
+  // kGe couplings would need saturating-DP backtracking that can land on
+  // unreachable predecessor cells; Rain only emits kEq/kLe couplings.
+  if (coupling.sense == ConstraintSense::kGe) return false;
+  if (!IsInt(coupling.rhs) || coupling.rhs < 0) return false;
+  for (const LinearTerm& t : coupling.terms) {
+    if (t.coef < 0 || !IsInt(t.coef)) return false;
+  }
+  const int64_t target = std::llround(coupling.rhs);
+
+  // Union-find over variables connected by non-coupling constraints.
+  const size_t n = problem.num_vars();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t ci = 0; ci < problem.num_constraints(); ++ci) {
+    if (static_cast<int>(ci) == k) continue;
+    const auto& terms = problem.constraints()[ci].terms;
+    for (size_t i = 1; i < terms.size(); ++i) {
+      parent[find(terms[i - 1].var)] = find(terms[i].var);
+    }
+  }
+  std::unordered_map<int, std::vector<int>> comp_vars;
+  for (size_t v = 0; v < n; ++v) comp_vars[find(static_cast<int>(v))].push_back(v);
+
+  // Constraints per component (each non-coupling constraint lives fully
+  // inside one component by construction).
+  std::unordered_map<int, std::vector<int>> comp_cons;
+  for (size_t ci = 0; ci < problem.num_constraints(); ++ci) {
+    if (static_cast<int>(ci) == k) continue;
+    const auto& terms = problem.constraints()[ci].terms;
+    if (terms.empty()) continue;
+    comp_cons[find(terms[0].var)].push_back(static_cast<int>(ci));
+  }
+  std::vector<double> coupling_coef(n, 0.0);
+  for (const LinearTerm& t : coupling.terms) coupling_coef[t.var] = t.coef;
+
+  // Enumerate each component.
+  struct CompTable {
+    std::vector<int> vars;
+    // contribution value -> entry
+    std::unordered_map<int64_t, ContributionEntry> by_contrib;
+  };
+  std::vector<CompTable> tables;
+  int64_t max_total_contrib = 0;
+  for (auto& [root, vars] : comp_vars) {
+    if (vars.size() > kMaxComponentVars) return false;
+    CompTable table;
+    table.vars = vars;
+    const auto& cons = comp_cons[root];
+    const size_t m = vars.size();
+    std::vector<uint8_t> assign(m);
+    for (uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+      for (size_t i = 0; i < m; ++i) assign[i] = (mask >> i) & 1;
+      // Check component constraints.
+      bool ok = true;
+      for (int ci : cons) {
+        const LinearConstraint& c = problem.constraints()[ci];
+        double act = 0.0;
+        for (const LinearTerm& t : c.terms) {
+          // Position of t.var within vars (components are small; linear scan).
+          for (size_t i = 0; i < m; ++i) {
+            if (table.vars[i] == t.var) {
+              if (assign[i]) act += t.coef;
+              break;
+            }
+          }
+        }
+        if (c.sense == ConstraintSense::kLe && act > c.rhs + kEps) ok = false;
+        if (c.sense == ConstraintSense::kGe && act < c.rhs - kEps) ok = false;
+        if (c.sense == ConstraintSense::kEq && std::fabs(act - c.rhs) > kEps) ok = false;
+        if (!ok) break;
+      }
+      if (!ok) continue;
+      double cost = 0.0;
+      double contrib = 0.0;
+      for (size_t i = 0; i < m; ++i) {
+        if (!assign[i]) continue;
+        cost += problem.objective_coef(table.vars[i]);
+        contrib += coupling_coef[table.vars[i]];
+      }
+      if (!IsInt(contrib)) return false;
+      const int64_t ic = std::llround(contrib);
+      ContributionEntry& entry = table.by_contrib[ic];
+      if (cost < entry.min_cost - kEps) {
+        entry.min_cost = cost;
+        entry.reservoir.clear();
+        entry.min_cost_count = 0;
+      }
+      if (cost < entry.min_cost + kEps) {
+        ++entry.min_cost_count;
+        if (entry.reservoir.size() < kReservoirSize) {
+          entry.reservoir.push_back(ComponentChoice{assign});
+        } else if (rng != nullptr &&
+                   rng->UniformInt(entry.min_cost_count) < kReservoirSize) {
+          entry.reservoir[rng->UniformInt(kReservoirSize)] = ComponentChoice{assign};
+        }
+      }
+    }
+    if (table.by_contrib.empty()) {
+      // Component infeasible on its own: whole problem infeasible.
+      out->feasible = false;
+      out->optimal = true;
+      out->used_decomposition = true;
+      return true;
+    }
+    int64_t best_c = 0;
+    for (const auto& [c, e] : table.by_contrib) best_c = std::max(best_c, c);
+    max_total_contrib += best_c;
+    tables.push_back(std::move(table));
+  }
+
+  // DP over contribution totals in [0, cap].
+  const int64_t cap = coupling.sense == ConstraintSense::kLe
+                          ? target
+                          : std::min<int64_t>(target, max_total_contrib);
+  if (cap < 0) return false;
+  const size_t width = static_cast<size_t>(cap) + 1;
+  if (tables.size() * width > 80'000'000 / sizeof(float)) return false;  // memory cap
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[t]: min cost to reach contribution total t after processing i comps.
+  std::vector<double> dp(width, kInf);
+  std::vector<double> next(width, kInf);
+  // choice[i][t]: contribution chosen by component i to reach t.
+  std::vector<std::vector<int32_t>> choice(tables.size(),
+                                           std::vector<int32_t>(width, -1));
+  // Randomize component order to randomize tie-breaking.
+  std::vector<size_t> order(tables.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (options.randomize && rng != nullptr) rng->Shuffle(&order);
+
+  dp[0] = 0.0;
+  for (size_t oi = 0; oi < order.size(); ++oi) {
+    const CompTable& table = tables[order[oi]];
+    std::fill(next.begin(), next.end(), kInf);
+    auto& ch = choice[oi];
+    // Iterate contributions in randomized order so equal-cost predecessor
+    // choices are broken randomly.
+    std::vector<std::pair<int64_t, const ContributionEntry*>> entries;
+    entries.reserve(table.by_contrib.size());
+    for (const auto& [c, e] : table.by_contrib) entries.emplace_back(c, &e);
+    if (options.randomize && rng != nullptr) {
+      for (size_t i = entries.size(); i > 1; --i) {
+        std::swap(entries[i - 1], entries[rng->UniformInt(i)]);
+      }
+    }
+    for (size_t t = 0; t < width; ++t) {
+      if (dp[t] == kInf) continue;
+      for (const auto& [c, e] : entries) {
+        // Saturating for >= (any surplus above cap counts as cap).
+        int64_t nt = static_cast<int64_t>(t) + c;
+        if (coupling.sense == ConstraintSense::kGe) nt = std::min(nt, cap);
+        if (nt >= static_cast<int64_t>(width)) continue;
+        const double cost = dp[t] + e->min_cost;
+        if (cost < next[nt] - kEps ||
+            (cost < next[nt] + kEps && options.randomize && rng != nullptr &&
+             rng->Bernoulli(0.5))) {
+          if (cost < next[nt] + kEps) {
+            next[nt] = std::min(next[nt], cost);
+            ch[nt] = static_cast<int32_t>(c);
+          }
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Final target cell.
+  int64_t final_t = -1;
+  double best_cost = kInf;
+  if (coupling.sense == ConstraintSense::kEq) {
+    if (target < static_cast<int64_t>(width) && dp[target] < kInf) {
+      final_t = target;
+      best_cost = dp[target];
+    }
+  } else if (coupling.sense == ConstraintSense::kLe) {
+    for (int64_t t = 0; t <= cap; ++t) {
+      if (dp[t] < best_cost - kEps) {
+        best_cost = dp[t];
+        final_t = t;
+      }
+    }
+  } else {  // kGe: saturated at cap
+    if (dp[cap] < kInf) {
+      final_t = cap;
+      best_cost = dp[cap];
+    }
+  }
+  out->used_decomposition = true;
+  if (final_t < 0) {
+    out->feasible = false;
+    out->optimal = true;
+    return true;
+  }
+
+  // Backtrack: recompute DP forward is complex; instead replay using
+  // stored choices.
+  out->values.assign(n, 0);
+  int64_t t = final_t;
+  for (size_t oi = order.size(); oi-- > 0;) {
+    const CompTable& table = tables[order[oi]];
+    const int32_t c = choice[oi][t];
+    RAIN_CHECK(c >= 0) << "DP backtrack inconsistency";
+    const ContributionEntry& e = table.by_contrib.at(c);
+    const ComponentChoice& pick =
+        e.reservoir[rng != nullptr && e.reservoir.size() > 1
+                        ? rng->UniformInt(e.reservoir.size())
+                        : 0];
+    for (size_t i = 0; i < table.vars.size(); ++i) {
+      out->values[table.vars[i]] = pick.assignment[i];
+    }
+    if (coupling.sense == ConstraintSense::kGe && t == cap) {
+      // Saturation: contribution may exceed the step; recompute exactly.
+      int64_t contrib = 0;
+      for (size_t i = 0; i < table.vars.size(); ++i) {
+        if (pick.assignment[i]) contrib += std::llround(coupling_coef[table.vars[i]]);
+      }
+      t = std::max<int64_t>(0, t - contrib);
+    } else {
+      t -= c;
+    }
+  }
+  out->objective = problem.ObjectiveValue(out->values);
+  out->feasible = true;
+  out->optimal = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Branch-and-bound with bounds propagation.
+// ---------------------------------------------------------------------------
+
+class BnbSolver {
+ public:
+  BnbSolver(const IlpProblem& problem, const IlpSolveOptions& options)
+      : p_(problem), opt_(options), rng_(options.seed) {
+    const size_t n = p_.num_vars();
+    assign_.assign(n, -1);
+    var_cons_.resize(n);
+    for (size_t ci = 0; ci < p_.num_constraints(); ++ci) {
+      for (const LinearTerm& t : p_.constraints()[ci].terms) {
+        var_cons_[t.var].push_back(static_cast<int>(ci));
+      }
+    }
+    min_act_.assign(p_.num_constraints(), 0.0);
+    max_act_.assign(p_.num_constraints(), 0.0);
+    for (size_t ci = 0; ci < p_.num_constraints(); ++ci) {
+      for (const LinearTerm& t : p_.constraints()[ci].terms) {
+        min_act_[ci] += std::min(0.0, t.coef);
+        max_act_[ci] += std::max(0.0, t.coef);
+      }
+    }
+    lb_ = 0.0;
+    for (size_t v = 0; v < n; ++v) lb_ += std::min(0.0, p_.objective_coef(v));
+    branch_order_.resize(n);
+    std::iota(branch_order_.begin(), branch_order_.end(), 0);
+    if (opt_.randomize) rng_.Shuffle(&branch_order_);
+    pos_in_order_.resize(n);
+    for (size_t i = 0; i < n; ++i) pos_in_order_[branch_order_[i]] = i;
+  }
+
+  IlpSolution Solve() {
+    IlpSolution sol;
+    Timer timer;
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      sol.optimal = true;  // infeasible, proven
+      return sol;
+    }
+    // Iterative DFS.
+    struct Frame {
+      int var;
+      int next_value;       // 0,1 index into values[]
+      uint8_t values[2];    // branching value order
+      size_t trail_start;
+    };
+    std::vector<Frame> stack;
+    const size_t root_trail = trail.size();
+
+    auto push_frame = [&]() -> bool {
+      // All assigned? Record solution.
+      const int v = PickBranchVar();
+      if (v < 0) {
+        RecordSolution(&sol);
+        return false;
+      }
+      Frame f;
+      f.var = v;
+      f.next_value = 0;
+      const double c = p_.objective_coef(v);
+      uint8_t first = c > 0 ? 0 : (c < 0 ? 1 : (opt_.randomize && rng_.Bernoulli(0.5)
+                                                    ? 1
+                                                    : 0));
+      f.values[0] = first;
+      f.values[1] = 1 - first;
+      f.trail_start = trail.size();
+      stack.push_back(f);
+      return true;
+    };
+
+    push_frame();
+    while (!stack.empty()) {
+      if (++sol.nodes_explored % 1024 == 0 &&
+          (timer.ElapsedSeconds() > opt_.time_limit_s ||
+           sol.nodes_explored > opt_.max_nodes)) {
+        sol.timed_out = true;
+        break;
+      }
+      Frame& f = stack.back();
+      // Undo to this frame's baseline before trying the next value.
+      UndoTo(f.trail_start, &trail);
+      if (f.next_value >= 2) {
+        stack.pop_back();
+        continue;
+      }
+      const uint8_t val = f.values[f.next_value++];
+      bool ok = TryAssign(f.var, val, &trail);
+      if (ok) ok = Propagate(&trail);
+      if (ok && sol.feasible && lb_ >= sol.objective - kEps) ok = false;  // bound
+      if (!ok) continue;
+      if (!push_frame()) {
+        // Found a (complete) solution; keep searching for better ones.
+        continue;
+      }
+    }
+    UndoTo(root_trail, &trail);
+    if (!sol.timed_out) sol.optimal = true;
+    return sol;
+  }
+
+ private:
+  void RecordSolution(IlpSolution* sol) {
+    const double obj = lb_;  // all vars assigned -> lb_ is exact objective
+    if (!sol->feasible || obj < sol->objective - kEps) {
+      sol->feasible = true;
+      sol->objective = obj;
+      sol->values.resize(p_.num_vars());
+      for (size_t v = 0; v < p_.num_vars(); ++v) sol->values[v] = assign_[v] == 1;
+    }
+  }
+
+  int PickBranchVar() {
+    // Static (optionally shuffled) order, skipping assigned vars. The
+    // cursor is rewound on backtracking (see UndoTo), so the scan stays
+    // amortized O(1) per node.
+    while (order_cursor_ < branch_order_.size() &&
+           assign_[branch_order_[order_cursor_]] != -1) {
+      ++order_cursor_;
+    }
+    if (order_cursor_ < branch_order_.size()) return branch_order_[order_cursor_];
+    return -1;
+  }
+
+  bool TryAssign(int var, uint8_t val, std::vector<int>* trail) {
+    if (assign_[var] != -1) return assign_[var] == val;
+    assign_[var] = static_cast<int8_t>(val);
+    trail->push_back(var);
+    const double c_obj = p_.objective_coef(var);
+    lb_ += c_obj * val - std::min(0.0, c_obj);
+    for (int ci : var_cons_[var]) {
+      double coef = 0.0;
+      for (const LinearTerm& t : p_.constraints()[ci].terms) {
+        if (t.var == var) {
+          coef = t.coef;
+          break;
+        }
+      }
+      min_act_[ci] += coef * val - std::min(0.0, coef);
+      max_act_[ci] += coef * val - std::max(0.0, coef);
+      queue_.push_back(ci);
+    }
+    return true;
+  }
+
+  void UndoTo(size_t mark, std::vector<int>* trail) {
+    while (trail->size() > mark) {
+      const int var = trail->back();
+      trail->pop_back();
+      const uint8_t val = static_cast<uint8_t>(assign_[var]);
+      assign_[var] = -1;
+      const double c_obj = p_.objective_coef(var);
+      lb_ -= c_obj * val - std::min(0.0, c_obj);
+      for (int ci : var_cons_[var]) {
+        double coef = 0.0;
+        for (const LinearTerm& t : p_.constraints()[ci].terms) {
+          if (t.var == var) {
+            coef = t.coef;
+            break;
+          }
+        }
+        min_act_[ci] -= coef * val - std::min(0.0, coef);
+        max_act_[ci] -= coef * val - std::max(0.0, coef);
+      }
+      // Rewind the branch cursor so this var is branchable again.
+      order_cursor_ = std::min(order_cursor_, pos_in_order_[var]);
+    }
+    queue_.clear();
+  }
+
+  bool Propagate(std::vector<int>* trail) {
+    if (queue_.empty()) {
+      for (size_t ci = 0; ci < p_.num_constraints(); ++ci) {
+        queue_.push_back(static_cast<int>(ci));
+      }
+    }
+    while (!queue_.empty()) {
+      const int ci = queue_.back();
+      queue_.pop_back();
+      const LinearConstraint& c = p_.constraints()[ci];
+      const bool need_le = c.sense != ConstraintSense::kGe;  // Le or Eq
+      const bool need_ge = c.sense != ConstraintSense::kLe;  // Ge or Eq
+      if (need_le && min_act_[ci] > c.rhs + kEps) return false;
+      if (need_ge && max_act_[ci] < c.rhs - kEps) return false;
+      for (const LinearTerm& t : c.terms) {
+        if (assign_[t.var] != -1) continue;
+        if (need_le) {
+          if (t.coef > 0 && min_act_[ci] + t.coef > c.rhs + kEps) {
+            if (!TryAssign(t.var, 0, trail)) return false;
+            continue;
+          }
+          if (t.coef < 0 && min_act_[ci] - t.coef > c.rhs + kEps) {
+            if (!TryAssign(t.var, 1, trail)) return false;
+            continue;
+          }
+        }
+        if (need_ge && assign_[t.var] == -1) {
+          if (t.coef > 0 && max_act_[ci] - t.coef < c.rhs - kEps) {
+            if (!TryAssign(t.var, 1, trail)) return false;
+            continue;
+          }
+          if (t.coef < 0 && max_act_[ci] + t.coef < c.rhs - kEps) {
+            if (!TryAssign(t.var, 0, trail)) return false;
+            continue;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  const IlpProblem& p_;
+  const IlpSolveOptions& opt_;
+  Rng rng_;
+  std::vector<int8_t> assign_;
+  std::vector<std::vector<int>> var_cons_;
+  std::vector<double> min_act_, max_act_;
+  std::vector<int> queue_;
+  std::vector<int> branch_order_;
+  std::vector<size_t> pos_in_order_;
+  size_t order_cursor_ = 0;
+  double lb_ = 0.0;
+};
+
+}  // namespace
+
+Result<IlpSolution> SolveIlp(const IlpProblem& raw_problem,
+                             const IlpSolveOptions& options) {
+  if (raw_problem.num_vars() == 0) {
+    IlpSolution sol;
+    sol.optimal = true;
+    // Constant constraints may still be violated.
+    sol.feasible = raw_problem.IsFeasible({});
+    if (!sol.feasible) return Status::ResourceExhausted("ILP infeasible (constant)");
+    return sol;
+  }
+
+  // Activity bookkeeping and the decomposition coupling-coefficient map
+  // assume each variable appears once per constraint.
+  const IlpProblem problem = raw_problem.Canonicalized();
+
+  Rng rng(options.seed);
+  IlpSolution sol;
+  if (TryDecomposition(problem, options, &rng, &sol)) {
+    if (!sol.feasible) {
+      return Status::ResourceExhausted("ILP infeasible (decomposition proof)");
+    }
+    return sol;
+  }
+
+  BnbSolver bnb(problem, options);
+  sol = bnb.Solve();
+  if (!sol.feasible) {
+    return Status::ResourceExhausted(
+        sol.timed_out ? "ILP budget exhausted with no feasible solution"
+                      : "ILP infeasible");
+  }
+  return sol;
+}
+
+}  // namespace rain

@@ -1,0 +1,324 @@
+#include "ilp/tiresias.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+namespace {
+
+constexpr double kEps = 1e-6;
+
+/// Affine expression over ILP variables: sum coef*var + constant.
+struct Aff {
+  std::vector<LinearTerm> terms;
+  double constant = 0.0;
+  /// Provably 0/1-valued (single binary var, Tseitin auxiliary, 0/1 const).
+  bool is_binary = false;
+
+  bool IsConstant() const { return terms.empty(); }
+};
+
+class Encoder {
+ public:
+  Encoder(PolyArena* arena, const PredictionStore& predictions,
+          TiresiasEncoding* out)
+      : arena_(arena), preds_(predictions), out_(out) {}
+
+  Status Run(const std::vector<IlpComplaint>& complaints) {
+    // Pass 1: collect queried rows reachable from any complaint poly and
+    // create per-class prediction variables with one-hot constraints.
+    std::map<std::pair<int32_t, int64_t>, size_t> row_index;
+    for (const IlpComplaint& c : complaints) {
+      if (c.poly == kInvalidPoly) {
+        return Status::InvalidArgument("complaint has no provenance polynomial");
+      }
+      for (VarId v : arena_->ReachableVars(c.poly)) {
+        const PredVar& pv = arena_->var(v);
+        row_index.emplace(std::make_pair(pv.table_id, pv.row), row_index.size());
+      }
+    }
+    out_->rows.resize(row_index.size());
+    for (const auto& [key, idx] : row_index) {
+      TiresiasEncoding::RowVars rv;
+      rv.table_id = key.first;
+      rv.row = key.second;
+      rv.current_class = preds_.PredictedClass(key.first, key.second);
+      const int num_classes = preds_.NumClasses(key.first);
+      std::vector<int> one_hot;
+      for (int c = 0; c < num_classes; ++c) {
+        const double cost = c == rv.current_class ? 0.0 : 1.0;
+        const int var = out_->problem.AddVar(
+            cost, StrFormat("t[%d,%lld]=%d", key.first,
+                            static_cast<long long>(key.second), c));
+        rv.class_vars.push_back(var);
+        one_hot.push_back(var);
+        // Remember the mapping for arena variables of this (row, class).
+        const VarId av = arena_->GetOrCreateVar(PredVar{key.first, key.second, c});
+        if (static_cast<size_t>(av) >= out_->ilp_var_of.size()) {
+          out_->ilp_var_of.resize(av + 1, -1);
+        }
+        out_->ilp_var_of[av] = var;
+      }
+      out_->problem.AddCardinality(one_hot, ConstraintSense::kEq, 1.0);
+      out_->rows[idx] = std::move(rv);
+    }
+
+    // Pass 2: lower each complaint polynomial to a linear constraint.
+    for (const IlpComplaint& c : complaints) {
+      RAIN_ASSIGN_OR_RETURN(Aff e, Encode(c.poly));
+      LinearConstraint lc;
+      lc.terms = e.terms;
+      lc.sense = c.sense;
+      lc.rhs = c.rhs - e.constant;
+      NormalizeIntegral(&lc);
+      out_->problem.AddConstraint(std::move(lc));
+      const int ci = static_cast<int>(out_->problem.num_constraints() - 1);
+      // Coupling hint: a single kEq/kLe complaint constraint.
+      out_->coupling_constraint =
+          complaints.size() == 1 && c.sense != ConstraintSense::kGe ? ci : -1;
+    }
+    return Status::OK();
+  }
+
+ private:
+  /// If all coefficients share a common scale that makes them integral,
+  /// rescale and round the RHS (counts stay exact; AVG complaints with
+  /// 1/n coefficients become integral cardinalities, with the fractional
+  /// target rounded to the nearest achievable integer).
+  void NormalizeIntegral(LinearConstraint* c) const {
+    if (c->terms.empty()) return;
+    double smallest = 0.0;
+    for (const LinearTerm& t : c->terms) {
+      const double a = std::fabs(t.coef);
+      if (a > kEps && (smallest == 0.0 || a < smallest)) smallest = a;
+    }
+    if (smallest <= kEps) return;
+    const double scale = 1.0 / smallest;
+    for (const LinearTerm& t : c->terms) {
+      const double scaled = t.coef * scale;
+      if (std::fabs(scaled - std::llround(scaled)) > kEps) return;  // not integral
+    }
+    for (LinearTerm& t : c->terms) {
+      t.coef = static_cast<double>(std::llround(t.coef * scale));
+    }
+    c->rhs = c->sense == ConstraintSense::kEq
+                 ? static_cast<double>(std::llround(c->rhs * scale))
+                 : c->rhs * scale;
+  }
+
+  /// Fresh Tseitin auxiliary (objective 0).
+  Aff NewAux(const char* tag) {
+    Aff a;
+    a.terms.push_back(LinearTerm{out_->problem.AddVar(0.0, tag), 1.0});
+    a.is_binary = true;
+    return a;
+  }
+
+  /// z <= e  i.e.  z - e <= 0.
+  void AddLe(const Aff& z, const Aff& e) {
+    LinearConstraint c;
+    c.terms = z.terms;
+    for (const LinearTerm& t : e.terms) c.terms.push_back(LinearTerm{t.var, -t.coef});
+    c.sense = ConstraintSense::kLe;
+    c.rhs = e.constant - z.constant;
+    out_->problem.AddConstraint(std::move(c));
+  }
+
+  Result<Aff> Encode(PolyId id) {
+    auto it = memo_.find(id);
+    if (it != memo_.end()) return it->second;
+    RAIN_ASSIGN_OR_RETURN(Aff a, EncodeUncached(id));
+    memo_.emplace(id, a);
+    return a;
+  }
+
+  Result<Aff> EncodeUncached(PolyId id) {
+    const PolyNode& n = arena_->node(id);
+    switch (n.op) {
+      case PolyOp::kConst: {
+        Aff a;
+        a.constant = n.value;
+        a.is_binary = n.value == 0.0 || n.value == 1.0;
+        return a;
+      }
+      case PolyOp::kVar: {
+        const VarId v = n.var;
+        RAIN_CHECK(static_cast<size_t>(v) < out_->ilp_var_of.size() &&
+                   out_->ilp_var_of[v] >= 0)
+            << "prediction variable missing from encoding";
+        Aff a;
+        a.terms.push_back(LinearTerm{out_->ilp_var_of[v], 1.0});
+        a.is_binary = true;
+        return a;
+      }
+      case PolyOp::kNot: {
+        RAIN_ASSIGN_OR_RETURN(Aff c, Encode(n.children[0]));
+        if (!c.is_binary) {
+          return Status::Unimplemented("NOT of a non-boolean ILP expression");
+        }
+        Aff a;
+        a.constant = 1.0 - c.constant;
+        for (const LinearTerm& t : c.terms) {
+          a.terms.push_back(LinearTerm{t.var, -t.coef});
+        }
+        a.is_binary = true;
+        return a;
+      }
+      case PolyOp::kAnd:
+        return EncodeAndOr(n, /*is_and=*/true);
+      case PolyOp::kOr:
+        return EncodeAndOr(n, /*is_and=*/false);
+      case PolyOp::kAdd: {
+        Aff a;
+        for (PolyId cid : n.children) {
+          RAIN_ASSIGN_OR_RETURN(Aff c, Encode(cid));
+          a.constant += c.constant;
+          for (const LinearTerm& t : c.terms) a.terms.push_back(t);
+        }
+        a.is_binary = false;
+        return a;
+      }
+      case PolyOp::kMul: {
+        // Split children into constants and boolean factors.
+        double scale = 1.0;
+        std::vector<Aff> factors;
+        for (PolyId cid : n.children) {
+          RAIN_ASSIGN_OR_RETURN(Aff c, Encode(cid));
+          if (c.IsConstant()) {
+            scale *= c.constant;
+          } else {
+            factors.push_back(std::move(c));
+          }
+        }
+        if (factors.empty()) {
+          Aff a;
+          a.constant = scale;
+          a.is_binary = scale == 0.0 || scale == 1.0;
+          return a;
+        }
+        Aff product;
+        if (factors.size() == 1) {
+          product = factors[0];
+        } else {
+          for (const Aff& f : factors) {
+            if (!f.is_binary) {
+              return Status::Unimplemented(
+                  "product of non-boolean ILP expressions (see Appendix B)");
+            }
+          }
+          product = TseitinAnd(factors);
+        }
+        if (scale != 1.0) {
+          product.constant *= scale;
+          for (LinearTerm& t : product.terms) t.coef *= scale;
+          product.is_binary = false;
+        }
+        return product;
+      }
+      case PolyOp::kDiv: {
+        RAIN_ASSIGN_OR_RETURN(Aff num, Encode(n.children[0]));
+        RAIN_ASSIGN_OR_RETURN(Aff den, Encode(n.children[1]));
+        if (!den.IsConstant() || std::fabs(den.constant) < kEps) {
+          return Status::Unimplemented(
+              "ratio with a model-dependent denominator cannot be encoded as an "
+              "ILP (AVG over a model-filtered group); use Holistic");
+        }
+        num.constant /= den.constant;
+        for (LinearTerm& t : num.terms) t.coef /= den.constant;
+        num.is_binary = false;
+        return num;
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  Aff TseitinAnd(const std::vector<Aff>& factors) {
+    Aff z = NewAux("and");
+    // z <= e_i for all i; z >= sum e_i - (n-1).
+    for (const Aff& f : factors) AddLe(z, f);
+    LinearConstraint lower;  // sum e_i - z <= n-1
+    lower.sense = ConstraintSense::kLe;
+    lower.rhs = static_cast<double>(factors.size()) - 1.0;
+    for (const Aff& f : factors) {
+      for (const LinearTerm& t : f.terms) lower.terms.push_back(t);
+      lower.rhs -= f.constant;
+    }
+    lower.terms.push_back(LinearTerm{z.terms[0].var, -1.0});
+    out_->problem.AddConstraint(std::move(lower));
+    return z;
+  }
+
+  Result<Aff> EncodeAndOr(const PolyNode& n, bool is_and) {
+    std::vector<Aff> children;
+    children.reserve(n.children.size());
+    for (PolyId cid : n.children) {
+      RAIN_ASSIGN_OR_RETURN(Aff c, Encode(cid));
+      if (!c.is_binary) {
+        return Status::Unimplemented("AND/OR over non-boolean ILP expressions");
+      }
+      children.push_back(std::move(c));
+    }
+    if (children.size() == 1) return children[0];
+    if (is_and) return TseitinAnd(children);
+    // OR: z >= e_i (e_i - z <= 0); z <= sum e_i.
+    Aff z = NewAux("or");
+    for (const Aff& f : children) AddLe(f, z);
+    LinearConstraint upper;  // z - sum e_i <= 0
+    upper.sense = ConstraintSense::kLe;
+    upper.rhs = 0.0;
+    upper.terms.push_back(LinearTerm{z.terms[0].var, 1.0});
+    for (const Aff& f : children) {
+      for (const LinearTerm& t : f.terms) {
+        upper.terms.push_back(LinearTerm{t.var, -t.coef});
+      }
+      upper.rhs += f.constant;
+    }
+    out_->problem.AddConstraint(std::move(upper));
+    return z;
+  }
+
+  PolyArena* arena_;
+  const PredictionStore& preds_;
+  TiresiasEncoding* out_;
+  std::unordered_map<PolyId, Aff> memo_;
+};
+
+}  // namespace
+
+Result<TiresiasEncoding> EncodeTiresias(PolyArena* arena,
+                                        const PredictionStore& predictions,
+                                        const std::vector<IlpComplaint>& complaints) {
+  if (complaints.empty()) {
+    return Status::InvalidArgument("no complaints to encode");
+  }
+  TiresiasEncoding enc;
+  Encoder encoder(arena, predictions, &enc);
+  RAIN_RETURN_NOT_OK(encoder.Run(complaints));
+  return enc;
+}
+
+std::vector<MarkedPrediction> DecodeMarkedPredictions(const TiresiasEncoding& enc,
+                                                      const IlpSolution& solution) {
+  std::vector<MarkedPrediction> marked;
+  for (const auto& rv : enc.rows) {
+    int assigned = -1;
+    for (size_t c = 0; c < rv.class_vars.size(); ++c) {
+      const int var = rv.class_vars[c];
+      if (var >= 0 && static_cast<size_t>(var) < solution.values.size() &&
+          solution.values[var]) {
+        assigned = static_cast<int>(c);
+        break;
+      }
+    }
+    if (assigned >= 0 && assigned != rv.current_class) {
+      marked.push_back(MarkedPrediction{rv.table_id, rv.row, assigned});
+    }
+  }
+  return marked;
+}
+
+}  // namespace rain

@@ -1,0 +1,73 @@
+#ifndef RAIN_ILP_TIRESIAS_H_
+#define RAIN_ILP_TIRESIAS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ilp/problem.h"
+#include "ilp/solver.h"
+#include "provenance/poly.h"
+#include "provenance/prediction_store.h"
+
+namespace rain {
+
+/// A complaint lowered to "provenance polynomial (sense) rhs":
+///  * value complaint t[a] = X  ->  {poly of t[a], kEq, X}
+///  * tuple complaint (t should not exist)  ->  {existence poly, kEq, 0}.
+struct IlpComplaint {
+  PolyId poly = kInvalidPoly;
+  ConstraintSense sense = ConstraintSense::kEq;
+  double rhs = 0.0;
+};
+
+/// \brief Tiresias-style ILP encoding of complaints (Section 5.2).
+///
+/// Prediction variables: for every queried row reachable from any
+/// complaint polynomial, one binary ILP variable per class with a one-hot
+/// constraint; the variable matching the current prediction has objective
+/// coefficient 0, every other class costs 1 (minimize prediction flips,
+/// Equation 5). Polynomial structure is lowered with Tseitin-style
+/// linearizations (AND/OR/NOT auxiliaries), sums as affine expressions,
+/// and constant-denominator ratios by scaling.
+struct TiresiasEncoding {
+  IlpProblem problem;
+
+  struct RowVars {
+    int32_t table_id = -1;
+    int64_t row = -1;
+    int current_class = -1;       // argmax under the current model
+    std::vector<int> class_vars;  // ILP var per class
+  };
+  std::vector<RowVars> rows;
+
+  /// arena VarId -> ILP var (-1 when the class var was not created).
+  std::vector<int> ilp_var_of;
+
+  /// Hint for the decomposition fast path: index of the (single)
+  /// complaint constraint, or -1.
+  int coupling_constraint = -1;
+};
+
+/// Builds the encoding. `arena` is mutated only through GetOrCreateVar
+/// (class variables that the polynomials never mention still need ILP
+/// variables for the one-hot constraints).
+Result<TiresiasEncoding> EncodeTiresias(PolyArena* arena,
+                                        const PredictionStore& predictions,
+                                        const std::vector<IlpComplaint>& complaints);
+
+/// A queried row whose prediction the ILP solution changed, with the
+/// "corrected" class the solver assigned (the t_i of Section 5.2).
+struct MarkedPrediction {
+  int32_t table_id = -1;
+  int64_t row = -1;
+  int assigned_class = -1;
+};
+
+/// Extracts the rows whose assigned class differs from the current
+/// prediction (the mispredictions TwoStep feeds to influence analysis).
+std::vector<MarkedPrediction> DecodeMarkedPredictions(const TiresiasEncoding& enc,
+                                                      const IlpSolution& solution);
+
+}  // namespace rain
+
+#endif  // RAIN_ILP_TIRESIAS_H_

@@ -1,0 +1,60 @@
+#include "influence/influence.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
+                                 InfluenceOptions options)
+    : model_(model), train_(train), options_(options) {
+  RAIN_CHECK(model_ != nullptr && train_ != nullptr);
+}
+
+void InfluenceScorer::Hvp(const Vec& v, Vec* out) const {
+  model_->HessianVectorProduct(*train_, v, options_.l2, out);
+  if (options_.damping != 0.0) vec::Axpy(options_.damping, v, out);
+}
+
+Status InfluenceScorer::Prepare(const Vec& q_grad) {
+  if (q_grad.size() != model_->num_params()) {
+    return Status::InvalidArgument("q gradient size does not match model parameters");
+  }
+  LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
+  RAIN_ASSIGN_OR_RETURN(CgReport report, ConjugateGradient(op, q_grad, options_.cg));
+  s_ = std::move(report.x);
+  cg_iterations_ = report.iterations;
+  prepared_ = true;
+  return Status::OK();
+}
+
+double InfluenceScorer::Score(size_t i) const {
+  RAIN_CHECK(prepared_) << "Prepare() must be called first";
+  if (i >= train_->size() || !train_->active(i)) return 0.0;
+  Vec grad(model_->num_params(), 0.0);
+  model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+  return -vec::Dot(s_, grad);
+}
+
+std::vector<double> InfluenceScorer::ScoreAll() const {
+  std::vector<double> scores(train_->size(), 0.0);
+  for (size_t i = 0; i < train_->size(); ++i) {
+    if (train_->active(i)) scores[i] = Score(i);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
+  LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
+  std::vector<double> scores(train_->size(), 0.0);
+  Vec grad(model_->num_params(), 0.0);
+  for (size_t i = 0; i < train_->size(); ++i) {
+    if (!train_->active(i)) continue;
+    grad.assign(model_->num_params(), 0.0);
+    model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+    RAIN_ASSIGN_OR_RETURN(CgReport report, ConjugateGradient(op, grad, options_.cg));
+    scores[i] = -vec::Dot(grad, report.x);
+  }
+  return scores;
+}
+
+}  // namespace rain

@@ -1,0 +1,47 @@
+#include "ml/dataset.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+Dataset::Dataset(Matrix features, std::vector<int> labels, int num_classes)
+    : features_(std::move(features)),
+      labels_(std::move(labels)),
+      active_(labels_.size(), 1),
+      num_active_(labels_.size()),
+      num_classes_(num_classes) {
+  RAIN_CHECK(features_.rows() == labels_.size()) << "feature/label row mismatch";
+  RAIN_CHECK(num_classes_ >= 2) << "need at least two classes";
+  for (int y : labels_) {
+    RAIN_CHECK(y >= 0 && y < num_classes_) << "label out of range: " << y;
+  }
+}
+
+void Dataset::set_label(size_t i, int y) {
+  RAIN_CHECK(i < labels_.size() && y >= 0 && y < num_classes_);
+  labels_[i] = y;
+}
+
+void Dataset::Deactivate(size_t i) {
+  RAIN_CHECK(i < active_.size());
+  if (active_[i]) {
+    active_[i] = 0;
+    --num_active_;
+  }
+}
+
+void Dataset::ReactivateAll() {
+  for (auto& a : active_) a = 1;
+  num_active_ = active_.size();
+}
+
+std::vector<size_t> Dataset::ActiveIndices() const {
+  std::vector<size_t> out;
+  out.reserve(num_active_);
+  for (size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rain

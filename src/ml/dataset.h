@@ -1,0 +1,54 @@
+#ifndef RAIN_ML_DATASET_H_
+#define RAIN_ML_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace rain {
+
+/// \brief A labeled training or querying set with deletion support.
+///
+/// Rows are never physically removed: the Rain debugger "deletes" training
+/// records by deactivating them, which keeps row ids stable across
+/// train-rank-fix iterations (deleted ids are exactly the debugger output).
+class Dataset {
+ public:
+  Dataset() = default;
+  /// Takes ownership of the feature matrix (n x d) and labels (n values in
+  /// [0, num_classes)).
+  Dataset(Matrix features, std::vector<int> labels, int num_classes);
+
+  size_t size() const { return labels_.size(); }
+  size_t num_features() const { return features_.cols(); }
+  int num_classes() const { return num_classes_; }
+
+  const Matrix& features() const { return features_; }
+  const double* row(size_t i) const { return features_.Row(i); }
+
+  int label(size_t i) const { return labels_[i]; }
+  /// Overwrites a label (used by corruption injectors).
+  void set_label(size_t i, int y);
+  const std::vector<int>& labels() const { return labels_; }
+
+  bool active(size_t i) const { return active_[i] != 0; }
+  /// Marks record i as deleted; idempotent.
+  void Deactivate(size_t i);
+  /// Re-activates every record (fresh debugging run).
+  void ReactivateAll();
+  size_t num_active() const { return num_active_; }
+  /// Indices of currently active records, ascending.
+  std::vector<size_t> ActiveIndices() const;
+
+ private:
+  Matrix features_;
+  std::vector<int> labels_;
+  std::vector<uint8_t> active_;
+  size_t num_active_ = 0;
+  int num_classes_ = 0;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_ML_DATASET_H_

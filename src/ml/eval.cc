@@ -1,0 +1,28 @@
+#include "ml/eval.h"
+
+namespace rain {
+
+EvalReport Evaluate(const Model& model, const Dataset& data, int positive_class) {
+  EvalReport report;
+  if (data.size() == 0) return report;
+  size_t correct = 0;
+  size_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    const int pred = model.PredictClass(data.row(i));
+    const int truth = data.label(i);
+    if (pred == truth) ++correct;
+    if (pred == positive_class && truth == positive_class) ++tp;
+    if (pred == positive_class && truth != positive_class) ++fp;
+    if (pred != positive_class && truth == positive_class) ++fn;
+  }
+  report.accuracy = static_cast<double>(correct) / static_cast<double>(data.size());
+  report.precision = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+  report.recall = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+  report.f1 = (report.precision + report.recall) > 0
+                  ? 2.0 * report.precision * report.recall /
+                        (report.precision + report.recall)
+                  : 0.0;
+  return report;
+}
+
+}  // namespace rain

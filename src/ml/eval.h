@@ -1,0 +1,25 @@
+#ifndef RAIN_ML_EVAL_H_
+#define RAIN_ML_EVAL_H_
+
+#include "ml/dataset.h"
+#include "ml/model.h"
+
+namespace rain {
+
+/// Classification quality summary on a querying/holdout set.
+struct EvalReport {
+  double accuracy = 0.0;
+  /// One-vs-rest precision/recall/F1 of `positive_class`.
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Evaluates `model` on every row of `data` (ignores the active mask —
+/// querying sets are never deleted from). `positive_class` selects the
+/// class used for the P/R/F1 columns (paper Figure 4 reports F1).
+EvalReport Evaluate(const Model& model, const Dataset& data, int positive_class = 1);
+
+}  // namespace rain
+
+#endif  // RAIN_ML_EVAL_H_

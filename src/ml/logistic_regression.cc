@@ -1,0 +1,102 @@
+#include "ml/logistic_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rain {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+namespace {
+// Floor probabilities away from 0/1 so -log p stays finite.
+constexpr double kProbEps = 1e-12;
+
+double ClampProb(double p) {
+  if (p < kProbEps) return kProbEps;
+  if (p > 1.0 - kProbEps) return 1.0 - kProbEps;
+  return p;
+}
+}  // namespace
+
+LogisticRegression::LogisticRegression(size_t num_features, bool fit_intercept)
+    : d_(num_features),
+      fit_intercept_(fit_intercept),
+      theta_(num_features + (fit_intercept ? 1 : 0), 0.0) {}
+
+void LogisticRegression::set_params(const Vec& theta) {
+  RAIN_CHECK(theta.size() == theta_.size()) << "param size mismatch";
+  theta_ = theta;
+}
+
+double LogisticRegression::Margin(const double* x) const {
+  double z = fit_intercept_ ? theta_[d_] : 0.0;
+  for (size_t j = 0; j < d_; ++j) z += theta_[j] * x[j];
+  return z;
+}
+
+void LogisticRegression::PredictProba(const double* x, double* probs) const {
+  const double p1 = Sigmoid(Margin(x));
+  probs[0] = 1.0 - p1;
+  probs[1] = p1;
+}
+
+double LogisticRegression::ExampleLoss(const double* x, int y) const {
+  const double p1 = Sigmoid(Margin(x));
+  const double py = ClampProb(y == 1 ? p1 : 1.0 - p1);
+  return -std::log(py);
+}
+
+void LogisticRegression::AddExampleLossGradient(const double* x, int y,
+                                                Vec* grad) const {
+  // d l / d theta = (p1 - y) * [x; 1]
+  const double coef = Sigmoid(Margin(x)) - static_cast<double>(y);
+  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  if (fit_intercept_) (*grad)[d_] += coef;
+}
+
+void LogisticRegression::AddProbaGradient(const double* x, const Vec& class_weights,
+                                          Vec* grad) const {
+  RAIN_CHECK(class_weights.size() == 2) << "binary model expects 2 class weights";
+  // d p1/d theta = p1 (1-p1) [x; 1]; d p0/d theta is its negation.
+  const double p1 = Sigmoid(Margin(x));
+  const double coef = (class_weights[1] - class_weights[0]) * p1 * (1.0 - p1);
+  if (coef == 0.0) return;
+  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  if (fit_intercept_) (*grad)[d_] += coef;
+}
+
+void LogisticRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
+                                              double l2, Vec* out) const {
+  RAIN_CHECK(v.size() == theta_.size()) << "HVP size mismatch";
+  RAIN_CHECK(data.num_active() > 0) << "HVP over empty dataset";
+  out->assign(theta_.size(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data.active(i)) continue;
+    const double* x = data.row(i);
+    const double p1 = Sigmoid(Margin(x));
+    const double s = p1 * (1.0 - p1);
+    // (x~ . v)
+    double xv = fit_intercept_ ? v[d_] : 0.0;
+    for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
+    const double coef = s * xv;
+    for (size_t j = 0; j < d_; ++j) (*out)[j] += coef * x[j];
+    if (fit_intercept_) (*out)[d_] += coef;
+  }
+  const double inv_n = 1.0 / static_cast<double>(data.num_active());
+  for (double& o : *out) o *= inv_n;
+  vec::Axpy(2.0 * l2, v, out);
+}
+
+std::unique_ptr<Model> LogisticRegression::Clone() const {
+  return std::make_unique<LogisticRegression>(*this);
+}
+
+}  // namespace rain

@@ -1,0 +1,51 @@
+#ifndef RAIN_ML_LOGISTIC_REGRESSION_H_
+#define RAIN_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+
+#include "ml/model.h"
+
+namespace rain {
+
+/// \brief Binary logistic regression: p_1(x) = sigmoid(w . x + b).
+///
+/// Parameters are [w_0..w_{d-1}, b] (bias last, omitted when
+/// fit_intercept=false — the theory experiments of Appendices A/C use
+/// bias-free models to preserve feature orthogonality).
+class LogisticRegression : public Model {
+ public:
+  explicit LogisticRegression(size_t num_features, bool fit_intercept = true);
+
+  int num_classes() const override { return 2; }
+  size_t num_features() const override { return d_; }
+  size_t num_params() const override { return theta_.size(); }
+
+  const Vec& params() const override { return theta_; }
+  void set_params(const Vec& theta) override;
+
+  void PredictProba(const double* x, double* probs) const override;
+  double ExampleLoss(const double* x, int y) const override;
+  void AddExampleLossGradient(const double* x, int y, Vec* grad) const override;
+  void AddProbaGradient(const double* x, const Vec& class_weights,
+                        Vec* grad) const override;
+  void HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
+                            Vec* out) const override;
+  std::unique_ptr<Model> Clone() const override;
+
+  bool fit_intercept() const { return fit_intercept_; }
+
+ private:
+  /// w . x + b
+  double Margin(const double* x) const;
+
+  size_t d_;
+  bool fit_intercept_;
+  Vec theta_;
+};
+
+/// Numerically stable sigmoid.
+double Sigmoid(double z);
+
+}  // namespace rain
+
+#endif  // RAIN_ML_LOGISTIC_REGRESSION_H_

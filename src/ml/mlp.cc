@@ -1,0 +1,205 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "ml/softmax_regression.h"
+
+namespace rain {
+
+Mlp::Mlp(size_t num_features, size_t hidden_units, int num_classes, uint64_t seed)
+    : d_(num_features),
+      h_(hidden_units),
+      c_(num_classes),
+      theta_(hidden_units * num_features + hidden_units +
+                 static_cast<size_t>(num_classes) * hidden_units +
+                 static_cast<size_t>(num_classes),
+             0.0) {
+  RAIN_CHECK(num_classes >= 2 && hidden_units > 0);
+  Rng rng(seed);
+  const double s1 = std::sqrt(2.0 / static_cast<double>(d_));
+  for (size_t i = 0; i < h_ * d_; ++i) theta_[OffW1() + i] = rng.Gaussian(0.0, s1);
+  const double s2 = std::sqrt(2.0 / static_cast<double>(h_));
+  for (size_t i = 0; i < static_cast<size_t>(c_) * h_; ++i) {
+    theta_[OffW2() + i] = rng.Gaussian(0.0, s2);
+  }
+}
+
+void Mlp::set_params(const Vec& theta) {
+  RAIN_CHECK(theta.size() == theta_.size()) << "param size mismatch";
+  theta_ = theta;
+}
+
+void Mlp::RunForward(const double* x, Forward* f) const {
+  const double* w1 = theta_.data() + OffW1();
+  const double* b1 = theta_.data() + OffB1();
+  const double* w2 = theta_.data() + OffW2();
+  const double* b2 = theta_.data() + OffB2();
+
+  f->z1.assign(h_, 0.0);
+  f->a1.assign(h_, 0.0);
+  for (size_t i = 0; i < h_; ++i) {
+    double z = b1[i];
+    const double* row = w1 + i * d_;
+    for (size_t j = 0; j < d_; ++j) z += row[j] * x[j];
+    f->z1[i] = z;
+    f->a1[i] = z > 0.0 ? z : 0.0;
+  }
+  f->z2.assign(c_, 0.0);
+  for (int k = 0; k < c_; ++k) {
+    double z = b2[k];
+    const double* row = w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) z += row[i] * f->a1[i];
+    f->z2[k] = z;
+  }
+  f->p = f->z2;
+  SoftmaxInPlace(f->p.data(), c_);
+}
+
+void Mlp::PredictProba(const double* x, double* probs) const {
+  Forward f;
+  RunForward(x, &f);
+  for (int k = 0; k < c_; ++k) probs[k] = f.p[k];
+}
+
+double Mlp::ExampleLoss(const double* x, int y) const {
+  Forward f;
+  RunForward(x, &f);
+  return -std::log(std::max(f.p[y], 1e-12));
+}
+
+void Mlp::Backprop(const double* x, const Forward& f, const Vec& dz2, Vec* grad,
+                   Vec* dz1_out) const {
+  const double* w2 = theta_.data() + OffW2();
+  double* gw1 = grad->data() + OffW1();
+  double* gb1 = grad->data() + OffB1();
+  double* gw2 = grad->data() + OffW2();
+  double* gb2 = grad->data() + OffB2();
+
+  // W2 / b2 grads and da1 = W2^T dz2.
+  Vec da1(h_, 0.0);
+  for (int k = 0; k < c_; ++k) {
+    const double g = dz2[k];
+    gb2[k] += g;
+    double* grow = gw2 + static_cast<size_t>(k) * h_;
+    const double* wrow = w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) {
+      grow[i] += g * f.a1[i];
+      da1[i] += wrow[i] * g;
+    }
+  }
+  // dz1 = da1 * relu'(z1)
+  Vec dz1(h_);
+  for (size_t i = 0; i < h_; ++i) dz1[i] = f.z1[i] > 0.0 ? da1[i] : 0.0;
+  for (size_t i = 0; i < h_; ++i) {
+    const double g = dz1[i];
+    gb1[i] += g;
+    if (g == 0.0) continue;
+    double* grow = gw1 + i * d_;
+    for (size_t j = 0; j < d_; ++j) grow[j] += g * x[j];
+  }
+  if (dz1_out != nullptr) *dz1_out = std::move(dz1);
+}
+
+void Mlp::AddExampleLossGradient(const double* x, int y, Vec* grad) const {
+  Forward f;
+  RunForward(x, &f);
+  Vec dz2 = f.p;
+  dz2[y] -= 1.0;
+  Backprop(x, f, dz2, grad);
+}
+
+void Mlp::AddProbaGradient(const double* x, const Vec& class_weights,
+                           Vec* grad) const {
+  RAIN_CHECK(static_cast<int>(class_weights.size()) == c_);
+  Forward f;
+  RunForward(x, &f);
+  // dz2 = softmax Jacobian applied to w: p .* (w - w.p)
+  double wp = 0.0;
+  for (int k = 0; k < c_; ++k) wp += class_weights[k] * f.p[k];
+  Vec dz2(c_);
+  for (int k = 0; k < c_; ++k) dz2[k] = f.p[k] * (class_weights[k] - wp);
+  Backprop(x, f, dz2, grad);
+}
+
+void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
+                               Vec* out) const {
+  RAIN_CHECK(v.size() == theta_.size()) << "HVP size mismatch";
+  RAIN_CHECK(data.num_active() > 0) << "HVP over empty dataset";
+  out->assign(theta_.size(), 0.0);
+
+  const double* w2 = theta_.data() + OffW2();
+  const double* v_w1 = v.data() + OffW1();
+  const double* v_b1 = v.data() + OffB1();
+  const double* v_w2 = v.data() + OffW2();
+  const double* v_b2 = v.data() + OffB2();
+
+  Forward f;
+  for (size_t n = 0; n < data.size(); ++n) {
+    if (!data.active(n)) continue;
+    const double* x = data.row(n);
+    const int y = data.label(n);
+    RunForward(x, &f);
+
+    // --- R-forward pass: directional derivatives along v. ---
+    Vec rz1(h_, 0.0);
+    for (size_t i = 0; i < h_; ++i) {
+      double rz = v_b1[i];
+      const double* vrow = v_w1 + i * d_;
+      for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
+      rz1[i] = rz;
+    }
+    Vec ra1(h_);
+    for (size_t i = 0; i < h_; ++i) ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
+    Vec rz2(c_, 0.0);
+    for (int k = 0; k < c_; ++k) {
+      double rz = v_b2[k];
+      const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+      const double* wrow = w2 + static_cast<size_t>(k) * h_;
+      for (size_t i = 0; i < h_; ++i) rz += vrow[i] * f.a1[i] + wrow[i] * ra1[i];
+      rz2[k] = rz;
+    }
+
+    // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
+    Vec dz2 = f.p;
+    dz2[y] -= 1.0;
+    double prz = 0.0;
+    for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
+    Vec rdz2(c_);
+    for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
+
+    // --- R-backward pass. ---
+    // RdW2 = rdz2 (x) a1 + dz2 (x) ra1; Rdb2 = rdz2.
+    double* o_w1 = out->data() + OffW1();
+    double* o_b1 = out->data() + OffB1();
+    double* o_w2 = out->data() + OffW2();
+    double* o_b2 = out->data() + OffB2();
+
+    Vec rda1(h_, 0.0);  // R{da1} = W2^T rdz2 + V2^T dz2
+    for (int k = 0; k < c_; ++k) {
+      o_b2[k] += rdz2[k];
+      double* orow = o_w2 + static_cast<size_t>(k) * h_;
+      const double* wrow = w2 + static_cast<size_t>(k) * h_;
+      const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+      for (size_t i = 0; i < h_; ++i) {
+        orow[i] += rdz2[k] * f.a1[i] + dz2[k] * ra1[i];
+        rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
+      }
+    }
+    // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
+    for (size_t i = 0; i < h_; ++i) {
+      const double rg = f.z1[i] > 0.0 ? rda1[i] : 0.0;
+      o_b1[i] += rg;
+      if (rg == 0.0) continue;
+      double* orow = o_w1 + i * d_;
+      for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(data.num_active());
+  for (double& o : *out) o *= inv_n;
+  vec::Axpy(2.0 * l2, v, out);
+}
+
+std::unique_ptr<Model> Mlp::Clone() const { return std::make_unique<Mlp>(*this); }
+
+}  // namespace rain

@@ -1,0 +1,50 @@
+#include "ml/model.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+int Model::PredictClass(const double* x) const {
+  const int c = num_classes();
+  std::vector<double> probs(c);
+  PredictProba(x, probs.data());
+  int best = 0;
+  for (int j = 1; j < c; ++j) {
+    if (probs[j] > probs[best]) best = j;
+  }
+  return best;
+}
+
+Matrix Model::PredictProbaMatrix(const Dataset& data) const {
+  Matrix out(data.size(), static_cast<size_t>(num_classes()));
+  for (size_t i = 0; i < data.size(); ++i) {
+    PredictProba(data.row(i), out.Row(i));
+  }
+  return out;
+}
+
+double Model::MeanLoss(const Dataset& data, double l2) const {
+  RAIN_CHECK(data.num_active() > 0) << "loss over empty dataset";
+  double acc = 0.0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data.active(i)) continue;
+    acc += ExampleLoss(data.row(i), data.label(i));
+  }
+  acc /= static_cast<double>(data.num_active());
+  acc += l2 * vec::NormSq(params());
+  return acc;
+}
+
+void Model::MeanLossGradient(const Dataset& data, double l2, Vec* grad) const {
+  RAIN_CHECK(data.num_active() > 0) << "gradient over empty dataset";
+  grad->assign(num_params(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data.active(i)) continue;
+    AddExampleLossGradient(data.row(i), data.label(i), grad);
+  }
+  const double inv_n = 1.0 / static_cast<double>(data.num_active());
+  for (double& g : *grad) g *= inv_n;
+  vec::Axpy(2.0 * l2, params(), grad);
+}
+
+}  // namespace rain

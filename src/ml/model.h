@@ -1,0 +1,76 @@
+#ifndef RAIN_ML_MODEL_H_
+#define RAIN_ML_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "tensor/vector_ops.h"
+
+namespace rain {
+
+/// \brief Differentiable classification model.
+///
+/// This is the contract the influence-function machinery (Section 4.1 of
+/// the paper) needs from a model:
+///   * class probabilities p_c(x; theta) for relaxed provenance
+///     polynomials,
+///   * per-example loss gradients grad_theta l(z, theta),
+///   * Hessian-vector products of the regularized mean training loss
+///     L(theta) = (1/n) sum_i l(z_i, theta) + l2 * ||theta||^2,
+///   * reverse-mode "probability gradients": given per-class weights w,
+///     accumulate grad_theta sum_c w_c p_c(x; theta) (the chain-rule seed
+///     arriving from a relaxed provenance polynomial).
+///
+/// Implementations: binary logistic regression, multiclass softmax
+/// regression (both convex), and a one-hidden-layer MLP (non-convex,
+/// Appendix D stand-in for the CNN).
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual int num_classes() const = 0;
+  virtual size_t num_features() const = 0;
+  virtual size_t num_params() const = 0;
+
+  virtual const Vec& params() const = 0;
+  virtual void set_params(const Vec& theta) = 0;
+
+  /// Writes p_0..p_{C-1} for feature row `x` into `probs` (C doubles).
+  virtual void PredictProba(const double* x, double* probs) const = 0;
+
+  /// argmax_c p_c(x).
+  int PredictClass(const double* x) const;
+
+  /// Cross-entropy loss of one example: -log p_y(x).
+  virtual double ExampleLoss(const double* x, int y) const = 0;
+
+  /// grad += grad_theta of ExampleLoss(x, y).
+  virtual void AddExampleLossGradient(const double* x, int y, Vec* grad) const = 0;
+
+  /// grad += grad_theta sum_c class_weights[c] * p_c(x; theta).
+  virtual void AddProbaGradient(const double* x, const Vec& class_weights,
+                                Vec* grad) const = 0;
+
+  /// out = H(theta) v where H is the Hessian of the regularized mean loss
+  /// over the *active* rows of `data` with L2 strength `l2` (the 2*l2*I
+  /// term included). `out` is overwritten.
+  virtual void HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
+                                    Vec* out) const = 0;
+
+  virtual std::unique_ptr<Model> Clone() const = 0;
+
+  /// Convenience: n x C probability matrix over every row of `data`
+  /// (active or not; querying sets have no active mask semantics).
+  Matrix PredictProbaMatrix(const Dataset& data) const;
+
+  /// Regularized mean loss over active rows.
+  double MeanLoss(const Dataset& data, double l2) const;
+
+  /// grad_theta of MeanLoss; overwrites `grad`.
+  void MeanLossGradient(const Dataset& data, double l2, Vec* grad) const;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_ML_MODEL_H_

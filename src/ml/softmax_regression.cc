@@ -1,0 +1,127 @@
+#include "ml/softmax_regression.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rain {
+
+void SoftmaxInPlace(double* z, int k) {
+  double m = z[0];
+  for (int i = 1; i < k; ++i) m = std::max(m, z[i]);
+  double sum = 0.0;
+  for (int i = 0; i < k; ++i) {
+    z[i] = std::exp(z[i] - m);
+    sum += z[i];
+  }
+  const double inv = 1.0 / sum;
+  for (int i = 0; i < k; ++i) z[i] *= inv;
+}
+
+SoftmaxRegression::SoftmaxRegression(size_t num_features, int num_classes,
+                                     bool fit_intercept)
+    : d_(num_features),
+      c_(num_classes),
+      fit_intercept_(fit_intercept),
+      theta_(static_cast<size_t>(num_classes) * (num_features + (fit_intercept ? 1 : 0)),
+             0.0) {
+  RAIN_CHECK(num_classes >= 2);
+}
+
+void SoftmaxRegression::set_params(const Vec& theta) {
+  RAIN_CHECK(theta.size() == theta_.size()) << "param size mismatch";
+  theta_ = theta;
+}
+
+void SoftmaxRegression::Logits(const double* x, double* logits) const {
+  const size_t bs = BlockSize();
+  for (int c = 0; c < c_; ++c) {
+    const double* w = theta_.data() + static_cast<size_t>(c) * bs;
+    double z = fit_intercept_ ? w[d_] : 0.0;
+    for (size_t j = 0; j < d_; ++j) z += w[j] * x[j];
+    logits[c] = z;
+  }
+}
+
+void SoftmaxRegression::PredictProba(const double* x, double* probs) const {
+  Logits(x, probs);
+  SoftmaxInPlace(probs, c_);
+}
+
+double SoftmaxRegression::ExampleLoss(const double* x, int y) const {
+  std::vector<double> p(c_);
+  PredictProba(x, p.data());
+  const double py = std::max(p[y], 1e-12);
+  return -std::log(py);
+}
+
+void SoftmaxRegression::AddExampleLossGradient(const double* x, int y,
+                                               Vec* grad) const {
+  std::vector<double> p(c_);
+  PredictProba(x, p.data());
+  const size_t bs = BlockSize();
+  for (int c = 0; c < c_; ++c) {
+    const double coef = p[c] - (c == y ? 1.0 : 0.0);
+    double* g = grad->data() + static_cast<size_t>(c) * bs;
+    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    if (fit_intercept_) g[d_] += coef;
+  }
+}
+
+void SoftmaxRegression::AddProbaGradient(const double* x, const Vec& class_weights,
+                                         Vec* grad) const {
+  RAIN_CHECK(static_cast<int>(class_weights.size()) == c_);
+  std::vector<double> p(c_);
+  PredictProba(x, p.data());
+  // d/dW_c sum_j w_j p_j = p_c (w_c - sum_j w_j p_j) x~
+  double wp = 0.0;
+  for (int j = 0; j < c_; ++j) wp += class_weights[j] * p[j];
+  const size_t bs = BlockSize();
+  for (int c = 0; c < c_; ++c) {
+    const double coef = p[c] * (class_weights[c] - wp);
+    if (coef == 0.0) continue;
+    double* g = grad->data() + static_cast<size_t>(c) * bs;
+    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    if (fit_intercept_) g[d_] += coef;
+  }
+}
+
+void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
+                                             double l2, Vec* out) const {
+  RAIN_CHECK(v.size() == theta_.size()) << "HVP size mismatch";
+  RAIN_CHECK(data.num_active() > 0) << "HVP over empty dataset";
+  out->assign(theta_.size(), 0.0);
+  const size_t bs = BlockSize();
+  std::vector<double> p(c_);
+  std::vector<double> a(c_);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data.active(i)) continue;
+    const double* x = data.row(i);
+    PredictProba(x, p.data());
+    // a_c = V_c . x~
+    for (int c = 0; c < c_; ++c) {
+      const double* vc = v.data() + static_cast<size_t>(c) * bs;
+      double av = fit_intercept_ ? vc[d_] : 0.0;
+      for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
+      a[c] = av;
+    }
+    double s = 0.0;
+    for (int c = 0; c < c_; ++c) s += p[c] * a[c];
+    // Row c of (d^2 l) V = p_c (a_c - s) x~
+    for (int c = 0; c < c_; ++c) {
+      const double coef = p[c] * (a[c] - s);
+      double* o = out->data() + static_cast<size_t>(c) * bs;
+      for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
+      if (fit_intercept_) o[d_] += coef;
+    }
+  }
+  const double inv_n = 1.0 / static_cast<double>(data.num_active());
+  for (double& o : *out) o *= inv_n;
+  vec::Axpy(2.0 * l2, v, out);
+}
+
+std::unique_ptr<Model> SoftmaxRegression::Clone() const {
+  return std::make_unique<SoftmaxRegression>(*this);
+}
+
+}  // namespace rain

@@ -1,0 +1,70 @@
+#include "provenance/prediction_store.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+void PredictionStore::SetPredictions(int32_t table_id, Matrix probs) {
+  std::vector<int> arg(probs.rows());
+  for (size_t r = 0; r < probs.rows(); ++r) {
+    const double* row = probs.Row(r);
+    int best = 0;
+    for (size_t c = 1; c < probs.cols(); ++c) {
+      if (row[c] > row[best]) best = static_cast<int>(c);
+    }
+    arg[r] = best;
+  }
+  argmax_[table_id] = std::move(arg);
+  probs_[table_id] = std::move(probs);
+}
+
+size_t PredictionStore::NumRows(int32_t table_id) const {
+  auto it = probs_.find(table_id);
+  RAIN_CHECK(it != probs_.end()) << "no predictions for table " << table_id;
+  return it->second.rows();
+}
+
+int PredictionStore::NumClasses(int32_t table_id) const {
+  auto it = probs_.find(table_id);
+  RAIN_CHECK(it != probs_.end()) << "no predictions for table " << table_id;
+  return static_cast<int>(it->second.cols());
+}
+
+int PredictionStore::PredictedClass(int32_t table_id, int64_t row) const {
+  auto it = argmax_.find(table_id);
+  RAIN_CHECK(it != argmax_.end()) << "no predictions for table " << table_id;
+  RAIN_CHECK(row >= 0 && static_cast<size_t>(row) < it->second.size());
+  return it->second[row];
+}
+
+double PredictionStore::Probability(int32_t table_id, int64_t row, int cls) const {
+  auto it = probs_.find(table_id);
+  RAIN_CHECK(it != probs_.end()) << "no predictions for table " << table_id;
+  return it->second.At(static_cast<size_t>(row), static_cast<size_t>(cls));
+}
+
+const Matrix& PredictionStore::Probabilities(int32_t table_id) const {
+  auto it = probs_.find(table_id);
+  RAIN_CHECK(it != probs_.end()) << "no predictions for table " << table_id;
+  return it->second;
+}
+
+Vec PredictionStore::ConcreteAssignment(const PolyArena& arena) const {
+  Vec values(arena.num_vars(), 0.0);
+  for (size_t i = 0; i < arena.num_vars(); ++i) {
+    const PredVar& v = arena.var(static_cast<VarId>(i));
+    values[i] = PredictedClass(v.table_id, v.row) == v.cls ? 1.0 : 0.0;
+  }
+  return values;
+}
+
+Vec PredictionStore::RelaxedAssignment(const PolyArena& arena) const {
+  Vec values(arena.num_vars(), 0.0);
+  for (size_t i = 0; i < arena.num_vars(); ++i) {
+    const PredVar& v = arena.var(static_cast<VarId>(i));
+    values[i] = Probability(v.table_id, v.row, v.cls);
+  }
+  return values;
+}
+
+}  // namespace rain

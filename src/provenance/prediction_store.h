@@ -1,0 +1,46 @@
+#ifndef RAIN_PROVENANCE_PREDICTION_STORE_H_
+#define RAIN_PROVENANCE_PREDICTION_STORE_H_
+
+#include <unordered_map>
+
+#include "provenance/poly.h"
+#include "tensor/matrix.h"
+
+namespace rain {
+
+/// \brief Per-queried-table model predictions (the "prediction views" of
+/// Section 5.2).
+///
+/// For every base table whose rows feed the model, the store holds the
+/// n x C class-probability matrix of the current model, from which both
+/// the concrete predictions (argmax) and the Holistic relaxation
+/// probabilities are derived. The store is refreshed at every
+/// train-rank-fix iteration after retraining.
+class PredictionStore {
+ public:
+  /// Installs (or replaces) the probability matrix for `table_id`.
+  void SetPredictions(int32_t table_id, Matrix probs);
+
+  bool HasTable(int32_t table_id) const { return probs_.count(table_id) != 0; }
+  size_t NumRows(int32_t table_id) const;
+  int NumClasses(int32_t table_id) const;
+
+  /// argmax_c p(row, c).
+  int PredictedClass(int32_t table_id, int64_t row) const;
+  double Probability(int32_t table_id, int64_t row, int cls) const;
+  const Matrix& Probabilities(int32_t table_id) const;
+
+  /// Assignment for every variable registered in `arena`: 1.0 when the
+  /// current argmax prediction matches the variable's class, else 0.0.
+  Vec ConcreteAssignment(const PolyArena& arena) const;
+  /// Assignment p(row, cls) for every variable (Holistic relaxation).
+  Vec RelaxedAssignment(const PolyArena& arena) const;
+
+ private:
+  std::unordered_map<int32_t, Matrix> probs_;
+  std::unordered_map<int32_t, std::vector<int>> argmax_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_PROVENANCE_PREDICTION_STORE_H_

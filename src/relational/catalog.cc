@@ -1,0 +1,37 @@
+#include "relational/catalog.h"
+
+namespace rain {
+
+Status Catalog::AddTable(const std::string& name, Table table,
+                         std::optional<Dataset> features) {
+  if (by_name_.count(name) != 0) {
+    return Status::AlreadyExists("table '" + name + "' already registered");
+  }
+  if (features.has_value() && features->size() != table.num_rows()) {
+    return Status::InvalidArgument("feature dataset rows (" +
+                                   std::to_string(features->size()) +
+                                   ") must match table rows (" +
+                                   std::to_string(table.num_rows()) + ")");
+  }
+  Entry e;
+  e.table_id = static_cast<int32_t>(entries_.size());
+  e.name = name;
+  e.table = std::move(table);
+  e.features = std::move(features);
+  by_name_[name] = entries_.size();
+  entries_.push_back(std::move(e));
+  return Status::OK();
+}
+
+const Catalog::Entry* Catalog::Find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &entries_[it->second];
+}
+
+const Catalog::Entry* Catalog::FindById(int32_t table_id) const {
+  if (table_id < 0 || static_cast<size_t>(table_id) >= entries_.size()) return nullptr;
+  return &entries_[table_id];
+}
+
+}  // namespace rain

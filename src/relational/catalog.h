@@ -1,0 +1,49 @@
+#ifndef RAIN_RELATIONAL_CATALOG_H_
+#define RAIN_RELATIONAL_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "relational/table.h"
+
+namespace rain {
+
+/// \brief Named base tables plus, for queried tables, the row-aligned
+/// feature matrix fed to `M.predict(alias)`.
+///
+/// The i-th row of `features` is the model input for the i-th table row
+/// (the paper's `M.predict(U.*)`: the full profile feeds the model while
+/// the relational columns carry ids/attributes used by predicates).
+class Catalog {
+ public:
+  struct Entry {
+    int32_t table_id = -1;
+    std::string name;
+    Table table;
+    /// Present iff the table can appear inside predict(). The Dataset's
+    /// labels are ground-truth (used only by experiment harnesses, never
+    /// by the engine).
+    std::optional<Dataset> features;
+  };
+
+  /// Registers a table; fails on duplicate names or when `features` row
+  /// count mismatches the table.
+  Status AddTable(const std::string& name, Table table,
+                  std::optional<Dataset> features = std::nullopt);
+
+  const Entry* Find(const std::string& name) const;
+  const Entry* FindById(int32_t table_id) const;
+  size_t num_tables() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_CATALOG_H_

@@ -1,0 +1,995 @@
+#include "relational/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+
+size_t ExecTable::NumConcrete() const {
+  size_t n = 0;
+  for (uint8_t c : concrete) n += c;
+  return n;
+}
+
+Table ExecTable::ToTable() const {
+  Table out(schema);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    if (concrete[r]) out.AppendRowUnchecked(rows[r]);
+  }
+  return out;
+}
+
+namespace {
+
+/// Symbolic evaluation value: the concrete result plus, when the
+/// expression depends on model predictions, a polynomial (boolean or
+/// numeric) or a reference to a raw prediction (kept unexpanded so that
+/// comparisons like predict(L) = predict(R) translate precisely).
+struct SymValue {
+  enum class Kind { kConcrete, kBoolPoly, kNumPoly, kPredictRef };
+  Kind kind = Kind::kConcrete;
+  Value concrete;                // always populated
+  PolyId poly = kInvalidPoly;    // kBoolPoly / kNumPoly
+  int32_t pred_table = -1;       // kPredictRef
+  int64_t pred_row = -1;
+  int pred_classes = 0;
+};
+
+using SymKind = SymValue::Kind;
+
+struct SymContext {
+  PolyArena* arena = nullptr;
+  const PredictionStore* predictions = nullptr;
+  const std::vector<Value>* values = nullptr;
+  const RowLineage* lineage = nullptr;
+};
+
+SymValue MakeConcrete(Value v) {
+  SymValue s;
+  s.kind = SymKind::kConcrete;
+  s.concrete = std::move(v);
+  return s;
+}
+
+/// Converts a symbolic value into a boolean polynomial (existence
+/// condition semantics).
+Result<PolyId> ToBoolPoly(const SymValue& s, SymContext* ctx) {
+  switch (s.kind) {
+    case SymKind::kConcrete: {
+      RAIN_ASSIGN_OR_RETURN(const bool b, s.concrete.ToBool());
+      return b ? ctx->arena->True() : ctx->arena->False();
+    }
+    case SymKind::kBoolPoly:
+      return s.poly;
+    case SymKind::kPredictRef: {
+      // Truthiness of a raw prediction: class != 0 (for a binary model
+      // this is exactly "predicted class 1", matching Q2-style filters).
+      return ctx->arena->Not(ctx->arena->Var(PredVar{s.pred_table, s.pred_row, 0}));
+    }
+    case SymKind::kNumPoly:
+      return Status::Unimplemented(
+          "cannot use a numeric model-dependent expression as a boolean predicate");
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Converts a symbolic value into a numeric polynomial (aggregation
+/// value semantics). A raw prediction becomes sum_c c * v(row, c).
+Result<PolyId> ToNumPoly(const SymValue& s, SymContext* ctx) {
+  switch (s.kind) {
+    case SymKind::kConcrete: {
+      RAIN_ASSIGN_OR_RETURN(const double d, s.concrete.ToNumeric());
+      return ctx->arena->Const(d);
+    }
+    case SymKind::kBoolPoly:
+    case SymKind::kNumPoly:
+      return s.poly;
+    case SymKind::kPredictRef: {
+      std::vector<PolyId> terms;
+      for (int c = 1; c < s.pred_classes; ++c) {
+        terms.push_back(ctx->arena->Mul(
+            {ctx->arena->Const(static_cast<double>(c)),
+             ctx->arena->Var(PredVar{s.pred_table, s.pred_row, c})}));
+      }
+      return ctx->arena->Add(std::move(terms));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+bool ClassSatisfies(CompareOp op, int cls, int64_t k) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cls == k;
+    case CompareOp::kNe:
+      return cls != k;
+    case CompareOp::kLt:
+      return cls < k;
+    case CompareOp::kLe:
+      return cls <= k;
+    case CompareOp::kGt:
+      return cls > k;
+    case CompareOp::kGe:
+      return cls >= k;
+  }
+  return false;
+}
+
+Result<SymValue> SymbolicEval(const Expr& expr, SymContext* ctx);
+
+/// Comparison of a raw prediction against a concrete integer: the OR of
+/// the class indicator variables whose class satisfies the comparison.
+Result<SymValue> ComparePredictToConst(const SymValue& pred, CompareOp op, int64_t k,
+                                       const Value& concrete_result, SymContext* ctx) {
+  std::vector<PolyId> sat;
+  for (int c = 0; c < pred.pred_classes; ++c) {
+    if (ClassSatisfies(op, c, k)) {
+      sat.push_back(ctx->arena->Var(PredVar{pred.pred_table, pred.pred_row, c}));
+    }
+  }
+  SymValue out;
+  out.kind = SymKind::kBoolPoly;
+  out.concrete = concrete_result;
+  out.poly = ctx->arena->Or(std::move(sat));
+  return out;
+}
+
+/// Comparison of two raw predictions: OR over class pairs (c1 op c2) of
+/// v(l, c1) AND v(r, c2). For kEq this is the paper's join relaxation
+/// OR_c (v_l,c AND v_r,c).
+Result<SymValue> ComparePredictToPredict(const SymValue& l, CompareOp op,
+                                         const SymValue& r,
+                                         const Value& concrete_result,
+                                         SymContext* ctx) {
+  std::vector<PolyId> sat;
+  for (int c1 = 0; c1 < l.pred_classes; ++c1) {
+    for (int c2 = 0; c2 < r.pred_classes; ++c2) {
+      if (!ClassSatisfies(op, c1, c2)) continue;
+      const PolyId vl = ctx->arena->Var(PredVar{l.pred_table, l.pred_row, c1});
+      const PolyId vr = ctx->arena->Var(PredVar{r.pred_table, r.pred_row, c2});
+      sat.push_back(ctx->arena->And({vl, vr}));
+    }
+  }
+  SymValue out;
+  out.kind = SymKind::kBoolPoly;
+  out.concrete = concrete_result;
+  out.poly = ctx->arena->Or(std::move(sat));
+  return out;
+}
+
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+Result<SymValue> EvalCompareSym(const Expr& expr, SymContext* ctx) {
+  RAIN_ASSIGN_OR_RETURN(SymValue l, SymbolicEval(*expr.children[0], ctx));
+  RAIN_ASSIGN_OR_RETURN(SymValue r, SymbolicEval(*expr.children[1], ctx));
+
+  // Concrete result, shared by all branches.
+  RAIN_ASSIGN_OR_RETURN(const int c3, l.concrete.Compare(r.concrete));
+  bool cres = false;
+  switch (expr.cmp) {
+    case CompareOp::kEq:
+      cres = c3 == 0;
+      break;
+    case CompareOp::kNe:
+      cres = c3 != 0;
+      break;
+    case CompareOp::kLt:
+      cres = c3 < 0;
+      break;
+    case CompareOp::kLe:
+      cres = c3 <= 0;
+      break;
+    case CompareOp::kGt:
+      cres = c3 > 0;
+      break;
+    case CompareOp::kGe:
+      cres = c3 >= 0;
+      break;
+  }
+  const Value concrete_result(cres);
+
+  if (l.kind == SymKind::kConcrete && r.kind == SymKind::kConcrete) {
+    return MakeConcrete(concrete_result);
+  }
+  if (l.kind == SymKind::kPredictRef && r.kind == SymKind::kConcrete) {
+    RAIN_ASSIGN_OR_RETURN(const double k, r.concrete.ToNumeric());
+    return ComparePredictToConst(l, expr.cmp, static_cast<int64_t>(k),
+                                 concrete_result, ctx);
+  }
+  if (l.kind == SymKind::kConcrete && r.kind == SymKind::kPredictRef) {
+    RAIN_ASSIGN_OR_RETURN(const double k, l.concrete.ToNumeric());
+    return ComparePredictToConst(r, FlipCompare(expr.cmp), static_cast<int64_t>(k),
+                                 concrete_result, ctx);
+  }
+  if (l.kind == SymKind::kPredictRef && r.kind == SymKind::kPredictRef) {
+    return ComparePredictToPredict(l, expr.cmp, r, concrete_result, ctx);
+  }
+  return Status::Unimplemented(
+      "comparisons over derived model-dependent expressions are not supported "
+      "(see Appendix B of the paper): " +
+      expr.ToString());
+}
+
+Result<SymValue> SymbolicEval(const Expr& expr, SymContext* ctx) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+    case ExprKind::kLike: {
+      EvalContext ec;
+      ec.values = ctx->values;
+      ec.lineage = ctx->lineage;
+      ec.predictions = ctx->predictions;
+      RAIN_ASSIGN_OR_RETURN(Value v, EvalExpr(expr, ec));
+      return MakeConcrete(std::move(v));
+    }
+    case ExprKind::kPredict: {
+      RAIN_CHECK(expr.predict_alias_id >= 0) << "unbound predict()";
+      const RowLineageEntry* entry = nullptr;
+      for (const RowLineageEntry& e : *ctx->lineage) {
+        if (e.alias_id == expr.predict_alias_id) {
+          entry = &e;
+          break;
+        }
+      }
+      if (entry == nullptr) {
+        return Status::Internal("row lineage lacks alias for predict()");
+      }
+      SymValue s;
+      s.kind = SymKind::kPredictRef;
+      s.pred_table = entry->table_id;
+      s.pred_row = entry->row;
+      s.pred_classes = ctx->predictions->NumClasses(entry->table_id);
+      s.concrete = Value(static_cast<int64_t>(
+          ctx->predictions->PredictedClass(entry->table_id, entry->row)));
+      return s;
+    }
+    case ExprKind::kCompare:
+      return EvalCompareSym(expr, ctx);
+    case ExprKind::kLogical: {
+      if (expr.logic == LogicalOp::kNot) {
+        RAIN_ASSIGN_OR_RETURN(SymValue c, SymbolicEval(*expr.children[0], ctx));
+        if (c.kind == SymKind::kConcrete) {
+          RAIN_ASSIGN_OR_RETURN(const bool b, c.concrete.ToBool());
+          return MakeConcrete(Value(!b));
+        }
+        RAIN_ASSIGN_OR_RETURN(const PolyId p, ToBoolPoly(c, ctx));
+        SymValue out;
+        out.kind = SymKind::kBoolPoly;
+        RAIN_ASSIGN_OR_RETURN(const bool cb, c.concrete.ToBool());
+        out.concrete = Value(!cb);
+        out.poly = ctx->arena->Not(p);
+        return out;
+      }
+      RAIN_ASSIGN_OR_RETURN(SymValue l, SymbolicEval(*expr.children[0], ctx));
+      RAIN_ASSIGN_OR_RETURN(SymValue r, SymbolicEval(*expr.children[1], ctx));
+      RAIN_ASSIGN_OR_RETURN(const bool lb, l.concrete.ToBool());
+      RAIN_ASSIGN_OR_RETURN(const bool rb, r.concrete.ToBool());
+      const bool cb = expr.logic == LogicalOp::kAnd ? (lb && rb) : (lb || rb);
+      if (l.kind == SymKind::kConcrete && r.kind == SymKind::kConcrete) {
+        return MakeConcrete(Value(cb));
+      }
+      RAIN_ASSIGN_OR_RETURN(const PolyId lp, ToBoolPoly(l, ctx));
+      RAIN_ASSIGN_OR_RETURN(const PolyId rp, ToBoolPoly(r, ctx));
+      SymValue out;
+      out.kind = SymKind::kBoolPoly;
+      out.concrete = Value(cb);
+      out.poly = expr.logic == LogicalOp::kAnd ? ctx->arena->And({lp, rp})
+                                               : ctx->arena->Or({lp, rp});
+      return out;
+    }
+    case ExprKind::kArith: {
+      RAIN_ASSIGN_OR_RETURN(SymValue l, SymbolicEval(*expr.children[0], ctx));
+      RAIN_ASSIGN_OR_RETURN(SymValue r, SymbolicEval(*expr.children[1], ctx));
+      RAIN_ASSIGN_OR_RETURN(const double ld, l.concrete.ToNumeric());
+      RAIN_ASSIGN_OR_RETURN(const double rd, r.concrete.ToNumeric());
+      double cres = 0.0;
+      switch (expr.arith) {
+        case ArithOp::kAdd:
+          cres = ld + rd;
+          break;
+        case ArithOp::kSub:
+          cres = ld - rd;
+          break;
+        case ArithOp::kMul:
+          cres = ld * rd;
+          break;
+        case ArithOp::kDiv:
+          if (rd == 0.0) return Status::InvalidArgument("division by zero");
+          cres = ld / rd;
+          break;
+      }
+      if (l.kind == SymKind::kConcrete && r.kind == SymKind::kConcrete) {
+        return MakeConcrete(Value(cres));
+      }
+      RAIN_ASSIGN_OR_RETURN(const PolyId lp, ToNumPoly(l, ctx));
+      RAIN_ASSIGN_OR_RETURN(const PolyId rp, ToNumPoly(r, ctx));
+      SymValue out;
+      out.kind = SymKind::kNumPoly;
+      out.concrete = Value(cres);
+      switch (expr.arith) {
+        case ArithOp::kAdd:
+          out.poly = ctx->arena->Add({lp, rp});
+          break;
+        case ArithOp::kSub:
+          out.poly = ctx->arena->Add({lp, ctx->arena->Mul({ctx->arena->Const(-1.0), rp})});
+          break;
+        case ArithOp::kMul:
+          out.poly = ctx->arena->Mul({lp, rp});
+          break;
+        case ArithOp::kDiv:
+          out.poly = ctx->arena->Div(lp, rp);
+          break;
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+/// Flattens a conjunctive predicate into its top-level conjuncts.
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kLogical && expr->logic == LogicalOp::kAnd) {
+    FlattenConjuncts(expr->children[0], out);
+    FlattenConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+/// String key for hash-join buckets / group-by maps.
+std::string EncodeKey(const std::vector<Value>& vals) {
+  std::string key;
+  for (const Value& v : vals) {
+    key += DataTypeName(v.type());
+    key += ':';
+    key += v.ToString();
+    key += '\x1f';
+  }
+  return key;
+}
+
+}  // namespace
+
+Executor::Executor(const Catalog* catalog, const PredictionStore* predictions,
+                   PolyArena* arena)
+    : catalog_(catalog), predictions_(predictions), arena_(arena) {
+  RAIN_CHECK(catalog_ != nullptr);
+}
+
+Status Executor::CollectAliases(const PlanPtr& plan) {
+  if (plan->kind == PlanKind::kScan) {
+    const Catalog::Entry* entry = catalog_->Find(plan->table_name);
+    if (entry == nullptr) {
+      return Status::NotFound("table '" + plan->table_name + "' not in catalog");
+    }
+    if (alias_ids_.count(plan->alias) != 0) {
+      return Status::InvalidArgument("duplicate alias '" + plan->alias + "'");
+    }
+    const int id = static_cast<int>(alias_tables_.size());
+    alias_ids_[plan->alias] = id;
+    alias_tables_.push_back(entry->table_id);
+  }
+  for (const PlanPtr& c : plan->children) RAIN_RETURN_NOT_OK(CollectAliases(c));
+  return Status::OK();
+}
+
+Result<ExecResult> Executor::Run(const PlanPtr& plan, const ExecOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  if (options.debug_mode && arena_ == nullptr) {
+    return Status::InvalidArgument("debug mode requires a PolyArena");
+  }
+  alias_ids_.clear();
+  alias_tables_.clear();
+  RAIN_RETURN_NOT_OK(CollectAliases(plan));
+
+  // Peel Sort/Limit wrappers off the root so they can also apply to
+  // aggregate results (whose agg polynomials must be permuted along).
+  std::vector<const PlanNode*> wrappers;
+  const PlanPtr* core = &plan;
+  while ((*core)->kind == PlanKind::kSort || (*core)->kind == PlanKind::kLimit) {
+    wrappers.push_back(core->get());
+    core = &(*core)->children[0];
+  }
+
+  ExecResult result;
+  if ((*core)->kind == PlanKind::kAggregate) {
+    RAIN_ASSIGN_OR_RETURN(ExecTable input,
+                          RunNode((*core)->children[0], options.debug_mode));
+    RAIN_ASSIGN_OR_RETURN(result,
+                          RunAggregate(**core, std::move(input), options.debug_mode));
+  } else {
+    RAIN_ASSIGN_OR_RETURN(result.table, RunNode(*core, options.debug_mode));
+  }
+  for (auto it = wrappers.rbegin(); it != wrappers.rend(); ++it) {
+    RAIN_RETURN_NOT_OK(ApplyWrapper(**it, options.debug_mode, &result));
+  }
+  return result;
+}
+
+namespace {
+
+/// Sorts an ExecTable in place by the (bound) key expressions; the
+/// optional agg-poly rows are permuted alongside.
+Status SortExecTable(const PlanNode& node, const std::vector<ExprPtr>& keys,
+                     const PredictionStore* predictions, ExecTable* table,
+                     std::vector<std::vector<PolyId>>* agg_polys) {
+  ExecTable& t = *table;
+  std::vector<std::vector<Value>> key_vals(t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    key_vals[r].resize(keys.size());
+    for (size_t k = 0; k < keys.size(); ++k) {
+      EvalContext ec;
+      ec.values = &t.rows[r];
+      ec.lineage = &t.lineage[r];
+      ec.predictions = predictions;
+      RAIN_ASSIGN_OR_RETURN(key_vals[r][k], EvalExpr(*keys[k], ec));
+    }
+  }
+  std::vector<size_t> perm(t.num_rows());
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Status cmp_status;
+  std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+    for (size_t k = 0; k < keys.size(); ++k) {
+      auto c = key_vals[a][k].Compare(key_vals[b][k]);
+      if (!c.ok()) {
+        cmp_status = c.status();
+        return false;
+      }
+      if (*c != 0) return node.sort_ascending[k] ? *c < 0 : *c > 0;
+    }
+    return false;
+  });
+  RAIN_RETURN_NOT_OK(cmp_status);
+  auto permute = [&perm](auto& vec) {
+    auto copy = vec;
+    for (size_t i = 0; i < perm.size(); ++i) vec[i] = std::move(copy[perm[i]]);
+  };
+  permute(t.rows);
+  permute(t.concrete);
+  permute(t.lineage);
+  if (!t.cond.empty()) permute(t.cond);
+  if (agg_polys != nullptr && !agg_polys->empty()) permute(*agg_polys);
+  return Status::OK();
+}
+
+Status CheckSortKeys(const PlanNode& node) {
+  for (const ExprPtr& e : node.exprs) {
+    if (e->IsModelDependent()) {
+      return Status::Unimplemented(
+          "ORDER BY over model predictions is not supported (candidate rows "
+          "have no single prediction to order by)");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Executor::ApplyWrapper(const PlanNode& node, bool debug, ExecResult* result) {
+  ExecTable& t = result->table;
+  if (node.kind == PlanKind::kSort) {
+    RAIN_RETURN_NOT_OK(CheckSortKeys(node));
+    std::vector<ExprPtr> keys(node.exprs.size());
+    for (size_t i = 0; i < node.exprs.size(); ++i) {
+      RAIN_ASSIGN_OR_RETURN(keys[i], BindExpr(node.exprs[i], t.schema, alias_ids_));
+    }
+    return SortExecTable(node, keys, predictions_, &t, &result->agg_polys);
+  }
+
+  RAIN_CHECK(node.kind == PlanKind::kLimit);
+  if (node.limit < 0) return Status::InvalidArgument("negative LIMIT");
+  const size_t n = static_cast<size_t>(node.limit);
+  if (debug && t.NumConcrete() != t.num_rows() && n < t.num_rows()) {
+    return Status::Unimplemented(
+        "LIMIT over provenance with candidate rows is ambiguous; run the "
+        "query without debug mode or complain about the unlimited result");
+  }
+  if (n < t.num_rows()) {
+    t.rows.resize(n);
+    t.concrete.resize(n);
+    t.lineage.resize(n);
+    if (!t.cond.empty()) t.cond.resize(n);
+    if (!result->agg_polys.empty() && result->agg_polys.size() > n) {
+      result->agg_polys.resize(n);
+    }
+  }
+  return Status::OK();
+}
+
+Result<ExecTable> Executor::RunNode(const PlanPtr& plan, bool debug) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+      return RunScan(*plan, debug);
+    case PlanKind::kFilter: {
+      RAIN_ASSIGN_OR_RETURN(ExecTable input, RunNode(plan->children[0], debug));
+      return RunFilter(*plan, std::move(input), debug);
+    }
+    case PlanKind::kJoin: {
+      RAIN_ASSIGN_OR_RETURN(ExecTable left, RunNode(plan->children[0], debug));
+      RAIN_ASSIGN_OR_RETURN(ExecTable right, RunNode(plan->children[1], debug));
+      return RunJoin(*plan, std::move(left), std::move(right), debug);
+    }
+    case PlanKind::kProject: {
+      RAIN_ASSIGN_OR_RETURN(ExecTable input, RunNode(plan->children[0], debug));
+      return RunProject(*plan, std::move(input), debug);
+    }
+    case PlanKind::kAggregate:
+      return Status::InvalidArgument(
+          "aggregates may only appear at the root of a plan");
+    case PlanKind::kSort: {
+      // Mid-plan sort (the planner places ORDER BY below a projection so
+      // keys may reference non-projected columns).
+      RAIN_ASSIGN_OR_RETURN(ExecTable input, RunNode(plan->children[0], debug));
+      RAIN_RETURN_NOT_OK(CheckSortKeys(*plan));
+      std::vector<ExprPtr> keys(plan->exprs.size());
+      for (size_t i = 0; i < plan->exprs.size(); ++i) {
+        RAIN_ASSIGN_OR_RETURN(keys[i],
+                              BindExpr(plan->exprs[i], input.schema, alias_ids_));
+      }
+      RAIN_RETURN_NOT_OK(
+          SortExecTable(*plan, keys, predictions_, &input, nullptr));
+      return input;
+    }
+    case PlanKind::kLimit:
+      return Status::InvalidArgument("LIMIT may only appear at the root of a plan");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<ExecTable> Executor::RunScan(const PlanNode& node, bool debug) {
+  const Catalog::Entry* entry = catalog_->Find(node.table_name);
+  RAIN_CHECK(entry != nullptr);
+  const int alias_id = alias_ids_.at(node.alias);
+
+  ExecTable out;
+  // Qualify the schema with the scan alias so self-joins disambiguate.
+  for (const Field& f : entry->table.schema().fields()) {
+    Field qf = f;
+    qf.qualifier = node.alias;
+    out.schema.AddField(std::move(qf));
+  }
+  const size_t n = entry->table.num_rows();
+  out.rows.reserve(n);
+  out.cond.reserve(n);
+  out.concrete.assign(n, 1);
+  out.lineage.reserve(n);
+  const PolyId true_id = debug ? arena_->True() : kInvalidPoly;
+  for (size_t r = 0; r < n; ++r) {
+    out.rows.push_back(entry->table.GetRow(r));
+    out.cond.push_back(true_id);
+    out.lineage.push_back(
+        {RowLineageEntry{alias_id, entry->table_id, static_cast<int64_t>(r)}});
+  }
+  return out;
+}
+
+Result<ExecTable> Executor::RunFilter(const PlanNode& node, ExecTable input,
+                                      bool debug) {
+  RAIN_ASSIGN_OR_RETURN(const ExprPtr pred,
+                        BindExpr(node.predicate, input.schema, alias_ids_));
+
+  ExecTable out;
+  out.schema = input.schema;
+  const bool model_dep = pred->IsModelDependent();
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    if (!model_dep || !debug) {
+      EvalContext ec;
+      ec.values = &input.rows[r];
+      ec.lineage = &input.lineage[r];
+      ec.predictions = predictions_;
+      RAIN_ASSIGN_OR_RETURN(const Value v, EvalExpr(*pred, ec));
+      RAIN_ASSIGN_OR_RETURN(const bool keep, v.ToBool());
+      if (!keep) continue;
+      out.rows.push_back(std::move(input.rows[r]));
+      out.cond.push_back(input.cond[r]);
+      out.concrete.push_back(input.concrete[r]);
+      out.lineage.push_back(std::move(input.lineage[r]));
+      continue;
+    }
+    // Debug + model-dependent: keep candidates with updated conditions.
+    SymContext sc;
+    sc.arena = arena_;
+    sc.predictions = predictions_;
+    sc.values = &input.rows[r];
+    sc.lineage = &input.lineage[r];
+    RAIN_ASSIGN_OR_RETURN(SymValue sym, SymbolicEval(*pred, &sc));
+    RAIN_ASSIGN_OR_RETURN(const PolyId p, ToBoolPoly(sym, &sc));
+    const PolyId new_cond = arena_->And({input.cond[r], p});
+    if (arena_->IsConst(new_cond) && arena_->ConstValue(new_cond) == 0.0) continue;
+    RAIN_ASSIGN_OR_RETURN(const bool concrete_pass, sym.concrete.ToBool());
+    out.rows.push_back(std::move(input.rows[r]));
+    out.cond.push_back(new_cond);
+    out.concrete.push_back(input.concrete[r] && concrete_pass ? 1 : 0);
+    out.lineage.push_back(std::move(input.lineage[r]));
+  }
+  return out;
+}
+
+Result<ExecTable> Executor::RunJoin(const PlanNode& node, ExecTable left,
+                                    ExecTable right, bool debug) {
+  ExecTable out;
+  out.schema = Schema::Concat(left.schema, right.schema);
+  RAIN_ASSIGN_OR_RETURN(const ExprPtr pred,
+                        BindExpr(node.predicate, out.schema, alias_ids_));
+
+  // Split the predicate into concrete equi-join conjuncts (hashable) and
+  // the rest (evaluated per candidate pair, possibly symbolically).
+  std::vector<ExprPtr> conjuncts;
+  FlattenConjuncts(pred, &conjuncts);
+  const size_t left_fields = left.schema.num_fields();
+  std::vector<std::pair<int, int>> hash_keys;  // (left col, right col - offset)
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    bool hashable = false;
+    if (c->kind == ExprKind::kCompare && c->cmp == CompareOp::kEq &&
+        c->children[0]->kind == ExprKind::kColumnRef &&
+        c->children[1]->kind == ExprKind::kColumnRef) {
+      const int a = c->children[0]->column_index;
+      const int b = c->children[1]->column_index;
+      if (a < static_cast<int>(left_fields) && b >= static_cast<int>(left_fields)) {
+        hash_keys.emplace_back(a, b - static_cast<int>(left_fields));
+        hashable = true;
+      } else if (b < static_cast<int>(left_fields) &&
+                 a >= static_cast<int>(left_fields)) {
+        hash_keys.emplace_back(b, a - static_cast<int>(left_fields));
+        hashable = true;
+      }
+    }
+    if (!hashable) residual.push_back(c);
+  }
+
+  // Emits the pair (l, r) if it satisfies the residual conjuncts.
+  auto emit_pair = [&](size_t li, size_t ri) -> Status {
+    std::vector<Value> vals = left.rows[li];
+    vals.insert(vals.end(), right.rows[ri].begin(), right.rows[ri].end());
+    RowLineage lin = left.lineage[li];
+    lin.insert(lin.end(), right.lineage[ri].begin(), right.lineage[ri].end());
+
+    bool concrete_pass = true;
+    std::vector<PolyId> cond_parts;
+    if (debug) {
+      cond_parts.push_back(left.cond[li]);
+      cond_parts.push_back(right.cond[ri]);
+    }
+    for (const ExprPtr& c : residual) {
+      if (!debug || !c->IsModelDependent()) {
+        EvalContext ec;
+        ec.values = &vals;
+        ec.lineage = &lin;
+        ec.predictions = predictions_;
+        RAIN_ASSIGN_OR_RETURN(const Value v, EvalExpr(*c, ec));
+        RAIN_ASSIGN_OR_RETURN(const bool pass, v.ToBool());
+        if (!pass) return Status::OK();  // fails concretely for all predictions
+        continue;
+      }
+      SymContext sc;
+      sc.arena = arena_;
+      sc.predictions = predictions_;
+      sc.values = &vals;
+      sc.lineage = &lin;
+      RAIN_ASSIGN_OR_RETURN(SymValue sym, SymbolicEval(*c, &sc));
+      RAIN_ASSIGN_OR_RETURN(const PolyId p, ToBoolPoly(sym, &sc));
+      cond_parts.push_back(p);
+      RAIN_ASSIGN_OR_RETURN(const bool pass, sym.concrete.ToBool());
+      concrete_pass = concrete_pass && pass;
+    }
+    PolyId cond = kInvalidPoly;
+    if (debug) {
+      cond = arena_->And(std::move(cond_parts));
+      if (arena_->IsConst(cond) && arena_->ConstValue(cond) == 0.0) {
+        return Status::OK();
+      }
+    } else if (!concrete_pass) {
+      return Status::OK();
+    }
+    out.rows.push_back(std::move(vals));
+    out.cond.push_back(cond);
+    out.concrete.push_back(left.concrete[li] && right.concrete[ri] && concrete_pass
+                               ? 1
+                               : 0);
+    out.lineage.push_back(std::move(lin));
+    return Status::OK();
+  };
+
+  if (!hash_keys.empty()) {
+    // Hash join on the concrete equi keys.
+    std::unordered_map<std::string, std::vector<size_t>> buckets;
+    std::vector<Value> key_vals(hash_keys.size());
+    for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+      for (size_t k = 0; k < hash_keys.size(); ++k) {
+        key_vals[k] = right.rows[ri][hash_keys[k].second];
+      }
+      buckets[EncodeKey(key_vals)].push_back(ri);
+    }
+    for (size_t li = 0; li < left.num_rows(); ++li) {
+      for (size_t k = 0; k < hash_keys.size(); ++k) {
+        key_vals[k] = left.rows[li][hash_keys[k].first];
+      }
+      auto it = buckets.find(EncodeKey(key_vals));
+      if (it == buckets.end()) continue;
+      for (size_t ri : it->second) RAIN_RETURN_NOT_OK(emit_pair(li, ri));
+    }
+  } else {
+    for (size_t li = 0; li < left.num_rows(); ++li) {
+      for (size_t ri = 0; ri < right.num_rows(); ++ri) {
+        RAIN_RETURN_NOT_OK(emit_pair(li, ri));
+      }
+    }
+  }
+  return out;
+}
+
+Result<ExecTable> Executor::RunProject(const PlanNode& node, ExecTable input,
+                                       bool debug) {
+  if (node.exprs.size() != node.names.size()) {
+    return Status::InvalidArgument("projection names/exprs arity mismatch");
+  }
+  std::vector<ExprPtr> bound(node.exprs.size());
+  for (size_t i = 0; i < node.exprs.size(); ++i) {
+    RAIN_ASSIGN_OR_RETURN(bound[i], BindExpr(node.exprs[i], input.schema, alias_ids_));
+  }
+
+  ExecTable out;
+  out.cond = std::move(input.cond);
+  out.concrete = std::move(input.concrete);
+
+  bool schema_set = false;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    std::vector<Value> vals(bound.size());
+    for (size_t i = 0; i < bound.size(); ++i) {
+      EvalContext ec;
+      ec.values = &input.rows[r];
+      ec.lineage = &input.lineage[r];
+      ec.predictions = predictions_;
+      RAIN_ASSIGN_OR_RETURN(vals[i], EvalExpr(*bound[i], ec));
+    }
+    if (!schema_set) {
+      for (size_t i = 0; i < bound.size(); ++i) {
+        out.schema.AddField(Field{node.names[i], vals[i].type(), ""});
+      }
+      schema_set = true;
+    }
+    out.rows.push_back(std::move(vals));
+    out.lineage.push_back(std::move(input.lineage[r]));
+  }
+  if (!schema_set) {
+    // Empty input: infer types as INT64 (no rows to observe).
+    for (const std::string& name : node.names) {
+      out.schema.AddField(Field{name, DataType::kInt64, ""});
+    }
+  }
+  (void)debug;
+  return out;
+}
+
+Result<ExecResult> Executor::RunAggregate(const PlanNode& node, ExecTable input,
+                                          bool debug) {
+  // Bind group keys and aggregate arguments.
+  std::vector<ExprPtr> group_exprs(node.group_by.size());
+  int model_group_idx = -1;
+  for (size_t i = 0; i < node.group_by.size(); ++i) {
+    RAIN_ASSIGN_OR_RETURN(group_exprs[i],
+                          BindExpr(node.group_by[i], input.schema, alias_ids_));
+    if (group_exprs[i]->IsModelDependent()) {
+      if (group_exprs[i]->kind != ExprKind::kPredict) {
+        return Status::Unimplemented(
+            "model-dependent GROUP BY keys must be bare predict() expressions");
+      }
+      if (model_group_idx >= 0) {
+        return Status::Unimplemented("at most one predict() GROUP BY key supported");
+      }
+      model_group_idx = static_cast<int>(i);
+    }
+  }
+  std::vector<ExprPtr> agg_args(node.aggs.size());
+  for (size_t i = 0; i < node.aggs.size(); ++i) {
+    if (node.aggs[i].arg != nullptr) {
+      RAIN_ASSIGN_OR_RETURN(agg_args[i],
+                            BindExpr(node.aggs[i].arg, input.schema, alias_ids_));
+    } else if (node.aggs[i].func != AggFunc::kCount) {
+      return Status::InvalidArgument("SUM/AVG require an argument expression");
+    }
+  }
+
+  // A group member: input row index + membership condition/concreteness.
+  struct Member {
+    size_t row;
+    PolyId cond;
+    bool concrete;
+  };
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<Member> members;
+  };
+  std::map<std::string, Group> groups;  // ordered for deterministic output
+
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    // Evaluate concrete group keys.
+    std::vector<Value> keys(group_exprs.size());
+    for (size_t i = 0; i < group_exprs.size(); ++i) {
+      if (static_cast<int>(i) == model_group_idx) continue;
+      EvalContext ec;
+      ec.values = &input.rows[r];
+      ec.lineage = &input.lineage[r];
+      ec.predictions = predictions_;
+      RAIN_ASSIGN_OR_RETURN(keys[i], EvalExpr(*group_exprs[i], ec));
+    }
+    if (model_group_idx < 0) {
+      groups[EncodeKey(keys)].keys = keys;
+      groups[EncodeKey(keys)].members.push_back(
+          Member{r, input.cond.empty() ? kInvalidPoly : input.cond[r],
+                 input.concrete[r] != 0});
+      continue;
+    }
+    // Model-dependent key: expand the row into one candidate per class.
+    const Expr& pe = *group_exprs[model_group_idx];
+    const RowLineageEntry* entry = nullptr;
+    for (const RowLineageEntry& e : input.lineage[r]) {
+      if (e.alias_id == pe.predict_alias_id) {
+        entry = &e;
+        break;
+      }
+    }
+    if (entry == nullptr) return Status::Internal("missing lineage for group key");
+    const int num_classes = predictions_->NumClasses(entry->table_id);
+    const int argmax = predictions_->PredictedClass(entry->table_id, entry->row);
+    if (!debug) {
+      keys[model_group_idx] = Value(static_cast<int64_t>(argmax));
+      groups[EncodeKey(keys)].keys = keys;
+      groups[EncodeKey(keys)].members.push_back(
+          Member{r, kInvalidPoly, input.concrete[r] != 0});
+      continue;
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      keys[model_group_idx] = Value(static_cast<int64_t>(c));
+      const PolyId vc = arena_->Var(PredVar{entry->table_id, entry->row, c});
+      const PolyId cond = arena_->And({input.cond[r], vc});
+      if (arena_->IsConst(cond) && arena_->ConstValue(cond) == 0.0) continue;
+      Group& g = groups[EncodeKey(keys)];
+      g.keys = keys;
+      g.members.push_back(Member{r, cond, input.concrete[r] != 0 && c == argmax});
+    }
+  }
+
+  // Global aggregate (no GROUP BY): exactly one group, even when empty.
+  if (group_exprs.empty() && groups.empty()) {
+    groups[""] = Group{};
+  }
+
+  // Output schema: group columns then aggregate columns.
+  ExecResult result;
+  result.is_aggregate = true;
+  result.num_group_cols = group_exprs.size();
+  for (const auto& spec : node.aggs) result.agg_names.push_back(spec.name);
+
+  ExecTable& out = result.table;
+  // Infer group column types from any group's keys.
+  for (size_t i = 0; i < group_exprs.size(); ++i) {
+    DataType t = DataType::kInt64;
+    if (!groups.empty()) t = groups.begin()->second.keys[i].type();
+    const std::string name =
+        i < node.group_names.size() && !node.group_names[i].empty()
+            ? node.group_names[i]
+            : "group_" + std::to_string(i);
+    out.schema.AddField(Field{name, t, ""});
+  }
+  for (const auto& spec : node.aggs) {
+    out.schema.AddField(Field{
+        spec.name, spec.func == AggFunc::kCount ? DataType::kInt64 : DataType::kDouble,
+        ""});
+  }
+
+  for (auto& [key, group] : groups) {
+    (void)key;
+    std::vector<Value> row_vals = group.keys;
+    std::vector<PolyId> polys;
+    bool any_concrete = group_exprs.empty();  // global aggregate always exists
+    std::vector<PolyId> member_conds;
+    for (const Member& m : group.members) {
+      if (m.concrete) any_concrete = true;
+      if (debug) member_conds.push_back(m.cond);
+    }
+
+    for (size_t a = 0; a < node.aggs.size(); ++a) {
+      const AggSpec& spec = node.aggs[a];
+      // Concrete aggregate over concrete members; polynomial over all
+      // candidate members weighted by their conditions.
+      double sum_concrete = 0.0;
+      int64_t count_concrete = 0;
+      std::vector<PolyId> sum_terms;
+      std::vector<PolyId> count_terms;
+      for (const Member& m : group.members) {
+        double arg_num = 1.0;
+        PolyId arg_poly = kInvalidPoly;
+        if (agg_args[a] != nullptr) {
+          SymContext sc;
+          sc.arena = arena_;
+          sc.predictions = predictions_;
+          sc.values = &input.rows[m.row];
+          sc.lineage = &input.lineage[m.row];
+          if (debug) {
+            RAIN_ASSIGN_OR_RETURN(SymValue sym, SymbolicEval(*agg_args[a], &sc));
+            RAIN_ASSIGN_OR_RETURN(arg_poly, ToNumPoly(sym, &sc));
+            RAIN_ASSIGN_OR_RETURN(arg_num, sym.concrete.ToNumeric());
+          } else {
+            EvalContext ec;
+            ec.values = &input.rows[m.row];
+            ec.lineage = &input.lineage[m.row];
+            ec.predictions = predictions_;
+            RAIN_ASSIGN_OR_RETURN(const Value v, EvalExpr(*agg_args[a], ec));
+            RAIN_ASSIGN_OR_RETURN(arg_num, v.ToNumeric());
+          }
+        }
+        if (m.concrete) {
+          sum_concrete += arg_num;
+          ++count_concrete;
+        }
+        if (debug) {
+          count_terms.push_back(m.cond);
+          sum_terms.push_back(agg_args[a] == nullptr
+                                  ? m.cond
+                                  : arena_->Mul({m.cond, arg_poly}));
+        }
+      }
+      Value cell;
+      PolyId poly = kInvalidPoly;
+      switch (spec.func) {
+        case AggFunc::kCount:
+          cell = Value(count_concrete);
+          if (debug) poly = arena_->Add(count_terms);
+          break;
+        case AggFunc::kSum:
+          cell = Value(sum_concrete);
+          if (debug) poly = arena_->Add(sum_terms);
+          break;
+        case AggFunc::kAvg: {
+          cell = Value(count_concrete > 0
+                           ? sum_concrete / static_cast<double>(count_concrete)
+                           : 0.0);
+          if (debug) {
+            const PolyId s = arena_->Add(sum_terms);
+            const PolyId c = arena_->Add(count_terms);
+            poly = arena_->Div(s, c);
+          }
+          break;
+        }
+      }
+      row_vals.push_back(cell);
+      polys.push_back(poly);
+    }
+
+    out.rows.push_back(std::move(row_vals));
+    out.concrete.push_back(any_concrete ? 1 : 0);
+    out.cond.push_back(debug ? arena_->Or(std::move(member_conds)) : kInvalidPoly);
+    out.lineage.emplace_back();  // aggregates end lineage
+    result.agg_polys.push_back(std::move(polys));
+  }
+  // Global aggregates are unconditionally present in the output.
+  if (group_exprs.empty() && debug && !out.cond.empty()) {
+    out.cond[0] = arena_->True();
+  }
+  return result;
+}
+
+}  // namespace rain

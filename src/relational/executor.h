@@ -1,0 +1,100 @@
+#ifndef RAIN_RELATIONAL_EXECUTOR_H_
+#define RAIN_RELATIONAL_EXECUTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/poly.h"
+#include "provenance/prediction_store.h"
+#include "relational/catalog.h"
+#include "relational/plan.h"
+
+namespace rain {
+
+/// \brief Materialized intermediate/output relation with provenance.
+///
+/// In debug mode the executor keeps *candidate* rows: rows that do not
+/// appear in the concrete output but could, under a different model
+/// prediction (their existence condition `cond` is a non-constant
+/// polynomial). This is what lets Holistic reason about "why-not" —
+/// e.g. rows a COUNT complaint wants to add. `concrete[r]` marks rows
+/// that are really in the output under the current predictions.
+struct ExecTable {
+  Schema schema;
+  std::vector<std::vector<Value>> rows;
+  /// Existence condition per row (only meaningful in debug mode).
+  std::vector<PolyId> cond;
+  /// 1 iff the row is in the real (non-debug) output.
+  std::vector<uint8_t> concrete;
+  /// Base-row lineage per row (feeds predict()).
+  std::vector<RowLineage> lineage;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t NumConcrete() const;
+  /// Converts the concrete rows to a columnar Table.
+  Table ToTable() const;
+};
+
+struct ExecOptions {
+  /// Captures provenance polynomials and candidate rows when true.
+  bool debug_mode = false;
+};
+
+/// Result of executing a plan.
+struct ExecResult {
+  ExecTable table;
+  bool is_aggregate = false;
+  size_t num_group_cols = 0;
+  /// Debug mode, aggregates only: value polynomial of each aggregate cell,
+  /// indexed [output_row][agg_index].
+  std::vector<std::vector<PolyId>> agg_polys;
+  std::vector<std::string> agg_names;
+};
+
+/// \brief SPJA executor with optional provenance capture.
+///
+/// Non-debug execution computes the ordinary query answer, resolving
+/// predict() through the PredictionStore (argmax class). Debug execution
+/// additionally builds, for every output row, its existence condition
+/// over prediction variables, and for every aggregate cell its value
+/// polynomial — the provenance polynomials of Sections 5.2/5.3.
+class Executor {
+ public:
+  /// `arena` may be null when only non-debug execution is needed. None of
+  /// the pointers are owned.
+  Executor(const Catalog* catalog, const PredictionStore* predictions,
+           PolyArena* arena);
+
+  Result<ExecResult> Run(const PlanPtr& plan, const ExecOptions& options);
+
+  /// Alias name -> scan instance id discovered by the last Run.
+  const std::unordered_map<std::string, int>& alias_ids() const { return alias_ids_; }
+  /// Scan instance id -> catalog table id.
+  const std::vector<int32_t>& alias_tables() const { return alias_tables_; }
+
+ private:
+  Status CollectAliases(const PlanPtr& plan);
+  Result<ExecTable> RunNode(const PlanPtr& plan, bool debug);
+  Result<ExecTable> RunScan(const PlanNode& node, bool debug);
+  Result<ExecTable> RunFilter(const PlanNode& node, ExecTable input, bool debug);
+  Result<ExecTable> RunJoin(const PlanNode& node, ExecTable left, ExecTable right,
+                            bool debug);
+  Result<ExecTable> RunProject(const PlanNode& node, ExecTable input, bool debug);
+  Result<ExecResult> RunAggregate(const PlanNode& node, ExecTable input, bool debug);
+  /// Applies a Sort/Limit wrapper to a materialized result (permutes or
+  /// truncates rows together with their provenance and aggregate polys).
+  Status ApplyWrapper(const PlanNode& node, bool debug, ExecResult* result);
+
+  const Catalog* catalog_;
+  const PredictionStore* predictions_;
+  PolyArena* arena_;
+
+  std::unordered_map<std::string, int> alias_ids_;
+  std::vector<int32_t> alias_tables_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_EXECUTOR_H_

@@ -1,0 +1,240 @@
+#include "relational/expression.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+namespace {
+
+std::shared_ptr<Expr> Make(ExprKind kind) {
+  auto e = std::make_shared<Expr>();
+  e->kind = kind;
+  return e;
+}
+
+}  // namespace
+
+ExprPtr Expr::Column(std::string name, std::string qualifier) {
+  auto e = Make(ExprKind::kColumnRef);
+  e->column_name = std::move(name);
+  e->qualifier = std::move(qualifier);
+  return e;
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = Make(ExprKind::kLiteral);
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kCompare);
+  e->cmp = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kLogical);
+  e->logic = LogicalOp::kAnd;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kLogical);
+  e->logic = LogicalOp::kOr;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr c) {
+  auto e = Make(ExprKind::kLogical);
+  e->logic = LogicalOp::kNot;
+  e->children = {std::move(c)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = Make(ExprKind::kArith);
+  e->arith = op;
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr text, std::string pattern) {
+  auto e = Make(ExprKind::kLike);
+  e->like_pattern = std::move(pattern);
+  e->children = {std::move(text)};
+  return e;
+}
+
+ExprPtr Expr::Predict(std::string alias) {
+  auto e = Make(ExprKind::kPredict);
+  e->predict_alias = std::move(alias);
+  return e;
+}
+
+bool Expr::IsModelDependent() const {
+  if (kind == ExprKind::kPredict) return true;
+  for (const ExprPtr& c : children) {
+    if (c->IsModelDependent()) return true;
+  }
+  return false;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column_name : qualifier + "." + column_name;
+    case ExprKind::kLiteral:
+      return literal.is_string() ? "'" + literal.ToString() + "'" : literal.ToString();
+    case ExprKind::kCompare: {
+      static const char* ops[] = {"=", "<>", "<", "<=", ">", ">="};
+      return "(" + children[0]->ToString() + " " + ops[static_cast<int>(cmp)] + " " +
+             children[1]->ToString() + ")";
+    }
+    case ExprKind::kLogical:
+      if (logic == LogicalOp::kNot) return "NOT " + children[0]->ToString();
+      return "(" + children[0]->ToString() +
+             (logic == LogicalOp::kAnd ? " AND " : " OR ") + children[1]->ToString() +
+             ")";
+    case ExprKind::kArith: {
+      static const char* ops[] = {"+", "-", "*", "/"};
+      return "(" + children[0]->ToString() + " " + ops[static_cast<int>(arith)] + " " +
+             children[1]->ToString() + ")";
+    }
+    case ExprKind::kLike:
+      return "(" + children[0]->ToString() + " LIKE '" + like_pattern + "')";
+    case ExprKind::kPredict:
+      return "predict(" + predict_alias + ")";
+  }
+  return "?";
+}
+
+Result<ExprPtr> BindExpr(const ExprPtr& expr, const Schema& schema,
+                         const std::unordered_map<std::string, int>& aliases) {
+  auto bound = std::make_shared<Expr>(*expr);
+  switch (expr->kind) {
+    case ExprKind::kColumnRef: {
+      const int idx = schema.FindField(expr->column_name, expr->qualifier);
+      if (idx < 0) {
+        return Status::NotFound("column '" +
+                                (expr->qualifier.empty()
+                                     ? expr->column_name
+                                     : expr->qualifier + "." + expr->column_name) +
+                                "' not found or ambiguous in " + schema.ToString());
+      }
+      bound->column_index = idx;
+      break;
+    }
+    case ExprKind::kPredict: {
+      auto it = aliases.find(expr->predict_alias);
+      if (it == aliases.end()) {
+        return Status::NotFound("predict() alias '" + expr->predict_alias +
+                                "' does not name a table in scope");
+      }
+      bound->predict_alias_id = it->second;
+      break;
+    }
+    default:
+      break;
+  }
+  for (ExprPtr& child : bound->children) {
+    RAIN_ASSIGN_OR_RETURN(child, BindExpr(child, schema, aliases));
+  }
+  return ExprPtr(std::move(bound));
+}
+
+namespace {
+
+Result<Value> EvalCompare(const Expr& expr, const EvalContext& ctx) {
+  RAIN_ASSIGN_OR_RETURN(const Value l, EvalExpr(*expr.children[0], ctx));
+  RAIN_ASSIGN_OR_RETURN(const Value r, EvalExpr(*expr.children[1], ctx));
+  RAIN_ASSIGN_OR_RETURN(const int c, l.Compare(r));
+  switch (expr.cmp) {
+    case CompareOp::kEq:
+      return Value(c == 0);
+    case CompareOp::kNe:
+      return Value(c != 0);
+    case CompareOp::kLt:
+      return Value(c < 0);
+    case CompareOp::kLe:
+      return Value(c <= 0);
+    case CompareOp::kGt:
+      return Value(c > 0);
+    case CompareOp::kGe:
+      return Value(c >= 0);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      if (expr.column_index < 0) return Status::Internal("unbound column reference");
+      RAIN_CHECK(ctx.values != nullptr);
+      return (*ctx.values)[expr.column_index];
+    }
+    case ExprKind::kLiteral:
+      return expr.literal;
+    case ExprKind::kCompare:
+      return EvalCompare(expr, ctx);
+    case ExprKind::kLogical: {
+      if (expr.logic == LogicalOp::kNot) {
+        RAIN_ASSIGN_OR_RETURN(const Value v, EvalExpr(*expr.children[0], ctx));
+        RAIN_ASSIGN_OR_RETURN(const bool b, v.ToBool());
+        return Value(!b);
+      }
+      RAIN_ASSIGN_OR_RETURN(const Value lv, EvalExpr(*expr.children[0], ctx));
+      RAIN_ASSIGN_OR_RETURN(const bool l, lv.ToBool());
+      // Short-circuit.
+      if (expr.logic == LogicalOp::kAnd && !l) return Value(false);
+      if (expr.logic == LogicalOp::kOr && l) return Value(true);
+      RAIN_ASSIGN_OR_RETURN(const Value rv, EvalExpr(*expr.children[1], ctx));
+      RAIN_ASSIGN_OR_RETURN(const bool r, rv.ToBool());
+      return Value(r);
+    }
+    case ExprKind::kArith: {
+      RAIN_ASSIGN_OR_RETURN(const Value lv, EvalExpr(*expr.children[0], ctx));
+      RAIN_ASSIGN_OR_RETURN(const Value rv, EvalExpr(*expr.children[1], ctx));
+      RAIN_ASSIGN_OR_RETURN(const double l, lv.ToNumeric());
+      RAIN_ASSIGN_OR_RETURN(const double r, rv.ToNumeric());
+      switch (expr.arith) {
+        case ArithOp::kAdd:
+          return Value(l + r);
+        case ArithOp::kSub:
+          return Value(l - r);
+        case ArithOp::kMul:
+          return Value(l * r);
+        case ArithOp::kDiv:
+          if (r == 0.0) return Status::InvalidArgument("division by zero");
+          return Value(l / r);
+      }
+      return Status::Internal("unreachable");
+    }
+    case ExprKind::kLike: {
+      RAIN_ASSIGN_OR_RETURN(const Value v, EvalExpr(*expr.children[0], ctx));
+      if (!v.is_string()) return Status::TypeError("LIKE requires a string operand");
+      return Value(LikeMatch(v.AsString(), expr.like_pattern));
+    }
+    case ExprKind::kPredict: {
+      if (expr.predict_alias_id < 0) return Status::Internal("unbound predict()");
+      if (ctx.lineage == nullptr || ctx.predictions == nullptr) {
+        return Status::Internal("predict() evaluated without lineage/predictions");
+      }
+      for (const RowLineageEntry& e : *ctx.lineage) {
+        if (e.alias_id == expr.predict_alias_id) {
+          return Value(
+              static_cast<int64_t>(ctx.predictions->PredictedClass(e.table_id, e.row)));
+        }
+      }
+      return Status::Internal("row lineage lacks alias for predict()");
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace rain

@@ -1,0 +1,115 @@
+#ifndef RAIN_RELATIONAL_EXPRESSION_H_
+#define RAIN_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "provenance/prediction_store.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace rain {
+
+class Expr;
+/// Expressions are immutable and shared.
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind : uint8_t {
+  kColumnRef,  // table column, by name (+ optional alias qualifier)
+  kLiteral,    // constant value
+  kCompare,    // =, <>, <, <=, >, >=
+  kLogical,    // AND, OR, NOT
+  kArith,      // +, -, *, /
+  kLike,       // string LIKE pattern
+  kPredict,    // M.predict(alias) -- model inference on a scanned table
+};
+
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class LogicalOp : uint8_t { kAnd, kOr, kNot };
+enum class ArithOp : uint8_t { kAdd, kSub, kMul, kDiv };
+
+/// \brief Scalar expression tree node.
+///
+/// Expressions are built unbound (column references by name, Predict by
+/// alias name) and bound against an operator's input schema with
+/// `BindExpr`, which fills `column_index` / `predict_alias_id`.
+class Expr {
+ public:
+  ExprKind kind;
+
+  // kColumnRef
+  std::string column_name;
+  std::string qualifier;
+  int column_index = -1;  // bound position in the input schema
+
+  // kLiteral
+  Value literal;
+
+  // kCompare / kLogical / kArith
+  CompareOp cmp = CompareOp::kEq;
+  LogicalOp logic = LogicalOp::kAnd;
+  ArithOp arith = ArithOp::kAdd;
+
+  // kLike
+  std::string like_pattern;
+
+  // kPredict
+  std::string predict_alias;   // FROM-clause alias whose features feed the model
+  int predict_alias_id = -1;   // bound scan-instance id
+
+  std::vector<ExprPtr> children;
+
+  /// --- factories ---
+  static ExprPtr Column(std::string name, std::string qualifier = "");
+  static ExprPtr Lit(Value v);
+  static ExprPtr LitInt(int64_t v) { return Lit(Value(v)); }
+  static ExprPtr LitDouble(double v) { return Lit(Value(v)); }
+  static ExprPtr LitString(std::string v) { return Lit(Value(std::move(v))); }
+  static ExprPtr LitBool(bool v) { return Lit(Value(v)); }
+  static ExprPtr Compare(CompareOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Eq(ExprPtr l, ExprPtr r) { return Compare(CompareOp::kEq, l, r); }
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Not(ExprPtr c);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr Like(ExprPtr text, std::string pattern);
+  /// Model inference over the features of the scan aliased `alias`.
+  static ExprPtr Predict(std::string alias);
+
+  /// True if any Predict node occurs in the subtree.
+  bool IsModelDependent() const;
+
+  std::string ToString() const;
+};
+
+/// Lineage of one intermediate row: which base-table row each scan alias
+/// contributed. Predict expressions resolve through this.
+struct RowLineageEntry {
+  int32_t alias_id = -1;
+  int32_t table_id = -1;
+  int64_t row = -1;
+};
+using RowLineage = std::vector<RowLineageEntry>;
+
+/// Evaluation context for one (materialized) row.
+struct EvalContext {
+  const std::vector<Value>* values = nullptr;  // row values, schema order
+  const RowLineage* lineage = nullptr;         // may be null when no Predict
+  const PredictionStore* predictions = nullptr;
+};
+
+/// Binds column references and Predict aliases in `expr` against `schema`
+/// and the alias table (alias name -> alias id). Returns a new bound tree.
+Result<ExprPtr> BindExpr(const ExprPtr& expr, const Schema& schema,
+                         const std::unordered_map<std::string, int>& aliases);
+
+/// Concrete evaluation: Predict yields the current argmax prediction as
+/// an INT64. Requires a bound expression.
+Result<Value> EvalExpr(const Expr& expr, const EvalContext& ctx);
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,130 @@
+#include "relational/plan.h"
+
+#include "common/string_util.h"
+
+namespace rain {
+namespace {
+
+std::shared_ptr<PlanNode> Make(PlanKind kind) {
+  auto n = std::make_shared<PlanNode>();
+  n->kind = kind;
+  return n;
+}
+
+}  // namespace
+
+PlanPtr PlanNode::Scan(std::string table_name, std::string alias) {
+  auto n = Make(PlanKind::kScan);
+  n->alias = alias.empty() ? table_name : std::move(alias);
+  n->table_name = std::move(table_name);
+  return n;
+}
+
+PlanPtr PlanNode::Filter(PlanPtr child, ExprPtr predicate) {
+  auto n = Make(PlanKind::kFilter);
+  n->predicate = std::move(predicate);
+  n->children = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Join(PlanPtr left, PlanPtr right, ExprPtr predicate) {
+  auto n = Make(PlanKind::kJoin);
+  n->predicate = std::move(predicate);
+  n->children = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanPtr PlanNode::Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                          std::vector<std::string> names) {
+  auto n = Make(PlanKind::kProject);
+  n->exprs = std::move(exprs);
+  n->names = std::move(names);
+  n->children = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(PlanPtr child, std::vector<ExprPtr> group_by,
+                            std::vector<std::string> group_names,
+                            std::vector<AggSpec> aggs) {
+  auto n = Make(PlanKind::kAggregate);
+  n->group_by = std::move(group_by);
+  n->group_names = std::move(group_names);
+  n->aggs = std::move(aggs);
+  n->children = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Sort(PlanPtr child, std::vector<ExprPtr> keys,
+                       std::vector<bool> ascending) {
+  auto n = Make(PlanKind::kSort);
+  n->exprs = std::move(keys);
+  n->sort_ascending = std::move(ascending);
+  n->children = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Limit(PlanPtr child, int64_t limit) {
+  auto n = Make(PlanKind::kLimit);
+  n->limit = limit;
+  n->children = {std::move(child)};
+  return n;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "Scan(" + table_name + (alias != table_name ? " AS " + alias : "") + ")";
+      break;
+    case PlanKind::kFilter:
+      out += "Filter(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kJoin:
+      out += "Join(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kProject: {
+      out += "Project(";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += exprs[i]->ToString() + " AS " + names[i];
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kAggregate: {
+      out += "Aggregate(group_by=[";
+      for (size_t i = 0; i < group_by.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += group_by[i]->ToString();
+      }
+      out += "], aggs=[";
+      static const char* fn[] = {"COUNT", "SUM", "AVG"};
+      for (size_t i = 0; i < aggs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::string(fn[static_cast<int>(aggs[i].func)]) + "(" +
+               (aggs[i].arg ? aggs[i].arg->ToString() : "*") + ") AS " + aggs[i].name;
+      }
+      out += "])";
+      break;
+    }
+    case PlanKind::kSort: {
+      out += "Sort(";
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += exprs[i]->ToString();
+        out += sort_ascending[i] ? " ASC" : " DESC";
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kLimit:
+      out += StrFormat("Limit(%lld)", static_cast<long long>(limit));
+      break;
+  }
+  out += "\n";
+  for (const PlanPtr& c : children) out += c->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace rain

@@ -1,0 +1,88 @@
+#ifndef RAIN_RELATIONAL_PLAN_H_
+#define RAIN_RELATIONAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/expression.h"
+
+namespace rain {
+
+struct PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+enum class PlanKind : uint8_t {
+  kScan,
+  kFilter,
+  kJoin,
+  kProject,
+  kAggregate,
+  kSort,
+  kLimit,
+};
+
+enum class AggFunc : uint8_t { kCount, kSum, kAvg };
+
+/// One aggregate output: func(arg) AS name. `arg` is null for COUNT(*).
+struct AggSpec {
+  AggFunc func = AggFunc::kCount;
+  ExprPtr arg;  // nullptr for COUNT(*)
+  std::string name;
+};
+
+/// \brief Logical SPJA plan node (immutable tree).
+///
+/// Supported shapes mirror the paper's Section 3.1 query class: scans,
+/// filters with arbitrary boolean predicates (including model
+/// predictions), inner joins, projections, and GROUP BY aggregation with
+/// COUNT/SUM/AVG. Model predictions may appear in filters, join
+/// conditions, aggregate arguments and GROUP BY keys.
+struct PlanNode {
+  PlanKind kind = PlanKind::kScan;
+
+  // kScan
+  std::string table_name;
+  std::string alias;  // defaults to table_name
+
+  // kFilter / kJoin
+  ExprPtr predicate;
+
+  // kProject
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+
+  // kAggregate
+  std::vector<ExprPtr> group_by;
+  std::vector<std::string> group_names;
+  std::vector<AggSpec> aggs;
+
+  // kSort: keys are `exprs`; ascending flags align with them.
+  std::vector<bool> sort_ascending;
+
+  // kLimit
+  int64_t limit = 0;
+
+  std::vector<PlanPtr> children;
+
+  /// --- builders ---
+  static PlanPtr Scan(std::string table_name, std::string alias = "");
+  static PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+  static PlanPtr Join(PlanPtr left, PlanPtr right, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr child, std::vector<ExprPtr> exprs,
+                         std::vector<std::string> names);
+  static PlanPtr Aggregate(PlanPtr child, std::vector<ExprPtr> group_by,
+                           std::vector<std::string> group_names,
+                           std::vector<AggSpec> aggs);
+  /// ORDER BY the given (model-independent) key expressions.
+  static PlanPtr Sort(PlanPtr child, std::vector<ExprPtr> keys,
+                      std::vector<bool> ascending);
+  /// Keeps the first `n` output rows.
+  static PlanPtr Limit(PlanPtr child, int64_t n);
+
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_PLAN_H_

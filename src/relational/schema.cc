@@ -1,0 +1,35 @@
+#include "relational/schema.h"
+
+namespace rain {
+
+int Schema::FindField(const std::string& name, const std::string& qualifier) const {
+  int found = -1;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& f = fields_[i];
+    if (f.name != name) continue;
+    if (!qualifier.empty() && f.qualifier != qualifier) continue;
+    if (found >= 0) return -1;  // ambiguous
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Field> fields = left.fields();
+  for (const Field& f : right.fields()) fields.push_back(f);
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (!fields_[i].qualifier.empty()) out += fields_[i].qualifier + ".";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out + ")";
+}
+
+}  // namespace rain

@@ -1,0 +1,51 @@
+#ifndef RAIN_RELATIONAL_SCHEMA_H_
+#define RAIN_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace rain {
+
+/// A named, typed column descriptor. `qualifier` carries the table alias
+/// ("U" in "Users U") so bound column references can disambiguate
+/// self-joins.
+struct Field {
+  std::string name;
+  DataType type = DataType::kInt64;
+  std::string qualifier;  // optional alias qualifier
+
+  bool operator==(const Field& o) const {
+    return name == o.name && type == o.type && qualifier == o.qualifier;
+  }
+};
+
+/// Ordered collection of fields.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the column named `name` (optionally requiring a matching
+  /// qualifier). Returns -1 if absent or ambiguous (>1 match).
+  int FindField(const std::string& name, const std::string& qualifier = "") const;
+
+  /// Concatenation (join output schema).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_SCHEMA_H_

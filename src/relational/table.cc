@@ -1,0 +1,102 @@
+#include "relational/table.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rain {
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return ints_.size();
+    case DataType::kDouble:
+      return doubles_.size();
+    case DataType::kString:
+      return strings_.size();
+    case DataType::kBool:
+      return bools_.size();
+  }
+  return 0;
+}
+
+void Column::Append(const Value& v) {
+  RAIN_CHECK(v.type() == type_) << "column type mismatch: expected "
+                                << DataTypeName(type_) << ", got "
+                                << DataTypeName(v.type());
+  switch (type_) {
+    case DataType::kInt64:
+      ints_.push_back(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      doubles_.push_back(v.AsDouble());
+      break;
+    case DataType::kString:
+      strings_.push_back(v.AsString());
+      break;
+    case DataType::kBool:
+      bools_.push_back(v.AsBool() ? 1 : 0);
+      break;
+  }
+}
+
+Value Column::Get(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(ints_[row]);
+    case DataType::kDouble:
+      return Value(doubles_[row]);
+    case DataType::kString:
+      return Value(strings_[row]);
+    case DataType::kBool:
+      return Value(bools_[row] != 0);
+  }
+  return Value();
+}
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) columns_.emplace_back(f.type);
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != schema_.field(i).type) {
+      return Status::TypeError(
+          StrFormat("column %zu expects %s, got %s", i,
+                    DataTypeName(schema_.field(i).type), DataTypeName(row[i].type())));
+    }
+  }
+  AppendRowUnchecked(row);
+  return Status::OK();
+}
+
+void Table::AppendRowUnchecked(const std::vector<Value>& row) {
+  for (size_t i = 0; i < row.size(); ++i) columns_[i].Append(row[i]);
+  ++num_rows_;
+}
+
+std::vector<Value> Table::GetRow(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const Column& c : columns_) out.push_back(c.Get(row));
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out = schema_.ToString() + "\n";
+  const size_t n = std::min(num_rows_, max_rows);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c].Get(r).ToString();
+    }
+    out += "\n";
+  }
+  if (n < num_rows_) out += StrFormat("... (%zu rows total)\n", num_rows_);
+  return out;
+}
+
+}  // namespace rain

@@ -1,0 +1,76 @@
+#ifndef RAIN_RELATIONAL_TABLE_H_
+#define RAIN_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace rain {
+
+/// \brief A typed column stored as a contiguous vector of its native type.
+class Column {
+ public:
+  explicit Column(DataType type) : type_(type) {}
+
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  void Append(const Value& v);
+  void AppendInt64(int64_t v) { ints_.push_back(v); }
+  void AppendDouble(double v) { doubles_.push_back(v); }
+  void AppendString(std::string v) { strings_.push_back(std::move(v)); }
+  void AppendBool(bool v) { bools_.push_back(v ? 1 : 0); }
+
+  Value Get(size_t row) const;
+  int64_t GetInt64(size_t row) const { return ints_[row]; }
+  double GetDouble(size_t row) const { return doubles_[row]; }
+  const std::string& GetString(size_t row) const { return strings_[row]; }
+  bool GetBool(size_t row) const { return bools_[row] != 0; }
+
+ private:
+  DataType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> bools_;
+};
+
+/// \brief In-memory columnar table.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column& column(size_t i) { return columns_[i]; }
+
+  /// Appends a full row; arity and types must match the schema.
+  Status AppendRow(const std::vector<Value>& row);
+  /// Unchecked fast-path append used by operators that construct rows of
+  /// known-correct shape.
+  void AppendRowUnchecked(const std::vector<Value>& row);
+
+  Value Get(size_t row, size_t col) const { return columns_[col].Get(row); }
+
+  /// Copies row `row` as a Value vector.
+  std::vector<Value> GetRow(size_t row) const;
+
+  /// Renders the first `max_rows` rows (debugging aid).
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_TABLE_H_

@@ -1,0 +1,78 @@
+#include "relational/value.h"
+
+#include "common/string_util.h"
+
+namespace rain {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+    case DataType::kBool:
+      return "BOOL";
+  }
+  return "?";
+}
+
+Result<double> Value::ToNumeric() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return static_cast<double>(AsInt64());
+    case DataType::kDouble:
+      return AsDouble();
+    case DataType::kBool:
+      return AsBool() ? 1.0 : 0.0;
+    case DataType::kString:
+      return Status::TypeError("cannot use string value '" + AsString() +
+                               "' as a number");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> Value::ToBool() const {
+  switch (type()) {
+    case DataType::kBool:
+      return AsBool();
+    case DataType::kInt64:
+      return AsInt64() != 0;
+    case DataType::kDouble:
+      return AsDouble() != 0.0;
+    case DataType::kString:
+      return Status::TypeError("cannot use string value '" + AsString() +
+                               "' as a boolean");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<int> Value::Compare(const Value& o) const {
+  if (is_string() || o.is_string()) {
+    if (!(is_string() && o.is_string())) {
+      return Status::TypeError("cannot compare string with non-string");
+    }
+    const int c = AsString().compare(o.AsString());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  RAIN_ASSIGN_OR_RETURN(const double a, ToNumeric());
+  RAIN_ASSIGN_OR_RETURN(const double b, o.ToNumeric());
+  return a < b ? -1 : (a > b ? 1 : 0);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case DataType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case DataType::kString:
+      return AsString();
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+  }
+  return "?";
+}
+
+}  // namespace rain

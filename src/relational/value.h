@@ -1,0 +1,62 @@
+#ifndef RAIN_RELATIONAL_VALUE_H_
+#define RAIN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace rain {
+
+/// Column data types supported by the engine. NULLs are intentionally not
+/// supported (the paper's workloads never produce them; see DESIGN.md
+/// non-goals).
+enum class DataType : uint8_t { kInt64, kDouble, kString, kBool };
+
+const char* DataTypeName(DataType t);
+
+/// \brief A single scalar value.
+///
+/// The variant order must match DataType's enumerator order so that
+/// `value.index() == static_cast<size_t>(type)`.
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(bool b) : v_(b) {}
+
+  DataType type() const { return static_cast<DataType>(v_.index()); }
+
+  bool is_int64() const { return type() == DataType::kInt64; }
+  bool is_double() const { return type() == DataType::kDouble; }
+  bool is_string() const { return type() == DataType::kString; }
+  bool is_bool() const { return type() == DataType::kBool; }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  bool AsBool() const { return std::get<bool>(v_); }
+
+  /// Numeric widening: int64/double/bool -> double; errors on strings.
+  Result<double> ToNumeric() const;
+  /// Truthiness: bool as-is, numbers non-zero; errors on strings.
+  Result<bool> ToBool() const;
+
+  bool operator==(const Value& o) const { return v_ == o.v_; }
+
+  /// Three-way ordering for same-kind values; numeric kinds compare as
+  /// doubles. Returns error for string-vs-number comparisons.
+  Result<int> Compare(const Value& o) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, double, std::string, bool> v_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELATIONAL_VALUE_H_

@@ -1,0 +1,176 @@
+#include "relax/relaxed_poly.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rain {
+
+RelaxedPoly::RelaxedPoly(const PolyArena* arena, PolyId root, RelaxMode mode)
+    : arena_(arena), root_(root), mode_(mode) {
+  RAIN_CHECK(arena_ != nullptr);
+  RAIN_CHECK(root >= 0 && static_cast<size_t>(root) < arena_->num_nodes());
+  local_.assign(arena_->num_nodes(), -1);
+
+  // Iterative post-order DFS producing a children-first topological order.
+  std::vector<uint8_t> visited(arena_->num_nodes(), 0);  // 0=new,1=open,2=done
+  std::vector<std::pair<PolyId, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited[root] = 1;
+  while (!stack.empty()) {
+    auto& [id, child_idx] = stack.back();
+    const PolyNode& n = arena_->node(id);
+    if (child_idx < n.children.size()) {
+      const PolyId c = n.children[child_idx++];
+      if (visited[c] == 0) {
+        visited[c] = 1;
+        stack.emplace_back(c, 0);
+      }
+      continue;
+    }
+    visited[id] = 2;
+    local_[id] = static_cast<int32_t>(order_.size());
+    order_.push_back(id);
+    if (n.op == PolyOp::kVar) variables_.push_back(n.var);
+    stack.pop_back();
+  }
+  // Deduplicate variables (a var node is unique per (var) only if the
+  // arena happened to share them; be safe).
+  std::sort(variables_.begin(), variables_.end());
+  variables_.erase(std::unique(variables_.begin(), variables_.end()),
+                   variables_.end());
+}
+
+void RelaxedPoly::Forward(const Vec& var_values, Vec* values) const {
+  values->resize(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const PolyNode& n = arena_->node(order_[i]);
+    double v = 0.0;
+    switch (n.op) {
+      case PolyOp::kConst:
+        v = n.value;
+        break;
+      case PolyOp::kVar:
+        v = var_values[n.var];
+        break;
+      case PolyOp::kAnd:
+      case PolyOp::kMul: {
+        v = 1.0;
+        for (PolyId c : n.children) v *= (*values)[local_[c]];
+        break;
+      }
+      case PolyOp::kOr: {
+        if (mode_ == RelaxMode::kLinearOr) {
+          for (PolyId c : n.children) v += (*values)[local_[c]];
+          break;
+        }
+        double prod = 1.0;
+        for (PolyId c : n.children) prod *= 1.0 - (*values)[local_[c]];
+        v = 1.0 - prod;
+        break;
+      }
+      case PolyOp::kNot:
+        v = 1.0 - (*values)[local_[n.children[0]]];
+        break;
+      case PolyOp::kAdd: {
+        for (PolyId c : n.children) v += (*values)[local_[c]];
+        break;
+      }
+      case PolyOp::kDiv: {
+        const double den = (*values)[local_[n.children[1]]];
+        v = den == 0.0 ? 0.0 : (*values)[local_[n.children[0]]] / den;
+        break;
+      }
+    }
+    (*values)[i] = v;
+  }
+}
+
+double RelaxedPoly::Evaluate(const Vec& var_values) const {
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  Vec values;
+  Forward(var_values, &values);
+  return values[local_[root_]];
+}
+
+double RelaxedPoly::Gradient(const Vec& var_values, Vec* var_grad) const {
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  Vec values;
+  Forward(var_values, &values);
+
+  Vec adjoint(order_.size(), 0.0);
+  adjoint[local_[root_]] = 1.0;
+  var_grad->assign(arena_->num_vars(), 0.0);
+
+  // Reverse sweep (order_ is children-first, so iterate backwards).
+  // Products use prefix/suffix accumulation to stay correct when child
+  // values are exactly zero.
+  Vec prefix, suffix;
+  for (size_t i = order_.size(); i-- > 0;) {
+    const double adj = adjoint[i];
+    if (adj == 0.0) continue;
+    const PolyNode& n = arena_->node(order_[i]);
+    switch (n.op) {
+      case PolyOp::kConst:
+        break;
+      case PolyOp::kVar:
+        (*var_grad)[n.var] += adj;
+        break;
+      case PolyOp::kAnd:
+      case PolyOp::kMul: {
+        const size_t k = n.children.size();
+        prefix.assign(k + 1, 1.0);
+        suffix.assign(k + 1, 1.0);
+        for (size_t j = 0; j < k; ++j) {
+          prefix[j + 1] = prefix[j] * values[local_[n.children[j]]];
+        }
+        for (size_t j = k; j-- > 0;) {
+          suffix[j] = suffix[j + 1] * values[local_[n.children[j]]];
+        }
+        for (size_t j = 0; j < k; ++j) {
+          adjoint[local_[n.children[j]]] += adj * prefix[j] * suffix[j + 1];
+        }
+        break;
+      }
+      case PolyOp::kOr: {
+        if (mode_ == RelaxMode::kLinearOr) {
+          for (PolyId c : n.children) adjoint[local_[c]] += adj;
+          break;
+        }
+        // out = 1 - prod(1 - c_j); d out/d c_j = prod_{m!=j} (1 - c_m).
+        const size_t k = n.children.size();
+        prefix.assign(k + 1, 1.0);
+        suffix.assign(k + 1, 1.0);
+        for (size_t j = 0; j < k; ++j) {
+          prefix[j + 1] = prefix[j] * (1.0 - values[local_[n.children[j]]]);
+        }
+        for (size_t j = k; j-- > 0;) {
+          suffix[j] = suffix[j + 1] * (1.0 - values[local_[n.children[j]]]);
+        }
+        for (size_t j = 0; j < k; ++j) {
+          adjoint[local_[n.children[j]]] += adj * prefix[j] * suffix[j + 1];
+        }
+        break;
+      }
+      case PolyOp::kNot:
+        adjoint[local_[n.children[0]]] -= adj;
+        break;
+      case PolyOp::kAdd: {
+        for (PolyId c : n.children) adjoint[local_[c]] += adj;
+        break;
+      }
+      case PolyOp::kDiv: {
+        const double num = values[local_[n.children[0]]];
+        const double den = values[local_[n.children[1]]];
+        if (den != 0.0) {
+          adjoint[local_[n.children[0]]] += adj / den;
+          adjoint[local_[n.children[1]]] -= adj * num / (den * den);
+        }
+        break;
+      }
+    }
+  }
+  return values[local_[root_]];
+}
+
+}  // namespace rain

@@ -1,0 +1,67 @@
+#ifndef RAIN_RELAX_RELAXED_POLY_H_
+#define RAIN_RELAX_RELAXED_POLY_H_
+
+#include <vector>
+
+#include "provenance/poly.h"
+#include "tensor/vector_ops.h"
+
+namespace rain {
+
+/// How disjunctions are relaxed.
+enum class RelaxMode : uint8_t {
+  /// The paper's independent-product rule: OR -> 1 - prod(1 - c).
+  kIndependent,
+  /// Naive linearization ablation: OR -> sum(c) (no clipping; a union
+  /// bound rather than a probability). Used by bench_ablation_relaxation
+  /// to quantify the value of the probabilistic rule.
+  kLinearOr,
+};
+
+/// \brief Differentiable relaxation of a provenance polynomial
+/// (Section 5.3.1).
+///
+/// Prediction variables are interpreted as class probabilities and the
+/// Boolean operators are replaced by their independent-product
+/// relaxations:
+///     x AND y -> x * y,   x OR y -> 1 - (1-x)(1-y),   NOT x -> 1 - x.
+/// The class pre-computes a topological order of the nodes reachable from
+/// `root`, after which `Evaluate` is a single forward sweep and
+/// `Gradient` a forward+reverse sweep yielding d(root)/d(var) for every
+/// prediction variable — the seed that `HolisticRanker` chains into model
+/// probability gradients.
+class RelaxedPoly {
+ public:
+  /// `arena` must outlive this object and must not grow between
+  /// construction and the last Evaluate/Gradient call.
+  RelaxedPoly(const PolyArena* arena, PolyId root,
+              RelaxMode mode = RelaxMode::kIndependent);
+
+  /// Forward value under `var_values` (size >= arena->num_vars()).
+  double Evaluate(const Vec& var_values) const;
+
+  /// Writes d(root)/d(var_values[v]) into (*var_grad)[v] for every
+  /// variable (zero for unreachable ones) and returns the forward value.
+  /// var_grad is resized to arena->num_vars().
+  double Gradient(const Vec& var_values, Vec* var_grad) const;
+
+  /// Distinct variables the polynomial actually depends on.
+  const std::vector<VarId>& variables() const { return variables_; }
+  size_t num_reachable_nodes() const { return order_.size(); }
+
+ private:
+  void Forward(const Vec& var_values, Vec* values) const;
+
+  const PolyArena* arena_;
+  PolyId root_;
+  RelaxMode mode_;
+  /// Reachable nodes in topological (children-first) order.
+  std::vector<PolyId> order_;
+  /// Dense local index per arena node (-1 = unreachable).
+  std::vector<int32_t> local_;
+  std::vector<VarId> variables_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_RELAX_RELAXED_POLY_H_

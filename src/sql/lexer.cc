@@ -1,0 +1,119 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace rain {
+namespace sql {
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "SELECT", "FROM",  "WHERE", "GROUP", "BY",      "AS",    "AND",
+      "OR",     "NOT",   "LIKE",  "JOIN",  "ON",      "COUNT", "SUM",
+      "AVG",    "TRUE",  "FALSE", "ORDER", "ASC",     "DESC",  "LIMIT",
+      "PREDICT"};
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(input[j])) ++j;
+      std::string word = input.substr(i, j - i);
+      std::string upper;
+      for (char ch : word) upper += static_cast<char>(std::toupper(ch));
+      if (Keywords().count(upper) != 0) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = upper;
+      } else {
+        tok.kind = TokenKind::kIdent;
+        tok.text = std::move(word);
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      if (j < n && input[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) ++j;
+      }
+      tok.kind = is_float ? TokenKind::kFloat : TokenKind::kInt;
+      tok.text = input.substr(i, j - i);
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (input[j] == '\'') {
+          if (j + 1 < n && input[j + 1] == '\'') {
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += input[j++];
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated string literal at offset %zu", i));
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(value);
+      i = j;
+    } else {
+      // Multi-char operators first.
+      auto two = i + 1 < n ? input.substr(i, 2) : "";
+      if (two == "<>" || two == "!=" || two == "<=" || two == ">=") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        i += 2;
+      } else {
+        static const std::string kSingles = "(),.*=<>+-/";
+        if (kSingles.find(c) == std::string::npos) {
+          return Status::ParseError(
+              StrFormat("unexpected character '%c' at offset %zu", c, i));
+        }
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace rain

@@ -1,0 +1,45 @@
+#ifndef RAIN_SQL_LEXER_H_
+#define RAIN_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rain {
+namespace sql {
+
+enum class TokenKind : uint8_t {
+  kIdent,      // identifiers and non-reserved words
+  kKeyword,    // reserved word (normalized upper-case in `text`)
+  kInt,        // integer literal
+  kFloat,      // floating literal
+  kString,     // 'quoted string' (text holds the unquoted value)
+  kSymbol,     // punctuation / operator (text holds it verbatim)
+  kEnd,        // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;  // byte offset into the query (error messages)
+
+  bool IsKeyword(const char* kw) const {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  bool IsSymbol(const char* s) const {
+    return kind == TokenKind::kSymbol && text == s;
+  }
+};
+
+/// \brief Tokenizes a SQL string.
+///
+/// Keywords are case-insensitive and normalized to upper case. Symbols:
+/// ( ) , . * = <> != < <= > >= + - / . String literals use single quotes
+/// with '' as the escape for a quote.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace sql
+}  // namespace rain
+
+#endif  // RAIN_SQL_LEXER_H_

@@ -1,0 +1,374 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace rain {
+namespace sql {
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    RAIN_RETURN_NOT_OK(Expect("SELECT"));
+    SelectStmt stmt;
+    RAIN_RETURN_NOT_OK(ParseSelectList(&stmt));
+    RAIN_RETURN_NOT_OK(Expect("FROM"));
+    RAIN_RETURN_NOT_OK(ParseFrom(&stmt));
+    if (AcceptKeyword("WHERE")) {
+      RAIN_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      RAIN_RETURN_NOT_OK(Expect("BY"));
+      for (;;) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        stmt.group_by.push_back(std::move(e));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("ORDER")) {
+      RAIN_RETURN_NOT_OK(Expect("BY"));
+      for (;;) {
+        OrderKey key;
+        RAIN_ASSIGN_OR_RETURN(key.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Cur().kind != TokenKind::kInt) return Err("expected integer after LIMIT");
+      stmt.limit = std::stoll(Cur().text);
+      Advance();
+    }
+    if (Cur().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  const Token& Peek(size_t k = 1) const {
+    return tokens_[std::min(pos_ + k, tokens_.size() - 1)];
+  }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrFormat("%s near offset %zu (token '%s')", msg.c_str(), Cur().offset,
+                  Cur().text.c_str()));
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (Cur().IsKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Cur().IsSymbol(s)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const char* kw) {
+    if (!AcceptKeyword(kw)) return Err(std::string("expected ") + kw);
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) return Err(std::string("expected '") + s + "'");
+    return Status::OK();
+  }
+
+  static bool IsAggKeyword(const Token& t, AggFunc* func) {
+    if (t.IsKeyword("COUNT")) {
+      *func = AggFunc::kCount;
+      return true;
+    }
+    if (t.IsKeyword("SUM")) {
+      *func = AggFunc::kSum;
+      return true;
+    }
+    if (t.IsKeyword("AVG")) {
+      *func = AggFunc::kAvg;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    for (;;) {
+      SelectItem item;
+      AggFunc func;
+      if (IsAggKeyword(Cur(), &func)) {
+        Advance();
+        RAIN_RETURN_NOT_OK(ExpectSymbol("("));
+        item.is_aggregate = true;
+        item.agg_func = func;
+        if (Cur().IsSymbol("*")) {
+          Advance();
+          if (func != AggFunc::kCount) return Err("only COUNT accepts '*'");
+          item.expr = nullptr;
+        } else {
+          RAIN_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        RAIN_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        RAIN_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("AS")) {
+        if (Cur().kind != TokenKind::kIdent) return Err("expected alias after AS");
+        item.alias = Cur().text;
+        Advance();
+      }
+      stmt->items.push_back(std::move(item));
+      if (!AcceptSymbol(",")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseTableRef(TableRef* ref) {
+    if (Cur().kind != TokenKind::kIdent) return Err("expected table name");
+    ref->table = Cur().text;
+    Advance();
+    if (Cur().kind == TokenKind::kIdent) {
+      ref->alias = Cur().text;
+      Advance();
+    } else {
+      ref->alias = ref->table;
+    }
+    return Status::OK();
+  }
+
+  Status ParseFrom(SelectStmt* stmt) {
+    TableRef first;
+    RAIN_RETURN_NOT_OK(ParseTableRef(&first));
+    stmt->from.push_back(std::move(first));
+    for (;;) {
+      if (AcceptSymbol(",")) {
+        TableRef ref;
+        RAIN_RETURN_NOT_OK(ParseTableRef(&ref));
+        stmt->from.push_back(std::move(ref));
+        continue;
+      }
+      if (AcceptKeyword("JOIN")) {
+        TableRef jref;
+        RAIN_RETURN_NOT_OK(ParseTableRef(&jref));
+        RAIN_RETURN_NOT_OK(Expect("ON"));
+        RAIN_ASSIGN_OR_RETURN(jref.join_on, ParseExpr());
+        stmt->from.push_back(std::move(jref));
+        continue;
+      }
+      return Status::OK();
+    }
+  }
+
+  // Expression grammar: or > and > not > comparison/LIKE > add > mul > unary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = Expr::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (AcceptKeyword("AND")) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = Expr::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr c, ParseNot());
+      return Expr::Not(std::move(c));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr left, ParseAdditive());
+    if (AcceptKeyword("LIKE")) {
+      if (Cur().kind != TokenKind::kString) return Err("expected pattern after LIKE");
+      std::string pattern = Cur().text;
+      Advance();
+      return Expr::Like(std::move(left), std::move(pattern));
+    }
+    struct OpMap {
+      const char* sym;
+      CompareOp op;
+    };
+    static constexpr OpMap kOps[] = {{"=", CompareOp::kEq},  {"<>", CompareOp::kNe},
+                                     {"<=", CompareOp::kLe}, {">=", CompareOp::kGe},
+                                     {"<", CompareOp::kLt},  {">", CompareOp::kGt}};
+    for (const auto& m : kOps) {
+      if (Cur().IsSymbol(m.sym)) {
+        Advance();
+        RAIN_ASSIGN_OR_RETURN(ExprPtr right, ParseAdditive());
+        return Expr::Compare(m.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr left, ParseMultiplicative());
+    for (;;) {
+      if (AcceptSymbol("+")) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicative());
+        left = Expr::Arith(ArithOp::kAdd, std::move(left), std::move(r));
+      } else if (AcceptSymbol("-")) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr r, ParseMultiplicative());
+        left = Expr::Arith(ArithOp::kSub, std::move(left), std::move(r));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      if (AcceptSymbol("*")) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+        left = Expr::Arith(ArithOp::kMul, std::move(left), std::move(r));
+      } else if (AcceptSymbol("/")) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr r, ParseUnary());
+        left = Expr::Arith(ArithOp::kDiv, std::move(left), std::move(r));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr c, ParseUnary());
+      return Expr::Arith(ArithOp::kSub, Expr::LitInt(0), std::move(c));
+    }
+    return ParsePrimary();
+  }
+
+  /// predict-call argument: `alias`, `alias.*`, or `*`.
+  Result<ExprPtr> ParsePredictCall() {
+    RAIN_RETURN_NOT_OK(ExpectSymbol("("));
+    std::string alias;
+    if (Cur().IsSymbol("*")) {
+      Advance();
+      // predict(*): unique FROM table; resolved by the planner (empty alias).
+    } else if (Cur().kind == TokenKind::kIdent) {
+      alias = Cur().text;
+      Advance();
+      if (AcceptSymbol(".")) {
+        RAIN_RETURN_NOT_OK(ExpectSymbol("*"));
+      }
+    } else {
+      return Err("expected alias or '*' inside predict()");
+    }
+    RAIN_RETURN_NOT_OK(ExpectSymbol(")"));
+    return Expr::Predict(std::move(alias));
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.kind) {
+      case TokenKind::kInt: {
+        const int64_t v = std::stoll(t.text);
+        Advance();
+        return Expr::LitInt(v);
+      }
+      case TokenKind::kFloat: {
+        const double v = std::stod(t.text);
+        Advance();
+        return Expr::LitDouble(v);
+      }
+      case TokenKind::kString: {
+        std::string s = t.text;
+        Advance();
+        return Expr::LitString(std::move(s));
+      }
+      case TokenKind::kKeyword: {
+        if (t.IsKeyword("TRUE")) {
+          Advance();
+          return Expr::LitBool(true);
+        }
+        if (t.IsKeyword("FALSE")) {
+          Advance();
+          return Expr::LitBool(false);
+        }
+        if (t.IsKeyword("PREDICT")) {
+          Advance();
+          return ParsePredictCall();
+        }
+        return Err("unexpected keyword in expression");
+      }
+      case TokenKind::kIdent: {
+        std::string first = t.text;
+        Advance();
+        if (AcceptSymbol(".")) {
+          if (Cur().IsKeyword("PREDICT")) {
+            // model.predict(...): the model qualifier is ignored.
+            Advance();
+            return ParsePredictCall();
+          }
+          if (Cur().kind != TokenKind::kIdent) {
+            return Err("expected column name after '.'");
+          }
+          std::string col = Cur().text;
+          Advance();
+          return Expr::Column(std::move(col), std::move(first));
+        }
+        return Expr::Column(std::move(first));
+      }
+      case TokenKind::kSymbol: {
+        if (t.IsSymbol("(")) {
+          Advance();
+          RAIN_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          RAIN_RETURN_NOT_OK(ExpectSymbol(")"));
+          return e;
+        }
+        return Err("unexpected symbol in expression");
+      }
+      case TokenKind::kEnd:
+        return Err("unexpected end of query");
+    }
+    return Err("unexpected token");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& query) {
+  RAIN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(query));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace sql
+}  // namespace rain

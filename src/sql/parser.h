@@ -1,0 +1,64 @@
+#ifndef RAIN_SQL_PARSER_H_
+#define RAIN_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/expression.h"
+#include "relational/plan.h"
+
+namespace rain {
+namespace sql {
+
+/// One SELECT-list item: either a scalar expression or an aggregate call.
+struct SelectItem {
+  bool is_aggregate = false;
+  AggFunc agg_func = AggFunc::kCount;
+  ExprPtr expr;       // scalar expr, or aggregate argument (null = COUNT(*))
+  std::string alias;  // output name ("" = derived)
+};
+
+/// One FROM-clause entry. `join_on` is set for explicit `JOIN ... ON`
+/// entries and null for comma-separated cross joins (whose predicates
+/// live in WHERE and are pushed down by the planner).
+struct TableRef {
+  std::string table;
+  std::string alias;  // defaults to the table name
+  ExprPtr join_on;
+};
+
+/// One ORDER BY key.
+struct OrderKey {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Parsed SELECT statement (the supported SPJA fragment of Section 3.1,
+/// plus ORDER BY / LIMIT).
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  bool select_star = false;
+  std::vector<TableRef> from;
+  ExprPtr where;  // may be null
+  std::vector<ExprPtr> group_by;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  // -1 = no LIMIT
+};
+
+/// \brief Parses the supported grammar:
+///
+///   SELECT (expr | agg '(' (expr | '*') ')') [AS name] (',' ...)*  |  '*'
+///   FROM table [alias] (',' table [alias])* [JOIN table [alias] ON expr]*
+///   [WHERE expr]
+///   [GROUP BY expr (',' expr)*]
+///
+/// Model inference appears as `predict(alias)`, `predict(alias.*)`,
+/// `predict(*)` (single-table FROM), or `model.predict(...)` — the model
+/// qualifier is accepted and ignored (Rain pipelines embed one model).
+Result<SelectStmt> ParseSelect(const std::string& query);
+
+}  // namespace sql
+}  // namespace rain
+
+#endif  // RAIN_SQL_PARSER_H_

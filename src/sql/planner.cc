@@ -1,0 +1,313 @@
+#include "sql/planner.h"
+
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace rain {
+namespace sql {
+namespace {
+
+/// Rewrites empty predict() aliases to `alias` (predict(*) resolution).
+ExprPtr ResolvePredictAlias(const ExprPtr& expr, const std::string& alias) {
+  auto copy = std::make_shared<Expr>(*expr);
+  if (copy->kind == ExprKind::kPredict && copy->predict_alias.empty()) {
+    copy->predict_alias = alias;
+  }
+  for (ExprPtr& c : copy->children) c = ResolvePredictAlias(c, alias);
+  return copy;
+}
+
+bool HasEmptyPredict(const ExprPtr& expr) {
+  if (expr->kind == ExprKind::kPredict && expr->predict_alias.empty()) return true;
+  for (const ExprPtr& c : expr->children) {
+    if (HasEmptyPredict(c)) return true;
+  }
+  return false;
+}
+
+/// Collects the FROM aliases an expression references (column qualifiers,
+/// predict aliases, and unqualified columns resolved through the catalog).
+Status CollectAliases(const ExprPtr& expr,
+                      const std::unordered_map<std::string, std::string>& alias_table,
+                      const Catalog& catalog, std::set<std::string>* out) {
+  switch (expr->kind) {
+    case ExprKind::kColumnRef: {
+      if (!expr->qualifier.empty()) {
+        if (alias_table.count(expr->qualifier) == 0) {
+          return Status::NotFound("unknown alias '" + expr->qualifier + "'");
+        }
+        out->insert(expr->qualifier);
+        return Status::OK();
+      }
+      // Unqualified: find the unique FROM table containing the column.
+      std::string found;
+      for (const auto& [alias, table] : alias_table) {
+        const Catalog::Entry* entry = catalog.Find(table);
+        RAIN_CHECK(entry != nullptr);
+        if (entry->table.schema().FindField(expr->column_name) >= 0) {
+          if (!found.empty()) {
+            return Status::InvalidArgument("ambiguous column '" + expr->column_name +
+                                           "' (in '" + found + "' and '" + alias +
+                                           "')");
+          }
+          found = alias;
+        }
+      }
+      if (found.empty()) {
+        return Status::NotFound("column '" + expr->column_name +
+                                "' not found in any FROM table");
+      }
+      out->insert(found);
+      return Status::OK();
+    }
+    case ExprKind::kPredict:
+      out->insert(expr->predict_alias);
+      return Status::OK();
+    default:
+      for (const ExprPtr& c : expr->children) {
+        RAIN_RETURN_NOT_OK(CollectAliases(c, alias_table, catalog, out));
+      }
+      return Status::OK();
+  }
+}
+
+void FlattenConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kLogical && expr->logic == LogicalOp::kAnd) {
+    FlattenConjuncts(expr->children[0], out);
+    FlattenConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr AndAll(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return Expr::LitBool(true);
+  ExprPtr acc = conjuncts[0];
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    acc = Expr::And(std::move(acc), conjuncts[i]);
+  }
+  return acc;
+}
+
+std::string DeriveName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.is_aggregate) {
+    static const char* fn[] = {"count", "sum", "avg"};
+    return std::string(fn[static_cast<int>(item.agg_func)]) +
+           (item.expr != nullptr ? "_" + std::to_string(index) : "");
+  }
+  if (item.expr->kind == ExprKind::kColumnRef) return item.expr->column_name;
+  return "expr_" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<PlanPtr> PlanSelect(const SelectStmt& stmt, const Catalog& catalog) {
+  if (stmt.from.empty()) return Status::InvalidArgument("FROM clause is empty");
+
+  // Alias -> table name map; validate tables exist and aliases are unique.
+  std::unordered_map<std::string, std::string> alias_table;
+  for (const TableRef& ref : stmt.from) {
+    if (catalog.Find(ref.table) == nullptr) {
+      return Status::NotFound("table '" + ref.table + "' not in catalog");
+    }
+    if (!alias_table.emplace(ref.alias, ref.table).second) {
+      return Status::InvalidArgument("duplicate FROM alias '" + ref.alias + "'");
+    }
+  }
+
+  // Resolve predict(*) to the unique alias.
+  auto resolve = [&](const ExprPtr& e) -> Result<ExprPtr> {
+    if (e == nullptr) return ExprPtr(nullptr);
+    if (!HasEmptyPredict(e)) return e;
+    if (stmt.from.size() != 1) {
+      return Status::InvalidArgument(
+          "predict(*) requires a single-table FROM clause; qualify the alias");
+    }
+    return ResolvePredictAlias(e, stmt.from[0].alias);
+  };
+
+  ExprPtr where;
+  {
+    RAIN_ASSIGN_OR_RETURN(where, resolve(stmt.where));
+  }
+
+  // Split WHERE into conjuncts with their alias sets.
+  struct Conjunct {
+    ExprPtr expr;
+    std::set<std::string> aliases;
+    bool used = false;
+  };
+  std::vector<Conjunct> conjuncts;
+  if (where != nullptr) {
+    std::vector<ExprPtr> flat;
+    FlattenConjuncts(where, &flat);
+    for (ExprPtr& e : flat) {
+      Conjunct c;
+      c.expr = std::move(e);
+      RAIN_RETURN_NOT_OK(CollectAliases(c.expr, alias_table, catalog, &c.aliases));
+      conjuncts.push_back(std::move(c));
+    }
+  }
+
+  // Left-deep join tree with pushed-down predicates.
+  std::set<std::string> in_scope;
+  PlanPtr plan;
+  for (size_t i = 0; i < stmt.from.size(); ++i) {
+    const TableRef& ref = stmt.from[i];
+    PlanPtr scan = PlanNode::Scan(ref.table, ref.alias);
+    std::set<std::string> next_scope = in_scope;
+    next_scope.insert(ref.alias);
+
+    // Single-alias conjuncts filter directly above their scan.
+    std::vector<ExprPtr> scan_filters;
+    for (Conjunct& c : conjuncts) {
+      if (!c.used && c.aliases.size() == 1 && c.aliases.count(ref.alias) != 0) {
+        scan_filters.push_back(c.expr);
+        c.used = true;
+      }
+    }
+    if (!scan_filters.empty()) {
+      scan = PlanNode::Filter(std::move(scan), AndAll(std::move(scan_filters)));
+    }
+
+    if (plan == nullptr) {
+      plan = std::move(scan);
+    } else {
+      std::vector<ExprPtr> join_preds;
+      if (ref.join_on != nullptr) {
+        RAIN_ASSIGN_OR_RETURN(ExprPtr on, resolve(ref.join_on));
+        join_preds.push_back(std::move(on));
+      }
+      for (Conjunct& c : conjuncts) {
+        if (c.used || c.aliases.empty()) continue;
+        bool in_next = true;
+        for (const std::string& a : c.aliases) {
+          if (next_scope.count(a) == 0) {
+            in_next = false;
+            break;
+          }
+        }
+        if (in_next && c.aliases.count(ref.alias) != 0) {
+          join_preds.push_back(c.expr);
+          c.used = true;
+        }
+      }
+      plan = PlanNode::Join(std::move(plan), std::move(scan),
+                            AndAll(std::move(join_preds)));
+    }
+    in_scope = std::move(next_scope);
+  }
+
+  // Remaining conjuncts (e.g. alias-free constants) filter at the top.
+  std::vector<ExprPtr> top_filters;
+  for (Conjunct& c : conjuncts) {
+    if (!c.used) top_filters.push_back(c.expr);
+  }
+  if (!top_filters.empty()) {
+    plan = PlanNode::Filter(std::move(plan), AndAll(std::move(top_filters)));
+  }
+
+  // ORDER BY / LIMIT wrappers. For aggregates the sort keys bind against
+  // the aggregate output; for plain selections the sort is applied below
+  // the projection so keys may reference non-projected columns (standard
+  // SQL semantics).
+  auto sort_wrap = [&](PlanPtr p) -> Result<PlanPtr> {
+    if (stmt.order_by.empty()) return p;
+    std::vector<ExprPtr> keys;
+    std::vector<bool> asc;
+    for (const OrderKey& k : stmt.order_by) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr e, resolve(k.expr));
+      keys.push_back(std::move(e));
+      asc.push_back(k.ascending);
+    }
+    return PlanNode::Sort(std::move(p), std::move(keys), std::move(asc));
+  };
+  auto limit_wrap = [&](PlanPtr p) -> PlanPtr {
+    if (stmt.limit < 0) return p;
+    return PlanNode::Limit(std::move(p), stmt.limit);
+  };
+  auto finalize = [&](PlanPtr p) -> Result<PlanPtr> {
+    RAIN_ASSIGN_OR_RETURN(p, sort_wrap(std::move(p)));
+    return limit_wrap(std::move(p));
+  };
+
+  // Aggregation or projection.
+  bool has_agg = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) has_agg = has_agg || item.is_aggregate;
+
+  if (has_agg) {
+    std::vector<ExprPtr> group_by;
+    std::vector<std::string> group_names;
+    for (const ExprPtr& g : stmt.group_by) {
+      RAIN_ASSIGN_OR_RETURN(ExprPtr rg, resolve(g));
+      group_names.push_back(rg->kind == ExprKind::kColumnRef ? rg->column_name
+                                                             : rg->ToString());
+      group_by.push_back(std::move(rg));
+    }
+    std::vector<AggSpec> aggs;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const SelectItem& item = stmt.items[i];
+      if (!item.is_aggregate) {
+        // Non-aggregate select items must match a GROUP BY key; they are
+        // emitted as group columns. Matching is structural: a bare column
+        // matches its name, any other expression (e.g. predict(*))
+        // matches by rendered form.
+        if (item.expr == nullptr) {
+          return Status::InvalidArgument(
+              "non-aggregate SELECT items must be GROUP BY keys");
+        }
+        RAIN_ASSIGN_OR_RETURN(ExprPtr resolved, resolve(item.expr));
+        bool found = false;
+        for (size_t g = 0; g < group_by.size(); ++g) {
+          if (resolved->kind == ExprKind::kColumnRef &&
+              group_names[g] == resolved->column_name) {
+            found = true;
+          }
+          if (group_by[g]->ToString() == resolved->ToString()) found = true;
+        }
+        if (!found) {
+          return Status::InvalidArgument("SELECT item '" + resolved->ToString() +
+                                         "' is not a GROUP BY key");
+        }
+        continue;
+      }
+      AggSpec spec;
+      spec.func = item.agg_func;
+      RAIN_ASSIGN_OR_RETURN(spec.arg, resolve(item.expr));
+      spec.name = DeriveName(item, i);
+      aggs.push_back(std::move(spec));
+    }
+    if (aggs.empty()) {
+      return Status::InvalidArgument("GROUP BY requires at least one aggregate");
+    }
+    return finalize(PlanNode::Aggregate(std::move(plan), std::move(group_by),
+                                        std::move(group_names), std::move(aggs)));
+  }
+
+  if (stmt.select_star) return finalize(std::move(plan));
+
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    RAIN_ASSIGN_OR_RETURN(ExprPtr e, resolve(stmt.items[i].expr));
+    exprs.push_back(std::move(e));
+    names.push_back(DeriveName(stmt.items[i], i));
+  }
+  // Sort below the projection so ORDER BY keys may reference any input
+  // column; LIMIT applies after projection.
+  RAIN_ASSIGN_OR_RETURN(plan, sort_wrap(std::move(plan)));
+  return limit_wrap(
+      PlanNode::Project(std::move(plan), std::move(exprs), std::move(names)));
+}
+
+Result<PlanPtr> PlanQuery(const std::string& query, const Catalog& catalog) {
+  RAIN_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(query));
+  return PlanSelect(stmt, catalog);
+}
+
+}  // namespace sql
+}  // namespace rain

@@ -1,0 +1,35 @@
+#ifndef RAIN_SQL_PLANNER_H_
+#define RAIN_SQL_PLANNER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/catalog.h"
+#include "relational/plan.h"
+#include "sql/parser.h"
+
+namespace rain {
+namespace sql {
+
+/// \brief Turns a parsed SELECT into a logical plan.
+///
+/// Planning steps:
+///  1. `predict(*)` is resolved to the unique FROM alias (error if the
+///     FROM clause has several tables).
+///  2. A left-deep join tree is built over the FROM entries. Explicit
+///     `JOIN ... ON` predicates stay at their join. For comma joins, the
+///     WHERE clause is split into conjuncts and each conjunct is pushed
+///     to the earliest join at which every alias it references is in
+///     scope; single-alias conjuncts become filters above their scan.
+///  3. Remaining conjuncts become a Filter above the join tree.
+///  4. A SELECT list with aggregates (or a GROUP BY) becomes an Aggregate
+///     node; otherwise a Project (or the raw join output for `SELECT *`).
+Result<PlanPtr> PlanSelect(const SelectStmt& stmt, const Catalog& catalog);
+
+/// Convenience: parse + plan.
+Result<PlanPtr> PlanQuery(const std::string& query, const Catalog& catalog);
+
+}  // namespace sql
+}  // namespace rain
+
+#endif  // RAIN_SQL_PLANNER_H_

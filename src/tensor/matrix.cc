@@ -1,0 +1,41 @@
+#include "tensor/matrix.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+Vec Matrix::RowVec(size_t r) const {
+  RAIN_CHECK(r < rows_) << "row out of range";
+  return Vec(Row(r), Row(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vec& v) {
+  RAIN_CHECK(r < rows_ && v.size() == cols_) << "SetRow shape mismatch";
+  for (size_t c = 0; c < cols_; ++c) At(r, c) = v[c];
+}
+
+Vec Matrix::MatVec(const Vec& x) const {
+  RAIN_CHECK(x.size() == cols_) << "MatVec shape mismatch";
+  Vec out(rows_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vec Matrix::MatTVec(const Vec& x) const {
+  RAIN_CHECK(x.size() == rows_) << "MatTVec shape mismatch";
+  Vec out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* row = Row(r);
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    for (size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
+  }
+  return out;
+}
+
+}  // namespace rain

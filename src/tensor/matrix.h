@@ -1,0 +1,52 @@
+#ifndef RAIN_TENSOR_MATRIX_H_
+#define RAIN_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/vector_ops.h"
+
+namespace rain {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Used for feature matrices (n_examples x n_features), class-probability
+/// matrices (n_examples x n_classes), and MLP weight blocks.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Pointer to the start of row r (contiguous, cols() doubles).
+  double* Row(size_t r) { return data_.data() + r * cols_; }
+  const double* Row(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Copies row r into a Vec.
+  Vec RowVec(size_t r) const;
+  /// Overwrites row r from v (v.size() must equal cols()).
+  void SetRow(size_t r, const Vec& v);
+
+  const Vec& data() const { return data_; }
+  Vec& data() { return data_; }
+
+  /// out = this * x  (rows() results).
+  Vec MatVec(const Vec& x) const;
+  /// out = this^T * x (cols() results).
+  Vec MatTVec(const Vec& x) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_TENSOR_MATRIX_H_

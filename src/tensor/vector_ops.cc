@@ -1,0 +1,61 @@
+#include "tensor/vector_ops.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rain {
+namespace vec {
+
+Vec Zeros(size_t n) { return Vec(n, 0.0); }
+
+double Dot(const Vec& x, const Vec& y) {
+  RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void Axpy(double alpha, const Vec& x, Vec* y) {
+  RAIN_CHECK(x.size() == y->size()) << "Axpy size mismatch";
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Scale(double alpha, Vec* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+double Norm2(const Vec& x) { return std::sqrt(NormSq(x)); }
+
+double NormSq(const Vec& x) {
+  double acc = 0.0;
+  for (double v : x) acc += v * v;
+  return acc;
+}
+
+Vec Sub(const Vec& x, const Vec& y) {
+  RAIN_CHECK(x.size() == y.size()) << "Sub size mismatch";
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+Vec Add(const Vec& x, const Vec& y) {
+  RAIN_CHECK(x.size() == y.size()) << "Add size mismatch";
+  Vec out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+double MaxAbsDiff(const Vec& x, const Vec& y) {
+  RAIN_CHECK(x.size() == y.size()) << "MaxAbsDiff size mismatch";
+  double m = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = std::fabs(x[i] - y[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+}  // namespace vec
+}  // namespace rain

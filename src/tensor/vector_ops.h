@@ -1,0 +1,47 @@
+#ifndef RAIN_TENSOR_VECTOR_OPS_H_
+#define RAIN_TENSOR_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace rain {
+
+/// Dense double vector. All training, influence-function and relaxation
+/// math in Rain operates on these (model parameters, gradients, HVPs).
+using Vec = std::vector<double>;
+
+/// BLAS-1 style kernels. All require matching sizes (checked).
+namespace vec {
+
+/// out = 0 vector of length n.
+Vec Zeros(size_t n);
+
+/// dot(x, y)
+double Dot(const Vec& x, const Vec& y);
+
+/// y += alpha * x
+void Axpy(double alpha, const Vec& x, Vec* y);
+
+/// x *= alpha
+void Scale(double alpha, Vec* x);
+
+/// Euclidean norm.
+double Norm2(const Vec& x);
+
+/// Squared Euclidean norm.
+double NormSq(const Vec& x);
+
+/// out = x - y
+Vec Sub(const Vec& x, const Vec& y);
+
+/// out = x + y
+Vec Add(const Vec& x, const Vec& y);
+
+/// Element-wise maximum absolute difference.
+double MaxAbsDiff(const Vec& x, const Vec& y);
+
+}  // namespace vec
+
+}  // namespace rain
+
+#endif  // RAIN_TENSOR_VECTOR_OPS_H_

@@ -1,0 +1,247 @@
+#include <cmath>
+#include <set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "gtest/gtest.h"
+
+namespace rain {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllCodesRoundTripNames) {
+  EXPECT_EQ(Status::NotFound("x").ToString(), "NotFound: x");
+  EXPECT_EQ(Status::AlreadyExists("x").ToString(), "AlreadyExists: x");
+  EXPECT_EQ(Status::OutOfRange("x").ToString(), "OutOfRange: x");
+  EXPECT_EQ(Status::Unimplemented("x").ToString(), "Unimplemented: x");
+  EXPECT_EQ(Status::Internal("x").ToString(), "Internal: x");
+  EXPECT_EQ(Status::ResourceExhausted("x").ToString(), "ResourceExhausted: x");
+  EXPECT_EQ(Status::ParseError("x").ToString(), "ParseError: x");
+  EXPECT_EQ(Status::TypeError("x").ToString(), "TypeError: x");
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  RAIN_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = ParsePositive(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 4);
+
+  Result<int> err = ParsePositive(-1);
+  ASSERT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, UniformIntUnbiasedSmallRange) {
+  Rng rng(9);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(5)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BetaMeanMatches) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Beta(6.0, 2.0);
+  EXPECT_NEAR(sum / n, 0.75, 0.01);  // alpha / (alpha + beta)
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.Bernoulli(0.13);
+  EXPECT_NEAR(hits / 20000.0, 0.13, 0.01);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  auto picks = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<size_t> uniq(picks.begin(), picks.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t p : picks) EXPECT_LT(p, 100u);
+}
+
+TEST(RngTest, SampleMoreThanNClamps) {
+  Rng rng(19);
+  auto picks = rng.SampleWithoutReplacement(5, 50);
+  EXPECT_EQ(picks.size(), 5u);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAsciiOnly) {
+  EXPECT_EQ(ToLower("SeLeCt * FROM T1"), "select * from t1");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "llo"));
+  EXPECT_FALSE(EndsWith("hello", "hell"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b \t\n"), "a b");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool expected;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const LikeCase& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.expected)
+      << "text='" << c.text << "' pattern='" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true}, LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true}, LikeCase{"hello", "h__lo", true},
+        LikeCase{"hello", "h__l", false}, LikeCase{"hello", "hell_o", false},
+        LikeCase{"hello", "%", true}, LikeCase{"", "%", true},
+        LikeCase{"", "_", false}, LikeCase{"abc", "a%b%c", true},
+        LikeCase{"abc", "%a%b%c%", true}, LikeCase{"axxbyyc", "a%b%c", true},
+        LikeCase{"acb", "a%b%c", false},
+        LikeCase{"tok1 http tok2", "%http%", true},
+        LikeCase{"tok1 htt tok2", "%http%", false},
+        LikeCase{"deal", "%deal%", true}, LikeCase{"deadline", "%deal%", false},
+        LikeCase{"aaa", "a%a", true}, LikeCase{"ab", "ab%", true},
+        LikeCase{"ab", "%%ab", true}, LikeCase{"mississippi", "%ss%ss%", true},
+        LikeCase{"mississippi", "%ss%ss%ss%", false}));
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("%s", "x"), "x");
+}
+
+TEST(TablePrinterTest, AlignedTextAndCsv) {
+  TablePrinter t({"method", "auccr"});
+  t.AddRow({"holistic", TablePrinter::Num(0.991, 3)});
+  t.AddRow({"loss", TablePrinter::Num(0.35, 3)});
+  const std::string text = t.ToText();
+  EXPECT_NE(text.find("| method   | auccr |"), std::string::npos);
+  EXPECT_NE(text.find("| holistic | 0.991 |"), std::string::npos);
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("method,auccr\n"), std::string::npos);
+  EXPECT_NE(csv.find("holistic,0.991\n"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvEscapesCommasAndQuotes) {
+  TablePrinter t({"a"});
+  t.AddRow({"x,y"});
+  t.AddRow({"he said \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rain

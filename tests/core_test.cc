@@ -1,0 +1,279 @@
+#include <set>
+
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/metrics.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "data/corruption.h"
+#include "data/dblp.h"
+#include "gtest/gtest.h"
+#include "ml/logistic_regression.h"
+
+namespace rain {
+namespace {
+
+TEST(MetricsTest, RecallCurveBasics) {
+  // 4 corruptions {0,1,2,3}; deletions hit 2 of the first 4.
+  auto curve = RecallCurve({0, 9, 1, 8}, {0, 1, 2, 3});
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);
+  EXPECT_DOUBLE_EQ(curve[1], 0.25);
+  EXPECT_DOUBLE_EQ(curve[2], 0.5);
+  EXPECT_DOUBLE_EQ(curve[3], 0.5);
+}
+
+TEST(MetricsTest, PerfectRecallAuccrIsNearOne) {
+  std::vector<size_t> deletions{0, 1, 2, 3, 4};
+  std::vector<size_t> corrupted{0, 1, 2, 3, 4};
+  const double auc = Auccr(deletions, corrupted);
+  EXPECT_NEAR(auc, 1.0, 0.21);  // (2/K) sum k/K = (K+1)/K
+  EXPECT_GE(auc, 1.0);
+}
+
+TEST(MetricsTest, ZeroRecallAuccrIsZero) {
+  EXPECT_DOUBLE_EQ(Auccr({10, 11, 12}, {0, 1, 2}), 0.0);
+}
+
+TEST(MetricsTest, ShortDeletionSequencePads) {
+  auto curve = RecallCurve({0}, {0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(curve[0], 0.25);
+  EXPECT_DOUBLE_EQ(curve[3], 0.25);
+}
+
+TEST(MetricsTest, EmptyCorruptions) {
+  EXPECT_TRUE(RecallCurve({1, 2}, {}).empty());
+  EXPECT_DOUBLE_EQ(Auccr(std::vector<double>{}), 0.0);
+}
+
+/// End-to-end fixture: a DBLP-style pipeline with systematic corruptions
+/// and a COUNT query.
+class CoreFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    DblpConfig cfg;
+    cfg.train_size = 400;
+    cfg.query_size = 200;
+    cfg.seed = 99;
+    DblpData dblp = MakeDblp(cfg);
+    true_count_ = 0;
+    for (size_t i = 0; i < dblp.query.size(); ++i) true_count_ += dblp.query.label(i);
+
+    Rng rng(3);
+    corrupted_ = CorruptLabels(&dblp.train, IndicesWithLabel(dblp.train, 1), 0.5, 0,
+                               &rng);
+
+    Catalog catalog;
+    ASSERT_TRUE(
+        catalog.AddTable("dblp", std::move(dblp.query_table), std::move(dblp.query))
+            .ok());
+    auto model = std::make_unique<LogisticRegression>(kDblpFeatures);
+    TrainConfig tc;
+    tc.l2 = 1e-3;
+    pipeline_ = std::make_unique<Query2Pipeline>(std::move(catalog), std::move(model),
+                                                 std::move(dblp.train), tc);
+    ASSERT_TRUE(pipeline_->Train().ok());
+  }
+
+  PlanPtr CountQuery() {
+    return PlanNode::Aggregate(
+        PlanNode::Filter(PlanNode::Scan("dblp", "D"),
+                         Expr::Eq(Expr::Predict("D"), Expr::LitInt(1))),
+        {}, {}, {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  }
+
+  std::unique_ptr<Query2Pipeline> pipeline_;
+  std::vector<size_t> corrupted_;
+  int64_t true_count_ = 0;
+};
+
+TEST_F(CoreFixture, PipelineExecutesSqlAndPlans) {
+  auto via_sql =
+      pipeline_->ExecuteSql("SELECT COUNT(*) AS cnt FROM dblp WHERE predict(*) = 1",
+                            /*debug=*/false);
+  ASSERT_TRUE(via_sql.ok());
+  auto via_plan = pipeline_->Execute(CountQuery(), /*debug=*/false);
+  ASSERT_TRUE(via_plan.ok());
+  EXPECT_EQ(via_sql->table.rows[0][0].AsInt64(), via_plan->table.rows[0][0].AsInt64());
+}
+
+TEST_F(CoreFixture, CorruptionSuppressesCount) {
+  auto r = pipeline_->Execute(CountQuery(), false);
+  ASSERT_TRUE(r.ok());
+  // Half the match labels were flipped to non-match, so the model
+  // under-predicts matches.
+  EXPECT_LT(r->table.rows[0][0].AsInt64(), true_count_);
+}
+
+TEST_F(CoreFixture, ValueComplaintBinds) {
+  auto r = pipeline_->Execute(CountQuery(), true);
+  ASSERT_TRUE(r.ok());
+  auto spec = ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_));
+  auto bound = BindComplaint(spec, *r, pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->size(), 1u);
+  EXPECT_TRUE((*bound)[0].violated);
+  EXPECT_NE((*bound)[0].poly, kInvalidPoly);
+  EXPECT_LT((*bound)[0].current, (*bound)[0].target);
+}
+
+TEST_F(CoreFixture, SatisfiedInequalityComplaintNotViolated) {
+  auto r = pipeline_->Execute(CountQuery(), true);
+  ASSERT_TRUE(r.ok());
+  auto spec = ComplaintSpec::ValueGe("cnt", 0.0);  // trivially satisfied
+  auto bound = BindComplaint(spec, *r, pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE((*bound)[0].violated);
+}
+
+TEST_F(CoreFixture, UnknownAggregateNameFails) {
+  auto r = pipeline_->Execute(CountQuery(), true);
+  ASSERT_TRUE(r.ok());
+  auto spec = ComplaintSpec::ValueEq("missing", 1.0);
+  EXPECT_FALSE(BindComplaint(spec, *r, pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog())
+                   .ok());
+}
+
+TEST_F(CoreFixture, PointComplaintBinds) {
+  auto spec = ComplaintSpec::Point("dblp", 3, 1);
+  ExecResult dummy;
+  auto bound = BindComplaint(spec, dummy, pipeline_->arena(),
+                             pipeline_->predictions(), pipeline_->catalog());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->size(), 1u);
+  EXPECT_EQ(pipeline_->arena()->node((*bound)[0].poly).op, PolyOp::kVar);
+}
+
+TEST_F(CoreFixture, PointComplaintRangeChecks) {
+  ExecResult dummy;
+  EXPECT_FALSE(BindComplaint(ComplaintSpec::Point("dblp", 1 << 20, 1), dummy,
+                             pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog())
+                   .ok());
+  EXPECT_FALSE(BindComplaint(ComplaintSpec::Point("dblp", 0, 7), dummy,
+                             pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog())
+                   .ok());
+  EXPECT_FALSE(BindComplaint(ComplaintSpec::Point("nope", 0, 1), dummy,
+                             pipeline_->arena(), pipeline_->predictions(),
+                             pipeline_->catalog())
+                   .ok());
+}
+
+TEST_F(CoreFixture, SelectApproachHeuristic) {
+  auto r = pipeline_->Execute(CountQuery(), true);
+  ASSERT_TRUE(r.ok());
+  auto agg = BindComplaint(ComplaintSpec::ValueEq("cnt", 1.0), *r, pipeline_->arena(),
+                           pipeline_->predictions(), pipeline_->catalog());
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(SelectApproach(*pipeline_->arena(), *agg), Approach::kHolistic);
+
+  ExecResult dummy;
+  auto pt = BindComplaint(ComplaintSpec::Point("dblp", 0, 1), dummy,
+                          pipeline_->arena(), pipeline_->predictions(),
+                          pipeline_->catalog());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(SelectApproach(*pipeline_->arena(), *pt), Approach::kTwoStep);
+}
+
+TEST_F(CoreFixture, MakeRankerFactory) {
+  for (const char* name : {"loss", "infloss", "twostep", "holistic"}) {
+    auto r = MakeRanker(name);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ((*r)->name(), name);
+  }
+  EXPECT_FALSE(MakeRanker("alchemy").ok());
+}
+
+TEST_F(CoreFixture, HolisticDebuggerRecoversCorruptions) {
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 20;
+  cfg.max_deletions = static_cast<int>(corrupted_.size());
+  Debugger debugger(pipeline_.get(), MakeHolisticRanker(), cfg);
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
+  auto report = debugger.Run({qc});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deletions.size(), corrupted_.size());
+  const double auc = Auccr(report->deletions, corrupted_);
+  EXPECT_GT(auc, 0.8) << "Holistic should recover systematic corruptions";
+  // Timings recorded for every iteration.
+  ASSERT_FALSE(report->iterations.empty());
+  EXPECT_GT(report->iterations[0].train_seconds, 0.0);
+}
+
+TEST_F(CoreFixture, LossRankerUnderperformsHolistic) {
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 20;
+  cfg.max_deletions = static_cast<int>(corrupted_.size());
+  Debugger loss_dbg(pipeline_.get(), MakeLossRanker(), cfg);
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
+  auto loss_report = loss_dbg.Run({qc});
+  ASSERT_TRUE(loss_report.ok());
+  const double loss_auc = Auccr(loss_report->deletions, corrupted_);
+
+  pipeline_->train_data()->ReactivateAll();
+  Debugger hol_dbg(pipeline_.get(), MakeHolisticRanker(), cfg);
+  auto hol_report = hol_dbg.Run({qc});
+  ASSERT_TRUE(hol_report.ok());
+  const double hol_auc = Auccr(hol_report->deletions, corrupted_);
+  EXPECT_GT(hol_auc, loss_auc);
+}
+
+TEST_F(CoreFixture, DebuggerStopsWhenResolved) {
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = 1000;
+  cfg.stop_when_resolved = true;
+  Debugger debugger(pipeline_.get(), MakeHolisticRanker(), cfg);
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  // Complain with the *current* (already satisfied) count: resolves at once.
+  auto r = pipeline_->Execute(CountQuery(), false);
+  ASSERT_TRUE(r.ok());
+  qc.complaints = {ComplaintSpec::ValueEq(
+      "cnt", static_cast<double>(r->table.rows[0][0].AsInt64()))};
+  auto report = debugger.Run({qc});
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->complaints_resolved);
+  EXPECT_TRUE(report->deletions.empty());
+}
+
+TEST_F(CoreFixture, TwoStepRankerRunsOnCountComplaint) {
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 20;
+  cfg.max_deletions = 40;
+  Debugger debugger(pipeline_.get(), MakeTwoStepRanker(), cfg);
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
+  auto report = debugger.Run({qc});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->deletions.size(), 40u);
+}
+
+TEST_F(CoreFixture, DeletionsAreDistinctAndDeactivated) {
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = 30;
+  Debugger debugger(pipeline_.get(), MakeLossRanker(), cfg);
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
+  auto report = debugger.Run({qc});
+  ASSERT_TRUE(report.ok());
+  std::set<size_t> uniq(report->deletions.begin(), report->deletions.end());
+  EXPECT_EQ(uniq.size(), report->deletions.size());
+  for (size_t i : report->deletions) {
+    EXPECT_FALSE(pipeline_->train_data()->active(i));
+  }
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,223 @@
+#include <set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "data/adult.h"
+#include "data/corruption.h"
+#include "data/dblp.h"
+#include "data/enron.h"
+#include "data/mnist.h"
+#include "gtest/gtest.h"
+#include "ml/eval.h"
+#include "ml/logistic_regression.h"
+#include "ml/softmax_regression.h"
+#include "ml/trainer.h"
+
+namespace rain {
+namespace {
+
+TEST(CorruptionTest, IndicesWithLabel) {
+  Matrix x(4, 1, 0.0);
+  Dataset d(std::move(x), {0, 1, 0, 1}, 2);
+  auto ones = IndicesWithLabel(d, 1);
+  EXPECT_EQ(ones, (std::vector<size_t>{1, 3}));
+}
+
+TEST(CorruptionTest, FractionalCorruptionCountsAndRecords) {
+  Matrix x(100, 1, 0.0);
+  Dataset d(std::move(x), std::vector<int>(100, 1), 2);
+  Rng rng(5);
+  std::vector<size_t> candidates(100);
+  for (size_t i = 0; i < 100; ++i) candidates[i] = i;
+  auto corrupted = CorruptLabels(&d, candidates, 0.3, 0, &rng);
+  EXPECT_EQ(corrupted.size(), 30u);
+  for (size_t i : corrupted) EXPECT_EQ(d.label(i), 0);
+  // Exactly 30 labels changed overall.
+  size_t zeros = IndicesWithLabel(d, 0).size();
+  EXPECT_EQ(zeros, 30u);
+}
+
+TEST(CorruptionTest, CorruptAllSkipsAlreadyMatching) {
+  Matrix x(4, 1, 0.0);
+  Dataset d(std::move(x), {0, 1, 0, 1}, 2);
+  auto changed = CorruptAll(&d, {0, 1, 2, 3}, 1);
+  EXPECT_EQ(changed, (std::vector<size_t>{0, 2}));
+}
+
+TEST(DblpTest, ShapesAndDeterminism) {
+  DblpConfig cfg;
+  cfg.train_size = 300;
+  cfg.query_size = 150;
+  DblpData a = MakeDblp(cfg);
+  DblpData b = MakeDblp(cfg);
+  EXPECT_EQ(a.train.size(), 300u);
+  EXPECT_EQ(a.query.size(), 150u);
+  EXPECT_EQ(a.train.num_features(), kDblpFeatures);
+  EXPECT_EQ(a.query_table.num_rows(), 150u);
+  // Determinism: same seed, same labels and features.
+  EXPECT_EQ(a.train.labels(), b.train.labels());
+  EXPECT_DOUBLE_EQ(a.train.features().At(7, 3), b.train.features().At(7, 3));
+}
+
+TEST(DblpTest, MatchRateApproximatelyHolds) {
+  DblpConfig cfg;
+  cfg.train_size = 4000;
+  DblpData d = MakeDblp(cfg);
+  const double rate =
+      static_cast<double>(IndicesWithLabel(d.train, 1).size()) / d.train.size();
+  EXPECT_NEAR(rate, cfg.match_rate, 0.03);
+}
+
+TEST(DblpTest, Learnable) {
+  DblpData d = MakeDblp({});
+  LogisticRegression m(kDblpFeatures);
+  ASSERT_TRUE(TrainModel(&m, d.train).ok());
+  EXPECT_GT(Evaluate(m, d.query).f1, 0.9);
+}
+
+TEST(EnronTest, SpecialTokenMarginalsMatchPaper) {
+  EnronConfig cfg;
+  cfg.train_size = 6000;
+  EnronData d = MakeEnron(cfg);
+  const auto http = TrainEmailsContaining(d, "http");
+  const auto deal = TrainEmailsContaining(d, "deal");
+  const double p_http = static_cast<double>(http.size()) / d.train.size();
+  const double p_deal = static_cast<double>(deal.size()) / d.train.size();
+  EXPECT_NEAR(p_http, 0.13, 0.02);
+  EXPECT_NEAR(p_deal, 0.18, 0.02);
+  // Spam fraction among http-emails ~ 0.76; among deal-emails ~ 0.027.
+  size_t http_spam = 0;
+  for (size_t i : http) http_spam += d.train.label(i) == 1;
+  EXPECT_NEAR(static_cast<double>(http_spam) / http.size(), 0.76, 0.06);
+  size_t deal_spam = 0;
+  for (size_t i : deal) deal_spam += d.train.label(i) == 1;
+  EXPECT_NEAR(static_cast<double>(deal_spam) / deal.size(), 0.027, 0.03);
+}
+
+TEST(EnronTest, TextMatchesFeatures) {
+  EnronData d = MakeEnron({});
+  for (size_t i = 0; i < 50; ++i) {
+    const bool has_http = d.train.features().At(i, d.http_feature) != 0.0;
+    EXPECT_EQ(LikeMatch(d.train_texts[i], "%http%"), has_http) << "email " << i;
+  }
+}
+
+TEST(EnronTest, RuleCorruptionFlipsExpectedFraction) {
+  // "Label all http emails spam": ~13% * 24% ham = ~3.1% of labels flip.
+  EnronConfig cfg;
+  cfg.train_size = 6000;
+  EnronData d = MakeEnron(cfg);
+  auto changed = CorruptAll(&d.train, TrainEmailsContaining(d, "http"), 1);
+  EXPECT_NEAR(static_cast<double>(changed.size()) / d.train.size(), 0.031, 0.012);
+  // "deal" flips ~17.5%.
+  EnronData d2 = MakeEnron(cfg);
+  auto changed2 = CorruptAll(&d2.train, TrainEmailsContaining(d2, "deal"), 1);
+  EXPECT_NEAR(static_cast<double>(changed2.size()) / d2.train.size(), 0.175, 0.03);
+}
+
+TEST(AdultTest, FeatureEncodingOneHot) {
+  AdultData d = MakeAdult({});
+  for (size_t i = 0; i < 20; ++i) {
+    double sum = 0.0;
+    for (size_t f = 0; f < kAdultFeatures; ++f) sum += d.train.features().At(i, f);
+    EXPECT_DOUBLE_EQ(sum, 3.0);  // one hot per attribute group
+  }
+}
+
+TEST(AdultTest, DuplicateFeatureVectorsDominate) {
+  AdultConfig cfg;
+  cfg.train_size = 6500;
+  AdultData d = MakeAdult(cfg);
+  std::set<std::vector<double>> uniq;
+  for (size_t i = 0; i < d.train.size(); ++i) {
+    std::vector<double> row(d.train.row(i), d.train.row(i) + kAdultFeatures);
+    uniq.insert(std::move(row));
+  }
+  // The domain has at most 8*8*2 = 128 distinct vectors (paper: 118/6512).
+  EXPECT_LE(uniq.size(), 128u);
+  EXPECT_GE(uniq.size(), 60u);
+}
+
+TEST(AdultTest, CorruptionPredicateSelectivity) {
+  AdultConfig cfg;
+  cfg.train_size = 6500;
+  AdultData d = MakeAdult(cfg);
+  auto candidates = AdultCorruptionCandidates(d);
+  const double rate = static_cast<double>(candidates.size()) / d.train.size();
+  EXPECT_NEAR(rate, 0.082, 0.03);  // paper: 8.2% of the training set
+  for (size_t i : candidates) {
+    EXPECT_EQ(d.train.label(i), 0);
+    EXPECT_EQ(d.train_gender[i], 1);
+    EXPECT_EQ(d.train_age_decade[i], 4);
+  }
+}
+
+TEST(AdultTest, GenderAgeSelectivitiesMatchPaper) {
+  AdultConfig cfg;
+  cfg.train_size = 20000;
+  AdultData d = MakeAdult(cfg);
+  size_t male = 0, dec4 = 0, male_dec4 = 0;
+  for (size_t i = 0; i < d.train.size(); ++i) {
+    const bool m = d.train_gender[i] == 1;
+    const bool a4 = d.train_age_decade[i] == 4;
+    male += m;
+    dec4 += a4;
+    male_dec4 += m && a4;
+  }
+  // 23.1% of males are 40-50; 71.3% of 40-50 are male.
+  EXPECT_NEAR(static_cast<double>(male_dec4) / male, 0.231, 0.02);
+  EXPECT_NEAR(static_cast<double>(male_dec4) / dec4, 0.713, 0.02);
+}
+
+TEST(MnistTest, ShapesAndLearnability) {
+  MnistConfig cfg;
+  cfg.train_size = 800;
+  cfg.query_size = 400;
+  MnistData d = MakeMnist(cfg);
+  EXPECT_EQ(d.train.num_features(), 64u);
+  EXPECT_EQ(d.train.num_classes(), 10);
+  SoftmaxRegression m(64, 10);
+  ASSERT_TRUE(TrainModel(&m, d.train).ok());
+  EXPECT_GT(Evaluate(m, d.query).accuracy, 0.9);
+}
+
+TEST(MnistTest, SubsetSelection) {
+  MnistData d = MakeMnist({});
+  MnistSubset ones = SelectByTrueDigit(d, {1});
+  for (size_t i = 0; i < ones.features.size(); ++i) {
+    EXPECT_EQ(ones.features.label(i), 1);
+  }
+  EXPECT_EQ(ones.table.num_rows(), ones.features.size());
+  // Disjoint subsets via skip.
+  MnistSubset sevens = SelectByTrueDigit(d, {7}, 0, ones.source_rows);
+  std::set<size_t> a(ones.source_rows.begin(), ones.source_rows.end());
+  for (size_t s : sevens.source_rows) EXPECT_EQ(a.count(s), 0u);
+}
+
+TEST(MnistTest, SubsetMaxPerDigit) {
+  MnistData d = MakeMnist({});
+  MnistSubset s = SelectByTrueDigit(d, {1, 2, 3}, 5);
+  EXPECT_LE(s.features.size(), 15u);
+}
+
+TEST(MnistTest, MixMovesRows) {
+  MnistData d = MakeMnist({});
+  MnistSubset left = SelectByTrueDigit(d, {1, 2, 3, 4, 5});
+  MnistSubset right = SelectByTrueDigit(d, {6, 7, 8, 9, 0});
+  const size_t left_before = left.features.size();
+  const size_t right_before = right.features.size();
+  Rng rng(3);
+  const size_t moved = MixSubsets(&left, &right, d, 1, 0.25, &rng);
+  EXPECT_GT(moved, 0u);
+  EXPECT_EQ(left.features.size(), left_before - moved);
+  EXPECT_EQ(right.features.size(), right_before + moved);
+  // Moved rows are digit-1 rows now in the right subset.
+  size_t right_ones = 0;
+  for (size_t i = 0; i < right.features.size(); ++i) {
+    right_ones += right.features.label(i) == 1;
+  }
+  EXPECT_EQ(right_ones, moved);
+}
+
+}  // namespace
+}  // namespace rain

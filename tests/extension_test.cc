@@ -1,0 +1,240 @@
+/// Tests for the extension features beyond the paper's core: ORDER BY /
+/// LIMIT and CSV dataset/table I/O.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "data/csv_io.h"
+#include "gtest/gtest.h"
+#include "provenance/prediction_store.h"
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "sql/parser.h"
+#include "sql/planner.h"
+
+namespace rain {
+namespace {
+
+class OrderLimitFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table t(Schema({Field{"id", DataType::kInt64, ""},
+                    Field{"score", DataType::kDouble, ""},
+                    Field{"name", DataType::kString, ""}}));
+    t.AppendRowUnchecked({Value(int64_t{0}), Value(3.0), Value(std::string("c"))});
+    t.AppendRowUnchecked({Value(int64_t{1}), Value(1.0), Value(std::string("a"))});
+    t.AppendRowUnchecked({Value(int64_t{2}), Value(2.0), Value(std::string("b"))});
+    t.AppendRowUnchecked({Value(int64_t{3}), Value(2.0), Value(std::string("d"))});
+    Matrix f(4, 2, 0.0);
+    ASSERT_TRUE(
+        catalog_.AddTable("items", std::move(t), Dataset(std::move(f), {0, 1, 1, 0}, 2))
+            .ok());
+    Matrix probs(4, 2);
+    probs.SetRow(0, {0.9, 0.1});
+    probs.SetRow(1, {0.2, 0.8});
+    probs.SetRow(2, {0.3, 0.7});
+    probs.SetRow(3, {0.6, 0.4});
+    preds_.SetPredictions(0, std::move(probs));
+  }
+
+  Result<ExecResult> RunSql(const std::string& q, bool debug = false) {
+    auto plan = sql::PlanQuery(q, catalog_);
+    if (!plan.ok()) return plan.status();
+    Executor ex(&catalog_, &preds_, &arena_);
+    ExecOptions o;
+    o.debug_mode = debug;
+    return ex.Run(*plan, o);
+  }
+
+  Catalog catalog_;
+  PredictionStore preds_;
+  PolyArena arena_;
+};
+
+TEST_F(OrderLimitFixture, OrderByAscending) {
+  auto r = RunSql("SELECT id, score FROM items ORDER BY score");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table.num_rows(), 4u);
+  EXPECT_EQ(r->table.rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(r->table.rows[3][0].AsInt64(), 0);
+}
+
+TEST_F(OrderLimitFixture, OrderByDescendingWithTieBreak) {
+  auto r = RunSql("SELECT id FROM items ORDER BY score DESC, name ASC");
+  ASSERT_TRUE(r.ok());
+  // scores: 3(c,id0), 2(b,id2), 2(d,id3), 1(a,id1).
+  EXPECT_EQ(r->table.rows[0][0].AsInt64(), 0);
+  EXPECT_EQ(r->table.rows[1][0].AsInt64(), 2);
+  EXPECT_EQ(r->table.rows[2][0].AsInt64(), 3);
+  EXPECT_EQ(r->table.rows[3][0].AsInt64(), 1);
+}
+
+TEST_F(OrderLimitFixture, LimitTruncates) {
+  auto r = RunSql("SELECT id FROM items ORDER BY score LIMIT 2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.num_rows(), 2u);
+  EXPECT_EQ(r->table.rows[0][0].AsInt64(), 1);
+  EXPECT_EQ(r->table.rows[1][0].AsInt64(), 2);
+}
+
+TEST_F(OrderLimitFixture, LimitLargerThanResultIsNoop) {
+  auto r = RunSql("SELECT id FROM items LIMIT 99");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 4u);
+}
+
+TEST_F(OrderLimitFixture, OrderByOverAggregate) {
+  auto r = RunSql(
+      "SELECT name, COUNT(*) AS n FROM items GROUP BY name ORDER BY name DESC "
+      "LIMIT 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->table.num_rows(), 2u);
+  EXPECT_EQ(r->table.rows[0][0].AsString(), "d");
+  EXPECT_EQ(r->table.rows[1][0].AsString(), "c");
+}
+
+TEST_F(OrderLimitFixture, OrderByOverAggregatePermutesPolys) {
+  auto r = RunSql(
+      "SELECT name, COUNT(*) AS n FROM items WHERE predict(*) = 1 "
+      "GROUP BY name ORDER BY name DESC",
+      /*debug=*/true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Every row's count polynomial must evaluate to the row's concrete cell
+  // after the permutation.
+  const Vec assign = preds_.ConcreteAssignment(arena_);
+  for (size_t row = 0; row < r->table.num_rows(); ++row) {
+    if (!r->table.concrete[row]) continue;
+    const double poly_val = arena_.Evaluate(r->agg_polys[row][0], assign);
+    EXPECT_DOUBLE_EQ(poly_val, static_cast<double>(r->table.rows[row][1].AsInt64()))
+        << "row " << row;
+  }
+}
+
+TEST_F(OrderLimitFixture, OrderByPredictionRejected) {
+  auto r = RunSql("SELECT id FROM items ORDER BY predict(*)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnimplemented());
+}
+
+TEST_F(OrderLimitFixture, LimitOverDebugCandidatesRejected) {
+  auto r = RunSql("SELECT id FROM items WHERE predict(*) = 1 LIMIT 1",
+                  /*debug=*/true);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnimplemented());
+}
+
+TEST_F(OrderLimitFixture, ParserRejectsBadOrderLimit) {
+  EXPECT_FALSE(RunSql("SELECT id FROM items ORDER score").ok());
+  EXPECT_FALSE(RunSql("SELECT id FROM items LIMIT x").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CSV I/O.
+// ---------------------------------------------------------------------------
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvIoTest, DatasetRoundTrip) {
+  Rng rng(3);
+  Matrix x(7, 3);
+  std::vector<int> y(7);
+  for (size_t i = 0; i < 7; ++i) {
+    for (size_t f = 0; f < 3; ++f) x.At(i, f) = rng.Gaussian();
+    y[i] = static_cast<int>(rng.UniformInt(2));
+  }
+  Dataset original(std::move(x), std::move(y), 2);
+
+  const std::string path = TempPath("rain_dataset_roundtrip.csv");
+  ASSERT_TRUE(WriteDatasetCsv(original, path).ok());
+  auto loaded = ReadDatasetCsv(path, 2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), original.size());
+  ASSERT_EQ(loaded->num_features(), original.num_features());
+  EXPECT_EQ(loaded->labels(), original.labels());
+  for (size_t i = 0; i < original.size(); ++i) {
+    for (size_t f = 0; f < 3; ++f) {
+      EXPECT_DOUBLE_EQ(loaded->features().At(i, f), original.features().At(i, f));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, DatasetRejectsMissingLabelColumn) {
+  const std::string path = TempPath("rain_nolabel.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b\n1,2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, DatasetRejectsBadLabels) {
+  const std::string path = TempPath("rain_badlabel.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,label\n1,5\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, DatasetRejectsRaggedRows) {
+  const std::string path = TempPath("rain_ragged.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,label\n1,0\n2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadDatasetCsv(path, 2).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, TableRoundTripWithQuoting) {
+  Table t(Schema({Field{"id", DataType::kInt64, ""},
+                  Field{"note", DataType::kString, ""},
+                  Field{"w", DataType::kDouble, ""},
+                  Field{"ok", DataType::kBool, ""}}));
+  t.AppendRowUnchecked({Value(int64_t{1}), Value(std::string("plain")), Value(1.5),
+                        Value(true)});
+  t.AppendRowUnchecked({Value(int64_t{2}), Value(std::string("has,comma")),
+                        Value(-0.25), Value(false)});
+  t.AppendRowUnchecked({Value(int64_t{3}), Value(std::string("say \"hi\"")),
+                        Value(0.0), Value(true)});
+
+  const std::string path = TempPath("rain_table_roundtrip.csv");
+  ASSERT_TRUE(WriteTableCsv(t, path).ok());
+  auto loaded = ReadTableCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 3u);
+  EXPECT_EQ(loaded->Get(1, 1).AsString(), "has,comma");
+  EXPECT_EQ(loaded->Get(2, 1).AsString(), "say \"hi\"");
+  EXPECT_EQ(loaded->Get(2, 0).AsInt64(), 3);
+  EXPECT_DOUBLE_EQ(loaded->Get(1, 2).AsDouble(), -0.25);
+  EXPECT_TRUE(loaded->Get(2, 3).AsBool());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, TableRejectsUnknownType) {
+  const std::string path = TempPath("rain_badtype.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a:blob\nx\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadTableCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvIoTest, MissingFileIsNotFound) {
+  auto r = ReadDatasetCsv("/nonexistent/rain.csv", 2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,287 @@
+#include <set>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ilp/problem.h"
+#include "ilp/solver.h"
+#include "ilp/tiresias.h"
+#include "provenance/poly.h"
+#include "provenance/prediction_store.h"
+
+namespace rain {
+namespace {
+
+IlpSolveOptions NoRandom() {
+  IlpSolveOptions o;
+  o.randomize = false;
+  return o;
+}
+
+TEST(IlpProblemTest, ObjectiveAndFeasibility) {
+  IlpProblem p;
+  const int a = p.AddVar(1.0, "a");
+  const int b = p.AddVar(2.0, "b");
+  p.AddCardinality({a, b}, ConstraintSense::kGe, 1.0);
+  EXPECT_EQ(p.num_vars(), 2u);
+  EXPECT_DOUBLE_EQ(p.ObjectiveValue({1, 1}), 3.0);
+  EXPECT_TRUE(p.IsFeasible({1, 0}));
+  EXPECT_FALSE(p.IsFeasible({0, 0}));
+}
+
+TEST(IlpSolverTest, PicksCheapestCover) {
+  // min a + 2b st a + b >= 1 -> a=1, b=0.
+  IlpProblem p;
+  const int a = p.AddVar(1.0);
+  const int b = p.AddVar(2.0);
+  p.AddCardinality({a, b}, ConstraintSense::kGe, 1.0);
+  auto sol = SolveIlp(p, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->optimal);
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);
+  EXPECT_EQ(sol->values[a], 1);
+  EXPECT_EQ(sol->values[b], 0);
+}
+
+TEST(IlpSolverTest, EqualityCardinality) {
+  IlpProblem p;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(p.AddVar(1.0));
+  p.AddCardinality(vars, ConstraintSense::kEq, 3.0);
+  auto sol = SolveIlp(p, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  int ones = 0;
+  for (auto v : sol->values) ones += v;
+  EXPECT_EQ(ones, 3);
+  EXPECT_DOUBLE_EQ(sol->objective, 3.0);
+}
+
+TEST(IlpSolverTest, InfeasibleReported) {
+  IlpProblem p;
+  const int a = p.AddVar(1.0);
+  p.AddCardinality({a}, ConstraintSense::kGe, 2.0);  // impossible
+  auto sol = SolveIlp(p, NoRandom());
+  EXPECT_FALSE(sol.ok());
+  EXPECT_TRUE(sol.status().IsResourceExhausted());
+}
+
+TEST(IlpSolverTest, NegativeCoefficients) {
+  // min x st x - y >= 0, y = 1 -> x = 1.
+  IlpProblem p;
+  const int x = p.AddVar(1.0);
+  const int y = p.AddVar(0.0);
+  LinearConstraint c;
+  c.terms = {{x, 1.0}, {y, -1.0}};
+  c.sense = ConstraintSense::kGe;
+  c.rhs = 0.0;
+  p.AddConstraint(c);
+  p.AddCardinality({y}, ConstraintSense::kEq, 1.0);
+  auto sol = SolveIlp(p, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->values[x], 1);
+}
+
+TEST(IlpSolverTest, PropagationFixesChain) {
+  // z = AND(a, b) forced to 1 by constraint -> a = b = z = 1.
+  IlpProblem p;
+  const int a = p.AddVar(1.0);
+  const int b = p.AddVar(1.0);
+  const int z = p.AddVar(0.0);
+  // z <= a; z <= b; z >= a + b - 1.
+  p.AddConstraint({{{z, 1.0}, {a, -1.0}}, ConstraintSense::kLe, 0.0});
+  p.AddConstraint({{{z, 1.0}, {b, -1.0}}, ConstraintSense::kLe, 0.0});
+  p.AddConstraint({{{a, 1.0}, {b, 1.0}, {z, -1.0}}, ConstraintSense::kLe, 1.0});
+  p.AddCardinality({z}, ConstraintSense::kEq, 1.0);
+  auto sol = SolveIlp(p, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->values[a], 1);
+  EXPECT_EQ(sol->values[b], 1);
+}
+
+TEST(IlpSolverTest, BudgetExhaustionWithoutSolutionIsError) {
+  // A deliberately thorny infeasible-ish instance with a 0-node budget.
+  IlpProblem p;
+  std::vector<int> vars;
+  for (int i = 0; i < 30; ++i) vars.push_back(p.AddVar(1.0));
+  for (int i = 0; i + 1 < 30; ++i) {
+    p.AddConstraint({{{vars[i], 1.0}, {vars[i + 1], 1.0}}, ConstraintSense::kEq, 1.0});
+  }
+  p.AddCardinality(vars, ConstraintSense::kEq, 14.0);  // parity conflict
+  IlpSolveOptions opts = NoRandom();
+  opts.max_nodes = 100000;
+  auto sol = SolveIlp(p, opts);
+  // Alternating chain forces 15 ones; Eq 14 is infeasible.
+  EXPECT_FALSE(sol.ok());
+}
+
+TEST(IlpSolverTest, DecompositionMatchesBnbOptimum) {
+  // Independent per-row one-hots + a coupling cardinality — exactly the
+  // Tiresias COUNT shape. The decomposition fast path and plain B&B must
+  // agree on the optimal objective.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    IlpProblem p;
+    std::vector<int> class1;
+    const int rows = 12;
+    for (int r = 0; r < rows; ++r) {
+      const int cur = static_cast<int>(rng.UniformInt(2));
+      const int v0 = p.AddVar(cur == 0 ? 0.0 : 1.0);
+      const int v1 = p.AddVar(cur == 1 ? 0.0 : 1.0);
+      p.AddCardinality({v0, v1}, ConstraintSense::kEq, 1.0);
+      class1.push_back(v1);
+    }
+    p.AddCardinality(class1, ConstraintSense::kEq, 7.0);
+    const int coupling = static_cast<int>(p.num_constraints()) - 1;
+
+    IlpSolveOptions with_decomp = NoRandom();
+    with_decomp.coupling_constraint = coupling;
+    auto fast = SolveIlp(p, with_decomp);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_TRUE(fast->used_decomposition);
+
+    auto slow = SolveIlp(p, NoRandom());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_DOUBLE_EQ(fast->objective, slow->objective) << "seed " << seed;
+    EXPECT_TRUE(p.IsFeasible(fast->values));
+    EXPECT_TRUE(p.IsFeasible(slow->values));
+  }
+}
+
+TEST(IlpSolverTest, RandomizationSamplesDifferentOptima) {
+  // 6 identical rows, flip 3: many optima; randomized runs should not all
+  // return the same solution.
+  IlpProblem p;
+  std::vector<int> vars;
+  for (int i = 0; i < 6; ++i) vars.push_back(p.AddVar(1.0));
+  p.AddCardinality(vars, ConstraintSense::kEq, 3.0);
+  std::set<std::vector<uint8_t>> seen;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    IlpSolveOptions opts;
+    opts.randomize = true;
+    opts.seed = seed;
+    opts.coupling_constraint = 0;
+    auto sol = SolveIlp(p, opts);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_DOUBLE_EQ(sol->objective, 3.0);
+    seen.insert(sol->values);
+  }
+  EXPECT_GT(seen.size(), 1u) << "randomized solver must sample distinct optima";
+}
+
+// ---------------------------------------------------------------------------
+// Tiresias encoding tests.
+// ---------------------------------------------------------------------------
+
+struct TiresiasFixture : public ::testing::Test {
+  void SetUp() override {
+    // 4 queried rows, binary model; rows 1, 2 predicted class 1.
+    Matrix probs(4, 2);
+    probs.SetRow(0, {0.8, 0.2});
+    probs.SetRow(1, {0.3, 0.7});
+    probs.SetRow(2, {0.1, 0.9});
+    probs.SetRow(3, {0.6, 0.4});
+    preds.SetPredictions(0, std::move(probs));
+  }
+  PolyArena arena;
+  PredictionStore preds;
+};
+
+TEST_F(TiresiasFixture, CountComplaintEncodesEquationFive) {
+  // count = sum_r v(r, 1); complaint count = 3 while current count is 2.
+  std::vector<PolyId> terms;
+  for (int64_t r = 0; r < 4; ++r) terms.push_back(arena.Var(PredVar{0, r, 1}));
+  const PolyId count = arena.Add(terms);
+
+  auto enc = EncodeTiresias(&arena, preds, {{count, ConstraintSense::kEq, 3.0}});
+  ASSERT_TRUE(enc.ok());
+  // 4 rows x 2 classes variables + one-hots + complaint constraint.
+  EXPECT_EQ(enc->problem.num_vars(), 8u);
+  EXPECT_EQ(enc->problem.num_constraints(), 5u);
+  EXPECT_GE(enc->coupling_constraint, 0);
+
+  IlpSolveOptions opts;
+  opts.randomize = false;
+  opts.coupling_constraint = enc->coupling_constraint;
+  auto sol = SolveIlp(enc->problem, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);  // one flip
+
+  auto marked = DecodeMarkedPredictions(*enc, *sol);
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_EQ(marked[0].assigned_class, 1);
+  // The flipped row must be one currently predicted 0 (rows 0 or 3).
+  EXPECT_TRUE(marked[0].row == 0 || marked[0].row == 3);
+}
+
+TEST_F(TiresiasFixture, TupleComplaintForcesRepair) {
+  // Join tuple (row 1, row 2) exists because both predict class 1;
+  // complaint: should not exist. Minimal repair flips one of them.
+  const PolyId both = arena.And(
+      {arena.Var(PredVar{0, 1, 1}), arena.Var(PredVar{0, 2, 1})});
+  auto enc = EncodeTiresias(&arena, preds, {{both, ConstraintSense::kEq, 0.0}});
+  ASSERT_TRUE(enc.ok());
+  auto sol = SolveIlp(enc->problem, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);
+  auto marked = DecodeMarkedPredictions(*enc, *sol);
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_TRUE(marked[0].row == 1 || marked[0].row == 2);
+  EXPECT_EQ(marked[0].assigned_class, 0);
+}
+
+TEST_F(TiresiasFixture, MultiClassJoinEquality) {
+  // 10-class predictions for two rows of table 1; complaint: the join
+  // tuple OR_c(v_l,c AND v_r,c) should not exist.
+  Matrix probs(2, 10, 0.05);
+  probs.At(0, 1) = 0.55;  // row 0 predicted 1
+  probs.At(1, 1) = 0.55;  // row 1 predicted 1
+  preds.SetPredictions(1, std::move(probs));
+  std::vector<PolyId> ors;
+  for (int c = 0; c < 10; ++c) {
+    ors.push_back(arena.And(
+        {arena.Var(PredVar{1, 0, c}), arena.Var(PredVar{1, 1, c})}));
+  }
+  const PolyId tuple = arena.Or(ors);
+  auto enc = EncodeTiresias(&arena, preds, {{tuple, ConstraintSense::kEq, 0.0}});
+  ASSERT_TRUE(enc.ok());
+  auto sol = SolveIlp(enc->problem, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);  // flip one of the two rows
+  auto marked = DecodeMarkedPredictions(*enc, *sol);
+  ASSERT_EQ(marked.size(), 1u);
+  EXPECT_NE(marked[0].assigned_class, 1);
+}
+
+TEST_F(TiresiasFixture, WeightedSumComplaintNormalizes) {
+  // AVG-style polynomial: (v0 + v1 + v2 + v3) / 4 = 0.75 -> cardinality 3.
+  std::vector<PolyId> terms;
+  for (int64_t r = 0; r < 4; ++r) terms.push_back(arena.Var(PredVar{0, r, 1}));
+  const PolyId avg = arena.Div(arena.Add(terms), arena.Const(4.0));
+  auto enc = EncodeTiresias(&arena, preds, {{avg, ConstraintSense::kEq, 0.75}});
+  ASSERT_TRUE(enc.ok());
+  auto sol = SolveIlp(enc->problem, NoRandom());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);
+}
+
+TEST_F(TiresiasFixture, InfeasibleComplaintSurfaces) {
+  std::vector<PolyId> terms;
+  for (int64_t r = 0; r < 4; ++r) terms.push_back(arena.Var(PredVar{0, r, 1}));
+  const PolyId count = arena.Add(terms);
+  auto enc = EncodeTiresias(&arena, preds, {{count, ConstraintSense::kEq, 9.0}});
+  ASSERT_TRUE(enc.ok());
+  EXPECT_FALSE(SolveIlp(enc->problem, NoRandom()).ok());
+}
+
+TEST_F(TiresiasFixture, RatioWithModelDenominatorUnsupported) {
+  const PolyId num = arena.Var(PredVar{0, 0, 1});
+  const PolyId den = arena.Add({arena.Var(PredVar{0, 1, 1}), arena.True()});
+  const PolyId avg = arena.Div(num, den);
+  EXPECT_FALSE(EncodeTiresias(&arena, preds, {{avg, ConstraintSense::kEq, 0.5}}).ok());
+}
+
+TEST_F(TiresiasFixture, EmptyComplaintListRejected) {
+  EXPECT_FALSE(EncodeTiresias(&arena, preds, {}).ok());
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,190 @@
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "influence/conjugate_gradient.h"
+#include "influence/influence.h"
+#include "ml/logistic_regression.h"
+#include "ml/trainer.h"
+
+namespace rain {
+namespace {
+
+TEST(ConjugateGradientTest, SolvesDiagonalSystem) {
+  // A = diag(1..5), b = ones.
+  LinearOperator op = [](const Vec& v, Vec* out) {
+    out->resize(v.size());
+    for (size_t i = 0; i < v.size(); ++i) (*out)[i] = static_cast<double>(i + 1) * v[i];
+  };
+  auto r = ConjugateGradient(op, Vec(5, 1.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  for (size_t i = 0; i < 5; ++i) EXPECT_NEAR(r->x[i], 1.0 / (i + 1), 1e-8);
+}
+
+TEST(ConjugateGradientTest, SolvesDenseSpdSystem) {
+  // A = M^T M + I for random M: SPD.
+  Rng rng(3);
+  const size_t n = 8;
+  std::vector<Vec> m(n, Vec(n));
+  for (auto& row : m) {
+    for (double& v : row) v = rng.Gaussian();
+  }
+  auto apply = [&](const Vec& v, Vec* out) {
+    Vec mv(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) mv[i] += m[i][j] * v[j];
+    }
+    out->assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) (*out)[j] += m[i][j] * mv[i];
+      (*out)[i] += v[i];
+    }
+  };
+  Vec b(n);
+  for (double& v : b) v = rng.Gaussian();
+  auto r = ConjugateGradient(LinearOperator(apply), b);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->converged);
+  // Verify residual directly.
+  Vec ax;
+  apply(r->x, &ax);
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-6);
+}
+
+TEST(ConjugateGradientTest, ZeroRhsReturnsZero) {
+  LinearOperator op = [](const Vec& v, Vec* out) { *out = v; };
+  auto r = ConjugateGradient(op, Vec(3, 0.0));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  for (double v : r->x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ConjugateGradientTest, RejectsIndefiniteOperator) {
+  LinearOperator op = [](const Vec& v, Vec* out) {
+    *out = v;
+    for (double& x : *out) x = -x;
+  };
+  auto r = ConjugateGradient(op, Vec(3, 1.0));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ConjugateGradientTest, EmptyRhsIsError) {
+  LinearOperator op = [](const Vec& v, Vec* out) { *out = v; };
+  EXPECT_FALSE(ConjugateGradient(op, Vec{}).ok());
+}
+
+/// Builds a small trained logistic model for influence checks.
+struct TrainedSetup {
+  Dataset train;
+  LogisticRegression model{0};
+  double l2 = 1e-2;
+};
+
+TrainedSetup MakeTrained(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, d);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) x.At(i, f) = rng.Gaussian();
+    double s = 0.0;
+    for (size_t f = 0; f < d; ++f) s += x.At(i, f);
+    y[i] = s + 0.5 * rng.Gaussian() > 0 ? 1 : 0;
+  }
+  TrainedSetup setup{Dataset(std::move(x), std::move(y), 2), LogisticRegression(d)};
+  TrainConfig cfg;
+  cfg.l2 = setup.l2;
+  cfg.grad_tol = 1e-10;
+  cfg.max_iters = 2000;
+  RAIN_CHECK(TrainModel(&setup.model, setup.train, cfg).ok());
+  return setup;
+}
+
+TEST(InfluenceTest, PrepareRequiresMatchingSize) {
+  TrainedSetup s = MakeTrained(30, 3, 7);
+  InfluenceScorer scorer(&s.model, &s.train);
+  EXPECT_FALSE(scorer.Prepare(Vec(2, 1.0)).ok());
+}
+
+TEST(InfluenceTest, ScoresApproximateLeaveOneOutEffect) {
+  // q(theta) = p_1(x_q; theta) for a probe point. The influence
+  // prediction of removing record z is (1/n) * score contribution;
+  // compare its *sign and ranking* against true leave-one-out retraining.
+  TrainedSetup s = MakeTrained(60, 3, 9);
+  Rng rng(10);
+  Vec xq{rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+
+  auto q_value = [&](const Model& m) {
+    double p[2];
+    m.PredictProba(xq.data(), p);
+    return p[1];
+  };
+
+  InfluenceOptions opts;
+  opts.l2 = s.l2;
+  InfluenceScorer scorer(&s.model, &s.train, opts);
+  Vec q_grad(s.model.num_params(), 0.0);
+  s.model.AddProbaGradient(xq.data(), Vec{0.0, 1.0}, &q_grad);
+  ASSERT_TRUE(scorer.Prepare(q_grad).ok());
+
+  const double q0 = q_value(s.model);
+  const double n = static_cast<double>(s.train.num_active());
+  TrainConfig cfg;
+  cfg.l2 = s.l2;
+  cfg.grad_tol = 1e-10;
+  cfg.max_iters = 2000;
+
+  double corr_num = 0.0, pred_sq = 0.0, true_sq = 0.0;
+  for (size_t i = 0; i < 12; ++i) {
+    const double predicted_delta = scorer.Score(i) / n;  // score = -grad q H^-1 grad l
+    LogisticRegression retrained(3);
+    Dataset copy = s.train;
+    copy.Deactivate(i);
+    ASSERT_TRUE(TrainModel(&retrained, copy, cfg).ok());
+    const double true_delta = -(q_value(retrained) - q0);
+    corr_num += predicted_delta * true_delta;
+    pred_sq += predicted_delta * predicted_delta;
+    true_sq += true_delta * true_delta;
+  }
+  const double corr = corr_num / std::sqrt(pred_sq * true_sq + 1e-30);
+  EXPECT_GT(corr, 0.9) << "influence predictions should correlate with true LOO";
+}
+
+TEST(InfluenceTest, InactiveRecordsScoreZero) {
+  TrainedSetup s = MakeTrained(20, 3, 11);
+  s.train.Deactivate(5);
+  InfluenceOptions opts;
+  opts.l2 = s.l2;
+  InfluenceScorer scorer(&s.model, &s.train, opts);
+  Vec grad(s.model.num_params(), 0.5);
+  ASSERT_TRUE(scorer.Prepare(grad).ok());
+  auto scores = scorer.ScoreAll();
+  EXPECT_EQ(scores[5], 0.0);
+}
+
+TEST(InfluenceTest, SelfInfluenceIsNonPositive) {
+  TrainedSetup s = MakeTrained(25, 3, 13);
+  InfluenceOptions opts;
+  opts.l2 = s.l2;
+  InfluenceScorer scorer(&s.model, &s.train, opts);
+  auto self = scorer.SelfInfluenceAll();
+  ASSERT_TRUE(self.ok());
+  for (size_t i = 0; i < s.train.size(); ++i) {
+    EXPECT_LE((*self)[i], 1e-9) << "self influence must be <= 0 (PSD Hessian)";
+  }
+}
+
+TEST(InfluenceTest, DampingEnablesNonConvexSolves) {
+  TrainedSetup s = MakeTrained(20, 3, 15);
+  InfluenceOptions opts;
+  opts.l2 = s.l2;
+  opts.damping = 0.1;
+  InfluenceScorer scorer(&s.model, &s.train, opts);
+  Vec grad(s.model.num_params(), 1.0);
+  EXPECT_TRUE(scorer.Prepare(grad).ok());
+  EXPECT_GT(scorer.cg_iterations(), 0);
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,374 @@
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "ml/dataset.h"
+#include "ml/eval.h"
+#include "ml/lbfgs.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp.h"
+#include "ml/model.h"
+#include "ml/softmax_regression.h"
+#include "ml/trainer.h"
+
+namespace rain {
+namespace {
+
+Dataset RandomDataset(size_t n, size_t d, int classes, uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, d);
+  std::vector<int> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t f = 0; f < d; ++f) x.At(i, f) = rng.Gaussian();
+    y[i] = static_cast<int>(rng.UniformInt(classes));
+  }
+  return Dataset(std::move(x), std::move(y), classes);
+}
+
+void RandomizeParams(Model* model, uint64_t seed, double scale = 0.3) {
+  Rng rng(seed);
+  Vec theta(model->num_params());
+  for (double& t : theta) t = scale * rng.Gaussian();
+  model->set_params(theta);
+}
+
+/// Finite-difference check of the mean-loss gradient.
+void CheckLossGradient(Model* model, const Dataset& data, double l2) {
+  const double eps = 1e-6;
+  Vec grad;
+  model->MeanLossGradient(data, l2, &grad);
+  Vec theta = model->params();
+  for (size_t j = 0; j < theta.size(); j += std::max<size_t>(1, theta.size() / 13)) {
+    Vec tp = theta, tm = theta;
+    tp[j] += eps;
+    tm[j] -= eps;
+    model->set_params(tp);
+    const double fp = model->MeanLoss(data, l2);
+    model->set_params(tm);
+    const double fm = model->MeanLoss(data, l2);
+    model->set_params(theta);
+    const double fd = (fp - fm) / (2 * eps);
+    EXPECT_NEAR(grad[j], fd, 1e-4) << "param " << j;
+  }
+}
+
+/// Finite-difference check of the HVP: H v vs (g(theta+eps v)-g(theta-eps v))/2eps.
+void CheckHvp(Model* model, const Dataset& data, double l2, uint64_t seed) {
+  Rng rng(seed);
+  Vec v(model->num_params());
+  for (double& x : v) x = rng.Gaussian();
+  Vec hv;
+  model->HessianVectorProduct(data, v, l2, &hv);
+
+  const double eps = 1e-5;
+  Vec theta = model->params();
+  Vec tp = theta, tm = theta;
+  for (size_t j = 0; j < theta.size(); ++j) {
+    tp[j] += eps * v[j];
+    tm[j] -= eps * v[j];
+  }
+  Vec gp, gm;
+  model->set_params(tp);
+  model->MeanLossGradient(data, l2, &gp);
+  model->set_params(tm);
+  model->MeanLossGradient(data, l2, &gm);
+  model->set_params(theta);
+  for (size_t j = 0; j < theta.size(); j += std::max<size_t>(1, theta.size() / 17)) {
+    const double fd = (gp[j] - gm[j]) / (2 * eps);
+    EXPECT_NEAR(hv[j], fd, 1e-3 * std::max(1.0, std::fabs(fd))) << "param " << j;
+  }
+}
+
+/// Finite-difference check of AddProbaGradient with random class weights.
+void CheckProbaGradient(Model* model, const Dataset& data, uint64_t seed) {
+  Rng rng(seed);
+  const int c = model->num_classes();
+  Vec w(c);
+  for (double& x : w) x = rng.Gaussian();
+  const double* x0 = data.row(0);
+
+  Vec grad(model->num_params(), 0.0);
+  model->AddProbaGradient(x0, w, &grad);
+
+  auto weighted = [&]() {
+    std::vector<double> p(c);
+    model->PredictProba(x0, p.data());
+    double s = 0.0;
+    for (int k = 0; k < c; ++k) s += w[k] * p[k];
+    return s;
+  };
+  const double eps = 1e-6;
+  Vec theta = model->params();
+  for (size_t j = 0; j < theta.size(); j += std::max<size_t>(1, theta.size() / 13)) {
+    Vec tp = theta, tm = theta;
+    tp[j] += eps;
+    tm[j] -= eps;
+    model->set_params(tp);
+    const double fp = weighted();
+    model->set_params(tm);
+    const double fm = weighted();
+    model->set_params(theta);
+    EXPECT_NEAR(grad[j], (fp - fm) / (2 * eps), 1e-4) << "param " << j;
+  }
+}
+
+TEST(DatasetTest, ConstructionAndDeactivation) {
+  Dataset d = RandomDataset(10, 3, 2, 1);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_EQ(d.num_active(), 10u);
+  d.Deactivate(4);
+  d.Deactivate(4);  // idempotent
+  EXPECT_EQ(d.num_active(), 9u);
+  EXPECT_FALSE(d.active(4));
+  auto idx = d.ActiveIndices();
+  EXPECT_EQ(idx.size(), 9u);
+  EXPECT_EQ(std::count(idx.begin(), idx.end(), 4u), 0);
+  d.ReactivateAll();
+  EXPECT_EQ(d.num_active(), 10u);
+}
+
+TEST(DatasetTest, SetLabel) {
+  Dataset d = RandomDataset(5, 2, 3, 2);
+  d.set_label(2, 1);
+  EXPECT_EQ(d.label(2), 1);
+}
+
+TEST(LogisticTest, SigmoidStable) {
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(Sigmoid(1000.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(2.0) + Sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(LogisticTest, ProbaSumsToOne) {
+  LogisticRegression m(4);
+  RandomizeParams(&m, 3);
+  Rng rng(4);
+  Vec x{rng.Gaussian(), rng.Gaussian(), rng.Gaussian(), rng.Gaussian()};
+  double p[2];
+  m.PredictProba(x.data(), p);
+  EXPECT_NEAR(p[0] + p[1], 1.0, 1e-12);
+}
+
+TEST(LogisticTest, GradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(40, 5, 2, 5);
+  LogisticRegression m(5);
+  RandomizeParams(&m, 6);
+  CheckLossGradient(&m, d, 1e-3);
+}
+
+TEST(LogisticTest, GradientNoIntercept) {
+  Dataset d = RandomDataset(40, 5, 2, 7);
+  LogisticRegression m(5, /*fit_intercept=*/false);
+  EXPECT_EQ(m.num_params(), 5u);
+  RandomizeParams(&m, 8);
+  CheckLossGradient(&m, d, 1e-3);
+}
+
+TEST(LogisticTest, HvpMatchesFiniteDifference) {
+  Dataset d = RandomDataset(30, 4, 2, 9);
+  LogisticRegression m(4);
+  RandomizeParams(&m, 10);
+  CheckHvp(&m, d, 1e-2, 11);
+}
+
+TEST(LogisticTest, ProbaGradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(10, 4, 2, 12);
+  LogisticRegression m(4);
+  RandomizeParams(&m, 13);
+  CheckProbaGradient(&m, d, 14);
+}
+
+TEST(LogisticTest, HvpRespectsActiveMask) {
+  Dataset d = RandomDataset(20, 3, 2, 15);
+  LogisticRegression m(3);
+  RandomizeParams(&m, 16);
+  Vec v(m.num_params(), 1.0);
+  Vec hv_full;
+  m.HessianVectorProduct(d, v, 0.0, &hv_full);
+  for (size_t i = 10; i < 20; ++i) d.Deactivate(i);
+  Vec hv_half;
+  m.HessianVectorProduct(d, v, 0.0, &hv_half);
+  // Different training sets -> different Hessians (almost surely).
+  EXPECT_GT(vec::MaxAbsDiff(hv_full, hv_half), 1e-9);
+}
+
+TEST(SoftmaxTest, ProbaSumsToOne) {
+  SoftmaxRegression m(6, 4);
+  RandomizeParams(&m, 20);
+  Rng rng(21);
+  Vec x(6);
+  for (double& v : x) v = rng.Gaussian();
+  Vec p(4);
+  m.PredictProba(x.data(), p.data());
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, GradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(30, 4, 3, 22);
+  SoftmaxRegression m(4, 3);
+  RandomizeParams(&m, 23);
+  CheckLossGradient(&m, d, 1e-3);
+}
+
+TEST(SoftmaxTest, HvpMatchesFiniteDifference) {
+  Dataset d = RandomDataset(25, 3, 4, 24);
+  SoftmaxRegression m(3, 4);
+  RandomizeParams(&m, 25);
+  CheckHvp(&m, d, 1e-2, 26);
+}
+
+TEST(SoftmaxTest, ProbaGradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(10, 3, 5, 27);
+  SoftmaxRegression m(3, 5);
+  RandomizeParams(&m, 28);
+  CheckProbaGradient(&m, d, 29);
+}
+
+TEST(SoftmaxTest, BinaryAgreesWithLogisticShape) {
+  // A 2-class softmax and binary logistic should produce identical
+  // training behaviour on the same data (up to parameterization).
+  Dataset d = RandomDataset(60, 4, 2, 30);
+  SoftmaxRegression sm(4, 2);
+  LogisticRegression lr(4);
+  TrainConfig cfg;
+  ASSERT_TRUE(TrainModel(&sm, d, cfg).ok());
+  ASSERT_TRUE(TrainModel(&lr, d, cfg).ok());
+  int agree = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    agree += sm.PredictClass(d.row(i)) == lr.PredictClass(d.row(i));
+  }
+  EXPECT_GE(agree, static_cast<int>(d.size()) - 3);
+}
+
+TEST(MlpTest, GradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(20, 5, 3, 31);
+  Mlp m(5, 7, 3, /*seed=*/32);
+  CheckLossGradient(&m, d, 1e-3);
+}
+
+TEST(MlpTest, PearlmutterHvpMatchesFiniteDifference) {
+  Dataset d = RandomDataset(15, 4, 3, 33);
+  Mlp m(4, 6, 3, /*seed=*/34);
+  CheckHvp(&m, d, 1e-2, 35);
+}
+
+TEST(MlpTest, ProbaGradientMatchesFiniteDifference) {
+  Dataset d = RandomDataset(8, 4, 3, 36);
+  Mlp m(4, 5, 3, /*seed=*/37);
+  CheckProbaGradient(&m, d, 38);
+}
+
+TEST(MlpTest, CloneIsIndependent) {
+  Mlp m(3, 4, 2, 40);
+  auto c = m.Clone();
+  Vec theta = m.params();
+  theta[0] += 1.0;
+  m.set_params(theta);
+  EXPECT_NE(m.params()[0], c->params()[0]);
+}
+
+TEST(LbfgsTest, MinimizesQuadratic) {
+  // f(x) = 0.5 (x - a)^T D (x - a), D diagonal positive.
+  const Vec a{1.0, -2.0, 3.0};
+  const Vec diag{2.0, 5.0, 0.5};
+  Objective f = [&](const Vec& x, Vec* g) {
+    double fx = 0.0;
+    for (size_t i = 0; i < x.size(); ++i) {
+      fx += 0.5 * diag[i] * (x[i] - a[i]) * (x[i] - a[i]);
+      (*g)[i] = diag[i] * (x[i] - a[i]);
+    }
+    return fx;
+  };
+  LbfgsResult r = LbfgsMinimize(f, Vec{0.0, 0.0, 0.0});
+  EXPECT_TRUE(r.converged);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(r.x[i], a[i], 1e-5);
+}
+
+TEST(LbfgsTest, MinimizesRosenbrock) {
+  Objective f = [](const Vec& x, Vec* g) {
+    const double a = 1.0 - x[0];
+    const double b = x[1] - x[0] * x[0];
+    (*g)[0] = -2.0 * a - 400.0 * x[0] * b;
+    (*g)[1] = 200.0 * b;
+    return a * a + 100.0 * b * b;
+  };
+  LbfgsOptions opts;
+  opts.max_iters = 2000;
+  opts.grad_tol = 1e-8;
+  LbfgsResult r = LbfgsMinimize(f, Vec{-1.2, 1.0}, opts);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-4);
+  EXPECT_NEAR(r.x[1], 1.0, 1e-4);
+}
+
+TEST(TrainerTest, LearnsSeparableProblem) {
+  // Linearly separable data: y = [x0 + x1 > 0].
+  Rng rng(50);
+  Matrix x(200, 2);
+  std::vector<int> y(200);
+  for (size_t i = 0; i < 200; ++i) {
+    x.At(i, 0) = rng.Gaussian();
+    x.At(i, 1) = rng.Gaussian();
+    y[i] = x.At(i, 0) + x.At(i, 1) > 0 ? 1 : 0;
+  }
+  Dataset d(std::move(x), std::move(y), 2);
+  LogisticRegression m(2);
+  TrainConfig cfg;
+  cfg.l2 = 1e-4;
+  auto report = TrainModel(&m, d, cfg);
+  ASSERT_TRUE(report.ok());
+  EvalReport eval = Evaluate(m, d);
+  EXPECT_GT(eval.accuracy, 0.97);
+  EXPECT_GT(eval.f1, 0.97);
+}
+
+TEST(TrainerTest, RejectsEmptyTrainingSet) {
+  Dataset d = RandomDataset(3, 2, 2, 51);
+  for (size_t i = 0; i < 3; ++i) d.Deactivate(i);
+  LogisticRegression m(2);
+  EXPECT_FALSE(TrainModel(&m, d).ok());
+}
+
+TEST(TrainerTest, RejectsShapeMismatch) {
+  Dataset d = RandomDataset(10, 3, 2, 52);
+  LogisticRegression m(4);
+  EXPECT_FALSE(TrainModel(&m, d).ok());
+}
+
+TEST(TrainerTest, WarmStartConvergesFasterOrEqual) {
+  Dataset d = RandomDataset(100, 4, 2, 53);
+  LogisticRegression m(4);
+  TrainConfig cfg;
+  auto first = TrainModel(&m, d, cfg);
+  ASSERT_TRUE(first.ok());
+  auto second = TrainModel(&m, d, cfg);
+  ASSERT_TRUE(second.ok());
+  EXPECT_LE(second->iterations, first->iterations);
+}
+
+TEST(EvalTest, PerfectAndWorstMetrics) {
+  Matrix x(4, 1);
+  x.At(0, 0) = -2.0;
+  x.At(1, 0) = -1.0;
+  x.At(2, 0) = 1.0;
+  x.At(3, 0) = 2.0;
+  Dataset d(std::move(x), {0, 0, 1, 1}, 2);
+  LogisticRegression m(1, /*fit_intercept=*/false);
+  m.set_params({5.0});
+  EvalReport good = Evaluate(m, d);
+  EXPECT_DOUBLE_EQ(good.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(good.f1, 1.0);
+  m.set_params({-5.0});
+  EvalReport bad = Evaluate(m, d);
+  EXPECT_DOUBLE_EQ(bad.accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(bad.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,171 @@
+#include "gtest/gtest.h"
+#include "provenance/poly.h"
+#include "provenance/prediction_store.h"
+
+namespace rain {
+namespace {
+
+TEST(PolyArenaTest, ConstFolding) {
+  PolyArena a;
+  EXPECT_EQ(a.Const(0.0), a.False());
+  EXPECT_EQ(a.Const(1.0), a.True());
+  EXPECT_TRUE(a.IsConst(a.Const(2.5)));
+  EXPECT_DOUBLE_EQ(a.ConstValue(a.Const(2.5)), 2.5);
+}
+
+TEST(PolyArenaTest, VarRegistryDeduplicates) {
+  PolyArena a;
+  const VarId v1 = a.GetOrCreateVar(PredVar{0, 3, 1});
+  const VarId v2 = a.GetOrCreateVar(PredVar{0, 3, 1});
+  const VarId v3 = a.GetOrCreateVar(PredVar{0, 3, 2});
+  EXPECT_EQ(v1, v2);
+  EXPECT_NE(v1, v3);
+  EXPECT_EQ(a.num_vars(), 2u);
+  EXPECT_EQ(a.FindVar(PredVar{0, 3, 1}), v1);
+  EXPECT_EQ(a.FindVar(PredVar{9, 9, 9}), -1);
+}
+
+TEST(PolyArenaTest, AndFolding) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  EXPECT_EQ(a.And({a.True(), x}), x);             // identity
+  EXPECT_EQ(a.And({a.False(), x}), a.False());    // absorbing
+  EXPECT_EQ(a.And({}), a.True());                 // empty
+  EXPECT_EQ(a.And({x}), x);                       // singleton
+}
+
+TEST(PolyArenaTest, OrFolding) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  EXPECT_EQ(a.Or({a.False(), x}), x);
+  EXPECT_EQ(a.Or({a.True(), x}), a.True());
+  EXPECT_EQ(a.Or({}), a.False());
+}
+
+TEST(PolyArenaTest, NotFolding) {
+  PolyArena a;
+  EXPECT_EQ(a.Not(a.True()), a.False());
+  EXPECT_EQ(a.Not(a.False()), a.True());
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  EXPECT_EQ(a.Not(a.Not(x)), x);  // double negation
+}
+
+TEST(PolyArenaTest, AddMulFolding) {
+  PolyArena a;
+  EXPECT_DOUBLE_EQ(a.ConstValue(a.Add({a.Const(2.0), a.Const(3.0)})), 5.0);
+  EXPECT_DOUBLE_EQ(a.ConstValue(a.Mul({a.Const(2.0), a.Const(3.0)})), 6.0);
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  EXPECT_EQ(a.Mul({a.Const(0.0), x}), a.False());  // annihilation
+  EXPECT_EQ(a.Mul({a.Const(1.0), x}), x);          // identity
+  EXPECT_EQ(a.Add({a.Const(0.0), x}), x);
+}
+
+TEST(PolyArenaTest, DivFoldsConstants) {
+  PolyArena a;
+  EXPECT_DOUBLE_EQ(a.ConstValue(a.Div(a.Const(6.0), a.Const(3.0))), 2.0);
+}
+
+TEST(PolyArenaTest, BooleanEvaluation) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  const PolyId expr = a.Or({a.And({x, a.Not(y)}), a.And({a.Not(x), y})});  // XOR
+  for (int xb = 0; xb <= 1; ++xb) {
+    for (int yb = 0; yb <= 1; ++yb) {
+      Vec vals{static_cast<double>(xb), static_cast<double>(yb)};
+      EXPECT_DOUBLE_EQ(a.Evaluate(expr, vals), static_cast<double>(xb ^ yb));
+    }
+  }
+}
+
+TEST(PolyArenaTest, CountPolynomialEvaluation) {
+  // count = x + (1-y) + 1.
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  const PolyId count = a.Add({x, a.Not(y), a.True()});
+  EXPECT_DOUBLE_EQ(a.Evaluate(count, {1.0, 0.0}), 3.0);
+  EXPECT_DOUBLE_EQ(a.Evaluate(count, {0.0, 1.0}), 1.0);
+  // Relaxed semantics: probabilities.
+  EXPECT_NEAR(a.Evaluate(count, {0.3, 0.6}), 0.3 + 0.4 + 1.0, 1e-12);
+}
+
+TEST(PolyArenaTest, RatioEvaluation) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId avg = a.Div(x, a.Const(4.0));
+  EXPECT_DOUBLE_EQ(a.Evaluate(avg, {2.0}), 0.5);
+  // Division by zero evaluates to 0 by convention (empty group).
+  const PolyId bad = a.Div(a.Const(3.0), a.Var(PredVar{0, 1, 0}));
+  EXPECT_DOUBLE_EQ(a.Evaluate(bad, {0.0, 0.0}), 0.0);
+}
+
+TEST(PolyArenaTest, ReachableVars) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{1, 5, 2});
+  a.Var(PredVar{2, 2, 0});  // unreachable from expr
+  const PolyId expr = a.And({x, y});
+  auto vars = a.ReachableVars(expr);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(PolyArenaTest, ToStringRendersStructure) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 3, 1});
+  const std::string s = a.ToString(a.Not(x));
+  EXPECT_EQ(s, "!v(0,3,1)");
+}
+
+TEST(PredictionStoreTest, ArgmaxAndProbability) {
+  PredictionStore store;
+  Matrix probs(2, 3);
+  probs.SetRow(0, {0.2, 0.5, 0.3});
+  probs.SetRow(1, {0.7, 0.1, 0.2});
+  store.SetPredictions(4, std::move(probs));
+  EXPECT_TRUE(store.HasTable(4));
+  EXPECT_FALSE(store.HasTable(5));
+  EXPECT_EQ(store.NumRows(4), 2u);
+  EXPECT_EQ(store.NumClasses(4), 3);
+  EXPECT_EQ(store.PredictedClass(4, 0), 1);
+  EXPECT_EQ(store.PredictedClass(4, 1), 0);
+  EXPECT_DOUBLE_EQ(store.Probability(4, 0, 2), 0.3);
+}
+
+TEST(PredictionStoreTest, AssignmentsMatchSemantics) {
+  PredictionStore store;
+  Matrix probs(2, 2);
+  probs.SetRow(0, {0.9, 0.1});
+  probs.SetRow(1, {0.4, 0.6});
+  store.SetPredictions(0, std::move(probs));
+
+  PolyArena arena;
+  arena.Var(PredVar{0, 0, 1});
+  arena.Var(PredVar{0, 1, 1});
+  arena.Var(PredVar{0, 1, 0});
+
+  const Vec concrete = store.ConcreteAssignment(arena);
+  EXPECT_DOUBLE_EQ(concrete[0], 0.0);  // row 0 predicted class 0
+  EXPECT_DOUBLE_EQ(concrete[1], 1.0);  // row 1 predicted class 1
+  EXPECT_DOUBLE_EQ(concrete[2], 0.0);
+
+  const Vec relaxed = store.RelaxedAssignment(arena);
+  EXPECT_DOUBLE_EQ(relaxed[0], 0.1);
+  EXPECT_DOUBLE_EQ(relaxed[1], 0.6);
+  EXPECT_DOUBLE_EQ(relaxed[2], 0.4);
+}
+
+TEST(PredictionStoreTest, ReplacePredictionsRefreshesArgmax) {
+  PredictionStore store;
+  Matrix p1(1, 2);
+  p1.SetRow(0, {0.8, 0.2});
+  store.SetPredictions(0, std::move(p1));
+  EXPECT_EQ(store.PredictedClass(0, 0), 0);
+  Matrix p2(1, 2);
+  p2.SetRow(0, {0.3, 0.7});
+  store.SetPredictions(0, std::move(p2));
+  EXPECT_EQ(store.PredictedClass(0, 0), 1);
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,388 @@
+#include "gtest/gtest.h"
+#include "provenance/poly.h"
+#include "provenance/prediction_store.h"
+#include "relational/catalog.h"
+#include "relational/executor.h"
+#include "relational/expression.h"
+#include "relational/plan.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace rain {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(int64_t{3}).is_int64());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value(std::string("x")).is_string());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_EQ(Value(int64_t{3}).AsInt64(), 3);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+}
+
+TEST(ValueTest, NumericWidening) {
+  EXPECT_DOUBLE_EQ(*Value(int64_t{3}).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value(true).ToNumeric(), 1.0);
+  EXPECT_FALSE(Value(std::string("x")).ToNumeric().ok());
+}
+
+TEST(ValueTest, CompareAcrossNumericKinds) {
+  EXPECT_EQ(*Value(int64_t{3}).Compare(Value(3.0)), 0);
+  EXPECT_EQ(*Value(int64_t{2}).Compare(Value(3.0)), -1);
+  EXPECT_EQ(*Value(std::string("b")).Compare(Value(std::string("a"))), 1);
+  EXPECT_FALSE(Value(std::string("a")).Compare(Value(int64_t{1})).ok());
+}
+
+TEST(SchemaTest, FindFieldWithQualifier) {
+  Schema s({Field{"id", DataType::kInt64, "L"}, Field{"id", DataType::kInt64, "R"},
+            Field{"name", DataType::kString, "L"}});
+  EXPECT_EQ(s.FindField("id"), -1);  // ambiguous
+  EXPECT_EQ(s.FindField("id", "L"), 0);
+  EXPECT_EQ(s.FindField("id", "R"), 1);
+  EXPECT_EQ(s.FindField("name"), 2);
+  EXPECT_EQ(s.FindField("missing"), -1);
+}
+
+TEST(TableTest, AppendAndGet) {
+  Table t(Schema({Field{"id", DataType::kInt64, ""}, Field{"name", DataType::kString, ""}}));
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{1}), Value(std::string("a"))}).ok());
+  ASSERT_TRUE(t.AppendRow({Value(int64_t{2}), Value(std::string("b"))}).ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.Get(1, 1).AsString(), "b");
+  EXPECT_EQ(t.GetRow(0)[0].AsInt64(), 1);
+}
+
+TEST(TableTest, AppendRowChecksTypes) {
+  Table t(Schema({Field{"id", DataType::kInt64, ""}}));
+  EXPECT_FALSE(t.AppendRow({Value(1.5)}).ok());
+  EXPECT_FALSE(t.AppendRow({Value(int64_t{1}), Value(int64_t{2})}).ok());
+}
+
+/// Fixture: a catalog with a "users" table (id, score, city) whose rows
+/// feed a 2-class model, and a "logins" table (uid, active). Predictions
+/// are installed manually to make provenance deterministic.
+class ExecFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table users(Schema({Field{"id", DataType::kInt64, ""},
+                        Field{"score", DataType::kDouble, ""},
+                        Field{"city", DataType::kString, ""}}));
+    // 4 users.
+    users.AppendRowUnchecked({Value(int64_t{0}), Value(1.0), Value(std::string("ny"))});
+    users.AppendRowUnchecked({Value(int64_t{1}), Value(2.0), Value(std::string("sf"))});
+    users.AppendRowUnchecked({Value(int64_t{2}), Value(3.0), Value(std::string("ny"))});
+    users.AppendRowUnchecked({Value(int64_t{3}), Value(4.0), Value(std::string("la"))});
+    Matrix feats(4, 2, 0.0);
+    Dataset user_features(std::move(feats), {0, 1, 1, 0}, 2);
+    ASSERT_TRUE(catalog_.AddTable("users", std::move(users), std::move(user_features)).ok());
+
+    Table logins(Schema({Field{"uid", DataType::kInt64, ""},
+                         Field{"active", DataType::kBool, ""}}));
+    logins.AppendRowUnchecked({Value(int64_t{0}), Value(true)});
+    logins.AppendRowUnchecked({Value(int64_t{1}), Value(true)});
+    logins.AppendRowUnchecked({Value(int64_t{2}), Value(false)});
+    logins.AppendRowUnchecked({Value(int64_t{3}), Value(true)});
+    ASSERT_TRUE(catalog_.AddTable("logins", std::move(logins)).ok());
+
+    // Predictions for users: rows 1, 2 predicted class 1 ("churn").
+    Matrix probs(4, 2);
+    probs.SetRow(0, {0.8, 0.2});
+    probs.SetRow(1, {0.3, 0.7});
+    probs.SetRow(2, {0.1, 0.9});
+    probs.SetRow(3, {0.6, 0.4});
+    predictions_.SetPredictions(0, std::move(probs));
+  }
+
+  Result<ExecResult> Run(const PlanPtr& plan, bool debug) {
+    Executor executor(&catalog_, &predictions_, &arena_);
+    ExecOptions opts;
+    opts.debug_mode = debug;
+    return executor.Run(plan, opts);
+  }
+
+  Catalog catalog_;
+  PredictionStore predictions_;
+  PolyArena arena_;
+};
+
+TEST_F(ExecFixture, ScanProducesAllRows) {
+  auto r = Run(PlanNode::Scan("users", "U"), false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 4u);
+  EXPECT_EQ(r->table.NumConcrete(), 4u);
+  EXPECT_EQ(r->table.schema.field(0).qualifier, "U");
+}
+
+TEST_F(ExecFixture, ScanUnknownTableFails) {
+  EXPECT_FALSE(Run(PlanNode::Scan("nope"), false).ok());
+}
+
+TEST_F(ExecFixture, FilterOnConcreteColumn) {
+  auto plan = PlanNode::Filter(
+      PlanNode::Scan("users", "U"),
+      Expr::Eq(Expr::Column("city"), Expr::LitString("ny")));
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 2u);
+}
+
+TEST_F(ExecFixture, FilterOnPredictionConcrete) {
+  auto plan = PlanNode::Filter(
+      PlanNode::Scan("users", "U"),
+      Expr::Eq(Expr::Predict("U"), Expr::LitInt(1)));
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 2u);  // users 1 and 2 predicted churn
+}
+
+TEST_F(ExecFixture, DebugFilterKeepsCandidates) {
+  auto plan = PlanNode::Filter(
+      PlanNode::Scan("users", "U"),
+      Expr::Eq(Expr::Predict("U"), Expr::LitInt(1)));
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  // All 4 rows remain candidates (any user *could* be predicted churn)...
+  EXPECT_EQ(r->table.num_rows(), 4u);
+  // ...but only 2 are concrete.
+  EXPECT_EQ(r->table.NumConcrete(), 2u);
+  // Conditions are single prediction variables v(row, 1).
+  for (size_t i = 0; i < 4; ++i) {
+    const PolyNode& n = arena_.node(r->table.cond[i]);
+    EXPECT_EQ(n.op, PolyOp::kVar);
+    EXPECT_EQ(arena_.var(n.var).cls, 1);
+  }
+}
+
+TEST_F(ExecFixture, DebugFilterMixedPredicate) {
+  // predict = 1 AND city = 'ny': city is concrete, so candidates are only
+  // the 'ny' rows (0 and 2); concrete output is row 2 alone.
+  auto plan = PlanNode::Filter(
+      PlanNode::Scan("users", "U"),
+      Expr::And(Expr::Eq(Expr::Predict("U"), Expr::LitInt(1)),
+                Expr::Eq(Expr::Column("city"), Expr::LitString("ny"))));
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 2u);
+  EXPECT_EQ(r->table.NumConcrete(), 1u);
+}
+
+TEST_F(ExecFixture, HashJoinOnConcreteKeys) {
+  auto plan = PlanNode::Join(
+      PlanNode::Scan("users", "U"), PlanNode::Scan("logins", "L"),
+      Expr::Eq(Expr::Column("id", "U"), Expr::Column("uid", "L")));
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 4u);
+  EXPECT_EQ(r->table.schema.num_fields(), 5u);
+}
+
+TEST_F(ExecFixture, JoinWithResidualPredicate) {
+  auto pred = Expr::And(
+      Expr::Eq(Expr::Column("id", "U"), Expr::Column("uid", "L")),
+      Expr::Eq(Expr::Column("active", "L"), Expr::LitBool(true)));
+  auto plan = PlanNode::Join(PlanNode::Scan("users", "U"),
+                             PlanNode::Scan("logins", "L"), pred);
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 3u);  // login row 2 is inactive
+}
+
+TEST_F(ExecFixture, GlobalCountAggregate) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Filter(PlanNode::Scan("users", "U"),
+                       Expr::Eq(Expr::Predict("U"), Expr::LitInt(1))),
+      {}, {}, {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->is_aggregate);
+  ASSERT_EQ(r->table.num_rows(), 1u);
+  EXPECT_EQ(r->table.rows[0][0].AsInt64(), 2);  // concrete count
+
+  // The count polynomial is sum of 4 prediction vars: under concrete
+  // assignment it evaluates to 2, under relaxed to sum of p(row,1).
+  const PolyId poly = r->agg_polys[0][0];
+  const Vec concrete = predictions_.ConcreteAssignment(arena_);
+  EXPECT_DOUBLE_EQ(arena_.Evaluate(poly, concrete), 2.0);
+  const Vec relaxed = predictions_.RelaxedAssignment(arena_);
+  EXPECT_NEAR(arena_.Evaluate(poly, relaxed), 0.2 + 0.7 + 0.9 + 0.4, 1e-12);
+}
+
+TEST_F(ExecFixture, SumAndAvgAggregates) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Scan("users", "U"), {}, {},
+      {AggSpec{AggFunc::kSum, Expr::Column("score"), "s"},
+       AggSpec{AggFunc::kAvg, Expr::Column("score"), "a"}});
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->table.rows[0][0].AsDouble(), 10.0);
+  EXPECT_DOUBLE_EQ(r->table.rows[0][1].AsDouble(), 2.5);
+}
+
+TEST_F(ExecFixture, GroupByConcreteColumn) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Scan("users", "U"), {Expr::Column("city")}, {"city"},
+      {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 3u);  // ny, sf, la
+  int64_t total = 0;
+  for (const auto& row : r->table.rows) total += row[1].AsInt64();
+  EXPECT_EQ(total, 4);
+}
+
+TEST_F(ExecFixture, AvgOfPredictionGroupedByCity) {
+  // AVG(predict(U)) GROUP BY city — the Q6/Q7 shape.
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Scan("users", "U"), {Expr::Column("city")}, {"city"},
+      {AggSpec{AggFunc::kAvg, Expr::Predict("U"), "avg_churn"}});
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  // ny = users {0, 2}: predictions {0, 1} -> avg 0.5.
+  bool found_ny = false;
+  for (size_t i = 0; i < r->table.num_rows(); ++i) {
+    if (r->table.rows[i][0].AsString() == "ny") {
+      found_ny = true;
+      EXPECT_DOUBLE_EQ(r->table.rows[i][1].AsDouble(), 0.5);
+      // Relaxed value: (p0 + p2)/2 = (0.2 + 0.9)/2.
+      const Vec relaxed = predictions_.RelaxedAssignment(arena_);
+      EXPECT_NEAR(arena_.Evaluate(r->agg_polys[i][0], relaxed), 0.55, 1e-12);
+    }
+  }
+  EXPECT_TRUE(found_ny);
+}
+
+TEST_F(ExecFixture, GroupByPredictionExpandsCandidates) {
+  // GROUP BY predict(U) — the Q5 shape. Debug mode yields one group per
+  // class with candidate membership for every row.
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Scan("users", "U"), {Expr::Predict("U")}, {"cls"},
+      {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.num_rows(), 2u);  // classes 0 and 1
+  const Vec concrete = predictions_.ConcreteAssignment(arena_);
+  for (size_t i = 0; i < 2; ++i) {
+    const int64_t cls = r->table.rows[i][0].AsInt64();
+    const int64_t cnt = r->table.rows[i][1].AsInt64();
+    EXPECT_EQ(cnt, 2);  // 2 users per predicted class
+    EXPECT_DOUBLE_EQ(arena_.Evaluate(r->agg_polys[i][0], concrete),
+                     static_cast<double>(cnt))
+        << "class " << cls;
+  }
+}
+
+TEST_F(ExecFixture, ProjectComputesExpressions) {
+  auto plan = PlanNode::Project(
+      PlanNode::Scan("users", "U"),
+      {Expr::Column("id"), Expr::Arith(ArithOp::kMul, Expr::Column("score"),
+                                       Expr::LitDouble(2.0))},
+      {"id", "double_score"});
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.schema.field(1).name, "double_score");
+  EXPECT_DOUBLE_EQ(r->table.rows[3][1].AsDouble(), 8.0);
+}
+
+TEST_F(ExecFixture, SelfJoinOnPredictions) {
+  // users U join users V on predict(U) = predict(V) AND U.id < V.id.
+  auto pred = Expr::And(
+      Expr::Eq(Expr::Predict("U"), Expr::Predict("V")),
+      Expr::Compare(CompareOp::kLt, Expr::Column("id", "U"), Expr::Column("id", "V")));
+  auto plan = PlanNode::Join(PlanNode::Scan("users", "U"),
+                             PlanNode::Scan("users", "V"), pred);
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  // Concrete matches: (0,3) both class 0; (1,2) both class 1.
+  EXPECT_EQ(r->table.NumConcrete(), 2u);
+  // Candidates: all 6 ordered pairs (id predicate is concrete).
+  EXPECT_EQ(r->table.num_rows(), 6u);
+  // Same-base-row variables are shared between the two aliases: the
+  // arena should only hold vars for 4 rows x 2 classes.
+  EXPECT_LE(arena_.num_vars(), 8u);
+}
+
+TEST_F(ExecFixture, TupleConditionEvaluatesCorrectly) {
+  auto pred = Expr::Eq(Expr::Predict("U"), Expr::Predict("V"));
+  auto plan = PlanNode::Join(PlanNode::Scan("users", "U"),
+                             PlanNode::Scan("users", "V"), pred);
+  auto r = Run(plan, true);
+  ASSERT_TRUE(r.ok());
+  const Vec concrete = predictions_.ConcreteAssignment(arena_);
+  for (size_t i = 0; i < r->table.num_rows(); ++i) {
+    const double v = arena_.Evaluate(r->table.cond[i], concrete);
+    EXPECT_DOUBLE_EQ(v, r->table.concrete[i] ? 1.0 : 0.0);
+  }
+}
+
+TEST_F(ExecFixture, AggregateOnlyAtRoot) {
+  auto agg = PlanNode::Aggregate(PlanNode::Scan("users", "U"), {}, {},
+                                 {AggSpec{AggFunc::kCount, nullptr, "c"}});
+  auto plan = PlanNode::Filter(
+      agg, Expr::Compare(CompareOp::kGt, Expr::Column("c"), Expr::LitInt(0)));
+  EXPECT_FALSE(Run(plan, false).ok());
+}
+
+TEST_F(ExecFixture, EmptyGlobalAggregateStillEmitsRow) {
+  auto plan = PlanNode::Aggregate(
+      PlanNode::Filter(PlanNode::Scan("users", "U"),
+                       Expr::Eq(Expr::Column("city"), Expr::LitString("tokyo"))),
+      {}, {}, {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  auto r = Run(plan, false);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.num_rows(), 1u);
+  EXPECT_EQ(r->table.rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(ExecFixture, DuplicateAliasRejected) {
+  auto plan = PlanNode::Join(PlanNode::Scan("users", "U"),
+                             PlanNode::Scan("users", "U"), Expr::LitBool(true));
+  EXPECT_FALSE(Run(plan, false).ok());
+}
+
+TEST(ExpressionTest, BindResolvesColumns) {
+  Schema s({Field{"a", DataType::kInt64, "T"}, Field{"b", DataType::kDouble, "T"}});
+  auto e = Expr::Eq(Expr::Column("a"), Expr::LitInt(1));
+  auto bound = BindExpr(e, s, {});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ((*bound)->children[0]->column_index, 0);
+  EXPECT_FALSE(BindExpr(Expr::Column("zz"), s, {}).ok());
+}
+
+TEST(ExpressionTest, EvalArithmeticAndLogic) {
+  Schema s({Field{"x", DataType::kDouble, ""}});
+  std::vector<Value> row{Value(3.0)};
+  EvalContext ctx;
+  ctx.values = &row;
+  auto e = Expr::Arith(ArithOp::kAdd, Expr::Column("x"), Expr::LitDouble(2.0));
+  auto bound = BindExpr(e, s, {});
+  ASSERT_TRUE(bound.ok());
+  EXPECT_DOUBLE_EQ(EvalExpr(**bound, ctx)->AsDouble(), 5.0);
+
+  auto cmp = BindExpr(Expr::Compare(CompareOp::kGe, Expr::Column("x"), Expr::LitInt(3)),
+                      s, {});
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_TRUE(EvalExpr(**cmp, ctx)->AsBool());
+}
+
+TEST(ExpressionTest, DivisionByZeroIsError) {
+  Schema s;
+  std::vector<Value> row;
+  EvalContext ctx;
+  ctx.values = &row;
+  auto e = Expr::Arith(ArithOp::kDiv, Expr::LitDouble(1.0), Expr::LitDouble(0.0));
+  EXPECT_FALSE(EvalExpr(*e, ctx).ok());
+}
+
+TEST(ExpressionTest, IsModelDependent) {
+  EXPECT_TRUE(Expr::Eq(Expr::Predict("T"), Expr::LitInt(1))->IsModelDependent());
+  EXPECT_FALSE(Expr::Eq(Expr::Column("a"), Expr::LitInt(1))->IsModelDependent());
+}
+
+TEST(ExpressionTest, ToStringRenders) {
+  auto e = Expr::And(Expr::Eq(Expr::Predict("U"), Expr::LitInt(1)),
+                     Expr::Like(Expr::Column("text"), "%http%"));
+  EXPECT_EQ(e->ToString(), "((predict(U) = 1) AND (text LIKE '%http%'))");
+}
+
+}  // namespace
+}  // namespace rain

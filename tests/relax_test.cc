@@ -1,0 +1,209 @@
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "provenance/poly.h"
+#include "relax/relaxed_poly.h"
+
+namespace rain {
+namespace {
+
+TEST(RelaxedPolyTest, AndRelaxesToProduct) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.And({x, y}));
+  EXPECT_DOUBLE_EQ(p.Evaluate({0.3, 0.5}), 0.15);
+}
+
+TEST(RelaxedPolyTest, OrRelaxesToComplementProduct) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.Or({x, y}));
+  EXPECT_DOUBLE_EQ(p.Evaluate({0.3, 0.5}), 1.0 - 0.7 * 0.5);
+}
+
+TEST(RelaxedPolyTest, NotRelaxesToComplement) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  RelaxedPoly p(&a, a.Not(x));
+  EXPECT_DOUBLE_EQ(p.Evaluate({0.25}), 0.75);
+}
+
+TEST(RelaxedPolyTest, SingleOccurrenceMatchesExactExpectation) {
+  // When every variable appears once, the relaxation equals the true
+  // expectation (Section 5.3.1 / [29]). E[x AND (y OR NOT z)] with
+  // independent Bernoulli variables:
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  const PolyId z = a.Var(PredVar{0, 2, 1});
+  const PolyId expr = a.And({x, a.Or({y, a.Not(z)})});
+  RelaxedPoly p(&a, expr);
+  const double px = 0.4, py = 0.6, pz = 0.2;
+  // Exact: px * (1 - (1-py) * pz).
+  const double expected = px * (1.0 - (1.0 - py) * pz);
+  EXPECT_NEAR(p.Evaluate({px, py, pz}), expected, 1e-12);
+  // Brute-force expectation over the 8 boolean assignments.
+  double brute = 0.0;
+  for (int xb = 0; xb <= 1; ++xb) {
+    for (int yb = 0; yb <= 1; ++yb) {
+      for (int zb = 0; zb <= 1; ++zb) {
+        const double prob = (xb ? px : 1 - px) * (yb ? py : 1 - py) * (zb ? pz : 1 - pz);
+        const bool val = xb && (yb || !zb);
+        brute += prob * (val ? 1.0 : 0.0);
+      }
+    }
+  }
+  EXPECT_NEAR(p.Evaluate({px, py, pz}), brute, 1e-12);
+}
+
+TEST(RelaxedPolyTest, BooleanInputsRecoverExactSemantics) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  const PolyId expr = a.Add({a.And({x, y}), a.Not(x), a.Or({x, y})});
+  RelaxedPoly p(&a, expr);
+  for (int xb = 0; xb <= 1; ++xb) {
+    for (int yb = 0; yb <= 1; ++yb) {
+      const double expect = (xb && yb ? 1 : 0) + (xb ? 0 : 1) + (xb || yb ? 1 : 0);
+      EXPECT_DOUBLE_EQ(
+          p.Evaluate({static_cast<double>(xb), static_cast<double>(yb)}), expect);
+    }
+  }
+}
+
+TEST(RelaxedPolyTest, DivNode) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.Div(a.Add({x, y}), a.Const(2.0)));
+  EXPECT_DOUBLE_EQ(p.Evaluate({0.2, 0.6}), 0.4);
+}
+
+TEST(RelaxedPolyTest, GradientOfProduct) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.And({x, y}));
+  Vec grad;
+  const double v = p.Gradient({0.3, 0.5}, &grad);
+  EXPECT_DOUBLE_EQ(v, 0.15);
+  EXPECT_DOUBLE_EQ(grad[0], 0.5);  // d(xy)/dx = y
+  EXPECT_DOUBLE_EQ(grad[1], 0.3);
+}
+
+TEST(RelaxedPolyTest, GradientWithZeroFactorUsesPrefixSuffix) {
+  // d(xyz)/dx at y=0 must still be y*z = 0, but d/dy = x*z must survive
+  // the zero (naive value/child division would produce NaN).
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  const PolyId z = a.Var(PredVar{0, 2, 1});
+  RelaxedPoly p(&a, a.And({x, y, z}));
+  Vec grad;
+  p.Gradient({0.5, 0.0, 0.8}, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 0.0);
+  EXPECT_DOUBLE_EQ(grad[1], 0.4);  // x*z
+  EXPECT_DOUBLE_EQ(grad[2], 0.0);
+  for (double g : grad) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(RelaxedPolyTest, GradientOfOrAtSaturation) {
+  // OR with one input at 1: derivative w.r.t. the other inputs is 0.
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.Or({x, y}));
+  Vec grad;
+  p.Gradient({1.0, 0.5}, &grad);
+  EXPECT_DOUBLE_EQ(grad[1], 0.0);
+  EXPECT_DOUBLE_EQ(grad[0], 0.5);  // 1 - y
+}
+
+TEST(RelaxedPolyTest, SharedSubexpressionAccumulatesAdjoint) {
+  // f = x + x*y: df/dx = 1 + y.
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly p(&a, a.Add({x, a.Mul({x, y})}));
+  Vec grad;
+  p.Gradient({0.2, 0.7}, &grad);
+  EXPECT_DOUBLE_EQ(grad[0], 1.7);
+  EXPECT_DOUBLE_EQ(grad[1], 0.2);
+}
+
+/// Builds a random polynomial DAG over `nv` variables and checks the
+/// reverse-mode gradient against central finite differences — the
+/// property-based sweep for the AD engine.
+class RelaxGradientPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RelaxGradientPropertyTest, MatchesFiniteDifference) {
+  Rng rng(GetParam());
+  PolyArena a;
+  const int nv = 6;
+  std::vector<PolyId> pool;
+  for (int v = 0; v < nv; ++v) pool.push_back(a.Var(PredVar{0, v, 1}));
+  pool.push_back(a.Const(0.5));
+  // Random DAG growth.
+  for (int step = 0; step < 25; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(5));
+    const PolyId c1 = pool[rng.UniformInt(pool.size())];
+    const PolyId c2 = pool[rng.UniformInt(pool.size())];
+    switch (op) {
+      case 0:
+        pool.push_back(a.And({c1, c2}));
+        break;
+      case 1:
+        pool.push_back(a.Or({c1, c2}));
+        break;
+      case 2:
+        pool.push_back(a.Not(c1));
+        break;
+      case 3:
+        pool.push_back(a.Add({c1, c2}));
+        break;
+      case 4:
+        pool.push_back(a.Mul({c1, c2}));
+        break;
+    }
+  }
+  const PolyId root = pool.back();
+  RelaxedPoly p(&a, root);
+
+  Vec vals(nv);
+  for (double& v : vals) v = rng.Uniform(0.05, 0.95);
+  Vec grad;
+  p.Gradient(vals, &grad);
+
+  const double eps = 1e-6;
+  for (int v = 0; v < nv; ++v) {
+    Vec vp = vals, vm = vals;
+    vp[v] += eps;
+    vm[v] -= eps;
+    const double fd = (p.Evaluate(vp) - p.Evaluate(vm)) / (2 * eps);
+    EXPECT_NEAR(grad[v], fd, 1e-5 * std::max(1.0, std::fabs(fd))) << "var " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, RelaxGradientPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(RelaxedPolyTest, VariablesListsReachableOnly) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  a.Var(PredVar{0, 1, 1});  // in arena but not in the poly
+  RelaxedPoly p(&a, a.Not(x));
+  EXPECT_EQ(p.variables().size(), 1u);
+}
+
+TEST(RelaxedPolyTest, ConstantPolyHasZeroGradient) {
+  PolyArena a;
+  RelaxedPoly p(&a, a.Const(3.0));
+  Vec grad;
+  EXPECT_DOUBLE_EQ(p.Gradient({}, &grad), 3.0);
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,81 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
+
+namespace rain {
+namespace {
+
+TEST(VectorOpsTest, Zeros) {
+  Vec z = vec::Zeros(4);
+  EXPECT_EQ(z.size(), 4u);
+  for (double v : z) EXPECT_EQ(v, 0.0);
+}
+
+TEST(VectorOpsTest, Dot) {
+  Vec x{1.0, 2.0, 3.0};
+  Vec y{4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(vec::Dot(x, y), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  Vec x{1.0, 2.0};
+  Vec y{10.0, 20.0};
+  vec::Axpy(3.0, x, &y);
+  EXPECT_DOUBLE_EQ(y[0], 13.0);
+  EXPECT_DOUBLE_EQ(y[1], 26.0);
+}
+
+TEST(VectorOpsTest, ScaleNormAddSub) {
+  Vec x{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(vec::Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(vec::NormSq(x), 25.0);
+  vec::Scale(2.0, &x);
+  EXPECT_DOUBLE_EQ(x[0], 6.0);
+  Vec y{1.0, 1.0};
+  Vec s = vec::Sub(x, y);
+  EXPECT_DOUBLE_EQ(s[0], 5.0);
+  Vec a = vec::Add(x, y);
+  EXPECT_DOUBLE_EQ(a[1], 9.0);
+  EXPECT_DOUBLE_EQ(vec::MaxAbsDiff(x, y), 7.0);
+}
+
+TEST(MatrixTest, RowAccessAndSetRow) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1.0, 2.0, 3.0});
+  m.SetRow(1, {4.0, 5.0, 6.0});
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  Vec r = m.RowVec(0);
+  EXPECT_EQ(r, (Vec{1.0, 2.0, 3.0}));
+  m.Row(1)[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 7.0);
+}
+
+TEST(MatrixTest, MatVecAndTranspose) {
+  Matrix m(2, 3);
+  m.SetRow(0, {1.0, 0.0, 2.0});
+  m.SetRow(1, {0.0, 3.0, 1.0});
+  Vec x{1.0, 2.0, 3.0};
+  Vec mx = m.MatVec(x);
+  ASSERT_EQ(mx.size(), 2u);
+  EXPECT_DOUBLE_EQ(mx[0], 7.0);
+  EXPECT_DOUBLE_EQ(mx[1], 9.0);
+
+  Vec y{1.0, 2.0};
+  Vec mty = m.MatTVec(y);
+  ASSERT_EQ(mty.size(), 3u);
+  EXPECT_DOUBLE_EQ(mty[0], 1.0);
+  EXPECT_DOUBLE_EQ(mty[1], 6.0);
+  EXPECT_DOUBLE_EQ(mty[2], 4.0);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(3, 2, 1.5);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace rain
