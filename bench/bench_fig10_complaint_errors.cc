@@ -38,7 +38,7 @@ int main() {
   for (const Variant& v : variants) {
     std::vector<QueryComplaints> workload = exp.workload;
     workload[0].complaints = {ComplaintSpec::ValueEq("cnt", v.target)};
-    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+    for (const std::string m : {"loss", "twostep", "holistic"}) {
       MethodRun run = RunMethod(m, exp.make_pipeline, workload, exp.corrupted, cfg);
       table.AddRow({v.name, TablePrinter::Num(v.target, 0), m,
                     run.ok ? TablePrinter::Num(run.auccr, 3) : "fail"});

@@ -21,7 +21,7 @@ int main() {
     cfg.max_deletions = static_cast<int>(exp.corrupted.size());
     cfg.ilp.time_limit_s = 5.0;
     if (use_mlp) cfg.influence.damping = 0.05;
-    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+    for (const std::string m : {"loss", "twostep", "holistic"}) {
       MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
       table.AddRow({use_mlp ? "mlp" : "logistic", m,
                     run.ok ? TablePrinter::Num(run.auccr, 3) : "fail"});

@@ -22,7 +22,7 @@ int main() {
       cfg.top_k_per_iter = 10;
       cfg.max_deletions = 30;  // 3 iterations for timing means
       if (use_mlp) cfg.influence.damping = 0.05;
-      for (const std::string& m : {"loss", "holistic"}) {
+      for (const std::string m : {"loss", "holistic"}) {
         MethodRun run =
             RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
         if (!run.ok) {

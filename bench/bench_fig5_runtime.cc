@@ -19,7 +19,7 @@ int main() {
   cfg.max_deletions = 50;  // 5 iterations is enough for stable means
 
   TablePrinter table({"method", "train_s", "query_s", "encode_s", "rank_s", "total_s"});
-  for (const std::string& m : {"loss", "infloss", "twostep", "holistic"}) {
+  for (const std::string m : {"loss", "infloss", "twostep", "holistic"}) {
     MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
     if (!run.ok) {
       table.AddRow({m, "-", "-", "-", "-", "fail"});

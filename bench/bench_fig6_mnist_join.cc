@@ -31,7 +31,7 @@ void Sweep(const char* title, bool count_complaint,
     cfg.max_deletions = static_cast<int>(exp.corrupted.size());
     cfg.ilp.time_limit_s = 5.0;
 
-    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+    for (const std::string m : {"loss", "twostep", "holistic"}) {
       MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
       table.AddRow({TablePrinter::Num(corruption, 1), m,
                     std::to_string(num_complaints),
@@ -74,7 +74,7 @@ int main() {
     cfg.max_deletions = static_cast<int>(exp.corrupted.size());
     cfg.ilp.time_limit_s = 5.0;  // paper: TwoStep DNF in 30 min
 
-    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+    for (const std::string m : {"loss", "twostep", "holistic"}) {
       MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
       std::string auccr = run.ok ? TablePrinter::Num(run.auccr, 3) : "fail";
       if (run.ok) {

@@ -41,7 +41,7 @@ int main() {
     cfg.max_deletions = static_cast<int>(exp.corrupted.size());
     cfg.ilp.time_limit_s = 5.0;
 
-    for (const std::string& m : {"loss", "twostep", "holistic"}) {
+    for (const std::string m : {"loss", "twostep", "holistic"}) {
       MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
       table.AddRow({TablePrinter::Num(frac, 1), m, std::to_string(tuple_c),
                     std::to_string(point_c),

@@ -14,13 +14,13 @@ int main() {
   std::printf("Figure 8 reproduction: Adult multi-query complaints\n");
   TablePrinter table({"corruption", "complaints", "method", "K", "AUCCR"});
   for (double corruption : {0.3, 0.5}) {
-    for (const std::string& which : {"gender", "age", "both"}) {
+    for (const std::string which : {"gender", "age", "both"}) {
       Experiment exp = AdultMultiQuery(which, corruption);
       DebugConfig cfg;
       cfg.top_k_per_iter = 10;
       cfg.max_deletions = static_cast<int>(exp.corrupted.size());
       cfg.ilp.time_limit_s = 5.0;
-      for (const std::string& m : {"loss", "twostep", "holistic"}) {
+      for (const std::string m : {"loss", "twostep", "holistic"}) {
         MethodRun run =
             RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
         table.AddRow({TablePrinter::Num(corruption, 1), which, m,

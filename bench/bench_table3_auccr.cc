@@ -15,7 +15,7 @@ void RunRow(const char* dataset, const Experiment& exp, TablePrinter* table) {
   cfg.top_k_per_iter = 10;
   cfg.max_deletions = static_cast<int>(exp.corrupted.size());
   std::vector<std::string> row = {dataset};
-  for (const std::string& m : {"infloss", "loss", "twostep", "holistic"}) {
+  for (const std::string m : {"infloss", "loss", "twostep", "holistic"}) {
     MethodRun run = RunMethod(m, exp.make_pipeline, exp.workload, exp.corrupted, cfg);
     row.push_back(run.ok ? TablePrinter::Num(run.auccr, 2) : "fail");
   }

@@ -1,10 +1,11 @@
 #include "common/rng.h"
 
 #include <cmath>
-#include <numbers>
 
 namespace rain {
 namespace {
+
+constexpr double kPi = 3.14159265358979323846;
 
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
@@ -16,6 +17,12 @@ uint64_t SplitMix64(uint64_t* state) {
 uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
+
+uint64_t SplitSeed(uint64_t seed, uint64_t stream) {
+  uint64_t state = seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  const uint64_t a = SplitMix64(&state);
+  return a ^ SplitMix64(&state);
+}
 
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
@@ -61,7 +68,7 @@ double Rng::Gaussian() {
   } while (u1 <= 1e-300);
   const double u2 = Uniform();
   const double r = std::sqrt(-2.0 * std::log(u1));
-  const double theta = 2.0 * std::numbers::pi * u2;
+  const double theta = 2.0 * kPi * u2;
   cached_gaussian_ = r * std::sin(theta);
   has_cached_gaussian_ = true;
   return r * std::cos(theta);

@@ -13,6 +13,12 @@ namespace rain {
 /// All stochastic components of the library (dataset generation, label
 /// corruption, ILP tie-breaking, weight initialization) draw from an
 /// explicitly seeded `Rng` so every experiment is reproducible bit-for-bit.
+/// Derives an independent stream seed from (seed, stream) by running two
+/// SplitMix64 finalization steps. Parallel loops hand chunk c the generator
+/// Rng(SplitSeed(seed, c)) so per-chunk streams are decorrelated yet fully
+/// reproducible for a fixed (seed, chunk-count) pair.
+uint64_t SplitSeed(uint64_t seed, uint64_t stream);
+
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);

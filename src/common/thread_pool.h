@@ -1,0 +1,94 @@
+#ifndef RAIN_COMMON_THREAD_POOL_H_
+#define RAIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rain {
+
+/// \brief Fixed-size thread pool shared by every parallel kernel in Rain.
+///
+/// Deliberately work-stealing-free: tasks go through one FIFO queue, which
+/// keeps the scheduler trivial to reason about. Determinism is achieved one
+/// level up — ParallelFor splits work into a chunk count derived from the
+/// requested parallelism (never from the pool size or scheduling order), so
+/// results depend only on the `parallelism` knob a caller passes.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks must not block waiting for queue slots.
+  void Submit(std::function<void()> task);
+
+  /// Pops and runs one queued task if any is pending. Returns false when the
+  /// queue was empty. Blocked ParallelFor callers use this to help drain the
+  /// queue, which makes nested parallel sections deadlock-free even on a
+  /// single-worker pool.
+  bool RunOneTask();
+
+  /// Process-wide pool, created on first use. Sized from the
+  /// RAIN_NUM_THREADS environment variable when set, otherwise from
+  /// std::thread::hardware_concurrency().
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// \brief Runs body(begin, end, chunk) over [0, n) split into
+/// min(parallelism, n) contiguous chunks whose sizes differ by at most one.
+///
+/// The chunk layout depends only on (parallelism, n) — never on the pool
+/// size or on scheduling — so any per-chunk computation is reproducible for
+/// a fixed knob value. parallelism <= 1 (or n <= 1) runs body(0, n, 0)
+/// inline on the calling thread with no synchronization at all, which keeps
+/// the sequential path bitwise identical to pre-parallel code.
+///
+/// Blocks until every chunk finishes. If chunks throw, the first exception
+/// (in completion order) is rethrown on the calling thread.
+void ParallelFor(int parallelism, size_t n,
+                 const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
+
+/// Element-wise convenience over ParallelFor: body(i) for i in [0, n).
+void ParallelForEach(int parallelism, size_t n,
+                     const std::function<void(size_t i)>& body);
+
+/// \brief Deterministic parallel sum: each chunk reduces its range with
+/// `body(begin, end)`; partials are added in chunk order, so the result is a
+/// pure function of (parallelism, n, body). parallelism <= 1 returns
+/// body(0, n) — bitwise identical to a sequential loop.
+double ParallelSum(int parallelism, size_t n,
+                   const std::function<double(size_t begin, size_t end)>& body);
+
+/// \brief ParallelFor with a deterministic per-chunk RNG: chunk c receives an
+/// Rng seeded with SplitSeed(seed, c), so stochastic parallel kernels
+/// (minibatch sampling, dropout, corruption injection) reproduce exactly for
+/// a fixed (seed, parallelism) pair regardless of thread scheduling.
+void ParallelForSeeded(
+    int parallelism, size_t n, uint64_t seed,
+    const std::function<void(size_t begin, size_t end, size_t chunk, Rng& rng)>& body);
+
+}  // namespace rain
+
+#endif  // RAIN_COMMON_THREAD_POOL_H_

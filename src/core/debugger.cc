@@ -12,6 +12,14 @@ Debugger::Debugger(Query2Pipeline* pipeline, std::unique_ptr<Ranker> ranker,
                    DebugConfig config)
     : pipeline_(pipeline), ranker_(std::move(ranker)), config_(config) {
   RAIN_CHECK(pipeline_ != nullptr && ranker_ != nullptr);
+  // The debugger's knob is authoritative for the whole train-rank-fix loop:
+  // always installed on the pipeline (so parallelism = 1 restores the exact
+  // sequential path even on a previously parallelized pipeline), and
+  // inherited by the influence layer unless that was tuned explicitly.
+  if (config_.influence.parallelism <= 1) {
+    config_.influence.parallelism = config_.parallelism;
+  }
+  pipeline_->set_parallelism(config_.parallelism);
 }
 
 Result<DebugReport> Debugger::Run(const std::vector<QueryComplaints>& workload) {

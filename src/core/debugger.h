@@ -27,6 +27,13 @@ struct DebugConfig {
   int max_iterations = 10000;
   /// Stop as soon as every complaint holds.
   bool stop_when_resolved = false;
+  /// Worker count applied end-to-end across a train-rank-fix iteration:
+  /// retraining (pipeline TrainConfig), influence scoring, and the CG
+  /// solver. Always installed on the pipeline at Debugger construction, so
+  /// the default of 1 guarantees the exact sequential path. The
+  /// finer-grained knobs (influence.parallelism, cg) inherit this value
+  /// when left at their default of 1.
+  int parallelism = 1;
   InfluenceOptions influence;
   IlpSolveOptions ilp;
   /// Forwarded to RankContext (ablation knobs).

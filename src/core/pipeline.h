@@ -54,6 +54,13 @@ class Query2Pipeline {
   const PredictionStore& predictions() const { return predictions_; }
   const TrainConfig& train_config() const { return train_config_; }
 
+  /// Applies a worker count to retraining and batch prediction refreshes
+  /// (forwarded to TrainConfig::parallelism and Model::set_parallelism).
+  void set_parallelism(int parallelism) {
+    train_config_.parallelism = parallelism < 1 ? 1 : parallelism;
+    model_->set_parallelism(train_config_.parallelism);
+  }
+
  private:
   Catalog catalog_;
   std::unique_ptr<Model> model_;

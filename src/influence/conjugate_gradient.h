@@ -15,6 +15,10 @@ struct CgOptions {
   int max_iters = 200;
   /// Relative residual tolerance ||r|| <= tol * ||b||.
   double tol = 1e-8;
+  /// Chunk count for the solver's own vector kernels (dot/axpy over the
+  /// parameter dimension). The operator `op` parallelizes over data rows
+  /// independently of this. <= 1 keeps exact sequential arithmetic.
+  int parallelism = 1;
 };
 
 struct CgReport {

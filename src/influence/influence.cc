@@ -1,6 +1,7 @@
 #include "influence/influence.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rain {
 
@@ -8,6 +9,10 @@ InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
                                  InfluenceOptions options)
     : model_(model), train_(train), options_(options) {
   RAIN_CHECK(model_ != nullptr && train_ != nullptr);
+  // A single parallelism knob is the common case: let it drive the CG
+  // solver's vector kernels too unless the caller tuned them separately.
+  cg_parallelism_inherited_ = options_.cg.parallelism <= 1;
+  if (cg_parallelism_inherited_) options_.cg.parallelism = options_.parallelism;
 }
 
 void InfluenceScorer::Hvp(const Vec& v, Vec* out) const {
@@ -36,23 +41,53 @@ double InfluenceScorer::Score(size_t i) const {
 }
 
 std::vector<double> InfluenceScorer::ScoreAll() const {
+  RAIN_CHECK(prepared_) << "Prepare() must be called first";
   std::vector<double> scores(train_->size(), 0.0);
-  for (size_t i = 0; i < train_->size(); ++i) {
-    if (train_->active(i)) scores[i] = Score(i);
-  }
+  // Embarrassingly parallel: each record's grad l(z, θ*)ᵀ s is independent,
+  // so any chunking yields scores bitwise identical to the sequential loop.
+  ParallelFor(options_.parallelism, train_->size(),
+              [this, &scores](size_t begin, size_t end, size_t) {
+                Vec grad(model_->num_params(), 0.0);
+                for (size_t i = begin; i < end; ++i) {
+                  if (!train_->active(i)) continue;
+                  grad.assign(model_->num_params(), 0.0);
+                  model_->AddExampleLossGradient(train_->row(i), train_->label(i),
+                                                 &grad);
+                  scores[i] = -vec::Dot(s_, grad);
+                }
+              });
   return scores;
 }
 
 Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
   LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
   std::vector<double> scores(train_->size(), 0.0);
-  Vec grad(model_->num_params(), 0.0);
-  for (size_t i = 0; i < train_->size(); ++i) {
-    if (!train_->active(i)) continue;
-    grad.assign(model_->num_params(), 0.0);
-    model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
-    RAIN_ASSIGN_OR_RETURN(CgReport report, ConjugateGradient(op, grad, options_.cg));
-    scores[i] = -vec::Dot(grad, report.x);
+  // One CG solve per active record (the quadratic InfLoss bottleneck);
+  // solves are independent, so partition records across workers. Each chunk
+  // stops at its first failing solve and records the status; the
+  // lowest-chunk (i.e. lowest-record-index) failure is reported, so the
+  // returned status matches the sequential loop's regardless of scheduling.
+  const size_t max_chunks =
+      options_.parallelism < 1 ? 1 : static_cast<size_t>(options_.parallelism);
+  std::vector<Status> chunk_status(max_chunks, Status::OK());
+  ParallelFor(options_.parallelism, train_->size(),
+              [&](size_t begin, size_t end, size_t chunk) {
+                Vec grad(model_->num_params(), 0.0);
+                for (size_t i = begin; i < end; ++i) {
+                  if (!train_->active(i)) continue;
+                  grad.assign(model_->num_params(), 0.0);
+                  model_->AddExampleLossGradient(train_->row(i), train_->label(i),
+                                                 &grad);
+                  Result<CgReport> report = ConjugateGradient(op, grad, options_.cg);
+                  if (!report.ok()) {
+                    chunk_status[chunk] = report.status();
+                    return;
+                  }
+                  scores[i] = -vec::Dot(grad, report->x);
+                }
+              });
+  for (const Status& status : chunk_status) {
+    if (!status.ok()) return status;
   }
   return scores;
 }

@@ -16,6 +16,13 @@ struct InfluenceOptions {
   /// L2 strength used during training (the Hessian includes 2*l2*I).
   double l2 = 1e-3;
   CgOptions cg;
+  /// Worker count for per-record scoring (ScoreAll / SelfInfluenceAll):
+  /// training records are partitioned across this many chunks, each worker
+  /// computing its grad l(z, θ*)ᵀ s dot products independently. Per-record
+  /// scores have no cross-record reduction, so parallel ScoreAll is bitwise
+  /// identical to sequential for any value. Also inherited by cg.parallelism
+  /// when that is left at 1.
+  int parallelism = 1;
 };
 
 /// \brief Influence-function scorer (paper Section 4.1, Equation 4).
@@ -47,6 +54,15 @@ class InfluenceScorer {
   /// Number of CG iterations used by Prepare (runtime accounting).
   int cg_iterations() const { return cg_iterations_; }
 
+  /// Adjusts the scoring worker count after construction (benchmarks sweep
+  /// this; the prepared CG solution s is unaffected). When cg.parallelism
+  /// was inherited rather than tuned explicitly, it follows this knob.
+  void set_parallelism(int parallelism) {
+    options_.parallelism = parallelism < 1 ? 1 : parallelism;
+    if (cg_parallelism_inherited_) options_.cg.parallelism = options_.parallelism;
+  }
+  int parallelism() const { return options_.parallelism; }
+
   /// \brief Self-influence scores for the InfLoss baseline [35]:
   ///     self(z) = -grad l(z)^T H^{-1} grad l(z)   (always <= 0).
   /// Records whose removal *increases their own loss* the most (largest
@@ -63,6 +79,9 @@ class InfluenceScorer {
   InfluenceOptions options_;
   Vec s_;  // (H + damping)^-1 grad q
   bool prepared_ = false;
+  /// True when cg.parallelism was left at its default and tracks the
+  /// scorer-level knob (set at construction, maintained by set_parallelism).
+  bool cg_parallelism_inherited_ = false;
   int cg_iterations_ = 0;
 };
 

@@ -23,6 +23,10 @@ struct LbfgsOptions {
   double backtrack = 0.5;
   /// Give up on the line search below this step.
   double min_step = 1e-20;
+  /// Chunk count for the two-loop recursion's vector kernels (dot/axpy over
+  /// num_params elements). <= 1 keeps the exact sequential arithmetic; the
+  /// objective callback parallelizes over data rows independently of this.
+  int parallelism = 1;
 };
 
 struct LbfgsResult {

@@ -78,18 +78,22 @@ void LogisticRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   RAIN_CHECK(v.size() == theta_.size()) << "HVP size mismatch";
   RAIN_CHECK(data.num_active() > 0) << "HVP over empty dataset";
   out->assign(theta_.size(), 0.0);
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (!data.active(i)) continue;
-    const double* x = data.row(i);
-    const double p1 = Sigmoid(Margin(x));
-    const double s = p1 * (1.0 - p1);
-    // (x~ . v)
-    double xv = fit_intercept_ ? v[d_] : 0.0;
-    for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
-    const double coef = s * xv;
-    for (size_t j = 0; j < d_; ++j) (*out)[j] += coef * x[j];
-    if (fit_intercept_) (*out)[d_] += coef;
-  }
+  vec::ParallelAccumulate(
+      RowParallelism(data.size()), data.size(), out,
+      [this, &data, &v](size_t begin, size_t end, Vec* acc) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!data.active(i)) continue;
+          const double* x = data.row(i);
+          const double p1 = Sigmoid(Margin(x));
+          const double s = p1 * (1.0 - p1);
+          // (x~ . v)
+          double xv = fit_intercept_ ? v[d_] : 0.0;
+          for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
+          const double coef = s * xv;
+          for (size_t j = 0; j < d_; ++j) (*acc)[j] += coef * x[j];
+          if (fit_intercept_) (*acc)[d_] += coef;
+        }
+      });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());
   for (double& o : *out) o *= inv_n;
   vec::Axpy(2.0 * l2, v, out);

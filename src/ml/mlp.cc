@@ -134,67 +134,73 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
   const double* v_w2 = v.data() + OffW2();
   const double* v_b2 = v.data() + OffB2();
 
-  Forward f;
-  for (size_t n = 0; n < data.size(); ++n) {
-    if (!data.active(n)) continue;
-    const double* x = data.row(n);
-    const int y = data.label(n);
-    RunForward(x, &f);
+  vec::ParallelAccumulate(
+      RowParallelism(data.size()), data.size(), out,
+      [&](size_t begin, size_t end, Vec* acc) {
+        Forward f;
+        for (size_t n = begin; n < end; ++n) {
+          if (!data.active(n)) continue;
+          const double* x = data.row(n);
+          const int y = data.label(n);
+          RunForward(x, &f);
 
-    // --- R-forward pass: directional derivatives along v. ---
-    Vec rz1(h_, 0.0);
-    for (size_t i = 0; i < h_; ++i) {
-      double rz = v_b1[i];
-      const double* vrow = v_w1 + i * d_;
-      for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
-      rz1[i] = rz;
-    }
-    Vec ra1(h_);
-    for (size_t i = 0; i < h_; ++i) ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
-    Vec rz2(c_, 0.0);
-    for (int k = 0; k < c_; ++k) {
-      double rz = v_b2[k];
-      const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-      const double* wrow = w2 + static_cast<size_t>(k) * h_;
-      for (size_t i = 0; i < h_; ++i) rz += vrow[i] * f.a1[i] + wrow[i] * ra1[i];
-      rz2[k] = rz;
-    }
+          // --- R-forward pass: directional derivatives along v. ---
+          Vec rz1(h_, 0.0);
+          for (size_t i = 0; i < h_; ++i) {
+            double rz = v_b1[i];
+            const double* vrow = v_w1 + i * d_;
+            for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
+            rz1[i] = rz;
+          }
+          Vec ra1(h_);
+          for (size_t i = 0; i < h_; ++i) ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
+          Vec rz2(c_, 0.0);
+          for (int k = 0; k < c_; ++k) {
+            double rz = v_b2[k];
+            const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+            const double* wrow = w2 + static_cast<size_t>(k) * h_;
+            for (size_t i = 0; i < h_; ++i) {
+              rz += vrow[i] * f.a1[i] + wrow[i] * ra1[i];
+            }
+            rz2[k] = rz;
+          }
 
-    // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
-    Vec dz2 = f.p;
-    dz2[y] -= 1.0;
-    double prz = 0.0;
-    for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
-    Vec rdz2(c_);
-    for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
+          // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
+          Vec dz2 = f.p;
+          dz2[y] -= 1.0;
+          double prz = 0.0;
+          for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
+          Vec rdz2(c_);
+          for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
 
-    // --- R-backward pass. ---
-    // RdW2 = rdz2 (x) a1 + dz2 (x) ra1; Rdb2 = rdz2.
-    double* o_w1 = out->data() + OffW1();
-    double* o_b1 = out->data() + OffB1();
-    double* o_w2 = out->data() + OffW2();
-    double* o_b2 = out->data() + OffB2();
+          // --- R-backward pass. ---
+          // RdW2 = rdz2 (x) a1 + dz2 (x) ra1; Rdb2 = rdz2.
+          double* o_w1 = acc->data() + OffW1();
+          double* o_b1 = acc->data() + OffB1();
+          double* o_w2 = acc->data() + OffW2();
+          double* o_b2 = acc->data() + OffB2();
 
-    Vec rda1(h_, 0.0);  // R{da1} = W2^T rdz2 + V2^T dz2
-    for (int k = 0; k < c_; ++k) {
-      o_b2[k] += rdz2[k];
-      double* orow = o_w2 + static_cast<size_t>(k) * h_;
-      const double* wrow = w2 + static_cast<size_t>(k) * h_;
-      const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-      for (size_t i = 0; i < h_; ++i) {
-        orow[i] += rdz2[k] * f.a1[i] + dz2[k] * ra1[i];
-        rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
-      }
-    }
-    // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
-    for (size_t i = 0; i < h_; ++i) {
-      const double rg = f.z1[i] > 0.0 ? rda1[i] : 0.0;
-      o_b1[i] += rg;
-      if (rg == 0.0) continue;
-      double* orow = o_w1 + i * d_;
-      for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
-    }
-  }
+          Vec rda1(h_, 0.0);  // R{da1} = W2^T rdz2 + V2^T dz2
+          for (int k = 0; k < c_; ++k) {
+            o_b2[k] += rdz2[k];
+            double* orow = o_w2 + static_cast<size_t>(k) * h_;
+            const double* wrow = w2 + static_cast<size_t>(k) * h_;
+            const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+            for (size_t i = 0; i < h_; ++i) {
+              orow[i] += rdz2[k] * f.a1[i] + dz2[k] * ra1[i];
+              rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
+            }
+          }
+          // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
+          for (size_t i = 0; i < h_; ++i) {
+            const double rg = f.z1[i] > 0.0 ? rda1[i] : 0.0;
+            o_b1[i] += rg;
+            if (rg == 0.0) continue;
+            double* orow = o_w1 + i * d_;
+            for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
+          }
+        }
+      });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());
   for (double& o : *out) o *= inv_n;
   vec::Axpy(2.0 * l2, v, out);

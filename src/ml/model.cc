@@ -1,6 +1,7 @@
 #include "ml/model.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rain {
 
@@ -17,19 +18,26 @@ int Model::PredictClass(const double* x) const {
 
 Matrix Model::PredictProbaMatrix(const Dataset& data) const {
   Matrix out(data.size(), static_cast<size_t>(num_classes()));
-  for (size_t i = 0; i < data.size(); ++i) {
-    PredictProba(data.row(i), out.Row(i));
-  }
+  ParallelFor(RowParallelism(data.size()), data.size(),
+              [this, &data, &out](size_t begin, size_t end, size_t) {
+                for (size_t i = begin; i < end; ++i) {
+                  PredictProba(data.row(i), out.Row(i));
+                }
+              });
   return out;
 }
 
 double Model::MeanLoss(const Dataset& data, double l2) const {
   RAIN_CHECK(data.num_active() > 0) << "loss over empty dataset";
-  double acc = 0.0;
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (!data.active(i)) continue;
-    acc += ExampleLoss(data.row(i), data.label(i));
-  }
+  double acc = ParallelSum(
+      RowParallelism(data.size()), data.size(), [this, &data](size_t begin, size_t end) {
+        double chunk_acc = 0.0;
+        for (size_t i = begin; i < end; ++i) {
+          if (!data.active(i)) continue;
+          chunk_acc += ExampleLoss(data.row(i), data.label(i));
+        }
+        return chunk_acc;
+      });
   acc /= static_cast<double>(data.num_active());
   acc += l2 * vec::NormSq(params());
   return acc;
@@ -38,10 +46,14 @@ double Model::MeanLoss(const Dataset& data, double l2) const {
 void Model::MeanLossGradient(const Dataset& data, double l2, Vec* grad) const {
   RAIN_CHECK(data.num_active() > 0) << "gradient over empty dataset";
   grad->assign(num_params(), 0.0);
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (!data.active(i)) continue;
-    AddExampleLossGradient(data.row(i), data.label(i), grad);
-  }
+  vec::ParallelAccumulate(
+      RowParallelism(data.size()), data.size(), grad,
+      [this, &data](size_t begin, size_t end, Vec* acc) {
+        for (size_t i = begin; i < end; ++i) {
+          if (!data.active(i)) continue;
+          AddExampleLossGradient(data.row(i), data.label(i), acc);
+        }
+      });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());
   for (double& g : *grad) g *= inv_n;
   vec::Axpy(2.0 * l2, params(), grad);

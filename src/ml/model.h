@@ -29,6 +29,27 @@ class Model {
  public:
   virtual ~Model() = default;
 
+  /// Below this many rows the data-parallel model loops run sequentially:
+  /// per-row kernel work would not amortize the fork/join handshake and the
+  /// per-chunk gradient buffers. Determinism is unaffected (results remain
+  /// a pure function of dataset size and the parallelism knob).
+  static constexpr size_t kMinParallelRows = 64;
+
+  /// Worker count for data-parallel loops (loss, gradient, HVP, batch
+  /// prediction): partitions active rows into this many deterministic
+  /// chunks on the shared thread pool. 1 (the default) is the exact
+  /// sequential code path. Plumbed from TrainConfig / DebugConfig by the
+  /// trainer, pipeline, and debugger; Clone() preserves it.
+  int parallelism() const { return parallelism_; }
+  void set_parallelism(int parallelism) {
+    parallelism_ = parallelism < 1 ? 1 : parallelism;
+  }
+
+  /// The effective chunk count for a loop over n data rows.
+  int RowParallelism(size_t n) const {
+    return n >= kMinParallelRows ? parallelism_ : 1;
+  }
+
   virtual int num_classes() const = 0;
   virtual size_t num_features() const = 0;
   virtual size_t num_params() const = 0;
@@ -69,6 +90,9 @@ class Model {
 
   /// grad_theta of MeanLoss; overwrites `grad`.
   void MeanLossGradient(const Dataset& data, double l2, Vec* grad) const;
+
+ private:
+  int parallelism_ = 1;
 };
 
 }  // namespace rain

@@ -92,29 +92,33 @@ void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   RAIN_CHECK(data.num_active() > 0) << "HVP over empty dataset";
   out->assign(theta_.size(), 0.0);
   const size_t bs = BlockSize();
-  std::vector<double> p(c_);
-  std::vector<double> a(c_);
-  for (size_t i = 0; i < data.size(); ++i) {
-    if (!data.active(i)) continue;
-    const double* x = data.row(i);
-    PredictProba(x, p.data());
-    // a_c = V_c . x~
-    for (int c = 0; c < c_; ++c) {
-      const double* vc = v.data() + static_cast<size_t>(c) * bs;
-      double av = fit_intercept_ ? vc[d_] : 0.0;
-      for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
-      a[c] = av;
-    }
-    double s = 0.0;
-    for (int c = 0; c < c_; ++c) s += p[c] * a[c];
-    // Row c of (d^2 l) V = p_c (a_c - s) x~
-    for (int c = 0; c < c_; ++c) {
-      const double coef = p[c] * (a[c] - s);
-      double* o = out->data() + static_cast<size_t>(c) * bs;
-      for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
-      if (fit_intercept_) o[d_] += coef;
-    }
-  }
+  vec::ParallelAccumulate(
+      RowParallelism(data.size()), data.size(), out,
+      [this, &data, &v, bs](size_t begin, size_t end, Vec* acc) {
+        std::vector<double> p(c_);
+        std::vector<double> a(c_);
+        for (size_t i = begin; i < end; ++i) {
+          if (!data.active(i)) continue;
+          const double* x = data.row(i);
+          PredictProba(x, p.data());
+          // a_c = V_c . x~
+          for (int c = 0; c < c_; ++c) {
+            const double* vc = v.data() + static_cast<size_t>(c) * bs;
+            double av = fit_intercept_ ? vc[d_] : 0.0;
+            for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
+            a[c] = av;
+          }
+          double s = 0.0;
+          for (int c = 0; c < c_; ++c) s += p[c] * a[c];
+          // Row c of (d^2 l) V = p_c (a_c - s) x~
+          for (int c = 0; c < c_; ++c) {
+            const double coef = p[c] * (a[c] - s);
+            double* o = acc->data() + static_cast<size_t>(c) * bs;
+            for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
+            if (fit_intercept_) o[d_] += coef;
+          }
+        }
+      });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());
   for (double& o : *out) o *= inv_n;
   vec::Axpy(2.0 * l2, v, out);

@@ -15,6 +15,8 @@ Result<TrainReport> TrainModel(Model* model, const Dataset& data,
     return Status::InvalidArgument("class count mismatch");
   }
 
+  model->set_parallelism(config.parallelism);
+
   Objective objective = [&](const Vec& theta, Vec* grad) {
     model->set_params(theta);
     model->MeanLossGradient(data, config.l2, grad);
@@ -25,6 +27,7 @@ Result<TrainReport> TrainModel(Model* model, const Dataset& data,
   opts.max_iters = config.max_iters;
   opts.grad_tol = config.grad_tol;
   opts.memory = config.lbfgs_memory;
+  opts.parallelism = config.parallelism;
 
   LbfgsResult res = LbfgsMinimize(objective, model->params(), opts);
   model->set_params(res.x);

@@ -14,6 +14,11 @@ struct TrainConfig {
   int max_iters = 300;
   double grad_tol = 1e-6;
   int lbfgs_memory = 10;
+  /// Data-parallel worker count for loss/gradient evaluation during
+  /// training (and for the trained model's subsequent batch operations —
+  /// TrainModel installs it on the model via Model::set_parallelism).
+  /// 1 = exact sequential arithmetic.
+  int parallelism = 1;
 };
 
 struct TrainReport {

@@ -1,6 +1,9 @@
 #include "tensor/matrix.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rain {
 
@@ -26,6 +29,21 @@ Vec Matrix::MatVec(const Vec& x) const {
   return out;
 }
 
+Vec Matrix::MatVec(const Vec& x, int parallelism) const {
+  RAIN_CHECK(x.size() == cols_) << "MatVec shape mismatch";
+  if (parallelism <= 1 || rows_ * cols_ < vec::kParallelGrain) return MatVec(x);
+  Vec out(rows_, 0.0);
+  ParallelFor(parallelism, rows_, [this, &x, &out](size_t begin, size_t end, size_t) {
+    for (size_t r = begin; r < end; ++r) {
+      const double* row = Row(r);
+      double acc = 0.0;
+      for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
+      out[r] = acc;
+    }
+  });
+  return out;
+}
+
 Vec Matrix::MatTVec(const Vec& x) const {
   RAIN_CHECK(x.size() == rows_) << "MatTVec shape mismatch";
   Vec out(cols_, 0.0);
@@ -35,6 +53,47 @@ Vec Matrix::MatTVec(const Vec& x) const {
     if (xr == 0.0) continue;
     for (size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
   }
+  return out;
+}
+
+Vec Matrix::MatTVec(const Vec& x, int parallelism) const {
+  RAIN_CHECK(x.size() == rows_) << "MatTVec shape mismatch";
+  if (parallelism <= 1 || rows_ * cols_ < vec::kParallelGrain) return MatTVec(x);
+  Vec out(cols_, 0.0);
+  vec::ParallelAccumulate(
+      parallelism, rows_, &out, [this, &x](size_t begin, size_t end, Vec* acc) {
+        for (size_t r = begin; r < end; ++r) {
+          const double* row = Row(r);
+          const double xr = x[r];
+          if (xr == 0.0) continue;
+          for (size_t c = 0; c < cols_; ++c) (*acc)[c] += xr * row[c];
+        }
+      });
+  return out;
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism) {
+  RAIN_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
+  Matrix out(a.rows(), b.cols());
+  // Block sizes chosen so one a-block row plus the touched b-rows stay in L1.
+  constexpr size_t kBlockK = 64;
+  const size_t n = b.cols();
+  const size_t k_total = a.cols();
+  ParallelFor(parallelism, a.rows(), [&](size_t begin, size_t end, size_t) {
+    for (size_t k0 = 0; k0 < k_total; k0 += kBlockK) {
+      const size_t k1 = std::min(k_total, k0 + kBlockK);
+      for (size_t r = begin; r < end; ++r) {
+        const double* arow = a.Row(r);
+        double* orow = out.Row(r);
+        for (size_t k = k0; k < k1; ++k) {
+          const double av = arow[k];
+          if (av == 0.0) continue;
+          const double* brow = b.Row(k);
+          for (size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+        }
+      }
+    }
+  });
   return out;
 }
 

@@ -36,16 +36,27 @@ class Matrix {
   const Vec& data() const { return data_; }
   Vec& data() { return data_; }
 
-  /// out = this * x  (rows() results).
+  /// out = this * x  (rows() results). The parallel overload partitions
+  /// output rows across `parallelism` chunks — disjoint writes, so the
+  /// result is bitwise identical to the sequential kernel.
   Vec MatVec(const Vec& x) const;
-  /// out = this^T * x (cols() results).
+  Vec MatVec(const Vec& x, int parallelism) const;
+  /// out = this^T * x (cols() results). The parallel overload reduces
+  /// per-chunk column accumulators in chunk order (deterministic for a
+  /// fixed `parallelism`, ε-close to sequential).
   Vec MatTVec(const Vec& x) const;
+  Vec MatTVec(const Vec& x, int parallelism) const;
 
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
   Vec data_;
 };
+
+/// out = a * b. Cache-blocked i-k-j kernel; the parallel path partitions
+/// rows of `a` across chunks (disjoint output blocks, bitwise identical to
+/// the sequential result for any `parallelism`).
+Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism = 1);
 
 }  // namespace rain
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rain {
 namespace vec {
@@ -16,9 +17,30 @@ double Dot(const Vec& x, const Vec& y) {
   return acc;
 }
 
+double Dot(const Vec& x, const Vec& y, int parallelism) {
+  RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
+  if (parallelism <= 1 || x.size() < kParallelGrain) return Dot(x, y);
+  return ParallelSum(parallelism, x.size(), [&x, &y](size_t begin, size_t end) {
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) acc += x[i] * y[i];
+    return acc;
+  });
+}
+
 void Axpy(double alpha, const Vec& x, Vec* y) {
   RAIN_CHECK(x.size() == y->size()) << "Axpy size mismatch";
   for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+void Axpy(double alpha, const Vec& x, Vec* y, int parallelism) {
+  RAIN_CHECK(x.size() == y->size()) << "Axpy size mismatch";
+  if (parallelism <= 1 || x.size() < kParallelGrain) {
+    Axpy(alpha, x, y);
+    return;
+  }
+  ParallelFor(parallelism, x.size(), [alpha, &x, y](size_t begin, size_t end, size_t) {
+    for (size_t i = begin; i < end; ++i) (*y)[i] += alpha * x[i];
+  });
 }
 
 void Scale(double alpha, Vec* x) {
@@ -31,6 +53,31 @@ double NormSq(const Vec& x) {
   double acc = 0.0;
   for (double v : x) acc += v * v;
   return acc;
+}
+
+double NormSq(const Vec& x, int parallelism) {
+  if (parallelism <= 1 || x.size() < kParallelGrain) return NormSq(x);
+  return ParallelSum(parallelism, x.size(), [&x](size_t begin, size_t end) {
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) acc += x[i] * x[i];
+    return acc;
+  });
+}
+
+void ParallelAccumulate(int parallelism, size_t n, Vec* out,
+                        const std::function<void(size_t begin, size_t end, Vec* acc)>& body) {
+  if (n == 0) return;
+  size_t chunks = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
+  if (chunks > n) chunks = n;
+  if (chunks <= 1) {
+    body(0, n, out);
+    return;
+  }
+  std::vector<Vec> partial(chunks, Vec(out->size(), 0.0));
+  ParallelFor(parallelism, n, [&body, &partial](size_t begin, size_t end, size_t chunk) {
+    body(begin, end, &partial[chunk]);
+  });
+  for (const Vec& p : partial) Axpy(1.0, p, out);
 }
 
 Vec Sub(const Vec& x, const Vec& y) {

@@ -2,6 +2,7 @@
 #define RAIN_TENSOR_VECTOR_OPS_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 namespace rain {
@@ -11,16 +12,27 @@ namespace rain {
 using Vec = std::vector<double>;
 
 /// BLAS-1 style kernels. All require matching sizes (checked).
+///
+/// Each reduction kernel has a `parallelism` overload that splits the range
+/// into `parallelism` deterministic chunks on the shared thread pool and
+/// combines partials in chunk order; `parallelism <= 1` takes the exact
+/// sequential code path, so results are a pure function of the knob.
 namespace vec {
+
+/// Below this many elements the parallel overloads run sequentially: the
+/// fork/join handshake costs more than the arithmetic it would spread.
+constexpr size_t kParallelGrain = 4096;
 
 /// out = 0 vector of length n.
 Vec Zeros(size_t n);
 
 /// dot(x, y)
 double Dot(const Vec& x, const Vec& y);
+double Dot(const Vec& x, const Vec& y, int parallelism);
 
 /// y += alpha * x
 void Axpy(double alpha, const Vec& x, Vec* y);
+void Axpy(double alpha, const Vec& x, Vec* y, int parallelism);
 
 /// x *= alpha
 void Scale(double alpha, Vec* x);
@@ -30,6 +42,16 @@ double Norm2(const Vec& x);
 
 /// Squared Euclidean norm.
 double NormSq(const Vec& x);
+double NormSq(const Vec& x, int parallelism);
+
+/// \brief Deterministic parallel accumulation: splits [0, n) into
+/// min(parallelism, n) chunks, hands each chunk a zeroed buffer of
+/// out->size() via body(begin, end, acc), then adds the buffers into *out in
+/// chunk order. With parallelism <= 1 the body writes straight into *out —
+/// bitwise identical to the pre-parallel sequential loops. This is the
+/// reduction primitive behind every parallel gradient / HVP in src/ml.
+void ParallelAccumulate(int parallelism, size_t n, Vec* out,
+                        const std::function<void(size_t begin, size_t end, Vec* acc)>& body);
 
 /// out = x - y
 Vec Sub(const Vec& x, const Vec& y);

@@ -352,6 +352,78 @@ TEST(TrainerTest, WarmStartConvergesFasterOrEqual) {
   EXPECT_LE(second->iterations, first->iterations);
 }
 
+/// Parallel loss / gradient / HVP must agree with the sequential path for
+/// every model family (deterministic chunked reductions, ε from reordering).
+void CheckParallelMatchesSequential(Model* model, const Dataset& data, double l2,
+                                    uint64_t seed) {
+  Rng rng(seed);
+  Vec v(model->num_params());
+  for (double& x : v) x = rng.Gaussian();
+
+  model->set_parallelism(1);
+  const double loss_seq = model->MeanLoss(data, l2);
+  Vec grad_seq, hvp_seq;
+  model->MeanLossGradient(data, l2, &grad_seq);
+  model->HessianVectorProduct(data, v, l2, &hvp_seq);
+
+  for (int par : {2, 4, 8}) {
+    model->set_parallelism(par);
+    EXPECT_NEAR(model->MeanLoss(data, l2), loss_seq, 1e-10) << "parallelism=" << par;
+    Vec grad_par, hvp_par;
+    model->MeanLossGradient(data, l2, &grad_par);
+    model->HessianVectorProduct(data, v, l2, &hvp_par);
+    EXPECT_LT(vec::MaxAbsDiff(grad_par, grad_seq), 1e-10) << "parallelism=" << par;
+    EXPECT_LT(vec::MaxAbsDiff(hvp_par, hvp_seq), 1e-10) << "parallelism=" << par;
+  }
+  model->set_parallelism(1);
+}
+
+TEST(LogisticTest, ParallelKernelsMatchSequential) {
+  Dataset d = RandomDataset(120, 5, 2, 61);
+  d.Deactivate(7);
+  LogisticRegression m(5);
+  RandomizeParams(&m, 62);
+  CheckParallelMatchesSequential(&m, d, 1e-3, 63);
+}
+
+TEST(SoftmaxTest, ParallelKernelsMatchSequential) {
+  Dataset d = RandomDataset(120, 5, 3, 67);
+  SoftmaxRegression m(5, 3);
+  RandomizeParams(&m, 68);
+  CheckParallelMatchesSequential(&m, d, 1e-3, 69);
+}
+
+TEST(MlpTest, ParallelKernelsMatchSequential) {
+  Dataset d = RandomDataset(90, 6, 3, 71);
+  Mlp m(6, 8, 3, /*seed=*/72);
+  CheckParallelMatchesSequential(&m, d, 1e-3, 73);
+}
+
+TEST(MlpTest, CloneKeepsParallelism) {
+  Mlp m(4, 3, 2);
+  m.set_parallelism(4);
+  std::unique_ptr<Model> clone = m.Clone();
+  EXPECT_EQ(clone->parallelism(), 4);
+}
+
+TEST(TrainerTest, ParallelTrainingReachesSequentialLoss) {
+  Dataset d = RandomDataset(200, 4, 2, 79);
+  TrainConfig cfg;
+  cfg.grad_tol = 1e-8;
+
+  LogisticRegression seq(4);
+  auto seq_report = TrainModel(&seq, d, cfg);
+  ASSERT_TRUE(seq_report.ok());
+
+  cfg.parallelism = 4;
+  LogisticRegression par(4);
+  auto par_report = TrainModel(&par, d, cfg);
+  ASSERT_TRUE(par_report.ok());
+  EXPECT_EQ(par.parallelism(), 4) << "trainer must install the knob on the model";
+  EXPECT_NEAR(par_report->final_loss, seq_report->final_loss, 1e-6);
+  EXPECT_LT(vec::MaxAbsDiff(par.params(), seq.params()), 1e-4);
+}
+
 TEST(EvalTest, PerfectAndWorstMetrics) {
   Matrix x(4, 1);
   x.At(0, 0) = -2.0;

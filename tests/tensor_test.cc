@@ -1,5 +1,6 @@
 #include <cmath>
 
+#include "common/rng.h"
 #include "gtest/gtest.h"
 #include "tensor/matrix.h"
 #include "tensor/vector_ops.h"
@@ -74,6 +75,87 @@ TEST(MatrixTest, FillConstructor) {
   Matrix m(3, 2, 1.5);
   for (size_t r = 0; r < 3; ++r) {
     for (size_t c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+  }
+}
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Matrix m(rows, cols);
+  Rng rng(seed);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m.At(r, c) = rng.Gaussian();
+  }
+  return m;
+}
+
+TEST(VectorOpsTest, ParallelReductionsMatchSequential) {
+  const size_t n = 50000;  // above kParallelGrain so the parallel path runs
+  Vec x(n), y(n);
+  Rng rng(23);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1.0, 1.0);
+    y[i] = rng.Uniform(-1.0, 1.0);
+  }
+  const double dot_seq = vec::Dot(x, y);
+  const double nsq_seq = vec::NormSq(x);
+  for (int par : {2, 4, 8}) {
+    EXPECT_NEAR(vec::Dot(x, y, par), dot_seq, 1e-9 * n);
+    EXPECT_NEAR(vec::NormSq(x, par), nsq_seq, 1e-9 * n);
+    EXPECT_EQ(vec::Dot(x, y, par), vec::Dot(x, y, par)) << "must be deterministic";
+  }
+  // Parallel Axpy writes disjoint ranges: bitwise identical.
+  Vec seq = y;
+  vec::Axpy(0.25, x, &seq);
+  Vec par_out = y;
+  vec::Axpy(0.25, x, &par_out, 4);
+  EXPECT_EQ(par_out, seq);
+}
+
+TEST(MatrixTest, ParallelMatVecBitwiseIdentical) {
+  Matrix m = RandomMatrix(300, 40, 29);
+  Vec x(40);
+  Rng rng(31);
+  for (double& v : x) v = rng.Gaussian();
+  const Vec seq = m.MatVec(x);
+  for (int par : {2, 4, 8}) {
+    EXPECT_EQ(m.MatVec(x, par), seq) << "parallelism=" << par;
+  }
+}
+
+TEST(MatrixTest, ParallelMatTVecMatchesSequential) {
+  Matrix m = RandomMatrix(300, 40, 37);
+  Vec y(300);
+  Rng rng(41);
+  for (double& v : y) v = rng.Gaussian();
+  const Vec seq = m.MatTVec(y);
+  for (int par : {2, 4, 8}) {
+    const Vec out = m.MatTVec(y, par);
+    ASSERT_EQ(out.size(), seq.size());
+    for (size_t c = 0; c < out.size(); ++c) EXPECT_NEAR(out[c], seq[c], 1e-10);
+  }
+}
+
+TEST(MatrixTest, MatMulMatchesNaiveAndIsParallelSafe) {
+  Matrix a = RandomMatrix(37, 53, 43);
+  Matrix b = RandomMatrix(53, 29, 47);
+  Matrix naive(37, 29);
+  for (size_t r = 0; r < 37; ++r) {
+    for (size_t c = 0; c < 29; ++c) {
+      double acc = 0.0;
+      for (size_t k = 0; k < 53; ++k) acc += a.At(r, k) * b.At(k, c);
+      naive.At(r, c) = acc;
+    }
+  }
+  const Matrix seq = MatMul(a, b);
+  for (size_t r = 0; r < 37; ++r) {
+    for (size_t c = 0; c < 29; ++c) {
+      EXPECT_NEAR(seq.At(r, c), naive.At(r, c), 1e-10);
+    }
+  }
+  for (int par : {2, 4, 8}) {
+    const Matrix out = MatMul(a, b, par);
+    // Row partitions write disjoint output blocks with identical per-row
+    // arithmetic: bitwise equal to the single-chunk result.
+    EXPECT_EQ(out.data(), seq.data()) << "parallelism=" << par;
   }
 }
 
