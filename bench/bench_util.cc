@@ -1,9 +1,26 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace rain {
 namespace bench {
+
+bool ProgressRequested() {
+  const char* env = std::getenv("RAIN_BENCH_PROGRESS");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+void ProgressObserver::OnIterationStart(int iteration, const DebugReport& report) {
+  std::fprintf(stderr, "[%s] iter %d start (|D|=%zu)\n", method_.c_str(), iteration,
+               report.deletions.size());
+}
+
+void ProgressObserver::OnPhaseComplete(int iteration, DebugPhase phase,
+                                       double seconds) {
+  std::fprintf(stderr, "[%s] iter %d %-5s %.4fs\n", method_.c_str(), iteration,
+               DebugPhaseName(phase), seconds);
+}
 
 MethodRun RunMethod(
     const std::string& method,
@@ -12,14 +29,17 @@ MethodRun RunMethod(
     const std::vector<size_t>& corrupted, DebugConfig config) {
   MethodRun run;
   run.method = method;
-  auto ranker = MakeRanker(method);
-  if (!ranker.ok()) {
-    run.error = ranker.status().ToString();
+  std::unique_ptr<Query2Pipeline> pipeline = make_pipeline();
+  ProgressObserver progress(method);
+  DebugSessionBuilder builder(pipeline.get());
+  builder.config(config).ranker(method).workload(workload);
+  if (ProgressRequested()) builder.observer(&progress);
+  auto session = builder.Build();
+  if (!session.ok()) {
+    run.error = session.status().ToString();
     return run;
   }
-  std::unique_ptr<Query2Pipeline> pipeline = make_pipeline();
-  Debugger debugger(pipeline.get(), std::move(*ranker), config);
-  auto report = debugger.Run(workload);
+  auto report = (*session)->RunToCompletion();
   if (!report.ok()) {
     run.error = report.status().ToString();
     return run;

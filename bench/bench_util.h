@@ -11,9 +11,27 @@
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "core/session.h"
 
 namespace rain {
 namespace bench {
+
+/// Streams per-phase timings to stderr while a debug session runs — the
+/// live view of the Fig. 5/12 breakdowns. RunMethod attaches one
+/// automatically when the RAIN_BENCH_PROGRESS environment variable is a
+/// non-empty value other than "0".
+class ProgressObserver : public DebugObserver {
+ public:
+  explicit ProgressObserver(std::string method) : method_(std::move(method)) {}
+  void OnIterationStart(int iteration, const DebugReport& report) override;
+  void OnPhaseComplete(int iteration, DebugPhase phase, double seconds) override;
+
+ private:
+  std::string method_;
+};
+
+/// True when RAIN_BENCH_PROGRESS requests live phase streaming.
+bool ProgressRequested();
 
 /// One debugger run of one method. `ok == false` records solver/budget
 /// failures (e.g. the TwoStep ILP timing out, Section 6.3).

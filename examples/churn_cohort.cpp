@@ -15,7 +15,7 @@
 
 #include "common/rng.h"
 #include "core/complaint.h"
-#include "core/debugger.h"
+#include "core/session.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
 #include "ml/logistic_regression.h"
@@ -107,11 +107,18 @@ int main() {
   qc.query = *plan;
   qc.complaints = {ComplaintSpec::ValueEq("cohort", static_cast<double>(true_cohort))};
 
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 10;
-  cfg.max_deletions = static_cast<int>(corrupted.size());
-  Debugger debugger(&pipeline, MakeHolisticRanker(), cfg);
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(static_cast<int>(corrupted.size()))
+                     .workload({qc})
+                     .Build();
+  if (!session.ok()) {
+    std::printf("building the session failed: %s\n",
+                session.status().ToString().c_str());
+    return 1;
+  }
+  auto report = (*session)->RunToCompletion();
   if (!report.ok()) {
     std::printf("debugging failed: %s\n", report.status().ToString().c_str());
     return 1;

@@ -3,19 +3,29 @@
 /// 1. Build a queried table + feature dataset and register them.
 /// 2. Train a logistic regression inside a Query2Pipeline.
 /// 3. Run a Query 2.0 SQL statement embedding model inference.
-/// 4. File a complaint about the aggregate and let the debugger return
-///    the training records whose removal best addresses it.
+/// 4. File a complaint about the aggregate, build a DebugSession, and
+///    step the train-rank-fix loop while streaming progress — the session
+///    returns the training records whose removal best addresses the
+///    complaint.
 #include <cstdio>
 
 #include "common/rng.h"
 #include "core/complaint.h"
-#include "core/debugger.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "core/session.h"
 #include "ml/logistic_regression.h"
 #include "sql/planner.h"
 
 using namespace rain;  // NOLINT
+
+/// Streams the per-iteration progress of the session as it runs.
+class QuickstartObserver : public DebugObserver {
+ public:
+  void OnPhaseComplete(int iteration, DebugPhase phase, double seconds) override {
+    std::printf("  iter %d: %-5s %.3fs\n", iteration, DebugPhaseName(phase), seconds);
+  }
+};
 
 int main() {
   // --- 1. Synthesize a tiny binary task: y = [x0 + x1 > 0]. ---
@@ -78,25 +88,46 @@ int main() {
   qc.complaints = {
       ComplaintSpec::ValueEq("positives", static_cast<double>(true_count))};
 
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 10;
-  cfg.max_deletions = static_cast<int>(corrupted.size());
-  Debugger debugger(&pipeline, MakeHolisticRanker(), cfg);
-  auto report = debugger.Run({qc});
-  if (!report.ok()) {
-    std::printf("debugging failed: %s\n", report.status().ToString().c_str());
+  QuickstartObserver progress;
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(static_cast<int>(corrupted.size()))
+                     .observer(&progress)
+                     .workload({qc})
+                     .Build();
+  if (!session.ok()) {
+    std::printf("building the session failed: %s\n",
+                session.status().ToString().c_str());
     return 1;
   }
+
+  // Drive the loop one observable iteration at a time. Between steps the
+  // session can be cancelled, given a deadline, or handed more complaints
+  // (AddComplaints) — here we just step until it finishes.
+  while (!(*session)->finished()) {
+    auto step = (*session)->Step();
+    if (!step.ok()) {
+      std::printf("debugging failed: %s\n", step.status().ToString().c_str());
+      return 1;
+    }
+    if (!step->new_deletions.empty()) {
+      std::printf("  iter %d removed %zu records (|D|=%zu)\n",
+                  (*session)->iterations_completed() - 1,
+                  step->new_deletions.size(), step->stats.deletions_after);
+    }
+  }
+  const DebugReport& report = (*session)->report();
 
   size_t hits = 0;
   {
     std::vector<bool> truth(pipeline.train_data()->size(), false);
     for (size_t i : corrupted) truth[i] = true;
-    for (size_t i : report->deletions) hits += truth[i];
+    for (size_t i : report.deletions) hits += truth[i];
   }
   std::printf("debugger removed %zu records; %zu were true corruptions (%.0f%%)\n",
-              report->deletions.size(), hits,
-              100.0 * hits / report->deletions.size());
+              report.deletions.size(), hits,
+              100.0 * hits / report.deletions.size());
 
   auto after = pipeline.ExecuteSql(sql, false);
   if (after.ok()) {

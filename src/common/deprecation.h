@@ -1,0 +1,28 @@
+#ifndef RAIN_COMMON_DEPRECATION_H_
+#define RAIN_COMMON_DEPRECATION_H_
+
+/// RAIN_DEPRECATED(msg) marks legacy entry points kept for source
+/// compatibility. It expands to [[deprecated(msg)]] only when the build
+/// opts in with -DRAIN_STRICT_DEPRECATION (CMake option
+/// RAIN_STRICT_DEPRECATION, off by default), so default builds stay quiet
+/// while CI proves the tree itself is fully migrated by compiling with the
+/// option (plus -Werror) on.
+#ifdef RAIN_STRICT_DEPRECATION
+#define RAIN_DEPRECATED(msg) [[deprecated(msg)]]
+#else
+#define RAIN_DEPRECATED(msg)
+#endif
+
+/// Guards for the few intentional uses of deprecated API (the
+/// compatibility shim's own equivalence tests).
+#if defined(__GNUC__) || defined(__clang__)
+#define RAIN_SUPPRESS_DEPRECATION_BEGIN \
+  _Pragma("GCC diagnostic push")        \
+  _Pragma("GCC diagnostic ignored \"-Wdeprecated-declarations\"")
+#define RAIN_SUPPRESS_DEPRECATION_END _Pragma("GCC diagnostic pop")
+#else
+#define RAIN_SUPPRESS_DEPRECATION_BEGIN
+#define RAIN_SUPPRESS_DEPRECATION_END
+#endif
+
+#endif  // RAIN_COMMON_DEPRECATION_H_

@@ -1,10 +1,7 @@
 #include "core/debugger.h"
 
-#include <algorithm>
-#include <numeric>
-
 #include "common/logging.h"
-#include "common/timer.h"
+#include "core/session.h"
 
 namespace rain {
 
@@ -12,99 +9,21 @@ Debugger::Debugger(Query2Pipeline* pipeline, std::unique_ptr<Ranker> ranker,
                    DebugConfig config)
     : pipeline_(pipeline), ranker_(std::move(ranker)), config_(config) {
   RAIN_CHECK(pipeline_ != nullptr && ranker_ != nullptr);
-  // The debugger's knob is authoritative for the whole train-rank-fix loop:
-  // always installed on the pipeline (so parallelism = 1 restores the exact
-  // sequential path even on a previously parallelized pipeline), and
-  // inherited by the influence layer unless that was tuned explicitly.
-  if (config_.influence.parallelism <= 1) {
-    config_.influence.parallelism = config_.parallelism;
-  }
+  // Preserve the historical construction-time side effect; the same value
+  // is (re)installed by DebugSessionBuilder::Build() inside Run.
   pipeline_->set_parallelism(config_.parallelism);
 }
 
 Result<DebugReport> Debugger::Run(const std::vector<QueryComplaints>& workload) {
-  DebugReport report;
-  Dataset* train = pipeline_->train_data();
-
-  for (int iter = 0; iter < config_.max_iterations; ++iter) {
-    if (static_cast<int>(report.deletions.size()) >= config_.max_deletions) break;
-    IterationStats stats;
-
-    // (0) (Re)train on surviving records, warm start.
-    Timer train_timer;
-    RAIN_RETURN_NOT_OK(pipeline_->Train().status());
-    stats.train_seconds = train_timer.ElapsedSeconds();
-
-    // (1-2) Re-run every complained-about query in debug mode, sharing
-    // one arena so multi-query complaints combine.
-    Timer query_timer;
-    pipeline_->ResetDebugState();
-    std::vector<BoundComplaint> bound;
-    for (const QueryComplaints& qc : workload) {
-      ExecResult result;  // empty placeholder for point-only workloads
-      if (qc.query != nullptr) {
-        RAIN_ASSIGN_OR_RETURN(result, pipeline_->Execute(qc.query, /*debug=*/true));
-      }
-      for (const ComplaintSpec& spec : qc.complaints) {
-        RAIN_ASSIGN_OR_RETURN(
-            std::vector<BoundComplaint> bc,
-            BindComplaint(spec, result, pipeline_->arena(), pipeline_->predictions(),
-                          pipeline_->catalog()));
-        bound.insert(bound.end(), bc.begin(), bc.end());
-      }
-    }
-    stats.query_seconds = query_timer.ElapsedSeconds();
-    for (const BoundComplaint& c : bound) stats.violated_complaints += c.violated;
-
-    if (stats.violated_complaints == 0) {
-      report.complaints_resolved = true;
-      if (config_.stop_when_resolved) {
-        stats.deletions_after = report.deletions.size();
-        report.iterations.push_back(stats);
-        break;
-      }
-    } else {
-      report.complaints_resolved = false;
-    }
-
-    // (4-10) Rank and delete the top-k active records.
-    RankContext ctx;
-    ctx.model = pipeline_->model();
-    ctx.train = train;
-    ctx.catalog = &pipeline_->catalog();
-    ctx.arena = pipeline_->arena();
-    ctx.predictions = &pipeline_->predictions();
-    ctx.complaints = &bound;
-    ctx.influence = config_.influence;
-    ctx.ilp = config_.ilp;
-    ctx.relax_mode = config_.relax_mode;
-    ctx.twostep_encode_all = config_.twostep_encode_all;
-    RAIN_ASSIGN_OR_RETURN(RankOutput ranked, ranker_->Rank(ctx));
-    stats.encode_seconds = ranked.encode_seconds;
-    stats.rank_seconds = ranked.rank_seconds;
-    stats.note = ranked.note;
-
-    std::vector<size_t> order(train->size());
-    std::iota(order.begin(), order.end(), size_t{0});
-    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-      return ranked.scores[a] > ranked.scores[b];
-    });
-    int removed = 0;
-    const int budget =
-        std::min(config_.top_k_per_iter,
-                 config_.max_deletions - static_cast<int>(report.deletions.size()));
-    for (size_t idx : order) {
-      if (removed >= budget) break;
-      if (!train->active(idx)) continue;
-      train->Deactivate(idx);
-      report.deletions.push_back(idx);
-      ++removed;
-    }
-    stats.deletions_after = report.deletions.size();
-    report.iterations.push_back(stats);
-    if (removed == 0) break;  // nothing left to delete
-  }
-  return report;
+  // Thin compatibility shim: one fresh session per call, sharing this
+  // debugger's ranker (which may span several Run calls).
+  RAIN_ASSIGN_OR_RETURN(std::unique_ptr<DebugSession> session,
+                        DebugSessionBuilder(pipeline_)
+                            .config(config_)
+                            .shared_ranker(ranker_.get())
+                            .workload(workload)
+                            .Build());
+  return session->RunToCompletion();
 }
 
 }  // namespace rain

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deprecation.h"
 #include "core/complaint.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
@@ -29,10 +30,12 @@ struct DebugConfig {
   bool stop_when_resolved = false;
   /// Worker count applied end-to-end across a train-rank-fix iteration:
   /// retraining (pipeline TrainConfig), influence scoring, and the CG
-  /// solver. Always installed on the pipeline at Debugger construction, so
-  /// the default of 1 guarantees the exact sequential path. The
-  /// finer-grained knobs (influence.parallelism, cg) inherit this value
-  /// when left at their default of 1.
+  /// solver. Inheritance is resolved in exactly one place —
+  /// `DebugSessionBuilder::Build()` (which the `Debugger` shim also goes
+  /// through): the pipeline's TrainConfig always tracks this value (so 1
+  /// restores the exact sequential path), `influence.parallelism` inherits
+  /// it when left at its default of 1, and `influence.cg.parallelism` in
+  /// turn inherits `influence.parallelism` when left at 1.
   int parallelism = 1;
   InfluenceOptions influence;
   IlpSolveOptions ilp;
@@ -61,19 +64,25 @@ struct DebugReport {
   bool complaints_resolved = false;
 };
 
-/// \brief The Rain train-rank-fix debugger (Section 5.1).
+/// \brief Legacy blocking facade over `DebugSession` (see core/session.h).
 ///
 /// Each iteration retrains the model on the surviving training records
 /// (warm start), reruns every complained-about query in debug mode,
 /// re-binds the complaints to the fresh provenance, ranks training
 /// records with the configured approach, and deletes the top-k. Deleted
 /// records accumulate into the explanation D.
+///
+/// `Run` executes the whole loop as one opaque call with no stepping,
+/// streaming, cancellation, or workload mutation. New code should build a
+/// `DebugSession` via `DebugSessionBuilder` instead; `Run` is a thin shim
+/// over it and produces identical deletion sequences.
 class Debugger {
  public:
   /// `pipeline` is borrowed; `ranker` is owned.
   Debugger(Query2Pipeline* pipeline, std::unique_ptr<Ranker> ranker,
            DebugConfig config = DebugConfig());
 
+  RAIN_DEPRECATED("use DebugSessionBuilder / DebugSession::RunToCompletion")
   Result<DebugReport> Run(const std::vector<QueryComplaints>& workload);
 
   const Ranker& ranker() const { return *ranker_; }

@@ -33,6 +33,17 @@ void Query2Pipeline::RefreshPredictions() {
 
 void Query2Pipeline::ResetDebugState() { arena_ = std::make_unique<PolyArena>(); }
 
+int Query2Pipeline::set_parallelism(int parallelism) {
+  if (parallelism < 1) {
+    RAIN_LOG(Warning) << "Query2Pipeline::set_parallelism(" << parallelism
+                      << "): worker counts must be >= 1; clamping to 1";
+    parallelism = 1;
+  }
+  train_config_.parallelism = parallelism;
+  model_->set_parallelism(parallelism);
+  return parallelism;
+}
+
 Result<ExecResult> Query2Pipeline::Execute(const PlanPtr& plan, bool debug) {
   Executor executor(&catalog_, &predictions_, arena_.get());
   ExecOptions options;

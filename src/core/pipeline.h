@@ -56,10 +56,9 @@ class Query2Pipeline {
 
   /// Applies a worker count to retraining and batch prediction refreshes
   /// (forwarded to TrainConfig::parallelism and Model::set_parallelism).
-  void set_parallelism(int parallelism) {
-    train_config_.parallelism = parallelism < 1 ? 1 : parallelism;
-    model_->set_parallelism(train_config_.parallelism);
-  }
+  /// Values < 1 are clamped to 1 with a logged warning so misconfiguration
+  /// is visible; returns the value actually installed.
+  int set_parallelism(int parallelism);
 
  private:
   Catalog catalog_;

@@ -1,0 +1,375 @@
+#include "core/session.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rain {
+
+const char* DebugPhaseName(DebugPhase phase) {
+  switch (phase) {
+    case DebugPhase::kTrain:
+      return "train";
+    case DebugPhase::kBind:
+      return "bind";
+    case DebugPhase::kRank:
+      return "rank";
+    case DebugPhase::kFix:
+      return "fix";
+  }
+  return "?";
+}
+
+const char* StepStatusName(StepStatus status) {
+  switch (status) {
+    case StepStatus::kIterated:
+      return "iterated";
+    case StepStatus::kResolved:
+      return "resolved";
+    case StepStatus::kNoProgress:
+      return "no-progress";
+    case StepStatus::kBudgetExhausted:
+      return "budget-exhausted";
+    case StepStatus::kIterationLimit:
+      return "iteration-limit";
+    case StepStatus::kCancelled:
+      return "cancelled";
+    case StepStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StepStatus::kAlreadyFinished:
+      return "already-finished";
+  }
+  return "?";
+}
+
+StopCondition StopAfterIterations(int n) {
+  // Baselined on first evaluation, so the same condition object pauses
+  // again immediately if re-used on a resumed run.
+  return [n, baseline = std::optional<size_t>()](const DebugReport& report) mutable {
+    if (!baseline.has_value()) baseline = report.iterations.size();
+    return report.iterations.size() >= *baseline + static_cast<size_t>(n);
+  };
+}
+
+StopCondition StopAfterDeletions(size_t n) {
+  return [n](const DebugReport& report) { return report.deletions.size() >= n; };
+}
+
+DebugSession::DebugSession(
+    Query2Pipeline* pipeline, std::unique_ptr<Ranker> owned_ranker, Ranker* ranker,
+    DebugConfig config, std::vector<QueryComplaints> workload,
+    std::vector<DebugObserver*> observers,
+    std::optional<std::chrono::steady_clock::time_point> deadline)
+    : pipeline_(pipeline),
+      owned_ranker_(std::move(owned_ranker)),
+      ranker_(ranker),
+      config_(config),
+      workload_(std::move(workload)),
+      observers_(std::move(observers)),
+      deadline_(deadline) {
+  RAIN_CHECK(pipeline_ != nullptr && ranker_ != nullptr);
+}
+
+void DebugSession::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  deadline_ = deadline;
+  if (finished_ && finish_status_ == StepStatus::kDeadlineExceeded &&
+      std::chrono::steady_clock::now() < deadline) {
+    finished_ = false;
+    finish_status_ = StepStatus::kAlreadyFinished;
+  }
+}
+
+void DebugSession::clear_deadline() {
+  deadline_.reset();
+  if (finished_ && finish_status_ == StepStatus::kDeadlineExceeded) {
+    finished_ = false;
+    finish_status_ = StepStatus::kAlreadyFinished;
+  }
+}
+
+size_t DebugSession::AddComplaints(QueryComplaints batch) {
+  workload_.push_back(std::move(batch));
+  // New complaints may be violated: a resolved session has work again.
+  if (finished_ && finish_status_ == StepStatus::kResolved) {
+    finished_ = false;
+    finish_status_ = StepStatus::kAlreadyFinished;
+  }
+  return workload_.size() - 1;
+}
+
+bool DebugSession::RemoveQuery(size_t index) {
+  if (index >= workload_.size()) return false;
+  workload_.erase(workload_.begin() + static_cast<ptrdiff_t>(index));
+  if (finished_ && finish_status_ == StepStatus::kResolved) {
+    finished_ = false;
+    finish_status_ = StepStatus::kAlreadyFinished;
+  }
+  return true;
+}
+
+void DebugSession::NotifyIterationStart(int iteration) {
+  for (DebugObserver* obs : observers_) obs->OnIterationStart(iteration, report_);
+}
+
+void DebugSession::NotifyPhaseComplete(int iteration, DebugPhase phase,
+                                       double seconds) {
+  for (DebugObserver* obs : observers_) obs->OnPhaseComplete(iteration, phase, seconds);
+}
+
+bool DebugSession::CheckInterrupted(DebugPhase last_phase, IterationStats* stats,
+                                    StepResult* result) {
+  StepStatus status;
+  if (cancel_requested()) {
+    status = StepStatus::kCancelled;
+  } else if (deadline_.has_value() &&
+             std::chrono::steady_clock::now() >= *deadline_) {
+    status = StepStatus::kDeadlineExceeded;
+  } else {
+    return false;
+  }
+  // Record the partially completed iteration so the report stays a
+  // faithful account of the work actually done.
+  if (!stats->note.empty()) stats->note += "; ";
+  stats->note += std::string(StepStatusName(status)) + " after " +
+                 DebugPhaseName(last_phase) + " phase";
+  stats->deletions_after = report_.deletions.size();
+  report_.iterations.push_back(*stats);
+  ++iterations_completed_;
+  Finish(status);
+  result->status = status;
+  result->stats = *stats;
+  return true;
+}
+
+Status DebugSession::TrainPhase(IterationStats* stats) {
+  Timer timer;
+  RAIN_RETURN_NOT_OK(pipeline_->Train().status());
+  stats->train_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<BoundComplaint>> DebugSession::BindPhase(IterationStats* stats) {
+  Timer timer;
+  // One fresh arena per iteration, shared by every query so multi-query
+  // complaints combine (Section 6.5).
+  pipeline_->ResetDebugState();
+  std::vector<BoundComplaint> bound;
+  for (const QueryComplaints& qc : workload_) {
+    ExecResult result;  // empty placeholder for point-only workloads
+    if (qc.query != nullptr) {
+      RAIN_ASSIGN_OR_RETURN(result, pipeline_->Execute(qc.query, /*debug=*/true));
+    }
+    for (const ComplaintSpec& spec : qc.complaints) {
+      RAIN_ASSIGN_OR_RETURN(
+          std::vector<BoundComplaint> bc,
+          BindComplaint(spec, result, pipeline_->arena(), pipeline_->predictions(),
+                        pipeline_->catalog()));
+      bound.insert(bound.end(), bc.begin(), bc.end());
+    }
+  }
+  stats->query_seconds = timer.ElapsedSeconds();
+  for (const BoundComplaint& c : bound) stats->violated_complaints += c.violated;
+  return bound;
+}
+
+Result<RankOutput> DebugSession::RankPhase(const std::vector<BoundComplaint>& bound,
+                                           IterationStats* stats) {
+  RankContext ctx;
+  ctx.model = pipeline_->model();
+  ctx.train = pipeline_->train_data();
+  ctx.catalog = &pipeline_->catalog();
+  ctx.arena = pipeline_->arena();
+  ctx.predictions = &pipeline_->predictions();
+  ctx.complaints = &bound;
+  ctx.influence = config_.influence;
+  ctx.ilp = config_.ilp;
+  ctx.relax_mode = config_.relax_mode;
+  ctx.twostep_encode_all = config_.twostep_encode_all;
+  RAIN_ASSIGN_OR_RETURN(RankOutput ranked, ranker_->Rank(ctx));
+  stats->encode_seconds = ranked.encode_seconds;
+  stats->rank_seconds = ranked.rank_seconds;
+  stats->note = ranked.note;
+  return ranked;
+}
+
+int DebugSession::FixPhase(const RankOutput& ranked, int iteration,
+                           StepResult* result) {
+  Dataset* train = pipeline_->train_data();
+  std::vector<size_t> order(train->size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return ranked.scores[a] > ranked.scores[b];
+  });
+  int removed = 0;
+  const int budget =
+      std::min(config_.top_k_per_iter,
+               config_.max_deletions - static_cast<int>(report_.deletions.size()));
+  for (size_t idx : order) {
+    if (removed >= budget) break;
+    if (!train->active(idx)) continue;
+    train->Deactivate(idx);
+    report_.deletions.push_back(idx);
+    result->new_deletions.push_back(idx);
+    ++removed;
+    for (DebugObserver* obs : observers_) {
+      obs->OnDeletion(iteration, idx, ranked.scores[idx]);
+    }
+  }
+  return removed;
+}
+
+Result<StepResult> DebugSession::Step() {
+  StepResult result;
+  if (finished_) {
+    result.status = StepStatus::kAlreadyFinished;
+    result.complaints_resolved = report_.complaints_resolved;
+    return result;
+  }
+  if (static_cast<int>(report_.deletions.size()) >= config_.max_deletions) {
+    Finish(StepStatus::kBudgetExhausted);
+    result.status = StepStatus::kBudgetExhausted;
+    return result;
+  }
+  if (iterations_completed_ >= config_.max_iterations) {
+    Finish(StepStatus::kIterationLimit);
+    result.status = StepStatus::kIterationLimit;
+    return result;
+  }
+  // Interruption before any phase ran: nothing to record.
+  if (cancel_requested()) {
+    Finish(StepStatus::kCancelled);
+    result.status = StepStatus::kCancelled;
+    return result;
+  }
+  if (deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_) {
+    Finish(StepStatus::kDeadlineExceeded);
+    result.status = StepStatus::kDeadlineExceeded;
+    return result;
+  }
+
+  const int iteration = iterations_completed_;
+  NotifyIterationStart(iteration);
+  IterationStats stats;
+
+  // (0) (Re)train on surviving records, warm start.
+  RAIN_RETURN_NOT_OK(TrainPhase(&stats));
+  NotifyPhaseComplete(iteration, DebugPhase::kTrain, stats.train_seconds);
+  if (CheckInterrupted(DebugPhase::kTrain, &stats, &result)) return result;
+
+  // (1-2) Re-run every complained-about query and bind complaints.
+  RAIN_ASSIGN_OR_RETURN(std::vector<BoundComplaint> bound, BindPhase(&stats));
+  NotifyPhaseComplete(iteration, DebugPhase::kBind, stats.query_seconds);
+
+  result.complaints_resolved = stats.violated_complaints == 0;
+  if (stats.violated_complaints == 0) {
+    report_.complaints_resolved = true;
+    if (config_.stop_when_resolved) {
+      stats.deletions_after = report_.deletions.size();
+      report_.iterations.push_back(stats);
+      ++iterations_completed_;
+      Finish(StepStatus::kResolved);
+      result.status = StepStatus::kResolved;
+      result.stats = stats;
+      return result;
+    }
+  } else {
+    report_.complaints_resolved = false;
+  }
+  if (CheckInterrupted(DebugPhase::kBind, &stats, &result)) return result;
+
+  // (4-10) Rank the training records.
+  RAIN_ASSIGN_OR_RETURN(RankOutput ranked, RankPhase(bound, &stats));
+  NotifyPhaseComplete(iteration, DebugPhase::kRank,
+                      stats.encode_seconds + stats.rank_seconds);
+  if (CheckInterrupted(DebugPhase::kRank, &stats, &result)) return result;
+
+  // Fix: delete the top-k active records.
+  Timer fix_timer;
+  const int removed = FixPhase(ranked, iteration, &result);
+  NotifyPhaseComplete(iteration, DebugPhase::kFix, fix_timer.ElapsedSeconds());
+
+  stats.deletions_after = report_.deletions.size();
+  report_.iterations.push_back(stats);
+  ++iterations_completed_;
+  result.stats = stats;
+  if (removed == 0) {  // nothing left to delete
+    Finish(StepStatus::kNoProgress);
+    result.status = StepStatus::kNoProgress;
+  } else {
+    result.status = StepStatus::kIterated;
+  }
+  return result;
+}
+
+Result<DebugReport> DebugSession::RunToCompletion(const StopCondition& stop) {
+  // The stop condition is consulted BEFORE each step: resuming with an
+  // already-satisfied condition must not run (and irreversibly delete
+  // records in) an extra iteration.
+  while (!finished_) {
+    if (stop && stop(report_)) break;
+    RAIN_ASSIGN_OR_RETURN(StepResult step, Step());
+    if (step.status != StepStatus::kIterated) break;
+  }
+  return report_;
+}
+
+DebugSessionBuilder& DebugSessionBuilder::ranker(const std::string& name) {
+  auto made = MakeRanker(name);
+  if (made.ok()) {
+    owned_ranker_ = std::move(*made);
+    borrowed_ranker_ = nullptr;
+    ranker_status_ = Status::OK();
+  } else {
+    ranker_status_ = made.status();
+  }
+  return *this;
+}
+
+DebugSessionBuilder& DebugSessionBuilder::timeout_seconds(double seconds) {
+  timeout_seconds_ = seconds;
+  return *this;
+}
+
+Result<std::unique_ptr<DebugSession>> DebugSessionBuilder::Build() {
+  if (pipeline_ == nullptr) {
+    return Status::InvalidArgument("DebugSessionBuilder: pipeline is required");
+  }
+  RAIN_RETURN_NOT_OK(ranker_status_);
+  Ranker* ranker = borrowed_ranker_ != nullptr ? borrowed_ranker_ : owned_ranker_.get();
+  if (ranker == nullptr) {
+    return Status::InvalidArgument(
+        "DebugSessionBuilder: a ranker is required (use .ranker(...))");
+  }
+
+  // The single place where the session-level parallelism fans out: the
+  // pipeline's TrainConfig always tracks it (so 1 restores the exact
+  // sequential path), while the finer-grained influence / CG knobs
+  // inherit it only when left at their default of 1.
+  DebugConfig resolved = config_;
+  resolved.parallelism = pipeline_->set_parallelism(resolved.parallelism);
+  if (resolved.influence.parallelism <= 1) {
+    resolved.influence.parallelism = resolved.parallelism;
+  }
+  if (resolved.influence.cg.parallelism <= 1) {
+    resolved.influence.cg.parallelism = resolved.influence.parallelism;
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline = deadline_;
+  if (timeout_seconds_.has_value()) {
+    const auto timeout_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(*timeout_seconds_));
+    if (!deadline.has_value() || timeout_deadline < *deadline) {
+      deadline = timeout_deadline;
+    }
+  }
+
+  return std::unique_ptr<DebugSession>(new DebugSession(
+      pipeline_, std::move(owned_ranker_), ranker, resolved, std::move(workload_),
+      std::move(observers_), deadline));
+}
+
+}  // namespace rain

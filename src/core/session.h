@@ -1,0 +1,372 @@
+#ifndef RAIN_CORE_SESSION_H_
+#define RAIN_CORE_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+
+namespace rain {
+
+/// The phases of one train-rank-fix iteration (Section 5.1), in execution
+/// order. Cancellation and deadlines are checked at every phase boundary.
+enum class DebugPhase : uint8_t { kTrain = 0, kBind, kRank, kFix };
+
+/// Human-readable phase name ("train", "bind", "rank", "fix").
+const char* DebugPhaseName(DebugPhase phase);
+
+/// Outcome of one `DebugSession::Step()` call.
+enum class StepStatus : uint8_t {
+  /// A full train-rank-fix iteration ran and the session can continue.
+  kIterated,
+  /// Every complaint holds and `stop_when_resolved` is set; terminal.
+  kResolved,
+  /// The ranking produced nothing deletable (training set exhausted);
+  /// terminal.
+  kNoProgress,
+  /// `max_deletions` records have been deleted; terminal.
+  kBudgetExhausted,
+  /// `max_iterations` iterations have run; terminal.
+  kIterationLimit,
+  /// `Cancel()` was observed at a phase boundary; terminal. The report so
+  /// far (including the partially timed iteration) remains valid.
+  kCancelled,
+  /// The deadline passed at a phase boundary; terminal like kCancelled,
+  /// but reopened by `set_deadline` with a future deadline.
+  kDeadlineExceeded,
+  /// `Step()` on an already-finished session: a no-op.
+  kAlreadyFinished,
+};
+
+/// Human-readable status name (e.g. "iterated", "resolved").
+const char* StepStatusName(StepStatus status);
+
+/// Result of one `Step()`: what happened, the iteration's phase timings,
+/// and the records deleted by this step (also appended to the session
+/// report's cumulative deletion sequence).
+struct StepResult {
+  StepStatus status = StepStatus::kAlreadyFinished;
+  IterationStats stats;
+  std::vector<size_t> new_deletions;
+  /// True when the step's bind phase found every complaint satisfied.
+  bool complaints_resolved = false;
+
+  /// True when the step completed a full train-rank-fix iteration.
+  /// Interrupted steps (kCancelled / kDeadlineExceeded) may still have
+  /// recorded a partial iteration in the session report; no-op steps
+  /// recorded nothing.
+  bool advanced() const {
+    return status == StepStatus::kIterated || status == StepStatus::kResolved ||
+           status == StepStatus::kNoProgress;
+  }
+};
+
+/// Streaming progress interface. Callbacks fire synchronously on the
+/// stepping thread, in phase order within an iteration; observers are
+/// borrowed and must outlive the session. Observers may call
+/// `DebugSession::Cancel()` (it only sets a flag), but must not mutate the
+/// session otherwise from inside a callback.
+class DebugObserver {
+ public:
+  virtual ~DebugObserver() = default;
+  /// An iteration is about to run; `report` is the state so far.
+  virtual void OnIterationStart(int iteration, const DebugReport& report) {
+    (void)iteration;
+    (void)report;
+  }
+  /// A phase finished. `seconds` is the phase wall time (for kFix the
+  /// deletion bookkeeping time, not part of the Fig. 5 breakdown).
+  virtual void OnPhaseComplete(int iteration, DebugPhase phase, double seconds) {
+    (void)iteration;
+    (void)phase;
+    (void)seconds;
+  }
+  /// A training record was deleted during the fix phase, with the removal
+  /// score that ranked it.
+  virtual void OnDeletion(int iteration, size_t record, double score) {
+    (void)iteration;
+    (void)record;
+    (void)score;
+  }
+};
+
+/// Extra stop predicate for `RunToCompletion`: checked after every
+/// iteration; returning true pauses the run (the session itself is NOT
+/// finished and can be stepped or resumed later).
+using StopCondition = std::function<bool(const DebugReport&)>;
+
+/// A StopCondition pausing after `n` more iterations.
+StopCondition StopAfterIterations(int n);
+/// A StopCondition pausing once the cumulative explanation reaches `n`
+/// deletions.
+StopCondition StopAfterDeletions(size_t n);
+
+/// \brief A resumable train-rank-fix debugging session (Section 5.1).
+///
+/// Where the legacy `Debugger::Run` executed the whole loop as one opaque
+/// blocking call, a session makes the loop a first-class object:
+///
+///   - `Step()` runs exactly one train-rank-fix iteration and reports what
+///     happened; stepping a finished session is a safe no-op.
+///   - `RunToCompletion()` drives `Step()` until a terminal state (or an
+///     optional `StopCondition` pauses it).
+///   - `Cancel()` (thread-safe) and deadlines stop the loop at the next
+///     phase boundary, leaving a valid partial `DebugReport`.
+///   - `DebugObserver`s stream per-phase progress (the Fig. 5/12 timing
+///     breakdowns) while the loop runs.
+///   - `AddComplaints` / `RemoveQuery` mutate the workload between steps,
+///     so Section 6.5 multi-complaint workloads can be grown incrementally
+///     instead of re-run from scratch.
+///
+/// Sessions are created by `DebugSessionBuilder`. The pipeline is borrowed
+/// and must outlive the session; the session owns its ranker (unless built
+/// with a borrowed one by the `Debugger` compatibility shim).
+class DebugSession {
+ public:
+  DebugSession(const DebugSession&) = delete;
+  DebugSession& operator=(const DebugSession&) = delete;
+
+  /// Runs one train-rank-fix iteration: train -> bind -> rank -> fix, with
+  /// observer callbacks after each phase and cancellation/deadline checks
+  /// at every phase boundary. Returns an error Status only on pipeline /
+  /// ranker failures; loop-control outcomes (converged, cancelled,
+  /// budget) are reported through `StepResult::status`.
+  Result<StepResult> Step();
+
+  /// Steps until the session finishes or `stop` (if provided) returns
+  /// true. Returns a copy of the report so far; the session stays usable
+  /// (resume by calling again, or mutate the workload in between).
+  Result<DebugReport> RunToCompletion(const StopCondition& stop = StopCondition());
+
+  /// Requests cancellation; safe to call from any thread or from observer
+  /// callbacks. Observed at the next phase boundary.
+  void Cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Sets / replaces the deadline. A future deadline reopens a session
+  /// that finished with kDeadlineExceeded.
+  void set_deadline(std::chrono::steady_clock::time_point deadline);
+  void clear_deadline();
+
+  /// Appends a query+complaints batch to the workload, returning its slot
+  /// index. Reopens a session that finished with kResolved (the new
+  /// complaints may be violated).
+  size_t AddComplaints(QueryComplaints batch);
+  /// Removes the workload entry at `index` (later slots shift down by
+  /// one). Returns false when out of range.
+  bool RemoveQuery(size_t index);
+  const std::vector<QueryComplaints>& workload() const { return workload_; }
+
+  /// The cumulative report: deletion sequence (explanation D), one
+  /// IterationStats per (possibly partial) iteration, resolution flag.
+  const DebugReport& report() const { return report_; }
+  /// The resolved configuration (after parallelism inheritance).
+  const DebugConfig& config() const { return config_; }
+  /// True once a terminal StepStatus was reached.
+  bool finished() const { return finished_; }
+  /// The terminal status; kAlreadyFinished until `finished()`.
+  StepStatus finish_status() const { return finish_status_; }
+  int iterations_completed() const { return iterations_completed_; }
+  const Ranker& ranker() const { return *ranker_; }
+  Query2Pipeline* pipeline() { return pipeline_; }
+
+ private:
+  friend class DebugSessionBuilder;
+
+  DebugSession(Query2Pipeline* pipeline, std::unique_ptr<Ranker> owned_ranker,
+               Ranker* ranker, DebugConfig config,
+               std::vector<QueryComplaints> workload,
+               std::vector<DebugObserver*> observers,
+               std::optional<std::chrono::steady_clock::time_point> deadline);
+
+  // --- The four phases of one iteration (split out of the legacy
+  // monolithic Debugger::Run so a later async pipeline can overlap them).
+  /// (Re)trains on surviving records, warm start.
+  Status TrainPhase(IterationStats* stats);
+  /// Re-runs every complained-about query in debug mode against a fresh
+  /// arena and binds all complaints to the new provenance.
+  Result<std::vector<BoundComplaint>> BindPhase(IterationStats* stats);
+  /// Ranks training records with the configured approach.
+  Result<RankOutput> RankPhase(const std::vector<BoundComplaint>& bound,
+                               IterationStats* stats);
+  /// Deletes the top-k active records by score; returns the count removed
+  /// and streams OnDeletion callbacks.
+  int FixPhase(const RankOutput& ranked, int iteration, StepResult* result);
+
+  /// Cancel/deadline check at a phase boundary. When interrupted
+  /// mid-iteration, records the partial stats (note says after which
+  /// phase) and finishes the session; returns true if interrupted.
+  bool CheckInterrupted(DebugPhase last_phase, IterationStats* stats,
+                        StepResult* result);
+
+  void Finish(StepStatus status) {
+    finished_ = true;
+    finish_status_ = status;
+  }
+
+  void NotifyIterationStart(int iteration);
+  void NotifyPhaseComplete(int iteration, DebugPhase phase, double seconds);
+
+  Query2Pipeline* pipeline_;
+  std::unique_ptr<Ranker> owned_ranker_;
+  Ranker* ranker_;  // == owned_ranker_.get() unless borrowed (shim)
+  DebugConfig config_;
+  std::vector<QueryComplaints> workload_;
+  std::vector<DebugObserver*> observers_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+
+  DebugReport report_;
+  int iterations_completed_ = 0;
+  bool finished_ = false;
+  StepStatus finish_status_ = StepStatus::kAlreadyFinished;
+  std::atomic<bool> cancel_requested_{false};
+};
+
+/// \brief Fluent constructor for `DebugSession`.
+///
+/// Replaces the flat `DebugConfig` field soup at call sites:
+///
+///   RAIN_ASSIGN_OR_RETURN(auto session,
+///       DebugSessionBuilder(&pipeline)
+///           .ranker("holistic")
+///           .top_k_per_iter(10)
+///           .max_deletions(100)
+///           .parallelism(8)
+///           .workload({qc})
+///           .Build());
+///   RAIN_ASSIGN_OR_RETURN(DebugReport report, session->RunToCompletion());
+///
+/// `Build()` is also the single place where the session-level
+/// `parallelism` value is inherited by the finer-grained knobs: it fans
+/// out to the pipeline's TrainConfig (via `Query2Pipeline::set_parallelism`),
+/// to `InfluenceOptions::parallelism`, and to `CgOptions::parallelism`,
+/// each only when the finer knob was left at its default of 1.
+class DebugSessionBuilder {
+ public:
+  explicit DebugSessionBuilder(Query2Pipeline* pipeline) : pipeline_(pipeline) {}
+
+  /// The ranking strategy (required unless `shared_ranker` is used).
+  DebugSessionBuilder& ranker(std::unique_ptr<Ranker> ranker) {
+    owned_ranker_ = std::move(ranker);
+    borrowed_ranker_ = nullptr;
+    ranker_status_ = Status::OK();  // installing a ranker supersedes a
+                                    // failed ranker(name) attempt
+    return *this;
+  }
+  /// Convenience: ranker by factory name ("loss", "infloss", "twostep",
+  /// "holistic", "auto"); unknown names surface as a Build() error.
+  DebugSessionBuilder& ranker(const std::string& name);
+  /// A borrowed ranker the caller keeps ownership of (must outlive the
+  /// session). Used by the `Debugger::Run` compatibility shim, whose
+  /// ranker can span multiple Run calls.
+  DebugSessionBuilder& shared_ranker(Ranker* ranker) {
+    borrowed_ranker_ = ranker;
+    owned_ranker_.reset();
+    ranker_status_ = Status::OK();
+    return *this;
+  }
+
+  /// Records removed per train-rank-fix iteration (paper: 10).
+  DebugSessionBuilder& top_k_per_iter(int v) {
+    config_.top_k_per_iter = v;
+    return *this;
+  }
+  /// Total explanation size |D| to produce.
+  DebugSessionBuilder& max_deletions(int v) {
+    config_.max_deletions = v;
+    return *this;
+  }
+  DebugSessionBuilder& max_iterations(int v) {
+    config_.max_iterations = v;
+    return *this;
+  }
+  /// Stop as soon as every complaint holds.
+  DebugSessionBuilder& stop_when_resolved(bool v = true) {
+    config_.stop_when_resolved = v;
+    return *this;
+  }
+  /// Worker count applied end-to-end across an iteration; see class
+  /// comment for the inheritance rule.
+  DebugSessionBuilder& parallelism(int v) {
+    config_.parallelism = v;
+    return *this;
+  }
+  DebugSessionBuilder& influence(const InfluenceOptions& v) {
+    config_.influence = v;
+    return *this;
+  }
+  DebugSessionBuilder& ilp(const IlpSolveOptions& v) {
+    config_.ilp = v;
+    return *this;
+  }
+  /// Holistic relaxation rule (ablation knob).
+  DebugSessionBuilder& relax_mode(RelaxMode v) {
+    config_.relax_mode = v;
+    return *this;
+  }
+  /// TwoStep q encoding over every ILP-touched row (ablation knob).
+  DebugSessionBuilder& twostep_encode_all(bool v = true) {
+    config_.twostep_encode_all = v;
+    return *this;
+  }
+  /// Bulk import of a legacy `DebugConfig` (compatibility shim and
+  /// config-sweeping benches); individual setters may refine it after.
+  DebugSessionBuilder& config(const DebugConfig& c) {
+    config_ = c;
+    return *this;
+  }
+
+  /// Registers a streaming observer (borrowed; repeatable).
+  DebugSessionBuilder& observer(DebugObserver* obs) {
+    if (obs != nullptr) observers_.push_back(obs);
+    return *this;
+  }
+  /// Absolute deadline checked between phases.
+  DebugSessionBuilder& deadline(std::chrono::steady_clock::time_point tp) {
+    deadline_ = tp;
+    return *this;
+  }
+  /// Relative deadline in seconds from Build() time.
+  DebugSessionBuilder& timeout_seconds(double seconds);
+
+  /// Replaces the initial workload.
+  DebugSessionBuilder& workload(std::vector<QueryComplaints> w) {
+    workload_ = std::move(w);
+    return *this;
+  }
+  /// Appends one query+complaints batch to the initial workload.
+  DebugSessionBuilder& add_complaints(QueryComplaints batch) {
+    workload_.push_back(std::move(batch));
+    return *this;
+  }
+
+  /// Validates the configuration, resolves parallelism inheritance, and
+  /// installs the session-level worker count on the pipeline.
+  Result<std::unique_ptr<DebugSession>> Build();
+
+ private:
+  Query2Pipeline* pipeline_;
+  std::unique_ptr<Ranker> owned_ranker_;
+  Ranker* borrowed_ranker_ = nullptr;
+  Status ranker_status_;  // deferred error from ranker(name)
+  DebugConfig config_;
+  std::vector<QueryComplaints> workload_;
+  std::vector<DebugObserver*> observers_;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  std::optional<double> timeout_seconds_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_CORE_SESSION_H_

@@ -1,10 +1,11 @@
 #include <set>
 
+#include "common/logging.h"
 #include "core/complaint.h"
-#include "core/debugger.h"
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "core/session.h"
 #include "data/corruption.h"
 #include "data/dblp.h"
 #include "gtest/gtest.h"
@@ -189,14 +190,17 @@ TEST_F(CoreFixture, MakeRankerFactory) {
 }
 
 TEST_F(CoreFixture, HolisticDebuggerRecoversCorruptions) {
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 20;
-  cfg.max_deletions = static_cast<int>(corrupted_.size());
-  Debugger debugger(pipeline_.get(), MakeHolisticRanker(), cfg);
   QueryComplaints qc;
   qc.query = CountQuery();
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(pipeline_.get())
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(20)
+                     .max_deletions(static_cast<int>(corrupted_.size()))
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->deletions.size(), corrupted_.size());
   const double auc = Auccr(report->deletions, corrupted_);
@@ -207,31 +211,31 @@ TEST_F(CoreFixture, HolisticDebuggerRecoversCorruptions) {
 }
 
 TEST_F(CoreFixture, LossRankerUnderperformsHolistic) {
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 20;
-  cfg.max_deletions = static_cast<int>(corrupted_.size());
-  Debugger loss_dbg(pipeline_.get(), MakeLossRanker(), cfg);
   QueryComplaints qc;
   qc.query = CountQuery();
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
-  auto loss_report = loss_dbg.Run({qc});
+  auto run_with = [&](const std::string& method) {
+    auto session = DebugSessionBuilder(pipeline_.get())
+                       .ranker(method)
+                       .top_k_per_iter(20)
+                       .max_deletions(static_cast<int>(corrupted_.size()))
+                       .workload({qc})
+                       .Build();
+    RAIN_CHECK(session.ok());
+    return (*session)->RunToCompletion();
+  };
+  auto loss_report = run_with("loss");
   ASSERT_TRUE(loss_report.ok());
   const double loss_auc = Auccr(loss_report->deletions, corrupted_);
 
   pipeline_->train_data()->ReactivateAll();
-  Debugger hol_dbg(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto hol_report = hol_dbg.Run({qc});
+  auto hol_report = run_with("holistic");
   ASSERT_TRUE(hol_report.ok());
   const double hol_auc = Auccr(hol_report->deletions, corrupted_);
   EXPECT_GT(hol_auc, loss_auc);
 }
 
 TEST_F(CoreFixture, DebuggerStopsWhenResolved) {
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 10;
-  cfg.max_deletions = 1000;
-  cfg.stop_when_resolved = true;
-  Debugger debugger(pipeline_.get(), MakeHolisticRanker(), cfg);
   QueryComplaints qc;
   qc.query = CountQuery();
   // Complain with the *current* (already satisfied) count: resolves at once.
@@ -239,34 +243,50 @@ TEST_F(CoreFixture, DebuggerStopsWhenResolved) {
   ASSERT_TRUE(r.ok());
   qc.complaints = {ComplaintSpec::ValueEq(
       "cnt", static_cast<double>(r->table.rows[0][0].AsInt64()))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(pipeline_.get())
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(1000)
+                     .stop_when_resolved()
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->complaints_resolved);
   EXPECT_TRUE(report->deletions.empty());
+  EXPECT_TRUE((*session)->finished());
+  EXPECT_EQ((*session)->finish_status(), StepStatus::kResolved);
 }
 
 TEST_F(CoreFixture, TwoStepRankerRunsOnCountComplaint) {
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 20;
-  cfg.max_deletions = 40;
-  Debugger debugger(pipeline_.get(), MakeTwoStepRanker(), cfg);
   QueryComplaints qc;
   qc.query = CountQuery();
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(pipeline_.get())
+                     .ranker(MakeTwoStepRanker())
+                     .top_k_per_iter(20)
+                     .max_deletions(40)
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->deletions.size(), 40u);
 }
 
 TEST_F(CoreFixture, DeletionsAreDistinctAndDeactivated) {
-  DebugConfig cfg;
-  cfg.top_k_per_iter = 10;
-  cfg.max_deletions = 30;
-  Debugger debugger(pipeline_.get(), MakeLossRanker(), cfg);
   QueryComplaints qc;
   qc.query = CountQuery();
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count_))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(pipeline_.get())
+                     .ranker(MakeLossRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(30)
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok());
   std::set<size_t> uniq(report->deletions.begin(), report->deletions.end());
   EXPECT_EQ(uniq.size(), report->deletions.size());

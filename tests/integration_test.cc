@@ -1,10 +1,10 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/complaint.h"
-#include "core/debugger.h"
 #include "core/metrics.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "core/session.h"
 #include "data/adult.h"
 #include "data/corruption.h"
 #include "data/enron.h"
@@ -53,14 +53,10 @@ TEST(IntegrationTest, EnronLikeQueryWithRuleCorruption) {
   EXPECT_GT(observed, true_count);
 
   // Debug with Holistic against the ground-truth count.
-  DebugConfig dc;
-  dc.top_k_per_iter = 10;
-  dc.max_deletions = static_cast<int>(corrupted.size());
   auto plan_result = pipeline.ExecuteSql(
       "SELECT COUNT(*) AS cnt FROM enron WHERE predict(*) = 1 AND text LIKE '%http%'",
       false);
   ASSERT_TRUE(plan_result.ok());
-  Debugger debugger(&pipeline, MakeHolisticRanker(), dc);
   QueryComplaints qc;
   // Re-plan through SQL each iteration via a stored plan:
   auto plan = sql::PlanQuery(
@@ -69,7 +65,14 @@ TEST(IntegrationTest, EnronLikeQueryWithRuleCorruption) {
   ASSERT_TRUE(plan.ok());
   qc.query = *plan;
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_count))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(static_cast<int>(corrupted.size()))
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   const double auc = Auccr(report->deletions, corrupted);
   EXPECT_GT(auc, 0.35) << "Holistic should beat random on the http corruption";
@@ -120,11 +123,14 @@ TEST(IntegrationTest, MnistJoinTupleComplaints) {
         std::vector<Value>{r->table.rows[row][0], r->table.rows[row][2]}));
   }
 
-  DebugConfig dc;
-  dc.top_k_per_iter = 10;
-  dc.max_deletions = static_cast<int>(corrupted.size());
-  Debugger debugger(&pipeline, MakeHolisticRanker(), dc);
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(static_cast<int>(corrupted.size()))
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   const double auc = Auccr(report->deletions, corrupted);
   EXPECT_GT(auc, 0.5);
@@ -199,11 +205,15 @@ TEST(IntegrationTest, AdultMultiQueryComplaints) {
   c7.complaints = {ComplaintSpec::ValueEq("avg_income", aged_target,
                                           {Value(int64_t{4})})};
 
-  DebugConfig dc;
-  dc.top_k_per_iter = 20;
-  dc.max_deletions = static_cast<int>(corrupted.size());
-  Debugger both(&pipeline, MakeHolisticRanker(), dc);
-  auto report = both.Run({c6, c7});
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(20)
+                     .max_deletions(static_cast<int>(corrupted.size()))
+                     .add_complaints(c6)
+                     .add_complaints(c7)
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   // Duplicate feature vectors cap attainable recall (the Section 6.5
   // phenomenon): corrupted records are indistinguishable from clean
@@ -310,15 +320,20 @@ TEST(IntegrationTest, MlpPipelineDebugs) {
   auto plan = sql::PlanQuery("SELECT COUNT(*) AS cnt FROM mnist WHERE predict(*) = 1",
                              pipeline.catalog());
   ASSERT_TRUE(plan.ok());
-  DebugConfig dc;
-  dc.top_k_per_iter = 10;
-  dc.max_deletions = 20;
-  dc.influence.damping = 0.05;  // non-convex model needs damping
-  Debugger debugger(&pipeline, MakeHolisticRanker(), dc);
+  InfluenceOptions influence;
+  influence.damping = 0.05;  // non-convex model needs damping
   QueryComplaints qc;
   qc.query = *plan;
   qc.complaints = {ComplaintSpec::ValueEq("cnt", static_cast<double>(true_ones))};
-  auto report = debugger.Run({qc});
+  auto session = DebugSessionBuilder(&pipeline)
+                     .ranker(MakeHolisticRanker())
+                     .top_k_per_iter(10)
+                     .max_deletions(20)
+                     .influence(influence)
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletion();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->deletions.size(), 20u);
   // Most of the first 20 deletions should be true corruptions.

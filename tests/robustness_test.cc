@@ -4,9 +4,9 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/complaint.h"
-#include "core/debugger.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "core/session.h"
 #include "data/corruption.h"
 #include "data/enron.h"
 #include "gtest/gtest.h"
@@ -50,28 +50,33 @@ class RobustnessFixture : public ::testing::Test {
     return qc;
   }
 
+  /// Finishes a fluent builder chain: installs the workload, builds the
+  /// session, and runs it to completion.
+  Result<DebugReport> RunSession(DebugSessionBuilder& builder,
+                                 std::vector<QueryComplaints> workload) {
+    auto session = builder.workload(std::move(workload)).Build();
+    RAIN_CHECK(session.ok()) << session.status().ToString();
+    return (*session)->RunToCompletion();
+  }
+
   size_t vocab_ = 0;
   std::vector<size_t> corrupted_;
   std::unique_ptr<Query2Pipeline> pipeline_;
 };
 
 TEST_F(RobustnessFixture, ZeroMaxDeletionsIsNoop) {
-  DebugConfig cfg;
-  cfg.max_deletions = 0;
-  Debugger d(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto r = d.Run({CountComplaint(10, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("holistic").max_deletions(0);
+  auto r = RunSession(b, {CountComplaint(10, ComplaintOp::kEq)});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->deletions.empty());
   EXPECT_EQ(pipeline_->train_data()->num_active(), pipeline_->train_data()->size());
 }
 
 TEST_F(RobustnessFixture, MaxIterationsBoundsTheLoop) {
-  DebugConfig cfg;
-  cfg.max_deletions = 1000;
-  cfg.max_iterations = 2;
-  cfg.top_k_per_iter = 5;
-  Debugger d(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto r = d.Run({CountComplaint(10, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("holistic").max_deletions(1000).max_iterations(2).top_k_per_iter(5);
+  auto r = RunSession(b, {CountComplaint(10, ComplaintOp::kEq)});
   ASSERT_TRUE(r.ok());
   EXPECT_LE(r->deletions.size(), 10u);
   EXPECT_LE(r->iterations.size(), 2u);
@@ -80,11 +85,9 @@ TEST_F(RobustnessFixture, MaxIterationsBoundsTheLoop) {
 TEST_F(RobustnessFixture, InequalityComplaintSkippedWhenSatisfied) {
   // "count >= 0" is always satisfied: the complaint never drives ranking
   // and the debugger reports immediate resolution.
-  DebugConfig cfg;
-  cfg.max_deletions = 10;
-  cfg.stop_when_resolved = true;
-  Debugger d(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto r = d.Run({CountComplaint(0, ComplaintOp::kGe)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("holistic").max_deletions(10).stop_when_resolved();
+  auto r = RunSession(b, {CountComplaint(0, ComplaintOp::kGe)});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(r->complaints_resolved);
   EXPECT_TRUE(r->deletions.empty());
@@ -99,11 +102,9 @@ TEST_F(RobustnessFixture, LowerThanComplaintDrivesDeletions) {
   const double observed = static_cast<double>(before->table.rows[0][0].AsInt64());
   ASSERT_GT(observed, 2.0);
 
-  DebugConfig cfg;
-  cfg.max_deletions = 20;
-  cfg.top_k_per_iter = 10;
-  Debugger d(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto r = d.Run({CountComplaint(observed / 2.0, ComplaintOp::kLe)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("holistic").max_deletions(20).top_k_per_iter(10);
+  auto r = RunSession(b, {CountComplaint(observed / 2.0, ComplaintOp::kLe)});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->deletions.size(), 20u);
   EXPECT_GT(r->iterations[0].violated_complaints, 0);
@@ -123,10 +124,9 @@ TEST_F(RobustnessFixture, LikePredicateAcrossSelfJoin) {
 TEST_F(RobustnessFixture, TwoStepRecoversFromInfeasibleThenFeasible) {
   // An impossible equality (count = train size * 10) makes the ILP
   // infeasible; the debugger surfaces the error rather than looping.
-  DebugConfig cfg;
-  cfg.max_deletions = 10;
-  Debugger d(pipeline_.get(), MakeTwoStepRanker(), cfg);
-  auto r = d.Run({CountComplaint(1e6, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("twostep").max_deletions(10);
+  auto r = RunSession(b, {CountComplaint(1e6, ComplaintOp::kEq)});
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.status().IsResourceExhausted());
 }
@@ -134,19 +134,17 @@ TEST_F(RobustnessFixture, TwoStepRecoversFromInfeasibleThenFeasible) {
 TEST_F(RobustnessFixture, HolisticHandlesImpossibleTargetGracefully) {
   // Holistic has no feasibility notion: an unreachable target still
   // yields a gradient direction (push the count up) and deletions.
-  DebugConfig cfg;
-  cfg.max_deletions = 10;
-  Debugger d(pipeline_.get(), MakeHolisticRanker(), cfg);
-  auto r = d.Run({CountComplaint(1e6, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("holistic").max_deletions(10);
+  auto r = RunSession(b, {CountComplaint(1e6, ComplaintOp::kEq)});
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(r->deletions.size(), 10u);
 }
 
 TEST_F(RobustnessFixture, AutoRankerPicksHolisticForAggregates) {
-  DebugConfig cfg;
-  cfg.max_deletions = 10;
-  Debugger d(pipeline_.get(), MakeAutoRanker(), cfg);
-  auto r = d.Run({CountComplaint(5, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("auto").max_deletions(10);
+  auto r = RunSession(b, {CountComplaint(5, ComplaintOp::kEq)});
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->iterations.empty());
   EXPECT_NE(r->iterations[0].note.find("auto->holistic"), std::string::npos)
@@ -154,8 +152,6 @@ TEST_F(RobustnessFixture, AutoRankerPicksHolisticForAggregates) {
 }
 
 TEST_F(RobustnessFixture, AutoRankerPicksTwoStepForPointComplaints) {
-  DebugConfig cfg;
-  cfg.max_deletions = 10;
   // Find a mispredicted queried row to complain about.
   const Catalog::Entry* entry = pipeline_->catalog().Find("enron");
   int64_t row = -1;
@@ -172,8 +168,9 @@ TEST_F(RobustnessFixture, AutoRankerPicksTwoStepForPointComplaints) {
   if (row < 0) GTEST_SKIP() << "model is perfect on the querying set";
   QueryComplaints qc;
   qc.complaints = {ComplaintSpec::Point("enron", row, truth)};
-  Debugger d(pipeline_.get(), MakeAutoRanker(), cfg);
-  auto r = d.Run({qc});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("auto").max_deletions(10);
+  auto r = RunSession(b, {qc});
   ASSERT_TRUE(r.ok());
   ASSERT_FALSE(r->iterations.empty());
   EXPECT_NE(r->iterations[0].note.find("auto->twostep"), std::string::npos)
@@ -181,11 +178,11 @@ TEST_F(RobustnessFixture, AutoRankerPicksTwoStepForPointComplaints) {
 }
 
 TEST_F(RobustnessFixture, DebuggerExhaustsTrainingSetGracefully) {
-  DebugConfig cfg;
-  cfg.max_deletions = static_cast<int>(pipeline_->train_data()->size()) + 100;
-  cfg.top_k_per_iter = 200;
-  Debugger d(pipeline_.get(), MakeLossRanker(), cfg);
-  auto r = d.Run({CountComplaint(10, ComplaintOp::kEq)});
+  DebugSessionBuilder b(pipeline_.get());
+  b.ranker("loss")
+      .max_deletions(static_cast<int>(pipeline_->train_data()->size()) + 100)
+      .top_k_per_iter(200);
+  auto r = RunSession(b, {CountComplaint(10, ComplaintOp::kEq)});
   // Training must never be attempted on an empty set; the loop stops
   // while at least one record remains (or errors cleanly).
   if (r.ok()) {

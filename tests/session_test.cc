@@ -1,0 +1,418 @@
+/// DebugSession semantics: stepping, convergence no-ops, cancellation
+/// between phases, observer ordering, workload mutation, deadline
+/// handling, parallelism inheritance, and equivalence of the legacy
+/// `Debugger::Run` shim with a directly driven session on the Fig. 5
+/// (DBLP 50% corruption) workload.
+#include <string>
+#include <vector>
+
+#include "common/deprecation.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/pipeline.h"
+#include "core/ranker.h"
+#include "core/session.h"
+#include "data/corruption.h"
+#include "data/dblp.h"
+#include "gtest/gtest.h"
+#include "ml/logistic_regression.h"
+
+namespace rain {
+namespace {
+
+/// The Fig. 5 runtime workload, scaled to test size: DBLP with 50% of the
+/// match labels flipped, complained about through a COUNT query.
+/// Construction is fully seeded, so two setups are bit-identical.
+struct DblpSetup {
+  std::unique_ptr<Query2Pipeline> pipeline;
+  std::vector<size_t> corrupted;
+  int64_t true_count = 0;
+};
+
+DblpSetup MakeCorruptedDblp() {
+  DblpConfig cfg;
+  cfg.train_size = 400;
+  cfg.query_size = 200;
+  cfg.seed = 99;
+  DblpData dblp = MakeDblp(cfg);
+  DblpSetup setup;
+  for (size_t i = 0; i < dblp.query.size(); ++i) {
+    setup.true_count += dblp.query.label(i);
+  }
+  Rng rng(3);
+  setup.corrupted =
+      CorruptLabels(&dblp.train, IndicesWithLabel(dblp.train, 1), 0.5, 0, &rng);
+  Catalog catalog;
+  RAIN_CHECK(
+      catalog.AddTable("dblp", std::move(dblp.query_table), std::move(dblp.query))
+          .ok());
+  TrainConfig tc;
+  tc.l2 = 1e-3;
+  setup.pipeline = std::make_unique<Query2Pipeline>(
+      std::move(catalog), std::make_unique<LogisticRegression>(kDblpFeatures),
+      std::move(dblp.train), tc);
+  RAIN_CHECK(setup.pipeline->Train().ok());
+  return setup;
+}
+
+PlanPtr CountQuery() {
+  return PlanNode::Aggregate(
+      PlanNode::Filter(PlanNode::Scan("dblp", "D"),
+                       Expr::Eq(Expr::Predict("D"), Expr::LitInt(1))),
+      {}, {}, {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+}
+
+QueryComplaints CountComplaint(double target) {
+  QueryComplaints qc;
+  qc.query = CountQuery();
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", target)};
+  return qc;
+}
+
+class SessionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { setup_ = MakeCorruptedDblp(); }
+
+  Query2Pipeline* pipeline() { return setup_.pipeline.get(); }
+  DblpSetup setup_;
+};
+
+// ---------------------------------------------------------------- stepping
+
+TEST_F(SessionFixture, StepDrivesOneIterationAtATime) {
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .top_k_per_iter(10)
+                     .max_deletions(30)
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  for (int i = 1; i <= 3; ++i) {
+    auto step = (*session)->Step();
+    ASSERT_TRUE(step.ok());
+    EXPECT_EQ(step->status, StepStatus::kIterated);
+    EXPECT_EQ(step->new_deletions.size(), 10u);
+    EXPECT_EQ((*session)->iterations_completed(), i);
+    EXPECT_EQ((*session)->report().deletions.size(), 10u * i);
+    EXPECT_GT(step->stats.train_seconds, 0.0);
+  }
+  // The 4th step hits the deletion budget without doing work.
+  auto done = (*session)->Step();
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->status, StepStatus::kBudgetExhausted);
+  EXPECT_TRUE(done->new_deletions.empty());
+  EXPECT_TRUE((*session)->finished());
+}
+
+TEST_F(SessionFixture, StepAfterConvergenceIsNoop) {
+  // A trivially satisfied complaint resolves on the first step.
+  QueryComplaints qc = CountComplaint(0);
+  qc.complaints[0].op = ComplaintOp::kGe;
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .max_deletions(50)
+                     .stop_when_resolved()
+                     .workload({qc})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto first = (*session)->Step();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, StepStatus::kResolved);
+  EXPECT_TRUE(first->complaints_resolved);
+  EXPECT_TRUE((*session)->finished());
+  EXPECT_EQ((*session)->finish_status(), StepStatus::kResolved);
+
+  const size_t iterations_before = (*session)->report().iterations.size();
+  const size_t active_before = pipeline()->train_data()->num_active();
+  auto second = (*session)->Step();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, StepStatus::kAlreadyFinished);
+  EXPECT_TRUE(second->new_deletions.empty());
+  EXPECT_EQ((*session)->report().iterations.size(), iterations_before);
+  EXPECT_EQ(pipeline()->train_data()->num_active(), active_before);
+}
+
+TEST_F(SessionFixture, RunToCompletionPausesOnStopConditionAndResumes) {
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .top_k_per_iter(10)
+                     .max_deletions(30)
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto paused = (*session)->RunToCompletion(StopAfterIterations(1));
+  ASSERT_TRUE(paused.ok());
+  EXPECT_EQ(paused->iterations.size(), 1u);
+  EXPECT_FALSE((*session)->finished()) << "a paused session is resumable";
+
+  // Resuming with an already-satisfied condition must not run (and delete
+  // records in) an extra iteration: the condition is checked pre-step.
+  auto still_paused = (*session)->RunToCompletion(StopAfterDeletions(5));
+  ASSERT_TRUE(still_paused.ok());
+  EXPECT_EQ(still_paused->deletions.size(), 10u);
+  EXPECT_EQ(still_paused->iterations.size(), 1u);
+
+  auto rest = (*session)->RunToCompletion();
+  ASSERT_TRUE(rest.ok());
+  EXPECT_EQ(rest->deletions.size(), 30u);
+}
+
+// ------------------------------------------------------------ cancellation
+
+/// Cancels the session from inside a callback once `phase` completes.
+class CancelAfterPhase : public DebugObserver {
+ public:
+  CancelAfterPhase(DebugSession** session, DebugPhase phase)
+      : session_(session), phase_(phase) {}
+  void OnPhaseComplete(int, DebugPhase phase, double) override {
+    if (phase == phase_) (*session_)->Cancel();
+  }
+
+ private:
+  DebugSession** session_;
+  DebugPhase phase_;
+};
+
+TEST_F(SessionFixture, CancelBetweenPhasesYieldsValidPartialReport) {
+  DebugSession* raw = nullptr;
+  CancelAfterPhase canceller(&raw, DebugPhase::kTrain);
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .top_k_per_iter(10)
+                     .max_deletions(50)
+                     .observer(&canceller)
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  raw = session->get();
+
+  auto report = (*session)->RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE((*session)->finished());
+  EXPECT_EQ((*session)->finish_status(), StepStatus::kCancelled);
+  // The partial iteration is recorded: training ran, nothing was deleted,
+  // and the note says where the loop stopped.
+  ASSERT_EQ(report->iterations.size(), 1u);
+  EXPECT_GT(report->iterations[0].train_seconds, 0.0);
+  EXPECT_EQ(report->iterations[0].rank_seconds, 0.0);
+  EXPECT_TRUE(report->deletions.empty());
+  EXPECT_NE(report->iterations[0].note.find("cancelled after train"),
+            std::string::npos)
+      << "note: " << report->iterations[0].note;
+  EXPECT_EQ(pipeline()->train_data()->num_active(), pipeline()->train_data()->size());
+
+  // Cancellation is sticky: further steps are no-ops.
+  auto step = (*session)->Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->status, StepStatus::kAlreadyFinished);
+}
+
+TEST_F(SessionFixture, DeadlineInThePastStopsBeforeAnyWork) {
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .max_deletions(50)
+                     .deadline(std::chrono::steady_clock::now() -
+                               std::chrono::seconds(1))
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  auto step = (*session)->Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->status, StepStatus::kDeadlineExceeded);
+  EXPECT_TRUE((*session)->report().iterations.empty());
+  EXPECT_TRUE((*session)->finished());
+
+  // Extending the deadline reopens the session.
+  (*session)->set_deadline(std::chrono::steady_clock::now() +
+                           std::chrono::hours(1));
+  EXPECT_FALSE((*session)->finished());
+  auto resumed = (*session)->Step();
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed->status, StepStatus::kIterated);
+}
+
+// -------------------------------------------------------------- observers
+
+/// Records every callback as a compact tag, e.g. "start:0", "train:0",
+/// "del:0".
+class RecordingObserver : public DebugObserver {
+ public:
+  void OnIterationStart(int iteration, const DebugReport&) override {
+    events.push_back("start:" + std::to_string(iteration));
+  }
+  void OnPhaseComplete(int iteration, DebugPhase phase, double) override {
+    events.push_back(std::string(DebugPhaseName(phase)) + ":" +
+                     std::to_string(iteration));
+  }
+  void OnDeletion(int iteration, size_t, double) override {
+    events.push_back("del:" + std::to_string(iteration));
+  }
+  std::vector<std::string> events;
+};
+
+TEST_F(SessionFixture, ObserverCallbacksFireInPhaseOrder) {
+  RecordingObserver recorder;
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .top_k_per_iter(5)
+                     .max_deletions(10)
+                     .observer(&recorder)
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunToCompletion().ok());
+
+  // Two iterations of 5 deletions each: per iteration the exact stream is
+  // start, train, bind, rank, 5 deletions, fix.
+  std::vector<std::string> expected;
+  for (int iter = 0; iter < 2; ++iter) {
+    const std::string i = std::to_string(iter);
+    expected.push_back("start:" + i);
+    expected.push_back("train:" + i);
+    expected.push_back("bind:" + i);
+    expected.push_back("rank:" + i);
+    for (int d = 0; d < 5; ++d) expected.push_back("del:" + i);
+    expected.push_back("fix:" + i);
+  }
+  EXPECT_EQ(recorder.events, expected);
+}
+
+// ------------------------------------------------------ workload mutation
+
+TEST_F(SessionFixture, AddComplaintsReopensResolvedSession) {
+  // Start with a satisfied complaint: resolves immediately.
+  QueryComplaints satisfied = CountComplaint(0);
+  satisfied.complaints[0].op = ComplaintOp::kGe;
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .top_k_per_iter(10)
+                     .max_deletions(20)
+                     .stop_when_resolved()
+                     .workload({satisfied})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE((*session)->RunToCompletion().ok());
+  EXPECT_EQ((*session)->finish_status(), StepStatus::kResolved);
+  EXPECT_TRUE((*session)->report().deletions.empty());
+
+  // Growing the workload with a violated complaint resumes the loop on
+  // the same session — no from-scratch re-run. The unreachable target
+  // keeps the complaint violated through the whole deletion budget.
+  const size_t slot = (*session)->AddComplaints(CountComplaint(1e6));
+  EXPECT_EQ(slot, 1u);
+  EXPECT_FALSE((*session)->finished());
+  auto report = (*session)->RunToCompletion();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->deletions.size(), 20u);
+
+  // RemoveQuery: the violated complaint goes away, leaving the satisfied
+  // one; the next step resolves again.
+  EXPECT_TRUE((*session)->RemoveQuery(slot));
+  EXPECT_FALSE((*session)->RemoveQuery(7));
+  EXPECT_EQ((*session)->workload().size(), 1u);
+}
+
+// -------------------------------------------------- parallelism plumbing
+
+TEST_F(SessionFixture, ParallelismInheritsToTrainInfluenceAndCg) {
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .parallelism(8)
+                     .workload({CountComplaint(static_cast<double>(setup_.true_count))})
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  // One builder call fans out to all three layers.
+  EXPECT_EQ((*session)->config().parallelism, 8);
+  EXPECT_EQ((*session)->config().influence.parallelism, 8);
+  EXPECT_EQ((*session)->config().influence.cg.parallelism, 8);
+  EXPECT_EQ(pipeline()->train_config().parallelism, 8);
+}
+
+TEST_F(SessionFixture, ExplicitFineGrainedKnobsAreNotOverridden) {
+  InfluenceOptions influence;
+  influence.parallelism = 2;
+  auto session = DebugSessionBuilder(pipeline())
+                     .ranker("holistic")
+                     .parallelism(8)
+                     .influence(influence)
+                     .Build();
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->config().influence.parallelism, 2);
+  // cg was left at default, so it follows the influence-level knob.
+  EXPECT_EQ((*session)->config().influence.cg.parallelism, 2);
+  EXPECT_EQ(pipeline()->train_config().parallelism, 8);
+}
+
+TEST_F(SessionFixture, SetParallelismReturnsClampedValueVisibly) {
+  EXPECT_EQ(pipeline()->set_parallelism(4), 4);
+  EXPECT_EQ(pipeline()->train_config().parallelism, 4);
+  // Misconfiguration is clamped (and logged), not silently swallowed.
+  EXPECT_EQ(pipeline()->set_parallelism(0), 1);
+  EXPECT_EQ(pipeline()->set_parallelism(-3), 1);
+  EXPECT_EQ(pipeline()->train_config().parallelism, 1);
+}
+
+TEST_F(SessionFixture, BuilderRejectsMissingRankerAndBadNames) {
+  EXPECT_FALSE(DebugSessionBuilder(pipeline()).Build().ok());
+  EXPECT_FALSE(DebugSessionBuilder(pipeline()).ranker("alchemy").Build().ok());
+  EXPECT_FALSE(DebugSessionBuilder(nullptr).ranker("loss").Build().ok());
+  // Recovering from a bad name with a real ranker clears the stale error.
+  EXPECT_TRUE(DebugSessionBuilder(pipeline())
+                  .ranker("alchemy")
+                  .ranker(MakeLossRanker())
+                  .Build()
+                  .ok());
+  EXPECT_TRUE(DebugSessionBuilder(pipeline())
+                  .ranker("alchemy")
+                  .ranker("loss")
+                  .Build()
+                  .ok());
+}
+
+// ------------------------------------------------------- shim equivalence
+
+TEST(DebuggerShimTest, RunMatchesSessionBitwiseOnFig5Workload) {
+  // Two bit-identical pipelines; the legacy blocking call on one, a
+  // directly driven session on the other. The deletion sequences (and
+  // per-iteration bookkeeping) must agree element for element.
+  DblpSetup legacy = MakeCorruptedDblp();
+  DblpSetup modern = MakeCorruptedDblp();
+
+  DebugConfig cfg;
+  cfg.top_k_per_iter = 10;
+  cfg.max_deletions = 50;
+
+  Debugger debugger(legacy.pipeline.get(), MakeHolisticRanker(), cfg);
+  RAIN_SUPPRESS_DEPRECATION_BEGIN
+  auto legacy_report =
+      debugger.Run({CountComplaint(static_cast<double>(legacy.true_count))});
+  RAIN_SUPPRESS_DEPRECATION_END
+  ASSERT_TRUE(legacy_report.ok());
+
+  auto session =
+      DebugSessionBuilder(modern.pipeline.get())
+          .ranker("holistic")
+          .config(cfg)
+          .workload({CountComplaint(static_cast<double>(modern.true_count))})
+          .Build();
+  ASSERT_TRUE(session.ok());
+  auto modern_report = (*session)->RunToCompletion();
+  ASSERT_TRUE(modern_report.ok());
+
+  EXPECT_EQ(legacy_report->deletions, modern_report->deletions);
+  ASSERT_EQ(legacy_report->iterations.size(), modern_report->iterations.size());
+  for (size_t i = 0; i < legacy_report->iterations.size(); ++i) {
+    EXPECT_EQ(legacy_report->iterations[i].violated_complaints,
+              modern_report->iterations[i].violated_complaints)
+        << "iteration " << i;
+    EXPECT_EQ(legacy_report->iterations[i].deletions_after,
+              modern_report->iterations[i].deletions_after)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(legacy_report->complaints_resolved, modern_report->complaints_resolved);
+}
+
+}  // namespace
+}  // namespace rain
