@@ -5,16 +5,28 @@
 /// loop), and full L-BFGS retraining — and verifies that parallel results
 /// match the sequential ones (ScoreAll bitwise, reductions within 1e-9).
 ///
+/// A fourth section measures the batched encode phase on a Section
+/// 6.5-style multi-complaint Adult workload (two grouped-AVG queries plus
+/// a batch of point complaints): per-thread-count wall-clock of the
+/// batched `BindWorkload` (parallel per-query provenance capture, ordered
+/// splice) and of the Holistic encode (`RelaxedPoly::GradientBatch` +
+/// `AccumulateProbaGradients`), verifying that the resulting scores are
+/// BITWISE identical to the sequential path at every worker count. The
+/// rows are also written to BENCH_encode.json (see docs/benchmarks.md for
+/// the recorded baseline).
+///
 /// Speedups are bounded by the physical core count; on a 1-core container
 /// every column degenerates to ~1x while the correctness checks still run.
 #include <cmath>
 #include <cstdio>
+#include <iterator>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "bench/workloads.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/session.h"
 #include "influence/influence.h"
 #include "tensor/vector_ops.h"
 
@@ -150,7 +162,90 @@ int main() {
                          TablePrinter::Num(gemm_base / gemm_s, 2)});
   }
   EmitTable("Parallel scaling: blocked GEMV / GEMM", tensor_table);
+
+  // Encode-phase scaling: the batched bind + encode on a Section 6.5-style
+  // multi-complaint workload — two grouped-AVG Adult queries plus a batch
+  // of point complaints, all sharing one provenance pass.
+  Experiment menc = AdultMultiQuery("both", 0.3, /*train_size=*/3000,
+                                    /*query_size=*/1500);
+  std::unique_ptr<Query2Pipeline> mpipe = menc.make_pipeline();
+  RAIN_CHECK(mpipe->Train().ok());
+  std::vector<QueryComplaints> workload = menc.workload;
+  QueryComplaints points;  // widen the complaint batch (no query execution)
+  for (int64_t r = 0; r < 32; ++r) {
+    points.complaints.push_back(ComplaintSpec::Point("adult", r, 1));
+  }
+  workload.push_back(points);
+
+  auto holistic = MakeHolisticRanker();
+  std::vector<double> encode_scores_ref;
+  TablePrinter encode_table({"threads", "bind_s", "bind_speedup", "encode_s",
+                             "encode_speedup"});
+  double bind_base = 0.0, encode_base = 0.0, encode_2x = 0.0;
+  const int last_threads = kThreadCounts[std::size(kThreadCounts) - 1];
+  std::FILE* json = std::fopen("BENCH_encode.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  for (int threads : kThreadCounts) {
+    const double bind_s = TimeBest(3, [&] {
+      mpipe->ResetDebugState();
+      auto bound = BindWorkload(mpipe.get(), workload, threads);
+      RAIN_CHECK(bound.ok()) << bound.status().ToString();
+    });
+
+    mpipe->ResetDebugState();
+    auto bound = BindWorkload(mpipe.get(), workload, threads);
+    RAIN_CHECK(bound.ok());
+    RankContext ctx;
+    ctx.model = mpipe->model();
+    ctx.train = mpipe->train_data();
+    ctx.catalog = &mpipe->catalog();
+    ctx.arena = mpipe->arena();
+    ctx.predictions = &mpipe->predictions();
+    ctx.complaints = &*bound;
+    ctx.influence.l2 = mpipe->train_config().l2;
+    ctx.parallelism = threads;  // bind+encode knob; influence stays at 1
+    double encode_s = 1e100;
+    std::vector<double> scores;
+    for (int rep = 0; rep < 3; ++rep) {
+      auto out = holistic->Rank(ctx);
+      RAIN_CHECK(out.ok()) << out.status().ToString();
+      if (out->encode_seconds < encode_s) encode_s = out->encode_seconds;
+      scores = std::move(out->scores);
+    }
+    if (threads == 1) {
+      encode_scores_ref = scores;
+      bind_base = bind_s;
+      encode_base = encode_s;
+    } else {
+      RAIN_CHECK(scores == encode_scores_ref)
+          << "parallel encode must be bitwise identical to sequential";
+    }
+    if (threads == 2) encode_2x = encode_base / encode_s;
+    encode_table.AddRow({TablePrinter::Num(threads, 0),
+                         TablePrinter::Num(bind_s, 5),
+                         TablePrinter::Num(bind_base / bind_s, 2),
+                         TablePrinter::Num(encode_s, 5),
+                         TablePrinter::Num(encode_base / encode_s, 2)});
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "  {\"threads\": %d, \"bind_s\": %.6f, \"bind_speedup\": "
+                   "%.3f, \"encode_s\": %.6f, \"encode_speedup\": %.3f, "
+                   "\"bitwise_match\": true}%s\n",
+                   threads, bind_s, bind_base / bind_s, encode_s,
+                   encode_base / encode_s, threads == last_threads ? "" : ",");
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "]\n");
+    std::fclose(json);
+    std::printf("encode scaling rows written to BENCH_encode.json\n");
+  }
+  EmitTable("Parallel scaling: batched bind + encode (Adult multi-query)",
+            encode_table);
+
   std::printf("score_all 8-thread speedup: %.2fx (max deviation %.3g)\n", score_8x,
               score_dev_max);
+  std::printf("encode 2-thread speedup: %.2fx (bitwise match at all counts)\n",
+              encode_2x);
   return 0;
 }

@@ -61,30 +61,47 @@ class ThreadPool {
 ///
 /// The chunk layout depends only on (parallelism, n) — never on the pool
 /// size or on scheduling — so any per-chunk computation is reproducible for
-/// a fixed knob value. parallelism <= 1 (or n <= 1) runs body(0, n, 0)
-/// inline on the calling thread with no synchronization at all, which keeps
-/// the sequential path bitwise identical to pre-parallel code.
+/// a fixed knob value. This is the deterministic-chunk contract every
+/// parallel kernel in Rain is built on (see docs/architecture.md).
 ///
 /// Blocks until every chunk finishes. If chunks throw, the first exception
 /// (in completion order) is rethrown on the calling thread.
+///
+/// \param parallelism requested worker count. <= 1 (or n <= 1) runs
+///        body(0, n, 0) inline on the calling thread with no
+///        synchronization at all, which keeps the sequential path bitwise
+///        identical to pre-parallel code.
+/// \param n iteration-space size; nothing runs when 0.
+/// \param body receives its half-open range [begin, end) and the chunk
+///        index (0-based, < min(parallelism, n)); chunk 0 always runs on
+///        the calling thread.
 void ParallelFor(int parallelism, size_t n,
                  const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
 
-/// Element-wise convenience over ParallelFor: body(i) for i in [0, n).
+/// \brief Element-wise convenience over ParallelFor: body(i) for i in
+/// [0, n), chunked by the same deterministic layout.
 void ParallelForEach(int parallelism, size_t n,
                      const std::function<void(size_t i)>& body);
 
 /// \brief Deterministic parallel sum: each chunk reduces its range with
 /// `body(begin, end)`; partials are added in chunk order, so the result is a
-/// pure function of (parallelism, n, body). parallelism <= 1 returns
-/// body(0, n) — bitwise identical to a sequential loop.
+/// pure function of (parallelism, n, body).
+///
+/// \param parallelism worker count; <= 1 returns body(0, n) — bitwise
+///        identical to a sequential loop. Note that DIFFERENT knob values
+///        group the summation differently and may differ at rounding
+///        level; kernels that must be bitwise-stable across knob values
+///        (the encode phase) use order-fixed reductions instead.
+/// \return the chunk-ordered sum of the partials.
 double ParallelSum(int parallelism, size_t n,
                    const std::function<double(size_t begin, size_t end)>& body);
 
-/// \brief ParallelFor with a deterministic per-chunk RNG: chunk c receives an
-/// Rng seeded with SplitSeed(seed, c), so stochastic parallel kernels
-/// (minibatch sampling, dropout, corruption injection) reproduce exactly for
-/// a fixed (seed, parallelism) pair regardless of thread scheduling.
+/// \brief ParallelFor with a deterministic per-chunk RNG.
+///
+/// Chunk c receives an Rng seeded with SplitSeed(seed, c), so stochastic
+/// parallel kernels (minibatch sampling, dropout, corruption injection)
+/// reproduce exactly for a fixed (seed, parallelism) pair regardless of
+/// thread scheduling.
 void ParallelForSeeded(
     int parallelism, size_t n, uint64_t seed,
     const std::function<void(size_t begin, size_t end, size_t chunk, Rng& rng)>& body);

@@ -29,7 +29,10 @@ struct DebugConfig {
   /// Stop as soon as every complaint holds.
   bool stop_when_resolved = false;
   /// Worker count applied end-to-end across a train-rank-fix iteration:
-  /// retraining (pipeline TrainConfig), influence scoring, and the CG
+  /// retraining (pipeline TrainConfig), the batched bind phase
+  /// (`BindWorkload` per-query staging), the encode phase
+  /// (`RelaxedPoly::GradientBatch` + `AccumulateProbaGradients` via
+  /// `RankContext::parallelism`), influence scoring, and the CG
   /// solver. Inheritance is resolved in exactly one place —
   /// `DebugSessionBuilder::Build()` (which the `Debugger` shim also goes
   /// through): the pipeline's TrainConfig always tracks this value (so 1

@@ -45,7 +45,12 @@ int Query2Pipeline::set_parallelism(int parallelism) {
 }
 
 Result<ExecResult> Query2Pipeline::Execute(const PlanPtr& plan, bool debug) {
-  Executor executor(&catalog_, &predictions_, arena_.get());
+  return ExecuteInto(plan, arena_.get(), debug);
+}
+
+Result<ExecResult> Query2Pipeline::ExecuteInto(const PlanPtr& plan, PolyArena* arena,
+                                               bool debug) const {
+  Executor executor(&catalog_, &predictions_, arena);
   ExecOptions options;
   options.debug_mode = debug;
   return executor.Run(plan, options);

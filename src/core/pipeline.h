@@ -45,6 +45,18 @@ class Query2Pipeline {
   /// Parses, plans and executes a SQL string.
   Result<ExecResult> ExecuteSql(const std::string& query, bool debug);
 
+  /// \brief Executes a plan capturing provenance into `arena` instead of
+  /// the pipeline's shared arena.
+  ///
+  /// This is the staging entry point of the batched `BindWorkload`: each
+  /// query of a multi-query workload executes into its own thread-local
+  /// staging arena (only catalog and prediction views are shared, both
+  /// read-only), after which the staging arenas are spliced into the
+  /// shared arena in workload order. Thread-safe for concurrent calls with
+  /// distinct arenas.
+  Result<ExecResult> ExecuteInto(const PlanPtr& plan, PolyArena* arena,
+                                 bool debug) const;
+
   const Catalog& catalog() const { return catalog_; }
   Model* model() { return model_.get(); }
   const Model* model() const { return model_.get(); }

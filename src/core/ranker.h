@@ -36,6 +36,13 @@ struct RankContext {
   /// TwoStep q encoding: marked mispredictions only (paper default) or
   /// every queried row the ILP touched (ablation knob, Section 5.2).
   bool twostep_encode_all = false;
+  /// Worker count for the encode phase: the per-complaint reverse sweeps
+  /// of `RelaxedPoly::GradientBatch` and the chunked q-gradient
+  /// accumulation of `AccumulateProbaGradients`. Plumbed from
+  /// `DebugSessionBuilder::parallelism` by `DebugSession::RankPhase`; 1
+  /// (the default) is the exact sequential path, and every value obeys the
+  /// deterministic-chunk contract (bitwise-stable results).
+  int parallelism = 1;
 };
 
 /// Ranking result: one removal score per training record (higher = delete
@@ -75,9 +82,25 @@ Result<std::unique_ptr<Ranker>> MakeRanker(const std::string& name);
 ///   sum_{(table,row)} sum_c weights[(table,row)][c] * p_c(x_row; theta)
 /// by backpropagating each row's class-weight seed through the model
 /// (the chain rule of Equation 4's grad q term).
+///
+/// All (table,row) keys are validated against the catalog up front, so a
+/// failure never leaves `grad` partially accumulated and error messages
+/// name the offending table id / row for multi-query attribution.
+///
+/// \param weights per-(table,row) class-weight seeds, in map (= sorted
+///        key) order.
+/// \param grad accumulated into, not overwritten; sized num_params.
+/// \param parallelism worker count. <= 1 accumulates in place exactly as
+///        the sequential code always has; > 1 computes per-row partial
+///        gradients concurrently and reduces them in row order. Because
+///        every model's `AddProbaGradient` touches a gradient element at
+///        most once per row, the reduction reproduces the sequential bit
+///        pattern for every worker count — the encode phase feeds the
+///        deletion ranking, which must not depend on the knob.
 Status AccumulateProbaGradients(
     const Catalog& catalog, const Model& model,
-    const std::map<std::pair<int32_t, int64_t>, Vec>& weights, Vec* grad);
+    const std::map<std::pair<int32_t, int64_t>, Vec>& weights, Vec* grad,
+    int parallelism = 1);
 
 /// \brief The Section 5.1 optimizer heuristic: TwoStep is preferred only
 /// when the complaint set pins down a unique prediction repair (all

@@ -1,6 +1,9 @@
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/ranker.h"
 #include "ilp/tiresias.h"
@@ -10,18 +13,73 @@ namespace rain {
 
 Status AccumulateProbaGradients(
     const Catalog& catalog, const Model& model,
-    const std::map<std::pair<int32_t, int64_t>, Vec>& weights, Vec* grad) {
+    const std::map<std::pair<int32_t, int64_t>, Vec>& weights, Vec* grad,
+    int parallelism) {
+  // Validate and resolve every (table,row) key first, in map order: error
+  // messages are deterministic regardless of parallelism, name the
+  // offending table/row so multi-query failures are attributable, and a
+  // failure never leaves `grad` partially accumulated.
+  struct Row {
+    const double* x;
+    const Vec* class_weights;
+  };
+  std::vector<Row> rows;
+  rows.reserve(weights.size());
   for (const auto& [key, class_weights] : weights) {
     const Catalog::Entry* entry = catalog.FindById(key.first);
-    if (entry == nullptr || !entry->features.has_value()) {
-      return Status::Internal("queried table lacks a feature dataset");
+    if (entry == nullptr) {
+      return Status::Internal(StrFormat(
+          "complaint gradient references unknown table id=%d (row %lld)",
+          key.first, static_cast<long long>(key.second)));
+    }
+    if (!entry->features.has_value()) {
+      return Status::Internal(StrFormat(
+          "queried table '%s' (id=%d) lacks a feature dataset needed to "
+          "backpropagate the complaint gradient for row %lld",
+          entry->name.c_str(), key.first, static_cast<long long>(key.second)));
     }
     if (key.second < 0 ||
         static_cast<size_t>(key.second) >= entry->features->size()) {
-      return Status::OutOfRange("queried row out of range");
+      return Status::OutOfRange(StrFormat(
+          "queried row %lld out of range for table '%s' (id=%d, %zu feature "
+          "rows)",
+          static_cast<long long>(key.second), entry->name.c_str(), key.first,
+          entry->features->size()));
     }
-    model.AddProbaGradient(entry->features->row(static_cast<size_t>(key.second)),
-                           class_weights, grad);
+    rows.push_back(
+        {entry->features->row(static_cast<size_t>(key.second)), &class_weights});
+  }
+
+  if (parallelism <= 1 || rows.size() <= 1) {
+    // Exact sequential path: accumulate straight into `grad`, row by row.
+    for (const Row& row : rows) {
+      model.AddProbaGradient(row.x, *row.class_weights, grad);
+    }
+    return Status::OK();
+  }
+  // Parallel path: per-ROW partial gradients computed concurrently, then
+  // reduced into `grad` in row order. Every in-tree model's
+  // AddProbaGradient touches each gradient element at most once per row,
+  // so a row's partial (accumulated into zeros) is the exact addend the
+  // sequential loop would have applied — the reduction reproduces the
+  // sequential bit pattern for EVERY parallelism value, a stronger
+  // guarantee than the chunk-ordered reductions elsewhere (required
+  // because the encode phase feeds the deletion ranking, which must not
+  // depend on the worker count). Rows are processed in bounded blocks so
+  // the partial buffers stay small.
+  const size_t block = std::min<size_t>(rows.size(), 128);
+  std::vector<Vec> partial(block);
+  for (size_t base = 0; base < rows.size(); base += block) {
+    const size_t count = std::min(block, rows.size() - base);
+    ParallelForEach(parallelism, count, [&](size_t i) {
+      partial[i].assign(grad->size(), 0.0);
+      model.AddProbaGradient(rows[base + i].x, *rows[base + i].class_weights,
+                             &partial[i]);
+    });
+    for (size_t i = 0; i < count; ++i) {
+      const Vec& p = partial[i];
+      for (size_t j = 0; j < grad->size(); ++j) (*grad)[j] += p[j];
+    }
   }
   return Status::OK();
 }
@@ -115,19 +173,38 @@ class HolisticRanker : public Ranker {
     Timer encode_timer;
     const Vec probs = ctx.predictions->RelaxedAssignment(*ctx.arena);
 
-    // Per-(table,row) class-weight seeds accumulated over complaints.
-    std::map<std::pair<int32_t, int64_t>, Vec> weights;
-    bool any_violated = false;
+    // One batched relaxation over every ranked complaint: a single shared
+    // forward sweep plus per-complaint reverse sweeps dispatched across
+    // ctx.parallelism workers (bitwise-stable for any worker count).
+    std::vector<PolyId> roots;
+    std::vector<double> targets;
     for (const BoundComplaint& c : *ctx.complaints) {
       if (!c.ShouldRank() || c.poly == kInvalidPoly) continue;
-      any_violated = true;
-      RelaxedPoly poly(ctx.arena, c.poly, ctx.relax_mode);
-      Vec var_grad;
-      const double rq = poly.Gradient(probs, &var_grad);
+      roots.push_back(c.poly);
+      targets.push_back(c.target);
+    }
+    RankOutput out;
+    out.scores.assign(ctx.train->size(), 0.0);
+    if (roots.empty()) {
+      out.note = "no violated complaints";
+      out.encode_seconds = encode_timer.ElapsedSeconds();
+      return out;
+    }
+    RelaxedPoly batch(ctx.arena, roots, ctx.relax_mode);
+    std::vector<Vec> var_grads;
+    const std::vector<double> rq =
+        batch.GradientBatch(probs, &var_grads, ctx.parallelism);
+
+    // Per-(table,row) class-weight seeds accumulated over complaints, in
+    // complaint order (sequential: the merge is cheap and order fixes the
+    // floating-point accumulation).
+    std::map<std::pair<int32_t, int64_t>, Vec> weights;
+    for (size_t k = 0; k < roots.size(); ++k) {
       // q_c = (rq - X)^2  =>  dq_c/dp_v = 2 (rq - X) * d rq / d p_v.
-      const double outer = 2.0 * (rq - c.target);
+      const double outer = 2.0 * (rq[k] - targets[k]);
       if (outer == 0.0) continue;
-      for (VarId v : poly.variables()) {
+      const Vec& var_grad = var_grads[k];
+      for (VarId v : batch.variables()) {
         if (var_grad[v] == 0.0) continue;
         const PredVar& pv = ctx.arena->var(v);
         Vec& w = weights[{pv.table_id, pv.row}];
@@ -135,17 +212,15 @@ class HolisticRanker : public Ranker {
         w[pv.cls] += outer * var_grad[v];
       }
     }
-    RankOutput out;
-    out.scores.assign(ctx.train->size(), 0.0);
-    if (!any_violated || weights.empty()) {
+    if (weights.empty()) {
       out.note = "no violated complaints";
       out.encode_seconds = encode_timer.ElapsedSeconds();
       return out;
     }
 
     Vec q_grad(ctx.model->num_params(), 0.0);
-    RAIN_RETURN_NOT_OK(
-        AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights, &q_grad));
+    RAIN_RETURN_NOT_OK(AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights,
+                                                &q_grad, ctx.parallelism));
     out.encode_seconds = encode_timer.ElapsedSeconds();
 
     Timer rank_timer;
@@ -231,8 +306,8 @@ class TwoStepRanker : public Ranker {
       return out;
     }
     Vec q_grad(ctx.model->num_params(), 0.0);
-    RAIN_RETURN_NOT_OK(
-        AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights, &q_grad));
+    RAIN_RETURN_NOT_OK(AccumulateProbaGradients(*ctx.catalog, *ctx.model, weights,
+                                                &q_grad, ctx.parallelism));
     out.encode_seconds = encode_timer.ElapsedSeconds();
 
     Timer rank_timer;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace rain {
@@ -150,25 +151,66 @@ Status DebugSession::TrainPhase(IterationStats* stats) {
   return Status::OK();
 }
 
+Result<std::vector<BoundComplaint>> BindWorkload(
+    Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
+    int parallelism) {
+  /// Per-query staging state: a private arena plus the complaints bound
+  /// against it (their `poly` ids are staging-local until the splice).
+  struct Staged {
+    std::unique_ptr<PolyArena> arena;
+    std::vector<BoundComplaint> bound;
+    Status status = Status::OK();
+  };
+  std::vector<Staged> staged(workload.size());
+  ParallelForEach(parallelism, workload.size(), [&](size_t i) {
+    Staged& s = staged[i];
+    s.arena = std::make_unique<PolyArena>();
+    const QueryComplaints& qc = workload[i];
+    ExecResult result;  // empty placeholder for point-only workloads
+    if (qc.query != nullptr) {
+      auto exec = pipeline->ExecuteInto(qc.query, s.arena.get(), /*debug=*/true);
+      if (!exec.ok()) {
+        s.status = exec.status();
+        return;
+      }
+      result = std::move(*exec);
+    }
+    for (const ComplaintSpec& spec : qc.complaints) {
+      auto bc = BindComplaint(spec, result, s.arena.get(), pipeline->predictions(),
+                              pipeline->catalog());
+      if (!bc.ok()) {
+        s.status = bc.status();
+        return;
+      }
+      s.bound.insert(s.bound.end(), bc->begin(), bc->end());
+    }
+  });
+
+  // Surface the first error in workload order BEFORE touching the shared
+  // arena, so a failed bind leaves the pipeline's debug state unchanged.
+  for (const Staged& s : staged) RAIN_RETURN_NOT_OK(s.status);
+
+  // Single ordered splice into the shared arena: workload order, never
+  // completion order, so `bound` and the arena are bitwise-stable.
+  std::vector<BoundComplaint> bound;
+  PolyArena* arena = pipeline->arena();
+  for (Staged& s : staged) {
+    const PolyArena::SpliceMap map = arena->Splice(*s.arena);
+    for (BoundComplaint c : s.bound) {
+      if (c.poly != kInvalidPoly) c.poly = map.node_map[c.poly];
+      bound.push_back(c);
+    }
+  }
+  return bound;
+}
+
 Result<std::vector<BoundComplaint>> DebugSession::BindPhase(IterationStats* stats) {
   Timer timer;
   // One fresh arena per iteration, shared by every query so multi-query
   // complaints combine (Section 6.5).
   pipeline_->ResetDebugState();
-  std::vector<BoundComplaint> bound;
-  for (const QueryComplaints& qc : workload_) {
-    ExecResult result;  // empty placeholder for point-only workloads
-    if (qc.query != nullptr) {
-      RAIN_ASSIGN_OR_RETURN(result, pipeline_->Execute(qc.query, /*debug=*/true));
-    }
-    for (const ComplaintSpec& spec : qc.complaints) {
-      RAIN_ASSIGN_OR_RETURN(
-          std::vector<BoundComplaint> bc,
-          BindComplaint(spec, result, pipeline_->arena(), pipeline_->predictions(),
-                        pipeline_->catalog()));
-      bound.insert(bound.end(), bc.begin(), bc.end());
-    }
-  }
+  RAIN_ASSIGN_OR_RETURN(std::vector<BoundComplaint> bound,
+                        BindWorkload(pipeline_, workload_, config_.parallelism));
   stats->query_seconds = timer.ElapsedSeconds();
   for (const BoundComplaint& c : bound) stats->violated_complaints += c.violated;
   return bound;
@@ -187,6 +229,7 @@ Result<RankOutput> DebugSession::RankPhase(const std::vector<BoundComplaint>& bo
   ctx.ilp = config_.ilp;
   ctx.relax_mode = config_.relax_mode;
   ctx.twostep_encode_all = config_.twostep_encode_all;
+  ctx.parallelism = config_.parallelism;
   RAIN_ASSIGN_OR_RETURN(RankOutput ranked, ranker_->Rank(ctx));
   stats->encode_seconds = ranked.encode_seconds;
   stats->rank_seconds = ranked.rank_seconds;

@@ -110,6 +110,36 @@ StopCondition StopAfterIterations(int n);
 /// deletions.
 StopCondition StopAfterDeletions(size_t n);
 
+/// \brief Batched multi-query bind (Section 6.5): executes every
+/// complained-about query in debug mode and binds all complaints against
+/// the fresh provenance, dispatching the per-query work across
+/// `parallelism` workers.
+///
+/// Each query captures provenance into a thread-local staging `PolyArena`
+/// (sharing only the read-only catalog and prediction views), then the
+/// staging arenas are spliced into the pipeline's shared arena in workload
+/// order with a single ordered pass (`PolyArena::Splice`). The resulting
+/// arena, the order of the returned `BoundComplaint`s, and their remapped
+/// `poly` ids are therefore bitwise-identical to sequential execution for
+/// every `parallelism` value — multi-complaint workloads share one
+/// provenance pass without giving up determinism.
+///
+/// Does not reset the pipeline's debug state; callers that want a fresh
+/// arena (as `DebugSession::BindPhase` does each iteration) call
+/// `Query2Pipeline::ResetDebugState` first. On error, the first failing
+/// workload entry (in workload order) wins, regardless of scheduling.
+///
+/// \param pipeline the trained pipeline whose shared arena receives the
+///        spliced provenance.
+/// \param workload one entry per query with its complaints; entries with a
+///        null `query` bind point complaints only.
+/// \param parallelism worker count; <= 1 runs inline on the calling thread.
+/// \return all bound complaints, in workload order (complaint order within
+///         an entry preserved).
+Result<std::vector<BoundComplaint>> BindWorkload(
+    Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
+    int parallelism);
+
 /// \brief A resumable train-rank-fix debugging session (Section 5.1).
 ///
 /// Where the legacy `Debugger::Run` executed the whole loop as one opaque
@@ -195,7 +225,9 @@ class DebugSession {
   /// (Re)trains on surviving records, warm start.
   Status TrainPhase(IterationStats* stats);
   /// Re-runs every complained-about query in debug mode against a fresh
-  /// arena and binds all complaints to the new provenance.
+  /// arena and binds all complaints to the new provenance. The per-query
+  /// executions are batched through `BindWorkload` at the session's
+  /// parallelism; results are bitwise-independent of the worker count.
   Result<std::vector<BoundComplaint>> BindPhase(IterationStats* stats);
   /// Ranks training records with the configured approach.
   Result<RankOutput> RankPhase(const std::vector<BoundComplaint>& bound,

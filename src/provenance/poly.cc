@@ -175,6 +175,28 @@ PolyId PolyArena::Div(PolyId numerator, PolyId denominator) {
   return Append(std::move(n));
 }
 
+PolyArena::SpliceMap PolyArena::Splice(const PolyArena& staging) {
+  SpliceMap map;
+  map.var_map.resize(staging.vars_.size());
+  for (size_t v = 0; v < staging.vars_.size(); ++v) {
+    map.var_map[v] = GetOrCreateVar(staging.vars_[v]);
+  }
+  map.node_map.assign(staging.nodes_.size(), kInvalidPoly);
+  map.node_map[staging.false_] = false_;
+  map.node_map[staging.true_] = true_;
+  for (size_t i = 0; i < staging.nodes_.size(); ++i) {
+    if (static_cast<PolyId>(i) == staging.false_ ||
+        static_cast<PolyId>(i) == staging.true_) {
+      continue;
+    }
+    PolyNode n = staging.nodes_[i];
+    if (n.op == PolyOp::kVar) n.var = map.var_map[n.var];
+    for (PolyId& c : n.children) c = map.node_map[c];
+    map.node_map[i] = Append(std::move(n));
+  }
+  return map;
+}
+
 double PolyArena::Evaluate(PolyId root, const Vec& var_values) const {
   RAIN_CHECK(root >= 0 && static_cast<size_t>(root) < nodes_.size());
   RAIN_CHECK(var_values.size() >= vars_.size()) << "missing variable assignments";

@@ -93,6 +93,35 @@ class PolyArena {
   const PolyNode& node(PolyId id) const { return nodes_[id]; }
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Id remapping produced by `Splice`: `node_map[i]` / `var_map[v]` are
+  /// the ids in the destination arena of staging node `i` / staging
+  /// variable `v`.
+  struct SpliceMap {
+    std::vector<PolyId> node_map;
+    std::vector<VarId> var_map;
+  };
+
+  /// \brief Appends every node and variable of `staging` to this arena,
+  /// returning the id remapping.
+  ///
+  /// Variables are registered through `GetOrCreateVar` in `staging`'s
+  /// first-use order, so variables already known to this arena keep their
+  /// ids and new ones are numbered exactly as a sequential build would
+  /// have numbered them. Nodes are appended in `staging` order with
+  /// children/var ids rewritten (the true/false singletons map onto this
+  /// arena's singletons).
+  ///
+  /// Because builders never share non-singleton nodes across independent
+  /// build sequences (constant folding is content-driven and `Var` always
+  /// appends a fresh node), splicing staging arenas in a fixed order
+  /// reproduces, bit for bit, the arena that the same build sequences
+  /// would have produced appended directly in that order. This is the
+  /// contract the batched `BindWorkload` relies on: per-query provenance
+  /// is captured into thread-local staging arenas in parallel, then
+  /// spliced in workload order, and the merged arena is indistinguishable
+  /// from sequential capture.
+  SpliceMap Splice(const PolyArena& staging);
+
   /// True if the node is a constant (possibly after folding).
   bool IsConst(PolyId id) const { return nodes_[id].op == PolyOp::kConst; }
   double ConstValue(PolyId id) const { return nodes_[id].value; }

@@ -1,38 +1,50 @@
 #include "relax/relaxed_poly.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace rain {
 
 RelaxedPoly::RelaxedPoly(const PolyArena* arena, PolyId root, RelaxMode mode)
-    : arena_(arena), root_(root), mode_(mode) {
+    : RelaxedPoly(arena, std::vector<PolyId>{root}, mode) {}
+
+RelaxedPoly::RelaxedPoly(const PolyArena* arena, std::vector<PolyId> roots,
+                         RelaxMode mode)
+    : arena_(arena), roots_(std::move(roots)), mode_(mode) {
   RAIN_CHECK(arena_ != nullptr);
-  RAIN_CHECK(root >= 0 && static_cast<size_t>(root) < arena_->num_nodes());
   local_.assign(arena_->num_nodes(), -1);
 
-  // Iterative post-order DFS producing a children-first topological order.
+  // Iterative post-order DFS producing a children-first topological order
+  // over the union of nodes reachable from any root. Roots are visited in
+  // order, so the layout is a pure function of (arena, roots); a root
+  // already covered by an earlier root adds nothing.
   std::vector<uint8_t> visited(arena_->num_nodes(), 0);  // 0=new,1=open,2=done
   std::vector<std::pair<PolyId, size_t>> stack;
-  stack.emplace_back(root, 0);
-  visited[root] = 1;
-  while (!stack.empty()) {
-    auto& [id, child_idx] = stack.back();
-    const PolyNode& n = arena_->node(id);
-    if (child_idx < n.children.size()) {
-      const PolyId c = n.children[child_idx++];
-      if (visited[c] == 0) {
-        visited[c] = 1;
-        stack.emplace_back(c, 0);
+  for (const PolyId root : roots_) {
+    RAIN_CHECK(root >= 0 && static_cast<size_t>(root) < arena_->num_nodes());
+    if (visited[root] != 0) continue;
+    stack.emplace_back(root, 0);
+    visited[root] = 1;
+    while (!stack.empty()) {
+      auto& [id, child_idx] = stack.back();
+      const PolyNode& n = arena_->node(id);
+      if (child_idx < n.children.size()) {
+        const PolyId c = n.children[child_idx++];
+        if (visited[c] == 0) {
+          visited[c] = 1;
+          stack.emplace_back(c, 0);
+        }
+        continue;
       }
-      continue;
+      visited[id] = 2;
+      local_[id] = static_cast<int32_t>(order_.size());
+      order_.push_back(id);
+      if (n.op == PolyOp::kVar) variables_.push_back(n.var);
+      stack.pop_back();
     }
-    visited[id] = 2;
-    local_[id] = static_cast<int32_t>(order_.size());
-    order_.push_back(id);
-    if (n.op == PolyOp::kVar) variables_.push_back(n.var);
-    stack.pop_back();
   }
   // Deduplicate variables (a var node is unique per (var) only if the
   // arena happened to share them; be safe).
@@ -86,20 +98,9 @@ void RelaxedPoly::Forward(const Vec& var_values, Vec* values) const {
   }
 }
 
-double RelaxedPoly::Evaluate(const Vec& var_values) const {
-  RAIN_CHECK(var_values.size() >= arena_->num_vars());
-  Vec values;
-  Forward(var_values, &values);
-  return values[local_[root_]];
-}
-
-double RelaxedPoly::Gradient(const Vec& var_values, Vec* var_grad) const {
-  RAIN_CHECK(var_values.size() >= arena_->num_vars());
-  Vec values;
-  Forward(var_values, &values);
-
+void RelaxedPoly::Backward(const Vec& values, PolyId root, Vec* var_grad) const {
   Vec adjoint(order_.size(), 0.0);
-  adjoint[local_[root_]] = 1.0;
+  adjoint[local_[root]] = 1.0;
   var_grad->assign(arena_->num_vars(), 0.0);
 
   // Reverse sweep (order_ is children-first, so iterate backwards).
@@ -170,7 +171,51 @@ double RelaxedPoly::Gradient(const Vec& var_values, Vec* var_grad) const {
       }
     }
   }
-  return values[local_[root_]];
+}
+
+double RelaxedPoly::Evaluate(const Vec& var_values) const {
+  RAIN_CHECK(!roots_.empty());
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  Vec values;
+  Forward(var_values, &values);
+  return values[local_[roots_[0]]];
+}
+
+double RelaxedPoly::Gradient(const Vec& var_values, Vec* var_grad) const {
+  RAIN_CHECK(!roots_.empty());
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  Vec values;
+  Forward(var_values, &values);
+  Backward(values, roots_[0], var_grad);
+  return values[local_[roots_[0]]];
+}
+
+std::vector<double> RelaxedPoly::EvaluateBatch(const Vec& var_values) const {
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  if (roots_.empty()) return {};
+  Vec values;
+  Forward(var_values, &values);
+  std::vector<double> out(roots_.size());
+  for (size_t k = 0; k < roots_.size(); ++k) out[k] = values[local_[roots_[k]]];
+  return out;
+}
+
+std::vector<double> RelaxedPoly::GradientBatch(const Vec& var_values,
+                                               std::vector<Vec>* var_grads,
+                                               int parallelism) const {
+  RAIN_CHECK(var_values.size() >= arena_->num_vars());
+  var_grads->resize(roots_.size());
+  if (roots_.empty()) return {};
+  Vec values;
+  Forward(var_values, &values);
+  std::vector<double> out(roots_.size());
+  // Per-root reverse sweeps are independent (each writes only its own
+  // slot), so any chunking of the root range produces identical results.
+  ParallelForEach(parallelism, roots_.size(), [&](size_t k) {
+    Backward(values, roots_[k], &(*var_grads)[k]);
+    out[k] = values[local_[roots_[k]]];
+  });
+  return out;
 }
 
 }  // namespace rain

@@ -18,44 +18,92 @@ enum class RelaxMode : uint8_t {
   kLinearOr,
 };
 
-/// \brief Differentiable relaxation of a provenance polynomial
+/// \brief Differentiable relaxation of one or more provenance polynomials
 /// (Section 5.3.1).
 ///
 /// Prediction variables are interpreted as class probabilities and the
 /// Boolean operators are replaced by their independent-product
 /// relaxations:
 ///     x AND y -> x * y,   x OR y -> 1 - (1-x)(1-y),   NOT x -> 1 - x.
-/// The class pre-computes a topological order of the nodes reachable from
-/// `root`, after which `Evaluate` is a single forward sweep and
-/// `Gradient` a forward+reverse sweep yielding d(root)/d(var) for every
-/// prediction variable — the seed that `HolisticRanker` chains into model
-/// probability gradients.
+///
+/// The class pre-computes a single topological order of the nodes
+/// reachable from the root set, after which:
+///   - `Evaluate` / `Gradient` serve the classic single-root case (a
+///     forward sweep, resp. a forward+reverse sweep yielding
+///     d(root)/d(var) for every prediction variable — the seed that
+///     `HolisticRanker` chains into model probability gradients);
+///   - `EvaluateBatch` / `GradientBatch` serve a whole complaint set at
+///     once: node values are computed by ONE shared forward sweep (a node
+///     feeding five complaints is evaluated once, not five times), and the
+///     per-root reverse sweeps — mutually independent — are dispatched
+///     across the thread pool. Results are merged in root order, so they
+///     are bitwise-independent of the worker count.
 class RelaxedPoly {
  public:
-  /// `arena` must outlive this object and must not grow between
-  /// construction and the last Evaluate/Gradient call.
+  /// Single-root relaxation. `arena` must outlive this object and must not
+  /// grow between construction and the last Evaluate/Gradient call.
   RelaxedPoly(const PolyArena* arena, PolyId root,
               RelaxMode mode = RelaxMode::kIndependent);
 
-  /// Forward value under `var_values` (size >= arena->num_vars()).
+  /// \brief Batched relaxation over many complaint roots sharing one
+  /// topological order (the batched encode phase).
+  ///
+  /// Roots are deduplicated structurally by the DFS (shared nodes are
+  /// ordered once) but kept positionally: batch entry `k` always refers to
+  /// `roots[k]`. An empty root set is valid (all batch calls return empty).
+  RelaxedPoly(const PolyArena* arena, std::vector<PolyId> roots,
+              RelaxMode mode = RelaxMode::kIndependent);
+
+  /// Forward value of the first root under `var_values`
+  /// (size >= arena->num_vars()).
   double Evaluate(const Vec& var_values) const;
 
-  /// Writes d(root)/d(var_values[v]) into (*var_grad)[v] for every
+  /// Writes d(first root)/d(var_values[v]) into (*var_grad)[v] for every
   /// variable (zero for unreachable ones) and returns the forward value.
   /// var_grad is resized to arena->num_vars().
   double Gradient(const Vec& var_values, Vec* var_grad) const;
 
-  /// Distinct variables the polynomial actually depends on.
+  /// \brief Forward values of every root under `var_values`, from one
+  /// shared sweep over the union of reachable nodes.
+  ///
+  /// Entry `k` is bitwise-identical to `RelaxedPoly(arena, roots[k],
+  /// mode).Evaluate(var_values)`: node values depend only on child values,
+  /// never on sweep order.
+  std::vector<double> EvaluateBatch(const Vec& var_values) const;
+
+  /// \brief Per-root gradients with one shared forward sweep and parallel
+  /// reverse sweeps.
+  ///
+  /// Writes d(roots[k])/d(var) into (*var_grads)[k] (each resized dense to
+  /// arena->num_vars(); zero for variables the root does not reach) and
+  /// returns the forward value of every root. The reverse sweeps are
+  /// independent per root and dispatched over `parallelism` workers;
+  /// because each root's sweep touches only its own output slot, the
+  /// result is a pure function of (arena, roots, var_values) — bitwise
+  /// identical for every `parallelism` value, with <= 1 running the sweeps
+  /// inline on the calling thread.
+  std::vector<double> GradientBatch(const Vec& var_values,
+                                    std::vector<Vec>* var_grads,
+                                    int parallelism = 1) const;
+
+  /// The root set, in construction order.
+  const std::vector<PolyId>& roots() const { return roots_; }
+  size_t num_roots() const { return roots_.size(); }
+
+  /// Distinct variables any root actually depends on (sorted).
   const std::vector<VarId>& variables() const { return variables_; }
   size_t num_reachable_nodes() const { return order_.size(); }
 
  private:
   void Forward(const Vec& var_values, Vec* values) const;
+  /// Reverse sweep seeded at `root`, accumulating into `var_grad`
+  /// (assigned dense-zero first). `values` is a Forward() result.
+  void Backward(const Vec& values, PolyId root, Vec* var_grad) const;
 
   const PolyArena* arena_;
-  PolyId root_;
+  std::vector<PolyId> roots_;
   RelaxMode mode_;
-  /// Reachable nodes in topological (children-first) order.
+  /// Union of reachable nodes in topological (children-first) order.
   std::vector<PolyId> order_;
   /// Dense local index per arena node (-1 = unreachable).
   std::vector<int32_t> local_;

@@ -117,6 +117,90 @@ TEST(PolyArenaTest, ToStringRendersStructure) {
   EXPECT_EQ(s, "!v(0,3,1)");
 }
 
+// ------------------------------------------------------------------ splice
+
+/// One "query worth" of arena construction; `salt` varies the shape.
+/// Applied either directly to a shared arena (the sequential reference) or
+/// to a fresh staging arena that is spliced in afterwards (the batched
+/// path) — the two must agree bit for bit.
+PolyId BuildSequence(PolyArena* a, int salt) {
+  const PolyId x = a->Var(PredVar{0, salt, 1});
+  const PolyId y = a->Var(PredVar{0, salt + 1, 1});
+  const PolyId shared = a->Var(PredVar{7, 0, 1});  // same var in every query
+  const PolyId cond = a->Or({a->And({x, y}), a->Not(shared)});
+  return a->Add({a->Mul({cond, a->Const(2.5)}), a->Const(static_cast<double>(salt))});
+}
+
+TEST(PolyArenaSpliceTest, OrderedSpliceReproducesSequentialBuildBitwise) {
+  // Sequential reference: three build sequences appended directly.
+  PolyArena sequential;
+  std::vector<PolyId> seq_roots;
+  for (int q = 0; q < 3; ++q) seq_roots.push_back(BuildSequence(&sequential, q));
+
+  // Batched path: each sequence into its own staging arena, then spliced
+  // in the same order.
+  PolyArena merged;
+  std::vector<PolyId> spliced_roots;
+  for (int q = 0; q < 3; ++q) {
+    PolyArena staging;
+    const PolyId root = BuildSequence(&staging, q);
+    const PolyArena::SpliceMap map = merged.Splice(staging);
+    spliced_roots.push_back(map.node_map[root]);
+  }
+
+  ASSERT_EQ(merged.num_nodes(), sequential.num_nodes());
+  ASSERT_EQ(merged.num_vars(), sequential.num_vars());
+  EXPECT_EQ(spliced_roots, seq_roots);
+  for (size_t i = 0; i < sequential.num_nodes(); ++i) {
+    const PolyNode& s = sequential.node(static_cast<PolyId>(i));
+    const PolyNode& m = merged.node(static_cast<PolyId>(i));
+    EXPECT_EQ(m.op, s.op) << "node " << i;
+    EXPECT_EQ(m.value, s.value) << "node " << i;
+    EXPECT_EQ(m.var, s.var) << "node " << i;
+    EXPECT_EQ(m.children, s.children) << "node " << i;
+  }
+  for (size_t v = 0; v < sequential.num_vars(); ++v) {
+    EXPECT_TRUE(merged.var(static_cast<VarId>(v)) ==
+                sequential.var(static_cast<VarId>(v)))
+        << "var " << v;
+  }
+}
+
+TEST(PolyArenaSpliceTest, SingletonsAndSharedVariablesDeduplicate) {
+  PolyArena target;
+  const VarId pre = target.GetOrCreateVar(PredVar{7, 0, 1});
+
+  PolyArena staging;
+  const PolyId v = staging.Var(PredVar{7, 0, 1});   // known to target already
+  const PolyId w = staging.Var(PredVar{9, 4, 0});   // new to target
+  const PolyId t = staging.True();
+  const PolyId f = staging.False();
+  const PolyId expr = staging.And({v, w});
+
+  const PolyArena::SpliceMap map = target.Splice(staging);
+  // Singletons map onto the target's singletons, never duplicate.
+  EXPECT_EQ(map.node_map[t], target.True());
+  EXPECT_EQ(map.node_map[f], target.False());
+  // The shared variable keeps its pre-existing target id.
+  EXPECT_EQ(target.node(map.node_map[v]).var, pre);
+  EXPECT_EQ(target.num_vars(), 2u);
+  // Structure survives the remap.
+  EXPECT_EQ(target.ToString(map.node_map[expr]), "(v(7,0,1) & v(9,4,0))");
+  EXPECT_EQ(target.node(map.node_map[expr]).children.size(), 2u);
+  EXPECT_EQ(map.node_map[w], target.node(map.node_map[expr]).children[1]);
+}
+
+TEST(PolyArenaSpliceTest, EmptyStagingSplicesNothing) {
+  PolyArena target;
+  target.Var(PredVar{0, 0, 1});
+  const size_t nodes_before = target.num_nodes();
+  PolyArena staging;
+  const PolyArena::SpliceMap map = target.Splice(staging);
+  EXPECT_EQ(target.num_nodes(), nodes_before);
+  EXPECT_TRUE(map.var_map.empty());
+  EXPECT_EQ(map.node_map.size(), 2u);  // just the singletons
+}
+
 TEST(PredictionStoreTest, ArgmaxAndProbability) {
   PredictionStore store;
   Matrix probs(2, 3);

@@ -205,5 +205,143 @@ TEST(RelaxedPolyTest, ConstantPolyHasZeroGradient) {
   EXPECT_DOUBLE_EQ(p.Gradient({}, &grad), 3.0);
 }
 
+// ------------------------------------------------------------- batch API
+
+/// A random multi-root DAG sharing subexpressions across roots, plus a
+/// random assignment — the shape of a multi-complaint encode phase.
+struct BatchCase {
+  PolyArena arena;
+  std::vector<PolyId> roots;
+  Vec vals;
+};
+
+BatchCase MakeBatchCase(uint64_t seed, int nv = 8, int num_roots = 5) {
+  BatchCase c;
+  Rng rng(seed);
+  std::vector<PolyId> pool;
+  for (int v = 0; v < nv; ++v) pool.push_back(c.arena.Var(PredVar{0, v, 1}));
+  pool.push_back(c.arena.Const(0.5));
+  for (int step = 0; step < 40; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(5));
+    const PolyId c1 = pool[rng.UniformInt(pool.size())];
+    const PolyId c2 = pool[rng.UniformInt(pool.size())];
+    switch (op) {
+      case 0:
+        pool.push_back(c.arena.And({c1, c2}));
+        break;
+      case 1:
+        pool.push_back(c.arena.Or({c1, c2}));
+        break;
+      case 2:
+        pool.push_back(c.arena.Not(c1));
+        break;
+      case 3:
+        pool.push_back(c.arena.Add({c1, c2}));
+        break;
+      case 4:
+        pool.push_back(c.arena.Mul({c1, c2}));
+        break;
+    }
+  }
+  for (int r = 0; r < num_roots; ++r) {
+    c.roots.push_back(pool[pool.size() - 1 - static_cast<size_t>(rng.UniformInt(10))]);
+  }
+  c.vals.resize(static_cast<size_t>(nv));
+  for (double& v : c.vals) v = rng.Uniform(0.05, 0.95);
+  return c;
+}
+
+TEST(RelaxedPolyBatchTest, EvaluateBatchMatchesSingleRootBitwise) {
+  // Forward values depend only on child values, never on sweep order, so
+  // the shared-sweep batch is bitwise-identical to per-root evaluation.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    BatchCase c = MakeBatchCase(seed);
+    RelaxedPoly batch(&c.arena, c.roots);
+    const std::vector<double> vals = batch.EvaluateBatch(c.vals);
+    ASSERT_EQ(vals.size(), c.roots.size());
+    for (size_t k = 0; k < c.roots.size(); ++k) {
+      RelaxedPoly single(&c.arena, c.roots[k]);
+      EXPECT_EQ(vals[k], single.Evaluate(c.vals)) << "seed " << seed << " root " << k;
+    }
+  }
+}
+
+TEST(RelaxedPolyBatchTest, GradientBatchMatchesSingleRootGradients) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    BatchCase c = MakeBatchCase(seed);
+    RelaxedPoly batch(&c.arena, c.roots);
+    std::vector<Vec> grads;
+    const std::vector<double> vals = batch.GradientBatch(c.vals, &grads);
+    ASSERT_EQ(grads.size(), c.roots.size());
+    for (size_t k = 0; k < c.roots.size(); ++k) {
+      RelaxedPoly single(&c.arena, c.roots[k]);
+      Vec g;
+      const double v = single.Gradient(c.vals, &g);
+      EXPECT_DOUBLE_EQ(vals[k], v);
+      ASSERT_EQ(grads[k].size(), g.size());
+      for (size_t i = 0; i < g.size(); ++i) {
+        // The batch reverse sweep runs over the union topological order;
+        // adjoint contributions at shared nodes may sum in a different
+        // order than the standalone sweep, so compare numerically.
+        EXPECT_NEAR(grads[k][i], g[i], 1e-12 * std::max(1.0, std::fabs(g[i])))
+            << "seed " << seed << " root " << k << " var " << i;
+      }
+    }
+  }
+}
+
+TEST(RelaxedPolyBatchTest, GradientBatchBitwiseStableAcrossThreadCounts) {
+  // The deterministic-chunk contract: per-root sweeps are independent, so
+  // any worker count produces the exact same bits.
+  for (uint64_t seed : {41u, 42u}) {
+    BatchCase c = MakeBatchCase(seed, /*nv=*/8, /*num_roots=*/9);
+    RelaxedPoly batch(&c.arena, c.roots);
+    std::vector<Vec> ref_grads;
+    const std::vector<double> ref_vals = batch.GradientBatch(c.vals, &ref_grads, 1);
+    for (int threads : {2, 8}) {
+      std::vector<Vec> grads;
+      const std::vector<double> vals = batch.GradientBatch(c.vals, &grads, threads);
+      EXPECT_EQ(vals, ref_vals) << "threads " << threads;
+      ASSERT_EQ(grads.size(), ref_grads.size());
+      for (size_t k = 0; k < grads.size(); ++k) {
+        EXPECT_EQ(grads[k], ref_grads[k]) << "threads " << threads << " root " << k;
+      }
+    }
+  }
+}
+
+TEST(RelaxedPolyBatchTest, LinearOrModeAppliesToBatch) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  const PolyId y = a.Var(PredVar{0, 1, 1});
+  RelaxedPoly batch(&a, std::vector<PolyId>{a.Or({x, y}), a.And({x, y})},
+                    RelaxMode::kLinearOr);
+  const std::vector<double> vals = batch.EvaluateBatch({0.3, 0.5});
+  EXPECT_DOUBLE_EQ(vals[0], 0.8);  // linear OR: x + y
+  EXPECT_DOUBLE_EQ(vals[1], 0.15);
+}
+
+TEST(RelaxedPolyBatchTest, EmptyAndDuplicateRoots) {
+  PolyArena a;
+  const PolyId x = a.Var(PredVar{0, 0, 1});
+  RelaxedPoly empty(&a, std::vector<PolyId>{});
+  std::vector<Vec> grads;
+  EXPECT_TRUE(empty.EvaluateBatch({0.5}).empty());
+  EXPECT_TRUE(empty.GradientBatch({0.5}, &grads).empty());
+  EXPECT_TRUE(grads.empty());
+  EXPECT_EQ(empty.num_reachable_nodes(), 0u);
+
+  // Duplicate roots stay positional: both entries carry the full result.
+  RelaxedPoly dup(&a, std::vector<PolyId>{x, x});
+  const std::vector<double> vals = dup.EvaluateBatch({0.25});
+  ASSERT_EQ(vals.size(), 2u);
+  EXPECT_EQ(vals[0], vals[1]);
+  std::vector<Vec> dup_grads;
+  dup.GradientBatch({0.25}, &dup_grads, 2);
+  ASSERT_EQ(dup_grads.size(), 2u);
+  EXPECT_EQ(dup_grads[0], dup_grads[1]);
+  EXPECT_DOUBLE_EQ(dup_grads[0][0], 1.0);
+}
+
 }  // namespace
 }  // namespace rain

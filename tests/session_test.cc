@@ -3,6 +3,8 @@
 /// handling, parallelism inheritance, and equivalence of the legacy
 /// `Debugger::Run` shim with a directly driven session on the Fig. 5
 /// (DBLP 50% corruption) workload.
+#include <algorithm>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -369,6 +371,170 @@ TEST_F(SessionFixture, BuilderRejectsMissingRankerAndBadNames) {
                   .ranker("loss")
                   .Build()
                   .ok());
+}
+
+// --------------------------------------------------------- batched bind
+
+/// A Section 6.5-style multi-query workload over the DBLP pipeline: two
+/// aggregate queries (equality + inequality complaints) plus a query-less
+/// entry of point complaints.
+std::vector<QueryComplaints> MultiQueryWorkload(int64_t true_count) {
+  std::vector<QueryComplaints> workload;
+  workload.push_back(CountComplaint(static_cast<double>(true_count)));
+  QueryComplaints ge;
+  ge.query = CountQuery();
+  ge.complaints = {ComplaintSpec::ValueGe("cnt", static_cast<double>(true_count)),
+                   ComplaintSpec::ValueLe("cnt", 1.0)};
+  workload.push_back(ge);
+  QueryComplaints points;  // no query: bind directly against predictions
+  points.complaints = {ComplaintSpec::Point("dblp", 3, 1),
+                       ComplaintSpec::Point("dblp", 11, 0)};
+  workload.push_back(points);
+  return workload;
+}
+
+/// The legacy sequential bind (pre-batching code path), inlined as the
+/// reference: execute each query against the shared arena in order and
+/// bind its complaints immediately.
+Result<std::vector<BoundComplaint>> SequentialBindReference(
+    Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload) {
+  std::vector<BoundComplaint> bound;
+  for (const QueryComplaints& qc : workload) {
+    ExecResult result;
+    if (qc.query != nullptr) {
+      RAIN_ASSIGN_OR_RETURN(result, pipeline->Execute(qc.query, /*debug=*/true));
+    }
+    for (const ComplaintSpec& spec : qc.complaints) {
+      RAIN_ASSIGN_OR_RETURN(
+          std::vector<BoundComplaint> bc,
+          BindComplaint(spec, result, pipeline->arena(), pipeline->predictions(),
+                        pipeline->catalog()));
+      bound.insert(bound.end(), bc.begin(), bc.end());
+    }
+  }
+  return bound;
+}
+
+TEST_F(SessionFixture, BindWorkloadMatchesSequentialReferenceBitwise) {
+  const std::vector<QueryComplaints> workload =
+      MultiQueryWorkload(setup_.true_count);
+
+  // Sequential reference on a fresh arena.
+  pipeline()->ResetDebugState();
+  auto ref = SequentialBindReference(pipeline(), workload);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_FALSE(ref->empty());
+  const size_t ref_nodes = pipeline()->arena()->num_nodes();
+  const size_t ref_vars = pipeline()->arena()->num_vars();
+  std::vector<std::string> ref_polys;
+  for (const BoundComplaint& c : *ref) {
+    ref_polys.push_back(pipeline()->arena()->ToString(c.poly));
+  }
+
+  // The batched bind must reproduce the arena and the bound complaints —
+  // ids included — bit for bit, at every worker count.
+  for (int threads : {1, 2, 8}) {
+    pipeline()->ResetDebugState();
+    auto batched = BindWorkload(pipeline(), workload, threads);
+    ASSERT_TRUE(batched.ok()) << "threads " << threads;
+    ASSERT_EQ(batched->size(), ref->size()) << "threads " << threads;
+    EXPECT_EQ(pipeline()->arena()->num_nodes(), ref_nodes) << "threads " << threads;
+    EXPECT_EQ(pipeline()->arena()->num_vars(), ref_vars) << "threads " << threads;
+    for (size_t i = 0; i < ref->size(); ++i) {
+      const BoundComplaint& r = (*ref)[i];
+      const BoundComplaint& b = (*batched)[i];
+      EXPECT_EQ(b.poly, r.poly) << "threads " << threads << " complaint " << i;
+      EXPECT_EQ(b.op, r.op) << "complaint " << i;
+      EXPECT_EQ(b.target, r.target) << "complaint " << i;
+      EXPECT_EQ(b.current, r.current) << "complaint " << i;
+      EXPECT_EQ(b.violated, r.violated) << "complaint " << i;
+      EXPECT_EQ(pipeline()->arena()->ToString(b.poly), ref_polys[i])
+          << "threads " << threads << " complaint " << i;
+    }
+  }
+}
+
+TEST_F(SessionFixture, BindWorkloadSurfacesFirstErrorInWorkloadOrder) {
+  std::vector<QueryComplaints> workload = MultiQueryWorkload(setup_.true_count);
+  // Entry 1 asks for an aggregate the query does not produce; entry 2 has
+  // an out-of-range point complaint. The earlier error must win at every
+  // worker count, regardless of which staged bind fails first.
+  workload[1].complaints[0] = ComplaintSpec::ValueEq("no_such_agg", 1.0);
+  workload[2].complaints[0] = ComplaintSpec::Point("dblp", 1 << 30, 1);
+  for (int threads : {1, 8}) {
+    pipeline()->ResetDebugState();
+    const size_t nodes_before = pipeline()->arena()->num_nodes();
+    auto bound = BindWorkload(pipeline(), workload, threads);
+    ASSERT_FALSE(bound.ok()) << "threads " << threads;
+    EXPECT_NE(bound.status().message().find("no_such_agg"), std::string::npos)
+        << "threads " << threads << ": " << bound.status().message();
+    // A failed bind must not leak partial provenance into the shared arena.
+    EXPECT_EQ(pipeline()->arena()->num_nodes(), nodes_before)
+        << "threads " << threads;
+  }
+}
+
+// ----------------------------------------------- encode-phase parallelism
+
+TEST(EncodeParallelismTest, DeletionSequenceBitwiseOnFig5Workload) {
+  // Drives the train-rank-fix loop manually on twin pipelines so ONLY the
+  // bind+encode worker count differs (training and the CG/influence solve
+  // stay at 1 worker on both sides): the batched parallel encode must
+  // reproduce the sequential deletion sequence bit for bit.
+  DblpSetup seq = MakeCorruptedDblp();
+  DblpSetup par = MakeCorruptedDblp();
+  const std::vector<QueryComplaints> seq_workload =
+      MultiQueryWorkload(seq.true_count);
+  const std::vector<QueryComplaints> par_workload =
+      MultiQueryWorkload(par.true_count);
+
+  auto ranker = MakeHolisticRanker();
+  std::vector<size_t> seq_deletions, par_deletions;
+  constexpr int kTopK = 10;
+  for (int iter = 0; iter < 3; ++iter) {
+    auto run_side = [&](Query2Pipeline* pipeline,
+                        const std::vector<QueryComplaints>& workload,
+                        int encode_threads) -> std::vector<double> {
+      EXPECT_TRUE(pipeline->Train().ok());
+      pipeline->ResetDebugState();
+      auto bound = BindWorkload(pipeline, workload, encode_threads);
+      EXPECT_TRUE(bound.ok());
+      RankContext ctx;
+      ctx.model = pipeline->model();
+      ctx.train = pipeline->train_data();
+      ctx.catalog = &pipeline->catalog();
+      ctx.arena = pipeline->arena();
+      ctx.predictions = &pipeline->predictions();
+      ctx.complaints = &*bound;
+      ctx.influence.l2 = 1e-3;
+      ctx.parallelism = encode_threads;  // bind+encode only; influence stays 1
+      auto out = ranker->Rank(ctx);
+      EXPECT_TRUE(out.ok());
+      return out->scores;
+    };
+    const std::vector<double> seq_scores = run_side(seq.pipeline.get(), seq_workload, 1);
+    const std::vector<double> par_scores = run_side(par.pipeline.get(), par_workload, 8);
+    ASSERT_EQ(seq_scores, par_scores) << "iteration " << iter;
+
+    // Fix phase: delete the top-k on both sides (identical by the above).
+    std::vector<size_t> order(seq_scores.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return seq_scores[a] > seq_scores[b];
+    });
+    int removed = 0;
+    for (size_t idx : order) {
+      if (removed >= kTopK) break;
+      if (!seq.pipeline->train_data()->active(idx)) continue;
+      seq.pipeline->train_data()->Deactivate(idx);
+      par.pipeline->train_data()->Deactivate(idx);
+      seq_deletions.push_back(idx);
+      par_deletions.push_back(idx);
+      ++removed;
+    }
+  }
+  EXPECT_EQ(seq_deletions.size(), 30u);
+  EXPECT_EQ(seq_deletions, par_deletions);
 }
 
 // ------------------------------------------------------- shim equivalence

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo docs.
+
+Scans README.md, docs/*.md, and the other top-level markdown files for
+inline links/images `[text](target)` and verifies that every relative
+target exists on disk (anchors are stripped; http/https/mailto targets
+are skipped). CI runs this on every push so docs rot is caught at review
+time instead of by the next reader.
+
+Exit status: 0 when every link resolves, 1 otherwise (each broken link is
+reported as `file:line: broken link -> target`).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Inline markdown link or image: [text](target) — conservative about
+# nested parens, which the docs do not use.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def markdown_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    for extra in ("ROADMAP.md", "CHANGES.md", "PAPER.md", "PAPERS.md"):
+        path = REPO / extra
+        if path.exists():
+            files.append(path)
+    return [f for f in files if f.exists()]
+
+
+def check_file(path: Path):
+    broken = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    total_links = 0
+    failures = []
+    for path in markdown_files():
+        broken = check_file(path)
+        text = path.read_text(encoding="utf-8")
+        total_links += sum(
+            1
+            for m in LINK_RE.finditer(text)
+            if not m.group(1).startswith(SKIP_SCHEMES + ("#",))
+        )
+        for lineno, target in broken:
+            failures.append(f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}")
+    if failures:
+        print("\n".join(failures))
+        print(f"\n{len(failures)} broken link(s).")
+        return 1
+    print(f"all {total_links} relative links resolve across "
+          f"{len(markdown_files())} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
