@@ -25,6 +25,8 @@ const char* CodeName(StatusCode code) {
       return "ParseError";
     case StatusCode::kTypeError:
       return "TypeError";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

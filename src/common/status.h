@@ -19,6 +19,7 @@ enum class StatusCode {
   kResourceExhausted,  // budgets: ILP node/time limits, iteration caps
   kParseError,         // SQL frontend
   kTypeError,          // expression binding / evaluation
+  kCancelled,          // cooperative cancellation / deadline observed
 };
 
 /// \brief A success-or-error outcome carried by value.
@@ -60,6 +61,9 @@ class Status {
   static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -73,6 +77,7 @@ class Status {
   bool IsResourceExhausted() const { return code_ == StatusCode::kResourceExhausted; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// Human-readable "CODE: message" form for logs and test failures.
   std::string ToString() const;

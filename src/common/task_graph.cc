@@ -1,0 +1,114 @@
+#include "common/task_graph.h"
+
+#include "common/logging.h"
+
+namespace rain {
+
+struct TaskGraph::Node {
+  std::string name;
+  std::function<void()> body;
+  /// Tasks waiting on this one (by index into nodes_).
+  std::vector<size_t> dependents;
+  /// Dependencies not yet completed; the node is handed to the pool when
+  /// this reaches zero.
+  size_t unmet = 0;
+  bool enqueued = false;
+  bool done = false;
+};
+
+TaskGraph::TaskGraph(ThreadPool* pool)
+    : pool_(pool != nullptr ? pool : &ThreadPool::Global()) {}
+
+TaskGraph::~TaskGraph() {
+  // Every submitted body must run (futures would otherwise never resolve):
+  // cancel cooperatively, then wait for the tail to drain.
+  token_.Cancel();
+  WaitAll();
+}
+
+TaskGraph::TaskId TaskGraph::SubmitErased(std::string name,
+                                          const std::vector<TaskId>& deps,
+                                          std::function<void()> body) {
+  size_t index;
+  bool ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    index = nodes_.size();
+    auto node = std::make_unique<Node>();
+    node->name = std::move(name);
+    node->body = std::move(body);
+    for (TaskId dep : deps) {
+      RAIN_CHECK(dep < index) << "TaskGraph: dependency on unknown task " << dep;
+      if (!nodes_[dep]->done) {
+        nodes_[dep]->dependents.push_back(index);
+        ++node->unmet;
+      }
+    }
+    ready = node->unmet == 0;
+    if (ready) node->enqueued = true;
+    nodes_.push_back(std::move(node));
+  }
+  if (ready) pool_->Submit([this, index] { RunNode(index); });
+  return index;
+}
+
+void TaskGraph::EnqueueReadyLocked(size_t index) {
+  Node& node = *nodes_[index];
+  if (node.enqueued || node.done || node.unmet != 0) return;
+  node.enqueued = true;
+  pool_->Submit([this, index] { RunNode(index); });
+}
+
+void TaskGraph::RunNode(size_t index) {
+  std::function<void()> body;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body = std::move(nodes_[index]->body);
+  }
+  // Bodies wrap user fns in promise fulfilment and never throw.
+  body();
+  std::vector<size_t> ready;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Node& node = *nodes_[index];
+    node.done = true;
+    ++completed_;
+    for (size_t dep_index : node.dependents) {
+      Node& dependent = *nodes_[dep_index];
+      RAIN_CHECK(dependent.unmet > 0);
+      if (--dependent.unmet == 0 && !dependent.enqueued) {
+        dependent.enqueued = true;
+        ready.push_back(dep_index);
+      }
+    }
+    if (completed_ == nodes_.size()) all_done_.notify_all();
+  }
+  for (size_t r : ready) pool_->Submit([this, r] { RunNode(r); });
+}
+
+void TaskGraph::WaitAll() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (completed_ == nodes_.size()) return;
+    }
+    if (!pool_->RunOneTask()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A task may be mid-flight on a worker; its completion notifies.
+      all_done_.wait(lock, [this] { return completed_ == nodes_.size(); });
+      return;
+    }
+  }
+}
+
+size_t TaskGraph::num_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return nodes_.size();
+}
+
+size_t TaskGraph::num_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+}  // namespace rain

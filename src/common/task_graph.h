@@ -1,0 +1,202 @@
+#ifndef RAIN_COMMON_TASK_GRAPH_H_
+#define RAIN_COMMON_TASK_GRAPH_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/thread_pool.h"
+
+namespace rain {
+
+/// \brief Single-assignment value channel between a producer task and a
+/// consumer thread.
+///
+/// `Promise<T>` is the producer end, `Future<T>` the consumer end; both
+/// are cheap shared views onto one state block, so either side may
+/// outlive the other. `Future<T>::Get()` blocks until the value (or an
+/// exception) arrives — and, when invoked on a thread that could itself
+/// be needed to make progress (a pool worker inside a nested wait), it
+/// helps drain the shared ThreadPool queue instead of sleeping, which
+/// keeps nested graphs deadlock-free even on a single-worker pool.
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<State>()) {}
+
+  void Set(T value) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->value.emplace(std::move(value));
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  void SetException(std::exception_ptr exc) {
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      state_->exception = exc;
+      state_->ready = true;
+    }
+    state_->cv.notify_all();
+  }
+
+  Future<T> future() const { return Future<T>(state_); }
+
+ private:
+  friend class Future<T>;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool ready = false;
+    std::optional<T> value;
+    std::exception_ptr exception;
+  };
+  std::shared_ptr<State> state_;
+};
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool Ready() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->ready;
+  }
+
+  /// Blocks until the producer fulfilled the promise, draining pool tasks
+  /// while waiting (see class comment).
+  void Wait() const {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        if (state_->ready) return;
+      }
+      if (!ThreadPool::Global().RunOneTask()) {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        state_->cv.wait(lock, [this] { return state_->ready; });
+        return;
+      }
+    }
+  }
+
+  /// Waits, then returns the value (moved out — Get() consumes; call at
+  /// most once per future chain) or rethrows the producer's exception.
+  T Get() const {
+    Wait();
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->exception) std::rethrow_exception(state_->exception);
+    return std::move(*state_->value);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<typename Promise<T>::State> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<typename Promise<T>::State> state_;
+};
+
+/// \brief Dependency-ordered task scheduler on the shared ThreadPool.
+///
+/// A `TaskGraph` owns a set of tasks connected by explicit dependency
+/// edges: a task is handed to the pool only once every dependency has
+/// completed. Values flow through `Future`s (each typed `Submit` returns
+/// one), and a graph-level `CancellationToken` is passed to every task
+/// body for cooperative cancellation — `Cancel()` does not prevent queued
+/// tasks from running (their futures must still be fulfilled), it makes
+/// well-behaved bodies exit early.
+///
+/// Scheduling never influences results in Rain: tasks that compute obey
+/// the deterministic-chunk contract internally, and the graph only adds
+/// ordering constraints on top. The async `DebugSession` uses a graph to
+/// overlap speculative retraining with the rank phase's CG solves.
+///
+/// Thread-safety: `Submit`/`Cancel`/`WaitAll` may be called from any
+/// thread; task bodies run on pool workers (or on threads draining the
+/// pool while they wait).
+class TaskGraph {
+ public:
+  using TaskId = size_t;
+
+  /// `pool` is borrowed; nullptr means the process-wide pool.
+  explicit TaskGraph(ThreadPool* pool = nullptr);
+  ~TaskGraph();
+
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Schedules `fn(token)` to run once every task in `deps` completed
+  /// (already-completed dependencies are fine). Returns a future for the
+  /// result; exceptions thrown by `fn` surface at `Future::Get()`.
+  /// `out_id`, when non-null, receives the task's id for use as a later
+  /// dependency.
+  template <typename Fn>
+  auto Submit(std::string name, const std::vector<TaskId>& deps, Fn&& fn,
+              TaskId* out_id = nullptr)
+      -> Future<std::invoke_result_t<Fn, const CancellationToken&>> {
+    using T = std::invoke_result_t<Fn, const CancellationToken&>;
+    Promise<T> promise;
+    Future<T> future = promise.future();
+    CancellationToken token = token_;
+    auto body = [promise, token, f = std::forward<Fn>(fn)]() mutable {
+      try {
+        promise.Set(f(static_cast<const CancellationToken&>(token)));
+      } catch (...) {
+        promise.SetException(std::current_exception());
+      }
+    };
+    const TaskId id = SubmitErased(std::move(name), deps, std::move(body));
+    if (out_id != nullptr) *out_id = id;
+    return future;
+  }
+
+  /// The graph-level token handed to every task body.
+  const CancellationToken& token() const { return token_; }
+  /// Cancels the graph token (cooperative; see class comment).
+  void Cancel() { token_.Cancel(); }
+
+  /// Blocks until every task submitted so far has completed, helping to
+  /// drain the pool while waiting.
+  void WaitAll();
+
+  size_t num_submitted() const;
+  size_t num_completed() const;
+
+ private:
+  struct Node;
+
+  /// Core type-erased scheduling; the templated Submit wraps the typed
+  /// promise fulfilment around `body`.
+  TaskId SubmitErased(std::string name, const std::vector<TaskId>& deps,
+                      std::function<void()> body);
+  void RunNode(size_t index);
+  void EnqueueReadyLocked(size_t index);
+
+  ThreadPool* pool_;
+  CancellationToken token_;
+
+  mutable std::mutex mu_;
+  std::condition_variable all_done_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  size_t completed_ = 0;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_COMMON_TASK_GRAPH_H_

@@ -144,6 +144,25 @@ void ParallelFor(int parallelism, size_t n,
   if (batch->first_exception) std::rethrow_exception(batch->first_exception);
 }
 
+bool ParallelForCancellable(
+    int parallelism, size_t n, const CancellationToken* cancel,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
+  if (cancel == nullptr) {
+    ParallelFor(parallelism, n, body);
+    return true;
+  }
+  std::atomic<bool> skipped{false};
+  ParallelFor(parallelism, n,
+              [&body, &skipped, cancel](size_t begin, size_t end, size_t chunk) {
+                if (cancel->ShouldStop()) {
+                  skipped.store(true, std::memory_order_relaxed);
+                  return;
+                }
+                body(begin, end, chunk);
+              });
+  return !skipped.load(std::memory_order_relaxed);
+}
+
 void ParallelForEach(int parallelism, size_t n,
                      const std::function<void(size_t i)>& body) {
   ParallelFor(parallelism, n, [&body](size_t begin, size_t end, size_t) {

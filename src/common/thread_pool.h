@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/rng.h"
 
 namespace rain {
@@ -82,6 +83,21 @@ void ParallelFor(int parallelism, size_t n,
 /// [0, n), chunked by the same deterministic layout.
 void ParallelForEach(int parallelism, size_t n,
                      const std::function<void(size_t i)>& body);
+
+/// \brief ParallelFor that cooperatively observes a cancellation token:
+/// each chunk checks `cancel` before running its range, so a stop request
+/// skips every not-yet-started chunk while chunks already running finish
+/// normally (they may poll the token themselves for finer grain).
+///
+/// Returns true when every chunk ran; false when at least one chunk was
+/// skipped — the caller must treat any partial output as interrupted and
+/// discard it (which keeps the deterministic-chunk contract intact: an
+/// *uncancelled* call is indistinguishable from plain ParallelFor).
+///
+/// `cancel == nullptr` never cancels.
+bool ParallelForCancellable(
+    int parallelism, size_t n, const CancellationToken* cancel,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
 
 /// \brief Deterministic parallel sum: each chunk reduces its range with
 /// `body(begin, end)`; partials are added in chunk order, so the result is a

@@ -15,11 +15,19 @@ Query2Pipeline::Query2Pipeline(Catalog catalog, std::unique_ptr<Model> model,
   RAIN_CHECK(model_ != nullptr);
 }
 
-Result<TrainReport> Query2Pipeline::Train() {
-  RAIN_ASSIGN_OR_RETURN(TrainReport report,
-                        TrainModel(model_.get(), train_, train_config_));
-  RefreshPredictions();
+Result<TrainReport> Query2Pipeline::Train(const CancellationToken* cancel) {
+  TrainConfig config = train_config_;
+  config.cancel = cancel;
+  RAIN_ASSIGN_OR_RETURN(TrainReport report, TrainModel(model_.get(), train_, config));
+  // Partial parameters are never published to the prediction views; the
+  // interrupted session records the iteration as cut short instead.
+  if (!report.interrupted) RefreshPredictions();
   return report;
+}
+
+void Query2Pipeline::AdoptModelParams(const Vec& params) {
+  model_->set_params(params);
+  RefreshPredictions();
 }
 
 void Query2Pipeline::RefreshPredictions() {

@@ -31,11 +31,25 @@ class Query2Pipeline {
                  TrainConfig train_config = TrainConfig());
 
   /// Trains (warm-start) on the active training records, then refreshes
-  /// every prediction view.
-  Result<TrainReport> Train();
+  /// every prediction view. `cancel` (borrowed, may be null) is polled
+  /// once per optimizer iteration; an interrupted run returns OK with
+  /// `TrainReport::interrupted = true` and skips the prediction refresh —
+  /// the caller is expected to stop at its next interruption check.
+  Result<TrainReport> Train(const CancellationToken* cancel = nullptr);
 
   /// Recomputes prediction views from the current model without training.
   void RefreshPredictions();
+
+  /// \brief Installs externally trained parameters and refreshes the
+  /// prediction views — the commit half of speculative retraining.
+  ///
+  /// The async debug session trains a `Model::Clone()` on a snapshot of
+  /// the training set while the rank phase still runs; when the
+  /// speculation validates, the clone's parameters are adopted here. For
+  /// parameters produced by `TrainModel` on an identical snapshot this is
+  /// bitwise-equivalent to having called `Train()` synchronously (same
+  /// L-BFGS trajectory, same `PredictProbaMatrix` inputs).
+  void AdoptModelParams(const Vec& params);
 
   /// Drops all provenance accumulated by debug executions.
   void ResetDebugState();

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <numeric>
 
 #include "common/logging.h"
@@ -58,6 +59,65 @@ StopCondition StopAfterDeletions(size_t n) {
   return [n](const DebugReport& report) { return report.deletions.size() >= n; };
 }
 
+namespace {
+
+void AppendNote(IterationStats* stats, const std::string& note) {
+  if (!stats->note.empty()) stats->note += "; ";
+  stats->note += note;
+}
+
+}  // namespace
+
+/// What a speculative train task hands back through its Future.
+struct SpecOutcome {
+  /// Training finished normally (no error, no interruption).
+  bool train_ok = false;
+  /// The task's own wall time — what the train phase costs when the
+  /// speculation commits (already overlapped with the rank phase).
+  double train_seconds = 0.0;
+};
+
+/// In-flight speculative train: a `Model::Clone()` trained on a private
+/// snapshot of the training set (predicted deletions applied) as a task
+/// on the session's `TaskGraph`. Entirely self-contained — the task
+/// touches nothing but this block, which it keeps alive via shared_ptr —
+/// so the session may abandon it and even be destroyed while it drains.
+/// Completion and the outcome flow through the task's Future; only the
+/// started handoff (the fix stage's overlap guarantee) needs bespoke
+/// signalling.
+struct DebugSession::Speculation {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool started = false;
+  /// Resolves when the task finished (Wait() drains the pool, so waiting
+  /// cannot deadlock even on a single-worker pool).
+  Future<SpecOutcome> done;
+  std::unique_ptr<Model> model;
+  std::unique_ptr<Dataset> snapshot;
+  /// The fix deletions this speculation assumed, in deletion order.
+  std::vector<size_t> predicted;
+  /// report_.deletions.size() at launch; validation compares the suffix
+  /// appended since against `predicted`.
+  size_t deletions_at_launch = 0;
+  /// Child of the session token: cancelling it aborts just this task.
+  CancellationToken token;
+  TrainConfig config;
+};
+
+const std::array<DebugSession::StageSpec, 4>& DebugSession::Stages() {
+  static const std::array<StageSpec, 4> kStages = {{
+      {DebugPhase::kTrain, "train_set(active), model(warm-start params)",
+       "model(theta), prediction_views"},
+      {DebugPhase::kBind, "workload, prediction_views, catalog",
+       "arena(provenance), bound_complaints, violated_count"},
+      {DebugPhase::kRank, "bound_complaints, model(theta), train_set(active)",
+       "scores, encode/rank timings"},
+      {DebugPhase::kFix, "scores, train_set(active)",
+       "deletions, train_set(active minus top-k)"},
+  }};
+  return kStages;
+}
+
 DebugSession::DebugSession(
     Query2Pipeline* pipeline, std::unique_ptr<Ranker> owned_ranker, Ranker* ranker,
     DebugConfig config, std::vector<QueryComplaints> workload,
@@ -71,10 +131,26 @@ DebugSession::DebugSession(
       observers_(std::move(observers)),
       deadline_(deadline) {
   RAIN_CHECK(pipeline_ != nullptr && ranker_ != nullptr);
+  // The session token reaches into every long phase loop: the trainer's
+  // L-BFGS iterations (through Query2Pipeline::Train) and the influence /
+  // CG kernels (through the options the rank context copies).
+  if (deadline_.has_value()) cancel_token_.set_deadline(*deadline_);
+  if (config_.influence.cancel == nullptr) {
+    config_.influence.cancel = &cancel_token_;
+  }
+}
+
+DebugSession::~DebugSession() {
+  cancel_token_.Cancel();
+  if (driver_thread_.joinable()) driver_thread_.join();
+  AbandonSpeculation();
+  // graph_'s destructor waits for any still-queued task bodies.
 }
 
 void DebugSession::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  RAIN_CHECK(!async_in_flight()) << "DebugSession::set_deadline during an async drive";
   deadline_ = deadline;
+  cancel_token_.set_deadline(deadline);
   if (finished_ && finish_status_ == StepStatus::kDeadlineExceeded &&
       std::chrono::steady_clock::now() < deadline) {
     finished_ = false;
@@ -83,7 +159,10 @@ void DebugSession::set_deadline(std::chrono::steady_clock::time_point deadline) 
 }
 
 void DebugSession::clear_deadline() {
+  RAIN_CHECK(!async_in_flight())
+      << "DebugSession::clear_deadline during an async drive";
   deadline_.reset();
+  cancel_token_.clear_deadline();
   if (finished_ && finish_status_ == StepStatus::kDeadlineExceeded) {
     finished_ = false;
     finish_status_ = StepStatus::kAlreadyFinished;
@@ -91,6 +170,8 @@ void DebugSession::clear_deadline() {
 }
 
 size_t DebugSession::AddComplaints(QueryComplaints batch) {
+  RAIN_CHECK(!async_in_flight())
+      << "DebugSession::AddComplaints during an async drive";
   workload_.push_back(std::move(batch));
   // New complaints may be violated: a resolved session has work again.
   if (finished_ && finish_status_ == StepStatus::kResolved) {
@@ -101,6 +182,7 @@ size_t DebugSession::AddComplaints(QueryComplaints batch) {
 }
 
 bool DebugSession::RemoveQuery(size_t index) {
+  RAIN_CHECK(!async_in_flight()) << "DebugSession::RemoveQuery during an async drive";
   if (index >= workload_.size()) return false;
   workload_.erase(workload_.begin() + static_cast<ptrdiff_t>(index));
   if (finished_ && finish_status_ == StepStatus::kResolved) {
@@ -111,12 +193,27 @@ bool DebugSession::RemoveQuery(size_t index) {
 }
 
 void DebugSession::NotifyIterationStart(int iteration) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
   for (DebugObserver* obs : observers_) obs->OnIterationStart(iteration, report_);
 }
 
 void DebugSession::NotifyPhaseComplete(int iteration, DebugPhase phase,
                                        double seconds) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
   for (DebugObserver* obs : observers_) obs->OnPhaseComplete(iteration, phase, seconds);
+}
+
+void DebugSession::NotifyDeletion(int iteration, size_t record, double score) {
+  std::lock_guard<std::mutex> lock(observer_mu_);
+  for (DebugObserver* obs : observers_) obs->OnDeletion(iteration, record, score);
+}
+
+void DebugSession::Finish(StepStatus status) {
+  finished_ = true;
+  finish_status_ = status;
+  // A terminal session never trains again, so an in-flight speculation
+  // can only waste cycles: stop it and take the snapshot back.
+  AbandonSpeculation();
 }
 
 bool DebugSession::CheckInterrupted(DebugPhase last_phase, IterationStats* stats,
@@ -124,17 +221,15 @@ bool DebugSession::CheckInterrupted(DebugPhase last_phase, IterationStats* stats
   StepStatus status;
   if (cancel_requested()) {
     status = StepStatus::kCancelled;
-  } else if (deadline_.has_value() &&
-             std::chrono::steady_clock::now() >= *deadline_) {
+  } else if (DeadlinePassed()) {
     status = StepStatus::kDeadlineExceeded;
   } else {
     return false;
   }
   // Record the partially completed iteration so the report stays a
   // faithful account of the work actually done.
-  if (!stats->note.empty()) stats->note += "; ";
-  stats->note += std::string(StepStatusName(status)) + " after " +
-                 DebugPhaseName(last_phase) + " phase";
+  AppendNote(stats, std::string(StepStatusName(status)) + " after " +
+                        DebugPhaseName(last_phase) + " phase");
   stats->deletions_after = report_.deletions.size();
   report_.iterations.push_back(*stats);
   ++iterations_completed_;
@@ -144,10 +239,20 @@ bool DebugSession::CheckInterrupted(DebugPhase last_phase, IterationStats* stats
   return true;
 }
 
+// --------------------------------------------------------------- stages
+
 Status DebugSession::TrainPhase(IterationStats* stats) {
+  if (pending_spec_ != nullptr && TryCommitSpeculation(stats)) return Status::OK();
   Timer timer;
-  RAIN_RETURN_NOT_OK(pipeline_->Train().status());
+  RAIN_ASSIGN_OR_RETURN(TrainReport trained, pipeline_->Train(&cancel_token_));
   stats->train_seconds = timer.ElapsedSeconds();
+  if (trained.interrupted) {
+    // The boundary check right after this phase turns the partial model
+    // into a recorded partial iteration; the note pins down where.
+    AppendNote(stats, "train stopped mid-optimization after " +
+                          std::to_string(trained.iterations) +
+                          " L-BFGS iterations");
+  }
   return Status::OK();
 }
 
@@ -233,7 +338,7 @@ Result<RankOutput> DebugSession::RankPhase(const std::vector<BoundComplaint>& bo
   RAIN_ASSIGN_OR_RETURN(RankOutput ranked, ranker_->Rank(ctx));
   stats->encode_seconds = ranked.encode_seconds;
   stats->rank_seconds = ranked.rank_seconds;
-  stats->note = ranked.note;
+  if (!ranked.note.empty()) AppendNote(stats, ranked.note);
   return ranked;
 }
 
@@ -256,14 +361,293 @@ int DebugSession::FixPhase(const RankOutput& ranked, int iteration,
     report_.deletions.push_back(idx);
     result->new_deletions.push_back(idx);
     ++removed;
-    for (DebugObserver* obs : observers_) {
-      obs->OnDeletion(iteration, idx, ranked.scores[idx]);
-    }
+    NotifyDeletion(iteration, idx, ranked.scores[idx]);
   }
   return removed;
 }
 
-Result<StepResult> DebugSession::Step() {
+// ---------------------------------------------------- speculation pipeline
+
+std::vector<size_t> DebugSession::PredictFixDeletions() const {
+  const Dataset* train = pipeline_->train_data();
+  if (last_scores_.size() != train->size()) return {};
+  // Exactly the fix selection rule, replayed on the PREVIOUS iteration's
+  // scores: if the ranking is stable between iterations (the common case
+  // late in a run), the prediction matches and the speculative train
+  // commits.
+  std::vector<size_t> order(train->size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return last_scores_[a] > last_scores_[b];
+  });
+  const int budget =
+      std::min(config_.top_k_per_iter,
+               config_.max_deletions - static_cast<int>(report_.deletions.size()));
+  std::vector<size_t> predicted;
+  for (size_t idx : order) {
+    if (static_cast<int>(predicted.size()) >= budget) break;
+    if (!train->active(idx)) continue;
+    predicted.push_back(idx);
+  }
+  return predicted;
+}
+
+void DebugSession::SyncSnapshotCache() {
+  Dataset* live = pipeline_->train_data();
+  if (snapshot_cache_ == nullptr) {
+    // Features and labels are immutable for the session's lifetime, so
+    // this one deep copy is amortized across every later speculation;
+    // only the active-mask delta is replayed per launch.
+    snapshot_cache_ = std::make_unique<Dataset>(*live);
+    snapshot_deletions_applied_ = report_.deletions.size();
+    return;
+  }
+  for (size_t i = snapshot_deletions_applied_; i < report_.deletions.size(); ++i) {
+    snapshot_cache_->Deactivate(report_.deletions[i]);
+  }
+  snapshot_deletions_applied_ = report_.deletions.size();
+}
+
+void DebugSession::LaunchSpeculation(int next_iteration) {
+  // Profitability gates only — skipping a speculation never changes
+  // results. No speculation when the upcoming fix cannot delete (the
+  // session then ends in kNoProgress), when the iteration cap stops the
+  // next train anyway, or when the predicted fix exhausts the deletion
+  // budget.
+  const int budget =
+      std::min(config_.top_k_per_iter,
+               config_.max_deletions - static_cast<int>(report_.deletions.size()));
+  if (budget <= 0) return;
+  if (next_iteration >= config_.max_iterations) return;
+  std::vector<size_t> predicted = PredictFixDeletions();
+  // An empty prediction (first iteration: no prior scores to predict
+  // from) can never commit — a fix that deletes nothing ends the session
+  // before the next train — so launching would be guaranteed wasted work.
+  if (predicted.empty()) return;
+  if (report_.deletions.size() + predicted.size() >=
+      static_cast<size_t>(config_.max_deletions)) {
+    return;
+  }
+
+  SyncSnapshotCache();
+  auto spec = std::make_shared<Speculation>();
+  spec->predicted = std::move(predicted);
+  spec->deletions_at_launch = report_.deletions.size();
+  spec->snapshot = std::move(snapshot_cache_);
+  for (size_t id : spec->predicted) spec->snapshot->Deactivate(id);
+  // Clone at the post-train(i) parameters: the same warm start the
+  // synchronous train(i+1) would use.
+  spec->model = pipeline_->model()->Clone();
+  spec->config = pipeline_->train_config();
+  spec->token = cancel_token_.MakeChild();
+  spec->config.cancel = &spec->token;
+
+  pending_spec_ = spec;
+  ++async_stats_.speculations_launched;
+  spec->done = graph_.Submit(
+      "speculative-train#" + std::to_string(next_iteration), {},
+      [spec](const CancellationToken&) -> SpecOutcome {
+        {
+          std::lock_guard<std::mutex> lock(spec->mu);
+          spec->started = true;
+        }
+        spec->cv.notify_all();
+        Timer timer;
+        Result<TrainReport> trained =
+            TrainModel(spec->model.get(), *spec->snapshot, spec->config);
+        SpecOutcome outcome;
+        outcome.train_seconds = timer.ElapsedSeconds();
+        outcome.train_ok = trained.ok() && !trained->interrupted;
+        return outcome;
+      });
+}
+
+void DebugSession::WaitSpecStarted(Speculation* spec) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(spec->mu);
+      if (spec->started) return;
+    }
+    // Help drain the pool so a single-worker (or saturated) pool cannot
+    // stall the handoff: worst case this thread runs the speculative
+    // train inline, which still starts it before the fix phase.
+    if (!ThreadPool::Global().RunOneTask()) {
+      std::unique_lock<std::mutex> lock(spec->mu);
+      spec->cv.wait(lock, [spec] { return spec->started; });
+      return;
+    }
+  }
+}
+
+SpecOutcome DebugSession::WaitSpecOutcome(Speculation* spec) {
+  try {
+    return spec->done.Get();
+  } catch (...) {
+    // A throwing task body (allocation failure in TrainModel, say) reads
+    // as a failed speculation: the caller replays synchronously.
+    return SpecOutcome{};
+  }
+}
+
+void DebugSession::ReclaimSnapshot(std::shared_ptr<Speculation> spec) {
+  // The task has drained; roll the predicted deletions back so the cache
+  // again mirrors the deletion prefix recorded at launch.
+  for (size_t id : spec->predicted) spec->snapshot->Reactivate(id);
+  snapshot_cache_ = std::move(spec->snapshot);
+  snapshot_deletions_applied_ = spec->deletions_at_launch;
+}
+
+bool DebugSession::TryCommitSpeculation(IterationStats* stats) {
+  std::shared_ptr<Speculation> spec = std::move(pending_spec_);
+  const std::vector<size_t>& deletions = report_.deletions;
+  // Valid iff the deletions appended since launch are exactly the ones
+  // the speculation trained without — element for element, order
+  // included. Anything else (more, fewer, different ids) replays.
+  const bool prediction_matched =
+      deletions.size() == spec->deletions_at_launch + spec->predicted.size() &&
+      std::equal(spec->predicted.begin(), spec->predicted.end(),
+                 deletions.begin() +
+                     static_cast<ptrdiff_t>(spec->deletions_at_launch));
+  SpecOutcome outcome;
+  if (prediction_matched) {
+    outcome = WaitSpecOutcome(spec.get());
+  } else {
+    spec->token.Cancel();  // stop the wasted work within one L-BFGS round
+    outcome = WaitSpecOutcome(spec.get());
+  }
+  bool committed = false;
+  if (prediction_matched && outcome.train_ok) {
+    // Bitwise what the synchronous retrain would produce: same warm
+    // start, same active rows, same deterministic L-BFGS. Publishing
+    // the parameters also refreshes the prediction views.
+    pipeline_->AdoptModelParams(spec->model->params());
+    stats->train_seconds = outcome.train_seconds;
+    AppendNote(stats, "train speculated during previous rank phase");
+    ++async_stats_.speculations_committed;
+    committed = true;
+  }
+  if (!committed) ++async_stats_.speculations_replayed;
+  ReclaimSnapshot(std::move(spec));
+  return committed;
+}
+
+void DebugSession::AbandonSpeculation() {
+  if (pending_spec_ == nullptr) return;
+  std::shared_ptr<Speculation> spec = std::move(pending_spec_);
+  spec->token.Cancel();
+  (void)WaitSpecOutcome(spec.get());
+  ReclaimSnapshot(std::move(spec));
+}
+
+// ---------------------------------------------------------- step driving
+
+struct DebugSession::StageScope {
+  int iteration = 0;
+  bool pipelined = false;
+  StepResult* result = nullptr;
+  IterationStats stats;
+  std::vector<BoundComplaint> bound;
+  RankOutput ranked;
+};
+
+Result<DebugSession::StageAction> DebugSession::RunStage(DebugPhase phase,
+                                                         StageScope* scope) {
+  StepResult* result = scope->result;
+  switch (phase) {
+    case DebugPhase::kTrain: {
+      RAIN_RETURN_NOT_OK(TrainPhase(&scope->stats));
+      NotifyPhaseComplete(scope->iteration, DebugPhase::kTrain,
+                          scope->stats.train_seconds);
+      if (CheckInterrupted(DebugPhase::kTrain, &scope->stats, result)) {
+        return StageAction::kStepDone;
+      }
+      return StageAction::kContinue;
+    }
+
+    case DebugPhase::kBind: {
+      RAIN_ASSIGN_OR_RETURN(scope->bound, BindPhase(&scope->stats));
+      NotifyPhaseComplete(scope->iteration, DebugPhase::kBind,
+                          scope->stats.query_seconds);
+      result->complaints_resolved = scope->stats.violated_complaints == 0;
+      if (scope->stats.violated_complaints == 0) {
+        report_.complaints_resolved = true;
+        if (config_.stop_when_resolved) {
+          scope->stats.deletions_after = report_.deletions.size();
+          report_.iterations.push_back(scope->stats);
+          ++iterations_completed_;
+          Finish(StepStatus::kResolved);
+          result->status = StepStatus::kResolved;
+          result->stats = scope->stats;
+          return StageAction::kStepDone;
+        }
+      } else {
+        report_.complaints_resolved = false;
+      }
+      if (CheckInterrupted(DebugPhase::kBind, &scope->stats, result)) {
+        return StageAction::kStepDone;
+      }
+      return StageAction::kContinue;
+    }
+
+    case DebugPhase::kRank: {
+      // Pipelining: the next iteration's speculative train overlaps the
+      // CG solves below (the only cross-iteration edge, broken on a
+      // predicted post-fix snapshot; see class comment).
+      if (scope->pipelined && pending_spec_ == nullptr) {
+        LaunchSpeculation(scope->iteration + 1);
+      }
+      Result<RankOutput> ranked = RankPhase(scope->bound, &scope->stats);
+      if (!ranked.ok()) {
+        if (ranked.status().IsCancelled() &&
+            (cancel_requested() || DeadlinePassed())) {
+          // In-loop cancellation inside the solve: wind down as an
+          // interruption after the last *completed* phase.
+          if (CheckInterrupted(DebugPhase::kBind, &scope->stats, result)) {
+            return StageAction::kStepDone;
+          }
+        }
+        return ranked.status();
+      }
+      scope->ranked = std::move(*ranked);
+      // The predictor's input for the next iteration's speculation.
+      last_scores_ = scope->ranked.scores;
+      NotifyPhaseComplete(scope->iteration, DebugPhase::kRank,
+                          scope->stats.encode_seconds + scope->stats.rank_seconds);
+      if (CheckInterrupted(DebugPhase::kRank, &scope->stats, result)) {
+        return StageAction::kStepDone;
+      }
+      return StageAction::kContinue;
+    }
+
+    case DebugPhase::kFix: {
+      if (scope->pipelined && pending_spec_ != nullptr) {
+        // The pipeline's ordering guarantee: the next train is running
+        // before this fix completes (inline as a last resort on a
+        // saturated pool).
+        WaitSpecStarted(pending_spec_.get());
+        ++async_stats_.overlapped_iterations;
+      }
+      Timer fix_timer;
+      const int removed = FixPhase(scope->ranked, scope->iteration, result);
+      NotifyPhaseComplete(scope->iteration, DebugPhase::kFix,
+                          fix_timer.ElapsedSeconds());
+      scope->stats.deletions_after = report_.deletions.size();
+      report_.iterations.push_back(scope->stats);
+      ++iterations_completed_;
+      result->stats = scope->stats;
+      if (removed == 0) {  // nothing left to delete
+        Finish(StepStatus::kNoProgress);
+        result->status = StepStatus::kNoProgress;
+      } else {
+        result->status = StepStatus::kIterated;
+      }
+      return StageAction::kStepDone;
+    }
+  }
+  return Status::Internal("unknown debug stage");
+}
+
+Result<StepResult> DebugSession::StepImpl(bool pipelined) {
   StepResult result;
   if (finished_) {
     result.status = StepStatus::kAlreadyFinished;
@@ -286,77 +670,107 @@ Result<StepResult> DebugSession::Step() {
     result.status = StepStatus::kCancelled;
     return result;
   }
-  if (deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_) {
+  if (DeadlinePassed()) {
     Finish(StepStatus::kDeadlineExceeded);
     result.status = StepStatus::kDeadlineExceeded;
     return result;
   }
 
-  const int iteration = iterations_completed_;
-  NotifyIterationStart(iteration);
-  IterationStats stats;
-
-  // (0) (Re)train on surviving records, warm start.
-  RAIN_RETURN_NOT_OK(TrainPhase(&stats));
-  NotifyPhaseComplete(iteration, DebugPhase::kTrain, stats.train_seconds);
-  if (CheckInterrupted(DebugPhase::kTrain, &stats, &result)) return result;
-
-  // (1-2) Re-run every complained-about query and bind complaints.
-  RAIN_ASSIGN_OR_RETURN(std::vector<BoundComplaint> bound, BindPhase(&stats));
-  NotifyPhaseComplete(iteration, DebugPhase::kBind, stats.query_seconds);
-
-  result.complaints_resolved = stats.violated_complaints == 0;
-  if (stats.violated_complaints == 0) {
-    report_.complaints_resolved = true;
-    if (config_.stop_when_resolved) {
-      stats.deletions_after = report_.deletions.size();
-      report_.iterations.push_back(stats);
-      ++iterations_completed_;
-      Finish(StepStatus::kResolved);
-      result.status = StepStatus::kResolved;
-      result.stats = stats;
-      return result;
-    }
-  } else {
-    report_.complaints_resolved = false;
-  }
-  if (CheckInterrupted(DebugPhase::kBind, &stats, &result)) return result;
-
-  // (4-10) Rank the training records.
-  RAIN_ASSIGN_OR_RETURN(RankOutput ranked, RankPhase(bound, &stats));
-  NotifyPhaseComplete(iteration, DebugPhase::kRank,
-                      stats.encode_seconds + stats.rank_seconds);
-  if (CheckInterrupted(DebugPhase::kRank, &stats, &result)) return result;
-
-  // Fix: delete the top-k active records.
-  Timer fix_timer;
-  const int removed = FixPhase(ranked, iteration, &result);
-  NotifyPhaseComplete(iteration, DebugPhase::kFix, fix_timer.ElapsedSeconds());
-
-  stats.deletions_after = report_.deletions.size();
-  report_.iterations.push_back(stats);
-  ++iterations_completed_;
-  result.stats = stats;
-  if (removed == 0) {  // nothing left to delete
-    Finish(StepStatus::kNoProgress);
-    result.status = StepStatus::kNoProgress;
-  } else {
-    result.status = StepStatus::kIterated;
+  StageScope scope;
+  scope.iteration = iterations_completed_;
+  scope.pipelined = pipelined;
+  scope.result = &result;
+  NotifyIterationStart(scope.iteration);
+  for (const StageSpec& stage : Stages()) {
+    RAIN_ASSIGN_OR_RETURN(StageAction action, RunStage(stage.phase, &scope));
+    if (action == StageAction::kStepDone) break;
   }
   return result;
 }
 
+Result<StepResult> DebugSession::Step() {
+  if (async_in_flight()) {
+    return Status::InvalidArgument(
+        "DebugSession::Step: an async drive is in flight; wait on its future");
+  }
+  return StepImpl(/*pipelined=*/false);
+}
+
 Result<DebugReport> DebugSession::RunToCompletion(const StopCondition& stop) {
+  if (async_in_flight()) {
+    return Status::InvalidArgument(
+        "DebugSession::RunToCompletion: an async drive is in flight; wait on "
+        "its future");
+  }
   // The stop condition is consulted BEFORE each step: resuming with an
   // already-satisfied condition must not run (and irreversibly delete
   // records in) an extra iteration.
   while (!finished_) {
     if (stop && stop(report_)) break;
-    RAIN_ASSIGN_OR_RETURN(StepResult step, Step());
+    RAIN_ASSIGN_OR_RETURN(StepResult step, StepImpl(/*pipelined=*/false));
     if (step.status != StepStatus::kIterated) break;
   }
   return report_;
 }
+
+// ------------------------------------------------------------ async drive
+
+void DebugSession::ReapDriverThread() {
+  if (driver_thread_.joinable()) driver_thread_.join();
+}
+
+Result<DebugReport> DebugSession::DriveLoop(const StopCondition& stop,
+                                            AsyncOptions options) {
+  while (!finished_) {
+    if (stop && stop(report_)) break;
+    Result<StepResult> step = StepImpl(options.speculate);
+    RAIN_RETURN_NOT_OK(step.status());
+    if (step->status != StepStatus::kIterated) break;
+  }
+  // A pause (stop condition) keeps any pending speculation alive: the
+  // next drive — or a synchronous Step — validates and consumes it with
+  // the exact same rule. Terminal states abandoned it in Finish().
+  return report_;
+}
+
+Future<Result<StepResult>> DebugSession::StepAsync(AsyncOptions options) {
+  Promise<Result<StepResult>> promise;
+  Future<Result<StepResult>> future = promise.future();
+  if (async_active_.exchange(true, std::memory_order_acq_rel)) {
+    promise.Set(Status::InvalidArgument(
+        "DebugSession::StepAsync: an async drive is already in flight"));
+    return future;
+  }
+  ReapDriverThread();
+  driver_thread_ = std::thread([this, options, promise]() mutable {
+    Result<StepResult> out = StepImpl(options.speculate);
+    async_active_.store(false, std::memory_order_release);
+    promise.Set(std::move(out));
+  });
+  return future;
+}
+
+Future<Result<DebugReport>> DebugSession::RunToCompletionAsync(
+    StopCondition stop, AsyncOptions options) {
+  Promise<Result<DebugReport>> promise;
+  Future<Result<DebugReport>> future = promise.future();
+  if (async_active_.exchange(true, std::memory_order_acq_rel)) {
+    promise.Set(Status::InvalidArgument(
+        "DebugSession::RunToCompletionAsync: an async drive is already in "
+        "flight"));
+    return future;
+  }
+  ReapDriverThread();
+  driver_thread_ =
+      std::thread([this, stop = std::move(stop), options, promise]() mutable {
+        Result<DebugReport> out = DriveLoop(stop, options);
+        async_active_.store(false, std::memory_order_release);
+        promise.Set(std::move(out));
+      });
+  return future;
+}
+
+// ---------------------------------------------------------------- builder
 
 DebugSessionBuilder& DebugSessionBuilder::ranker(const std::string& name) {
   auto made = MakeRanker(name);

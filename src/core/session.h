@@ -1,15 +1,20 @@
 #ifndef RAIN_CORE_SESSION_H_
 #define RAIN_CORE_SESSION_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/task_graph.h"
 #include "core/complaint.h"
 #include "core/debugger.h"
 #include "core/pipeline.h"
@@ -17,8 +22,14 @@
 
 namespace rain {
 
+/// Result of a speculative train task (defined in session.cc).
+struct SpecOutcome;
+
 /// The phases of one train-rank-fix iteration (Section 5.1), in execution
-/// order. Cancellation and deadlines are checked at every phase boundary.
+/// order. Cancellation and deadlines are checked at every phase boundary
+/// and additionally polled *inside* the long train / rank loops (one poll
+/// per L-BFGS iteration, per CG Hessian-vector product, and per scored
+/// record), so a stuck solve no longer delays a stop by a whole phase.
 enum class DebugPhase : uint8_t { kTrain = 0, kBind, kRank, kFix };
 
 /// Human-readable phase name ("train", "bind", "rank", "fix").
@@ -37,8 +48,9 @@ enum class StepStatus : uint8_t {
   kBudgetExhausted,
   /// `max_iterations` iterations have run; terminal.
   kIterationLimit,
-  /// `Cancel()` was observed at a phase boundary; terminal. The report so
-  /// far (including the partially timed iteration) remains valid.
+  /// `Cancel()` was observed at a phase boundary (or inside a phase loop);
+  /// terminal. The report so far (including the partially timed
+  /// iteration) remains valid.
   kCancelled,
   /// The deadline passed at a phase boundary; terminal like kCancelled,
   /// but reopened by `set_deadline` with a future deadline.
@@ -71,10 +83,16 @@ struct StepResult {
 };
 
 /// Streaming progress interface. Callbacks fire synchronously on the
-/// stepping thread, in phase order within an iteration; observers are
-/// borrowed and must outlive the session. Observers may call
-/// `DebugSession::Cancel()` (it only sets a flag), but must not mutate the
-/// session otherwise from inside a callback.
+/// stepping thread — the caller's thread for `Step()` /
+/// `RunToCompletion()`, the session's driver thread for `StepAsync()` /
+/// `RunToCompletionAsync()` — and always in deterministic phase order
+/// within an iteration, identical between the synchronous and pipelined
+/// paths (speculative work never notifies; its timing is delivered at the
+/// phase's canonical slot when it commits). Delivery is serialized under
+/// a session-level mutex. Observers are borrowed and must outlive the
+/// session. Observers may call `DebugSession::Cancel()` (it only sets a
+/// flag, honored on the async path too), but must not mutate the session
+/// otherwise from inside a callback.
 class DebugObserver {
  public:
   virtual ~DebugObserver() = default;
@@ -84,7 +102,9 @@ class DebugObserver {
     (void)report;
   }
   /// A phase finished. `seconds` is the phase wall time (for kFix the
-  /// deletion bookkeeping time, not part of the Fig. 5 breakdown).
+  /// deletion bookkeeping time, not part of the Fig. 5 breakdown). For a
+  /// committed speculative train this is the overlapped task's own wall
+  /// time, delivered at the train slot of its iteration.
   virtual void OnPhaseComplete(int iteration, DebugPhase phase, double seconds) {
     (void)iteration;
     (void)phase;
@@ -109,6 +129,34 @@ StopCondition StopAfterIterations(int n);
 /// A StopCondition pausing once the cumulative explanation reaches `n`
 /// deletions.
 StopCondition StopAfterDeletions(size_t n);
+
+/// Knobs for the pipelined stepping modes (`StepAsync`,
+/// `RunToCompletionAsync`).
+struct AsyncOptions {
+  /// Overlap iterations: while iteration *i* runs its rank phase, start
+  /// iteration *i+1*'s train phase speculatively on a snapshot of the
+  /// training set with the *predicted* fix deletions applied. The
+  /// speculation is validated against the actual fix deletions and
+  /// replayed when it was wrong, so the deletion sequence stays bitwise
+  /// identical to synchronous stepping either way. `false` keeps the
+  /// async entry points but steps with strict phase barriers.
+  bool speculate = true;
+};
+
+/// Bookkeeping for the speculation pipeline (cumulative per session).
+struct AsyncStats {
+  /// Speculative train tasks handed to the task graph.
+  int speculations_launched = 0;
+  /// Speculations whose predicted deletions matched the fix phase exactly
+  /// and whose trained parameters were adopted (no synchronous retrain).
+  int speculations_committed = 0;
+  /// Speculations invalidated (or failed) and replayed synchronously.
+  int speculations_replayed = 0;
+  /// Iterations whose fix phase completed only after the *next*
+  /// iteration's speculative train had already started — the observable
+  /// phase overlap the pipeline exists for.
+  int overlapped_iterations = 0;
+};
 
 /// \brief Batched multi-query bind (Section 6.5): executes every
 /// complained-about query in debug mode and binds all complaints against
@@ -149,13 +197,45 @@ Result<std::vector<BoundComplaint>> BindWorkload(
 ///     happened; stepping a finished session is a safe no-op.
 ///   - `RunToCompletion()` drives `Step()` until a terminal state (or an
 ///     optional `StopCondition` pauses it).
+///   - `StepAsync()` / `RunToCompletionAsync()` run the same loop on a
+///     session-owned driver thread and return futures, pipelining
+///     iterations through the task graph (see below).
 ///   - `Cancel()` (thread-safe) and deadlines stop the loop at the next
-///     phase boundary, leaving a valid partial `DebugReport`.
+///     phase boundary — or mid-phase, via the cancellation token plumbed
+///     into the training and CG loops — leaving a valid partial
+///     `DebugReport`.
 ///   - `DebugObserver`s stream per-phase progress (the Fig. 5/12 timing
 ///     breakdowns) while the loop runs.
 ///   - `AddComplaints` / `RemoveQuery` mutate the workload between steps,
 ///     so Section 6.5 multi-complaint workloads can be grown incrementally
 ///     instead of re-run from scratch.
+///
+/// ## Stages and the speculation/replay pipeline
+///
+/// An iteration is executed as four explicit stages with declared inputs
+/// and outputs (see `Stages()`): train consumes the active training set
+/// and produces model parameters + fresh prediction views; bind consumes
+/// the workload + views and produces bound complaints over a fresh arena;
+/// rank consumes the bound complaints and produces removal scores; fix
+/// consumes the scores and produces deletions (mutating the active set).
+/// The only cross-iteration edge is fix(i) → train(i+1), and the
+/// pipelined driver breaks it *speculatively*: when rank(i) starts, it
+/// predicts fix(i)'s deletions from the previous iteration's scores
+/// (exactly replaying the fix selection rule; no prior scores = predict
+/// none), applies them to a private snapshot of the training set, and
+/// trains a `Model::Clone()` on that snapshot as a task-graph task
+/// overlapping the CG solves. After fix(i) runs for real, the prediction
+/// is validated against the actual deletion list: on an exact match the
+/// clone's parameters are adopted (bitwise what a synchronous retrain
+/// would have produced — same warm start, same active rows, same
+/// deterministic L-BFGS); on a mismatch the speculation is cancelled,
+/// discarded, and train(i+1) replays synchronously. Either way the
+/// deletion sequence is bitwise-identical to `RunToCompletion`.
+///
+/// While an async drive is in flight, `Step()`/`RunToCompletion()` return
+/// an error and the mutating entry points (`AddComplaints`, `RemoveQuery`,
+/// `set_deadline`, `clear_deadline`) must not be called — only `Cancel()`
+/// stays safe from any thread; everything else waits for the future.
 ///
 /// Sessions are created by `DebugSessionBuilder`. The pipeline is borrowed
 /// and must outlive the session; the session owns its ranker (unless built
@@ -164,6 +244,18 @@ class DebugSession {
  public:
   DebugSession(const DebugSession&) = delete;
   DebugSession& operator=(const DebugSession&) = delete;
+  /// Cancels and joins any in-flight async work.
+  ~DebugSession();
+
+  /// Declared dataflow of one iteration, in execution order.
+  struct StageSpec {
+    DebugPhase phase;
+    const char* inputs;
+    const char* outputs;
+  };
+  /// The four stages `Step()` drives; the strings document each stage's
+  /// consumed/produced state for introspection and tests.
+  static const std::array<StageSpec, 4>& Stages();
 
   /// Runs one train-rank-fix iteration: train -> bind -> rank -> fix, with
   /// observer callbacks after each phase and cancellation/deadline checks
@@ -177,21 +269,47 @@ class DebugSession {
   /// (resume by calling again, or mutate the workload in between).
   Result<DebugReport> RunToCompletion(const StopCondition& stop = StopCondition());
 
-  /// Requests cancellation; safe to call from any thread or from observer
-  /// callbacks. Observed at the next phase boundary.
-  void Cancel() { cancel_requested_.store(true, std::memory_order_relaxed); }
-  bool cancel_requested() const {
-    return cancel_requested_.load(std::memory_order_relaxed);
+  /// One iteration on the session's driver thread; with
+  /// `options.speculate` it also launches the next iteration's
+  /// speculative train during the rank phase (consumed by whichever step
+  /// runs next). At most one async call may be in flight per session; a
+  /// second call resolves immediately with an error.
+  Future<Result<StepResult>> StepAsync(AsyncOptions options = AsyncOptions());
+
+  /// `RunToCompletion` on the session's driver thread, pipelining
+  /// iterations (see class comment). The deletion sequence is
+  /// bitwise-identical to the synchronous path for every worker count and
+  /// speculation setting.
+  Future<Result<DebugReport>> RunToCompletionAsync(
+      StopCondition stop = StopCondition(), AsyncOptions options = AsyncOptions());
+
+  /// True while an async step/run is executing on the driver thread.
+  bool async_in_flight() const {
+    return async_active_.load(std::memory_order_acquire);
   }
+  /// Speculation counters (read after the async future resolved).
+  const AsyncStats& async_stats() const { return async_stats_; }
+
+  /// Requests cancellation; safe to call from any thread or from observer
+  /// callbacks. Observed at the next phase boundary, and inside the
+  /// train / rank loops within one optimizer iteration / CG product.
+  void Cancel() { cancel_token_.Cancel(); }
+  bool cancel_requested() const { return cancel_token_.cancelled(); }
+  /// The session's cancellation token (parent of every token handed to
+  /// phase kernels and speculative tasks).
+  const CancellationToken& cancel_token() const { return cancel_token_; }
 
   /// Sets / replaces the deadline. A future deadline reopens a session
-  /// that finished with kDeadlineExceeded.
+  /// that finished with kDeadlineExceeded. Like the workload mutators,
+  /// must not be called while an async drive is in flight (use `Cancel()`
+  /// for cross-thread interruption).
   void set_deadline(std::chrono::steady_clock::time_point deadline);
   void clear_deadline();
 
   /// Appends a query+complaints batch to the workload, returning its slot
   /// index. Reopens a session that finished with kResolved (the new
-  /// complaints may be violated).
+  /// complaints may be violated). Must not be called while an async drive
+  /// is in flight.
   size_t AddComplaints(QueryComplaints batch);
   /// Removes the workload entry at `index` (later slots shift down by
   /// one). Returns false when out of range.
@@ -220,9 +338,23 @@ class DebugSession {
                std::vector<DebugObserver*> observers,
                std::optional<std::chrono::steady_clock::time_point> deadline);
 
-  // --- The four phases of one iteration (split out of the legacy
-  // monolithic Debugger::Run so a later async pipeline can overlap them).
-  /// (Re)trains on surviving records, warm start.
+  /// Mutable state threaded through one step's stages.
+  struct StageScope;
+  /// In-flight speculative train state (self-contained; the task keeps it
+  /// alive through a shared_ptr even if the session dies first).
+  struct Speculation;
+  enum class StageAction : uint8_t { kContinue, kStepDone };
+
+  /// One iteration through the declared stages. `pipelined` enables the
+  /// speculation hooks (launch during rank, started-before-fix handoff).
+  Result<StepResult> StepImpl(bool pipelined);
+  Result<StageAction> RunStage(DebugPhase phase, StageScope* scope);
+
+  // --- The four stages (split out of the legacy monolithic Debugger::Run;
+  // StepImpl drives them through the declared-stage table).
+  /// (Re)trains on surviving records, warm start. Consumes a pending
+  /// speculation first: commit on an exact deletion-prediction match,
+  /// cancel + replay otherwise.
   Status TrainPhase(IterationStats* stats);
   /// Re-runs every complained-about query in debug mode against a fresh
   /// arena and binds all complaints to the new provenance. The per-query
@@ -236,19 +368,48 @@ class DebugSession {
   /// and streams OnDeletion callbacks.
   int FixPhase(const RankOutput& ranked, int iteration, StepResult* result);
 
+  // --- Speculation pipeline.
+  /// Launches the speculative train for `next_iteration` on the task
+  /// graph (no-op when unprofitable: budget exhausted or iteration cap).
+  void LaunchSpeculation(int next_iteration);
+  /// Replays the fix selection rule on the previous iteration's scores to
+  /// predict the upcoming fix deletions (empty when no scores yet).
+  std::vector<size_t> PredictFixDeletions() const;
+  /// Brings the snapshot dataset cache up to date with the live active
+  /// mask by applying the deletions recorded since the last sync.
+  void SyncSnapshotCache();
+  /// Returns the snapshot to the cache with the predicted deletions
+  /// rolled back.
+  void ReclaimSnapshot(std::shared_ptr<Speculation> spec);
+  /// Validates + commits (or cancels + discards) the pending speculation;
+  /// returns true when the trained parameters were adopted.
+  bool TryCommitSpeculation(IterationStats* stats);
+  /// Cancels and reclaims a pending speculation without consuming it
+  /// (terminal states, destruction).
+  void AbandonSpeculation();
+  static void WaitSpecStarted(Speculation* spec);
+  /// Waits for the task's Future and returns its outcome (a failed /
+  /// throwing task reads as a failed speculation).
+  static SpecOutcome WaitSpecOutcome(Speculation* spec);
+
   /// Cancel/deadline check at a phase boundary. When interrupted
   /// mid-iteration, records the partial stats (note says after which
   /// phase) and finishes the session; returns true if interrupted.
   bool CheckInterrupted(DebugPhase last_phase, IterationStats* stats,
                         StepResult* result);
-
-  void Finish(StepStatus status) {
-    finished_ = true;
-    finish_status_ = status;
+  bool DeadlinePassed() const {
+    return deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_;
   }
+
+  void Finish(StepStatus status);
 
   void NotifyIterationStart(int iteration);
   void NotifyPhaseComplete(int iteration, DebugPhase phase, double seconds);
+  void NotifyDeletion(int iteration, size_t record, double score);
+
+  /// Joins a finished driver thread so a new async call can reuse it.
+  void ReapDriverThread();
+  Result<DebugReport> DriveLoop(const StopCondition& stop, AsyncOptions options);
 
   Query2Pipeline* pipeline_;
   std::unique_ptr<Ranker> owned_ranker_;
@@ -256,13 +417,29 @@ class DebugSession {
   DebugConfig config_;
   std::vector<QueryComplaints> workload_;
   std::vector<DebugObserver*> observers_;
+  std::mutex observer_mu_;
   std::optional<std::chrono::steady_clock::time_point> deadline_;
 
   DebugReport report_;
   int iterations_completed_ = 0;
   bool finished_ = false;
   StepStatus finish_status_ = StepStatus::kAlreadyFinished;
-  std::atomic<bool> cancel_requested_{false};
+  CancellationToken cancel_token_;
+
+  // --- Async/pipelining state (touched only by the driving thread, the
+  // guarded entry points, and self-contained speculation tasks).
+  TaskGraph graph_;
+  std::atomic<bool> async_active_{false};
+  std::thread driver_thread_;
+  AsyncStats async_stats_;
+  std::shared_ptr<Speculation> pending_spec_;
+  /// Previous rank phase's scores — the deletion predictor's input.
+  std::vector<double> last_scores_;
+  /// Lazily built copy of the training set reused across speculations;
+  /// `snapshot_deletions_applied_` counts the report_.deletions prefix
+  /// already applied to its active mask.
+  std::unique_ptr<Dataset> snapshot_cache_;
+  size_t snapshot_deletions_applied_ = 0;
 };
 
 /// \brief Fluent constructor for `DebugSession`.
@@ -364,7 +541,7 @@ class DebugSessionBuilder {
     if (obs != nullptr) observers_.push_back(obs);
     return *this;
   }
-  /// Absolute deadline checked between phases.
+  /// Absolute deadline checked between phases (and inside phase loops).
   DebugSessionBuilder& deadline(std::chrono::steady_clock::time_point tp) {
     deadline_ = tp;
     return *this;

@@ -1,6 +1,7 @@
 #include "influence/conjugate_gradient.h"
 
 #include <cmath>
+#include <string>
 
 namespace rain {
 
@@ -30,6 +31,11 @@ Result<CgReport> ConjugateGradient(const LinearOperator& op, const Vec& b,
       report.residual_norm = std::sqrt(rs);
       return report;
     }
+    // One poll per HVP bounds cancellation latency to a single product.
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+      return Status::Cancelled("CG solve interrupted after " +
+                               std::to_string(iter) + " iterations");
+    }
     op(p, &ap);
     const double pap = vec::Dot(p, ap, par);
     if (pap <= 0.0 || !std::isfinite(pap)) {
@@ -51,4 +57,17 @@ Result<CgReport> ConjugateGradient(const LinearOperator& op, const Vec& b,
   return report;
 }
 
+Future<Result<CgReport>> ConjugateGradientAsync(
+    TaskGraph* graph, const LinearOperator& op, const Vec& b,
+    const CgOptions& options, const std::vector<TaskGraph::TaskId>& deps) {
+  return graph->Submit(
+      "cg-solve", deps,
+      [op, b, options](const CancellationToken& token) -> Result<CgReport> {
+        CgOptions effective = options;
+        if (effective.cancel == nullptr) effective.cancel = &token;
+        return ConjugateGradient(op, b, effective);
+      });
+}
+
 }  // namespace rain
+

@@ -13,6 +13,9 @@ InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
   // solver's vector kernels too unless the caller tuned them separately.
   cg_parallelism_inherited_ = options_.cg.parallelism <= 1;
   if (cg_parallelism_inherited_) options_.cg.parallelism = options_.parallelism;
+  // Same rule for the stop handle: one token normally covers the whole
+  // scorer, CG solves included.
+  if (options_.cg.cancel == nullptr) options_.cg.cancel = options_.cancel;
 }
 
 void InfluenceScorer::Hvp(const Vec& v, Vec* out) const {
@@ -45,17 +48,21 @@ std::vector<double> InfluenceScorer::ScoreAll() const {
   std::vector<double> scores(train_->size(), 0.0);
   // Embarrassingly parallel: each record's grad l(z, θ*)ᵀ s is independent,
   // so any chunking yields scores bitwise identical to the sequential loop.
-  ParallelFor(options_.parallelism, train_->size(),
-              [this, &scores](size_t begin, size_t end, size_t) {
-                Vec grad(model_->num_params(), 0.0);
-                for (size_t i = begin; i < end; ++i) {
-                  if (!train_->active(i)) continue;
-                  grad.assign(model_->num_params(), 0.0);
-                  model_->AddExampleLossGradient(train_->row(i), train_->label(i),
-                                                 &grad);
-                  scores[i] = -vec::Dot(s_, grad);
-                }
-              });
+  // A stop request makes every chunk bail within one record; the partial
+  // scores are only ever seen by callers that check interruption before
+  // acting on them (DebugSession checks at the rank boundary).
+  ParallelForCancellable(
+      options_.parallelism, train_->size(), options_.cancel,
+      [this, &scores](size_t begin, size_t end, size_t) {
+        Vec grad(model_->num_params(), 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) return;
+          if (!train_->active(i)) continue;
+          grad.assign(model_->num_params(), 0.0);
+          model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+          scores[i] = -vec::Dot(s_, grad);
+        }
+      });
   return scores;
 }
 
@@ -70,25 +77,33 @@ Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
   const size_t max_chunks =
       options_.parallelism < 1 ? 1 : static_cast<size_t>(options_.parallelism);
   std::vector<Status> chunk_status(max_chunks, Status::OK());
-  ParallelFor(options_.parallelism, train_->size(),
-              [&](size_t begin, size_t end, size_t chunk) {
-                Vec grad(model_->num_params(), 0.0);
-                for (size_t i = begin; i < end; ++i) {
-                  if (!train_->active(i)) continue;
-                  grad.assign(model_->num_params(), 0.0);
-                  model_->AddExampleLossGradient(train_->row(i), train_->label(i),
-                                                 &grad);
-                  Result<CgReport> report = ConjugateGradient(op, grad, options_.cg);
-                  if (!report.ok()) {
-                    chunk_status[chunk] = report.status();
-                    return;
-                  }
-                  scores[i] = -vec::Dot(grad, report->x);
-                }
-              });
+  const bool complete = ParallelForCancellable(
+      options_.parallelism, train_->size(), options_.cancel,
+      [&](size_t begin, size_t end, size_t chunk) {
+        Vec grad(model_->num_params(), 0.0);
+        for (size_t i = begin; i < end; ++i) {
+          // Per-record poll: each record is a full CG solve, so this is
+          // the coarsest check that still stops "within one solve" (the
+          // solve itself polls per HVP through options_.cg.cancel).
+          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+            chunk_status[chunk] = Status::Cancelled("self-influence scoring interrupted");
+            return;
+          }
+          if (!train_->active(i)) continue;
+          grad.assign(model_->num_params(), 0.0);
+          model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+          Result<CgReport> report = ConjugateGradient(op, grad, options_.cg);
+          if (!report.ok()) {
+            chunk_status[chunk] = report.status();
+            return;
+          }
+          scores[i] = -vec::Dot(grad, report->x);
+        }
+      });
   for (const Status& status : chunk_status) {
     if (!status.ok()) return status;
   }
+  if (!complete) return Status::Cancelled("self-influence scoring interrupted");
   return scores;
 }
 

@@ -23,6 +23,11 @@ struct InfluenceOptions {
   /// identical to sequential for any value. Also inherited by cg.parallelism
   /// when that is left at 1.
   int parallelism = 1;
+  /// Optional cooperative stop handle (borrowed; must outlive any call
+  /// made with these options). Polled per record inside ScoreAll /
+  /// SelfInfluenceAll and inherited by `cg.cancel` when that was left
+  /// unset, so a stop request also aborts the Hessian solve mid-CG.
+  const CancellationToken* cancel = nullptr;
 };
 
 /// \brief Influence-function scorer (paper Section 4.1, Equation 4).

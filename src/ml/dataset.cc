@@ -30,6 +30,14 @@ void Dataset::Deactivate(size_t i) {
   }
 }
 
+void Dataset::Reactivate(size_t i) {
+  RAIN_CHECK(i < active_.size());
+  if (!active_[i]) {
+    active_[i] = 1;
+    ++num_active_;
+  }
+}
+
 void Dataset::ReactivateAll() {
   for (auto& a : active_) a = 1;
   num_active_ = active_.size();

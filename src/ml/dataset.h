@@ -35,6 +35,9 @@ class Dataset {
   bool active(size_t i) const { return active_[i] != 0; }
   /// Marks record i as deleted; idempotent.
   void Deactivate(size_t i);
+  /// Undoes a single Deactivate (speculative-execution rollback);
+  /// idempotent.
+  void Reactivate(size_t i);
   /// Re-activates every record (fresh debugging run).
   void ReactivateAll();
   size_t num_active() const { return num_active_; }

@@ -39,6 +39,12 @@ LbfgsResult LbfgsMinimize(const Objective& objective, Vec x0,
       result.converged = true;
       return result;
     }
+    // Cooperative cancellation: one poll per iteration bounds the stop
+    // latency to a single (objective + line search) round.
+    if (options.cancel != nullptr && options.cancel->ShouldStop()) {
+      result.interrupted = true;
+      return result;
+    }
 
     // Two-loop recursion: d = -H_k grad.
     const int par = options.parallelism;

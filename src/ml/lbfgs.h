@@ -3,6 +3,7 @@
 
 #include <functional>
 
+#include "common/cancellation.h"
 #include "tensor/vector_ops.h"
 
 namespace rain {
@@ -27,6 +28,11 @@ struct LbfgsOptions {
   /// num_params elements). <= 1 keeps the exact sequential arithmetic; the
   /// objective callback parallelizes over data rows independently of this.
   int parallelism = 1;
+  /// Optional cooperative stop handle (borrowed; must outlive the call).
+  /// Polled once per L-BFGS iteration: a stop request ends the minimize
+  /// within one iteration, returning the best iterate so far with
+  /// `interrupted = true`. Never changes results when it does not fire.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct LbfgsResult {
@@ -35,6 +41,9 @@ struct LbfgsResult {
   double grad_norm = 0.0;  // infinity norm at the final point
   int iterations = 0;
   bool converged = false;
+  /// True when the run ended on a cancellation/deadline rather than on
+  /// convergence or the iteration cap; `x` is the last accepted iterate.
+  bool interrupted = false;
 };
 
 /// \brief Limited-memory BFGS with Armijo backtracking line search.

@@ -28,6 +28,7 @@ Result<TrainReport> TrainModel(Model* model, const Dataset& data,
   opts.grad_tol = config.grad_tol;
   opts.memory = config.lbfgs_memory;
   opts.parallelism = config.parallelism;
+  opts.cancel = config.cancel;
 
   LbfgsResult res = LbfgsMinimize(objective, model->params(), opts);
   model->set_params(res.x);
@@ -37,6 +38,7 @@ Result<TrainReport> TrainModel(Model* model, const Dataset& data,
   report.final_loss = res.fx;
   report.grad_norm = res.grad_norm;
   report.converged = res.converged;
+  report.interrupted = res.interrupted;
   return report;
 }
 

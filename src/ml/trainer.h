@@ -19,6 +19,11 @@ struct TrainConfig {
   /// TrainModel installs it on the model via Model::set_parallelism).
   /// 1 = exact sequential arithmetic.
   int parallelism = 1;
+  /// Optional cooperative stop handle (borrowed; must outlive the call),
+  /// forwarded to the L-BFGS loop and polled once per optimizer
+  /// iteration. On a stop request training returns the best iterate so
+  /// far with `TrainReport::interrupted = true` instead of erroring.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct TrainReport {
@@ -26,6 +31,9 @@ struct TrainReport {
   double final_loss = 0.0;
   double grad_norm = 0.0;
   bool converged = false;
+  /// Training stopped on a cancellation/deadline; the model holds the
+  /// last accepted (partial) parameters.
+  bool interrupted = false;
 };
 
 /// \brief Trains `model` on the active rows of `data` by minimizing the

@@ -271,7 +271,13 @@ TEST(ThreadPoolTest, RunsSubmittedTasks) {
   std::condition_variable cv;
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&] {
-      if (count.fetch_add(1) + 1 == 100) cv.notify_one();
+      if (count.fetch_add(1) + 1 == 100) {
+        // Notify under the lock: the waiter cannot re-check its predicate
+        // (and destroy cv on test exit) until this worker is out of
+        // notify_one — keeps ThreadSanitizer's destruction race away.
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_one();
+      }
     });
   }
   std::unique_lock<std::mutex> lock(mu);

@@ -1,0 +1,646 @@
+/// Pipelined (async) DebugSession semantics: the speculation/replay
+/// pipeline must produce deletion sequences bitwise-identical to
+/// synchronous stepping on the Fig. 5 DBLP and the Section 6.5 Adult
+/// multi-query workloads at every worker count, with the phase overlap
+/// (iteration i+1's train starting before iteration i's fix completes)
+/// actually observed; observer callbacks must arrive in the same
+/// deterministic order as synchronous stepping, and cancellation — from
+/// observers, or mid-train via the token plumbed into the L-BFGS loop —
+/// must be honored promptly.
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/complaint.h"
+#include "core/debugger.h"
+#include "core/pipeline.h"
+#include "core/session.h"
+#include "data/adult.h"
+#include "data/corruption.h"
+#include "data/dblp.h"
+#include "gtest/gtest.h"
+#include "ml/logistic_regression.h"
+#include "sql/planner.h"
+
+namespace rain {
+namespace {
+
+// ------------------------------------------------- Fig. 5 DBLP workload
+
+/// The Fig. 5 runtime workload, scaled to test size: DBLP with 50% of the
+/// match labels flipped, complained about through a COUNT query.
+/// Construction is fully seeded, so two setups are bit-identical.
+struct DblpSetup {
+  std::unique_ptr<Query2Pipeline> pipeline;
+  int64_t true_count = 0;
+};
+
+DblpSetup MakeCorruptedDblp(bool pretrain = true) {
+  DblpConfig cfg;
+  cfg.train_size = 400;
+  cfg.query_size = 200;
+  cfg.seed = 99;
+  DblpData dblp = MakeDblp(cfg);
+  DblpSetup setup;
+  for (size_t i = 0; i < dblp.query.size(); ++i) {
+    setup.true_count += dblp.query.label(i);
+  }
+  Rng rng(3);
+  CorruptLabels(&dblp.train, IndicesWithLabel(dblp.train, 1), 0.5, 0, &rng);
+  Catalog catalog;
+  RAIN_CHECK(
+      catalog.AddTable("dblp", std::move(dblp.query_table), std::move(dblp.query))
+          .ok());
+  TrainConfig tc;
+  tc.l2 = 1e-3;
+  setup.pipeline = std::make_unique<Query2Pipeline>(
+      std::move(catalog), std::make_unique<LogisticRegression>(kDblpFeatures),
+      std::move(dblp.train), tc);
+  if (pretrain) RAIN_CHECK(setup.pipeline->Train().ok());
+  return setup;
+}
+
+QueryComplaints DblpCountComplaint(double target) {
+  QueryComplaints qc;
+  qc.query = PlanNode::Aggregate(
+      PlanNode::Filter(PlanNode::Scan("dblp", "D"),
+                       Expr::Eq(Expr::Predict("D"), Expr::LitInt(1))),
+      {}, {}, {AggSpec{AggFunc::kCount, nullptr, "cnt"}});
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", target)};
+  return qc;
+}
+
+// -------------------------------------- Section 6.5 Adult multi-query
+
+/// A scaled-down AdultMultiQuery("both", 0.3) (bench/workloads.cc): two
+/// grouped-AVG queries with ground-truth targets from a clean pipeline,
+/// plus a batch of point complaints, over the same corrupted training
+/// set. Fully seeded: every call builds bit-identical state.
+struct AdultSetup {
+  std::vector<QueryComplaints> workload;
+  /// Fresh, identical corrupted pipelines (one per session under test).
+  std::function<std::unique_ptr<Query2Pipeline>()> make_pipeline;
+};
+
+double GroupValue(Query2Pipeline* pipeline, const std::string& sql,
+                  const Value& key) {
+  auto r = pipeline->ExecuteSql(sql, /*debug=*/false);
+  RAIN_CHECK(r.ok()) << r.status().ToString();
+  for (const auto& row : r->table.rows) {
+    if (row[0] == key) return *row[1].ToNumeric();
+  }
+  RAIN_CHECK(false) << "group not found";
+  return 0.0;
+}
+
+AdultSetup MakeAdultMultiQuery() {
+  AdultConfig cfg;
+  cfg.train_size = 600;
+  cfg.query_size = 400;
+  cfg.seed = 13;
+  AdultData data = MakeAdult(cfg);
+
+  const std::string gender_sql =
+      "SELECT gender, AVG(predict(*)) AS avg_income FROM adult GROUP BY gender";
+  const std::string age_sql =
+      "SELECT agedecade, AVG(predict(*)) AS avg_income FROM adult GROUP BY agedecade";
+
+  auto factory = [](const AdultData& d) {
+    return [table = d.query_table, query = d.query, train = d.train]() {
+      Catalog catalog;
+      RAIN_CHECK(catalog.AddTable("adult", table, query).ok());
+      TrainConfig tc;
+      tc.l2 = 1e-3;
+      return std::make_unique<Query2Pipeline>(
+          std::move(catalog), std::make_unique<LogisticRegression>(kAdultFeatures),
+          train, tc);
+    };
+  };
+
+  // Ground-truth targets from the clean pipeline (Section 6.1.4).
+  double male_target = 0.0;
+  double aged_target = 0.0;
+  {
+    auto clean = factory(data)();
+    RAIN_CHECK(clean->Train().ok());
+    male_target = GroupValue(clean.get(), gender_sql, Value(std::string("Male")));
+    aged_target = GroupValue(clean.get(), age_sql, Value(int64_t{4}));
+  }
+
+  Rng rng(cfg.seed + 1);
+  CorruptLabels(&data.train, AdultCorruptionCandidates(data), 0.3, 1, &rng);
+
+  AdultSetup setup;
+  setup.make_pipeline = factory(data);
+  auto planning = setup.make_pipeline();  // catalog for SQL planning only
+
+  QueryComplaints gender_qc;
+  gender_qc.query = *sql::PlanQuery(gender_sql, planning->catalog());
+  gender_qc.complaints = {ComplaintSpec::ValueEq("avg_income", male_target,
+                                                 {Value(std::string("Male"))})};
+  QueryComplaints age_qc;
+  age_qc.query = *sql::PlanQuery(age_sql, planning->catalog());
+  age_qc.complaints = {
+      ComplaintSpec::ValueEq("avg_income", aged_target, {Value(int64_t{4})})};
+  QueryComplaints points;  // no query: bind directly against predictions
+  points.complaints = {ComplaintSpec::Point("adult", 3, 0),
+                       ComplaintSpec::Point("adult", 11, 0)};
+  setup.workload = {gender_qc, age_qc, points};
+  return setup;
+}
+
+// ------------------------------------------- bitwise async-equivalence
+
+Result<std::unique_ptr<DebugSession>> BuildSession(
+    Query2Pipeline* pipeline, std::vector<QueryComplaints> workload, int threads,
+    int max_deletions, DebugObserver* observer = nullptr) {
+  DebugSessionBuilder builder(pipeline);
+  builder.ranker("holistic")
+      .top_k_per_iter(10)
+      .max_deletions(max_deletions)
+      .parallelism(threads)
+      .workload(std::move(workload));
+  if (observer != nullptr) builder.observer(observer);
+  return builder.Build();
+}
+
+TEST(SessionAsyncTest, BitwiseIdenticalToSyncOnDblpAtEveryWorkerCount) {
+  for (int threads : {1, 2, 8}) {
+    DblpSetup sync_side = MakeCorruptedDblp();
+    DblpSetup async_side = MakeCorruptedDblp();
+    const auto target = static_cast<double>(sync_side.true_count);
+
+    auto sync_session = BuildSession(sync_side.pipeline.get(),
+                                     {DblpCountComplaint(target)}, threads, 30);
+    ASSERT_TRUE(sync_session.ok());
+    auto sync_report = (*sync_session)->RunToCompletion();
+    ASSERT_TRUE(sync_report.ok());
+
+    auto async_session = BuildSession(async_side.pipeline.get(),
+                                      {DblpCountComplaint(target)}, threads, 30);
+    ASSERT_TRUE(async_session.ok());
+    auto async_report = (*async_session)->RunToCompletionAsync().Get();
+    ASSERT_TRUE(async_report.ok()) << async_report.status().ToString();
+
+    EXPECT_EQ(async_report->deletions, sync_report->deletions)
+        << "threads " << threads
+        << ": pipelined deletions must be bitwise identical";
+    ASSERT_EQ(async_report->iterations.size(), sync_report->iterations.size())
+        << "threads " << threads;
+    for (size_t i = 0; i < sync_report->iterations.size(); ++i) {
+      EXPECT_EQ(async_report->iterations[i].deletions_after,
+                sync_report->iterations[i].deletions_after)
+          << "threads " << threads << " iteration " << i;
+      EXPECT_EQ(async_report->iterations[i].violated_complaints,
+                sync_report->iterations[i].violated_complaints)
+          << "threads " << threads << " iteration " << i;
+    }
+    EXPECT_GE((*async_session)->async_stats().speculations_launched, 1)
+        << "threads " << threads;
+    // Regardless of commit vs replay, both sessions must end at the same
+    // trained model (bind/rank consumed identical state throughout).
+    EXPECT_EQ(async_side.pipeline->model()->params(),
+              sync_side.pipeline->model()->params())
+        << "threads " << threads;
+  }
+}
+
+TEST(SessionAsyncTest, BitwiseIdenticalToSyncOnAdultMultiQuery) {
+  AdultSetup setup = MakeAdultMultiQuery();
+  for (int threads : {1, 2, 8}) {
+    auto sync_pipeline = setup.make_pipeline();
+    ASSERT_TRUE(sync_pipeline->Train().ok());
+    auto sync_session =
+        BuildSession(sync_pipeline.get(), setup.workload, threads, 20);
+    ASSERT_TRUE(sync_session.ok());
+    auto sync_report = (*sync_session)->RunToCompletion();
+    ASSERT_TRUE(sync_report.ok());
+    ASSERT_FALSE(sync_report->deletions.empty());
+
+    auto async_pipeline = setup.make_pipeline();
+    ASSERT_TRUE(async_pipeline->Train().ok());
+    auto async_session =
+        BuildSession(async_pipeline.get(), setup.workload, threads, 20);
+    ASSERT_TRUE(async_session.ok());
+    auto async_report = (*async_session)->RunToCompletionAsync().Get();
+    ASSERT_TRUE(async_report.ok()) << async_report.status().ToString();
+
+    EXPECT_EQ(async_report->deletions, sync_report->deletions)
+        << "threads " << threads;
+    EXPECT_EQ(async_report->iterations.size(), sync_report->iterations.size())
+        << "threads " << threads;
+  }
+}
+
+TEST(SessionAsyncTest, SpeculationOverlapsTrainWithPreviousFix) {
+  DblpSetup setup = MakeCorruptedDblp();
+  auto session =
+      BuildSession(setup.pipeline.get(),
+                   {DblpCountComplaint(static_cast<double>(setup.true_count))},
+                   /*threads=*/2, /*max_deletions=*/30);
+  ASSERT_TRUE(session.ok());
+  auto report = (*session)->RunToCompletionAsync().Get();
+  ASSERT_TRUE(report.ok());
+
+  const AsyncStats& stats = (*session)->async_stats();
+  // 3 iterations of 10 deletions: speculation launches during rank 1 —
+  // rank 0 has no prior scores to predict from (the empty-prediction
+  // gate skips it) and rank 2's prediction would exhaust the budget.
+  EXPECT_GE(stats.speculations_launched, 1);
+  // The acceptance assertion: iteration i+1's train started before
+  // iteration i's fix completed, for every launched speculation.
+  EXPECT_GE(stats.overlapped_iterations, 1);
+  EXPECT_EQ(stats.overlapped_iterations, stats.speculations_launched);
+  // Every launched speculation was consumed one way or the other.
+  EXPECT_EQ(stats.speculations_committed + stats.speculations_replayed,
+            stats.speculations_launched);
+}
+
+/// Scores fixed a priori (descending by record id), independent of the
+/// model: the fix selection is then identical every iteration, so the
+/// deletion predictor is right from iteration 1 on and the speculative
+/// train COMMITS — exercising the adopt-parameters path deterministically.
+class FixedScoreRanker : public Ranker {
+ public:
+  std::string name() const override { return "fixed"; }
+  Result<RankOutput> Rank(const RankContext& ctx) override {
+    RankOutput out;
+    const size_t n = ctx.train->size();
+    out.scores.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.scores[i] = static_cast<double>(n - i);
+    }
+    return out;
+  }
+};
+
+TEST(SessionAsyncTest, CommittedSpeculationAdoptsBitwiseIdenticalModel) {
+  DblpSetup sync_side = MakeCorruptedDblp();
+  DblpSetup async_side = MakeCorruptedDblp();
+  const auto target = static_cast<double>(sync_side.true_count);
+
+  auto build = [&](Query2Pipeline* pipeline) {
+    return DebugSessionBuilder(pipeline)
+        .ranker(std::make_unique<FixedScoreRanker>())
+        .top_k_per_iter(10)
+        .max_deletions(30)
+        .workload({DblpCountComplaint(target)})
+        .Build();
+  };
+  auto sync_session = build(sync_side.pipeline.get());
+  auto async_session = build(async_side.pipeline.get());
+  ASSERT_TRUE(sync_session.ok() && async_session.ok());
+
+  auto sync_report = (*sync_session)->RunToCompletion();
+  auto async_report = (*async_session)->RunToCompletionAsync().Get();
+  ASSERT_TRUE(sync_report.ok());
+  ASSERT_TRUE(async_report.ok());
+
+  // Iteration 1's prediction (from iteration 0's fixed scores) matches
+  // the actual fix exactly, so at least one speculation commits.
+  EXPECT_GE((*async_session)->async_stats().speculations_committed, 1);
+  EXPECT_EQ(async_report->deletions, sync_report->deletions);
+  // The committed clone-trained parameters (and the prediction views the
+  // bind phase sees) must be bitwise what the synchronous retrain
+  // produced — same warm start, same active rows, same L-BFGS.
+  EXPECT_EQ(async_side.pipeline->model()->params(),
+            sync_side.pipeline->model()->params());
+  ASSERT_EQ(async_report->iterations.size(), sync_report->iterations.size());
+  for (size_t i = 0; i < sync_report->iterations.size(); ++i) {
+    EXPECT_EQ(async_report->iterations[i].violated_complaints,
+              sync_report->iterations[i].violated_complaints)
+        << "iteration " << i << ": bind must see identical prediction views";
+  }
+}
+
+TEST(SessionAsyncTest, SpeculationDisabledStillMatchesSync) {
+  DblpSetup sync_side = MakeCorruptedDblp();
+  DblpSetup async_side = MakeCorruptedDblp();
+  const auto target = static_cast<double>(sync_side.true_count);
+
+  auto sync_session =
+      BuildSession(sync_side.pipeline.get(), {DblpCountComplaint(target)}, 1, 20);
+  ASSERT_TRUE(sync_session.ok());
+  auto sync_report = (*sync_session)->RunToCompletion();
+  ASSERT_TRUE(sync_report.ok());
+
+  auto async_session =
+      BuildSession(async_side.pipeline.get(), {DblpCountComplaint(target)}, 1, 20);
+  ASSERT_TRUE(async_session.ok());
+  AsyncOptions options;
+  options.speculate = false;
+  auto async_report =
+      (*async_session)->RunToCompletionAsync(StopCondition(), options).Get();
+  ASSERT_TRUE(async_report.ok());
+  EXPECT_EQ(async_report->deletions, sync_report->deletions);
+  EXPECT_EQ((*async_session)->async_stats().speculations_launched, 0);
+  EXPECT_EQ((*async_session)->async_stats().overlapped_iterations, 0);
+}
+
+// ---------------------------------------------------- observer semantics
+
+/// Records every callback as a compact tag, e.g. "start:0", "train:0",
+/// "del:0".
+class RecordingObserver : public DebugObserver {
+ public:
+  void OnIterationStart(int iteration, const DebugReport&) override {
+    events.push_back("start:" + std::to_string(iteration));
+  }
+  void OnPhaseComplete(int iteration, DebugPhase phase, double) override {
+    events.push_back(std::string(DebugPhaseName(phase)) + ":" +
+                     std::to_string(iteration));
+  }
+  void OnDeletion(int iteration, size_t, double) override {
+    events.push_back("del:" + std::to_string(iteration));
+  }
+  std::vector<std::string> events;
+};
+
+TEST(SessionAsyncTest, ObserverOrderIdenticalToSyncStepping) {
+  DblpSetup sync_side = MakeCorruptedDblp();
+  DblpSetup async_side = MakeCorruptedDblp();
+  const auto target = static_cast<double>(sync_side.true_count);
+
+  RecordingObserver sync_recorder;
+  auto sync_session = BuildSession(sync_side.pipeline.get(),
+                                   {DblpCountComplaint(target)}, 2, 20,
+                                   &sync_recorder);
+  ASSERT_TRUE(sync_session.ok());
+  ASSERT_TRUE((*sync_session)->RunToCompletion().ok());
+
+  RecordingObserver async_recorder;
+  auto async_session = BuildSession(async_side.pipeline.get(),
+                                    {DblpCountComplaint(target)}, 2, 20,
+                                    &async_recorder);
+  ASSERT_TRUE(async_session.ok());
+  ASSERT_TRUE((*async_session)->RunToCompletionAsync().Get().ok());
+
+  // Speculative work must never leak into the observer stream: the async
+  // event sequence is exactly the synchronous one — including the
+  // speculated train phases, delivered at their canonical slots.
+  EXPECT_EQ(async_recorder.events, sync_recorder.events);
+
+  // And that shared sequence is the canonical per-iteration stream.
+  std::vector<std::string> expected;
+  for (int iter = 0; iter < 2; ++iter) {
+    const std::string i = std::to_string(iter);
+    expected.push_back("start:" + i);
+    expected.push_back("train:" + i);
+    expected.push_back("bind:" + i);
+    expected.push_back("rank:" + i);
+    for (int d = 0; d < 10; ++d) expected.push_back("del:" + i);
+    expected.push_back("fix:" + i);
+  }
+  EXPECT_EQ(sync_recorder.events, expected);
+}
+
+/// Cancels the session from inside a callback once `phase` completes.
+class CancelAfterPhase : public DebugObserver {
+ public:
+  CancelAfterPhase(DebugSession** session, DebugPhase phase)
+      : session_(session), phase_(phase) {}
+  void OnPhaseComplete(int, DebugPhase phase, double) override {
+    if (phase == phase_) (*session_)->Cancel();
+  }
+
+ private:
+  DebugSession** session_;
+  DebugPhase phase_;
+};
+
+TEST(SessionAsyncTest, ObserverCancelFromCallbackHonoredOnAsyncPath) {
+  DblpSetup setup = MakeCorruptedDblp();
+  DebugSession* raw = nullptr;
+  CancelAfterPhase canceller(&raw, DebugPhase::kTrain);
+  auto session =
+      BuildSession(setup.pipeline.get(),
+                   {DblpCountComplaint(static_cast<double>(setup.true_count))}, 1,
+                   50, &canceller);
+  ASSERT_TRUE(session.ok());
+  raw = session->get();
+
+  auto report = (*session)->RunToCompletionAsync().Get();
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE((*session)->finished());
+  EXPECT_EQ((*session)->finish_status(), StepStatus::kCancelled);
+  ASSERT_EQ(report->iterations.size(), 1u);
+  EXPECT_TRUE(report->deletions.empty());
+  EXPECT_NE(report->iterations[0].note.find("cancelled after train"),
+            std::string::npos)
+      << "note: " << report->iterations[0].note;
+}
+
+// ------------------------------------------------ mid-phase cancellation
+
+/// Forwards everything to an inner LogisticRegression, counting
+/// per-example gradient calls; once the count passes `cancel_after` (and
+/// a session is attached), cancels the session MID-train — the
+/// regression for in-loop token polling.
+class CancellingModel : public Model {
+ public:
+  CancellingModel(std::unique_ptr<Model> inner, int cancel_after,
+                  std::atomic<int>* calls)
+      : inner_(std::move(inner)), cancel_after_(cancel_after), calls_(calls) {}
+
+  void set_session(DebugSession* session) { session_ = session; }
+
+  int num_classes() const override { return inner_->num_classes(); }
+  size_t num_features() const override { return inner_->num_features(); }
+  size_t num_params() const override { return inner_->num_params(); }
+  const Vec& params() const override { return inner_->params(); }
+  void set_params(const Vec& theta) override { inner_->set_params(theta); }
+  void PredictProba(const double* x, double* probs) const override {
+    inner_->PredictProba(x, probs);
+  }
+  double ExampleLoss(const double* x, int y) const override {
+    return inner_->ExampleLoss(x, y);
+  }
+  void AddExampleLossGradient(const double* x, int y, Vec* grad) const override {
+    const int n = ++*calls_;
+    if (session_ != nullptr && n >= cancel_after_) session_->Cancel();
+    inner_->AddExampleLossGradient(x, y, grad);
+  }
+  void AddProbaGradient(const double* x, const Vec& class_weights,
+                        Vec* grad) const override {
+    inner_->AddProbaGradient(x, class_weights, grad);
+  }
+  void HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
+                            Vec* out) const override {
+    inner_->HessianVectorProduct(data, v, l2, out);
+  }
+  std::unique_ptr<Model> Clone() const override {
+    auto clone =
+        std::make_unique<CancellingModel>(inner_->Clone(), cancel_after_, calls_);
+    clone->session_ = session_;
+    return clone;
+  }
+
+ private:
+  std::unique_ptr<Model> inner_;
+  int cancel_after_;
+  std::atomic<int>* calls_;
+  DebugSession* session_ = nullptr;
+};
+
+TEST(SessionAsyncTest, CancelMidTrainStopsWithinOneOptimizerRound) {
+  // Fresh (never-trained) pipeline so the first TrainPhase has real work;
+  // the model cancels the session 50 gradient rows into the very first
+  // objective evaluation.
+  DblpConfig cfg;
+  cfg.train_size = 400;
+  cfg.query_size = 200;
+  cfg.seed = 99;
+  DblpData dblp = MakeDblp(cfg);
+  Rng rng(3);
+  CorruptLabels(&dblp.train, IndicesWithLabel(dblp.train, 1), 0.5, 0, &rng);
+  Catalog catalog;
+  RAIN_CHECK(
+      catalog.AddTable("dblp", std::move(dblp.query_table), std::move(dblp.query))
+          .ok());
+  std::atomic<int> calls{0};
+  auto model = std::make_unique<CancellingModel>(
+      std::make_unique<LogisticRegression>(kDblpFeatures), /*cancel_after=*/50,
+      &calls);
+  CancellingModel* raw_model = model.get();
+  auto pipeline = std::make_unique<Query2Pipeline>(std::move(catalog),
+                                                   std::move(model), dblp.train);
+
+  auto session = BuildSession(pipeline.get(), {DblpCountComplaint(100)}, 1, 50);
+  ASSERT_TRUE(session.ok());
+  raw_model->set_session(session->get());
+
+  auto step = (*session)->Step();
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(step->status, StepStatus::kCancelled);
+  EXPECT_TRUE((*session)->finished());
+
+  // Cancelled mid-evaluation at call 50; the L-BFGS loop polls the token
+  // at the head of the next iteration, so exactly the one in-flight
+  // 400-row evaluation completes — nothing close to a full 300-iteration
+  // train (which costs tens of thousands of gradient calls).
+  EXPECT_LE(calls.load(), 450);
+
+  // The partial iteration is still recorded, and the note pins down both
+  // that training stopped mid-optimization and where the step ended.
+  const DebugReport& report = (*session)->report();
+  ASSERT_EQ(report.iterations.size(), 1u);
+  EXPECT_TRUE(report.deletions.empty());
+  EXPECT_NE(report.iterations[0].note.find("train stopped mid-optimization"),
+            std::string::npos)
+      << "note: " << report.iterations[0].note;
+  EXPECT_NE(report.iterations[0].note.find("cancelled after train phase"),
+            std::string::npos)
+      << "note: " << report.iterations[0].note;
+  EXPECT_GT(report.iterations[0].train_seconds, 0.0);
+}
+
+// --------------------------------------------------- StepAsync / guards
+
+TEST(SessionAsyncTest, StepAsyncMatchesSyncStepByStep) {
+  DblpSetup sync_side = MakeCorruptedDblp();
+  DblpSetup async_side = MakeCorruptedDblp();
+  const auto target = static_cast<double>(sync_side.true_count);
+
+  auto sync_session =
+      BuildSession(sync_side.pipeline.get(), {DblpCountComplaint(target)}, 1, 30);
+  auto async_session =
+      BuildSession(async_side.pipeline.get(), {DblpCountComplaint(target)}, 1, 30);
+  ASSERT_TRUE(sync_session.ok() && async_session.ok());
+
+  for (int step = 0; step < 3; ++step) {
+    auto sync_result = (*sync_session)->Step();
+    ASSERT_TRUE(sync_result.ok());
+    auto async_result = (*async_session)->StepAsync().Get();
+    ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+    EXPECT_EQ(async_result->status, sync_result->status) << "step " << step;
+    EXPECT_EQ(async_result->new_deletions, sync_result->new_deletions)
+        << "step " << step;
+  }
+  EXPECT_EQ((*async_session)->report().deletions,
+            (*sync_session)->report().deletions);
+}
+
+/// Blocks the driver thread inside the first OnIterationStart until
+/// released, making "async in flight" a deterministic state to test.
+class GateObserver : public DebugObserver {
+ public:
+  void OnIterationStart(int, const DebugReport&) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    entered_ = true;
+    cv_.notify_all();
+    cv_.wait(lock, [this] { return released_; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return entered_; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool entered_ = false;
+  bool released_ = false;
+};
+
+TEST(SessionAsyncTest, SyncEntryPointsRejectedWhileAsyncInFlight) {
+  DblpSetup setup = MakeCorruptedDblp();
+  GateObserver gate;
+  auto session =
+      BuildSession(setup.pipeline.get(),
+                   {DblpCountComplaint(static_cast<double>(setup.true_count))}, 1,
+                   10, &gate);
+  ASSERT_TRUE(session.ok());
+
+  auto future = (*session)->RunToCompletionAsync();
+  gate.AwaitEntered();
+  EXPECT_TRUE((*session)->async_in_flight());
+
+  auto step = (*session)->Step();
+  EXPECT_FALSE(step.ok());
+  EXPECT_TRUE(step.status().IsInvalidArgument());
+  auto run = (*session)->RunToCompletion();
+  EXPECT_FALSE(run.ok());
+  auto second_async = (*session)->StepAsync();
+  EXPECT_FALSE(second_async.Get().ok()) << "one async drive at a time";
+
+  gate.Release();
+  ASSERT_TRUE(future.Get().ok());
+  EXPECT_FALSE((*session)->async_in_flight());
+  // The session is reusable synchronously after the drive completed.
+  auto after = (*session)->Step();
+  ASSERT_TRUE(after.ok());
+}
+
+// ------------------------------------------------------- declared stages
+
+TEST(SessionAsyncTest, StagesDeclareTheIterationDataflow) {
+  const auto& stages = DebugSession::Stages();
+  ASSERT_EQ(stages.size(), 4u);
+  EXPECT_EQ(stages[0].phase, DebugPhase::kTrain);
+  EXPECT_EQ(stages[1].phase, DebugPhase::kBind);
+  EXPECT_EQ(stages[2].phase, DebugPhase::kRank);
+  EXPECT_EQ(stages[3].phase, DebugPhase::kFix);
+  for (const auto& stage : stages) {
+    EXPECT_NE(stage.inputs, nullptr);
+    EXPECT_NE(stage.outputs, nullptr);
+    EXPECT_GT(std::string(stage.inputs).size(), 0u);
+    EXPECT_GT(std::string(stage.outputs).size(), 0u);
+  }
+  // The cross-iteration edge the speculation pipeline breaks: fix
+  // produces the active set train consumes.
+  EXPECT_NE(std::string(stages[3].outputs).find("deletions"), std::string::npos);
+  EXPECT_NE(std::string(stages[0].inputs).find("train_set"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rain

@@ -1,0 +1,292 @@
+/// TaskGraph / Future / CancellationToken semantics: value and exception
+/// flow through futures, dependency-edge ordering, graph-level
+/// cooperative cancellation, token trees and deadlines, and the
+/// cancellable CG solve (sync + async task form).
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/cancellation.h"
+#include "common/task_graph.h"
+#include "common/thread_pool.h"
+#include "gtest/gtest.h"
+#include "influence/conjugate_gradient.h"
+
+namespace rain {
+namespace {
+
+// ---------------------------------------------------------------- tokens
+
+TEST(CancellationTokenTest, FreshTokenDoesNotStop) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.deadline_passed());
+  EXPECT_FALSE(token.ShouldStop());
+}
+
+TEST(CancellationTokenTest, CancelIsStickyAndSharedAcrossCopies) {
+  CancellationToken token;
+  CancellationToken copy = token;
+  token.Cancel();
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_TRUE(copy.cancelled()) << "copies view the same state";
+}
+
+TEST(CancellationTokenTest, DeadlineArmsAndClears) {
+  CancellationToken token;
+  token.set_deadline(std::chrono::steady_clock::now() - std::chrono::seconds(1));
+  EXPECT_TRUE(token.deadline_passed());
+  EXPECT_TRUE(token.ShouldStop());
+  EXPECT_FALSE(token.cancelled()) << "a deadline is not a cancel";
+  token.clear_deadline();
+  EXPECT_FALSE(token.ShouldStop());
+  token.set_deadline(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(token.deadline_passed());
+}
+
+TEST(CancellationTokenTest, ChildStopsWithParentButNotViceVersa) {
+  CancellationToken parent;
+  CancellationToken child = parent.MakeChild();
+  CancellationToken sibling = parent.MakeChild();
+
+  child.Cancel();
+  EXPECT_TRUE(child.ShouldStop());
+  EXPECT_FALSE(parent.cancelled()) << "cancelling a child leaves the parent";
+  EXPECT_FALSE(sibling.cancelled()) << "...and its siblings";
+
+  parent.Cancel();
+  EXPECT_TRUE(sibling.cancelled()) << "parent cancellation reaches every child";
+
+  CancellationToken deadline_parent;
+  CancellationToken grandchild = deadline_parent.MakeChild().MakeChild();
+  deadline_parent.set_deadline(std::chrono::steady_clock::now() -
+                               std::chrono::seconds(1));
+  EXPECT_TRUE(grandchild.ShouldStop()) << "deadlines propagate down the tree";
+}
+
+// --------------------------------------------------------------- futures
+
+TEST(FutureTest, ValueFlowsFromPromise) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  EXPECT_FALSE(future.Ready());
+  promise.Set(42);
+  EXPECT_TRUE(future.Ready());
+  EXPECT_EQ(future.Get(), 42);
+}
+
+TEST(FutureTest, ExceptionRethrownAtGet) {
+  Promise<int> promise;
+  Future<int> future = promise.future();
+  promise.SetException(std::make_exception_ptr(std::runtime_error("boom")));
+  EXPECT_THROW((void)future.Get(), std::runtime_error);
+}
+
+// ------------------------------------------------------------ task graph
+
+TEST(TaskGraphTest, RunsTasksAndReturnsValues) {
+  TaskGraph graph;
+  Future<int> a = graph.Submit("a", {}, [](const CancellationToken&) { return 7; });
+  Future<std::string> b =
+      graph.Submit("b", {}, [](const CancellationToken&) { return std::string("x"); });
+  EXPECT_EQ(a.Get(), 7);
+  EXPECT_EQ(b.Get(), "x");
+  graph.WaitAll();
+  EXPECT_EQ(graph.num_submitted(), 2u);
+  EXPECT_EQ(graph.num_completed(), 2u);
+}
+
+TEST(TaskGraphTest, DependencyEdgesOrderExecution) {
+  // A chain a -> b -> c and a diamond (d, e) -> f: each task appends its
+  // tag after asserting its dependencies already ran.
+  TaskGraph graph;
+  std::mutex mu;
+  std::vector<std::string> trace;
+  auto record = [&](const std::string& tag) {
+    std::lock_guard<std::mutex> lock(mu);
+    trace.push_back(tag);
+  };
+  auto index_of = [&](const std::string& tag) {
+    for (size_t i = 0; i < trace.size(); ++i) {
+      if (trace[i] == tag) return static_cast<ptrdiff_t>(i);
+    }
+    return static_cast<ptrdiff_t>(-1);
+  };
+
+  TaskGraph::TaskId a_id, b_id, d_id, e_id;
+  graph.Submit("a", {}, [&](const CancellationToken&) { record("a"); return 0; },
+               &a_id);
+  graph.Submit("b", {a_id},
+               [&](const CancellationToken&) { record("b"); return 0; }, &b_id);
+  Future<int> c = graph.Submit(
+      "c", {b_id}, [&](const CancellationToken&) { record("c"); return 0; });
+  graph.Submit("d", {}, [&](const CancellationToken&) { record("d"); return 0; },
+               &d_id);
+  graph.Submit("e", {}, [&](const CancellationToken&) { record("e"); return 0; },
+               &e_id);
+  Future<int> f = graph.Submit(
+      "f", {d_id, e_id}, [&](const CancellationToken&) { record("f"); return 0; });
+  c.Get();
+  f.Get();
+  graph.WaitAll();
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_LT(index_of("a"), index_of("b"));
+  EXPECT_LT(index_of("b"), index_of("c"));
+  EXPECT_LT(index_of("d"), index_of("f"));
+  EXPECT_LT(index_of("e"), index_of("f"));
+}
+
+TEST(TaskGraphTest, DependingOnCompletedTaskRunsImmediately) {
+  TaskGraph graph;
+  TaskGraph::TaskId a_id;
+  Future<int> a =
+      graph.Submit("a", {}, [](const CancellationToken&) { return 1; }, &a_id);
+  EXPECT_EQ(a.Get(), 1);  // a certainly completed
+  Future<int> b =
+      graph.Submit("b", {a_id}, [](const CancellationToken&) { return 2; });
+  EXPECT_EQ(b.Get(), 2);
+}
+
+TEST(TaskGraphTest, ManyTasksAllComplete) {
+  TaskGraph graph;
+  std::atomic<int> ran{0};
+  std::vector<Future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(graph.Submit(
+        "t" + std::to_string(i), {},
+        [&ran, i](const CancellationToken&) { ++ran; return i; }));
+  }
+  graph.WaitAll();
+  EXPECT_EQ(ran.load(), 64);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(futures[static_cast<size_t>(i)].Get(), i);
+}
+
+TEST(TaskGraphTest, ExceptionInTaskSurfacesThroughFuture) {
+  TaskGraph graph;
+  Future<int> f = graph.Submit("throws", {}, [](const CancellationToken&) -> int {
+    throw std::runtime_error("task failed");
+  });
+  EXPECT_THROW((void)f.Get(), std::runtime_error);
+  graph.WaitAll();  // the failed task still counts as completed
+  EXPECT_EQ(graph.num_completed(), 1u);
+}
+
+TEST(TaskGraphTest, CancelReachesTaskBodiesCooperatively) {
+  TaskGraph graph;
+  graph.Cancel();
+  // Bodies still run (futures must resolve) but see the stop request.
+  Future<bool> saw = graph.Submit(
+      "obedient", {},
+      [](const CancellationToken& token) { return token.ShouldStop(); });
+  EXPECT_TRUE(saw.Get());
+}
+
+// ------------------------------------------------- cancellable CG solve
+
+/// SPD operator A = diag(2) with an op-call counter and an optional
+/// trigger that cancels `token` after `cancel_after` products.
+struct CountingOperator {
+  std::atomic<int>* calls;
+  CancellationToken* token = nullptr;
+  int cancel_after = -1;
+
+  void operator()(const Vec& v, Vec* out) const {
+    const int n = ++*calls;
+    if (token != nullptr && cancel_after >= 0 && n >= cancel_after) token->Cancel();
+    out->assign(v.size(), 0.0);
+    for (size_t i = 0; i < v.size(); ++i) (*out)[i] = 2.0 * v[i];
+  }
+};
+
+TEST(CancellableCgTest, UncancelledSolveIsUnaffectedByToken) {
+  Vec b(32, 1.0);
+  CgOptions plain;
+  auto ref = ConjugateGradient([](const Vec& v, Vec* out) {
+    out->assign(v.size(), 0.0);
+    for (size_t i = 0; i < v.size(); ++i) (*out)[i] = 2.0 * v[i];
+  }, b, plain);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_TRUE(ref->converged);
+
+  CancellationToken token;
+  CgOptions with_token = plain;
+  with_token.cancel = &token;
+  std::atomic<int> calls{0};
+  auto solved = ConjugateGradient(CountingOperator{&calls}, b, with_token);
+  ASSERT_TRUE(solved.ok());
+  EXPECT_EQ(solved->x, ref->x) << "an idle token must not perturb the solve";
+}
+
+TEST(CancellableCgTest, MidSolveCancelStopsWithinOneProduct) {
+  // A 64-dim random-ish SPD problem that needs many CG iterations would
+  // converge in 1 for diag(2); build a harder diagonal instead.
+  const size_t n = 64;
+  Vec diag(n);
+  for (size_t i = 0; i < n; ++i) diag[i] = 1.0 + static_cast<double>(i % 17);
+  Vec b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = std::sin(static_cast<double>(i) + 1.0);
+
+  CancellationToken token;
+  std::atomic<int> calls{0};
+  CgOptions options;
+  options.cancel = &token;
+  options.tol = 1e-14;  // force many iterations
+  auto op = [&](const Vec& v, Vec* out) {
+    const int c = ++calls;
+    if (c >= 3) token.Cancel();
+    out->assign(n, 0.0);
+    for (size_t i = 0; i < n; ++i) (*out)[i] = diag[i] * v[i];
+  };
+  auto solved = ConjugateGradient(op, b, options);
+  ASSERT_FALSE(solved.ok());
+  EXPECT_TRUE(solved.status().IsCancelled()) << solved.status().ToString();
+  // Cancelled on product 3, observed at the head of the next iteration:
+  // at most one further product can have been issued.
+  EXPECT_LE(calls.load(), 4);
+}
+
+TEST(CancellableCgTest, AsyncTaskFormMatchesSyncResult) {
+  const size_t n = 48;
+  Vec b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = std::cos(static_cast<double>(i));
+  auto op = [](const Vec& v, Vec* out) {
+    out->assign(v.size(), 0.0);
+    for (size_t i = 0; i < v.size(); ++i) {
+      (*out)[i] = (3.0 + static_cast<double>(i % 5)) * v[i];
+    }
+  };
+  CgOptions options;
+  auto sync = ConjugateGradient(op, b, options);
+  ASSERT_TRUE(sync.ok());
+
+  TaskGraph graph;
+  Future<Result<CgReport>> future = ConjugateGradientAsync(&graph, op, b, options);
+  Result<CgReport> async = future.Get();
+  ASSERT_TRUE(async.ok());
+  EXPECT_EQ(async->x, sync->x) << "task-form solve must be bitwise identical";
+  EXPECT_EQ(async->iterations, sync->iterations);
+}
+
+TEST(CancellableCgTest, GraphCancelAbortsAsyncSolve) {
+  const size_t n = 48;
+  Vec b(n, 1.0);
+  TaskGraph graph;
+  graph.Cancel();  // cancelled before the task even starts
+  auto op = [](const Vec& v, Vec* out) {
+    out->assign(v.size(), 0.0);
+    for (size_t i = 0; i < v.size(); ++i) (*out)[i] = 2.0 * v[i];
+  };
+  CgOptions options;
+  options.tol = 1e-14;
+  Future<Result<CgReport>> future = ConjugateGradientAsync(&graph, op, b, options);
+  Result<CgReport> report = future.Get();
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsCancelled()) << report.status().ToString();
+}
+
+}  // namespace
+}  // namespace rain
