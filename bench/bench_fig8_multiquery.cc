@@ -14,7 +14,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
-#include <thread>
 
 #include "bench/bench_util.h"
 #include "bench/workloads.h"
@@ -22,19 +21,6 @@
 
 using namespace rain;         // NOLINT
 using namespace rain::bench;  // NOLINT
-
-namespace {
-
-int BenchThreads() {
-  if (const char* env = std::getenv("RAIN_BENCH_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
-  const int hw = static_cast<int>(std::thread::hardware_concurrency());
-  return hw >= 1 ? hw : 1;
-}
-
-}  // namespace
 
 int main() {
   const int threads = BenchThreads();

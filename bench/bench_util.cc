@@ -1,7 +1,10 @@
 #include "bench/bench_util.h"
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 namespace rain {
 namespace bench {
@@ -9,6 +12,26 @@ namespace bench {
 bool ProgressRequested() {
   const char* env = std::getenv("RAIN_BENCH_PROGRESS");
   return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+int BenchThreads() {
+  if (const char* env = std::getenv("RAIN_BENCH_THREADS")) {
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    const bool numeric = end != env && end != nullptr && *end == '\0';
+    if (!numeric || errno == ERANGE || n < 1 || n > INT_MAX) {
+      std::fprintf(stderr,
+                   "RAIN_BENCH_THREADS='%s' is invalid: expected a positive "
+                   "decimal worker count (e.g. RAIN_BENCH_THREADS=8); unset it "
+                   "to use the hardware concurrency\n",
+                   env);
+      std::exit(2);
+    }
+    return static_cast<int>(n);
+  }
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return hw >= 1 ? hw : 1;
 }
 
 void ProgressObserver::OnIterationStart(int iteration, const DebugReport& report) {

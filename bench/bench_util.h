@@ -33,6 +33,17 @@ class ProgressObserver : public DebugObserver {
 /// True when RAIN_BENCH_PROGRESS requests live phase streaming.
 bool ProgressRequested();
 
+/// \brief Worker count for bench drivers: the RAIN_BENCH_THREADS
+/// environment variable when set, else the hardware concurrency
+/// (minimum 1).
+///
+/// The variable is validated strictly: a value that is not a plain
+/// positive decimal integer (non-numeric, trailing garbage, zero,
+/// negative, or out of range) aborts the driver with a clear message on
+/// stderr instead of silently falling back — a typo'd sweep must not
+/// masquerade as a hardware-concurrency run.
+int BenchThreads();
+
 /// One debugger run of one method. `ok == false` records solver/budget
 /// failures (e.g. the TwoStep ILP timing out, Section 6.3).
 struct MethodRun {

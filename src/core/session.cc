@@ -102,6 +102,10 @@ struct DebugSession::Speculation {
   /// Child of the session token: cancelling it aborts just this task.
   CancellationToken token;
   TrainConfig config;
+  /// Sharded session: the live shard plan rebound over the private
+  /// snapshot, so the speculative train takes the same shard-exact path
+  /// (and therefore produces the same bits) as the synchronous retrain.
+  std::unique_ptr<ShardedDataset> sharded;
 };
 
 const std::array<DebugSession::StageSpec, 4>& DebugSession::Stages() {
@@ -345,6 +349,9 @@ Result<RankOutput> DebugSession::RankPhase(const std::vector<BoundComplaint>& bo
 int DebugSession::FixPhase(const RankOutput& ranked, int iteration,
                            StepResult* result) {
   Dataset* train = pipeline_->train_data();
+  // Under sharding, deletions route through the view so the owning
+  // shard's active bookkeeping is updated in place alongside the mask.
+  ShardedDataset* sharded = pipeline_->mutable_shards();
   std::vector<size_t> order(train->size());
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -357,7 +364,11 @@ int DebugSession::FixPhase(const RankOutput& ranked, int iteration,
   for (size_t idx : order) {
     if (removed >= budget) break;
     if (!train->active(idx)) continue;
-    train->Deactivate(idx);
+    if (sharded != nullptr) {
+      sharded->Deactivate(idx);
+    } else {
+      train->Deactivate(idx);
+    }
     report_.deletions.push_back(idx);
     result->new_deletions.push_back(idx);
     ++removed;
@@ -441,6 +452,15 @@ void DebugSession::LaunchSpeculation(int next_iteration) {
   spec->config = pipeline_->train_config();
   spec->token = cancel_token_.MakeChild();
   spec->config.cancel = &spec->token;
+  // The copied TrainConfig's shard view points at the LIVE training set;
+  // rebind the same plan over the snapshot (mask already predicted-post-fix).
+  if (pipeline_->shards() != nullptr) {
+    spec->sharded = std::make_unique<ShardedDataset>(spec->snapshot.get(),
+                                                     pipeline_->shards()->plan());
+    spec->config.shards = spec->sharded.get();
+  } else {
+    spec->config.shards = nullptr;
+  }
 
   pending_spec_ = spec;
   ++async_stats_.speculations_launched;
@@ -809,8 +829,28 @@ Result<std::unique_ptr<DebugSession>> DebugSessionBuilder::Build() {
   if (resolved.influence.parallelism <= 1) {
     resolved.influence.parallelism = resolved.parallelism;
   }
-  if (resolved.influence.cg.parallelism <= 1) {
-    resolved.influence.cg.parallelism = resolved.influence.parallelism;
+  // Also the single place the shard plan is installed: the pipeline owns
+  // the ShardedDataset view; train inherits it via TrainConfig::shards
+  // and the rank phase via InfluenceOptions::shards. A builder left at
+  // the default (0) ADOPTS a plan already installed on the pipeline —
+  // via Query2Pipeline::set_num_shards directly or by a previous
+  // session — instead of silently clearing it (and dangling that
+  // session's view); clear explicitly with
+  // pipeline->set_num_shards(0). Under sharding the CG vector kernels
+  // stay sequential (worker-invariant arithmetic), so the cg knob does
+  // not inherit the session parallelism.
+  if (resolved.num_shards <= 0 && pipeline_->shards() != nullptr) {
+    resolved.num_shards = static_cast<int>(pipeline_->shards()->num_shards());
+  }
+  resolved.num_shards = pipeline_->set_num_shards(resolved.num_shards);
+  if (resolved.num_shards > 0) {
+    resolved.influence.shards = pipeline_->shards();
+    resolved.influence.cg.parallelism = 1;
+  } else {
+    resolved.influence.shards = nullptr;
+    if (resolved.influence.cg.parallelism <= 1) {
+      resolved.influence.cg.parallelism = resolved.influence.parallelism;
+    }
   }
 
   std::optional<std::chrono::steady_clock::time_point> deadline = deadline_;

@@ -511,6 +511,26 @@ class DebugSessionBuilder {
     config_.parallelism = v;
     return *this;
   }
+  /// \brief Shard count for the training/influence pipeline. The default
+  /// 0 means "no opinion": `Build()` then adopts whatever plan is already
+  /// installed on the pipeline (none = unsharded). Clear an installed
+  /// plan explicitly with `Query2Pipeline::set_num_shards(0)`.
+  ///
+  /// `Build()` installs a uniform `ShardPlan` over the pipeline's
+  /// training set (`Query2Pipeline::set_num_shards`) and threads the
+  /// resulting `ShardedDataset` view through TrainPhase (shard-exact
+  /// loss/gradient kernels), RankPhase (shard-parallel
+  /// ScoreAll/SelfInfluenceAll and the CG HVP loop; per-shard score
+  /// vectors merge in shard order), and FixPhase (deletions routed to
+  /// the owning shard's bookkeeping). Sharded deletion sequences are
+  /// bitwise-identical to the unsharded sequential path at every shard
+  /// count x worker count; the CG/L-BFGS parameter-dimension vector
+  /// kernels are pinned sequential under sharding to keep that
+  /// worker-invariance. See docs/architecture.md, "Shard plan".
+  DebugSessionBuilder& set_num_shards(int v) {
+    config_.num_shards = v;
+    return *this;
+  }
   DebugSessionBuilder& influence(const InfluenceOptions& v) {
     config_.influence = v;
     return *this;

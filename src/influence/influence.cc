@@ -1,9 +1,43 @@
 #include "influence/influence.h"
 
+#include <string>
+#include <type_traits>
+#include <utility>
+
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
 namespace rain {
+
+namespace {
+
+/// Submits `body(shard, range)` as one TaskGraph task per shard, with at
+/// most `parallelism` tasks in flight (task s waits on task s-window — a
+/// sliding dependency window), returning the futures in shard order.
+/// Shared by the sharded ScoreAll / SelfInfluenceAll drivers so the
+/// concurrency-limiting mechanism has exactly one implementation.
+template <typename Fn>
+auto SubmitShardTasks(TaskGraph* graph, const ShardedDataset& shards,
+                      int parallelism, const char* name, Fn body)
+    -> std::vector<Future<std::invoke_result_t<Fn, size_t, ShardPlan::Range>>> {
+  using T = std::invoke_result_t<Fn, size_t, ShardPlan::Range>;
+  const size_t window = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
+  std::vector<TaskGraph::TaskId> ids(shards.num_shards());
+  std::vector<Future<T>> done;
+  done.reserve(shards.num_shards());
+  for (size_t s = 0; s < shards.num_shards(); ++s) {
+    const ShardPlan::Range range = shards.shard_range(s);
+    std::vector<TaskGraph::TaskId> deps;
+    if (s >= window) deps.push_back(ids[s - window]);
+    done.push_back(graph->Submit(
+        std::string(name) + "#" + std::to_string(s), deps,
+        [s, range, body](const CancellationToken&) { return body(s, range); },
+        &ids[s]));
+  }
+  return done;
+}
+
+}  // namespace
 
 InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
                                  InfluenceOptions options)
@@ -16,10 +50,22 @@ InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
   // Same rule for the stop handle: one token normally covers the whole
   // scorer, CG solves included.
   if (options_.cg.cancel == nullptr) options_.cg.cancel = options_.cancel;
+  if (options_.shards != nullptr) {
+    RAIN_CHECK(&options_.shards->base() == train_)
+        << "InfluenceOptions::shards must view the scorer's training set";
+    // Sharding's bitwise contract is worker-invariant; chunked CG vector
+    // kernels would break it, so pin them to the sequential path.
+    options_.cg.parallelism = 1;
+  }
 }
 
 void InfluenceScorer::Hvp(const Vec& v, Vec* out) const {
-  model_->HessianVectorProduct(*train_, v, options_.l2, out);
+  if (options_.shards != nullptr) {
+    model_->ShardedHessianVectorProduct(*options_.shards, v, options_.l2, out,
+                                        options_.cancel);
+  } else {
+    model_->HessianVectorProduct(*train_, v, options_.l2, out);
+  }
   if (options_.damping != 0.0) vec::Axpy(options_.damping, v, out);
 }
 
@@ -43,62 +89,111 @@ double InfluenceScorer::Score(size_t i) const {
   return -vec::Dot(s_, grad);
 }
 
+bool InfluenceScorer::ScoreRange(size_t begin, size_t end,
+                                 std::vector<double>* scores) const {
+  Vec grad(model_->num_params(), 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    if (options_.cancel != nullptr && options_.cancel->ShouldStop()) return false;
+    if (!train_->active(i)) continue;
+    grad.assign(model_->num_params(), 0.0);
+    model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+    (*scores)[i] = -vec::Dot(s_, grad);
+  }
+  return true;
+}
+
 std::vector<double> InfluenceScorer::ScoreAll() const {
   RAIN_CHECK(prepared_) << "Prepare() must be called first";
   std::vector<double> scores(train_->size(), 0.0);
   // Embarrassingly parallel: each record's grad l(z, θ*)ᵀ s is independent,
-  // so any chunking yields scores bitwise identical to the sequential loop.
-  // A stop request makes every chunk bail within one record; the partial
-  // scores are only ever seen by callers that check interruption before
-  // acting on them (DebugSession checks at the rank boundary).
-  ParallelForCancellable(
-      options_.parallelism, train_->size(), options_.cancel,
-      [this, &scores](size_t begin, size_t end, size_t) {
-        Vec grad(model_->num_params(), 0.0);
-        for (size_t i = begin; i < end; ++i) {
-          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) return;
-          if (!train_->active(i)) continue;
-          grad.assign(model_->num_params(), 0.0);
-          model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
-          scores[i] = -vec::Dot(s_, grad);
-        }
-      });
+  // so any partition yields scores bitwise identical to the sequential
+  // loop. A stop request makes every chunk/shard bail within one record;
+  // the partial scores are only ever seen by callers that check
+  // interruption before acting on them (DebugSession checks at the rank
+  // boundary).
+  if (options_.shards != nullptr) {
+    // One task-graph task per shard, each writing its shard's slice of
+    // the score vector — the per-shard vectors are "merged" in shard
+    // order by construction. The token is polled per shard (task entry)
+    // and per record (ScoreRange), and the sliding window keeps at most
+    // `parallelism` shard tasks in flight, so the knob bounds resource
+    // usage here exactly as it does for the train-side shard passes
+    // (results are slice-disjoint either way).
+    TaskGraph graph;
+    auto done = SubmitShardTasks(
+        &graph, *options_.shards, options_.parallelism, "score-shard",
+        [this, &scores](size_t, ShardPlan::Range range) {
+          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+            return false;
+          }
+          return ScoreRange(range.begin, range.end, &scores);
+        });
+    for (Future<bool>& f : done) (void)f.Get();
+    return scores;
+  }
+  ParallelForCancellable(options_.parallelism, train_->size(), options_.cancel,
+                         [this, &scores](size_t begin, size_t end, size_t) {
+                           (void)ScoreRange(begin, end, &scores);
+                         });
   return scores;
+}
+
+Status InfluenceScorer::SelfInfluenceRange(size_t begin, size_t end,
+                                           const LinearOperator& op,
+                                           std::vector<double>* scores) const {
+  Vec grad(model_->num_params(), 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    // Per-record poll: each record is a full CG solve, so this is
+    // the coarsest check that still stops "within one solve" (the
+    // solve itself polls per HVP through options_.cg.cancel).
+    if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+      return Status::Cancelled("self-influence scoring interrupted");
+    }
+    if (!train_->active(i)) continue;
+    grad.assign(model_->num_params(), 0.0);
+    model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
+    Result<CgReport> report = ConjugateGradient(op, grad, options_.cg);
+    if (!report.ok()) return report.status();
+    (*scores)[i] = -vec::Dot(grad, report->x);
+  }
+  return Status::OK();
 }
 
 Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
   LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
   std::vector<double> scores(train_->size(), 0.0);
   // One CG solve per active record (the quadratic InfLoss bottleneck);
-  // solves are independent, so partition records across workers. Each chunk
-  // stops at its first failing solve and records the status; the
-  // lowest-chunk (i.e. lowest-record-index) failure is reported, so the
-  // returned status matches the sequential loop's regardless of scheduling.
+  // solves are independent, so partition records across workers — by
+  // shard (one task-graph task each) when a shard plan is installed,
+  // by deterministic chunk otherwise. Each partition stops at its first
+  // failing solve and records the status; the lowest-partition (i.e.
+  // lowest-record-index) failure is reported, so the returned status
+  // matches the sequential loop's regardless of scheduling.
+  if (options_.shards != nullptr) {
+    TaskGraph graph;
+    auto done = SubmitShardTasks(
+        &graph, *options_.shards, options_.parallelism, "self-influence-shard",
+        [this, &op, &scores](size_t, ShardPlan::Range range) {
+          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+            return Status::Cancelled("self-influence scoring interrupted");
+          }
+          return SelfInfluenceRange(range.begin, range.end, op, &scores);
+        });
+    Status first = Status::OK();
+    for (Future<Status>& f : done) {
+      const Status status = f.Get();
+      if (first.ok() && !status.ok()) first = status;
+    }
+    RAIN_RETURN_NOT_OK(first);
+    return scores;
+  }
   const size_t max_chunks =
       options_.parallelism < 1 ? 1 : static_cast<size_t>(options_.parallelism);
   std::vector<Status> chunk_status(max_chunks, Status::OK());
   const bool complete = ParallelForCancellable(
       options_.parallelism, train_->size(), options_.cancel,
       [&](size_t begin, size_t end, size_t chunk) {
-        Vec grad(model_->num_params(), 0.0);
-        for (size_t i = begin; i < end; ++i) {
-          // Per-record poll: each record is a full CG solve, so this is
-          // the coarsest check that still stops "within one solve" (the
-          // solve itself polls per HVP through options_.cg.cancel).
-          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
-            chunk_status[chunk] = Status::Cancelled("self-influence scoring interrupted");
-            return;
-          }
-          if (!train_->active(i)) continue;
-          grad.assign(model_->num_params(), 0.0);
-          model_->AddExampleLossGradient(train_->row(i), train_->label(i), &grad);
-          Result<CgReport> report = ConjugateGradient(op, grad, options_.cg);
-          if (!report.ok()) {
-            chunk_status[chunk] = report.status();
-            return;
-          }
-          scores[i] = -vec::Dot(grad, report->x);
-        }
+        chunk_status[chunk] = SelfInfluenceRange(begin, end, op, &scores);
       });
   for (const Status& status : chunk_status) {
     if (!status.ok()) return status;

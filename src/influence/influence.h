@@ -28,6 +28,17 @@ struct InfluenceOptions {
   /// SelfInfluenceAll and inherited by `cg.cancel` when that was left
   /// unset, so a stop request also aborts the Hessian solve mid-CG.
   const CancellationToken* cancel = nullptr;
+  /// Optional sharded view over the SAME training set handed to the
+  /// scorer (borrowed; must outlive any call). When set,
+  /// ScoreAll/SelfInfluenceAll run one TaskGraph task per shard (scores
+  /// land in the per-shard slices of one vector, i.e. merged in shard
+  /// order by construction; the cancel token is polled per shard and per
+  /// record) and the CG loop's Hessian-vector products go through the
+  /// models' shard-exact kernels. Results are bitwise-identical to the
+  /// sequential scorer at every shard count x worker count; to keep that
+  /// worker-invariance, `cg.parallelism` is pinned to 1 (sequential
+  /// vector kernels) while sharding is on.
+  const ShardedDataset* shards = nullptr;
 };
 
 /// \brief Influence-function scorer (paper Section 4.1, Equation 4).
@@ -61,12 +72,19 @@ class InfluenceScorer {
 
   /// Adjusts the scoring worker count after construction (benchmarks sweep
   /// this; the prepared CG solution s is unaffected). When cg.parallelism
-  /// was inherited rather than tuned explicitly, it follows this knob.
+  /// was inherited rather than tuned explicitly, it follows this knob —
+  /// except under sharding, where the CG vector kernels stay pinned
+  /// sequential (worker-invariance; see InfluenceOptions::shards).
   void set_parallelism(int parallelism) {
     options_.parallelism = parallelism < 1 ? 1 : parallelism;
-    if (cg_parallelism_inherited_) options_.cg.parallelism = options_.parallelism;
+    if (cg_parallelism_inherited_ && options_.shards == nullptr) {
+      options_.cg.parallelism = options_.parallelism;
+    }
   }
   int parallelism() const { return options_.parallelism; }
+
+  /// The sharded view driving the scorer, nullptr when unsharded.
+  const ShardedDataset* shards() const { return options_.shards; }
 
   /// \brief Self-influence scores for the InfLoss baseline [35]:
   ///     self(z) = -grad l(z)^T H^{-1} grad l(z)   (always <= 0).
@@ -78,6 +96,13 @@ class InfluenceScorer {
 
  private:
   void Hvp(const Vec& v, Vec* out) const;
+  /// Scores rows [begin, end) into their slots of `scores`, polling the
+  /// cancel token per record; returns false when interrupted.
+  bool ScoreRange(size_t begin, size_t end, std::vector<double>* scores) const;
+  /// Self-influence scores of rows [begin, end) (one CG solve each) into
+  /// `scores`; stops at the first failing solve or stop request.
+  Status SelfInfluenceRange(size_t begin, size_t end, const LinearOperator& op,
+                            std::vector<double>* scores) const;
 
   const Model* model_;
   const Dataset* train_;

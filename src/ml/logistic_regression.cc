@@ -99,6 +99,34 @@ void LogisticRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   vec::Axpy(2.0 * l2, v, out);
 }
 
+void LogisticRegression::LossGradCoeffs(const double* x, int y,
+                                        double* coeffs) const {
+  coeffs[0] = Sigmoid(Margin(x)) - static_cast<double>(y);
+}
+
+void LogisticRegression::ApplyLossGradCoeffs(const double* x, const double* coeffs,
+                                             Vec* grad) const {
+  const double coef = coeffs[0];
+  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  if (fit_intercept_) (*grad)[d_] += coef;
+}
+
+void LogisticRegression::HvpCoeffs(const double* x, int /*y*/, const Vec& v,
+                                   double* coeffs) const {
+  const double p1 = Sigmoid(Margin(x));
+  const double s = p1 * (1.0 - p1);
+  double xv = fit_intercept_ ? v[d_] : 0.0;
+  for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
+  coeffs[0] = s * xv;
+}
+
+void LogisticRegression::ApplyHvpCoeffs(const double* x, const double* coeffs,
+                                        Vec* out) const {
+  const double coef = coeffs[0];
+  for (size_t j = 0; j < d_; ++j) (*out)[j] += coef * x[j];
+  if (fit_intercept_) (*out)[d_] += coef;
+}
+
 std::unique_ptr<Model> LogisticRegression::Clone() const {
   return std::make_unique<LogisticRegression>(*this);
 }

@@ -206,6 +206,134 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
   vec::Axpy(2.0 * l2, v, out);
 }
 
+void Mlp::LossGradCoeffs(const double* x, int y, double* coeffs) const {
+  Forward f;
+  RunForward(x, &f);
+  double* dz2 = coeffs;                      // C
+  double* a1 = coeffs + c_;                  // h
+  double* dz1 = coeffs + c_ + h_;            // h
+  for (int k = 0; k < c_; ++k) dz2[k] = f.p[k];
+  dz2[y] -= 1.0;
+  for (size_t i = 0; i < h_; ++i) a1[i] = f.a1[i];
+  // da1 = W2^T dz2, accumulated in Backprop's exact loop order.
+  const double* w2 = theta_.data() + OffW2();
+  Vec da1(h_, 0.0);
+  for (int k = 0; k < c_; ++k) {
+    const double g = dz2[k];
+    const double* wrow = w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) da1[i] += wrow[i] * g;
+  }
+  for (size_t i = 0; i < h_; ++i) dz1[i] = f.z1[i] > 0.0 ? da1[i] : 0.0;
+}
+
+void Mlp::ApplyLossGradCoeffs(const double* x, const double* coeffs,
+                              Vec* grad) const {
+  const double* dz2 = coeffs;
+  const double* a1 = coeffs + c_;
+  const double* dz1 = coeffs + c_ + h_;
+  double* gw1 = grad->data() + OffW1();
+  double* gb1 = grad->data() + OffB1();
+  double* gw2 = grad->data() + OffW2();
+  double* gb2 = grad->data() + OffB2();
+  for (int k = 0; k < c_; ++k) {
+    const double g = dz2[k];
+    gb2[k] += g;
+    double* grow = gw2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) grow[i] += g * a1[i];
+  }
+  for (size_t i = 0; i < h_; ++i) {
+    const double g = dz1[i];
+    gb1[i] += g;
+    if (g == 0.0) continue;
+    double* grow = gw1 + i * d_;
+    for (size_t j = 0; j < d_; ++j) grow[j] += g * x[j];
+  }
+}
+
+void Mlp::HvpCoeffs(const double* x, int y, const Vec& v, double* coeffs) const {
+  Forward f;
+  RunForward(x, &f);
+  const double* w2 = theta_.data() + OffW2();
+  const double* v_w1 = v.data() + OffW1();
+  const double* v_b1 = v.data() + OffB1();
+  const double* v_w2 = v.data() + OffW2();
+  const double* v_b2 = v.data() + OffB2();
+
+  double* rdz2 = coeffs;                          // C
+  double* dz2 = coeffs + c_;                      // C
+  double* a1 = coeffs + 2 * static_cast<size_t>(c_);            // h
+  double* ra1 = coeffs + 2 * static_cast<size_t>(c_) + h_;      // h
+  double* rdz1 = coeffs + 2 * static_cast<size_t>(c_) + 2 * h_; // h
+
+  // R-forward pass, exactly as in HessianVectorProduct's row body.
+  Vec rz1(h_, 0.0);
+  for (size_t i = 0; i < h_; ++i) {
+    double rz = v_b1[i];
+    const double* vrow = v_w1 + i * d_;
+    for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
+    rz1[i] = rz;
+  }
+  for (size_t i = 0; i < h_; ++i) {
+    a1[i] = f.a1[i];
+    ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
+  }
+  Vec rz2(c_, 0.0);
+  for (int k = 0; k < c_; ++k) {
+    double rz = v_b2[k];
+    const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+    const double* wrow = w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) {
+      rz += vrow[i] * a1[i] + wrow[i] * ra1[i];
+    }
+    rz2[k] = rz;
+  }
+  for (int k = 0; k < c_; ++k) dz2[k] = f.p[k];
+  dz2[y] -= 1.0;
+  double prz = 0.0;
+  for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
+  for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
+
+  // rda1 accumulated in the R-backward pass's exact loop order (the
+  // sequential body interleaves it with the o_w2 accumulation; the sum
+  // itself is independent of that interleaving's *writes*, so computing
+  // it standalone with the same += order reproduces the same bits).
+  Vec rda1(h_, 0.0);
+  for (int k = 0; k < c_; ++k) {
+    const double* wrow = w2 + static_cast<size_t>(k) * h_;
+    const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) {
+      rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
+    }
+  }
+  for (size_t i = 0; i < h_; ++i) rdz1[i] = f.z1[i] > 0.0 ? rda1[i] : 0.0;
+}
+
+void Mlp::ApplyHvpCoeffs(const double* x, const double* coeffs, Vec* out) const {
+  const double* rdz2 = coeffs;
+  const double* dz2 = coeffs + c_;
+  const double* a1 = coeffs + 2 * static_cast<size_t>(c_);
+  const double* ra1 = coeffs + 2 * static_cast<size_t>(c_) + h_;
+  const double* rdz1 = coeffs + 2 * static_cast<size_t>(c_) + 2 * h_;
+  double* o_w1 = out->data() + OffW1();
+  double* o_b1 = out->data() + OffB1();
+  double* o_w2 = out->data() + OffW2();
+  double* o_b2 = out->data() + OffB2();
+  for (int k = 0; k < c_; ++k) {
+    o_b2[k] += rdz2[k];
+    double* orow = o_w2 + static_cast<size_t>(k) * h_;
+    for (size_t i = 0; i < h_; ++i) {
+      orow[i] += rdz2[k] * a1[i] + dz2[k] * ra1[i];
+    }
+  }
+  for (size_t i = 0; i < h_; ++i) {
+    const double rg = rdz1[i];
+    o_b1[i] += rg;
+    if (rg == 0.0) continue;
+    double* orow = o_w1 + i * d_;
+    for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
+  }
+}
+
 std::unique_ptr<Model> Mlp::Clone() const { return std::make_unique<Mlp>(*this); }
 
 }  // namespace rain

@@ -1,0 +1,76 @@
+#include "ml/sharded_dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rain {
+
+ShardPlan ShardPlan::Uniform(size_t n, int num_shards) {
+  size_t shards = num_shards < 1 ? 1 : static_cast<size_t>(num_shards);
+  if (n > 0 && shards > n) shards = n;  // no empty shards
+  ShardPlan plan;
+  plan.ends_.reserve(shards);
+  const size_t base = n / shards;
+  const size_t extra = n % shards;
+  size_t end = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    end += base + (s < extra ? 1 : 0);
+    plan.ends_.push_back(end);
+  }
+  RAIN_CHECK(end == n) << "shard plan must cover every row";
+  return plan;
+}
+
+ShardPlan::Range ShardPlan::shard_range(size_t s) const {
+  RAIN_CHECK(s < ends_.size()) << "shard index out of range";
+  Range r;
+  r.begin = s == 0 ? 0 : ends_[s - 1];
+  r.end = ends_[s];
+  return r;
+}
+
+size_t ShardPlan::OwnerOf(size_t row) const {
+  RAIN_CHECK(!ends_.empty() && row < ends_.back())
+      << "row " << row << " outside the shard plan";
+  // First shard whose exclusive end is past the row.
+  return static_cast<size_t>(
+      std::upper_bound(ends_.begin(), ends_.end(), row) - ends_.begin());
+}
+
+ShardedDataset::ShardedDataset(Dataset* base, ShardPlan plan)
+    : base_(base), plan_(std::move(plan)) {
+  RAIN_CHECK(base_ != nullptr);
+  RAIN_CHECK(plan_.num_shards() > 0) << "a sharded view needs a non-empty plan";
+  RAIN_CHECK(plan_.num_rows() == base_->size())
+      << "shard plan covers " << plan_.num_rows() << " rows but the dataset has "
+      << base_->size();
+  Resync();
+}
+
+size_t ShardedDataset::shard_num_active(size_t s) const {
+  RAIN_CHECK(s < shard_active_.size()) << "shard index out of range";
+  return shard_active_[s];
+}
+
+void ShardedDataset::Deactivate(size_t row) {
+  if (base_->active(row)) --shard_active_[plan_.OwnerOf(row)];
+  base_->Deactivate(row);
+}
+
+void ShardedDataset::Reactivate(size_t row) {
+  if (!base_->active(row)) ++shard_active_[plan_.OwnerOf(row)];
+  base_->Reactivate(row);
+}
+
+void ShardedDataset::Resync() {
+  shard_active_.assign(plan_.num_shards(), 0);
+  for (size_t s = 0; s < plan_.num_shards(); ++s) {
+    const ShardPlan::Range range = plan_.shard_range(s);
+    for (size_t i = range.begin; i < range.end; ++i) {
+      if (base_->active(i)) ++shard_active_[s];
+    }
+  }
+}
+
+}  // namespace rain

@@ -1,0 +1,120 @@
+#ifndef RAIN_ML_SHARDED_DATASET_H_
+#define RAIN_ML_SHARDED_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace rain {
+
+/// \brief A contiguous row-range partition of [0, n) — the unit of
+/// shard-parallel execution across the training/influence pipeline.
+///
+/// A plan is a pure function of (n, num_shards): shard sizes differ by at
+/// most one and boundaries never depend on the worker count, the pool
+/// size, or scheduling. Every shard-parallel kernel derives its work
+/// split from the plan alone, which is what makes sharded results
+/// reproducible (see `ShardedDataset` for the bitwise contract).
+class ShardPlan {
+ public:
+  /// An empty plan (zero shards) — the "sharding off" state.
+  ShardPlan() = default;
+
+  /// Partitions [0, n) into `num_shards` contiguous ranges whose sizes
+  /// differ by at most one (the first n % num_shards shards get the
+  /// extra row). `num_shards` is clamped to [1, max(n, 1)].
+  static ShardPlan Uniform(size_t n, int num_shards);
+
+  struct Range {
+    size_t begin = 0;
+    size_t end = 0;
+    size_t size() const { return end - begin; }
+  };
+
+  size_t num_shards() const { return ends_.size(); }
+  bool empty() const { return ends_.empty(); }
+  /// Total rows covered (== the n the plan was built for).
+  size_t num_rows() const { return ends_.empty() ? 0 : ends_.back(); }
+
+  /// The half-open row range of shard `s`.
+  Range shard_range(size_t s) const;
+
+  /// The shard owning global row id `row` (row < num_rows()).
+  size_t OwnerOf(size_t row) const;
+
+ private:
+  /// Cumulative exclusive ends; shard s covers [ends_[s-1], ends_[s]).
+  std::vector<size_t> ends_;
+};
+
+/// \brief A sharded view over a `Dataset`: the base rows partitioned by a
+/// `ShardPlan`, with per-shard active bookkeeping and deletion routing.
+///
+/// The view never copies features or labels — global row ids stay the
+/// contract everywhere (the debugger's deletion sequence is row ids) and
+/// the base dataset's active mask stays authoritative. What the view adds:
+///
+///   - per-shard active counts maintained **in place**: `Deactivate` /
+///     `Reactivate` route a global row id to its owning shard and adjust
+///     that shard's count along with the base mask, so the fix phase's
+///     handful of deletions per iteration updates O(1) state instead of
+///     rescanning (the incremental-maintenance idea of FO+MOD-style
+///     update processing applied to shard bookkeeping);
+///   - the shard ranges every shard-parallel kernel iterates
+///     (`Model::ShardedMeanLossGradient`, `InfluenceScorer::ScoreAll`,
+///     the CG HVP loop).
+///
+/// ## Bitwise contract
+///
+/// Kernels driven by a view compute the expensive per-row work (forward
+/// passes, backprop coefficients, per-record scores) shard-parallel, then
+/// reduce in **global row order** via the models' exact replay kernels
+/// (`Model::ApplyLossGradCoeffs` / `ApplyHvpCoeffs`). Because every
+/// in-tree model contributes exactly one addend per gradient element per
+/// row, the replay reproduces the sequential loop's multiply-add sequence
+/// bit for bit — sharded results are bitwise-identical to the
+/// `parallelism = 1` unsharded path at every shard count × worker count
+/// (stronger than the chunk-ordered contract, which is only stable per
+/// knob value). Per-record score vectors need no reduction at all; their
+/// shard slices are merged in shard order by construction.
+///
+/// The view borrows the base dataset (must outlive it). Mutating the base
+/// mask directly (not through the view) leaves the per-shard counts stale
+/// until `Resync()`; kernels read the base mask row by row, so stale
+/// counts never affect numeric results.
+class ShardedDataset {
+ public:
+  /// `base` is borrowed. The plan must cover exactly base->size() rows.
+  ShardedDataset(Dataset* base, ShardPlan plan);
+
+  const Dataset& base() const { return *base_; }
+  Dataset* mutable_base() { return base_; }
+
+  const ShardPlan& plan() const { return plan_; }
+  size_t num_shards() const { return plan_.num_shards(); }
+  ShardPlan::Range shard_range(size_t s) const { return plan_.shard_range(s); }
+  size_t OwnerOf(size_t row) const { return plan_.OwnerOf(row); }
+
+  /// Active rows currently owned by shard `s` (incrementally maintained).
+  size_t shard_num_active(size_t s) const;
+
+  /// Routed deletion: deactivates `row` in the base dataset and updates
+  /// the owning shard's active count in place. Idempotent, like the base.
+  void Deactivate(size_t row);
+  /// Routed rollback of a Deactivate; idempotent.
+  void Reactivate(size_t row);
+
+  /// Recomputes every per-shard active count from the base mask (after
+  /// out-of-band base mutations such as `Dataset::ReactivateAll`).
+  void Resync();
+
+ private:
+  Dataset* base_;
+  ShardPlan plan_;
+  std::vector<size_t> shard_active_;
+};
+
+}  // namespace rain
+
+#endif  // RAIN_ML_SHARDED_DATASET_H_

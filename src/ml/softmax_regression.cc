@@ -124,6 +124,54 @@ void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   vec::Axpy(2.0 * l2, v, out);
 }
 
+void SoftmaxRegression::LossGradCoeffs(const double* x, int y,
+                                       double* coeffs) const {
+  std::vector<double> p(c_);
+  PredictProba(x, p.data());
+  for (int c = 0; c < c_; ++c) {
+    coeffs[c] = p[c] - (c == y ? 1.0 : 0.0);
+  }
+}
+
+void SoftmaxRegression::ApplyLossGradCoeffs(const double* x, const double* coeffs,
+                                            Vec* grad) const {
+  const size_t bs = BlockSize();
+  for (int c = 0; c < c_; ++c) {
+    const double coef = coeffs[c];
+    double* g = grad->data() + static_cast<size_t>(c) * bs;
+    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    if (fit_intercept_) g[d_] += coef;
+  }
+}
+
+void SoftmaxRegression::HvpCoeffs(const double* x, int /*y*/, const Vec& v,
+                                  double* coeffs) const {
+  const size_t bs = BlockSize();
+  std::vector<double> p(c_);
+  std::vector<double> a(c_);
+  PredictProba(x, p.data());
+  for (int c = 0; c < c_; ++c) {
+    const double* vc = v.data() + static_cast<size_t>(c) * bs;
+    double av = fit_intercept_ ? vc[d_] : 0.0;
+    for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
+    a[c] = av;
+  }
+  double s = 0.0;
+  for (int c = 0; c < c_; ++c) s += p[c] * a[c];
+  for (int c = 0; c < c_; ++c) coeffs[c] = p[c] * (a[c] - s);
+}
+
+void SoftmaxRegression::ApplyHvpCoeffs(const double* x, const double* coeffs,
+                                       Vec* out) const {
+  const size_t bs = BlockSize();
+  for (int c = 0; c < c_; ++c) {
+    const double coef = coeffs[c];
+    double* o = out->data() + static_cast<size_t>(c) * bs;
+    for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
+    if (fit_intercept_) o[d_] += coef;
+  }
+}
+
 std::unique_ptr<Model> SoftmaxRegression::Clone() const {
   return std::make_unique<SoftmaxRegression>(*this);
 }

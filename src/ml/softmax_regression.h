@@ -32,6 +32,18 @@ class SoftmaxRegression : public Model {
                             Vec* out) const override;
   std::unique_ptr<Model> Clone() const override;
 
+  // Shard-exact per-row kernels: both row bodies reduce to one
+  // coefficient per class times [x; 1].
+  size_t loss_grad_coeff_size() const override { return static_cast<size_t>(c_); }
+  size_t hvp_coeff_size() const override { return static_cast<size_t>(c_); }
+  void LossGradCoeffs(const double* x, int y, double* coeffs) const override;
+  void ApplyLossGradCoeffs(const double* x, const double* coeffs,
+                           Vec* grad) const override;
+  void HvpCoeffs(const double* x, int y, const Vec& v,
+                 double* coeffs) const override;
+  void ApplyHvpCoeffs(const double* x, const double* coeffs,
+                      Vec* out) const override;
+
  private:
   size_t BlockSize() const { return d_ + (fit_intercept_ ? 1 : 0); }
   /// logits[c] = W_c . x + b_c

@@ -1,35 +1,137 @@
 #include "tensor/vector_ops.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define RAIN_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
 namespace rain {
 namespace vec {
+namespace {
+
+std::atomic<bool> g_force_scalar{false};
+
+double DotScalar(const double* x, const double* y, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+#ifdef RAIN_SIMD_X86
+
+/// 2x-unrolled AVX2/FMA dot with a fixed-shape reduction: the two
+/// running 4-lane accumulators are added, then the four lanes combine as
+/// (l0 + l1) + (l2 + l3), and the scalar tail folds on afterwards — the
+/// grouping depends only on n, never on alignment or scheduling.
+__attribute__((target("avx2,fma"))) double DotAvx2(const double* x,
+                                                   const double* y, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4),
+                           acc1);
+  }
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), acc0);
+    i += 4;
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total = __builtin_fma(x[i], y[i], total);
+  return total;
+}
+
+/// AVX2/FMA axpy. Every element — vector body and tail alike — is
+/// computed with a single fused rounding, so an element's bits never
+/// depend on which chunk (and hence which position within a chunk) it
+/// landed in: chunked Axpy stays bitwise-identical to sequential.
+__attribute__((target("avx2,fma"))) void AxpyAvx2(double alpha, const double* x,
+                                                  double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] = __builtin_fma(alpha, x[i], y[i]);
+}
+
+bool CpuHasAvx2Fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#endif  // RAIN_SIMD_X86
+
+bool UseSimd() {
+#ifdef RAIN_SIMD_X86
+  static const bool available = CpuHasAvx2Fma();
+  return available && !g_force_scalar.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+double DotRange(const double* x, const double* y, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) return DotAvx2(x, y, n);
+#endif
+  return DotScalar(x, y, n);
+}
+
+void AxpyRange(double alpha, const double* x, double* y, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) {
+    AxpyAvx2(alpha, x, y, n);
+    return;
+  }
+#endif
+  AxpyScalar(alpha, x, y, n);
+}
+
+}  // namespace
+
+namespace simd {
+
+const char* Backend() { return UseSimd() ? "avx2-fma" : "scalar"; }
+
+bool ForceScalar(bool force) {
+  return g_force_scalar.exchange(force, std::memory_order_relaxed);
+}
+
+}  // namespace simd
 
 Vec Zeros(size_t n) { return Vec(n, 0.0); }
 
 double Dot(const Vec& x, const Vec& y) {
   RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
-  double acc = 0.0;
-  for (size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
-  return acc;
+  return DotRange(x.data(), y.data(), x.size());
 }
 
 double Dot(const Vec& x, const Vec& y, int parallelism) {
   RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
   if (parallelism <= 1 || x.size() < kParallelGrain) return Dot(x, y);
   return ParallelSum(parallelism, x.size(), [&x, &y](size_t begin, size_t end) {
-    double acc = 0.0;
-    for (size_t i = begin; i < end; ++i) acc += x[i] * y[i];
-    return acc;
+    return DotRange(x.data() + begin, y.data() + begin, end - begin);
   });
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y) {
   RAIN_CHECK(x.size() == y->size()) << "Axpy size mismatch";
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  AxpyRange(alpha, x.data(), y->data(), x.size());
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y, int parallelism) {
@@ -39,7 +141,7 @@ void Axpy(double alpha, const Vec& x, Vec* y, int parallelism) {
     return;
   }
   ParallelFor(parallelism, x.size(), [alpha, &x, y](size_t begin, size_t end, size_t) {
-    for (size_t i = begin; i < end; ++i) (*y)[i] += alpha * x[i];
+    AxpyRange(alpha, x.data() + begin, y->data() + begin, end - begin);
   });
 }
 

@@ -23,6 +23,28 @@ namespace vec {
 /// fork/join handshake costs more than the arithmetic it would spread.
 constexpr size_t kParallelGrain = 4096;
 
+/// \brief Runtime-dispatched SIMD backend for the innermost Dot/Axpy
+/// kernels (first bite of the ROADMAP SIMD item).
+///
+/// On x86-64 with AVX2+FMA the element loops run 256-bit vectorized with
+/// a fixed-shape lane reduction; everywhere else (or when forced) the
+/// scalar loops run unchanged. The backend is a per-process constant, so
+/// the deterministic-chunk contract is untouched: results remain a pure
+/// function of (inputs, parallelism knob, backend), and Axpy stays
+/// bitwise chunk-invariant on both backends (the vector path computes
+/// every element with a single fused rounding, tail included, so an
+/// element's value never depends on which chunk it landed in). Dot's
+/// lane grouping differs from the scalar fold at rounding level — the
+/// same latitude chunked reductions already have across knob values.
+namespace simd {
+/// "avx2-fma" or "scalar" — whatever dispatch selected for this process.
+const char* Backend();
+/// Test hook: true forces the scalar fallback regardless of CPU support.
+/// Returns the previous setting. Not intended for concurrent flipping
+/// while kernels run (tests toggle it around call sites).
+bool ForceScalar(bool force);
+}  // namespace simd
+
 /// out = 0 vector of length n.
 Vec Zeros(size_t n);
 

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/rng.h"
@@ -6,6 +7,7 @@
 #include "influence/conjugate_gradient.h"
 #include "influence/influence.h"
 #include "ml/logistic_regression.h"
+#include "ml/sharded_dataset.h"
 #include "ml/trainer.h"
 
 namespace rain {
@@ -220,6 +222,40 @@ TEST(InfluenceTest, ParallelSelfInfluenceMatchesSequential) {
     // chunked reductions differ, so agreement is to tight epsilon.
     EXPECT_NEAR((*parallel)[i], (*sequential)[i], 1e-9) << "i=" << i;
   }
+}
+
+TEST(InfluenceTest, ShardedScoringBitwiseIdenticalToSequential) {
+  // Honors RAIN_TEST_SHARDS (the CI sharded leg sets 4) so the suite's
+  // sharded run exercises this shard count; defaults to 3.
+  int shards = 3;
+  if (const char* env = std::getenv("RAIN_TEST_SHARDS")) {
+    const int s = std::atoi(env);
+    if (s >= 1) shards = s;
+  }
+  TrainedSetup s = MakeTrained(120, 4, 20);
+  s.train.Deactivate(7);
+  ShardedDataset view(&s.train, ShardPlan::Uniform(s.train.size(), shards));
+
+  InfluenceOptions opts;
+  opts.l2 = s.l2;
+  InfluenceScorer sequential(&s.model, &s.train, opts);
+  Vec q_grad(s.model.num_params(), 0.0);
+  Rng rng(21);
+  for (double& g : q_grad) g = rng.Gaussian();
+  ASSERT_TRUE(sequential.Prepare(q_grad).ok());
+
+  opts.shards = &view;
+  InfluenceScorer sharded(&s.model, &s.train, opts);
+  ASSERT_TRUE(sharded.Prepare(q_grad).ok());
+  // The prepared CG solutions (sharded HVPs, pinned vector kernels) and
+  // the per-record scores are bit-for-bit the sequential ones.
+  EXPECT_EQ(sharded.ScoreAll(), sequential.ScoreAll());
+
+  auto self_seq = sequential.SelfInfluenceAll();
+  auto self_sharded = sharded.SelfInfluenceAll();
+  ASSERT_TRUE(self_seq.ok());
+  ASSERT_TRUE(self_sharded.ok());
+  EXPECT_EQ(*self_sharded, *self_seq);
 }
 
 TEST(InfluenceTest, DampingEnablesNonConvexSolves) {

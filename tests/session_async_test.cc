@@ -8,6 +8,7 @@
 /// observers, or mid-train via the token plumbed into the L-BFGS loop —
 /// must be honored promptly.
 #include <atomic>
+#include <cstdlib>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -160,6 +161,11 @@ Result<std::unique_ptr<DebugSession>> BuildSession(
     Query2Pipeline* pipeline, std::vector<QueryComplaints> workload, int threads,
     int max_deletions, DebugObserver* observer = nullptr) {
   DebugSessionBuilder builder(pipeline);
+  // RAIN_TEST_SHARDS (the CI sharded leg sets 4) runs the whole async
+  // suite sharded; results are bitwise-identical either way.
+  if (const char* env = std::getenv("RAIN_TEST_SHARDS")) {
+    builder.set_num_shards(std::atoi(env));
+  }
   builder.ranker("holistic")
       .top_k_per_iter(10)
       .max_deletions(max_deletions)

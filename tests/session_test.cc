@@ -4,6 +4,7 @@
 /// `Debugger::Run` shim with a directly driven session on the Fig. 5
 /// (DBLP 50% corruption) workload.
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -73,6 +74,24 @@ QueryComplaints CountComplaint(double target) {
   return qc;
 }
 
+/// Shard count applied to the session flows under test: RAIN_TEST_SHARDS
+/// when set (the CI sharded leg runs this suite at 4), else 0 (unsharded).
+/// Sharded execution is bitwise-identical to the sequential unsharded
+/// path, so every assertion below must hold for any value.
+int TestShards() {
+  const char* env = std::getenv("RAIN_TEST_SHARDS");
+  return env != nullptr ? std::atoi(env) : 0;
+}
+
+/// A DebugSessionBuilder with the suite-wide shard setting applied.
+/// Tests that assert specific knob inheritance (which sharding overrides
+/// by design) construct DebugSessionBuilder directly instead.
+DebugSessionBuilder TestSessionBuilder(Query2Pipeline* pipeline) {
+  DebugSessionBuilder builder(pipeline);
+  builder.set_num_shards(TestShards());
+  return builder;
+}
+
 class SessionFixture : public ::testing::Test {
  protected:
   void SetUp() override { setup_ = MakeCorruptedDblp(); }
@@ -84,7 +103,7 @@ class SessionFixture : public ::testing::Test {
 // ---------------------------------------------------------------- stepping
 
 TEST_F(SessionFixture, StepDrivesOneIterationAtATime) {
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .top_k_per_iter(10)
                      .max_deletions(30)
@@ -112,7 +131,7 @@ TEST_F(SessionFixture, StepAfterConvergenceIsNoop) {
   // A trivially satisfied complaint resolves on the first step.
   QueryComplaints qc = CountComplaint(0);
   qc.complaints[0].op = ComplaintOp::kGe;
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .max_deletions(50)
                      .stop_when_resolved()
@@ -137,7 +156,7 @@ TEST_F(SessionFixture, StepAfterConvergenceIsNoop) {
 }
 
 TEST_F(SessionFixture, RunToCompletionPausesOnStopConditionAndResumes) {
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .top_k_per_iter(10)
                      .max_deletions(30)
@@ -180,7 +199,7 @@ class CancelAfterPhase : public DebugObserver {
 TEST_F(SessionFixture, CancelBetweenPhasesYieldsValidPartialReport) {
   DebugSession* raw = nullptr;
   CancelAfterPhase canceller(&raw, DebugPhase::kTrain);
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .top_k_per_iter(10)
                      .max_deletions(50)
@@ -212,7 +231,7 @@ TEST_F(SessionFixture, CancelBetweenPhasesYieldsValidPartialReport) {
 }
 
 TEST_F(SessionFixture, DeadlineInThePastStopsBeforeAnyWork) {
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .max_deletions(50)
                      .deadline(std::chrono::steady_clock::now() -
@@ -256,7 +275,7 @@ class RecordingObserver : public DebugObserver {
 
 TEST_F(SessionFixture, ObserverCallbacksFireInPhaseOrder) {
   RecordingObserver recorder;
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .top_k_per_iter(5)
                      .max_deletions(10)
@@ -287,7 +306,7 @@ TEST_F(SessionFixture, AddComplaintsReopensResolvedSession) {
   // Start with a satisfied complaint: resolves immediately.
   QueryComplaints satisfied = CountComplaint(0);
   satisfied.complaints[0].op = ComplaintOp::kGe;
-  auto session = DebugSessionBuilder(pipeline())
+  auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .top_k_per_iter(10)
                      .max_deletions(20)

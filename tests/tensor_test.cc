@@ -1,4 +1,5 @@
 #include <cmath>
+#include <string>
 
 #include "common/rng.h"
 #include "gtest/gtest.h"
@@ -156,6 +157,91 @@ TEST(MatrixTest, MatMulMatchesNaiveAndIsParallelSafe) {
     // Row partitions write disjoint output blocks with identical per-row
     // arithmetic: bitwise equal to the single-chunk result.
     EXPECT_EQ(out.data(), seq.data()) << "parallelism=" << par;
+  }
+}
+
+// ------------------------------------------------- SIMD dispatch (vec)
+
+/// RAII guard restoring the SIMD force-scalar hook.
+class ForceScalarGuard {
+ public:
+  explicit ForceScalarGuard(bool force) : prev_(vec::simd::ForceScalar(force)) {}
+  ~ForceScalarGuard() { vec::simd::ForceScalar(prev_); }
+
+ private:
+  bool prev_;
+};
+
+TEST(SimdTest, BackendReportsAndForceScalarWorks) {
+  const std::string backend = vec::simd::Backend();
+  EXPECT_TRUE(backend == "avx2-fma" || backend == "scalar") << backend;
+  ForceScalarGuard guard(true);
+  EXPECT_STREQ(vec::simd::Backend(), "scalar");
+}
+
+TEST(SimdTest, ScalarFallbackBitwiseMatchesReferenceLoops) {
+  // The dispatch's scalar path must be the exact pre-SIMD loops: compare
+  // bit for bit against inline reference folds, across sizes that cover
+  // every vector-width tail.
+  ForceScalarGuard guard(true);
+  for (size_t n : {0u, 1u, 3u, 4u, 7u, 128u, 1001u}) {
+    Vec x(n), y(n);
+    Rng rng(100 + n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(-2.0, 2.0);
+      y[i] = rng.Uniform(-2.0, 2.0);
+    }
+    double ref_dot = 0.0;
+    for (size_t i = 0; i < n; ++i) ref_dot += x[i] * y[i];
+    EXPECT_EQ(vec::Dot(x, y), ref_dot) << "n=" << n;
+
+    Vec ref_axpy = y;
+    for (size_t i = 0; i < n; ++i) ref_axpy[i] += 0.37 * x[i];
+    Vec got = y;
+    vec::Axpy(0.37, x, &got);
+    EXPECT_EQ(got, ref_axpy) << "n=" << n;
+  }
+}
+
+TEST(SimdTest, SimdPathDeterministicAndNearScalar) {
+  if (std::string(vec::simd::Backend()) != "avx2-fma") {
+    GTEST_SKIP() << "no AVX2/FMA on this host";
+  }
+  const size_t n = 4099;  // odd: exercises the vector tail
+  Vec x(n), y(n);
+  Rng rng(7);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1.0, 1.0);
+    y[i] = rng.Uniform(-1.0, 1.0);
+  }
+  const double simd1 = vec::Dot(x, y);
+  const double simd2 = vec::Dot(x, y);
+  EXPECT_EQ(simd1, simd2) << "SIMD dot must be deterministic";
+  double scalar;
+  {
+    ForceScalarGuard guard(true);
+    scalar = vec::Dot(x, y);
+  }
+  EXPECT_NEAR(simd1, scalar, 1e-12 * n) << "lane regrouping only";
+}
+
+TEST(SimdTest, AxpyChunkInvariantUnderSimd) {
+  // The chunked Axpy overload must stay bitwise-identical to sequential
+  // on the SIMD path too: every element is one fused rounding regardless
+  // of where a chunk boundary (and hence a register/tail boundary) falls.
+  const size_t n = vec::kParallelGrain * 3 + 5;  // force the parallel path
+  Vec x(n), y(n);
+  Rng rng(8);
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = rng.Uniform(-1.0, 1.0);
+    y[i] = rng.Uniform(-1.0, 1.0);
+  }
+  Vec seq = y;
+  vec::Axpy(0.25, x, &seq);
+  for (int par : {2, 3, 7, 8}) {
+    Vec par_out = y;
+    vec::Axpy(0.25, x, &par_out, par);
+    EXPECT_EQ(par_out, seq) << "parallelism=" << par;
   }
 }
 
