@@ -279,7 +279,7 @@ int main() {
                          .ranker("holistic")
                          .top_k_per_iter(10)
                          .max_deletions(30)
-                         .parallelism(threads)
+                         .set_execution(ExecutionOptions().set_parallelism(threads))
                          .workload(aexp.workload)
                          .Build();
       RAIN_CHECK(session.ok()) << session.status().ToString();
@@ -385,8 +385,9 @@ int main() {
                        .ranker("holistic")
                        .top_k_per_iter(10)
                        .max_deletions(30)
-                       .set_num_shards(shards)
-                       .parallelism(shards)
+                       .set_execution(ExecutionOptions()
+                                          .set_num_shards(shards)
+                                          .set_parallelism(shards))
                        .workload(aexp.workload)
                        .Build();
     RAIN_CHECK(session.ok()) << session.status().ToString();

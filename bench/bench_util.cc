@@ -56,7 +56,12 @@ MethodRun RunMethod(
   ProgressObserver progress(method);
   DebugSessionBuilder builder(pipeline.get());
   builder.config(config).ranker(method).workload(workload);
-  if (ProgressRequested()) builder.observer(&progress);
+  if (ProgressRequested()) {
+    builder.set_execution(ExecutionOptions()
+                              .set_parallelism(config.parallelism)
+                              .set_num_shards(config.num_shards)
+                              .add_observer(&progress));
+  }
   auto session = builder.Build();
   if (!session.ok()) {
     run.error = session.status().ToString();

@@ -93,7 +93,7 @@ int main() {
                      .ranker(MakeHolisticRanker())
                      .top_k_per_iter(10)
                      .max_deletions(static_cast<int>(corrupted.size()))
-                     .observer(&progress)
+                     .set_execution(ExecutionOptions().add_observer(&progress))
                      .workload({qc})
                      .Build();
   if (!session.ok()) {

@@ -1,9 +1,8 @@
 #include "common/status.h"
 
 namespace rain {
-namespace {
 
-const char* CodeName(StatusCode code) {
+const char* StatusCodeName(StatusCode code) {
   switch (code) {
     case StatusCode::kOk:
       return "OK";
@@ -31,11 +30,24 @@ const char* CodeName(StatusCode code) {
   return "Unknown";
 }
 
-}  // namespace
+StatusCode StatusCodeFromName(std::string_view name, StatusCode fallback) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kAlreadyExists,
+      StatusCode::kOutOfRange,   StatusCode::kUnimplemented,
+      StatusCode::kInternal,     StatusCode::kResourceExhausted,
+      StatusCode::kParseError,   StatusCode::kTypeError,
+      StatusCode::kCancelled,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return fallback;
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!msg_.empty()) {
     out += ": ";
     out += msg_;

@@ -2,6 +2,7 @@
 #define RAIN_COMMON_STATUS_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace rain {
@@ -21,6 +22,15 @@ enum class StatusCode {
   kTypeError,          // expression binding / evaluation
   kCancelled,          // cooperative cancellation / deadline observed
 };
+
+/// Stable spelling of a code ("OK", "InvalidArgument", ...). These names
+/// are the error contract of the serve wire protocol: responses carry a
+/// code name plus an informational message, never a bare string.
+const char* StatusCodeName(StatusCode code);
+/// Inverse of `StatusCodeName`; unknown names map to `fallback` so a
+/// client can always reconstruct *some* Status from a wire response.
+StatusCode StatusCodeFromName(std::string_view name,
+                              StatusCode fallback = StatusCode::kInternal);
 
 /// \brief A success-or-error outcome carried by value.
 ///

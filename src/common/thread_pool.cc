@@ -194,4 +194,32 @@ void ParallelForSeeded(
   });
 }
 
+AdmissionController::AdmissionController(int capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+bool AdmissionController::TryAcquire(int weight) {
+  if (weight < 1) weight = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (acquired_ + weight > capacity_) return false;
+  acquired_ += weight;
+  return true;
+}
+
+void AdmissionController::Release(int weight) {
+  if (weight < 1) weight = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  acquired_ -= weight;
+  if (acquired_ < 0) acquired_ = 0;
+}
+
+int AdmissionController::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+int AdmissionController::acquired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return acquired_;
+}
+
 }  // namespace rain

@@ -57,6 +57,41 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// \brief Bounded share counter for admission control over a shared
+/// resource — in-tree, the process-wide ThreadPool.
+///
+/// The serve layer admits a debug session only if its declared worker
+/// demand (the session's `parallelism` knob) still fits under a capacity
+/// derived from the pool size. Shares are advisory: they do not reserve
+/// threads (ParallelFor callers help drain the queue regardless), they
+/// bound how much concurrent demand the service lets pile onto the pool
+/// before refusing new work with `Status::kResourceExhausted` instead of
+/// degrading every admitted session.
+///
+/// Thread-safe; acquire/release may happen from any thread.
+class AdmissionController {
+ public:
+  /// `capacity` is clamped to >= 1.
+  explicit AdmissionController(int capacity);
+
+  /// Acquires `weight` shares (clamped to >= 1). Returns false — acquiring
+  /// nothing — when the acquisition would exceed capacity. A single
+  /// request heavier than the whole capacity is rejected even on an empty
+  /// controller, so one caller cannot oversubscribe by going first.
+  bool TryAcquire(int weight);
+  /// Returns `weight` shares (clamped like TryAcquire; never below zero
+  /// in total).
+  void Release(int weight);
+
+  int capacity() const;
+  int acquired() const;
+
+ private:
+  mutable std::mutex mu_;
+  int capacity_;
+  int acquired_ = 0;
+};
+
 /// \brief Runs body(begin, end, chunk) over [0, n) split into
 /// min(parallelism, n) contiguous chunks whose sizes differ by at most one.
 ///

@@ -122,19 +122,25 @@ const std::array<DebugSession::StageSpec, 4>& DebugSession::Stages() {
   return kStages;
 }
 
-DebugSession::DebugSession(
-    Query2Pipeline* pipeline, std::unique_ptr<Ranker> owned_ranker, Ranker* ranker,
-    DebugConfig config, std::vector<QueryComplaints> workload,
-    std::vector<DebugObserver*> observers,
-    std::optional<std::chrono::steady_clock::time_point> deadline)
+DebugSession::DebugSession(Query2Pipeline* pipeline,
+                           std::unique_ptr<Ranker> owned_ranker, Ranker* ranker,
+                           DebugConfig config,
+                           std::vector<QueryComplaints> workload,
+                           ExecutionOptions exec)
     : pipeline_(pipeline),
       owned_ranker_(std::move(owned_ranker)),
       ranker_(ranker),
       config_(config),
       workload_(std::move(workload)),
-      observers_(std::move(observers)),
-      deadline_(deadline) {
+      observers_(std::move(exec.observers)),
+      deadline_(exec.deadline) {
   RAIN_CHECK(pipeline_ != nullptr && ranker_ != nullptr);
+  // Re-root the token below the parent FIRST, so the session deadline
+  // armed next lands on the session's own state — a hosted session's
+  // deadline must never leak to siblings sharing the service root token.
+  if (exec.parent_cancel != nullptr) {
+    cancel_token_ = exec.parent_cancel->MakeChild();
+  }
   // The session token reaches into every long phase loop: the trainer's
   // L-BFGS iterations (through Query2Pipeline::Train) and the influence /
   // CG kernels (through the options the rank context copies).
@@ -152,6 +158,7 @@ DebugSession::~DebugSession() {
 }
 
 void DebugSession::set_deadline(std::chrono::steady_clock::time_point deadline) {
+  CheckNotInObserverCallback("DebugSession::set_deadline");
   RAIN_CHECK(!async_in_flight()) << "DebugSession::set_deadline during an async drive";
   deadline_ = deadline;
   cancel_token_.set_deadline(deadline);
@@ -163,6 +170,7 @@ void DebugSession::set_deadline(std::chrono::steady_clock::time_point deadline) 
 }
 
 void DebugSession::clear_deadline() {
+  CheckNotInObserverCallback("DebugSession::clear_deadline");
   RAIN_CHECK(!async_in_flight())
       << "DebugSession::clear_deadline during an async drive";
   deadline_.reset();
@@ -174,6 +182,7 @@ void DebugSession::clear_deadline() {
 }
 
 size_t DebugSession::AddComplaints(QueryComplaints batch) {
+  CheckNotInObserverCallback("DebugSession::AddComplaints");
   RAIN_CHECK(!async_in_flight())
       << "DebugSession::AddComplaints during an async drive";
   workload_.push_back(std::move(batch));
@@ -186,6 +195,7 @@ size_t DebugSession::AddComplaints(QueryComplaints batch) {
 }
 
 bool DebugSession::RemoveQuery(size_t index) {
+  CheckNotInObserverCallback("DebugSession::RemoveQuery");
   RAIN_CHECK(!async_in_flight()) << "DebugSession::RemoveQuery during an async drive";
   if (index >= workload_.size()) return false;
   workload_.erase(workload_.begin() + static_cast<ptrdiff_t>(index));
@@ -196,19 +206,53 @@ bool DebugSession::RemoveQuery(size_t index) {
   return true;
 }
 
+namespace {
+
+/// RAII tag marking the thread currently delivering observer callbacks,
+/// so re-entering entry points can detect themselves (the enforcement
+/// behind the DebugObserver re-entrancy contract).
+class ObserverDispatchScope {
+ public:
+  explicit ObserverDispatchScope(std::atomic<std::thread::id>* slot) : slot_(slot) {
+    slot_->store(std::this_thread::get_id(), std::memory_order_release);
+  }
+  ~ObserverDispatchScope() {
+    slot_->store(std::thread::id{}, std::memory_order_release);
+  }
+  ObserverDispatchScope(const ObserverDispatchScope&) = delete;
+  ObserverDispatchScope& operator=(const ObserverDispatchScope&) = delete;
+
+ private:
+  std::atomic<std::thread::id>* slot_;
+};
+
+}  // namespace
+
+void DebugSession::CheckNotInObserverCallback(const char* entry) const {
+  RAIN_CHECK(observer_thread_.load(std::memory_order_acquire) !=
+             std::this_thread::get_id())
+      << entry
+      << ": re-entered from a DebugObserver callback; observers must not "
+         "call back into the session (see the DebugObserver re-entrancy "
+         "contract; Cancel() is the one sanctioned exception)";
+}
+
 void DebugSession::NotifyIterationStart(int iteration) {
   std::lock_guard<std::mutex> lock(observer_mu_);
+  ObserverDispatchScope in_callback(&observer_thread_);
   for (DebugObserver* obs : observers_) obs->OnIterationStart(iteration, report_);
 }
 
 void DebugSession::NotifyPhaseComplete(int iteration, DebugPhase phase,
                                        double seconds) {
   std::lock_guard<std::mutex> lock(observer_mu_);
+  ObserverDispatchScope in_callback(&observer_thread_);
   for (DebugObserver* obs : observers_) obs->OnPhaseComplete(iteration, phase, seconds);
 }
 
 void DebugSession::NotifyDeletion(int iteration, size_t record, double score) {
   std::lock_guard<std::mutex> lock(observer_mu_);
+  ObserverDispatchScope in_callback(&observer_thread_);
   for (DebugObserver* obs : observers_) obs->OnDeletion(iteration, record, score);
 }
 
@@ -709,6 +753,7 @@ Result<StepResult> DebugSession::StepImpl(bool pipelined) {
 }
 
 Result<StepResult> DebugSession::Step() {
+  CheckNotInObserverCallback("DebugSession::Step");
   if (async_in_flight()) {
     return Status::InvalidArgument(
         "DebugSession::Step: an async drive is in flight; wait on its future");
@@ -717,6 +762,7 @@ Result<StepResult> DebugSession::Step() {
 }
 
 Result<DebugReport> DebugSession::RunToCompletion(const StopCondition& stop) {
+  CheckNotInObserverCallback("DebugSession::RunToCompletion");
   if (async_in_flight()) {
     return Status::InvalidArgument(
         "DebugSession::RunToCompletion: an async drive is in flight; wait on "
@@ -754,6 +800,7 @@ Result<DebugReport> DebugSession::DriveLoop(const StopCondition& stop,
 }
 
 Future<Result<StepResult>> DebugSession::StepAsync(AsyncOptions options) {
+  CheckNotInObserverCallback("DebugSession::StepAsync");
   Promise<Result<StepResult>> promise;
   Future<Result<StepResult>> future = promise.future();
   if (async_active_.exchange(true, std::memory_order_acq_rel)) {
@@ -772,6 +819,7 @@ Future<Result<StepResult>> DebugSession::StepAsync(AsyncOptions options) {
 
 Future<Result<DebugReport>> DebugSession::RunToCompletionAsync(
     StopCondition stop, AsyncOptions options) {
+  CheckNotInObserverCallback("DebugSession::RunToCompletionAsync");
   Promise<Result<DebugReport>> promise;
   Future<Result<DebugReport>> future = promise.future();
   if (async_active_.exchange(true, std::memory_order_acq_rel)) {
@@ -801,11 +849,6 @@ DebugSessionBuilder& DebugSessionBuilder::ranker(const std::string& name) {
   } else {
     ranker_status_ = made.status();
   }
-  return *this;
-}
-
-DebugSessionBuilder& DebugSessionBuilder::timeout_seconds(double seconds) {
-  timeout_seconds_ = seconds;
   return *this;
 }
 
@@ -853,20 +896,26 @@ Result<std::unique_ptr<DebugSession>> DebugSessionBuilder::Build() {
     }
   }
 
-  std::optional<std::chrono::steady_clock::time_point> deadline = deadline_;
-  if (timeout_seconds_.has_value()) {
+  // Resolve the execution bundle: fold the relative timeout into the
+  // absolute deadline (earlier wins) and mirror the resolved parallelism /
+  // shard values back so the session ctor receives one coherent value.
+  ExecutionOptions exec = std::move(exec_);
+  exec.parallelism = resolved.parallelism;
+  exec.num_shards = resolved.num_shards;
+  if (exec.timeout_seconds.has_value()) {
     const auto timeout_deadline =
         std::chrono::steady_clock::now() +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double>(*timeout_seconds_));
-    if (!deadline.has_value() || timeout_deadline < *deadline) {
-      deadline = timeout_deadline;
+            std::chrono::duration<double>(*exec.timeout_seconds));
+    if (!exec.deadline.has_value() || timeout_deadline < *exec.deadline) {
+      exec.deadline = timeout_deadline;
     }
+    exec.timeout_seconds.reset();
   }
 
-  return std::unique_ptr<DebugSession>(new DebugSession(
-      pipeline_, std::move(owned_ranker_), ranker, resolved, std::move(workload_),
-      std::move(observers_), deadline));
+  return std::unique_ptr<DebugSession>(
+      new DebugSession(pipeline_, std::move(owned_ranker_), ranker, resolved,
+                       std::move(workload_), std::move(exec)));
 }
 
 }  // namespace rain

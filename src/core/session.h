@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/cancellation.h"
+#include "common/deprecation.h"
 #include "common/task_graph.h"
 #include "core/complaint.h"
 #include "core/debugger.h"
@@ -90,9 +91,22 @@ struct StepResult {
 /// paths (speculative work never notifies; its timing is delivered at the
 /// phase's canonical slot when it commits). Delivery is serialized under
 /// a session-level mutex. Observers are borrowed and must outlive the
-/// session. Observers may call `DebugSession::Cancel()` (it only sets a
-/// flag, honored on the async path too), but must not mutate the session
-/// otherwise from inside a callback.
+/// session.
+///
+/// ## Re-entrancy contract (enforced)
+///
+/// Observers must NOT re-enter the session from inside a callback: the
+/// callback already runs under the session's observer mutex on the
+/// stepping thread, so a nested `Step()` / `RunToCompletion()` /
+/// `AddComplaints()` / `RemoveQuery()` / `set_deadline()` would deadlock
+/// or corrupt in-flight stage state. The session asserts (RAIN_CHECK,
+/// fatal in every build mode) that these entry points are never called
+/// from the notifying thread while a callback is being delivered — which
+/// is what makes service-side per-session metrics observers safe to
+/// register unconditionally. The one sanctioned re-entry is
+/// `DebugSession::Cancel()` (it only sets a flag, honored on the async
+/// path too); reading `report()` state already handed to the callback is
+/// likewise fine.
 class DebugObserver {
  public:
   virtual ~DebugObserver() = default;
@@ -116,6 +130,65 @@ class DebugObserver {
     (void)iteration;
     (void)record;
     (void)score;
+  }
+};
+
+/// \brief The execution-resource knobs of a debug session, collected into
+/// one value (PR 6 API redesign).
+///
+/// PRs 1-5 accreted these one builder setter at a time (`parallelism`,
+/// `set_num_shards`, `deadline` / `timeout_seconds`, `observer`); this
+/// struct collapses them so the same value can configure a standalone
+/// `DebugSessionBuilder` (via `set_execution`) and a `DebugService`
+/// session admission verbatim. The legacy setters survive as
+/// `RAIN_DEPRECATED` shims with identical semantics (bitwise-equal
+/// sessions; tested).
+///
+/// All fields are plain data; the fluent setters just make call sites
+/// read like the old builder chains.
+struct ExecutionOptions {
+  /// Worker count applied end-to-end across an iteration (see
+  /// `DebugConfig::parallelism` for the inheritance rule).
+  int parallelism = 1;
+  /// Shard count for the training/influence pipeline; 0 adopts whatever
+  /// plan the pipeline already has installed (none = unsharded).
+  int num_shards = 0;
+  /// Absolute deadline checked between phases and inside phase loops.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Relative deadline in seconds from Build() time; combines with
+  /// `deadline` by taking the earlier of the two.
+  std::optional<double> timeout_seconds;
+  /// Optional parent cancellation token: the session's own token becomes
+  /// a child of it, so cancelling the parent (a service shutting down, a
+  /// client connection dying) stops the session — while the session's
+  /// `Cancel()` still stops only itself. Borrowed; must outlive Build().
+  const CancellationToken* parent_cancel = nullptr;
+  /// Streaming observers (borrowed; must outlive the session).
+  std::vector<DebugObserver*> observers;
+
+  ExecutionOptions& set_parallelism(int v) {
+    parallelism = v;
+    return *this;
+  }
+  ExecutionOptions& set_num_shards(int v) {
+    num_shards = v;
+    return *this;
+  }
+  ExecutionOptions& set_deadline(std::chrono::steady_clock::time_point tp) {
+    deadline = tp;
+    return *this;
+  }
+  ExecutionOptions& set_timeout_seconds(double seconds) {
+    timeout_seconds = seconds;
+    return *this;
+  }
+  ExecutionOptions& set_parent_cancel(const CancellationToken* token) {
+    parent_cancel = token;
+    return *this;
+  }
+  ExecutionOptions& add_observer(DebugObserver* obs) {
+    if (obs != nullptr) observers.push_back(obs);
+    return *this;
   }
 };
 
@@ -332,11 +405,12 @@ class DebugSession {
  private:
   friend class DebugSessionBuilder;
 
+  /// `exec` is the RESOLVED execution bundle: `Build()` has already folded
+  /// `timeout_seconds` into `deadline` and copied parallelism / shards into
+  /// `config`; the ctor consumes only deadline, parent_cancel, observers.
   DebugSession(Query2Pipeline* pipeline, std::unique_ptr<Ranker> owned_ranker,
                Ranker* ranker, DebugConfig config,
-               std::vector<QueryComplaints> workload,
-               std::vector<DebugObserver*> observers,
-               std::optional<std::chrono::steady_clock::time_point> deadline);
+               std::vector<QueryComplaints> workload, ExecutionOptions exec);
 
   /// Mutable state threaded through one step's stages.
   struct StageScope;
@@ -398,7 +472,12 @@ class DebugSession {
   bool CheckInterrupted(DebugPhase last_phase, IterationStats* stats,
                         StepResult* result);
   bool DeadlinePassed() const {
-    return deadline_.has_value() && std::chrono::steady_clock::now() >= *deadline_;
+    // The token check also picks up a deadline armed on a PARENT token
+    // (a service-wide quota), which the session's own deadline_ mirror
+    // cannot see.
+    return (deadline_.has_value() &&
+            std::chrono::steady_clock::now() >= *deadline_) ||
+           cancel_token_.deadline_passed();
   }
 
   void Finish(StepStatus status);
@@ -406,6 +485,10 @@ class DebugSession {
   void NotifyIterationStart(int iteration);
   void NotifyPhaseComplete(int iteration, DebugPhase phase, double seconds);
   void NotifyDeletion(int iteration, size_t record, double score);
+  /// Enforces the DebugObserver re-entrancy contract: fatal (RAIN_CHECK)
+  /// when `entry` is invoked from inside an observer callback on the
+  /// notifying thread.
+  void CheckNotInObserverCallback(const char* entry) const;
 
   /// Joins a finished driver thread so a new async call can reuse it.
   void ReapDriverThread();
@@ -418,6 +501,9 @@ class DebugSession {
   std::vector<QueryComplaints> workload_;
   std::vector<DebugObserver*> observers_;
   std::mutex observer_mu_;
+  /// The thread currently delivering observer callbacks (default id =
+  /// none); what CheckNotInObserverCallback tests against.
+  std::atomic<std::thread::id> observer_thread_{std::thread::id{}};
   std::optional<std::chrono::steady_clock::time_point> deadline_;
 
   DebugReport report_;
@@ -451,7 +537,7 @@ class DebugSession {
 ///           .ranker("holistic")
 ///           .top_k_per_iter(10)
 ///           .max_deletions(100)
-///           .parallelism(8)
+///           .set_execution(ExecutionOptions().set_parallelism(8))
 ///           .workload({qc})
 ///           .Build());
 ///   RAIN_ASSIGN_OR_RETURN(DebugReport report, session->RunToCompletion());
@@ -505,13 +591,43 @@ class DebugSessionBuilder {
     config_.stop_when_resolved = v;
     return *this;
   }
-  /// Worker count applied end-to-end across an iteration; see class
-  /// comment for the inheritance rule.
-  DebugSessionBuilder& parallelism(int v) {
-    config_.parallelism = v;
+  /// \brief All execution-resource knobs in one value: worker count,
+  /// shard count, deadline/timeout, parent cancellation token, observers.
+  ///
+  /// This is the one knob surface shared with the serve layer — a
+  /// `DebugService` admits sessions from exactly this struct — and the
+  /// replacement for the deprecated per-knob setters below. Field
+  /// semantics:
+  ///
+  ///   - `parallelism` / `num_shards` overwrite the corresponding
+  ///     `DebugConfig` fields (same slots the deprecated setters and
+  ///     `config()` write, so mixing old and new calls keeps plain
+  ///     last-write-wins ordering). `Build()` then resolves inheritance
+  ///     and installs the shard plan exactly as before; see the class
+  ///     comment and docs/architecture.md, "Shard plan".
+  ///   - `deadline` / `timeout_seconds` / `parent_cancel` / `observers`
+  ///     REPLACE any previously supplied execution bundle wholesale
+  ///     (including observers registered through the deprecated
+  ///     `observer()` shim).
+  DebugSessionBuilder& set_execution(ExecutionOptions exec) {
+    config_.parallelism = exec.parallelism;
+    config_.num_shards = exec.num_shards;
+    exec_ = std::move(exec);
     return *this;
   }
-  /// \brief Shard count for the training/influence pipeline. The default
+
+  /// \deprecated Use `set_execution(ExecutionOptions().set_parallelism(v))`.
+  /// Worker count applied end-to-end across an iteration; see class
+  /// comment for the inheritance rule.
+  RAIN_DEPRECATED("use set_execution(ExecutionOptions().set_parallelism(...))")
+  DebugSessionBuilder& parallelism(int v) {
+    config_.parallelism = v;
+    exec_.parallelism = v;
+    return *this;
+  }
+  /// \deprecated Use `set_execution(ExecutionOptions().set_num_shards(v))`.
+  ///
+  /// Shard count for the training/influence pipeline. The default
   /// 0 means "no opinion": `Build()` then adopts whatever plan is already
   /// installed on the pipeline (none = unsharded). Clear an installed
   /// plan explicitly with `Query2Pipeline::set_num_shards(0)`.
@@ -527,8 +643,10 @@ class DebugSessionBuilder {
   /// count x worker count; the CG/L-BFGS parameter-dimension vector
   /// kernels are pinned sequential under sharding to keep that
   /// worker-invariance. See docs/architecture.md, "Shard plan".
+  RAIN_DEPRECATED("use set_execution(ExecutionOptions().set_num_shards(...))")
   DebugSessionBuilder& set_num_shards(int v) {
     config_.num_shards = v;
+    exec_.num_shards = v;
     return *this;
   }
   DebugSessionBuilder& influence(const InfluenceOptions& v) {
@@ -556,18 +674,28 @@ class DebugSessionBuilder {
     return *this;
   }
 
+  /// \deprecated Use `set_execution(ExecutionOptions().add_observer(obs))`.
   /// Registers a streaming observer (borrowed; repeatable).
+  RAIN_DEPRECATED("use set_execution(ExecutionOptions().add_observer(...))")
   DebugSessionBuilder& observer(DebugObserver* obs) {
-    if (obs != nullptr) observers_.push_back(obs);
+    exec_.add_observer(obs);
     return *this;
   }
+  /// \deprecated Use `set_execution(ExecutionOptions().set_deadline(tp))`.
   /// Absolute deadline checked between phases (and inside phase loops).
+  RAIN_DEPRECATED("use set_execution(ExecutionOptions().set_deadline(...))")
   DebugSessionBuilder& deadline(std::chrono::steady_clock::time_point tp) {
-    deadline_ = tp;
+    exec_.deadline = tp;
     return *this;
   }
+  /// \deprecated Use
+  /// `set_execution(ExecutionOptions().set_timeout_seconds(s))`.
   /// Relative deadline in seconds from Build() time.
-  DebugSessionBuilder& timeout_seconds(double seconds);
+  RAIN_DEPRECATED("use set_execution(ExecutionOptions().set_timeout_seconds(...))")
+  DebugSessionBuilder& timeout_seconds(double seconds) {
+    exec_.timeout_seconds = seconds;
+    return *this;
+  }
 
   /// Replaces the initial workload.
   DebugSessionBuilder& workload(std::vector<QueryComplaints> w) {
@@ -591,9 +719,11 @@ class DebugSessionBuilder {
   Status ranker_status_;  // deferred error from ranker(name)
   DebugConfig config_;
   std::vector<QueryComplaints> workload_;
-  std::vector<DebugObserver*> observers_;
-  std::optional<std::chrono::steady_clock::time_point> deadline_;
-  std::optional<double> timeout_seconds_;
+  /// The execution bundle handed to the session. `parallelism` /
+  /// `num_shards` are mirrored into `config_` at setter time (so legacy
+  /// setters and `config()` interleave with last-write-wins semantics);
+  /// Build() reads deadline/timeout/parent_cancel/observers from here.
+  ExecutionOptions exec_;
 };
 
 }  // namespace rain

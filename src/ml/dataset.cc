@@ -1,25 +1,49 @@
 #include "ml/dataset.h"
 
+#include <utility>
+
 #include "common/logging.h"
 
 namespace rain {
 
-Dataset::Dataset(Matrix features, std::vector<int> labels, int num_classes)
-    : features_(std::move(features)),
-      labels_(std::move(labels)),
-      active_(labels_.size(), 1),
-      num_active_(labels_.size()),
-      num_classes_(num_classes) {
-  RAIN_CHECK(features_.rows() == labels_.size()) << "feature/label row mismatch";
-  RAIN_CHECK(num_classes_ >= 2) << "need at least two classes";
-  for (int y : labels_) {
-    RAIN_CHECK(y >= 0 && y < num_classes_) << "label out of range: " << y;
+// A default-constructed Dataset still carries a (tiny) storage block so the
+// accessors never need a null check.
+Dataset::Dataset() : storage_(std::make_shared<Storage>()) {}
+
+Dataset::Dataset(Matrix features, std::vector<int> labels, int num_classes) {
+  auto storage = std::make_shared<Storage>();
+  storage->features = std::move(features);
+  storage->labels = std::move(labels);
+  storage->num_classes = num_classes;
+  RAIN_CHECK(storage->features.rows() == storage->labels.size())
+      << "feature/label row mismatch";
+  RAIN_CHECK(storage->num_classes >= 2) << "need at least two classes";
+  for (int y : storage->labels) {
+    RAIN_CHECK(y >= 0 && y < storage->num_classes) << "label out of range: " << y;
   }
+  active_.assign(storage->labels.size(), 1);
+  num_active_ = storage->labels.size();
+  storage_ = std::move(storage);
+}
+
+Dataset Dataset::View() const {
+  Dataset view(*this);  // shares storage_, copies the mask
+  view.ReactivateAll();
+  return view;
+}
+
+void Dataset::DetachStorage() {
+  if (storage_.use_count() == 1) return;
+  auto copy = std::make_shared<Storage>(*storage_);
+  storage_ = std::move(copy);
 }
 
 void Dataset::set_label(size_t i, int y) {
-  RAIN_CHECK(i < labels_.size() && y >= 0 && y < num_classes_);
-  labels_[i] = y;
+  RAIN_CHECK(i < storage_->labels.size() && y >= 0 && y < storage_->num_classes);
+  DetachStorage();
+  // The only mutation of shared state, and it happens on a block this
+  // instance now owns exclusively.
+  const_cast<Storage*>(storage_.get())->labels[i] = y;
 }
 
 void Dataset::Deactivate(size_t i) {

@@ -1,0 +1,144 @@
+#include "serve/builtin_datasets.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "data/adult.h"
+#include "data/corruption.h"
+#include "data/dblp.h"
+#include "ml/logistic_regression.h"
+#include "sql/planner.h"
+
+namespace rain {
+namespace serve {
+namespace {
+
+PlanPtr MustPlan(const Catalog& catalog, const std::string& sql) {
+  auto plan = sql::PlanQuery(sql, catalog);
+  RAIN_CHECK(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+/// A throwaway clean pipeline over the UNcorrupted data, used only to
+/// derive complaint targets ("what the answer should have been").
+std::unique_ptr<Query2Pipeline> CleanPipeline(const HostedDataset& ds,
+                                              const Dataset& train) {
+  Catalog catalog;
+  RAIN_CHECK(catalog.AddTable(ds.table_name, ds.table, ds.query_features).ok());
+  auto clean = std::make_unique<Query2Pipeline>(std::move(catalog),
+                                                ds.make_model(), train,
+                                                ds.train_config);
+  RAIN_CHECK(clean->Train().ok());
+  return clean;
+}
+
+double GroupValue(Query2Pipeline* pipeline, const std::string& sql,
+                  const Value& key) {
+  auto r = pipeline->ExecuteSql(sql, /*debug=*/false);
+  RAIN_CHECK(r.ok()) << r.status().ToString();
+  for (const auto& row : r->table.rows) {
+    if (row[0] == key) return *row[1].ToNumeric();
+  }
+  RAIN_CHECK(false) << "group not found";
+  return 0.0;
+}
+
+double ScalarValue(Query2Pipeline* pipeline, const std::string& sql) {
+  auto r = pipeline->ExecuteSql(sql, /*debug=*/false);
+  RAIN_CHECK(r.ok()) << r.status().ToString();
+  RAIN_CHECK(r->table.num_rows() == 1);
+  return *r->table.rows[0].back().ToNumeric();
+}
+
+}  // namespace
+
+HostedDataset MakeAdultHostedDataset(size_t train_size, size_t query_size,
+                                     double corruption, uint64_t seed) {
+  AdultConfig cfg;
+  cfg.train_size = train_size;
+  cfg.query_size = query_size;
+  cfg.seed = seed;
+  AdultData data = MakeAdult(cfg);
+
+  HostedDataset ds;
+  ds.name = "adult";
+  ds.table_name = "adult";
+  ds.table = data.query_table;
+  ds.query_features = data.query;
+  ds.make_model = [features = data.train.num_features()] {
+    return std::make_unique<LogisticRegression>(features);
+  };
+
+  const std::string gender_sql =
+      "SELECT gender, AVG(predict(*)) AS avg_income FROM adult GROUP BY gender";
+  double male_target = 0.0;
+  PlanPtr plan;
+  {
+    auto clean = CleanPipeline(ds, data.train);
+    male_target = GroupValue(clean.get(), gender_sql, Value(std::string("Male")));
+    plan = MustPlan(clean->catalog(), gender_sql);
+  }
+
+  Rng rng(seed + 1);
+  CorruptLabels(&data.train, AdultCorruptionCandidates(data), corruption,
+                /*to_label=*/1, &rng);
+  ds.train = std::move(data.train);
+
+  QueryComplaints qc;
+  qc.query = std::move(plan);
+  qc.complaints = {ComplaintSpec::ValueEq("avg_income", male_target,
+                                          {Value(std::string("Male"))})};
+  ds.default_workload = {std::move(qc)};
+  return ds;
+}
+
+HostedDataset MakeDblpHostedDataset(size_t train_size, size_t query_size,
+                                    double corruption, uint64_t seed) {
+  DblpConfig cfg;
+  cfg.train_size = train_size;
+  cfg.query_size = query_size;
+  cfg.seed = seed;
+  DblpData data = MakeDblp(cfg);
+
+  HostedDataset ds;
+  ds.name = "dblp";
+  ds.table_name = "dblp";
+  ds.table = data.query_table;
+  ds.query_features = data.query;
+  ds.make_model = [features = data.train.num_features()] {
+    return std::make_unique<LogisticRegression>(features);
+  };
+
+  const std::string sql =
+      "SELECT COUNT(*) AS cnt FROM dblp WHERE predict(*) = 1";
+  double clean_count = 0.0;
+  PlanPtr plan;
+  {
+    auto clean = CleanPipeline(ds, data.train);
+    clean_count = ScalarValue(clean.get(), sql);
+    plan = MustPlan(clean->catalog(), sql);
+  }
+
+  Rng rng(seed + 1);
+  CorruptLabels(&data.train, IndicesWithLabel(data.train, 1), corruption,
+                /*to_label=*/0, &rng);
+  ds.train = std::move(data.train);
+
+  QueryComplaints qc;
+  qc.query = std::move(plan);
+  qc.complaints = {ComplaintSpec::ValueEq("cnt", clean_count)};
+  ds.default_workload = {std::move(qc)};
+  return ds;
+}
+
+Status RegisterBuiltinDatasets(DebugService* service) {
+  Status st = service->RegisterDataset(MakeAdultHostedDataset());
+  if (!st.ok()) return st;
+  return service->RegisterDataset(MakeDblpHostedDataset());
+}
+
+}  // namespace serve
+}  // namespace rain

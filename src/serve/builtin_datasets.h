@@ -1,0 +1,42 @@
+#ifndef RAIN_SERVE_BUILTIN_DATASETS_H_
+#define RAIN_SERVE_BUILTIN_DATASETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "serve/debug_service.h"
+
+namespace rain {
+namespace serve {
+
+/// \brief The synthesized benchmark datasets `rain_debugd` serves out of
+/// the box, packaged as `HostedDataset` bundles.
+///
+/// Each factory regenerates the dataset deterministically from its seed,
+/// injects the standard label corruption, and derives the default
+/// complaint targets from a CLEAN pipeline — so two processes building
+/// the same bundle (say a server and a test's standalone reference) hold
+/// bitwise-identical data and workloads.
+
+/// "adult": Adult census income, gender-biased label corruption, default
+/// workload complaining that the Male group's `avg_income` should match
+/// the clean pipeline's value.
+HostedDataset MakeAdultHostedDataset(size_t train_size = 2000,
+                                     size_t query_size = 1000,
+                                     double corruption = 0.3,
+                                     uint64_t seed = 13);
+
+/// "dblp": DBLP title classification, one-sided label flips, default
+/// workload complaining the `predict(*) = 1` COUNT should match clean.
+HostedDataset MakeDblpHostedDataset(size_t train_size = 1000,
+                                    size_t query_size = 500,
+                                    double corruption = 0.3,
+                                    uint64_t seed = 7);
+
+/// Registers both builtin bundles; kAlreadyExists passes through.
+Status RegisterBuiltinDatasets(DebugService* service);
+
+}  // namespace serve
+}  // namespace rain
+
+#endif  // RAIN_SERVE_BUILTIN_DATASETS_H_

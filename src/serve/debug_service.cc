@@ -1,0 +1,391 @@
+#include "serve/debug_service.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace rain {
+namespace serve {
+
+const char* SessionStateName(SessionState state) {
+  switch (state) {
+    case SessionState::kIdle:
+      return "idle";
+    case SessionState::kQueued:
+      return "queued";
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kFinished:
+      return "finished";
+  }
+  return "?";
+}
+
+std::unique_ptr<Query2Pipeline> MakeSessionPipeline(const HostedDataset& dataset) {
+  Catalog catalog;
+  // Catalog entries copy the Dataset by value, but Dataset is
+  // copy-on-write: the per-session catalog shares the registered feature
+  // storage. Only the Table's relational columns are materialized per
+  // session (small next to the feature matrices).
+  const Status added =
+      catalog.AddTable(dataset.table_name, dataset.table, dataset.query_features);
+  RAIN_CHECK(added.ok()) << "hosted dataset '" << dataset.name
+                         << "': " << added.ToString();
+  // View(): fresh all-active deletion mask over SHARED feature/label
+  // storage — the copy-on-write core of multi-tenancy. The session's fix
+  // phase only flips this mask, which never detaches the storage.
+  return std::make_unique<Query2Pipeline>(std::move(catalog), dataset.make_model(),
+                                          dataset.train.View(),
+                                          dataset.train_config);
+}
+
+DebugService::DebugService(ServiceOptions options)
+    : options_(options),
+      admission_(options.admission_capacity > 0
+                     ? options.admission_capacity
+                     : 2 * ThreadPool::Global().num_threads()) {
+  const int drivers = options_.num_drivers < 1 ? 1 : options_.num_drivers;
+  drivers_.reserve(static_cast<size_t>(drivers));
+  for (int i = 0; i < drivers; ++i) {
+    drivers_.emplace_back([this] { DriverLoop(); });
+  }
+}
+
+DebugService::~DebugService() { Shutdown(); }
+
+Status DebugService::RegisterDataset(HostedDataset dataset) {
+  if (dataset.name.empty()) {
+    return Status::InvalidArgument("HostedDataset: name is required");
+  }
+  if (dataset.table_name.empty()) {
+    return Status::InvalidArgument("HostedDataset: table_name is required");
+  }
+  if (dataset.make_model == nullptr) {
+    return Status::InvalidArgument("HostedDataset: make_model is required");
+  }
+  if (dataset.train.size() == 0) {
+    return Status::InvalidArgument("HostedDataset: empty training set");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (datasets_.count(dataset.name) != 0) {
+    return Status::AlreadyExists("dataset '" + dataset.name +
+                                 "' is already registered");
+  }
+  std::string name = dataset.name;
+  datasets_.emplace(std::move(name), std::move(dataset));
+  return Status::OK();
+}
+
+std::vector<std::string> DebugService::dataset_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(datasets_.size());
+  for (const auto& [name, ds] : datasets_) names.push_back(name);
+  return names;
+}
+
+Result<uint64_t> DebugService::Open(const SessionSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Cancelled("service is shut down");
+  auto ds = datasets_.find(spec.dataset);
+  if (ds == datasets_.end()) {
+    return Status::NotFound("unknown dataset '" + spec.dataset + "'");
+  }
+  if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+    return Status::ResourceExhausted(
+        "session limit reached (" + std::to_string(options_.max_sessions) + ")");
+  }
+  const int weight = spec.exec.parallelism < 1 ? 1 : spec.exec.parallelism;
+  if (!admission_.TryAcquire(weight)) {
+    return Status::ResourceExhausted(
+        "admission refused: requested " + std::to_string(weight) +
+        " worker shares, " +
+        std::to_string(admission_.capacity() - admission_.acquired()) + " of " +
+        std::to_string(admission_.capacity()) + " free");
+  }
+
+  Hosted hosted;
+  hosted.dataset = spec.dataset;
+  hosted.weight = weight;
+  hosted.pipeline = MakeSessionPipeline(ds->second);
+  hosted.metrics = std::make_unique<MetricsObserver>();
+
+  // The spec's ExecutionOptions pass through VERBATIM — the service only
+  // re-parents cancellation under its root token (unless the caller
+  // supplied a parent) and adds the metrics observer.
+  ExecutionOptions exec = spec.exec;
+  if (exec.parent_cancel == nullptr) exec.parent_cancel = &root_token_;
+  exec.add_observer(hosted.metrics.get());
+
+  auto built =
+      DebugSessionBuilder(hosted.pipeline.get())
+          .ranker(spec.ranker)
+          .top_k_per_iter(spec.top_k_per_iter)
+          .max_deletions(spec.max_deletions)
+          .max_iterations(spec.max_iterations)
+          .stop_when_resolved(spec.stop_when_resolved)
+          .set_execution(std::move(exec))
+          .workload(spec.workload.empty() ? ds->second.default_workload
+                                          : spec.workload)
+          .Build();
+  if (!built.ok()) {
+    admission_.Release(weight);
+    return built.status();
+  }
+  hosted.session = std::move(*built);
+  hosted.sid = next_sid_++;
+  const uint64_t sid = hosted.sid;
+  sessions_.emplace(sid, std::move(hosted));
+  return sid;
+}
+
+Future<Result<StepOutcome>> DebugService::StepAsync(uint64_t sid, int steps) {
+  Turn turn;
+  turn.sid = sid;
+  turn.remaining = steps < 1 ? 1 : steps;
+  Future<Result<StepOutcome>> future = turn.promise.future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Hosted* hosted = FindLocked(sid);
+    if (hosted == nullptr) {
+      turn.promise.Set(
+          Status::NotFound("no session " + std::to_string(sid)));
+      return future;
+    }
+    if (stop_) {
+      turn.promise.Set(Status::Cancelled("service is shut down"));
+      return future;
+    }
+    ++hosted->pending_turns;
+    if (hosted->state == SessionState::kIdle) {
+      hosted->state = SessionState::kQueued;
+    }
+    queue_.push_back(std::move(turn));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+Result<StepOutcome> DebugService::Step(uint64_t sid, int steps) {
+  return StepAsync(sid, steps).Get();
+}
+
+Result<SessionStatus> DebugService::GetStatus(uint64_t sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Hosted* hosted = FindLocked(sid);
+  if (hosted == nullptr) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  SessionStatus status;
+  status.sid = sid;
+  status.dataset = hosted->dataset;
+  status.state = hosted->state;
+  status.iterations_started = hosted->metrics->iterations_started();
+  status.deletions = hosted->metrics->deletions();
+  // Session internals are only safe to read when no driver is inside
+  // Step(); while running, the atomic counters above are the live view.
+  if (hosted->state != SessionState::kRunning) {
+    status.finished = hosted->session->finished();
+    status.resolved = hosted->session->report().complaints_resolved;
+    status.finish_status = hosted->session->finish_status();
+  }
+  return status;
+}
+
+Status DebugService::Complain(uint64_t sid, QueryComplaints batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Hosted* hosted = FindLocked(sid);
+  if (hosted == nullptr) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  if (hosted->state == SessionState::kQueued ||
+      hosted->state == SessionState::kRunning) {
+    return Status::InvalidArgument(
+        "session " + std::to_string(sid) +
+        " has turns in flight; complain between steps");
+  }
+  hosted->session->AddComplaints(std::move(batch));
+  // New complaints reopen a kResolved session (see AddComplaints).
+  if (hosted->state == SessionState::kFinished &&
+      !hosted->session->finished()) {
+    hosted->state = SessionState::kIdle;
+  }
+  return Status::OK();
+}
+
+Status DebugService::Cancel(uint64_t sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Hosted* hosted = FindLocked(sid);
+  if (hosted == nullptr) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  hosted->session->Cancel();  // thread-safe even mid-step
+  return Status::OK();
+}
+
+Status DebugService::Close(uint64_t sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  Hosted& hosted = it->second;
+  if (hosted.state == SessionState::kRunning || hosted.pending_turns > 0) {
+    // The driver reaps after the in-flight turns drain; cancelling makes
+    // that prompt (the session stops at its next poll point).
+    hosted.close_requested = true;
+    hosted.session->Cancel();
+    return Status::OK();
+  }
+  ReapLocked(it);
+  return Status::OK();
+}
+
+Result<DebugReport> DebugService::Report(uint64_t sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Hosted* hosted = FindLocked(sid);
+  if (hosted == nullptr) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  if (hosted->state == SessionState::kQueued ||
+      hosted->state == SessionState::kRunning) {
+    return Status::InvalidArgument("session " + std::to_string(sid) +
+                                   " has turns in flight; report when idle");
+  }
+  return hosted->session->report();
+}
+
+void DebugService::Shutdown() {
+  root_token_.Cancel();  // every hosted session is a child: stops mid-phase
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& driver : drivers_) driver.join();
+  drivers_.clear();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Turn& turn : queue_) {
+    turn.promise.Set(Status::Cancelled("service is shut down"));
+  }
+  queue_.clear();
+  for (auto& [sid, hosted] : sessions_) admission_.Release(hosted.weight);
+  sessions_.clear();
+}
+
+std::vector<uint64_t> DebugService::turn_log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return turn_log_;
+}
+
+size_t DebugService::num_open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+DebugService::Hosted* DebugService::FindLocked(uint64_t sid) {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+const DebugService::Hosted* DebugService::FindLocked(uint64_t sid) const {
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+void DebugService::ReapLocked(std::map<uint64_t, Hosted>::iterator it) {
+  admission_.Release(it->second.weight);
+  // ~DebugSession cancels + joins anything in flight; the session is
+  // guaranteed idle here (drivers never hold a session across ReapLocked).
+  sessions_.erase(it);
+}
+
+void DebugService::DriverLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Runnable = frontmost turn whose session no other driver is inside.
+    // Skipping busy sessions keeps drivers parallel across sessions while
+    // serializing turns within one session.
+    auto runnable = queue_.end();
+    cv_.wait(lock, [&] {
+      if (stop_) return true;
+      runnable = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        Hosted* hosted = FindLocked(it->sid);
+        if (hosted == nullptr || hosted->state != SessionState::kRunning) {
+          runnable = it;
+          return true;
+        }
+      }
+      return false;
+    });
+    if (stop_) return;
+
+    Turn turn = std::move(*runnable);
+    queue_.erase(runnable);
+    Hosted* hosted = FindLocked(turn.sid);
+    if (hosted == nullptr) {
+      turn.promise.Set(Status::NotFound("session " + std::to_string(turn.sid) +
+                                        " was closed"));
+      continue;
+    }
+    hosted->state = SessionState::kRunning;
+    if (options_.record_turn_log) turn_log_.push_back(turn.sid);
+    DebugSession* session = hosted->session.get();
+
+    lock.unlock();
+    // ONE iteration per turn — the round-robin granularity. The step runs
+    // its parallel kernels on the shared pool at the session's own
+    // parallelism knob; results are bitwise those of a standalone run.
+    Result<StepResult> step = session->Step();
+    lock.lock();
+
+    // The Hosted entry cannot have been reaped while kRunning (Close only
+    // defers, ReapLocked only runs on idle sessions), so re-find is
+    // guaranteed to succeed.
+    hosted = FindLocked(turn.sid);
+    RAIN_CHECK(hosted != nullptr);
+
+    bool requeued = false;
+    if (!step.ok()) {
+      --hosted->pending_turns;
+      turn.promise.Set(step.status());
+    } else {
+      turn.acc.last_status = step->status;
+      if (step->advanced()) ++turn.acc.steps_run;
+      turn.acc.new_deletions.insert(turn.acc.new_deletions.end(),
+                                    step->new_deletions.begin(),
+                                    step->new_deletions.end());
+      if (step->status == StepStatus::kIterated && turn.remaining > 1) {
+        --turn.remaining;
+        requeued = true;
+      } else {
+        turn.acc.total_deletions = session->report().deletions.size();
+        turn.acc.finished = session->finished();
+        turn.acc.resolved = session->report().complaints_resolved;
+        --hosted->pending_turns;
+        turn.promise.Set(std::move(turn.acc));
+      }
+    }
+
+    if (session->finished()) {
+      hosted->state = SessionState::kFinished;
+    } else if (requeued || hosted->pending_turns > 0) {
+      hosted->state = SessionState::kQueued;
+    } else {
+      hosted->state = SessionState::kIdle;
+    }
+    if (requeued) queue_.push_back(std::move(turn));
+
+    if (hosted->close_requested && hosted->pending_turns == 0 && !requeued) {
+      ReapLocked(sessions_.find(turn.sid));
+    }
+    // State changed: another driver may now have a runnable turn.
+    cv_.notify_all();
+  }
+}
+
+}  // namespace serve
+}  // namespace rain

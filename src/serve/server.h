@@ -1,0 +1,93 @@
+#ifndef RAIN_SERVE_SERVER_H_
+#define RAIN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/debug_service.h"
+
+namespace rain {
+namespace serve {
+
+struct ServerOptions {
+  /// AF_UNIX socket path; created at Start (an existing file is
+  /// unlinked first) and unlinked again at Stop.
+  std::string socket_path;
+};
+
+/// \brief Line-delimited wire front-end for a `DebugService` over a local
+/// (AF_UNIX) stream socket.
+///
+/// One handler thread per connection parses requests (see wire.h for the
+/// grammar) and answers each with a single flat-JSON line. Sessions are
+/// connection-owned: a session opened on a connection is closed — and, if
+/// mid-step, cancelled — when that connection goes away, whether by
+/// `quit`, EOF, or an abrupt client disconnect. A small per-connection
+/// watcher thread polls for peer hangup so a client that dies while the
+/// handler is blocked inside a long `step` still gets its sessions
+/// cancelled promptly instead of running their budgets out.
+///
+/// The server borrows the service: several servers (or in-process
+/// callers) may share one `DebugService`.
+class DebugServer {
+ public:
+  DebugServer(DebugService* service, ServerOptions options);
+  ~DebugServer();
+
+  DebugServer(const DebugServer&) = delete;
+  DebugServer& operator=(const DebugServer&) = delete;
+
+  /// Binds + listens + spawns the accept loop. kInternal on socket errors
+  /// (message carries errno text).
+  Status Start();
+
+  /// Stops accepting, disconnects every client (their sessions close),
+  /// joins all threads, unlinks the socket. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread handler;
+    std::thread watcher;
+    /// Set once the peer is known gone (EOF, error, hangup, or Stop);
+    /// both threads treat it as "wind down".
+    std::atomic<bool> hangup{false};
+    /// Sessions opened over this connection; guarded by `mu`. The handler
+    /// is the sole closer; the watcher only cancels.
+    std::mutex mu;
+    std::vector<uint64_t> sids;
+  };
+
+  void AcceptLoop();
+  void HandleConnection(Connection* conn);
+  void WatchConnection(Connection* conn);
+  /// Dispatches one request line; returns false when the connection
+  /// should close (quit). The response line is written before returning.
+  bool Dispatch(Connection* conn, const std::string& line);
+  void SendLine(Connection* conn, const std::string& response);
+
+  DebugService* const service_;
+  const ServerOptions options_;
+
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  bool started_ = false;
+};
+
+}  // namespace serve
+}  // namespace rain
+
+#endif  // RAIN_SERVE_SERVER_H_

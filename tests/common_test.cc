@@ -372,6 +372,51 @@ TEST(ParallelForSeededTest, ReproducibleForFixedSeedAndParallelism) {
   for (size_t i = 0; i < n / 4; ++i) EXPECT_EQ(out[i], chunk0.Uniform());
 }
 
+TEST(StatusCodeNameTest, RoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kUnimplemented, StatusCode::kInternal,
+        StatusCode::kResourceExhausted, StatusCode::kParseError,
+        StatusCode::kTypeError, StatusCode::kCancelled}) {
+    EXPECT_EQ(StatusCodeFromName(StatusCodeName(code)), code);
+  }
+  // Unknown names take the fallback — the wire must never invent codes.
+  EXPECT_EQ(StatusCodeFromName("NoSuchCode"), StatusCode::kInternal);
+  EXPECT_EQ(StatusCodeFromName("NoSuchCode", StatusCode::kNotFound),
+            StatusCode::kNotFound);
+}
+
+TEST(AdmissionControllerTest, AcquireReleaseAndRefusal) {
+  AdmissionController admission(4);
+  EXPECT_EQ(admission.capacity(), 4);
+  EXPECT_TRUE(admission.TryAcquire(3));
+  EXPECT_EQ(admission.acquired(), 3);
+  EXPECT_FALSE(admission.TryAcquire(2)) << "3 + 2 > 4 must refuse";
+  EXPECT_TRUE(admission.TryAcquire(1));
+  EXPECT_FALSE(admission.TryAcquire(1)) << "full";
+  admission.Release(3);
+  EXPECT_TRUE(admission.TryAcquire(2));
+  admission.Release(2);
+  admission.Release(1);
+  EXPECT_EQ(admission.acquired(), 0);
+}
+
+TEST(AdmissionControllerTest, SingleOverCapacityRequestIsRefused) {
+  AdmissionController admission(4);
+  // A request larger than TOTAL capacity can never be admitted; refusing
+  // it immediately (instead of deadlocking a would-be waiter) is part of
+  // the admission contract.
+  EXPECT_FALSE(admission.TryAcquire(5));
+  EXPECT_EQ(admission.acquired(), 0);
+}
+
+TEST(AdmissionControllerTest, CapacityClampedToOne) {
+  AdmissionController admission(0);
+  EXPECT_EQ(admission.capacity(), 1);
+  EXPECT_TRUE(admission.TryAcquire(1));
+}
+
 TEST(TablePrinterTest, CsvEscapesCommasAndQuotes) {
   TablePrinter t({"a"});
   t.AddRow({"x,y"});

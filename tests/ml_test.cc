@@ -424,6 +424,53 @@ TEST(TrainerTest, ParallelTrainingReachesSequentialLoss) {
   EXPECT_LT(vec::MaxAbsDiff(par.params(), seq.params()), 1e-4);
 }
 
+TEST(DatasetCowTest, CopiesAndViewsShareStorage) {
+  Matrix x(3, 2);
+  Dataset base(std::move(x), {0, 1, 0}, 2);
+  Dataset copy = base;
+  Dataset view = base.View();
+  EXPECT_TRUE(copy.SharesStorageWith(base));
+  EXPECT_TRUE(view.SharesStorageWith(base));
+  EXPECT_EQ(view.features().Row(1), base.features().Row(1))
+      << "a view must alias the base feature storage, not copy it";
+}
+
+TEST(DatasetCowTest, ViewDeactivationsAreInvisibleToSiblings) {
+  Matrix x(4, 1);
+  Dataset base(std::move(x), {0, 1, 0, 1}, 2);
+  Dataset a = base.View();
+  Dataset b = base.View();
+  a.Deactivate(2);
+  EXPECT_EQ(a.num_active(), 3u);
+  EXPECT_EQ(b.num_active(), 4u) << "sibling views own independent masks";
+  EXPECT_EQ(base.num_active(), 4u);
+  EXPECT_TRUE(a.SharesStorageWith(b)) << "mask edits never detach storage";
+}
+
+TEST(DatasetCowTest, ViewResetsTheMaskButCopyPreservesIt) {
+  Matrix x(3, 1);
+  Dataset base(std::move(x), {0, 1, 0}, 2);
+  base.Deactivate(0);
+  Dataset copy = base;
+  Dataset view = base.View();
+  EXPECT_EQ(copy.num_active(), 2u) << "a copy is a snapshot of the mask";
+  EXPECT_EQ(view.num_active(), 3u) << "a view starts all-active";
+}
+
+TEST(DatasetCowTest, SetLabelDetachesSharedStorage) {
+  Matrix x(3, 1);
+  Dataset base(std::move(x), {0, 1, 0}, 2);
+  Dataset view = base.View();
+  view.set_label(1, 0);
+  EXPECT_FALSE(view.SharesStorageWith(base))
+      << "writing a label must detach, not mutate shared storage";
+  EXPECT_EQ(view.label(1), 0);
+  EXPECT_EQ(base.label(1), 1) << "the base must never observe the write";
+  // Unshared storage writes in place — no detach churn.
+  view.set_label(2, 1);
+  EXPECT_EQ(view.label(2), 1);
+}
+
 TEST(EvalTest, PerfectAndWorstMetrics) {
   Matrix x(4, 1);
   x.At(0, 0) = -2.0;

@@ -161,17 +161,19 @@ Result<std::unique_ptr<DebugSession>> BuildSession(
     Query2Pipeline* pipeline, std::vector<QueryComplaints> workload, int threads,
     int max_deletions, DebugObserver* observer = nullptr) {
   DebugSessionBuilder builder(pipeline);
+  ExecutionOptions exec;
+  exec.set_parallelism(threads);
   // RAIN_TEST_SHARDS (the CI sharded leg sets 4) runs the whole async
   // suite sharded; results are bitwise-identical either way.
   if (const char* env = std::getenv("RAIN_TEST_SHARDS")) {
-    builder.set_num_shards(std::atoi(env));
+    exec.set_num_shards(std::atoi(env));
   }
+  if (observer != nullptr) exec.add_observer(observer);
   builder.ranker("holistic")
       .top_k_per_iter(10)
       .max_deletions(max_deletions)
-      .parallelism(threads)
+      .set_execution(std::move(exec))
       .workload(std::move(workload));
-  if (observer != nullptr) builder.observer(observer);
   return builder.Build();
 }
 

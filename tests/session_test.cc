@@ -88,7 +88,7 @@ int TestShards() {
 /// by design) construct DebugSessionBuilder directly instead.
 DebugSessionBuilder TestSessionBuilder(Query2Pipeline* pipeline) {
   DebugSessionBuilder builder(pipeline);
-  builder.set_num_shards(TestShards());
+  builder.set_execution(ExecutionOptions().set_num_shards(TestShards()));
   return builder;
 }
 
@@ -203,7 +203,9 @@ TEST_F(SessionFixture, CancelBetweenPhasesYieldsValidPartialReport) {
                      .ranker("holistic")
                      .top_k_per_iter(10)
                      .max_deletions(50)
-                     .observer(&canceller)
+                     .set_execution(ExecutionOptions()
+                                        .set_num_shards(TestShards())
+                                        .add_observer(&canceller))
                      .workload({CountComplaint(static_cast<double>(setup_.true_count))})
                      .Build();
   ASSERT_TRUE(session.ok());
@@ -234,8 +236,10 @@ TEST_F(SessionFixture, DeadlineInThePastStopsBeforeAnyWork) {
   auto session = TestSessionBuilder(pipeline())
                      .ranker("holistic")
                      .max_deletions(50)
-                     .deadline(std::chrono::steady_clock::now() -
-                               std::chrono::seconds(1))
+                     .set_execution(ExecutionOptions()
+                                        .set_num_shards(TestShards())
+                                        .set_deadline(std::chrono::steady_clock::now() -
+                                                      std::chrono::seconds(1)))
                      .workload({CountComplaint(static_cast<double>(setup_.true_count))})
                      .Build();
   ASSERT_TRUE(session.ok());
@@ -279,7 +283,9 @@ TEST_F(SessionFixture, ObserverCallbacksFireInPhaseOrder) {
                      .ranker("holistic")
                      .top_k_per_iter(5)
                      .max_deletions(10)
-                     .observer(&recorder)
+                     .set_execution(ExecutionOptions()
+                                        .set_num_shards(TestShards())
+                                        .add_observer(&recorder))
                      .workload({CountComplaint(static_cast<double>(setup_.true_count))})
                      .Build();
   ASSERT_TRUE(session.ok());
@@ -340,7 +346,7 @@ TEST_F(SessionFixture, AddComplaintsReopensResolvedSession) {
 TEST_F(SessionFixture, ParallelismInheritsToTrainInfluenceAndCg) {
   auto session = DebugSessionBuilder(pipeline())
                      .ranker("holistic")
-                     .parallelism(8)
+                     .set_execution(ExecutionOptions().set_parallelism(8))
                      .workload({CountComplaint(static_cast<double>(setup_.true_count))})
                      .Build();
   ASSERT_TRUE(session.ok());
@@ -356,7 +362,7 @@ TEST_F(SessionFixture, ExplicitFineGrainedKnobsAreNotOverridden) {
   influence.parallelism = 2;
   auto session = DebugSessionBuilder(pipeline())
                      .ranker("holistic")
-                     .parallelism(8)
+                     .set_execution(ExecutionOptions().set_parallelism(8))
                      .influence(influence)
                      .Build();
   ASSERT_TRUE(session.ok());
@@ -598,6 +604,118 @@ TEST(DebuggerShimTest, RunMatchesSessionBitwiseOnFig5Workload) {
   }
   EXPECT_EQ(legacy_report->complaints_resolved, modern_report->complaints_resolved);
 }
+
+// --------------------------------------------------- ExecutionOptions API
+
+/// The deprecated knob setters are shims over ExecutionOptions; a session
+/// configured through them must be bitwise-identical to one configured
+/// through set_execution with the same bundle.
+TEST(ExecutionOptionsTest, LegacySettersBitwiseEquivalentToSetExecution) {
+  DblpSetup legacy_setup = MakeCorruptedDblp();
+  RecordingObserver legacy_observer;
+  RAIN_SUPPRESS_DEPRECATION_BEGIN
+  auto legacy = DebugSessionBuilder(legacy_setup.pipeline.get())
+                    .ranker("holistic")
+                    .top_k_per_iter(10)
+                    .max_deletions(30)
+                    .parallelism(2)
+                    .set_num_shards(2)
+                    .observer(&legacy_observer)
+                    .workload({CountComplaint(
+                        static_cast<double>(legacy_setup.true_count))})
+                    .Build();
+  RAIN_SUPPRESS_DEPRECATION_END
+  ASSERT_TRUE(legacy.ok());
+  auto legacy_report = (*legacy)->RunToCompletion();
+  ASSERT_TRUE(legacy_report.ok());
+
+  DblpSetup modern_setup = MakeCorruptedDblp();
+  RecordingObserver modern_observer;
+  auto modern = DebugSessionBuilder(modern_setup.pipeline.get())
+                    .ranker("holistic")
+                    .top_k_per_iter(10)
+                    .max_deletions(30)
+                    .set_execution(ExecutionOptions()
+                                       .set_parallelism(2)
+                                       .set_num_shards(2)
+                                       .add_observer(&modern_observer))
+                    .workload({CountComplaint(
+                        static_cast<double>(modern_setup.true_count))})
+                    .Build();
+  ASSERT_TRUE(modern.ok());
+  auto modern_report = (*modern)->RunToCompletion();
+  ASSERT_TRUE(modern_report.ok());
+
+  EXPECT_EQ(legacy_report->deletions, modern_report->deletions);
+  EXPECT_EQ(legacy_report->complaints_resolved,
+            modern_report->complaints_resolved);
+  EXPECT_EQ(legacy_observer.events, modern_observer.events)
+      << "observer streams must match event-for-event";
+}
+
+/// set_execution replaces the whole bundle; later legacy setter calls
+/// still merge field-by-field on top (last write wins per knob).
+TEST(ExecutionOptionsTest, LastWriteWinsAcrossOldAndNewApi) {
+  DblpSetup setup = MakeCorruptedDblp();
+  RAIN_SUPPRESS_DEPRECATION_BEGIN
+  auto session =
+      DebugSessionBuilder(setup.pipeline.get())
+          .ranker("holistic")
+          .max_deletions(10)
+          .parallelism(7)  // overridden by the bundle below
+          .set_execution(ExecutionOptions().set_parallelism(3))
+          .set_num_shards(2)  // merges on top of the bundle
+          .workload({CountComplaint(static_cast<double>(setup.true_count))})
+          .Build();
+  RAIN_SUPPRESS_DEPRECATION_END
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ((*session)->config().parallelism, 3);
+  EXPECT_EQ((*session)->config().num_shards, 2);
+}
+
+// --------------------------------------------- observer re-entrancy guard
+
+#if defined(__SANITIZE_THREAD__)
+#define RAIN_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RAIN_TSAN_BUILD 1
+#endif
+#endif
+
+// Death tests fork, which TSan's runtime does not support reliably.
+#ifndef RAIN_TSAN_BUILD
+
+/// An observer that (incorrectly) re-enters the session from a callback.
+class ReentrantObserver : public DebugObserver {
+ public:
+  explicit ReentrantObserver(DebugSession** session) : session_(session) {}
+  void OnPhaseComplete(int, DebugPhase, double) override {
+    (void)(*session_)->Step();  // contract violation: must RAIN_CHECK-fail
+  }
+
+ private:
+  DebugSession** session_;
+};
+
+TEST(ObserverReentrancyDeathTest, ReenteringStepFromCallbackIsFatal) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DblpSetup setup = MakeCorruptedDblp();
+  DebugSession* raw = nullptr;
+  ReentrantObserver evil(&raw);
+  auto session =
+      DebugSessionBuilder(setup.pipeline.get())
+          .ranker("holistic")
+          .max_deletions(10)
+          .set_execution(ExecutionOptions().add_observer(&evil))
+          .workload({CountComplaint(static_cast<double>(setup.true_count))})
+          .Build();
+  ASSERT_TRUE(session.ok());
+  raw = session->get();
+  EXPECT_DEATH((void)raw->Step(), "re-entered from a DebugObserver callback");
+}
+
+#endif  // RAIN_TSAN_BUILD
 
 }  // namespace
 }  // namespace rain

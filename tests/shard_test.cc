@@ -424,8 +424,8 @@ Result<std::unique_ptr<DebugSession>> BuildDblpSession(DblpSetup* setup,
       .ranker("holistic")
       .top_k_per_iter(10)
       .max_deletions(30)
-      .set_num_shards(shards)
-      .parallelism(workers)
+      .set_execution(
+          ExecutionOptions().set_num_shards(shards).set_parallelism(workers))
       .workload({DblpCountComplaint(static_cast<double>(setup->true_count))})
       .Build();
 }
@@ -541,8 +541,8 @@ TEST(SessionShardTest, CancelDuringShardedRankRecordsPartialIteration) {
           .ranker("holistic")
           .top_k_per_iter(10)
           .max_deletions(30)
-          .set_num_shards(4)
-          .observer(&observer)
+          .set_execution(
+              ExecutionOptions().set_num_shards(4).add_observer(&observer))
           .workload({DblpCountComplaint(static_cast<double>(setup.true_count))})
           .Build();
   ASSERT_TRUE(session.ok());
@@ -644,8 +644,9 @@ TEST(SessionShardTest, AdultMultiQueryShardedBitwiseSyncAndAsync) {
                        .ranker("holistic")
                        .top_k_per_iter(10)
                        .max_deletions(20)
-                       .set_num_shards(shards)
-                       .parallelism(workers)
+                       .set_execution(ExecutionOptions()
+                                          .set_num_shards(shards)
+                                          .set_parallelism(workers))
                        .workload(setup.workload)
                        .Build();
     RAIN_CHECK(session.ok()) << session.status().ToString();

@@ -1,0 +1,71 @@
+/// rain_debug_client: thin command-line client for rain_debugd.
+///
+/// Two modes:
+///   rain_debug_client --socket PATH                 # REPL over stdin
+///   rain_debug_client --socket PATH -c "open adult" -c "step 1 100" ...
+///
+/// Each request line is sent verbatim (see src/serve/wire.h for the
+/// grammar); the raw JSON response is printed to stdout. In -c mode the
+/// exit code is 1 if any response was {"ok":false,...}.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/rain_debugd.sock";
+  std::vector<std::string> commands;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-c") == 0 && i + 1 < argc) {
+      commands.push_back(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: rain_debug_client [--socket PATH] [-c CMD]...\n");
+      return std::strcmp(argv[i], "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  auto client = rain::serve::DebugClient::Connect(socket_path);
+  if (!client.ok()) {
+    std::fprintf(stderr, "rain_debug_client: %s\n",
+                 client.status().ToString().c_str());
+    return 1;
+  }
+
+  int exit_code = 0;
+  auto run_one = [&](const std::string& line) {
+    auto response = client->Call(line);
+    if (!response.ok()) {
+      std::fprintf(stderr, "rain_debug_client: %s\n",
+                   response.status().ToString().c_str());
+      exit_code = 1;
+      return false;
+    }
+    std::printf("%s\n", response->c_str());
+    std::fflush(stdout);
+    if (!rain::serve::StatusFromResponse(*response).ok()) exit_code = 1;
+    return true;
+  };
+
+  if (!commands.empty()) {
+    for (const std::string& command : commands) {
+      if (!run_one(command)) break;
+    }
+    client->Quit();
+    return exit_code;
+  }
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == "quit") break;
+    if (!run_one(line)) break;
+  }
+  client->Quit();
+  return exit_code;
+}

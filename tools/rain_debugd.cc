@@ -1,0 +1,88 @@
+/// rain_debugd: debug-as-a-service daemon.
+///
+/// Hosts a DebugService with the builtin benchmark datasets and serves
+/// the line-delimited wire protocol (see src/serve/wire.h) on an AF_UNIX
+/// socket. Runs until SIGINT/SIGTERM.
+///
+///   rain_debugd --socket /tmp/rain.sock [--max-sessions N]
+///               [--admission N] [--drivers N]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "serve/builtin_datasets.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleSignal(int) { g_stop = 1; }
+
+bool NextIntFlag(int argc, char** argv, int* i, int* out) {
+  if (*i + 1 >= argc) return false;
+  *out = std::atoi(argv[++*i]);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = "/tmp/rain_debugd.sock";
+  rain::serve::ServiceOptions service_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--socket") == 0 && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (std::strcmp(arg, "--max-sessions") == 0) {
+      if (!NextIntFlag(argc, argv, &i, &service_options.max_sessions)) return 2;
+    } else if (std::strcmp(arg, "--admission") == 0) {
+      if (!NextIntFlag(argc, argv, &i, &service_options.admission_capacity)) {
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--drivers") == 0) {
+      if (!NextIntFlag(argc, argv, &i, &service_options.num_drivers)) return 2;
+    } else {
+      std::fprintf(stderr,
+                   "usage: rain_debugd [--socket PATH] [--max-sessions N] "
+                   "[--admission N] [--drivers N]\n");
+      return std::strcmp(arg, "--help") == 0 ? 0 : 2;
+    }
+  }
+
+  rain::serve::DebugService service(service_options);
+  std::fprintf(stderr, "rain_debugd: building builtin datasets...\n");
+  const rain::Status registered =
+      rain::serve::RegisterBuiltinDatasets(&service);
+  if (!registered.ok()) {
+    std::fprintf(stderr, "rain_debugd: %s\n", registered.ToString().c_str());
+    return 1;
+  }
+
+  rain::serve::ServerOptions server_options;
+  server_options.socket_path = socket_path;
+  rain::serve::DebugServer server(&service, server_options);
+  const rain::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "rain_debugd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "rain_debugd: listening on %s (admission capacity %d)\n",
+               socket_path.c_str(), service.admission_capacity());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    timespec tick = {0, 200 * 1000 * 1000};  // poll the stop flag at 5 Hz
+    nanosleep(&tick, nullptr);
+  }
+  std::fprintf(stderr, "rain_debugd: shutting down\n");
+  server.Stop();
+  service.Shutdown();
+  return 0;
+}

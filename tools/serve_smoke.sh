@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Smoke test for the serve layer: start rain_debugd, open two concurrent
+# client sessions over the same hosted dataset, drive both to completion,
+# and check both converged (finished + resolved). Usage:
+#
+#   tools/serve_smoke.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to ./build and must contain rain_debugd and
+# rain_debug_client.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SOCK="$(mktemp -u /tmp/rain_smoke_XXXXXX.sock)"
+DAEMON_LOG="$(mktemp /tmp/rain_smoke_daemon_XXXXXX.log)"
+
+"${BUILD_DIR}/rain_debugd" --socket "${SOCK}" --drivers 2 --admission 16 \
+  2>"${DAEMON_LOG}" &
+DAEMON_PID=$!
+cleanup() {
+  kill "${DAEMON_PID}" 2>/dev/null || true
+  wait "${DAEMON_PID}" 2>/dev/null || true
+  rm -f "${SOCK}" "${DAEMON_LOG}" "${DAEMON_LOG}".[ab]
+}
+trap cleanup EXIT
+
+# The daemon synthesizes + trains the builtin datasets before listening.
+for _ in $(seq 1 300); do
+  [[ -S "${SOCK}" ]] && break
+  if ! kill -0 "${DAEMON_PID}" 2>/dev/null; then
+    echo "serve_smoke: daemon died during startup" >&2
+    cat "${DAEMON_LOG}" >&2
+    exit 1
+  fi
+  sleep 0.2
+done
+if [[ ! -S "${SOCK}" ]]; then
+  echo "serve_smoke: daemon never created ${SOCK}" >&2
+  cat "${DAEMON_LOG}" >&2
+  exit 1
+fi
+
+# Drives one interactive client: open -> step to completion -> status.
+# The daemon assigns the sid, so parse it from the open response.
+run_session() {
+  local dataset="$1"
+  coproc CLIENT { "${BUILD_DIR}/rain_debug_client" --socket "${SOCK}"; }
+  local out_fd="${CLIENT[0]}" in_fd="${CLIENT[1]}"
+
+  echo "open ${dataset} parallelism=2 max_deletions=800 max_iterations=200" >&"${in_fd}"
+  local open_resp
+  read -r open_resp <&"${out_fd}"
+  echo "${open_resp}"
+  local sid
+  sid="$(sed -n 's/.*"sid":\([0-9]*\).*/\1/p' <<<"${open_resp}")"
+  if [[ -z "${sid}" ]]; then
+    echo "serve_smoke: no sid in open response: ${open_resp}" >&2
+    return 1
+  fi
+
+  echo "step ${sid} 300" >&"${in_fd}"
+  local step_resp
+  read -r step_resp <&"${out_fd}"
+  echo "${step_resp}"
+
+  echo "status ${sid}" >&"${in_fd}"
+  local status_resp
+  read -r status_resp <&"${out_fd}"
+  echo "${status_resp}"
+
+  echo "quit" >&"${in_fd}"
+  wait "${CLIENT_PID}" 2>/dev/null || true
+
+  grep -q '"finished":true' <<<"${status_resp}" || {
+    echo "serve_smoke: ${dataset} session ${sid} did not finish" >&2
+    return 1
+  }
+  grep -q '"resolved":true' <<<"${status_resp}" || {
+    echo "serve_smoke: ${dataset} session ${sid} did not resolve" >&2
+    return 1
+  }
+}
+
+# Two concurrent clients over the same shared dataset.
+run_session adult >"${DAEMON_LOG}.a" 2>&1 &
+A=$!
+run_session adult >"${DAEMON_LOG}.b" 2>&1 &
+B=$!
+FAIL=0
+wait "${A}" || FAIL=1
+wait "${B}" || FAIL=1
+cat "${DAEMON_LOG}.a" "${DAEMON_LOG}.b"
+if [[ "${FAIL}" != 0 ]]; then
+  echo "serve_smoke: FAILED" >&2
+  exit 1
+fi
+echo "serve_smoke: OK (two concurrent sessions converged)"
