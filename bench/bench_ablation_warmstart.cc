@@ -1,7 +1,9 @@
 /// Ablation (Appendix D / DESIGN.md §4): warm-start retraining in the
 /// train-rank-fix loop vs cold restarts. Warm starts re-use the previous
 /// optimum as the L-BFGS starting point and should converge in far fewer
-/// iterations after each small deletion batch.
+/// iterations after each small deletion batch. Rows are also written to
+/// BENCH_warmstart.json; the recorded baseline lives in
+/// bench/baselines/BENCH_warmstart.json (see docs/benchmarks.md).
 #include <cstdio>
 #include <memory>
 
@@ -24,7 +26,7 @@ namespace {
 template <typename ModelT, typename MakeCold>
 void RunSweep(const char* model_name, Dataset train, ModelT* warm,
               const MakeCold& make_cold, const TrainConfig& tc,
-              TablePrinter* table) {
+              TablePrinter* table, std::FILE* json, bool* first_row) {
   RAIN_CHECK(TrainModel(warm, train, tc).ok());
   Rng delete_rng(17);
   for (int step = 1; step <= 5; ++step) {
@@ -51,6 +53,16 @@ void RunSweep(const char* model_name, Dataset train, ModelT* warm,
                    TablePrinter::Num(warm_s, 4), TablePrinter::Num(wr->final_loss, 4),
                    std::to_string(cr->iterations), TablePrinter::Num(cold_s, 4),
                    TablePrinter::Num(cr->final_loss, 4)});
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s  {\"model\": \"%s\", \"step\": %d, \"warm_iters\": %d, "
+                   "\"warm_s\": %.6f, \"warm_loss\": %.6f, \"cold_iters\": %d, "
+                   "\"cold_s\": %.6f, \"cold_loss\": %.6f}",
+                   *first_row ? "" : ",\n", model_name, step, wr->iterations,
+                   warm_s, wr->final_loss, cr->iterations, cold_s,
+                   cr->final_loss);
+      *first_row = false;
+    }
   }
 }
 
@@ -60,6 +72,9 @@ int main() {
   std::printf("Ablation: warm-start vs cold-restart retraining\n");
   TablePrinter table({"model", "step", "warm_iters", "warm_s", "warm_loss",
                       "cold_iters", "cold_s", "cold_loss"});
+  std::FILE* json = std::fopen("BENCH_warmstart.json", "w");
+  if (json != nullptr) std::fprintf(json, "[\n");
+  bool first_row = true;
 
   // Convex logistic model on DBLP: retraining is cheap either way.
   {
@@ -71,7 +86,7 @@ int main() {
     LogisticRegression warm(kDblpFeatures);
     RunSweep("logistic/dblp", data.train, &warm,
              [] { return std::make_unique<LogisticRegression>(kDblpFeatures); },
-             TrainConfig(), &table);
+             TrainConfig(), &table, json, &first_row);
   }
 
   // Non-convex MLP on MNIST: warm starts matter (Appendix D note).
@@ -85,8 +100,14 @@ int main() {
     tc.max_iters = 150;  // fixed budget: compare final loss, not iters
     Mlp warm(64, 24, 10);
     RunSweep("mlp/mnist", data.train, &warm,
-             [] { return std::make_unique<Mlp>(64, 24, 10); }, tc, &table);
+             [] { return std::make_unique<Mlp>(64, 24, 10); }, tc, &table, json,
+             &first_row);
   }
   bench::EmitTable("Ablation: warm start", table);
+  if (json != nullptr) {
+    std::fprintf(json, "\n]\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_warmstart.json\n");
+  }
   return 0;
 }

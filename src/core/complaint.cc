@@ -50,9 +50,7 @@ ComplaintSpec ComplaintSpec::Point(std::string table, int64_t row, int correct_c
   return s;
 }
 
-namespace {
-
-bool IsViolated(ComplaintOp op, double current, double target) {
+bool ComplaintViolated(ComplaintOp op, double current, double target) {
   constexpr double kTol = 1e-9;
   switch (op) {
     case ComplaintOp::kEq:
@@ -63,6 +61,12 @@ bool IsViolated(ComplaintOp op, double current, double target) {
       return current < target - kTol;
   }
   return true;
+}
+
+namespace {
+
+bool IsViolated(ComplaintOp op, double current, double target) {
+  return ComplaintViolated(op, current, target);
 }
 
 Result<std::vector<BoundComplaint>> BindValue(const ComplaintSpec& spec,

@@ -73,6 +73,12 @@ struct BoundComplaint {
   bool ShouldRank() const { return op == ComplaintOp::kEq || violated; }
 };
 
+/// Whether `current (op) target` fails under the binder's tolerance
+/// (1e-9). This is the exact predicate the binder uses to set
+/// `BoundComplaint::violated`; the session's cached-bind refresh applies
+/// it when re-deriving `violated` from a re-evaluated `current`.
+bool ComplaintViolated(ComplaintOp op, double current, double target);
+
 /// Binds `spec` against the debug-mode execution `result` of its query.
 /// Tuple specs may bind to several output rows (one BoundComplaint each);
 /// specs whose rows/groups are absent bind to nothing (already resolved).

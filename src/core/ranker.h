@@ -43,6 +43,25 @@ struct RankContext {
   /// (the default) is the exact sequential path, and every value obeys the
   /// deterministic-chunk contract (bitwise-stable results).
   int parallelism = 1;
+  /// Optional cross-iteration encode cache owned by the caller (the
+  /// session). When non-null, rankers that build a `RelaxedPoly` batch
+  /// may reuse the cached batch when the root set, relax mode, and arena
+  /// generation all match — the reuse is bitwise-neutral because the
+  /// batch is a pure function of (arena, roots, mode) and the arena is
+  /// append-only between generations (see `EncodeCache`).
+  struct EncodeCache {
+    uint64_t arena_generation = 0;
+    RelaxMode mode = RelaxMode::kIndependent;
+    std::vector<PolyId> roots;
+    std::shared_ptr<const RelaxedPoly> relax;
+    /// Cumulative count of Rank calls that reused `relax` (stats).
+    size_t reuses = 0;
+  };
+  EncodeCache* encode_cache = nullptr;
+  /// Arena generation stamp maintained by the caller: bumped whenever
+  /// the arena grows (a splice / rebind). Only consulted when
+  /// `encode_cache` is set.
+  uint64_t arena_generation = 0;
 };
 
 /// Ranking result: one removal score per training record (higher = delete
@@ -53,6 +72,11 @@ struct RankOutput {
   double encode_seconds = 0.0;  // building grad q / solving the ILP
   double rank_seconds = 0.0;    // Hessian-inverse products + scoring
   std::string note;             // e.g. "ilp timed out; using incumbent"
+  /// The CG solution s = (H + damping I)^-1 q_grad behind `scores`, when
+  /// the ranker ran an influence solve (empty otherwise). Cached by the
+  /// session so `ApplyUpdate` can patch scores of delta-touched rows
+  /// without a fresh solve (src/incremental/update.h).
+  Vec cg_solution;
 };
 
 /// \brief Strategy interface for ranking training records (Section 6.1.1).

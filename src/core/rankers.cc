@@ -190,7 +190,28 @@ class HolisticRanker : public Ranker {
       out.encode_seconds = encode_timer.ElapsedSeconds();
       return out;
     }
-    RelaxedPoly batch(ctx.arena, roots, ctx.relax_mode);
+    // The batch is a pure function of (arena, roots, mode); the session's
+    // encode cache replays it across iterations while the arena generation
+    // and root set are unchanged (bitwise-neutral: same topological order,
+    // same sweeps — only `probs` varies per iteration).
+    std::shared_ptr<const RelaxedPoly> batch_holder;
+    if (ctx.encode_cache != nullptr && ctx.encode_cache->relax != nullptr &&
+        ctx.encode_cache->arena_generation == ctx.arena_generation &&
+        ctx.encode_cache->mode == ctx.relax_mode &&
+        ctx.encode_cache->roots == roots) {
+      batch_holder = ctx.encode_cache->relax;
+      ++ctx.encode_cache->reuses;
+    } else {
+      batch_holder =
+          std::make_shared<const RelaxedPoly>(ctx.arena, roots, ctx.relax_mode);
+      if (ctx.encode_cache != nullptr) {
+        ctx.encode_cache->arena_generation = ctx.arena_generation;
+        ctx.encode_cache->mode = ctx.relax_mode;
+        ctx.encode_cache->roots = roots;
+        ctx.encode_cache->relax = batch_holder;
+      }
+    }
+    const RelaxedPoly& batch = *batch_holder;
     std::vector<Vec> var_grads;
     const std::vector<double> rq =
         batch.GradientBatch(probs, &var_grads, ctx.parallelism);
@@ -227,6 +248,7 @@ class HolisticRanker : public Ranker {
     InfluenceScorer scorer(ctx.model, ctx.train, ctx.influence);
     RAIN_RETURN_NOT_OK(scorer.Prepare(q_grad));
     out.scores = scorer.ScoreAll();
+    out.cg_solution = scorer.solution();
     out.rank_seconds = rank_timer.ElapsedSeconds();
     return out;
   }
@@ -314,6 +336,7 @@ class TwoStepRanker : public Ranker {
     InfluenceScorer scorer(ctx.model, ctx.train, ctx.influence);
     RAIN_RETURN_NOT_OK(scorer.Prepare(q_grad));
     out.scores = scorer.ScoreAll();
+    out.cg_solution = scorer.solution();
     out.rank_seconds = rank_timer.ElapsedSeconds();
     return out;
   }

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <functional>
 #include <numeric>
+
+#include "relational/plan.h"
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -72,6 +75,9 @@ void AppendNote(IterationStats* stats, const std::string& note) {
 struct SpecOutcome {
   /// Training finished normally (no error, no interruption).
   bool train_ok = false;
+  /// Training reached the gradient tolerance (feeds the session's exact
+  /// train-skip memo on commit).
+  bool converged = false;
   /// The task's own wall time — what the train phase costs when the
   /// speculation commits (already overlapped with the rank phase).
   double train_seconds = 0.0;
@@ -148,6 +154,10 @@ DebugSession::DebugSession(Query2Pipeline* pipeline,
   if (config_.influence.cancel == nullptr) {
     config_.influence.cancel = &cancel_token_;
   }
+  // The cold-start point the full-recompute path of ApplyUpdate restores;
+  // captured before any warm retrain mutates the model.
+  initial_params_ = pipeline_->model()->params();
+  bind_cache_.resize(workload_.size());
 }
 
 DebugSession::~DebugSession() {
@@ -185,7 +195,15 @@ size_t DebugSession::AddComplaints(QueryComplaints batch) {
   CheckNotInObserverCallback("DebugSession::AddComplaints");
   RAIN_CHECK(!async_in_flight())
       << "DebugSession::AddComplaints during an async drive";
+  DeltaLogEntry log;
+  log.batch.add_queries.push_back(batch);
   workload_.push_back(std::move(batch));
+  // Delta path: only the new entry is stale — the next bind phase
+  // executes and splices just this one, everything else refreshes from
+  // the cache.
+  bind_cache_.emplace_back();
+  log.incremental = bind_cache_primed_;
+  delta_log_.Append(std::move(log));
   // New complaints may be violated: a resolved session has work again.
   if (finished_ && finish_status_ == StepStatus::kResolved) {
     finished_ = false;
@@ -198,12 +216,186 @@ bool DebugSession::RemoveQuery(size_t index) {
   CheckNotInObserverCallback("DebugSession::RemoveQuery");
   RAIN_CHECK(!async_in_flight()) << "DebugSession::RemoveQuery during an async drive";
   if (index >= workload_.size()) return false;
+  // Tombstone: the entry's arena nodes stay in place (orphaned roots are
+  // unreachable from every surviving complaint, so they are score-neutral
+  // — dense gradients give them exact 0.0 and the weight accumulation
+  // skips zeros); the arena compaction threshold reclaims them
+  // eventually.
+  if (index < bind_cache_.size()) {
+    bind_cache_stats_.tombstoned_complaints += bind_cache_[index].bound.size();
+    bind_cache_.erase(bind_cache_.begin() + static_cast<ptrdiff_t>(index));
+  }
   workload_.erase(workload_.begin() + static_cast<ptrdiff_t>(index));
+  DeltaLogEntry log;
+  log.batch.remove_queries.push_back(index);
+  log.incremental = bind_cache_primed_;
+  delta_log_.Append(std::move(log));
   if (finished_ && finish_status_ == StepStatus::kResolved) {
     finished_ = false;
     finish_status_ = StepStatus::kAlreadyFinished;
   }
   return true;
+}
+
+Result<UpdateReport> DebugSession::ApplyUpdate(const UpdateBatch& batch,
+                                               const UpdateOptions& options) {
+  CheckNotInObserverCallback("DebugSession::ApplyUpdate");
+  RAIN_CHECK(!async_in_flight())
+      << "DebugSession::ApplyUpdate during an async drive";
+  Timer timer;
+  Dataset* train = pipeline_->train_data();
+  const size_t n = train->size();
+  const int num_classes = train->num_classes();
+
+  // Validate everything before mutating anything: a failed update leaves
+  // the session exactly as it was.
+  for (const LabelEdit& e : batch.label_edits) {
+    if (e.row >= n) {
+      return Status::InvalidArgument("ApplyUpdate: label edit row " +
+                                     std::to_string(e.row) + " out of range (" +
+                                     std::to_string(n) + " training rows)");
+    }
+    if (e.new_label < 0 || e.new_label >= num_classes) {
+      return Status::InvalidArgument(
+          "ApplyUpdate: label " + std::to_string(e.new_label) +
+          " out of range (" + std::to_string(num_classes) + " classes)");
+    }
+  }
+  for (size_t r : batch.deactivate_rows) {
+    if (r >= n) {
+      return Status::InvalidArgument("ApplyUpdate: deactivate row " +
+                                     std::to_string(r) + " out of range");
+    }
+  }
+  for (size_t r : batch.reactivate_rows) {
+    if (r >= n) {
+      return Status::InvalidArgument("ApplyUpdate: reactivate row " +
+                                     std::to_string(r) + " out of range");
+    }
+  }
+  // Removals are indices into the CURRENT workload (before this batch's
+  // add_queries), applied descending so each index means what the caller
+  // saw.
+  std::vector<size_t> removals = batch.remove_queries;
+  std::sort(removals.begin(), removals.end(), std::greater<size_t>());
+  removals.erase(std::unique(removals.begin(), removals.end()), removals.end());
+  for (size_t idx : removals) {
+    if (idx >= workload_.size()) {
+      return Status::InvalidArgument("ApplyUpdate: remove_queries index " +
+                                     std::to_string(idx) + " out of range (" +
+                                     std::to_string(workload_.size()) +
+                                     " workload entries)");
+    }
+  }
+
+  UpdateReport rep;
+  rep.touched_rows = batch.touched_rows();
+  switch (options.policy) {
+    case UpdatePolicy::kIncremental:
+      rep.incremental = true;
+      break;
+    case UpdatePolicy::kFull:
+      rep.incremental = false;
+      break;
+    case UpdatePolicy::kAuto:
+      rep.incremental = static_cast<double>(rep.touched_rows) <=
+                        options.incremental_threshold *
+                            static_cast<double>(std::max<size_t>(n, 1));
+      break;
+  }
+
+  // A speculation trained against pre-update data can never be valid, and
+  // the snapshot cache's mask-only replay cannot express label edits or
+  // out-of-band activation flips: drop both.
+  AbandonSpeculation();
+  snapshot_cache_.reset();
+  snapshot_deletions_applied_ = 0;
+
+  // --- Data deltas. Label edits detach the COW storage on first write
+  // (sibling tenants sharing it are unaffected); activation flips route
+  // through the shard view when one is installed so per-shard active
+  // counts stay in sync.
+  ShardedDataset* sharded = pipeline_->mutable_shards();
+  for (const LabelEdit& e : batch.label_edits) train->set_label(e.row, e.new_label);
+  for (size_t r : batch.deactivate_rows) {
+    if (sharded != nullptr) {
+      sharded->Deactivate(r);
+    } else {
+      train->Deactivate(r);
+    }
+  }
+  for (size_t r : batch.reactivate_rows) {
+    if (sharded != nullptr) {
+      sharded->Reactivate(r);
+    } else {
+      train->Reactivate(r);
+    }
+  }
+  if (batch.touches_data()) train_memo_valid_ = false;
+
+  // --- Workload deltas. Data deltas never invalidate bind-cache entries:
+  // queries read catalog tables, not the training set, and the provenance
+  // structure is prediction-independent — only the polynomials' values
+  // change, which the next bind phase refreshes for free.
+  for (size_t idx : removals) {
+    if (idx < bind_cache_.size()) {
+      rep.tombstoned_complaints += bind_cache_[idx].bound.size();
+      bind_cache_.erase(bind_cache_.begin() + static_cast<ptrdiff_t>(idx));
+    }
+    workload_.erase(workload_.begin() + static_cast<ptrdiff_t>(idx));
+  }
+  bind_cache_stats_.tombstoned_complaints += rep.tombstoned_complaints;
+  for (const QueryComplaints& qc : batch.add_queries) {
+    workload_.push_back(qc);
+    bind_cache_.emplace_back();
+  }
+
+  if (!rep.incremental) {
+    // Full recompute: drop every cache, reset the provenance arena, and
+    // restore the cold-start parameters so the next turn retrains from
+    // scratch — the exact from-scratch baseline.
+    InvalidateBindCache();
+    pipeline_->ResetDebugState();
+    ++arena_generation_;
+    pipeline_->AdoptModelParams(initial_params_);
+    train_memo_valid_ = false;
+    last_cg_solution_.clear();
+    last_scores_.clear();
+    rep.note = "full recompute: caches dropped, cold parameters restored";
+  } else if (options.preview_influence && !last_cg_solution_.empty() &&
+             last_scores_.size() == train->size() && rep.touched_rows > 0) {
+    // Rank-structured influence patch: recompute score(i) for touched
+    // rows only against the cached CG solution — the exact arithmetic a
+    // full rescore with that solution would produce for those rows. This
+    // previews post-update scores (and sharpens the speculation
+    // predictor's input); the next rank turn's fresh solve supersedes it.
+    rep.patched_scores =
+        PatchInfluenceScores(*pipeline_->model(), *train, last_cg_solution_,
+                             batch.TouchedRows(), &last_scores_);
+  }
+
+  for (const BindCacheEntry& e : bind_cache_) {
+    if (e.valid) {
+      ++rep.entries_cached;
+    } else {
+      ++rep.entries_invalidated;
+    }
+  }
+
+  if (finished_ && finish_status_ == StepStatus::kResolved && !batch.empty()) {
+    finished_ = false;
+    finish_status_ = StepStatus::kAlreadyFinished;
+    rep.reopened = true;
+  }
+
+  rep.seconds = timer.ElapsedSeconds();
+  DeltaLogEntry log;
+  log.batch = batch;
+  log.incremental = rep.incremental;
+  log.touched_rows = rep.touched_rows;
+  log.seconds = rep.seconds;
+  delta_log_.Append(std::move(log));
+  return rep;
 }
 
 namespace {
@@ -291,9 +483,20 @@ bool DebugSession::CheckInterrupted(DebugPhase last_phase, IterationStats* stats
 
 Status DebugSession::TrainPhase(IterationStats* stats) {
   if (pending_spec_ != nullptr && TryCommitSpeculation(stats)) return Status::OK();
+  if (train_memo_valid_) {
+    // Exact skip: the parameters are already a converged optimum for the
+    // current training data (nothing changed since the train that set the
+    // memo). Re-running would be a no-op — L-BFGS re-entered at a
+    // converged point returns the parameters untouched and the prediction
+    // refresh recomputes the identical matrix — so skipping is
+    // bitwise-neutral, not an approximation.
+    stats->train_seconds = 0.0;
+    return Status::OK();
+  }
   Timer timer;
   RAIN_ASSIGN_OR_RETURN(TrainReport trained, pipeline_->Train(&cancel_token_));
   stats->train_seconds = timer.ElapsedSeconds();
+  train_memo_valid_ = trained.converged && !trained.interrupted;
   if (trained.interrupted) {
     // The boundary check right after this phase turns the partial model
     // into a recorded partial iteration; the note pins down where.
@@ -304,7 +507,7 @@ Status DebugSession::TrainPhase(IterationStats* stats) {
   return Status::OK();
 }
 
-Result<std::vector<BoundComplaint>> BindWorkload(
+Result<std::vector<std::vector<BoundComplaint>>> BindWorkloadEntries(
     Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
     int parallelism) {
   /// Per-query staging state: a private arena plus the complaints bound
@@ -344,26 +547,194 @@ Result<std::vector<BoundComplaint>> BindWorkload(
   for (const Staged& s : staged) RAIN_RETURN_NOT_OK(s.status);
 
   // Single ordered splice into the shared arena: workload order, never
-  // completion order, so `bound` and the arena are bitwise-stable.
-  std::vector<BoundComplaint> bound;
+  // completion order, so the bound entries and the arena are
+  // bitwise-stable. The splice is append-only, which is what lets the
+  // session's bind cache keep earlier entries' ids valid across delta
+  // binds.
+  std::vector<std::vector<BoundComplaint>> entries;
+  entries.reserve(staged.size());
   PolyArena* arena = pipeline->arena();
   for (Staged& s : staged) {
     const PolyArena::SpliceMap map = arena->Splice(*s.arena);
+    std::vector<BoundComplaint> bound;
+    bound.reserve(s.bound.size());
     for (BoundComplaint c : s.bound) {
       if (c.poly != kInvalidPoly) c.poly = map.node_map[c.poly];
       bound.push_back(c);
     }
+    entries.push_back(std::move(bound));
+  }
+  return entries;
+}
+
+Result<std::vector<BoundComplaint>> BindWorkload(
+    Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
+    int parallelism) {
+  RAIN_ASSIGN_OR_RETURN(std::vector<std::vector<BoundComplaint>> entries,
+                        BindWorkloadEntries(pipeline, workload, parallelism));
+  std::vector<BoundComplaint> bound;
+  for (std::vector<BoundComplaint>& e : entries) {
+    bound.insert(bound.end(), e.begin(), e.end());
   }
   return bound;
 }
 
+namespace {
+
+bool PlanHasSortOrLimit(const PlanPtr& plan) {
+  if (plan == nullptr) return false;
+  if (plan->kind == PlanKind::kSort || plan->kind == PlanKind::kLimit) return true;
+  for (const PlanPtr& child : plan->children) {
+    if (PlanHasSortOrLimit(child)) return true;
+  }
+  return false;
+}
+
+bool PlanIsModelDependent(const PlanPtr& plan) {
+  if (plan == nullptr) return false;
+  if (plan->predicate != nullptr && plan->predicate->IsModelDependent()) return true;
+  for (const ExprPtr& e : plan->exprs) {
+    if (e != nullptr && e->IsModelDependent()) return true;
+  }
+  for (const ExprPtr& e : plan->group_by) {
+    if (e != nullptr && e->IsModelDependent()) return true;
+  }
+  for (const AggSpec& agg : plan->aggs) {
+    if (agg.arg != nullptr && agg.arg->IsModelDependent()) return true;
+  }
+  for (const PlanPtr& child : plan->children) {
+    if (PlanIsModelDependent(child)) return true;
+  }
+  return false;
+}
+
+/// The bind cache relies on the provenance STRUCTURE of a debug-mode
+/// execution being a pure function of (tables, workload) — independent of
+/// the model's predictions, which only flow into the polynomials'
+/// *values*. That holds for the paper's SPJA query class (debug mode
+/// keeps candidate rows behind model-dependent filters/joins and expands
+/// model-dependent GROUP BY keys one candidate per class). The one way
+/// predictions could reorder or drop output rows structurally is a Sort /
+/// Limit wrapper over model-dependent results, so such plans are binned
+/// as uncacheable and re-execute every iteration.
+bool PlanStructureCacheable(const PlanPtr& plan) {
+  return !(PlanHasSortOrLimit(plan) && PlanIsModelDependent(plan));
+}
+
+bool EntryBindable(const std::vector<BoundComplaint>& bound) {
+  for (const BoundComplaint& c : bound) {
+    if (c.poly == kInvalidPoly) return false;  // nothing to re-evaluate
+  }
+  return true;
+}
+
+/// Arena growth factor (relative to the node count right after the last
+/// full bind) past which the bind phase compacts: tombstoned provenance
+/// from removed queries and repeated uncacheable-entry splices is
+/// reclaimed by a full reset + rebind.
+constexpr size_t kArenaCompactFactor = 4;
+
+}  // namespace
+
+void DebugSession::InvalidateBindCache() {
+  for (BindCacheEntry& e : bind_cache_) {
+    e.valid = false;
+    e.bound.clear();
+  }
+  bind_cache_primed_ = false;
+  encode_cache_.relax.reset();
+  encode_cache_.roots.clear();
+}
+
+void DebugSession::RefreshCachedComplaints() {
+  // One concrete assignment over the persistent arena, shared by every
+  // cached complaint: current = Evaluate(poly) reproduces the executor's
+  // concrete cell bitwise (the evaluator mirrors the executor's
+  // summation order and zero-denominator guard), and violated re-derives
+  // through the binder's own predicate.
+  const Vec assign = pipeline_->predictions().ConcreteAssignment(*pipeline_->arena());
+  const PolyArena* arena = pipeline_->arena();
+  for (BindCacheEntry& e : bind_cache_) {
+    if (!e.valid) continue;
+    for (BoundComplaint& c : e.bound) {
+      if (c.poly == kInvalidPoly) continue;
+      c.current = arena->Evaluate(c.poly, assign);
+      c.violated = ComplaintViolated(c.op, c.current, c.target);
+    }
+  }
+}
+
 Result<std::vector<BoundComplaint>> DebugSession::BindPhase(IterationStats* stats) {
   Timer timer;
-  // One fresh arena per iteration, shared by every query so multi-query
-  // complaints combine (Section 6.5).
-  pipeline_->ResetDebugState();
-  RAIN_ASSIGN_OR_RETURN(std::vector<BoundComplaint> bound,
-                        BindWorkload(pipeline_, workload_, config_.parallelism));
+  RAIN_CHECK(bind_cache_.size() == workload_.size());
+  const PolyArena* arena = pipeline_->arena();
+  const bool compact =
+      bind_cache_primed_ &&
+      arena->num_nodes() >
+          kArenaCompactFactor * std::max<size_t>(arena_nodes_after_full_bind_, 1);
+
+  if (!config_.bind_cache || !bind_cache_primed_ || compact) {
+    // Full bind: one fresh arena shared by every query so multi-query
+    // complaints combine (Section 6.5). With the cache enabled this
+    // arena then PERSISTS across iterations (primed below); with it
+    // disabled this is the legacy once-per-iteration path.
+    pipeline_->ResetDebugState();
+    RAIN_ASSIGN_OR_RETURN(
+        std::vector<std::vector<BoundComplaint>> entries,
+        BindWorkloadEntries(pipeline_, workload_, config_.parallelism));
+    ++arena_generation_;
+    encode_cache_.relax.reset();
+    std::vector<BoundComplaint> bound;
+    for (size_t i = 0; i < entries.size(); ++i) {
+      BindCacheEntry& e = bind_cache_[i];
+      e.bound = std::move(entries[i]);
+      e.cacheable =
+          PlanStructureCacheable(workload_[i].query) && EntryBindable(e.bound);
+      e.valid = config_.bind_cache && e.cacheable;
+      bound.insert(bound.end(), e.bound.begin(), e.bound.end());
+    }
+    bind_cache_primed_ = config_.bind_cache;
+    arena_nodes_after_full_bind_ = pipeline_->arena()->num_nodes();
+    bind_cache_stats_.entries_rebound += workload_.size();
+    ++bind_cache_stats_.full_binds;
+    stats->query_seconds = timer.ElapsedSeconds();
+    for (const BoundComplaint& c : bound) stats->violated_complaints += c.violated;
+    return bound;
+  }
+
+  // Delta bind: execute + bind only stale entries (new / invalidated /
+  // uncacheable), splicing their staging arenas append-only into the
+  // persistent arena; every other entry refreshes its concrete values by
+  // re-evaluating cached polynomials under the fresh predictions — no
+  // query execution, O(cached provenance) instead of O(dataset).
+  std::vector<size_t> stale;
+  for (size_t i = 0; i < bind_cache_.size(); ++i) {
+    if (!bind_cache_[i].valid) stale.push_back(i);
+  }
+  if (!stale.empty()) {
+    std::vector<QueryComplaints> sub;
+    sub.reserve(stale.size());
+    for (size_t i : stale) sub.push_back(workload_[i]);
+    RAIN_ASSIGN_OR_RETURN(
+        std::vector<std::vector<BoundComplaint>> entries,
+        BindWorkloadEntries(pipeline_, sub, config_.parallelism));
+    ++arena_generation_;
+    for (size_t j = 0; j < stale.size(); ++j) {
+      BindCacheEntry& e = bind_cache_[stale[j]];
+      e.bound = std::move(entries[j]);
+      e.cacheable = PlanStructureCacheable(workload_[stale[j]].query) &&
+                    EntryBindable(e.bound);
+      e.valid = e.cacheable;
+    }
+    bind_cache_stats_.entries_rebound += stale.size();
+  }
+  bind_cache_stats_.entries_reused += workload_.size() - stale.size();
+  RefreshCachedComplaints();
+
+  std::vector<BoundComplaint> bound;
+  for (const BindCacheEntry& e : bind_cache_) {
+    bound.insert(bound.end(), e.bound.begin(), e.bound.end());
+  }
   stats->query_seconds = timer.ElapsedSeconds();
   for (const BoundComplaint& c : bound) stats->violated_complaints += c.violated;
   return bound;
@@ -383,10 +754,21 @@ Result<RankOutput> DebugSession::RankPhase(const std::vector<BoundComplaint>& bo
   ctx.relax_mode = config_.relax_mode;
   ctx.twostep_encode_all = config_.twostep_encode_all;
   ctx.parallelism = config_.parallelism;
+  if (config_.bind_cache) {
+    // Incremental re-encode: while the arena generation and root set are
+    // unchanged, the ranker replays the cached relaxed-poly batch
+    // structure instead of rebuilding its topological order (values are
+    // recomputed from the fresh predictions either way — bitwise-neutral).
+    ctx.encode_cache = &encode_cache_;
+    ctx.arena_generation = arena_generation_;
+  }
   RAIN_ASSIGN_OR_RETURN(RankOutput ranked, ranker_->Rank(ctx));
   stats->encode_seconds = ranked.encode_seconds;
   stats->rank_seconds = ranked.rank_seconds;
   if (!ranked.note.empty()) AppendNote(stats, ranked.note);
+  // Cache the Hessian solve behind the scores: ApplyUpdate patches
+  // touched-row influence previews against it without a fresh CG solve.
+  if (!ranked.cg_solution.empty()) last_cg_solution_ = ranked.cg_solution;
   return ranked;
 }
 
@@ -418,6 +800,9 @@ int DebugSession::FixPhase(const RankOutput& ranked, int iteration,
     ++removed;
     NotifyDeletion(iteration, idx, ranked.scores[idx]);
   }
+  // Deletions change the training data: the current parameters are no
+  // longer its optimum.
+  if (removed > 0) train_memo_valid_ = false;
   return removed;
 }
 
@@ -522,6 +907,7 @@ void DebugSession::LaunchSpeculation(int next_iteration) {
         SpecOutcome outcome;
         outcome.train_seconds = timer.ElapsedSeconds();
         outcome.train_ok = trained.ok() && !trained->interrupted;
+        outcome.converged = outcome.train_ok && trained->converged;
         return outcome;
       });
 }
@@ -588,6 +974,7 @@ bool DebugSession::TryCommitSpeculation(IterationStats* stats) {
     stats->train_seconds = outcome.train_seconds;
     AppendNote(stats, "train speculated during previous rank phase");
     ++async_stats_.speculations_committed;
+    train_memo_valid_ = outcome.converged;
     committed = true;
   }
   if (!committed) ++async_stats_.speculations_replayed;

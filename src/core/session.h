@@ -20,6 +20,7 @@
 #include "core/debugger.h"
 #include "core/pipeline.h"
 #include "core/ranker.h"
+#include "incremental/update.h"
 
 namespace rain {
 
@@ -261,6 +262,32 @@ Result<std::vector<BoundComplaint>> BindWorkload(
     Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
     int parallelism);
 
+/// `BindWorkload`, but keeping the per-entry grouping: element i holds the
+/// bound complaints of workload[i] (ids remapped into the shared arena).
+/// Concatenating the entries reproduces `BindWorkload`'s flat result
+/// exactly. This is the primitive behind the session's bind cache: a
+/// delta bind runs it over just the stale entries and splices their
+/// staging arenas append-only into the persistent arena.
+Result<std::vector<std::vector<BoundComplaint>>> BindWorkloadEntries(
+    Query2Pipeline* pipeline, const std::vector<QueryComplaints>& workload,
+    int parallelism);
+
+/// Cumulative bind/encode cache counters for one session (see
+/// docs/architecture.md, "Incremental engine").
+struct BindCacheStats {
+  /// Workload entries executed + bound (full binds count every entry).
+  size_t entries_rebound = 0;
+  /// Workload entries served from the cache (concrete values refreshed by
+  /// re-evaluating their polynomials, no query execution).
+  size_t entries_reused = 0;
+  /// Full rebinds: the initial priming bind, arena compactions, and
+  /// sessions with the cache disabled.
+  size_t full_binds = 0;
+  /// Bound complaints retracted by RemoveQuery / remove_queries deltas
+  /// (their arena nodes are tombstoned in place).
+  size_t tombstoned_complaints = 0;
+};
+
 /// \brief A resumable train-rank-fix debugging session (Section 5.1).
 ///
 /// Where the legacy `Debugger::Run` executed the whole loop as one opaque
@@ -388,6 +415,48 @@ class DebugSession {
   /// one). Returns false when out of range.
   bool RemoveQuery(size_t index);
   const std::vector<QueryComplaints>& workload() const { return workload_; }
+
+  /// \brief Applies a batch of deltas (label edits, row activation flips,
+  /// workload mutations) and prepares the session for an O(delta)
+  /// redebug (src/incremental/update.h).
+  ///
+  /// On the incremental path the session keeps its provenance arena, bind
+  /// cache, encode cache, and warm model parameters: the next `Step()`
+  /// re-executes only workload entries the batch invalidated, refreshes
+  /// cached complaints by re-evaluating their polynomials, and retrains
+  /// warm from the current parameters. On the full path every cache is
+  /// dropped, the arena is reset, and the model is restored to the
+  /// parameters captured at session construction (a cold retrain — the
+  /// exact from-scratch baseline the equivalence tests compare against).
+  /// `UpdateOptions::policy` picks the path; kAuto thresholds on the
+  /// touched-row fraction.
+  ///
+  /// Determinism contract: for a given post-update state, the incremental
+  /// path's redebug is bitwise-identical at every worker/shard count (the
+  /// standard session discipline). Incremental vs full converge to the
+  /// same deletion sequence; their floating-point trajectories may differ
+  /// because warm- and cold-started L-BFGS legitimately take different
+  /// paths to the same optimum (see docs/architecture.md).
+  ///
+  /// Reopens a session that finished kResolved when the batch is
+  /// non-empty. Like the other mutators: must not be called while an
+  /// async drive is in flight, nor from an observer callback. Errors
+  /// (out-of-range rows/labels/indices) leave the session unchanged.
+  Result<UpdateReport> ApplyUpdate(const UpdateBatch& batch,
+                                   const UpdateOptions& options = UpdateOptions());
+
+  /// Append-only journal of every delta applied (`AddComplaints`,
+  /// `RemoveQuery`, `ApplyUpdate`).
+  const DeltaLog& delta_log() const { return delta_log_; }
+  /// Cumulative bind-cache counters (the satellite regression tests
+  /// assert bind work proportional to the delta through these).
+  const BindCacheStats& bind_cache_stats() const { return bind_cache_stats_; }
+  /// Rank turns that reused the cached relaxed-poly batch structure.
+  size_t encode_reuses() const { return encode_cache_.reuses; }
+  /// The last rank turn's CG solution (empty before the first rank turn or
+  /// when the ranker ran no influence solve); what `ApplyUpdate` patches
+  /// touched-row influence previews against.
+  const Vec& last_influence_solution() const { return last_cg_solution_; }
 
   /// The cumulative report: deletion sequence (explanation D), one
   /// IterationStats per (possibly partial) iteration, resolution flag.
@@ -526,6 +595,53 @@ class DebugSession {
   /// already applied to its active mask.
   std::unique_ptr<Dataset> snapshot_cache_;
   size_t snapshot_deletions_applied_ = 0;
+
+  // --- Incremental engine state (src/incremental/update.h;
+  // docs/architecture.md, "Incremental engine").
+  /// One cache slot per workload entry, index-parallel to `workload_`.
+  struct BindCacheEntry {
+    /// The cached `bound` (and its arena nodes) reflect the entry; false
+    /// forces a re-execute + re-bind on the next bind phase.
+    bool valid = false;
+    /// False when the entry's provenance structure may depend on the
+    /// model (a model-dependent plan under Sort/Limit): such entries
+    /// re-execute every iteration instead of refreshing from the cache.
+    bool cacheable = true;
+    std::vector<BoundComplaint> bound;
+  };
+  /// Re-evaluates every valid cache entry's complaints against the
+  /// current predictions (concrete assignment + polynomial evaluation —
+  /// bitwise the values a re-execution would produce).
+  void RefreshCachedComplaints();
+  /// Drops every bind-cache entry and the encode cache (the next bind
+  /// phase resets the arena and rebinds everything).
+  void InvalidateBindCache();
+  std::vector<BindCacheEntry> bind_cache_;
+  /// True once the cache holds a full bind of the current workload (the
+  /// arena is persistent from then on until invalidated).
+  bool bind_cache_primed_ = false;
+  BindCacheStats bind_cache_stats_;
+  /// Arena node count right after the last full bind; when delta splices
+  /// and tombstones grow the arena past kArenaCompactFactor times this,
+  /// the next bind phase compacts (full reset + rebind).
+  size_t arena_nodes_after_full_bind_ = 0;
+  /// Bumped whenever the persistent arena changes (reset or splice);
+  /// gates the encode cache.
+  uint64_t arena_generation_ = 0;
+  RankContext::EncodeCache encode_cache_;
+  /// Exact train-skip memo: true while the model parameters are a
+  /// converged optimum for the CURRENT training data (set by a converged
+  /// uninterrupted train, cleared by deletions / data deltas). Skipping
+  /// is bitwise-exact: L-BFGS re-entered at a converged point returns the
+  /// parameters untouched, and the prediction refresh recomputes the
+  /// identical matrix.
+  bool train_memo_valid_ = false;
+  /// The last rank turn's CG solution (see last_influence_solution()).
+  Vec last_cg_solution_;
+  /// Model parameters at session construction — the cold-start point the
+  /// full-recompute path restores.
+  Vec initial_params_;
+  DeltaLog delta_log_;
 };
 
 /// \brief Fluent constructor for `DebugSession`.
@@ -665,6 +781,12 @@ class DebugSessionBuilder {
   /// TwoStep q encoding over every ILP-touched row (ablation knob).
   DebugSessionBuilder& twostep_encode_all(bool v = true) {
     config_.twostep_encode_all = v;
+    return *this;
+  }
+  /// Incremental bind/encode caching (default on); `false` restores the
+  /// legacy fresh-arena-per-iteration bind. See `DebugConfig::bind_cache`.
+  DebugSessionBuilder& bind_cache(bool v) {
+    config_.bind_cache = v;
     return *this;
   }
   /// Bulk import of a legacy `DebugConfig` (compatibility shim and

@@ -139,6 +139,47 @@ Status DebugClient::ComplainPoint(uint64_t sid, const std::string& table,
   return StatusFromResponse(*response);
 }
 
+Result<ClientUpdateResult> DebugClient::UpdateCall(const std::string& line) {
+  Result<std::string> response = Call(line);
+  if (!response.ok()) return response.status();
+  const Status st = StatusFromResponse(*response);
+  if (!st.ok()) return st;
+  ClientUpdateResult result;
+  result.incremental = JsonGetBool(*response, "incremental").value_or(false);
+  result.touched_rows = JsonGetInt(*response, "touched_rows").value_or(0);
+  result.entries_cached = JsonGetInt(*response, "entries_cached").value_or(0);
+  result.entries_invalidated =
+      JsonGetInt(*response, "entries_invalidated").value_or(0);
+  result.patched = JsonGetInt(*response, "patched").value_or(0);
+  result.reopened = JsonGetBool(*response, "reopened").value_or(false);
+  return result;
+}
+
+Result<ClientUpdateResult> DebugClient::UpdateLabel(uint64_t sid, int64_t row,
+                                                    int new_class,
+                                                    const std::string& policy) {
+  std::string line = "update " + std::to_string(sid) + " label " +
+                     std::to_string(row) + " " + std::to_string(new_class);
+  if (!policy.empty()) line += " policy=" + policy;
+  return UpdateCall(line);
+}
+
+Result<ClientUpdateResult> DebugClient::Deactivate(uint64_t sid, int64_t row,
+                                                   const std::string& policy) {
+  std::string line =
+      "update " + std::to_string(sid) + " deactivate " + std::to_string(row);
+  if (!policy.empty()) line += " policy=" + policy;
+  return UpdateCall(line);
+}
+
+Result<ClientUpdateResult> DebugClient::Reactivate(uint64_t sid, int64_t row,
+                                                   const std::string& policy) {
+  std::string line =
+      "update " + std::to_string(sid) + " reactivate " + std::to_string(row);
+  if (!policy.empty()) line += " policy=" + policy;
+  return UpdateCall(line);
+}
+
 Status DebugClient::Cancel(uint64_t sid) {
   Result<std::string> response = Call("cancel " + std::to_string(sid));
   if (!response.ok()) return response.status();

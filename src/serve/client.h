@@ -20,6 +20,16 @@ struct ClientStepResult {
   bool resolved = false;
 };
 
+/// Client view of an `update` response (the serve-side `UpdateReport`).
+struct ClientUpdateResult {
+  bool incremental = false;
+  int64_t touched_rows = 0;
+  int64_t entries_cached = 0;
+  int64_t entries_invalidated = 0;
+  int64_t patched = 0;
+  bool reopened = false;
+};
+
 /// Client view of a `status` response.
 struct ClientSessionStatus {
   std::string dataset;
@@ -64,12 +74,27 @@ class DebugClient {
   Result<ClientSessionStatus> GetStatus(uint64_t sid);
   Status ComplainPoint(uint64_t sid, const std::string& table, int64_t row,
                        int correct_class);
+  /// `update <sid> label <row> <class>` — correct one training label.
+  /// `policy` is "" (server default, auto) or one of
+  /// "auto"/"incremental"/"full".
+  Result<ClientUpdateResult> UpdateLabel(uint64_t sid, int64_t row,
+                                         int new_class,
+                                         const std::string& policy = "");
+  /// `update <sid> deactivate <row>` — tombstone a training row.
+  Result<ClientUpdateResult> Deactivate(uint64_t sid, int64_t row,
+                                        const std::string& policy = "");
+  /// `update <sid> reactivate <row>` — restore a tombstoned row.
+  Result<ClientUpdateResult> Reactivate(uint64_t sid, int64_t row,
+                                        const std::string& policy = "");
   Status Cancel(uint64_t sid);
   Status Close(uint64_t sid);
   /// Polite disconnect (`quit`); the server closes remaining sessions.
   void Quit();
 
  private:
+  /// Sends one `update ...` line and parses the shared response shape.
+  Result<ClientUpdateResult> UpdateCall(const std::string& line);
+
   int fd_ = -1;
   std::string buffer_;  // bytes past the last complete response line
 };

@@ -213,6 +213,31 @@ Status DebugService::Complain(uint64_t sid, QueryComplaints batch) {
   return Status::OK();
 }
 
+Result<UpdateReport> DebugService::Update(uint64_t sid,
+                                          const UpdateBatch& batch,
+                                          const UpdateOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Hosted* hosted = FindLocked(sid);
+  if (hosted == nullptr) {
+    return Status::NotFound("no session " + std::to_string(sid));
+  }
+  if (hosted->state == SessionState::kQueued ||
+      hosted->state == SessionState::kRunning) {
+    return Status::InvalidArgument("session " + std::to_string(sid) +
+                                   " has turns in flight; update between steps");
+  }
+  Result<UpdateReport> report = hosted->session->ApplyUpdate(batch, options);
+  if (!report.ok()) return report;
+  // A non-empty batch reopens a kResolved session (see ApplyUpdate); the
+  // label edit goes through the COW view, so sibling tenants sharing the
+  // registered storage never observe it.
+  if (hosted->state == SessionState::kFinished &&
+      !hosted->session->finished()) {
+    hosted->state = SessionState::kIdle;
+  }
+  return report;
+}
+
 Status DebugService::Cancel(uint64_t sid) {
   std::lock_guard<std::mutex> lock(mu_);
   Hosted* hosted = FindLocked(sid);

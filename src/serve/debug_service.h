@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "core/pipeline.h"
 #include "core/session.h"
+#include "incremental/update.h"
 
 namespace rain {
 namespace serve {
@@ -178,6 +179,14 @@ class DebugService {
   /// Appends complaints to the session's workload (between turns only:
   /// kInvalidArgument while queued/running).
   Status Complain(uint64_t sid, QueryComplaints batch);
+
+  /// Applies a delta batch — label edits, row activation flips, workload
+  /// mutations — via `DebugSession::ApplyUpdate` (between turns only:
+  /// kInvalidArgument while queued/running). A non-empty batch reopens a
+  /// finished-resolved session, so subsequent `Step`s re-debug the
+  /// post-update state, incrementally when the policy allows.
+  Result<UpdateReport> Update(uint64_t sid, const UpdateBatch& batch,
+                              const UpdateOptions& options = UpdateOptions());
 
   /// Requests cancellation; safe while the session is mid-step.
   Status Cancel(uint64_t sid);

@@ -357,6 +357,76 @@ bool DebugServer::Dispatch(Connection* conn, const std::string& line) {
     return true;
   }
 
+  if (req.verb == "update") {
+    // update <sid> label <row> <class> | deactivate <row> | reactivate <row>
+    // — the single-row delta forms expressible on one wire line. The
+    // session applies them through ApplyUpdate, O(delta) by default.
+    const char* kUsage =
+        "update wants: update <sid> label <row> <class> | "
+        "update <sid> deactivate <row> | update <sid> reactivate <row> "
+        "[policy=auto|incremental|full]";
+    if (args.size() < 2) {
+      SendLine(conn, ErrorResponse(Status::InvalidArgument(kUsage)));
+      return true;
+    }
+    const std::string op = ToLower(args[1]);
+    UpdateBatch batch;
+    if (op == "label") {
+      int64_t row = 0;
+      int64_t cls = 0;
+      if (args.size() < 4 || !ParseI64(args[2], &row) ||
+          !ParseI64(args[3], &cls) || row < 0) {
+        SendLine(conn, ErrorResponse(Status::InvalidArgument(kUsage)));
+        return true;
+      }
+      batch.label_edits.push_back(
+          LabelEdit{static_cast<size_t>(row), static_cast<int>(cls)});
+    } else if (op == "deactivate" || op == "reactivate") {
+      int64_t row = 0;
+      if (args.size() < 3 || !ParseI64(args[2], &row) || row < 0) {
+        SendLine(conn, ErrorResponse(Status::InvalidArgument(kUsage)));
+        return true;
+      }
+      auto& rows = op == "deactivate" ? batch.deactivate_rows
+                                      : batch.reactivate_rows;
+      rows.push_back(static_cast<size_t>(row));
+    } else {
+      SendLine(conn, ErrorResponse(Status::InvalidArgument(kUsage)));
+      return true;
+    }
+    UpdateOptions update_options;
+    if (auto policy = FindOption(args, "policy")) {
+      const std::string p = ToLower(*policy);
+      if (p == "auto") {
+        update_options.policy = UpdatePolicy::kAuto;
+      } else if (p == "incremental") {
+        update_options.policy = UpdatePolicy::kIncremental;
+      } else if (p == "full") {
+        update_options.policy = UpdatePolicy::kFull;
+      } else {
+        SendLine(conn, ErrorResponse(Status::InvalidArgument(
+                           "option policy wants auto|incremental|full, got '" +
+                           *policy + "'")));
+        return true;
+      }
+    }
+    Result<UpdateReport> report = service_->Update(sid, batch, update_options);
+    if (!report.ok()) {
+      SendLine(conn, ErrorResponse(report.status()));
+      return true;
+    }
+    SendLine(conn,
+             OkResponse(JsonObject()
+                            .Add("incremental", report->incremental)
+                            .Add("touched_rows", report->touched_rows)
+                            .Add("entries_cached", report->entries_cached)
+                            .Add("entries_invalidated", report->entries_invalidated)
+                            .Add("patched", report->patched_scores)
+                            .Add("reopened", report->reopened)
+                            .Add("seconds", report->seconds)));
+    return true;
+  }
+
   if (req.verb == "cancel") {
     const Status st = service_->Cancel(sid);
     SendLine(conn, st.ok() ? OkResponse() : ErrorResponse(st));

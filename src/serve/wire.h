@@ -23,6 +23,9 @@ namespace serve {
 ///                  [top_k=N] [max_deletions=N] [max_iterations=N]
 ///   step <sid> [n]
 ///   complain <sid> point <table> <row> <class>
+///   update <sid> label <row> <class> [policy=auto|incremental|full]
+///   update <sid> deactivate <row> [policy=...]
+///   update <sid> reactivate <row> [policy=...]
 ///   status <sid>
 ///   cancel <sid>
 ///   close <sid>

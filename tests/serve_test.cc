@@ -364,6 +364,75 @@ TEST(DebugServiceTest, ComplainBetweenTurnsReopensButNotInFlight) {
   ASSERT_TRUE(future.Get().ok());
 }
 
+/// The incremental-update surface: a hosted session's label delta detaches
+/// its COW view, so sibling tenants (running or opened later) stay
+/// bitwise on the registered storage; the updated session itself reopens
+/// and re-debugs.
+TEST(DebugServiceTest, UpdateIsolatesSiblingTenantsAndReopens) {
+  ServiceOptions options;
+  options.admission_capacity = 64;
+  DebugService service(options);
+  ASSERT_TRUE(service.RegisterDataset(SmallAdult()).ok());
+
+  // A gets a budget large enough to RESOLVE (reopening is defined for
+  // resolved sessions); B keeps the small budget as the bitwise sibling.
+  SessionSpec resolve_spec = SmallSpec(1);
+  resolve_spec.max_iterations = 200;
+  resolve_spec.max_deletions = 600;
+  auto a = service.Open(resolve_spec);
+  auto b = service.Open(SmallSpec(1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto a_run = service.Step(*a, 300);
+  ASSERT_TRUE(a_run.ok());
+  ASSERT_TRUE(a_run->resolved);
+  ASSERT_TRUE(service.Step(*b, 100).ok());
+  auto b_before = service.Report(*b);
+  ASSERT_TRUE(b_before.ok());
+
+  // While a turn is in flight the update is refused, like Complain.
+  SessionSpec long_spec = SmallSpec(1);
+  long_spec.max_iterations = 10000;
+  long_spec.max_deletions = 10000;
+  auto c = service.Open(long_spec);
+  ASSERT_TRUE(c.ok());
+  auto future = service.StepAsync(*c, 10000);
+  UpdateBatch batch;
+  batch.label_edits.push_back(LabelEdit{0, 1});
+  const Status in_flight = service.Update(*c, batch).status();
+  EXPECT_EQ(in_flight.code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(service.Cancel(*c).ok());
+  (void)future.Get();
+
+  // Between turns: the delta lands on A's COW view only.
+  const int registered_label = SmallAdult().train.label(0);
+  batch.label_edits[0].new_label = 1 - registered_label;
+  auto report = service.Update(*a, batch);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->incremental);
+  EXPECT_EQ(report->touched_rows, 1u);
+  EXPECT_TRUE(report->reopened);
+  // The registered bundle and the sibling are untouched.
+  EXPECT_EQ(SmallAdult().train.label(0), registered_label);
+  auto b_after = service.Report(*b);
+  ASSERT_TRUE(b_after.ok());
+  EXPECT_EQ(b_after->deletions, b_before->deletions);
+
+  // A fresh tenant opened AFTER the update still bitwise-matches the
+  // standalone reference over the pristine storage.
+  auto d = service.Open(SmallSpec(1));
+  ASSERT_TRUE(d.ok());
+  ASSERT_TRUE(service.Step(*d, 100).ok());
+  auto d_report = service.Report(*d);
+  ASSERT_TRUE(d_report.ok());
+  EXPECT_EQ(d_report->deletions, StandaloneReference(SmallSpec(1)).deletions);
+
+  // The updated session re-debugs to a terminal state.
+  auto redebug = service.Step(*a, 100);
+  ASSERT_TRUE(redebug.ok()) << redebug.status().ToString();
+  EXPECT_TRUE(redebug->finished);
+}
+
 TEST(DebugServiceTest, ShutdownFailsPendingTurnsAndClosesSessions) {
   ServiceOptions options;
   options.admission_capacity = 64;
@@ -451,6 +520,44 @@ TEST_F(ServeSocketTest, WireErrorsCarryServiceStatusCodes) {
   auto garbage = client->Call("frobnicate 1 2 3");
   ASSERT_TRUE(garbage.ok());
   EXPECT_EQ(StatusFromResponse(*garbage).code(), StatusCode::kInvalidArgument);
+  client->Quit();
+}
+
+TEST_F(ServeSocketTest, UpdateVerbRoundTrip) {
+  auto client = DebugClient::Connect(socket_path_);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto sid = client->Open("adult", "max_iterations=3");
+  ASSERT_TRUE(sid.ok());
+  ASSERT_TRUE(client->Step(*sid, 1).ok());
+
+  auto update = client->UpdateLabel(*sid, 0, 1, "incremental");
+  ASSERT_TRUE(update.ok()) << update.status().ToString();
+  EXPECT_TRUE(update->incremental);
+  EXPECT_EQ(update->touched_rows, 1);
+  EXPECT_GT(update->entries_cached, 0);
+
+  auto deactivate = client->Deactivate(*sid, 7);
+  ASSERT_TRUE(deactivate.ok());
+  EXPECT_EQ(deactivate->touched_rows, 1);
+  auto reactivate = client->Reactivate(*sid, 7);
+  ASSERT_TRUE(reactivate.ok());
+
+  // Errors cross the wire with the service's Status codes.
+  EXPECT_EQ(client->UpdateLabel(424242, 0, 1).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client->UpdateLabel(*sid, 1 << 30, 1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client->UpdateLabel(*sid, 0, 1, "sideways").status().code(),
+            StatusCode::kInvalidArgument);
+  auto malformed = client->Call("update " + std::to_string(*sid) + " label");
+  ASSERT_TRUE(malformed.ok());
+  EXPECT_EQ(StatusFromResponse(*malformed).code(),
+            StatusCode::kInvalidArgument);
+
+  // The updated session keeps stepping over the socket.
+  auto step = client->Step(*sid, 1);
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_TRUE(client->Close(*sid).ok());
   client->Quit();
 }
 

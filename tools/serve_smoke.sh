@@ -67,15 +67,49 @@ run_session() {
   read -r status_resp <&"${out_fd}"
   echo "${status_resp}"
 
-  echo "quit" >&"${in_fd}"
-  wait "${CLIENT_PID}" 2>/dev/null || true
-
   grep -q '"finished":true' <<<"${status_resp}" || {
     echo "serve_smoke: ${dataset} session ${sid} did not finish" >&2
     return 1
   }
   grep -q '"resolved":true' <<<"${status_resp}" || {
     echo "serve_smoke: ${dataset} session ${sid} did not resolve" >&2
+    return 1
+  }
+
+  # Update round trip: a label delta reopens the resolved session through
+  # the incremental path; re-stepping must converge again.
+  echo "update ${sid} label 0 1 policy=incremental" >&"${in_fd}"
+  local update_resp
+  read -r update_resp <&"${out_fd}"
+  echo "${update_resp}"
+  grep -q '"ok":true' <<<"${update_resp}" || {
+    echo "serve_smoke: ${dataset} session ${sid} update refused: ${update_resp}" >&2
+    return 1
+  }
+  grep -q '"incremental":true' <<<"${update_resp}" || {
+    echo "serve_smoke: update did not take the incremental path: ${update_resp}" >&2
+    return 1
+  }
+  grep -q '"reopened":true' <<<"${update_resp}" || {
+    echo "serve_smoke: update did not reopen the resolved session: ${update_resp}" >&2
+    return 1
+  }
+
+  echo "step ${sid} 300" >&"${in_fd}"
+  local restep_resp
+  read -r restep_resp <&"${out_fd}"
+  echo "${restep_resp}"
+
+  echo "status ${sid}" >&"${in_fd}"
+  local restatus_resp
+  read -r restatus_resp <&"${out_fd}"
+  echo "${restatus_resp}"
+
+  echo "quit" >&"${in_fd}"
+  wait "${CLIENT_PID}" 2>/dev/null || true
+
+  grep -q '"finished":true' <<<"${restatus_resp}" || {
+    echo "serve_smoke: ${dataset} session ${sid} did not re-finish after update" >&2
     return 1
   }
 }
@@ -93,4 +127,4 @@ if [[ "${FAIL}" != 0 ]]; then
   echo "serve_smoke: FAILED" >&2
   exit 1
 fi
-echo "serve_smoke: OK (two concurrent sessions converged)"
+echo "serve_smoke: OK (two concurrent sessions converged; update round trip re-converged)"
