@@ -16,6 +16,7 @@
 #include "bench/bench_util.h"
 #include "bench/workloads.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
 #include "core/session.h"
@@ -67,7 +68,7 @@ std::unique_ptr<DebugSession> BuildSession(Query2Pipeline* pipeline,
 
 void RunDataset(const char* name, const bench::Experiment& exp,
                 int max_deletions, int threads, TablePrinter* table,
-                std::FILE* json, bool* first_row) {
+                bench::EmitJson* json) {
   for (size_t k : {size_t{1}, size_t{16}, size_t{256}}) {
     // A fresh identical pair per delta size: same corrupted data (the
     // factory copies shared COW storage), same workload, same budgets.
@@ -120,19 +121,15 @@ void RunDataset(const char* name, const bench::Experiment& exp,
                    TablePrinter::Num(inc_total, 4),
                    TablePrinter::Num(full_total, 4),
                    TablePrinter::Num(speedup, 2), match ? "yes" : "NO"});
-    if (json != nullptr) {
-      std::fprintf(
-          json,
-          "%s  {\"dataset\": \"%s\", \"k\": %zu, \"touched_rows\": %zu, "
-          "\"inc_update_s\": %.6f, \"inc_redebug_s\": %.6f, "
-          "\"full_update_s\": %.6f, \"full_redebug_s\": %.6f, "
-          "\"inc_total_s\": %.6f, \"full_total_s\": %.6f, "
-          "\"speedup\": %.2f, \"sequences_match\": %s, \"threads\": %d}",
-          *first_row ? "" : ",\n", name, k, inc_report->touched_rows,
-          inc_update_s, inc_redebug_s, full_update_s, full_redebug_s,
-          inc_total, full_total, speedup, match ? "true" : "false", threads);
-      *first_row = false;
-    }
+    json->Row(StrFormat(
+        "{\"dataset\": \"%s\", \"k\": %zu, \"touched_rows\": %zu, "
+        "\"inc_update_s\": %.6f, \"inc_redebug_s\": %.6f, "
+        "\"full_update_s\": %.6f, \"full_redebug_s\": %.6f, "
+        "\"inc_total_s\": %.6f, \"full_total_s\": %.6f, "
+        "\"speedup\": %.2f, \"sequences_match\": %s, \"threads\": %d}",
+        name, k, inc_report->touched_rows, inc_update_s, inc_redebug_s,
+        full_update_s, full_redebug_s, inc_total, full_total, speedup,
+        match ? "true" : "false", threads));
     RAIN_CHECK(match) << name << " k=" << k
                       << ": incremental and full deletion sequences diverged";
   }
@@ -146,13 +143,11 @@ int main() {
               threads);
   TablePrinter table({"dataset", "k", "touched", "inc_total_s", "full_total_s",
                       "speedup", "match"});
-  std::FILE* json = std::fopen("BENCH_incremental.json", "w");
-  if (json != nullptr) std::fprintf(json, "[\n");
-  bool first_row = true;
+  bench::EmitJson json("BENCH_incremental.json");
 
   RunDataset("dblp", bench::DblpCount(0.5, /*train_size=*/4000,
                                       /*query_size=*/2000),
-             /*max_deletions=*/2000, threads, &table, json, &first_row);
+             /*max_deletions=*/2000, threads, &table, &json);
 
   // Adult rides the serve layer's hosted bundle: its avg_income equality
   // complaint is known to resolve, which the reopen-on-update contract
@@ -166,14 +161,12 @@ int main() {
     bench::Experiment adult;
     adult.make_pipeline = [hosted] { return serve::MakeSessionPipeline(*hosted); };
     adult.workload = hosted->default_workload;
-    RunDataset("adult", adult, /*max_deletions=*/2000, threads, &table, json,
-               &first_row);
+    RunDataset("adult", adult, /*max_deletions=*/2000, threads, &table, &json);
   }
 
   bench::EmitTable("Incremental engine: k-row delta vs from-scratch", table);
-  if (json != nullptr) {
-    std::fprintf(json, "\n]\n");
-    std::fclose(json);
+  if (json.ok()) {
+    json.Close();
     std::printf("wrote BENCH_incremental.json\n");
   }
   return 0;

@@ -23,8 +23,8 @@
 /// BENCH_async.json (baseline under bench/baselines/).
 ///
 /// A sixth section measures the sharded pipeline (ISSUE 5): per
-/// shard-count wall-clock of the shard-parallel `ScoreAll` (one TaskGraph
-/// task per shard) and the shard-exact HVP (parallel coefficient pass +
+/// shard-count wall-clock of the shard-parallel `ScoreAll` (shards fanned
+/// across the pool) and the shard-exact HVP (parallel coefficient pass +
 /// ordered replay) on the Fig. 5 workload, plus a full sharded
 /// DebugSession run — verifying scores, HVPs, AND deletion sequences are
 /// BITWISE identical to the unsharded sequential path at every shard
@@ -38,12 +38,12 @@
 /// every column degenerates to ~1x while the correctness checks still run.
 #include <cmath>
 #include <cstdio>
-#include <iterator>
 #include <thread>
 
 #include "bench/bench_util.h"
 #include "bench/workloads.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "core/session.h"
 #include "influence/influence.h"
@@ -201,9 +201,7 @@ int main() {
   TablePrinter encode_table({"threads", "bind_s", "bind_speedup", "encode_s",
                              "encode_speedup"});
   double bind_base = 0.0, encode_base = 0.0, encode_2x = 0.0;
-  const int last_threads = kThreadCounts[std::size(kThreadCounts) - 1];
-  std::FILE* json = std::fopen("BENCH_encode.json", "w");
-  if (json != nullptr) std::fprintf(json, "[\n");
+  EmitJson json("BENCH_encode.json");
   for (int threads : kThreadCounts) {
     const double bind_s = TimeBest(3, [&] {
       mpipe->ResetDebugState();
@@ -245,18 +243,13 @@ int main() {
                          TablePrinter::Num(bind_base / bind_s, 2),
                          TablePrinter::Num(encode_s, 5),
                          TablePrinter::Num(encode_base / encode_s, 2)});
-    if (json != nullptr) {
-      std::fprintf(json,
-                   "  {\"threads\": %d, \"bind_s\": %.6f, \"bind_speedup\": "
-                   "%.3f, \"encode_s\": %.6f, \"encode_speedup\": %.3f, "
-                   "\"bitwise_match\": true}%s\n",
-                   threads, bind_s, bind_base / bind_s, encode_s,
-                   encode_base / encode_s, threads == last_threads ? "" : ",");
-    }
+    json.Row(StrFormat(
+        "{\"threads\": %d, \"bind_s\": %.6f, \"bind_speedup\": %.3f, "
+        "\"encode_s\": %.6f, \"encode_speedup\": %.3f, \"bitwise_match\": true}",
+        threads, bind_s, bind_base / bind_s, encode_s, encode_base / encode_s));
   }
-  if (json != nullptr) {
-    std::fprintf(json, "]\n");
-    std::fclose(json);
+  if (json.ok()) {
+    json.Close();
     std::printf("encode scaling rows written to BENCH_encode.json\n");
   }
   EmitTable("Parallel scaling: batched bind + encode (Adult multi-query)",
@@ -268,8 +261,7 @@ int main() {
   Experiment aexp = DblpCount(0.5, /*train_size=*/2000, /*query_size=*/400);
   TablePrinter async_table({"threads", "sync_s", "async_s", "speedup", "spec",
                             "commit", "replay", "overlap"});
-  std::FILE* async_json = std::fopen("BENCH_async.json", "w");
-  if (async_json != nullptr) std::fprintf(async_json, "[\n");
+  EmitJson async_json("BENCH_async.json");
   for (int threads : kThreadCounts) {
     auto run_session = [&](bool async, AsyncStats* stats,
                            std::vector<size_t>* deletions) {
@@ -312,21 +304,16 @@ int main() {
          TablePrinter::Num(stats.speculations_committed, 0),
          TablePrinter::Num(stats.speculations_replayed, 0),
          TablePrinter::Num(stats.overlapped_iterations, 0)});
-    if (async_json != nullptr) {
-      std::fprintf(async_json,
-                   "  {\"threads\": %d, \"sync_s\": %.6f, \"async_s\": %.6f, "
-                   "\"speedup\": %.3f, \"speculations\": %d, \"committed\": %d, "
-                   "\"replayed\": %d, \"overlapped\": %d, "
-                   "\"bitwise_match\": true}%s\n",
-                   threads, sync_s, async_s, sync_s / async_s,
-                   stats.speculations_launched, stats.speculations_committed,
-                   stats.speculations_replayed, stats.overlapped_iterations,
-                   threads == last_threads ? "" : ",");
-    }
+    async_json.Row(StrFormat(
+        "{\"threads\": %d, \"sync_s\": %.6f, \"async_s\": %.6f, "
+        "\"speedup\": %.3f, \"speculations\": %d, \"committed\": %d, "
+        "\"replayed\": %d, \"overlapped\": %d, \"bitwise_match\": true}",
+        threads, sync_s, async_s, sync_s / async_s, stats.speculations_launched,
+        stats.speculations_committed, stats.speculations_replayed,
+        stats.overlapped_iterations));
   }
-  if (async_json != nullptr) {
-    std::fprintf(async_json, "]\n");
-    std::fclose(async_json);
+  if (async_json.ok()) {
+    async_json.Close();
     std::printf("async pipelining rows written to BENCH_async.json\n");
   }
   EmitTable("Parallel scaling: sync vs pipelined session (Fig. 5 DBLP)",
@@ -335,7 +322,6 @@ int main() {
   // Sharded pipeline: shard-count scaling with bitwise verification
   // against the unsharded sequential path (scores, HVPs, deletions).
   constexpr int kShardCounts[] = {1, 2, 4, 8};
-  const int last_shards = kShardCounts[std::size(kShardCounts) - 1];
   Dataset* train_mut = pipeline->train_data();
 
   // Unsharded sequential session reference for the deletion check.
@@ -357,8 +343,7 @@ int main() {
 
   TablePrinter shard_table({"shards", "score_all_s", "score_speedup", "hvp_s",
                             "hvp_speedup", "session_s", "session_speedup"});
-  std::FILE* shard_json = std::fopen("BENCH_shard.json", "w");
-  if (shard_json != nullptr) std::fprintf(shard_json, "[\n");
+  EmitJson shard_json("BENCH_shard.json");
   double shard_score_base = 0.0, shard_hvp_base = 0.0, shard_session_base = 0.0;
   for (int shards : kShardCounts) {
     ShardedDataset view(train_mut, ShardPlan::Uniform(train_mut->size(), shards));
@@ -409,21 +394,16 @@ int main() {
          TablePrinter::Num(hvp_s, 5), TablePrinter::Num(shard_hvp_base / hvp_s, 2),
          TablePrinter::Num(session_s, 4),
          TablePrinter::Num(shard_session_base / session_s, 2)});
-    if (shard_json != nullptr) {
-      std::fprintf(shard_json,
-                   "  {\"shards\": %d, \"score_all_s\": %.6f, \"score_speedup\": "
-                   "%.3f, \"hvp_s\": %.6f, \"hvp_speedup\": %.3f, "
-                   "\"session_s\": %.6f, \"session_speedup\": %.3f, "
-                   "\"bitwise_match\": true}%s\n",
-                   shards, score_s, shard_score_base / score_s, hvp_s,
-                   shard_hvp_base / hvp_s, session_s, shard_session_base / session_s,
-                   shards == last_shards ? "" : ",");
-    }
+    shard_json.Row(StrFormat(
+        "{\"shards\": %d, \"score_all_s\": %.6f, \"score_speedup\": %.3f, "
+        "\"hvp_s\": %.6f, \"hvp_speedup\": %.3f, \"session_s\": %.6f, "
+        "\"session_speedup\": %.3f, \"bitwise_match\": true}",
+        shards, score_s, shard_score_base / score_s, hvp_s,
+        shard_hvp_base / hvp_s, session_s, shard_session_base / session_s));
   }
   model->set_parallelism(1);
-  if (shard_json != nullptr) {
-    std::fprintf(shard_json, "]\n");
-    std::fclose(shard_json);
+  if (shard_json.ok()) {
+    shard_json.Close();
     std::printf("shard scaling rows written to BENCH_shard.json\n");
   }
   EmitTable("Shard scaling: ScoreAll / HVP / full session (Fig. 5 DBLP)",

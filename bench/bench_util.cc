@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <thread>
+#include <utility>
 
 namespace rain {
 namespace bench {
@@ -118,6 +119,29 @@ void EmitTable(const std::string& title, const TablePrinter& table) {
   std::printf("\n== %s ==\n%s", title.c_str(), table.ToText().c_str());
   std::printf("-- csv --\n%s", table.ToCsv().c_str());
   std::fflush(stdout);
+}
+
+EmitJson::EmitJson(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "w");
+  if (file_ != nullptr) std::fprintf(file_, "[\n");
+}
+
+EmitJson::~EmitJson() { Close(); }
+
+void EmitJson::Row(const std::string& object) {
+  if (file_ == nullptr) return;
+  // Comma-prefix style: each row is written complete, the separator
+  // lands when (and only when) a next row shows up. Keeps the file a
+  // valid prefix of the final array at every point in a long sweep.
+  std::fprintf(file_, "%s  %s", first_ ? "" : ",\n", object.c_str());
+  first_ = false;
+}
+
+void EmitJson::Close() {
+  if (file_ == nullptr) return;
+  std::fprintf(file_, first_ ? "]\n" : "\n]\n");
+  std::fclose(file_);
+  file_ = nullptr;
 }
 
 }  // namespace bench

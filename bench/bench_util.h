@@ -1,6 +1,7 @@
 #ifndef RAIN_BENCH_BENCH_UTIL_H_
 #define RAIN_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <string>
@@ -78,6 +79,44 @@ PhaseMeans MeanPhases(const MethodRun& run);
 
 /// Prints the table as text and appends its CSV to stdout (tagged).
 void EmitTable(const std::string& title, const TablePrinter& table);
+
+/// \brief Streaming writer for the BENCH_*.json row arrays.
+///
+/// Every bench driver records machine-readable rows next to its printed
+/// table (baselines under bench/baselines/). This helper owns the array
+/// framing so drivers only format row objects:
+///
+///     bench::EmitJson json("BENCH_foo.json");
+///     json.Row(StrFormat("{\"threads\": %d, \"s\": %.6f}", t, s));
+///     json.Close();
+///
+/// Output is byte-identical to the hand-rolled emitters it replaced:
+/// `[\n` header, rows two-space indented and comma-separated, `\n]\n`
+/// footer. A failed open degrades gracefully (ok() false, every call a
+/// no-op) — the bench still prints its tables, as before.
+class EmitJson {
+ public:
+  explicit EmitJson(std::string path);
+  ~EmitJson();  // Close()s if the caller did not.
+  EmitJson(const EmitJson&) = delete;
+  EmitJson& operator=(const EmitJson&) = delete;
+
+  /// False when the file could not be opened (or after Close()).
+  bool ok() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one row. `object` must be a complete JSON object literal
+  /// (typically built with StrFormat); the caller owns field formatting.
+  void Row(const std::string& object);
+
+  /// Writes the closing bracket and closes the file. Idempotent.
+  void Close();
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  bool first_ = true;
+};
 
 }  // namespace bench
 }  // namespace rain

@@ -342,5 +342,42 @@ Experiment AdultMultiQuery(const std::string& which, double corruption,
   return exp;
 }
 
+namespace {
+
+/// Wraps a generated scale-N workload into an Experiment: every catalog
+/// table (with or without predict() features) is registered, and the
+/// factory hands out pipelines over shared copies of the corrupted
+/// training set — same start state for every method, as elsewhere.
+Experiment ScaledExperiment(scale::ScaledWorkload workload, TrainConfig tc) {
+  Experiment exp;
+  exp.corrupted = std::move(workload.corrupted);
+  exp.workload = std::move(workload.workload);
+  auto tables =
+      std::make_shared<std::vector<scale::ScaledTable>>(std::move(workload.tables));
+  auto shared_train = std::make_shared<Dataset>(std::move(workload.train));
+  exp.make_pipeline = [tables, shared_train, tc]() {
+    Catalog catalog;
+    for (const scale::ScaledTable& t : *tables) {
+      RAIN_CHECK(catalog.AddTable(t.name, t.table, t.features).ok());
+    }
+    auto model = MakeModel(shared_train->num_features(),
+                           shared_train->num_classes(), /*use_mlp=*/false);
+    return std::make_unique<Query2Pipeline>(std::move(catalog), std::move(model),
+                                            *shared_train, tc);
+  };
+  return exp;
+}
+
+}  // namespace
+
+Experiment ScaledAdultExperiment(const scale::ScaleConfig& config, TrainConfig tc) {
+  return ScaledExperiment(scale::ScaledAdult(config), tc);
+}
+
+Experiment ScaledDblpJoinExperiment(const scale::ScaleConfig& config,
+                                    TrainConfig tc) {
+  return ScaledExperiment(scale::ScaledDblpJoin(config), tc);
+}
+
 }  // namespace bench
 }  // namespace rain

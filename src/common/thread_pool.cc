@@ -96,18 +96,12 @@ void RunChunk(const std::function<void(size_t, size_t, size_t)>& body, size_t be
   if (--batch->remaining == 0) batch->done.notify_all();
 }
 
-}  // namespace
-
-void ParallelFor(int parallelism, size_t n,
-                 const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
-  if (n == 0) return;
-  size_t chunks = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
-  if (chunks > n) chunks = n;
-  if (chunks <= 1) {
-    body(0, n, 0);
-    return;
-  }
-
+/// Shared fork/join core: runs `body` over [0, n) in exactly `chunks`
+/// contiguous near-equal chunks (callers compute `chunks` via
+/// ParallelChunkCount so the layout stays a pure function of the knobs).
+void ParallelForChunked(
+    size_t chunks, size_t n,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
   const size_t base = n / chunks;
   const size_t extra = n % chunks;  // first `extra` chunks get one more item
   auto batch = std::make_shared<Batch>();
@@ -144,15 +138,47 @@ void ParallelFor(int parallelism, size_t n,
   if (batch->first_exception) std::rethrow_exception(batch->first_exception);
 }
 
+}  // namespace
+
+size_t ParallelChunkCount(int parallelism, size_t n, size_t min_grain) {
+  if (n == 0) return 0;
+  size_t chunks = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
+  if (chunks > n) chunks = n;
+  if (min_grain > 1) {
+    // Cap the chunk count so every chunk holds at least min_grain
+    // iterations (the last chunk may hold fewer only when n < min_grain,
+    // where the loop collapses to a single inline chunk anyway).
+    const size_t cap = n / min_grain;
+    if (chunks > cap) chunks = cap < 1 ? 1 : cap;
+  }
+  return chunks;
+}
+
+void ParallelFor(int parallelism, size_t n, size_t min_grain,
+                 const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
+  if (n == 0) return;
+  const size_t chunks = ParallelChunkCount(parallelism, n, min_grain);
+  if (chunks <= 1) {
+    body(0, n, 0);
+    return;
+  }
+  ParallelForChunked(chunks, n, body);
+}
+
+void ParallelFor(int parallelism, size_t n,
+                 const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
+  ParallelFor(parallelism, n, /*min_grain=*/1, body);
+}
+
 bool ParallelForCancellable(
-    int parallelism, size_t n, const CancellationToken* cancel,
+    int parallelism, size_t n, size_t min_grain, const CancellationToken* cancel,
     const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
   if (cancel == nullptr) {
-    ParallelFor(parallelism, n, body);
+    ParallelFor(parallelism, n, min_grain, body);
     return true;
   }
   std::atomic<bool> skipped{false};
-  ParallelFor(parallelism, n,
+  ParallelFor(parallelism, n, min_grain,
               [&body, &skipped, cancel](size_t begin, size_t end, size_t chunk) {
                 if (cancel->ShouldStop()) {
                   skipped.store(true, std::memory_order_relaxed);
@@ -163,6 +189,12 @@ bool ParallelForCancellable(
   return !skipped.load(std::memory_order_relaxed);
 }
 
+bool ParallelForCancellable(
+    int parallelism, size_t n, const CancellationToken* cancel,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& body) {
+  return ParallelForCancellable(parallelism, n, /*min_grain=*/1, cancel, body);
+}
+
 void ParallelForEach(int parallelism, size_t n,
                      const std::function<void(size_t i)>& body) {
   ParallelFor(parallelism, n, [&body](size_t begin, size_t end, size_t) {
@@ -170,19 +202,24 @@ void ParallelForEach(int parallelism, size_t n,
   });
 }
 
-double ParallelSum(int parallelism, size_t n,
+double ParallelSum(int parallelism, size_t n, size_t min_grain,
                    const std::function<double(size_t begin, size_t end)>& body) {
   if (n == 0) return 0.0;
-  size_t chunks = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
-  if (chunks > n) chunks = n;
+  const size_t chunks = ParallelChunkCount(parallelism, n, min_grain);
   if (chunks <= 1) return body(0, n);
   std::vector<double> partial(chunks, 0.0);
-  ParallelFor(parallelism, n, [&body, &partial](size_t begin, size_t end, size_t chunk) {
-    partial[chunk] = body(begin, end);
-  });
+  ParallelForChunked(chunks, n,
+                     [&body, &partial](size_t begin, size_t end, size_t chunk) {
+                       partial[chunk] = body(begin, end);
+                     });
   double acc = 0.0;
   for (double p : partial) acc += p;
   return acc;
+}
+
+double ParallelSum(int parallelism, size_t n,
+                   const std::function<double(size_t begin, size_t end)>& body) {
+  return ParallelSum(parallelism, n, /*min_grain=*/1, body);
 }
 
 void ParallelForSeeded(

@@ -92,6 +92,16 @@ class AdmissionController {
   int acquired_ = 0;
 };
 
+/// \brief The deterministic chunk count of a (parallelism, n, min_grain)
+/// parallel loop: min(parallelism, n), further clamped so no chunk covers
+/// fewer than `min_grain` iterations (`min_grain <= 1` preserves the
+/// original min(parallelism, n) layout exactly).
+///
+/// A pure function of its three arguments — never of the pool size or of
+/// scheduling — so a chunk layout is always reproducible. Exposed so
+/// callers (and tests) can reason about the layout a loop will use.
+size_t ParallelChunkCount(int parallelism, size_t n, size_t min_grain);
+
 /// \brief Runs body(begin, end, chunk) over [0, n) split into
 /// min(parallelism, n) contiguous chunks whose sizes differ by at most one.
 ///
@@ -114,6 +124,22 @@ class AdmissionController {
 void ParallelFor(int parallelism, size_t n,
                  const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
 
+/// \brief ParallelFor with a minimum grain: the range is split into
+/// ParallelChunkCount(parallelism, n, min_grain) chunks, so tiny ranges
+/// stop spawning near-empty tasks whose fork/join handshake costs more
+/// than the work they carry.
+///
+/// min_grain is part of the deterministic layout function (chunks depend
+/// only on the three arguments); `min_grain <= 1` is byte-for-byte the
+/// plain ParallelFor layout. Kernels whose chunks write disjoint slots
+/// (per-record scores, per-row predictions) are bitwise layout-invariant
+/// and may pick any grain freely; chunk-ordered reductions get a
+/// *different deterministic* grouping per grain value, the same latitude
+/// they already have across parallelism values (see docs/architecture.md,
+/// "grain-size contract").
+void ParallelFor(int parallelism, size_t n, size_t min_grain,
+                 const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
+
 /// \brief Element-wise convenience over ParallelFor: body(i) for i in
 /// [0, n), chunked by the same deterministic layout.
 void ParallelForEach(int parallelism, size_t n,
@@ -134,6 +160,12 @@ bool ParallelForCancellable(
     int parallelism, size_t n, const CancellationToken* cancel,
     const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
 
+/// \brief ParallelForCancellable with a minimum grain (see the grain
+/// ParallelFor overload for layout semantics).
+bool ParallelForCancellable(
+    int parallelism, size_t n, size_t min_grain, const CancellationToken* cancel,
+    const std::function<void(size_t begin, size_t end, size_t chunk)>& body);
+
 /// \brief Deterministic parallel sum: each chunk reduces its range with
 /// `body(begin, end)`; partials are added in chunk order, so the result is a
 /// pure function of (parallelism, n, body).
@@ -145,6 +177,15 @@ bool ParallelForCancellable(
 ///        (the encode phase) use order-fixed reductions instead.
 /// \return the chunk-ordered sum of the partials.
 double ParallelSum(int parallelism, size_t n,
+                   const std::function<double(size_t begin, size_t end)>& body);
+
+/// \brief ParallelSum with a minimum grain. The partial-sum grouping
+/// follows ParallelChunkCount(parallelism, n, min_grain); as with the
+/// parallelism knob itself, DIFFERENT grain values group the summation
+/// differently and may differ at rounding level, so chunk-ordered
+/// reduction call sites keep grain fixed per knob setting (the in-tree
+/// kernels default to 1, preserving their recorded bitwise baselines).
+double ParallelSum(int parallelism, size_t n, size_t min_grain,
                    const std::function<double(size_t begin, size_t end)>& body);
 
 /// \brief ParallelFor with a deterministic per-chunk RNG.

@@ -1,7 +1,5 @@
 #include "influence/influence.h"
 
-#include <string>
-#include <type_traits>
 #include <utility>
 
 #include "common/logging.h"
@@ -11,31 +9,12 @@ namespace rain {
 
 namespace {
 
-/// Submits `body(shard, range)` as one TaskGraph task per shard, with at
-/// most `parallelism` tasks in flight (task s waits on task s-window — a
-/// sliding dependency window), returning the futures in shard order.
-/// Shared by the sharded ScoreAll / SelfInfluenceAll drivers so the
-/// concurrency-limiting mechanism has exactly one implementation.
-template <typename Fn>
-auto SubmitShardTasks(TaskGraph* graph, const ShardedDataset& shards,
-                      int parallelism, const char* name, Fn body)
-    -> std::vector<Future<std::invoke_result_t<Fn, size_t, ShardPlan::Range>>> {
-  using T = std::invoke_result_t<Fn, size_t, ShardPlan::Range>;
-  const size_t window = parallelism < 1 ? 1 : static_cast<size_t>(parallelism);
-  std::vector<TaskGraph::TaskId> ids(shards.num_shards());
-  std::vector<Future<T>> done;
-  done.reserve(shards.num_shards());
-  for (size_t s = 0; s < shards.num_shards(); ++s) {
-    const ShardPlan::Range range = shards.shard_range(s);
-    std::vector<TaskGraph::TaskId> deps;
-    if (s >= window) deps.push_back(ids[s - window]);
-    done.push_back(graph->Submit(
-        std::string(name) + "#" + std::to_string(s), deps,
-        [s, range, body](const CancellationToken&) { return body(s, range); },
-        &ids[s]));
-  }
-  return done;
-}
+/// Minimum records per scoring chunk: one record's work is a single
+/// example-gradient + dot product, far below a fork/join handshake, so
+/// tiny score vectors run in fewer, fuller chunks. Per-record scores are
+/// slot writes with no cross-record reduction, so the grain (like the
+/// worker count) can never change a score bitwise.
+constexpr size_t kScoreGrain = 256;
 
 }  // namespace
 
@@ -59,10 +38,10 @@ InfluenceScorer::InfluenceScorer(const Model* model, const Dataset* train,
   }
 }
 
-void InfluenceScorer::Hvp(const Vec& v, Vec* out) const {
+void InfluenceScorer::Hvp(const Vec& v, Vec* out, ShardScratch* scratch) const {
   if (options_.shards != nullptr) {
     model_->ShardedHessianVectorProduct(*options_.shards, v, options_.l2, out,
-                                        options_.cancel);
+                                        options_.cancel, scratch);
   } else {
     model_->HessianVectorProduct(*train_, v, options_.l2, out);
   }
@@ -73,7 +52,14 @@ Status InfluenceScorer::Prepare(const Vec& q_grad) {
   if (q_grad.size() != model_->num_params()) {
     return Status::InvalidArgument("q gradient size does not match model parameters");
   }
-  LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
+  // One CG solve = one sequential chain of HVPs: lend it one scratch so
+  // the per-shard coefficient buffers are allocated once, not per
+  // iteration. The scratch is local to this activation — a member would
+  // be shared with the concurrent CG solves SelfInfluenceAll runs.
+  ShardScratch scratch;
+  LinearOperator op = [this, &scratch](const Vec& v, Vec* out) {
+    Hvp(v, out, &scratch);
+  };
   RAIN_ASSIGN_OR_RETURN(CgReport report, ConjugateGradient(op, q_grad, options_.cg));
   s_ = std::move(report.x);
   cg_iterations_ = report.iterations;
@@ -112,26 +98,28 @@ std::vector<double> InfluenceScorer::ScoreAll() const {
   // interruption before acting on them (DebugSession checks at the rank
   // boundary).
   if (options_.shards != nullptr) {
-    // One task-graph task per shard, each writing its shard's slice of
+    // Shards fan out through ParallelForCancellable directly (used to be
+    // one TaskGraph task per shard; the per-call graph setup/teardown was
+    // pure fixed cost per scoring pass). Each shard writes its slice of
     // the score vector — the per-shard vectors are "merged" in shard
-    // order by construction. The token is polled per shard (task entry)
-    // and per record (ScoreRange), and the sliding window keeps at most
-    // `parallelism` shard tasks in flight, so the knob bounds resource
-    // usage here exactly as it does for the train-side shard passes
-    // (results are slice-disjoint either way).
-    TaskGraph graph;
-    auto done = SubmitShardTasks(
-        &graph, *options_.shards, options_.parallelism, "score-shard",
-        [this, &scores](size_t, ShardPlan::Range range) {
-          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
-            return false;
+    // order by construction — and the chunk count min(parallelism,
+    // num_shards) bounds in-flight shards exactly like the old sliding
+    // dependency window. The token is polled per shard and per record
+    // (ScoreRange); results are slice-disjoint either way.
+    const ShardedDataset& shards = *options_.shards;
+    ParallelForCancellable(
+        options_.parallelism, shards.num_shards(), options_.cancel,
+        [this, &scores, &shards](size_t begin, size_t end, size_t) {
+          for (size_t s = begin; s < end; ++s) {
+            if (options_.cancel != nullptr && options_.cancel->ShouldStop()) return;
+            const ShardPlan::Range range = shards.shard_range(s);
+            if (!ScoreRange(range.begin, range.end, &scores)) return;
           }
-          return ScoreRange(range.begin, range.end, &scores);
         });
-    for (Future<bool>& f : done) (void)f.Get();
     return scores;
   }
-  ParallelForCancellable(options_.parallelism, train_->size(), options_.cancel,
+  ParallelForCancellable(options_.parallelism, train_->size(), kScoreGrain,
+                         options_.cancel,
                          [this, &scores](size_t begin, size_t end, size_t) {
                            (void)ScoreRange(begin, end, &scores);
                          });
@@ -160,31 +148,41 @@ Status InfluenceScorer::SelfInfluenceRange(size_t begin, size_t end,
 }
 
 Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
-  LinearOperator op = [this](const Vec& v, Vec* out) { Hvp(v, out); };
   std::vector<double> scores(train_->size(), 0.0);
   // One CG solve per active record (the quadratic InfLoss bottleneck);
   // solves are independent, so partition records across workers — by
-  // shard (one task-graph task each) when a shard plan is installed,
-  // by deterministic chunk otherwise. Each partition stops at its first
-  // failing solve and records the status; the lowest-partition (i.e.
-  // lowest-record-index) failure is reported, so the returned status
-  // matches the sequential loop's regardless of scheduling.
+  // shard (fanned out through ParallelForCancellable, as in ScoreAll)
+  // when a shard plan is installed, by deterministic chunk otherwise.
+  // Each partition owns its own Hessian operator + ShardScratch (its CG
+  // chain is sequential, but partitions run concurrently, so the scratch
+  // cannot be shared) and stops at its first failing solve, recording the
+  // status; the lowest-partition (i.e. lowest-record-index) failure is
+  // reported, so the returned status matches the sequential loop's
+  // regardless of scheduling.
   if (options_.shards != nullptr) {
-    TaskGraph graph;
-    auto done = SubmitShardTasks(
-        &graph, *options_.shards, options_.parallelism, "self-influence-shard",
-        [this, &op, &scores](size_t, ShardPlan::Range range) {
-          if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
-            return Status::Cancelled("self-influence scoring interrupted");
+    const ShardedDataset& shards = *options_.shards;
+    std::vector<Status> shard_status(shards.num_shards(), Status::OK());
+    const bool complete = ParallelForCancellable(
+        options_.parallelism, shards.num_shards(), options_.cancel,
+        [&](size_t begin, size_t end, size_t) {
+          ShardScratch scratch;
+          LinearOperator op = [this, &scratch](const Vec& v, Vec* out) {
+            Hvp(v, out, &scratch);
+          };
+          for (size_t s = begin; s < end; ++s) {
+            if (options_.cancel != nullptr && options_.cancel->ShouldStop()) {
+              shard_status[s] = Status::Cancelled("self-influence scoring interrupted");
+              return;
+            }
+            const ShardPlan::Range range = shards.shard_range(s);
+            shard_status[s] = SelfInfluenceRange(range.begin, range.end, op, &scores);
+            if (!shard_status[s].ok()) return;
           }
-          return SelfInfluenceRange(range.begin, range.end, op, &scores);
         });
-    Status first = Status::OK();
-    for (Future<Status>& f : done) {
-      const Status status = f.Get();
-      if (first.ok() && !status.ok()) first = status;
+    for (const Status& status : shard_status) {
+      if (!status.ok()) return status;
     }
-    RAIN_RETURN_NOT_OK(first);
+    if (!complete) return Status::Cancelled("self-influence scoring interrupted");
     return scores;
   }
   const size_t max_chunks =
@@ -193,6 +191,10 @@ Result<std::vector<double>> InfluenceScorer::SelfInfluenceAll() const {
   const bool complete = ParallelForCancellable(
       options_.parallelism, train_->size(), options_.cancel,
       [&](size_t begin, size_t end, size_t chunk) {
+        ShardScratch scratch;
+        LinearOperator op = [this, &scratch](const Vec& v, Vec* out) {
+          Hvp(v, out, &scratch);
+        };
         chunk_status[chunk] = SelfInfluenceRange(begin, end, op, &scores);
       });
   for (const Status& status : chunk_status) {

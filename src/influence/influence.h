@@ -30,11 +30,11 @@ struct InfluenceOptions {
   const CancellationToken* cancel = nullptr;
   /// Optional sharded view over the SAME training set handed to the
   /// scorer (borrowed; must outlive any call). When set,
-  /// ScoreAll/SelfInfluenceAll run one TaskGraph task per shard (scores
-  /// land in the per-shard slices of one vector, i.e. merged in shard
-  /// order by construction; the cancel token is polled per shard and per
-  /// record) and the CG loop's Hessian-vector products go through the
-  /// models' shard-exact kernels. Results are bitwise-identical to the
+  /// ScoreAll/SelfInfluenceAll fan the shards out across at most
+  /// `parallelism` workers (scores land in the per-shard slices of one
+  /// vector, i.e. merged in shard order by construction; the cancel
+  /// token is polled per shard and per record) and the CG loop's
+  /// Hessian-vector products go through the models' shard-exact kernels. Results are bitwise-identical to the
   /// sequential scorer at every shard count x worker count; to keep that
   /// worker-invariance, `cg.parallelism` is pinned to 1 (sequential
   /// vector kernels) while sharding is on.
@@ -101,7 +101,11 @@ class InfluenceScorer {
   Result<std::vector<double>> SelfInfluenceAll() const;
 
  private:
-  void Hvp(const Vec& v, Vec* out) const;
+  /// (H + damping I) v. `scratch` (may be null) lends per-shard buffers
+  /// to the sharded HVP kernel; each sequential chain of Hvp calls (one
+  /// CG solve) owns its own scratch, because SelfInfluenceAll runs
+  /// solves concurrently.
+  void Hvp(const Vec& v, Vec* out, ShardScratch* scratch = nullptr) const;
   /// Scores rows [begin, end) into their slots of `scores`, polling the
   /// cancel token per record; returns false when interrupted.
   bool ScoreRange(size_t begin, size_t end, std::vector<double>* scores) const;

@@ -106,12 +106,18 @@ bool RunShardPass(int parallelism, const ShardedDataset& data,
 }  // namespace
 
 double Model::ShardedMeanLoss(const ShardedDataset& data, double l2,
-                              const CancellationToken* cancel) const {
+                              const CancellationToken* cancel,
+                              ShardScratch* scratch) const {
   const Dataset& base = data.base();
   RAIN_CHECK(base.num_active() > 0) << "loss over empty dataset";
   // Per-row losses computed shard-parallel, summed in global row order:
   // exactly the additions of the sequential loop, in the same order.
-  std::vector<Vec> losses(data.num_shards());
+  // Caller-lent scratch keeps the per-shard buffers warm across calls;
+  // without one, per-call buffers (pool-draining waits can re-enter this
+  // function on the calling thread, so no hidden thread_local/member).
+  std::vector<Vec> local;
+  std::vector<Vec>& losses = scratch != nullptr ? scratch->loss : local;
+  losses.resize(data.num_shards());
   const bool complete = RunShardPass(parallelism(), data, cancel, [&](size_t s) {
     const ShardPlan::Range range = data.shard_range(s);
     Vec& buf = losses[s];
@@ -141,8 +147,8 @@ double Model::ShardedMeanLoss(const ShardedDataset& data, double l2,
 }
 
 void Model::ShardedMeanLossGradient(const ShardedDataset& data, double l2,
-                                    Vec* grad,
-                                    const CancellationToken* cancel) const {
+                                    Vec* grad, const CancellationToken* cancel,
+                                    ShardScratch* scratch) const {
   const Dataset& base = data.base();
   RAIN_CHECK(base.num_active() > 0) << "gradient over empty dataset";
   grad->assign(num_params(), 0.0);
@@ -161,7 +167,11 @@ void Model::ShardedMeanLossGradient(const ShardedDataset& data, double l2,
       AddExampleLossGradient(base.row(i), base.label(i), grad);
     }
   } else {
-    std::vector<Vec> coeffs(data.num_shards());
+    // Scratch reuse is safe even across active-mask changes: the replay
+    // below reads exactly the active-row blocks this call's pass wrote.
+    std::vector<Vec> local;
+    std::vector<Vec>& coeffs = scratch != nullptr ? scratch->grad : local;
+    coeffs.resize(data.num_shards());
     const bool complete = RunShardPass(parallelism(), data, cancel, [&](size_t s) {
       const ShardPlan::Range range = data.shard_range(s);
       Vec& buf = coeffs[s];
@@ -194,7 +204,8 @@ void Model::ShardedMeanLossGradient(const ShardedDataset& data, double l2,
 
 void Model::ShardedHessianVectorProduct(const ShardedDataset& data, const Vec& v,
                                         double l2, Vec* out,
-                                        const CancellationToken* cancel) const {
+                                        const CancellationToken* cancel,
+                                        ShardScratch* scratch) const {
   const Dataset& base = data.base();
   RAIN_CHECK(v.size() == num_params()) << "HVP size mismatch";
   RAIN_CHECK(base.num_active() > 0) << "HVP over empty dataset";
@@ -206,11 +217,16 @@ void Model::ShardedHessianVectorProduct(const ShardedDataset& data, const Vec& v
     return;
   }
   out->assign(num_params(), 0.0);
-  // Per-call buffers by design: pool-draining waits can re-enter this
-  // function on the calling thread (a blocked ParallelFor helps run
-  // queued tasks, which may themselves score/solve), so a thread_local
-  // or member scratch would be live in two frames at once.
-  std::vector<Vec> coeffs(data.num_shards());
+  // Buffer ownership sits with the caller (or this frame) by design:
+  // pool-draining waits can re-enter this function on the calling thread
+  // (a blocked ParallelFor helps run queued tasks, which may themselves
+  // score/solve), so a thread_local or member scratch would be live in
+  // two frames at once. This is the hottest fixed cost in a CG solve —
+  // one allocation pass per Hessian-vector product — so callers in
+  // iterative loops should lend a ShardScratch.
+  std::vector<Vec> local;
+  std::vector<Vec>& coeffs = scratch != nullptr ? scratch->hvp : local;
+  coeffs.resize(data.num_shards());
   const bool complete = RunShardPass(parallelism(), data, cancel, [&](size_t s) {
     const ShardPlan::Range range = data.shard_range(s);
     Vec& buf = coeffs[s];

@@ -11,6 +11,29 @@
 
 namespace rain {
 
+/// \brief Reusable per-shard buffers for the Sharded* kernels.
+///
+/// Every sharded evaluation allocates one Vec per shard for losses or
+/// coefficient blocks; in hot loops (the L-BFGS objective, every CG
+/// iteration's HVP) those allocations are pure fixed cost. A caller that
+/// owns a scratch and passes it to consecutive calls keeps the buffers
+/// warm — results are bitwise-unchanged because the kernels fully
+/// overwrite every slot they later read (losses are assign()ed; the
+/// coefficient pass writes exactly the active-row blocks the ordered
+/// replay reads back).
+///
+/// Not thread-safe and not re-entrant: a scratch must be live in at most
+/// one kernel call at a time. In particular, the kernels themselves never
+/// fall back to a hidden thread_local/member scratch — pool-draining
+/// waits can re-enter them on the calling thread (a blocked ParallelFor
+/// helps run queued tasks, which may themselves score/solve), so
+/// ownership has to sit with a caller who can see its own call nesting.
+struct ShardScratch {
+  std::vector<Vec> loss;
+  std::vector<Vec> grad;
+  std::vector<Vec> hvp;
+};
+
 /// \brief Differentiable classification model.
 ///
 /// This is the contract the influence-function machinery (Section 4.1 of
@@ -136,18 +159,25 @@ class Model {
   /// bitwise-identical to `MeanLoss` at parallelism 1 for every shard
   /// count and worker count. `cancel` (borrowed, may be null) is polled
   /// once per shard; on a stop request the result is meaningless and the
-  /// caller must discard it at its own interruption check.
+  /// caller must discard it at its own interruption check. `scratch`
+  /// (borrowed, may be null) lends reusable per-shard buffers — see
+  /// ShardScratch for the aliasing rules; results are bitwise-identical
+  /// with or without it.
   double ShardedMeanLoss(const ShardedDataset& data, double l2,
-                         const CancellationToken* cancel = nullptr) const;
+                         const CancellationToken* cancel = nullptr,
+                         ShardScratch* scratch = nullptr) const;
   /// Shard-parallel grad of ShardedMeanLoss; overwrites `grad`. Same
-  /// bitwise and cancellation contract as ShardedMeanLoss.
+  /// bitwise, cancellation, and scratch contract as ShardedMeanLoss.
   void ShardedMeanLossGradient(const ShardedDataset& data, double l2, Vec* grad,
-                               const CancellationToken* cancel = nullptr) const;
+                               const CancellationToken* cancel = nullptr,
+                               ShardScratch* scratch = nullptr) const;
   /// Shard-parallel Hessian-vector product over active rows; overwrites
-  /// `out`. Same bitwise and cancellation contract as ShardedMeanLoss.
+  /// `out`. Same bitwise, cancellation, and scratch contract as
+  /// ShardedMeanLoss.
   void ShardedHessianVectorProduct(const ShardedDataset& data, const Vec& v,
                                    double l2, Vec* out,
-                                   const CancellationToken* cancel = nullptr) const;
+                                   const CancellationToken* cancel = nullptr,
+                                   ShardScratch* scratch = nullptr) const;
 
  private:
   int parallelism_ = 1;

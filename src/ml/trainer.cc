@@ -24,13 +24,21 @@ Result<TrainReport> TrainModel(Model* model, const Dataset& data,
 
   model->set_parallelism(config.parallelism);
 
-  Objective objective = [&, shards = config.shards](const Vec& theta, Vec* grad) {
+  // One scratch for the whole optimization: the objective is evaluated
+  // once per line-search probe, and the per-shard buffers it lends to the
+  // sharded kernels stay warm across evaluations (bitwise-identical
+  // results; shared_ptr because std::function requires copyable).
+  auto scratch = std::make_shared<ShardScratch>();
+  Objective objective = [&, shards = config.shards,
+                         scratch](const Vec& theta, Vec* grad) {
     model->set_params(theta);
     if (shards != nullptr) {
       // Shard-exact path: bitwise what the sequential loops produce, at
       // every shard count x worker count (see Model's shard kernels).
-      model->ShardedMeanLossGradient(*shards, config.l2, grad, config.cancel);
-      const double loss = model->ShardedMeanLoss(*shards, config.l2, config.cancel);
+      model->ShardedMeanLossGradient(*shards, config.l2, grad, config.cancel,
+                                     scratch.get());
+      const double loss =
+          model->ShardedMeanLoss(*shards, config.l2, config.cancel, scratch.get());
       // A stop request can interrupt the sharded kernels mid-evaluation,
       // leaving a partial gradient and a meaningless loss. Poison the
       // evaluation (+inf fails the line search's isfinite check) so a

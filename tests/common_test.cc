@@ -1,9 +1,13 @@
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <mutex>
 #include <numeric>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -329,6 +333,117 @@ TEST(ParallelForTest, NestedParallelSectionsDoNotDeadlock) {
     }
   });
   EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelChunkCountTest, PureFunctionOfKnobs) {
+  // No grain (<= 1): min(parallelism, n), parallelism clamped to >= 1.
+  EXPECT_EQ(ParallelChunkCount(4, 100, 0), 4u);
+  EXPECT_EQ(ParallelChunkCount(4, 100, 1), 4u);
+  EXPECT_EQ(ParallelChunkCount(8, 3, 1), 3u);
+  EXPECT_EQ(ParallelChunkCount(-2, 100, 1), 1u);
+  EXPECT_EQ(ParallelChunkCount(4, 0, 1), 0u);
+  // Grain caps the chunk count at n / min_grain (floor), never below 1.
+  EXPECT_EQ(ParallelChunkCount(8, 1000, 100), 8u);   // 1000/100 = 10 >= 8
+  EXPECT_EQ(ParallelChunkCount(8, 1000, 250), 4u);   // 1000/250 = 4
+  EXPECT_EQ(ParallelChunkCount(8, 1000, 300), 3u);   // floor(1000/300) = 3
+  EXPECT_EQ(ParallelChunkCount(8, 1000, 1000), 1u);
+  EXPECT_EQ(ParallelChunkCount(8, 99, 100), 1u);     // n < grain: one chunk
+  EXPECT_EQ(ParallelChunkCount(8, 100000, 5000), 8u);
+}
+
+TEST(ParallelForGrainTest, ChunkedMatchesSequentialAtEveryGrain) {
+  const size_t n = 10007;  // prime: uneven chunk boundaries at every layout
+  std::vector<double> expected(n);
+  for (size_t i = 0; i < n; ++i) expected[i] = static_cast<double>(i) * 1.25;
+  for (int par : {2, 8}) {
+    for (size_t grain : {size_t{1}, size_t{2}, size_t{64}, size_t{1000},
+                         size_t{5000}, size_t{100000}}) {
+      std::vector<double> out(n, 0.0);
+      ParallelFor(par, n, grain, [&out](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i)
+          out[i] = static_cast<double>(i) * 1.25;
+      });
+      EXPECT_EQ(out, expected) << "parallelism=" << par << " grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelForGrainTest, EveryChunkMeetsTheGrainWhenSplit) {
+  const size_t n = 1003;
+  for (size_t grain : {size_t{2}, size_t{100}, size_t{400}}) {
+    std::mutex mu;
+    std::vector<size_t> sizes;
+    ParallelFor(8, n, grain, [&](size_t begin, size_t end, size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      sizes.push_back(end - begin);
+    });
+    EXPECT_EQ(sizes.size(), ParallelChunkCount(8, n, grain));
+    if (sizes.size() > 1) {
+      for (size_t s : sizes) EXPECT_GE(s, grain) << "grain=" << grain;
+    }
+  }
+}
+
+TEST(ParallelForGrainTest, DefaultOverloadKeepsLegacyLayout) {
+  // The grain knob defaults to 1 everywhere: the two overloads must
+  // produce the identical chunk layout, or recorded bitwise baselines of
+  // chunk-ordered reductions would shift under callers' feet.
+  const size_t n = 103;
+  auto layout = [n](bool with_grain) {
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    auto body = [&](size_t begin, size_t end, size_t chunk) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(chunk, begin);
+      (void)end;
+    };
+    if (with_grain) {
+      ParallelFor(7, n, size_t{1}, body);
+    } else {
+      ParallelFor(7, n, body);
+    }
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  EXPECT_EQ(layout(true), layout(false));
+}
+
+TEST(ParallelSumGrainTest, DeterministicPerGrainAndCloseToSequential) {
+  const size_t n = 20000;
+  std::vector<double> v(n);
+  Rng rng(11);
+  for (double& x : v) x = rng.Uniform(-1.0, 1.0);
+  auto chunk_sum = [&v](size_t begin, size_t end) {
+    double acc = 0.0;
+    for (size_t i = begin; i < end; ++i) acc += v[i];
+    return acc;
+  };
+  const double seq = ParallelSum(1, n, chunk_sum);
+  for (size_t grain : {size_t{1}, size_t{128}, size_t{4096}, size_t{30000}}) {
+    const double a = ParallelSum(8, n, grain, chunk_sum);
+    const double b = ParallelSum(8, n, grain, chunk_sum);
+    EXPECT_EQ(a, b) << "same (parallelism, grain) must reproduce bitwise";
+    EXPECT_NEAR(a, seq, 1e-9) << "grain=" << grain;
+  }
+  // Grain big enough to collapse to one chunk is bitwise sequential.
+  EXPECT_EQ(ParallelSum(8, n, size_t{30000}, chunk_sum), seq);
+  // Default overload == explicit grain 1 (same partial grouping).
+  EXPECT_EQ(ParallelSum(8, n, size_t{1}, chunk_sum), ParallelSum(8, n, chunk_sum));
+}
+
+TEST(ParallelForCancellableGrainTest, UncancelledRunsEverythingOnce) {
+  const size_t n = 501;
+  CancellationToken cancel;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h = 0;
+  EXPECT_TRUE(ParallelForCancellable(
+      8, n, size_t{64}, &cancel, [&hits](size_t begin, size_t end, size_t) {
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      }));
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  cancel.Cancel();
+  EXPECT_FALSE(ParallelForCancellable(8, n, size_t{64}, &cancel,
+                                      [](size_t, size_t, size_t) {}));
 }
 
 TEST(ParallelSumTest, DeterministicAndCloseToSequential) {

@@ -1,0 +1,122 @@
+/// End-to-end determinism on a generated scale-N workload
+/// (src/data/scale_gen.h, scale 0.1 = 10^4 Adult training rows): the
+/// debugger's deletion sequence must be bitwise identical to the
+/// 1-worker unsharded sync reference at every worker count x shard
+/// count, sync and async. This is the session-level pin for the
+/// fixed-cost work (grain-size control, scratch reuse, shard fan-out):
+/// none of it may move a single deletion.
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/session.h"
+#include "data/scale_gen.h"
+#include "gtest/gtest.h"
+#include "ml/logistic_regression.h"
+#include "ml/trainer.h"
+
+namespace rain {
+namespace {
+
+/// Shard counts for the sync sweep: RAIN_TEST_SHARDS when set (the CI
+/// sharded leg runs the suite at exactly that count), else {1, 4}.
+std::vector<int> TestShardCounts() {
+  if (const char* env = std::getenv("RAIN_TEST_SHARDS")) {
+    const int s = std::atoi(env);
+    if (s >= 1) return {s};
+  }
+  return {1, 4};
+}
+
+/// The scale-0.1 Adult workload, generated once for the whole suite
+/// (generation itself is pinned worker-invariant by scale_gen_test).
+const scale::ScaledWorkload& Workload() {
+  static const scale::ScaledWorkload* workload = [] {
+    scale::ScaleConfig config;
+    config.scale = 0.1;
+    config.seed = 29;
+    config.workers = 2;
+    return new scale::ScaledWorkload(scale::ScaledAdult(config));
+  }();
+  return *workload;
+}
+
+std::unique_ptr<Query2Pipeline> MakePipeline(const scale::ScaledWorkload& w) {
+  Catalog catalog;
+  for (const scale::ScaledTable& t : w.tables) {
+    RAIN_CHECK(catalog.AddTable(t.name, t.table, t.features).ok());
+  }
+  // Capped iterations keep the repeated retrains cheap; every run uses
+  // the same cap, so the theta sequence is identical across configs.
+  TrainConfig tc;
+  tc.max_iters = 60;
+  auto model = std::make_unique<LogisticRegression>(w.train.num_features());
+  return std::make_unique<Query2Pipeline>(std::move(catalog), std::move(model),
+                                          w.train, tc);
+}
+
+/// One full debug run; returns the deletion sequence. `shards` 0 =
+/// unsharded, >= 1 = sharded execution at that count.
+std::vector<size_t> RunOnce(int workers, int shards, bool async) {
+  const scale::ScaledWorkload& w = Workload();
+  auto pipeline = MakePipeline(w);
+  RAIN_CHECK(pipeline->Train().ok());
+  auto session = DebugSessionBuilder(pipeline.get())
+                     .ranker("holistic")
+                     .top_k_per_iter(10)
+                     .max_deletions(20)
+                     .set_execution(ExecutionOptions()
+                                        .set_parallelism(workers)
+                                        .set_num_shards(shards))
+                     .workload(w.workload)
+                     .Build();
+  RAIN_CHECK(session.ok()) << session.status().ToString();
+  auto report = async ? (*session)->RunToCompletionAsync().Get()
+                      : (*session)->RunToCompletion();
+  RAIN_CHECK(report.ok()) << report.status().ToString();
+  return report->deletions;
+}
+
+class ScaleSessionTest : public ::testing::Test {
+ protected:
+  /// Reference: 1 worker, unsharded, synchronous.
+  static const std::vector<size_t>& Reference() {
+    static const std::vector<size_t> ref = RunOnce(1, 0, /*async=*/false);
+    return ref;
+  }
+};
+
+TEST_F(ScaleSessionTest, ReferenceRunDeletesCorruptedRows) {
+  const std::vector<size_t>& ref = Reference();
+  ASSERT_FALSE(ref.empty());
+  // The workload is debuggable, not just runnable: the complaint-driven
+  // ranking must actually surface planted corruption.
+  size_t hits = 0;
+  for (size_t d : ref) {
+    for (size_t c : Workload().corrupted) hits += (d == c);
+  }
+  EXPECT_GT(hits, 0u) << "no deleted row was a corrupted row";
+}
+
+TEST_F(ScaleSessionTest, SyncDeletionSequenceInvariantAcrossWorkersAndShards) {
+  for (int workers : {1, 2, 8}) {
+    for (int shards : TestShardCounts()) {
+      SCOPED_TRACE("workers=" + std::to_string(workers) +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(RunOnce(workers, shards, /*async=*/false), Reference());
+    }
+  }
+}
+
+TEST_F(ScaleSessionTest, AsyncPipelinedRunMatchesReference) {
+  const std::vector<int> shard_counts = TestShardCounts();
+  // The speculative train/rank overlap must not move a deletion either;
+  // two corners of the grid keep the async runs affordable.
+  EXPECT_EQ(RunOnce(2, shard_counts.front(), /*async=*/true), Reference());
+  EXPECT_EQ(RunOnce(8, shard_counts.back(), /*async=*/true), Reference());
+}
+
+}  // namespace
+}  // namespace rain
