@@ -1,23 +1,41 @@
-/// Microbenchmarks of Rain's hot kernels (google-benchmark): HVPs, the
-/// conjugate-gradient Hessian solve, relaxed-polynomial evaluation and
-/// reverse-mode gradients, joins with model predicates, ILP solves, the
-/// LIKE matcher, SQL parsing and L-BFGS training.
-#include <benchmark/benchmark.h>
+/// Microbenchmarks of the vec::simd dispatch layer and the kernels built
+/// on it: scalar-vs-SIMD timings for Dot/Axpy/GEMV/GEMM, the ml
+/// coefficient passes (logistic/softmax/MLP HVPs), and the relaxed
+/// polynomial sweeps. Self-driven (no external benchmark framework):
+/// each row times the same closure under ForceScalar(true) and under the
+/// runtime-dispatched backend, and reports the speedup. Rows stream to
+/// BENCH_micro.json (baseline under bench/baselines/).
+///
+/// `--verify` skips the timings and instead runs the determinism-contract
+/// checks (fast enough for the CI scale-smoke leg):
+///   * ELEMENTWISE (MulAdd/MulAdd2) and SHAPED-REDUCTION (Dot2, gathers)
+///     kernels must match the scalar fallback BITWISE;
+///   * REDUCTION kernels (Dot, Gemv) must be deterministic per backend
+///     and within 1e-9 relative of scalar;
+///   * the row-partitioned Matrix paths (MatVec, MatMul) must be BITWISE
+///     identical across 1/2/8 workers.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/string_util.h"
-#include "data/mnist.h"
-#include "ilp/solver.h"
-#include "influence/conjugate_gradient.h"
+#include "common/timer.h"
+#include "ml/dataset.h"
 #include "ml/logistic_regression.h"
 #include "ml/mlp.h"
 #include "ml/softmax_regression.h"
-#include "ml/trainer.h"
 #include "provenance/poly.h"
 #include "relax/relaxed_poly.h"
-#include "sql/parser.h"
+#include "tensor/matrix.h"
+#include "tensor/vector_ops.h"
 
-namespace rain {
+using namespace rain;         // NOLINT
+using namespace rain::bench;  // NOLINT
+
 namespace {
 
 Dataset RandomDataset(size_t n, size_t d, int classes, uint64_t seed) {
@@ -31,171 +49,325 @@ Dataset RandomDataset(size_t n, size_t d, int classes, uint64_t seed) {
   return Dataset(std::move(x), std::move(y), classes);
 }
 
-void BM_LogisticHvp(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Dataset d = RandomDataset(n, 17, 2, 1);
-  LogisticRegression m(17);
-  Vec v(m.num_params(), 0.5);
-  Vec out;
-  for (auto _ : state) {
-    m.HessianVectorProduct(d, v, 1e-3, &out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+Vec RandomVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Vec v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return v;
 }
-BENCHMARK(BM_LogisticHvp)->Arg(500)->Arg(2000)->Arg(8000);
 
-void BM_SoftmaxHvp(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Dataset d = RandomDataset(n, 64, 10, 2);
-  SoftmaxRegression m(64, 10);
-  Vec v(m.num_params(), 0.1);
-  Vec out;
-  for (auto _ : state) {
-    m.HessianVectorProduct(d, v, 1e-3, &out);
-    benchmark::DoNotOptimize(out.data());
+/// Seconds per call of fn(), timed over enough repetitions to fill
+/// ~80ms of wall-clock (best of 3 batches).
+template <typename Fn>
+double TimePerCall(Fn&& fn) {
+  // Calibrate the batch size.
+  int reps = 1;
+  for (;;) {
+    Timer t;
+    for (int i = 0; i < reps; ++i) fn();
+    if (t.ElapsedSeconds() > 0.02 || reps >= (1 << 22)) break;
+    reps *= 4;
   }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_SoftmaxHvp)->Arg(500)->Arg(2000);
-
-void BM_MlpPearlmutterHvp(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Dataset d = RandomDataset(n, 64, 10, 3);
-  Mlp m(64, 24, 10);
-  Vec v(m.num_params(), 0.01);
-  Vec out;
-  for (auto _ : state) {
-    m.HessianVectorProduct(d, v, 1e-3, &out);
-    benchmark::DoNotOptimize(out.data());
+  double best = 1e100;
+  for (int batch = 0; batch < 3; ++batch) {
+    Timer t;
+    for (int i = 0; i < reps; ++i) fn();
+    best = std::min(best, t.ElapsedSeconds() / reps);
   }
-  state.SetItemsProcessed(state.iterations() * n);
+  return best;
 }
-BENCHMARK(BM_MlpPearlmutterHvp)->Arg(200)->Arg(800);
 
-void BM_CgHessianSolve(benchmark::State& state) {
-  const size_t n = static_cast<size_t>(state.range(0));
-  Dataset d = RandomDataset(n, 17, 2, 4);
-  LogisticRegression m(17);
-  TrainConfig tc;
-  (void)TrainModel(&m, d, tc);
-  LinearOperator op = [&](const Vec& v, Vec* out) {
-    m.HessianVectorProduct(d, v, tc.l2, out);
-  };
-  Vec b(m.num_params(), 1.0);
-  for (auto _ : state) {
-    auto r = ConjugateGradient(op, b);
-    benchmark::DoNotOptimize(r.ok());
-  }
+volatile double g_sink = 0.0;
+
+struct KernelRow {
+  std::string kernel;
+  int64_t n = 0;
+  double scalar_s = 0.0;
+  double simd_s = 0.0;
+};
+
+/// Times fn() under the scalar fallback and under the dispatched backend.
+template <typename Fn>
+KernelRow TimeKernel(const std::string& kernel, int64_t n, Fn&& fn) {
+  KernelRow row;
+  row.kernel = kernel;
+  row.n = n;
+  const bool prev = vec::simd::ForceScalar(true);
+  row.scalar_s = TimePerCall(fn);
+  vec::simd::ForceScalar(false);
+  row.simd_s = TimePerCall(fn);
+  vec::simd::ForceScalar(prev);
+  return row;
 }
-BENCHMARK(BM_CgHessianSolve)->Arg(500)->Arg(2000);
 
-PolyArena* MakeCountArena(size_t rows, PolyId* root) {
-  auto* arena = new PolyArena();
+PolyId MakeCountPoly(PolyArena* arena, size_t rows) {
   std::vector<PolyId> terms;
   for (size_t r = 0; r < rows; ++r) {
     terms.push_back(arena->Var(PredVar{0, static_cast<int64_t>(r), 1}));
   }
-  *root = arena->Add(terms);
-  return arena;
+  return arena->Add(std::move(terms));
 }
 
-void BM_RelaxEvaluate(benchmark::State& state) {
-  PolyId root;
-  std::unique_ptr<PolyArena> arena(MakeCountArena(state.range(0), &root));
-  RelaxedPoly poly(arena.get(), root);
-  Vec probs(arena->num_vars(), 0.3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(poly.Evaluate(probs));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_RelaxEvaluate)->Arg(1000)->Arg(10000)->Arg(100000);
-
-void BM_RelaxGradient(benchmark::State& state) {
+PolyId MakeJoinPoly(PolyArena* arena, int side) {
   // Join-shaped polynomial: sum over pairs of OR_c AND(vl, vr).
-  const int side = static_cast<int>(state.range(0));
-  PolyArena arena;
   std::vector<PolyId> pairs;
   for (int l = 0; l < side; ++l) {
     for (int r = 0; r < side; ++r) {
       std::vector<PolyId> ors;
       for (int c = 0; c < 10; ++c) {
-        ors.push_back(arena.And({arena.Var(PredVar{0, l, c}),
-                                 arena.Var(PredVar{1, r, c})}));
+        ors.push_back(arena->And({arena->Var(PredVar{0, l, c}),
+                                  arena->Var(PredVar{1, r, c})}));
       }
-      pairs.push_back(arena.Or(std::move(ors)));
+      pairs.push_back(arena->Or(std::move(ors)));
     }
   }
-  const PolyId root = arena.Add(std::move(pairs));
-  RelaxedPoly poly(&arena, root);
-  Vec probs(arena.num_vars(), 0.1);
-  Vec grad;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(poly.Gradient(probs, &grad));
-  }
-  state.SetItemsProcessed(state.iterations() * side * side);
+  return arena->Add(std::move(pairs));
 }
-BENCHMARK(BM_RelaxGradient)->Arg(10)->Arg(30);
 
-void BM_IlpCountDecomposition(benchmark::State& state) {
-  const int rows = static_cast<int>(state.range(0));
-  IlpProblem p;
-  std::vector<int> class1;
-  Rng rng(5);
-  for (int r = 0; r < rows; ++r) {
-    const int cur = static_cast<int>(rng.UniformInt(2));
-    const int v0 = p.AddVar(cur == 0 ? 0.0 : 1.0);
-    const int v1 = p.AddVar(cur == 1 ? 0.0 : 1.0);
-    p.AddCardinality({v0, v1}, ConstraintSense::kEq, 1.0);
-    class1.push_back(v1);
-  }
-  p.AddCardinality(class1, ConstraintSense::kEq,
-                   static_cast<double>(2 * rows / 3));
-  IlpSolveOptions opts;
-  opts.coupling_constraint = static_cast<int>(p.num_constraints()) - 1;
-  uint64_t seed = 0;
-  for (auto _ : state) {
-    opts.seed = ++seed;
-    auto sol = SolveIlp(p, opts);
-    benchmark::DoNotOptimize(sol.ok());
-  }
-  state.SetItemsProcessed(state.iterations() * rows);
-}
-BENCHMARK(BM_IlpCountDecomposition)->Arg(100)->Arg(1000)->Arg(5000);
+// ---------------------------------------------------------------- timings
 
-void BM_LbfgsTrainLogistic(benchmark::State& state) {
-  Dataset d = RandomDataset(static_cast<size_t>(state.range(0)), 17, 2, 6);
-  for (auto _ : state) {
+int RunTimings() {
+  std::printf("vec::simd micro-kernels (backend: %s)\n", vec::simd::Backend());
+  const bool one_core = OneCoreMachine();
+
+  std::vector<KernelRow> rows;
+
+  for (const size_t n : {64u, 1024u, 16384u}) {
+    const Vec x = RandomVec(n, 1), y = RandomVec(n, 2);
+    rows.push_back(TimeKernel("dot", static_cast<int64_t>(n), [&] {
+      g_sink = vec::simd::Dot(x.data(), y.data(), n);
+    }));
+  }
+  for (const size_t n : {64u, 1024u, 16384u}) {
+    const Vec x = RandomVec(n, 3);
+    Vec y = RandomVec(n, 4);
+    rows.push_back(TimeKernel("axpy", static_cast<int64_t>(n), [&] {
+      vec::simd::Axpy(1e-9, x.data(), y.data(), n);
+    }));
+  }
+  {
+    const size_t r = 256, c = 256;
+    const Vec a = RandomVec(r * c, 5), x = RandomVec(c, 6);
+    Vec out(r);
+    rows.push_back(TimeKernel("gemv", static_cast<int64_t>(r * c), [&] {
+      vec::simd::Gemv(a.data(), r, c, x.data(), out.data());
+    }));
+    rows.push_back(TimeKernel("gemv_t", static_cast<int64_t>(r * c), [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      vec::simd::GemvT(a.data(), r, c, x.data(), out.data());
+    }));
+  }
+  {
+    const size_t m = 128, k = 128, n2 = 128;
+    const Vec a = RandomVec(m * k, 7), b = RandomVec(k * n2, 8);
+    Vec out(m * n2);
+    rows.push_back(TimeKernel("gemm", static_cast<int64_t>(m * k * n2), [&] {
+      std::fill(out.begin(), out.end(), 0.0);
+      vec::simd::Gemm(a.data(), m, k, b.data(), n2, out.data());
+    }));
+  }
+  {
+    Dataset d = RandomDataset(2000, 17, 2, 1);
     LogisticRegression m(17);
-    auto r = TrainModel(&m, d);
-    benchmark::DoNotOptimize(r.ok());
+    Vec v(m.num_params(), 0.5), out;
+    rows.push_back(TimeKernel("logistic_hvp", 2000, [&] {
+      m.HessianVectorProduct(d, v, 1e-3, &out);
+    }));
   }
-}
-BENCHMARK(BM_LbfgsTrainLogistic)->Arg(500)->Arg(2000);
+  {
+    Dataset d = RandomDataset(500, 64, 10, 2);
+    SoftmaxRegression m(64, 10);
+    Vec v(m.num_params(), 0.1), out;
+    rows.push_back(TimeKernel("softmax_hvp", 500, [&] {
+      m.HessianVectorProduct(d, v, 1e-3, &out);
+    }));
+  }
+  {
+    Dataset d = RandomDataset(200, 64, 10, 3);
+    Mlp m(64, 24, 10);
+    Vec v(m.num_params(), 0.01), out;
+    rows.push_back(TimeKernel("mlp_hvp", 200, [&] {
+      m.HessianVectorProduct(d, v, 1e-3, &out);
+    }));
+  }
+  {
+    PolyArena arena;
+    const PolyId root = MakeCountPoly(&arena, 10000);
+    RelaxedPoly poly(&arena, root);
+    const Vec probs(arena.num_vars(), 0.3);
+    rows.push_back(TimeKernel("relax_forward", 10000, [&] {
+      g_sink = poly.Evaluate(probs);
+    }));
+  }
+  {
+    PolyArena arena;
+    const PolyId root = MakeJoinPoly(&arena, 10);
+    RelaxedPoly poly(&arena, root);
+    const Vec probs(arena.num_vars(), 0.1);
+    Vec grad;
+    rows.push_back(TimeKernel("relax_gradient", 100, [&] {
+      g_sink = poly.Gradient(probs, &grad);
+    }));
+  }
 
-void BM_LikeMatch(benchmark::State& state) {
-  const std::string text =
-      "tok1 tok2 tok3 http tok4 tok5 deal tok6 tok7 tok8 tok9 tok10";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(LikeMatch(text, "%http%"));
-    benchmark::DoNotOptimize(LikeMatch(text, "%missing%"));
+  TablePrinter table({"kernel", "n", "scalar us", "simd us", "speedup"});
+  EmitJson json("BENCH_micro.json");
+  for (const KernelRow& r : rows) {
+    const double speedup = r.simd_s > 0.0 ? r.scalar_s / r.simd_s : 0.0;
+    table.AddRow({r.kernel, StrFormat("%lld", static_cast<long long>(r.n)),
+                  StrFormat("%.3f", r.scalar_s * 1e6),
+                  StrFormat("%.3f", r.simd_s * 1e6), StrFormat("%.2fx", speedup)});
+    json.Row(StrFormat("{\"kernel\": \"%s\", \"n\": %lld, \"scalar_s\": %.9f, "
+                       "\"simd_s\": %.9f, \"speedup\": %.3f, \"backend\": "
+                       "\"%s\", \"one_core\": %s}",
+                       r.kernel.c_str(), static_cast<long long>(r.n), r.scalar_s,
+                       r.simd_s, speedup, vec::simd::Backend(),
+                       one_core ? "true" : "false"));
   }
+  json.Close();
+  EmitTable("micro-kernels", table);
+  std::printf("wrote %s\n", json.path().c_str());
+  return 0;
 }
-BENCHMARK(BM_LikeMatch);
 
-void BM_ParseSql(benchmark::State& state) {
-  const std::string q =
-      "SELECT gender, AVG(predict(*)) AS avg_income FROM adult "
-      "WHERE agedecade >= 2 AND text LIKE '%x%' GROUP BY gender";
-  for (auto _ : state) {
-    auto r = sql::ParseSelect(q);
-    benchmark::DoNotOptimize(r.ok());
-  }
+// ----------------------------------------------------------------- verify
+
+int g_failures = 0;
+
+void Check(bool ok, const std::string& what) {
+  std::printf("%-58s %s\n", what.c_str(), ok ? "PASS" : "FAIL");
+  if (!ok) ++g_failures;
 }
-BENCHMARK(BM_ParseSql);
+
+bool BitwiseEq(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+int RunVerify() {
+  std::printf("vec::simd determinism contracts (backend: %s)\n",
+              vec::simd::Backend());
+  const size_t kN = 1037;  // odd length exercises the scalar tails
+  const Vec x = RandomVec(kN, 11), y = RandomVec(kN, 12);
+  std::vector<int32_t> idx(kN);
+  {
+    Rng rng(13);
+    for (size_t i = 0; i < kN; ++i) {
+      idx[i] = static_cast<int32_t>(rng.UniformInt(kN));
+    }
+  }
+  Vec probs = RandomVec(kN, 14);
+  for (double& p : probs) p = 0.5 + 0.4 * std::tanh(p);  // (0.1, 0.9)
+
+  // ELEMENTWISE: bitwise identical across backends.
+  {
+    Vec a = y, b = y;
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::MulAdd(1.7, x.data(), a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::MulAdd(1.7, x.data(), b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(a, b), "MulAdd scalar == simd (bitwise)");
+  }
+  {
+    Vec a = y, b = y;
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::MulAdd2(1.3, x.data(), -0.7, y.data(), a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::MulAdd2(1.3, x.data(), -0.7, y.data(), b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(a, b), "MulAdd2 scalar == simd (bitwise)");
+  }
+
+  // SHAPED-REDUCTION: scalar fallback replicates the lane shape, bitwise.
+  {
+    const bool prev = vec::simd::ForceScalar(true);
+    const double s_dot2 = vec::simd::Dot2(x.data(), y.data(), y.data(), x.data(), kN);
+    const double s_gs = vec::simd::GatherSum(probs.data(), idx.data(), kN);
+    const double s_gp = vec::simd::GatherProd(probs.data(), idx.data(), kN);
+    const double s_gm = vec::simd::GatherProdOneMinus(probs.data(), idx.data(), kN);
+    vec::simd::ForceScalar(false);
+    Check(s_dot2 == vec::simd::Dot2(x.data(), y.data(), y.data(), x.data(), kN),
+          "Dot2 scalar == simd (bitwise)");
+    Check(s_gs == vec::simd::GatherSum(probs.data(), idx.data(), kN),
+          "GatherSum scalar == simd (bitwise)");
+    Check(s_gp == vec::simd::GatherProd(probs.data(), idx.data(), kN),
+          "GatherProd scalar == simd (bitwise)");
+    Check(s_gm == vec::simd::GatherProdOneMinus(probs.data(), idx.data(), kN),
+          "GatherProdOneMinus scalar == simd (bitwise)");
+    vec::simd::ForceScalar(prev);
+  }
+
+  // REDUCTION: deterministic per backend, 1e-9-relative across backends.
+  {
+    const double d1 = vec::simd::Dot(x.data(), y.data(), kN);
+    const double d2 = vec::simd::Dot(x.data(), y.data(), kN);
+    Check(d1 == d2, "Dot deterministic (same backend, bitwise)");
+    const bool prev = vec::simd::ForceScalar(true);
+    const double ds = vec::simd::Dot(x.data(), y.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(std::fabs(d1 - ds) <= 1e-9 * (1.0 + std::fabs(ds)),
+          "Dot scalar ~= simd (1e-9 relative)");
+  }
+
+  // Worker-count invariance of the row-partitioned Matrix paths.
+  {
+    const size_t r = 97, c = 61;
+    Matrix m(r, c);
+    {
+      Rng rng(15);
+      for (size_t i = 0; i < r; ++i) {
+        for (size_t j = 0; j < c; ++j) m.At(i, j) = rng.Gaussian();
+      }
+    }
+    const Vec v = RandomVec(c, 16);
+    const Vec seq = m.MatVec(v);
+    Check(BitwiseEq(seq, m.MatVec(v, 2)) && BitwiseEq(seq, m.MatVec(v, 8)),
+          "MatVec bitwise across 1/2/8 workers");
+    Matrix b(c, r);
+    {
+      Rng rng(17);
+      for (size_t i = 0; i < c; ++i) {
+        for (size_t j = 0; j < r; ++j) b.At(i, j) = rng.Gaussian();
+      }
+    }
+    const Matrix p1 = MatMul(m, b, 1);
+    const Matrix p2 = MatMul(m, b, 2);
+    const Matrix p8 = MatMul(m, b, 8);
+    Check(BitwiseEq(p1.data(), p2.data()) && BitwiseEq(p1.data(), p8.data()),
+          "MatMul bitwise across 1/2/8 workers");
+  }
+
+  // Shard-exact ml coefficient passes: the sharded mean must replay the
+  // direct path's bits (both route through the same kernels).
+  {
+    Dataset d = RandomDataset(256, 17, 2, 18);
+    LogisticRegression m(17);
+    m.set_params(RandomVec(m.num_params(), 19));
+    const Vec v = RandomVec(m.num_params(), 20);
+    Vec direct;
+    m.HessianVectorProduct(d, v, 1e-3, &direct);
+    const bool prev = vec::simd::ForceScalar(true);
+    Vec scalar;
+    m.HessianVectorProduct(d, v, 1e-3, &scalar);
+    vec::simd::ForceScalar(prev);
+    bool close = scalar.size() == direct.size();
+    for (size_t i = 0; close && i < direct.size(); ++i) {
+      close = std::fabs(direct[i] - scalar[i]) <=
+              1e-9 * (1.0 + std::fabs(scalar[i]));
+    }
+    Check(close, "Logistic HVP scalar ~= simd (1e-9 relative)");
+  }
+
+  std::printf("%s\n", g_failures == 0 ? "ALL CHECKS PASSED" : "FAILURES");
+  return g_failures == 0 ? 0 : 1;
+}
 
 }  // namespace
-}  // namespace rain
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--verify") == 0) return RunVerify();
+  }
+  return RunTimings();
+}

@@ -35,6 +35,26 @@ int BenchThreads() {
   return hw >= 1 ? hw : 1;
 }
 
+bool OneCoreMachine() {
+  static const bool one_core = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    if (hc > 1) return false;
+    std::fprintf(
+        stderr,
+        "*** WARNING: hardware_concurrency=%u — this is a single-core "
+        "machine.\n"
+        "*** Parallel speedup columns will degenerate to ~1x and wall-clock "
+        "baselines\n"
+        "*** recorded here are NOT comparable to multi-core baselines. JSON "
+        "rows will\n"
+        "*** carry \"one_core\": true so downstream tooling can tell them "
+        "apart.\n",
+        hc);
+    return true;
+  }();
+  return one_core;
+}
+
 void ProgressObserver::OnIterationStart(int iteration, const DebugReport& report) {
   std::fprintf(stderr, "[%s] iter %d start (|D|=%zu)\n", method_.c_str(), iteration,
                report.deletions.size());

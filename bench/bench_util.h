@@ -45,6 +45,15 @@ bool ProgressRequested();
 /// masquerade as a hardware-concurrency run.
 int BenchThreads();
 
+/// \brief True when the machine reports a single hardware thread.
+///
+/// The first call prints a loud warning to stderr (parallel speedups
+/// degenerate to ~1x, wall-clock baselines are incomparable to multi-core
+/// ones). Bench drivers that emit JSON rows should include
+/// `"one_core": true` in every row when this returns true, so recorded
+/// baselines are recognizable.
+bool OneCoreMachine();
+
 /// One debugger run of one method. `ok == false` records solver/budget
 /// failures (e.g. the TwoStep ILP timing out, Section 6.3).
 struct MethodRun {

@@ -295,6 +295,16 @@ class TwoStepRanker : public Ranker {
     if (ilp_opts.coupling_constraint < 0) {
       ilp_opts.coupling_constraint = enc.coupling_constraint;
     }
+    // Multi-complaint encodings: hand every complaint constraint to the
+    // solver so the multi-coupling decomposition can fix all their slacks
+    // at once, and seed branch-and-bound with a greedily repaired warm
+    // start in case decomposition is inapplicable.
+    if (ilp_opts.coupling_constraints.empty()) {
+      ilp_opts.coupling_constraints = enc.complaint_constraints;
+    }
+    if (ilp_opts.warm_start.empty()) {
+      ilp_opts.warm_start = BuildTiresiasWarmStart(enc);
+    }
     RAIN_ASSIGN_OR_RETURN(IlpSolution sol, SolveIlp(enc.problem, ilp_opts));
     if (!sol.optimal) out.note = "ilp budget exhausted; using incumbent";
     const std::vector<MarkedPrediction> marked = DecodeMarkedPredictions(enc, sol);

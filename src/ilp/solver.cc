@@ -6,7 +6,9 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -38,9 +40,9 @@ struct ContributionEntry {
 constexpr size_t kMaxComponentVars = 14;
 constexpr size_t kReservoirSize = 4;
 
-bool TryDecomposition(const IlpProblem& problem, const IlpSolveOptions& options,
-                      Rng* rng, IlpSolution* out) {
-  const int k = options.coupling_constraint;
+bool TryDecomposition(const IlpProblem& problem, int k,
+                      const IlpSolveOptions& options, Rng* rng,
+                      IlpSolution* out) {
   if (k < 0 || static_cast<size_t>(k) >= problem.num_constraints()) return false;
   const LinearConstraint& coupling = problem.constraints()[k];
   // kGe couplings would need saturating-DP backtracking that can land on
@@ -278,6 +280,405 @@ bool TryDecomposition(const IlpProblem& problem, const IlpSolveOptions& options,
 }
 
 // ---------------------------------------------------------------------------
+// Multi-coupling decomposition: remove a SET of coupling constraints (e.g.
+// two overlapping complaint cardinalities), enumerate the resulting
+// independent components, group exchangeable components, and DP over the
+// joint contribution grid. Fixing every coupling's slack at once lets the
+// exact component method apply where the single-coupling path cannot.
+// ---------------------------------------------------------------------------
+
+// One feasible component assignment class: its contribution to each
+// coupling plus the minimum cost achieving it (reservoir for tie-breaks).
+struct MultiOption {
+  std::vector<int64_t> contrib;
+  double min_cost = std::numeric_limits<double>::infinity();
+  std::vector<ComponentChoice> reservoir;
+  size_t min_cost_count = 0;
+};
+
+struct MultiComp {
+  std::vector<int> vars;
+  // Options sorted by contribution vector (canonical order, so identical
+  // option tables group together across components).
+  std::vector<MultiOption> options;
+};
+
+bool TryDecompositionMulti(const IlpProblem& problem, const std::vector<int>& ks,
+                           const IlpSolveOptions& options, Rng* rng,
+                           IlpSolution* out) {
+  const size_t nc = problem.num_constraints();
+  const size_t num_couplings = ks.size();
+  std::vector<uint8_t> is_coupling(nc, 0);
+  std::vector<int64_t> target(num_couplings);
+  for (size_t j = 0; j < num_couplings; ++j) {
+    const int k = ks[j];
+    if (k < 0 || static_cast<size_t>(k) >= nc || is_coupling[k]) return false;
+    const LinearConstraint& c = problem.constraints()[k];
+    // Same conformance rules as the single-coupling path: kGe would need
+    // saturating backtracking; coefficients must be small non-negative ints.
+    if (c.sense == ConstraintSense::kGe) return false;
+    if (!IsInt(c.rhs) || c.rhs < 0) return false;
+    for (const LinearTerm& t : c.terms) {
+      if (t.coef < 0 || !IsInt(t.coef)) return false;
+    }
+    is_coupling[k] = 1;
+    target[j] = std::llround(c.rhs);
+  }
+
+  // Union-find over variables connected by non-coupling constraints.
+  const size_t n = problem.num_vars();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t ci = 0; ci < nc; ++ci) {
+    if (is_coupling[ci]) continue;
+    const auto& terms = problem.constraints()[ci].terms;
+    for (size_t i = 1; i < terms.size(); ++i) {
+      parent[find(terms[i - 1].var)] = find(terms[i].var);
+    }
+  }
+  std::unordered_map<int, std::vector<int>> comp_vars;
+  for (size_t v = 0; v < n; ++v) comp_vars[find(static_cast<int>(v))].push_back(v);
+  std::unordered_map<int, std::vector<int>> comp_cons;
+  for (size_t ci = 0; ci < nc; ++ci) {
+    if (is_coupling[ci]) continue;
+    const auto& terms = problem.constraints()[ci].terms;
+    if (terms.empty()) continue;
+    comp_cons[find(terms[0].var)].push_back(static_cast<int>(ci));
+  }
+  // coupling_coef[j][var]
+  std::vector<std::vector<double>> coupling_coef(num_couplings,
+                                                 std::vector<double>(n, 0.0));
+  for (size_t j = 0; j < num_couplings; ++j) {
+    for (const LinearTerm& t : problem.constraints()[ks[j]].terms) {
+      coupling_coef[j][t.var] = t.coef;
+    }
+  }
+
+  // Enumerate each component's feasible assignments into per-contribution
+  // options.
+  std::vector<MultiComp> comps;
+  comps.reserve(comp_vars.size());
+  for (auto& [root, vars] : comp_vars) {
+    if (vars.size() > kMaxComponentVars) return false;
+    MultiComp comp;
+    comp.vars = vars;
+    const auto& cons = comp_cons[root];
+    const size_t m = vars.size();
+    std::vector<uint8_t> assign(m);
+    std::vector<int64_t> contrib(num_couplings);
+    for (uint64_t mask = 0; mask < (1ULL << m); ++mask) {
+      for (size_t i = 0; i < m; ++i) assign[i] = (mask >> i) & 1;
+      bool ok = true;
+      for (int ci : cons) {
+        const LinearConstraint& c = problem.constraints()[ci];
+        double act = 0.0;
+        for (const LinearTerm& t : c.terms) {
+          for (size_t i = 0; i < m; ++i) {
+            if (comp.vars[i] == t.var) {
+              if (assign[i]) act += t.coef;
+              break;
+            }
+          }
+        }
+        if (c.sense == ConstraintSense::kLe && act > c.rhs + kEps) ok = false;
+        if (c.sense == ConstraintSense::kGe && act < c.rhs - kEps) ok = false;
+        if (c.sense == ConstraintSense::kEq && std::fabs(act - c.rhs) > kEps) ok = false;
+        if (!ok) break;
+      }
+      if (!ok) continue;
+      double cost = 0.0;
+      std::fill(contrib.begin(), contrib.end(), 0);
+      for (size_t i = 0; i < m; ++i) {
+        if (!assign[i]) continue;
+        cost += problem.objective_coef(comp.vars[i]);
+        for (size_t j = 0; j < num_couplings; ++j) {
+          const double cc = coupling_coef[j][comp.vars[i]];
+          if (!IsInt(cc)) return false;
+          contrib[j] += std::llround(cc);
+        }
+      }
+      MultiOption* opt = nullptr;
+      for (MultiOption& o : comp.options) {
+        if (o.contrib == contrib) {
+          opt = &o;
+          break;
+        }
+      }
+      if (opt == nullptr) {
+        comp.options.emplace_back();
+        opt = &comp.options.back();
+        opt->contrib = contrib;
+      }
+      if (cost < opt->min_cost - kEps) {
+        opt->min_cost = cost;
+        opt->reservoir.clear();
+        opt->min_cost_count = 0;
+      }
+      if (cost < opt->min_cost + kEps) {
+        ++opt->min_cost_count;
+        if (opt->reservoir.size() < kReservoirSize) {
+          opt->reservoir.push_back(ComponentChoice{assign});
+        } else if (rng != nullptr &&
+                   rng->UniformInt(opt->min_cost_count) < kReservoirSize) {
+          opt->reservoir[rng->UniformInt(kReservoirSize)] = ComponentChoice{assign};
+        }
+      }
+    }
+    if (comp.options.empty()) {
+      out->feasible = false;
+      out->optimal = true;
+      out->used_decomposition = true;
+      return true;
+    }
+    std::sort(comp.options.begin(), comp.options.end(),
+              [](const MultiOption& a, const MultiOption& b) {
+                return a.contrib < b.contrib;
+              });
+    comps.push_back(std::move(comp));
+  }
+
+  // Group exchangeable components: identical (contrib, min_cost) option
+  // tables. Two-option groups transition by "j members take option 1";
+  // anything richer stays a singleton stage looping over its options.
+  struct Stage {
+    std::vector<int> members;  // indices into comps
+  };
+  auto table_key = [](const MultiComp& c) {
+    std::string key;
+    for (const MultiOption& o : c.options) {
+      for (int64_t v : o.contrib) {
+        key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+      }
+      key.append(reinterpret_cast<const char*>(&o.min_cost), sizeof(double));
+    }
+    return key;
+  };
+  std::unordered_map<std::string, size_t> stage_of;
+  std::vector<Stage> stages;
+  for (size_t i = 0; i < comps.size(); ++i) {
+    if (comps[i].options.size() > 2) {
+      stages.push_back(Stage{{static_cast<int>(i)}});
+      continue;
+    }
+    const std::string key = table_key(comps[i]);
+    auto it = stage_of.find(key);
+    if (it == stage_of.end()) {
+      stage_of.emplace(key, stages.size());
+      stages.push_back(Stage{{static_cast<int>(i)}});
+    } else {
+      stages[it->second].members.push_back(static_cast<int>(i));
+    }
+  }
+
+  // Joint contribution grid (mixed radix over per-coupling caps).
+  std::vector<int64_t> cap(num_couplings);
+  for (size_t j = 0; j < num_couplings; ++j) {
+    int64_t max_total = 0;
+    for (const MultiComp& c : comps) {
+      int64_t best = 0;
+      for (const MultiOption& o : c.options) best = std::max(best, o.contrib[j]);
+      max_total += best;
+    }
+    cap[j] = problem.constraints()[ks[j]].sense == ConstraintSense::kLe
+                 ? target[j]
+                 : std::min(target[j], max_total);
+    if (cap[j] < 0) return false;
+  }
+  int64_t width64 = 1;
+  for (size_t j = 0; j < num_couplings; ++j) {
+    width64 *= cap[j] + 1;
+    if (width64 > 80'000'000 / static_cast<int64_t>(sizeof(float))) return false;
+  }
+  const size_t width = static_cast<size_t>(width64);
+  if (stages.size() * width > 80'000'000 / sizeof(float)) return false;  // memory cap
+
+  auto encode = [&](const std::vector<int64_t>& t) {
+    size_t cell = 0;
+    for (size_t j = num_couplings; j-- > 0;) {
+      cell = cell * static_cast<size_t>(cap[j] + 1) + static_cast<size_t>(t[j]);
+    }
+    return cell;
+  };
+  auto decode = [&](size_t cell, std::vector<int64_t>* t) {
+    for (size_t j = 0; j < num_couplings; ++j) {
+      const size_t radix = static_cast<size_t>(cap[j] + 1);
+      (*t)[j] = static_cast<int64_t>(cell % radix);
+      cell /= radix;
+    }
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(width, kInf);
+  std::vector<double> next(width, kInf);
+  // choice[s][cell]: for a grouped stage, how many members took option 1;
+  // for a singleton multi-option stage, the option index.
+  std::vector<std::vector<int32_t>> choice(stages.size(),
+                                           std::vector<int32_t>(width, -1));
+  std::vector<size_t> stage_order(stages.size());
+  std::iota(stage_order.begin(), stage_order.end(), size_t{0});
+  if (options.randomize && rng != nullptr) rng->Shuffle(&stage_order);
+
+  dp[0] = 0.0;
+  std::vector<int64_t> t_coord(num_couplings), nt_coord(num_couplings);
+  for (size_t oi = 0; oi < stage_order.size(); ++oi) {
+    const Stage& stage = stages[stage_order[oi]];
+    const MultiComp& proto = comps[stage.members[0]];
+    const size_t g = stage.members.size();
+    std::fill(next.begin(), next.end(), kInf);
+    auto& ch = choice[oi];
+    const bool grouped = proto.options.size() <= 2;
+    for (size_t cell = 0; cell < width; ++cell) {
+      if (dp[cell] == kInf) continue;
+      decode(cell, &t_coord);
+      if (grouped) {
+        // (g - j) members take option 0, j take option 1.
+        const MultiOption& o0 = proto.options[0];
+        const MultiOption* o1 = proto.options.size() > 1 ? &proto.options[1] : nullptr;
+        const size_t jmax = o1 != nullptr ? g : 0;
+        for (size_t j = 0; j <= jmax; ++j) {
+          bool fits = true;
+          for (size_t d = 0; d < num_couplings; ++d) {
+            nt_coord[d] = t_coord[d] +
+                          static_cast<int64_t>(g - j) * o0.contrib[d] +
+                          (o1 != nullptr ? static_cast<int64_t>(j) * o1->contrib[d]
+                                         : 0);
+            if (nt_coord[d] > cap[d]) {
+              fits = false;
+              break;
+            }
+          }
+          if (!fits) continue;
+          const size_t nt = encode(nt_coord);
+          const double cost = dp[cell] + static_cast<double>(g - j) * o0.min_cost +
+                              (o1 != nullptr ? static_cast<double>(j) * o1->min_cost
+                                             : 0.0);
+          if (cost < next[nt] - kEps ||
+              (cost < next[nt] + kEps && options.randomize && rng != nullptr &&
+               rng->Bernoulli(0.5))) {
+            next[nt] = std::min(next[nt], cost);
+            ch[nt] = static_cast<int32_t>(j);
+          }
+        }
+      } else {
+        for (size_t o = 0; o < proto.options.size(); ++o) {
+          const MultiOption& opt = proto.options[o];
+          bool fits = true;
+          for (size_t d = 0; d < num_couplings; ++d) {
+            nt_coord[d] = t_coord[d] + opt.contrib[d];
+            if (nt_coord[d] > cap[d]) {
+              fits = false;
+              break;
+            }
+          }
+          if (!fits) continue;
+          const size_t nt = encode(nt_coord);
+          const double cost = dp[cell] + opt.min_cost;
+          if (cost < next[nt] - kEps ||
+              (cost < next[nt] + kEps && options.randomize && rng != nullptr &&
+               rng->Bernoulli(0.5))) {
+            next[nt] = std::min(next[nt], cost);
+            ch[nt] = static_cast<int32_t>(o);
+          }
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  // Pick the best admissible final cell (kEq coordinates pinned to their
+  // targets; kLe coordinates free).
+  int64_t final_cell = -1;
+  double best_cost = kInf;
+  for (size_t cell = 0; cell < width; ++cell) {
+    if (dp[cell] == kInf) continue;
+    decode(cell, &t_coord);
+    bool admissible = true;
+    for (size_t j = 0; j < num_couplings; ++j) {
+      if (problem.constraints()[ks[j]].sense == ConstraintSense::kEq &&
+          t_coord[j] != target[j]) {
+        admissible = false;
+        break;
+      }
+    }
+    if (!admissible) continue;
+    if (dp[cell] < best_cost - kEps ||
+        (dp[cell] < best_cost + kEps && options.randomize && rng != nullptr &&
+         rng->Bernoulli(0.5))) {
+      best_cost = std::min(best_cost, dp[cell]);
+      final_cell = static_cast<int64_t>(cell);
+    }
+  }
+  out->used_decomposition = true;
+  if (final_cell < 0) {
+    out->feasible = false;
+    out->optimal = true;
+    return true;
+  }
+
+  // Backtrack through the stages in reverse processing order.
+  out->values.assign(n, 0);
+  size_t cell = static_cast<size_t>(final_cell);
+  for (size_t oi = stage_order.size(); oi-- > 0;) {
+    const Stage& stage = stages[stage_order[oi]];
+    const MultiComp& proto = comps[stage.members[0]];
+    const int32_t pick = choice[oi][cell];
+    RAIN_CHECK(pick >= 0) << "multi-coupling DP backtrack inconsistency";
+    decode(cell, &t_coord);
+    const size_t g = stage.members.size();
+    // Which members take which option: randomized split for grouped
+    // stages (preserves the solver's uniform-among-optima behaviour).
+    std::vector<int> members = stage.members;
+    std::vector<size_t> member_opt(g, 0);
+    if (proto.options.size() <= 2) {
+      if (rng != nullptr) {
+        for (size_t i = g; i > 1; --i) {
+          std::swap(members[i - 1], members[rng->UniformInt(i)]);
+        }
+      }
+      for (size_t i = 0; i < static_cast<size_t>(pick); ++i) member_opt[i] = 1;
+      for (size_t d = 0; d < num_couplings; ++d) {
+        t_coord[d] -= static_cast<int64_t>(g - pick) * proto.options[0].contrib[d];
+        if (proto.options.size() > 1) {
+          t_coord[d] -= static_cast<int64_t>(pick) * proto.options[1].contrib[d];
+        }
+      }
+    } else {
+      member_opt[0] = static_cast<size_t>(pick);
+      for (size_t d = 0; d < num_couplings; ++d) {
+        t_coord[d] -= proto.options[static_cast<size_t>(pick)].contrib[d];
+      }
+    }
+    for (size_t i = 0; i < g; ++i) {
+      const MultiComp& comp = comps[members[i]];
+      const MultiOption& opt = comp.options[member_opt[i]];
+      RAIN_CHECK(!opt.reservoir.empty()) << "empty option reservoir";
+      const ComponentChoice& concrete =
+          opt.reservoir[rng != nullptr && opt.reservoir.size() > 1
+                            ? rng->UniformInt(opt.reservoir.size())
+                            : 0];
+      for (size_t vi = 0; vi < comp.vars.size(); ++vi) {
+        out->values[comp.vars[vi]] = concrete.assignment[vi];
+      }
+    }
+    for (size_t d = 0; d < num_couplings; ++d) {
+      RAIN_CHECK(t_coord[d] >= 0) << "multi-coupling DP negative predecessor";
+    }
+    cell = encode(t_coord);
+  }
+  out->objective = problem.ObjectiveValue(out->values);
+  out->feasible = true;
+  out->optimal = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Branch-and-bound with bounds propagation.
 // ---------------------------------------------------------------------------
 
@@ -287,10 +688,14 @@ class BnbSolver {
       : p_(problem), opt_(options), rng_(options.seed) {
     const size_t n = p_.num_vars();
     assign_.assign(n, -1);
+    // Coefficient-carrying adjacency: TryAssign/UndoTo update constraint
+    // activities in O(constraints touching var) without rescanning each
+    // constraint's term list (which is O(terms) — ruinous for the
+    // thousand-term complaint cardinality couplings).
     var_cons_.resize(n);
     for (size_t ci = 0; ci < p_.num_constraints(); ++ci) {
       for (const LinearTerm& t : p_.constraints()[ci].terms) {
-        var_cons_[t.var].push_back(static_cast<int>(ci));
+        var_cons_[t.var].emplace_back(static_cast<int>(ci), t.coef);
       }
     }
     min_act_.assign(p_.num_constraints(), 0.0);
@@ -313,6 +718,16 @@ class BnbSolver {
   IlpSolution Solve() {
     IlpSolution sol;
     Timer timer;
+    // Warm start: seed the incumbent from a feasible candidate so bound
+    // pruning is active from the first node and a budget exhaust can still
+    // return a usable solution.
+    if (opt_.warm_start.size() == p_.num_vars() &&
+        p_.IsFeasible(opt_.warm_start)) {
+      sol.feasible = true;
+      sol.values = opt_.warm_start;
+      sol.objective = p_.ObjectiveValue(opt_.warm_start);
+      sol.warm_start_used = true;
+    }
     std::vector<int> trail;
     if (!Propagate(&trail)) {
       sol.optimal = true;  // infeasible, proven
@@ -366,6 +781,9 @@ class BnbSolver {
       }
       const uint8_t val = f.values[f.next_value++];
       bool ok = TryAssign(f.var, val, &trail);
+      // Cheap bound check before the (costlier) propagation pass: lb_ is
+      // maintained incrementally by TryAssign.
+      if (ok && sol.feasible && lb_ >= sol.objective - kEps) ok = false;
       if (ok) ok = Propagate(&trail);
       if (ok && sol.feasible && lb_ >= sol.objective - kEps) ok = false;  // bound
       if (!ok) continue;
@@ -408,14 +826,7 @@ class BnbSolver {
     trail->push_back(var);
     const double c_obj = p_.objective_coef(var);
     lb_ += c_obj * val - std::min(0.0, c_obj);
-    for (int ci : var_cons_[var]) {
-      double coef = 0.0;
-      for (const LinearTerm& t : p_.constraints()[ci].terms) {
-        if (t.var == var) {
-          coef = t.coef;
-          break;
-        }
-      }
+    for (const auto& [ci, coef] : var_cons_[var]) {
       min_act_[ci] += coef * val - std::min(0.0, coef);
       max_act_[ci] += coef * val - std::max(0.0, coef);
       queue_.push_back(ci);
@@ -431,14 +842,7 @@ class BnbSolver {
       assign_[var] = -1;
       const double c_obj = p_.objective_coef(var);
       lb_ -= c_obj * val - std::min(0.0, c_obj);
-      for (int ci : var_cons_[var]) {
-        double coef = 0.0;
-        for (const LinearTerm& t : p_.constraints()[ci].terms) {
-          if (t.var == var) {
-            coef = t.coef;
-            break;
-          }
-        }
+      for (const auto& [ci, coef] : var_cons_[var]) {
         min_act_[ci] -= coef * val - std::min(0.0, coef);
         max_act_[ci] -= coef * val - std::max(0.0, coef);
       }
@@ -493,7 +897,7 @@ class BnbSolver {
   const IlpSolveOptions& opt_;
   Rng rng_;
   std::vector<int8_t> assign_;
-  std::vector<std::vector<int>> var_cons_;
+  std::vector<std::vector<std::pair<int, double>>> var_cons_;
   std::vector<double> min_act_, max_act_;
   std::vector<int> queue_;
   std::vector<int> branch_order_;
@@ -521,7 +925,31 @@ Result<IlpSolution> SolveIlp(const IlpProblem& raw_problem,
 
   Rng rng(options.seed);
   IlpSolution sol;
-  if (TryDecomposition(problem, options, &rng, &sol)) {
+
+  // Resolve the coupling set: the list supersedes the legacy single index.
+  std::vector<int> couplings;
+  for (const int k : options.coupling_constraints) {
+    if (k >= 0 && static_cast<size_t>(k) < problem.num_constraints() &&
+        std::find(couplings.begin(), couplings.end(), k) == couplings.end()) {
+      couplings.push_back(k);
+    }
+  }
+  if (couplings.empty() && options.coupling_constraint >= 0) {
+    couplings.push_back(options.coupling_constraint);
+  }
+
+  bool decomposed = false;
+  if (couplings.size() == 1) {
+    decomposed = TryDecomposition(problem, couplings[0], options, &rng, &sol);
+  } else if (couplings.size() >= 2) {
+    decomposed = TryDecompositionMulti(problem, couplings, options, &rng, &sol);
+    // If the joint DP is inapplicable (grid too wide, non-conforming
+    // coupling), a single removed coupling may still disconnect the rest.
+    for (size_t i = 0; !decomposed && i < couplings.size(); ++i) {
+      decomposed = TryDecomposition(problem, couplings[i], options, &rng, &sol);
+    }
+  }
+  if (decomposed) {
     if (!sol.feasible) {
       return Status::ResourceExhausted("ILP infeasible (decomposition proof)");
     }

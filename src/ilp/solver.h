@@ -29,6 +29,20 @@ struct IlpSolveOptions {
   /// cardinality constraint) that the decomposition fast path may remove
   /// to split the problem into independent components; -1 disables.
   int coupling_constraint = -1;
+
+  /// Generalized coupling set: when non-empty it supersedes
+  /// `coupling_constraint`. With one entry the classic single-coupling
+  /// decomposition runs; with several (e.g. two overlapping complaint
+  /// cardinalities) the grouped multi-coupling DP fixes the slack of every
+  /// listed constraint at once and still solves each component exactly.
+  std::vector<int> coupling_constraints;
+
+  /// Optional warm start: a candidate assignment (size num_vars). When it
+  /// is feasible for the problem, branch-and-bound seeds its incumbent
+  /// from it, so bound pruning is active from the first node and the
+  /// solver can never return empty-handed on a budget exhaust. Infeasible
+  /// or wrong-sized warm starts are ignored.
+  std::vector<uint8_t> warm_start;
 };
 
 struct IlpSolution {
@@ -39,6 +53,9 @@ struct IlpSolution {
   bool timed_out = false;
   int64_t nodes_explored = 0;
   bool used_decomposition = false;
+  /// True when a feasible `warm_start` seeded the incumbent (the returned
+  /// solution may still improve on it).
+  bool warm_start_used = false;
 };
 
 /// \brief Solves a binary ILP.

@@ -1,5 +1,6 @@
 #include "ilp/tiresias.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <unordered_map>
@@ -77,6 +78,7 @@ class Encoder {
       NormalizeIntegral(&lc);
       out_->problem.AddConstraint(std::move(lc));
       const int ci = static_cast<int>(out_->problem.num_constraints() - 1);
+      out_->complaint_constraints.push_back(ci);
       // Coupling hint: a single kEq/kLe complaint constraint.
       out_->coupling_constraint =
           complaints.size() == 1 && c.sense != ConstraintSense::kGe ? ci : -1;
@@ -299,6 +301,119 @@ Result<TiresiasEncoding> EncodeTiresias(PolyArena* arena,
   Encoder encoder(arena, predictions, &enc);
   RAIN_RETURN_NOT_OK(encoder.Run(complaints));
   return enc;
+}
+
+std::vector<uint8_t> BuildTiresiasWarmStart(const TiresiasEncoding& enc) {
+  // Gate on pure prediction-variable encodings: the repair below only
+  // assigns class vars, so any Tseitin auxiliary (stuck at 0) would make
+  // the candidate bogus.
+  size_t class_vars = 0;
+  for (const auto& rv : enc.rows) class_vars += rv.class_vars.size();
+  if (class_vars != enc.problem.num_vars() || enc.rows.empty()) return {};
+
+  const size_t n = enc.problem.num_vars();
+  std::vector<uint8_t> x(n, 0);
+  std::vector<int> assigned(enc.rows.size());
+  for (size_t r = 0; r < enc.rows.size(); ++r) {
+    const auto& rv = enc.rows[r];
+    if (rv.current_class < 0 ||
+        rv.current_class >= static_cast<int>(rv.class_vars.size())) {
+      return {};
+    }
+    assigned[r] = rv.current_class;
+    x[rv.class_vars[rv.current_class]] = 1;
+  }
+
+  // Dense per-complaint coefficient lookup and running activities.
+  const auto& ccs = enc.complaint_constraints;
+  const size_t m = ccs.size();
+  std::vector<std::vector<double>> coef(m, std::vector<double>(n, 0.0));
+  std::vector<double> act(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    if (ccs[i] < 0 ||
+        static_cast<size_t>(ccs[i]) >= enc.problem.num_constraints()) {
+      return {};
+    }
+    for (const LinearTerm& t : enc.problem.constraints()[ccs[i]].terms) {
+      coef[i][t.var] += t.coef;
+    }
+    for (size_t v = 0; v < n; ++v) {
+      if (x[v]) act[i] += coef[i][v];
+    }
+  }
+  auto violation = [&](size_t i, double a) {
+    const LinearConstraint& c = enc.problem.constraints()[ccs[i]];
+    switch (c.sense) {
+      case ConstraintSense::kEq:
+        return std::fabs(a - c.rhs);
+      case ConstraintSense::kLe:
+        return std::max(0.0, a - c.rhs);
+      case ConstraintSense::kGe:
+        return std::max(0.0, c.rhs - a);
+    }
+    return 0.0;
+  };
+
+  // Greedy multi-round repair: flip one row's class at a time toward the
+  // violated complaint, preferring flips that leave the other complaints
+  // untouched, then flips that cost the least extra objective.
+  const size_t max_flips = 8 * enc.rows.size();
+  size_t flips = 0;
+  for (int round = 0; round < 4; ++round) {
+    bool all_ok = true;
+    for (size_t i = 0; i < m; ++i) {
+      while (violation(i, act[i]) > kEps && flips < max_flips) {
+        double best_harm = 0.0, best_cost = 0.0, best_gain = 0.0;
+        size_t best_row = 0;
+        int best_class = -1;
+        for (size_t r = 0; r < enc.rows.size(); ++r) {
+          const auto& rv = enc.rows[r];
+          const int a_cls = assigned[r];
+          const int va = rv.class_vars[a_cls];
+          for (int b = 0; b < static_cast<int>(rv.class_vars.size()); ++b) {
+            if (b == a_cls) continue;
+            const int vb = rv.class_vars[b];
+            const double gain = violation(i, act[i]) -
+                                violation(i, act[i] + coef[i][vb] - coef[i][va]);
+            if (gain <= kEps) continue;
+            double harm = 0.0;
+            for (size_t j = 0; j < m; ++j) {
+              if (j == i) continue;
+              harm += violation(j, act[j] + coef[j][vb] - coef[j][va]) -
+                      violation(j, act[j]);
+            }
+            const double cost =
+                (b == rv.current_class ? 0.0 : 1.0) -
+                (a_cls == rv.current_class ? 0.0 : 1.0);
+            if (best_class < 0 || harm < best_harm - kEps ||
+                (harm < best_harm + kEps &&
+                 (cost < best_cost - kEps ||
+                  (cost < best_cost + kEps && gain > best_gain + kEps)))) {
+              best_harm = harm;
+              best_cost = cost;
+              best_gain = gain;
+              best_row = r;
+              best_class = b;
+            }
+          }
+        }
+        if (best_class < 0) break;  // no improving flip
+        const auto& rv = enc.rows[best_row];
+        const int va = rv.class_vars[assigned[best_row]];
+        const int vb = rv.class_vars[best_class];
+        for (size_t j = 0; j < m; ++j) act[j] += coef[j][vb] - coef[j][va];
+        x[va] = 0;
+        x[vb] = 1;
+        assigned[best_row] = best_class;
+        ++flips;
+      }
+      if (violation(i, act[i]) > kEps) all_ok = false;
+    }
+    if (all_ok) break;
+  }
+
+  if (!enc.problem.IsFeasible(x)) return {};
+  return x;
 }
 
 std::vector<MarkedPrediction> DecodeMarkedPredictions(const TiresiasEncoding& enc,

@@ -46,6 +46,11 @@ struct TiresiasEncoding {
   /// Hint for the decomposition fast path: index of the (single)
   /// complaint constraint, or -1.
   int coupling_constraint = -1;
+
+  /// Indices of every complaint's main linear constraint, in complaint
+  /// order. Feeds IlpSolveOptions::coupling_constraints so the
+  /// multi-coupling decomposition can fix all complaint slacks at once.
+  std::vector<int> complaint_constraints;
 };
 
 /// Builds the encoding. `arena` is mutated only through GetOrCreateVar
@@ -67,6 +72,17 @@ struct MarkedPrediction {
 /// prediction (the mispredictions TwoStep feeds to influence analysis).
 std::vector<MarkedPrediction> DecodeMarkedPredictions(const TiresiasEncoding& enc,
                                                       const IlpSolution& solution);
+
+/// \brief Best-effort warm start for the branch-and-bound fallback.
+///
+/// Starts from the current predictions (one-hot by construction, cost 0)
+/// and greedily repairs the complaint constraints, preferring flips that
+/// do not disturb other complaints. Returns an assignment suitable for
+/// IlpSolveOptions::warm_start, or an empty vector when no feasible
+/// candidate was found (Tseitin auxiliaries present, or repair failed) —
+/// the solver ignores empty/infeasible warm starts, so callers can pass
+/// the result through unconditionally.
+std::vector<uint8_t> BuildTiresiasWarmStart(const TiresiasEncoding& enc);
 
 }  // namespace rain
 

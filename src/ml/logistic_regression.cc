@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/vector_ops.h"
 
 namespace rain {
 
@@ -37,9 +38,11 @@ void LogisticRegression::set_params(const Vec& theta) {
 }
 
 double LogisticRegression::Margin(const double* x) const {
-  double z = fit_intercept_ ? theta_[d_] : 0.0;
-  for (size_t j = 0; j < d_; ++j) z += theta_[j] * x[j];
-  return z;
+  // Every margin consumer (loss, gradients, the HVP body, and the
+  // shard-exact coefficient kernels) routes through this one helper, so
+  // the SIMD reduction stays consistent across paired code paths.
+  const double z = vec::simd::Dot(theta_.data(), x, d_);
+  return fit_intercept_ ? z + theta_[d_] : z;
 }
 
 void LogisticRegression::PredictProba(const double* x, double* probs) const {
@@ -58,7 +61,7 @@ void LogisticRegression::AddExampleLossGradient(const double* x, int y,
                                                 Vec* grad) const {
   // d l / d theta = (p1 - y) * [x; 1]
   const double coef = Sigmoid(Margin(x)) - static_cast<double>(y);
-  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  vec::simd::MulAdd(coef, x, grad->data(), d_);
   if (fit_intercept_) (*grad)[d_] += coef;
 }
 
@@ -69,7 +72,10 @@ void LogisticRegression::AddProbaGradient(const double* x, const Vec& class_weig
   const double p1 = Sigmoid(Margin(x));
   const double coef = (class_weights[1] - class_weights[0]) * p1 * (1.0 - p1);
   if (coef == 0.0) return;
-  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  // ELEMENTWISE MulAdd keeps the per-row addend bitwise identical across
+  // backends — AccumulateProbaGradients' parallel == sequential pin
+  // depends on the addend being exactly the sequential statement.
+  vec::simd::MulAdd(coef, x, grad->data(), d_);
   if (fit_intercept_) (*grad)[d_] += coef;
 }
 
@@ -86,11 +92,12 @@ void LogisticRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
           const double* x = data.row(i);
           const double p1 = Sigmoid(Margin(x));
           const double s = p1 * (1.0 - p1);
-          // (x~ . v)
-          double xv = fit_intercept_ ? v[d_] : 0.0;
-          for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
+          // (x~ . v) — the same kernel HvpCoeffs uses, so the sharded
+          // replay reproduces this body's bits exactly.
+          double xv = vec::simd::Dot(v.data(), x, d_);
+          if (fit_intercept_) xv += v[d_];
           const double coef = s * xv;
-          for (size_t j = 0; j < d_; ++j) (*acc)[j] += coef * x[j];
+          vec::simd::MulAdd(coef, x, acc->data(), d_);
           if (fit_intercept_) (*acc)[d_] += coef;
         }
       });
@@ -107,7 +114,7 @@ void LogisticRegression::LossGradCoeffs(const double* x, int y,
 void LogisticRegression::ApplyLossGradCoeffs(const double* x, const double* coeffs,
                                              Vec* grad) const {
   const double coef = coeffs[0];
-  for (size_t j = 0; j < d_; ++j) (*grad)[j] += coef * x[j];
+  vec::simd::MulAdd(coef, x, grad->data(), d_);
   if (fit_intercept_) (*grad)[d_] += coef;
 }
 
@@ -115,15 +122,16 @@ void LogisticRegression::HvpCoeffs(const double* x, int /*y*/, const Vec& v,
                                    double* coeffs) const {
   const double p1 = Sigmoid(Margin(x));
   const double s = p1 * (1.0 - p1);
-  double xv = fit_intercept_ ? v[d_] : 0.0;
-  for (size_t j = 0; j < d_; ++j) xv += v[j] * x[j];
+  // Same dot + intercept sequence as the HessianVectorProduct body.
+  double xv = vec::simd::Dot(v.data(), x, d_);
+  if (fit_intercept_) xv += v[d_];
   coeffs[0] = s * xv;
 }
 
 void LogisticRegression::ApplyHvpCoeffs(const double* x, const double* coeffs,
                                         Vec* out) const {
   const double coef = coeffs[0];
-  for (size_t j = 0; j < d_; ++j) (*out)[j] += coef * x[j];
+  vec::simd::MulAdd(coef, x, out->data(), d_);
   if (fit_intercept_) (*out)[d_] += coef;
 }
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "ml/softmax_regression.h"
+#include "tensor/vector_ops.h"
 
 namespace rain {
 
@@ -39,18 +40,15 @@ void Mlp::RunForward(const double* x, Forward* f) const {
   f->z1.assign(h_, 0.0);
   f->a1.assign(h_, 0.0);
   for (size_t i = 0; i < h_; ++i) {
-    double z = b1[i];
     const double* row = w1 + i * d_;
-    for (size_t j = 0; j < d_; ++j) z += row[j] * x[j];
+    const double z = b1[i] + vec::simd::Dot(row, x, d_);
     f->z1[i] = z;
     f->a1[i] = z > 0.0 ? z : 0.0;
   }
   f->z2.assign(c_, 0.0);
   for (int k = 0; k < c_; ++k) {
-    double z = b2[k];
     const double* row = w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) z += row[i] * f->a1[i];
-    f->z2[k] = z;
+    f->z2[k] = b2[k] + vec::simd::Dot(row, f->a1.data(), h_);
   }
   f->p = f->z2;
   SoftmaxInPlace(f->p.data(), c_);
@@ -76,17 +74,17 @@ void Mlp::Backprop(const double* x, const Forward& f, const Vec& dz2, Vec* grad,
   double* gw2 = grad->data() + OffW2();
   double* gb2 = grad->data() + OffB2();
 
-  // W2 / b2 grads and da1 = W2^T dz2.
+  // W2 / b2 grads and da1 = W2^T dz2 — ELEMENTWISE MulAdd keeps each
+  // element's rounding identical to the former interleaved statements,
+  // so LossGradCoeffs/ApplyLossGradCoeffs replay this path's bits.
   Vec da1(h_, 0.0);
   for (int k = 0; k < c_; ++k) {
     const double g = dz2[k];
     gb2[k] += g;
     double* grow = gw2 + static_cast<size_t>(k) * h_;
     const double* wrow = w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) {
-      grow[i] += g * f.a1[i];
-      da1[i] += wrow[i] * g;
-    }
+    vec::simd::MulAdd(g, f.a1.data(), grow, h_);
+    vec::simd::MulAdd(g, wrow, da1.data(), h_);
   }
   // dz1 = da1 * relu'(z1)
   Vec dz1(h_);
@@ -96,7 +94,7 @@ void Mlp::Backprop(const double* x, const Forward& f, const Vec& dz2, Vec* grad,
     gb1[i] += g;
     if (g == 0.0) continue;
     double* grow = gw1 + i * d_;
-    for (size_t j = 0; j < d_; ++j) grow[j] += g * x[j];
+    vec::simd::MulAdd(g, x, grow, d_);
   }
   if (dz1_out != nullptr) *dz1_out = std::move(dz1);
 }
@@ -144,25 +142,22 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
           const int y = data.label(n);
           RunForward(x, &f);
 
-          // --- R-forward pass: directional derivatives along v. ---
+          // --- R-forward pass: directional derivatives along v.
+          // Same Dot/Dot2 kernels as HvpCoeffs, so the sharded replay
+          // reproduces this body's bits exactly. ---
           Vec rz1(h_, 0.0);
           for (size_t i = 0; i < h_; ++i) {
-            double rz = v_b1[i];
             const double* vrow = v_w1 + i * d_;
-            for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
-            rz1[i] = rz;
+            rz1[i] = v_b1[i] + vec::simd::Dot(vrow, x, d_);
           }
           Vec ra1(h_);
           for (size_t i = 0; i < h_; ++i) ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
           Vec rz2(c_, 0.0);
           for (int k = 0; k < c_; ++k) {
-            double rz = v_b2[k];
             const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
             const double* wrow = w2 + static_cast<size_t>(k) * h_;
-            for (size_t i = 0; i < h_; ++i) {
-              rz += vrow[i] * f.a1[i] + wrow[i] * ra1[i];
-            }
-            rz2[k] = rz;
+            rz2[k] = v_b2[k] + vec::simd::Dot2(vrow, f.a1.data(), wrow,
+                                               ra1.data(), h_);
           }
 
           // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
@@ -186,10 +181,11 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
             double* orow = o_w2 + static_cast<size_t>(k) * h_;
             const double* wrow = w2 + static_cast<size_t>(k) * h_;
             const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-            for (size_t i = 0; i < h_; ++i) {
-              orow[i] += rdz2[k] * f.a1[i] + dz2[k] * ra1[i];
-              rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
-            }
+            // ELEMENTWISE MulAdd2 keeps each element's rounding identical
+            // to the former interleaved two-term statements.
+            vec::simd::MulAdd2(rdz2[k], f.a1.data(), dz2[k], ra1.data(),
+                               orow, h_);
+            vec::simd::MulAdd2(rdz2[k], wrow, dz2[k], vrow, rda1.data(), h_);
           }
           // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
           for (size_t i = 0; i < h_; ++i) {
@@ -197,7 +193,7 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
             o_b1[i] += rg;
             if (rg == 0.0) continue;
             double* orow = o_w1 + i * d_;
-            for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
+            vec::simd::MulAdd(rg, x, orow, d_);
           }
         }
       });
@@ -215,13 +211,13 @@ void Mlp::LossGradCoeffs(const double* x, int y, double* coeffs) const {
   for (int k = 0; k < c_; ++k) dz2[k] = f.p[k];
   dz2[y] -= 1.0;
   for (size_t i = 0; i < h_; ++i) a1[i] = f.a1[i];
-  // da1 = W2^T dz2, accumulated in Backprop's exact loop order.
+  // da1 = W2^T dz2, accumulated with Backprop's exact MulAdd kernel.
   const double* w2 = theta_.data() + OffW2();
   Vec da1(h_, 0.0);
   for (int k = 0; k < c_; ++k) {
     const double g = dz2[k];
     const double* wrow = w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) da1[i] += wrow[i] * g;
+    vec::simd::MulAdd(g, wrow, da1.data(), h_);
   }
   for (size_t i = 0; i < h_; ++i) dz1[i] = f.z1[i] > 0.0 ? da1[i] : 0.0;
 }
@@ -239,14 +235,14 @@ void Mlp::ApplyLossGradCoeffs(const double* x, const double* coeffs,
     const double g = dz2[k];
     gb2[k] += g;
     double* grow = gw2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) grow[i] += g * a1[i];
+    vec::simd::MulAdd(g, a1, grow, h_);
   }
   for (size_t i = 0; i < h_; ++i) {
     const double g = dz1[i];
     gb1[i] += g;
     if (g == 0.0) continue;
     double* grow = gw1 + i * d_;
-    for (size_t j = 0; j < d_; ++j) grow[j] += g * x[j];
+    vec::simd::MulAdd(g, x, grow, d_);
   }
 }
 
@@ -265,13 +261,12 @@ void Mlp::HvpCoeffs(const double* x, int y, const Vec& v, double* coeffs) const 
   double* ra1 = coeffs + 2 * static_cast<size_t>(c_) + h_;      // h
   double* rdz1 = coeffs + 2 * static_cast<size_t>(c_) + 2 * h_; // h
 
-  // R-forward pass, exactly as in HessianVectorProduct's row body.
+  // R-forward pass, exactly as in HessianVectorProduct's row body
+  // (same Dot/Dot2 kernels, same intercept-last rounding order).
   Vec rz1(h_, 0.0);
   for (size_t i = 0; i < h_; ++i) {
-    double rz = v_b1[i];
     const double* vrow = v_w1 + i * d_;
-    for (size_t j = 0; j < d_; ++j) rz += vrow[j] * x[j];
-    rz1[i] = rz;
+    rz1[i] = v_b1[i] + vec::simd::Dot(vrow, x, d_);
   }
   for (size_t i = 0; i < h_; ++i) {
     a1[i] = f.a1[i];
@@ -279,13 +274,9 @@ void Mlp::HvpCoeffs(const double* x, int y, const Vec& v, double* coeffs) const 
   }
   Vec rz2(c_, 0.0);
   for (int k = 0; k < c_; ++k) {
-    double rz = v_b2[k];
     const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
     const double* wrow = w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) {
-      rz += vrow[i] * a1[i] + wrow[i] * ra1[i];
-    }
-    rz2[k] = rz;
+    rz2[k] = v_b2[k] + vec::simd::Dot2(vrow, a1, wrow, ra1, h_);
   }
   for (int k = 0; k < c_; ++k) dz2[k] = f.p[k];
   dz2[y] -= 1.0;
@@ -293,17 +284,13 @@ void Mlp::HvpCoeffs(const double* x, int y, const Vec& v, double* coeffs) const 
   for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
   for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
 
-  // rda1 accumulated in the R-backward pass's exact loop order (the
-  // sequential body interleaves it with the o_w2 accumulation; the sum
-  // itself is independent of that interleaving's *writes*, so computing
-  // it standalone with the same += order reproduces the same bits).
+  // rda1 accumulated with the R-backward pass's exact MulAdd2 kernel,
+  // so the replay reproduces the same bits.
   Vec rda1(h_, 0.0);
   for (int k = 0; k < c_; ++k) {
     const double* wrow = w2 + static_cast<size_t>(k) * h_;
     const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) {
-      rda1[i] += wrow[i] * rdz2[k] + vrow[i] * dz2[k];
-    }
+    vec::simd::MulAdd2(rdz2[k], wrow, dz2[k], vrow, rda1.data(), h_);
   }
   for (size_t i = 0; i < h_; ++i) rdz1[i] = f.z1[i] > 0.0 ? rda1[i] : 0.0;
 }
@@ -321,16 +308,14 @@ void Mlp::ApplyHvpCoeffs(const double* x, const double* coeffs, Vec* out) const 
   for (int k = 0; k < c_; ++k) {
     o_b2[k] += rdz2[k];
     double* orow = o_w2 + static_cast<size_t>(k) * h_;
-    for (size_t i = 0; i < h_; ++i) {
-      orow[i] += rdz2[k] * a1[i] + dz2[k] * ra1[i];
-    }
+    vec::simd::MulAdd2(rdz2[k], a1, dz2[k], ra1, orow, h_);
   }
   for (size_t i = 0; i < h_; ++i) {
     const double rg = rdz1[i];
     o_b1[i] += rg;
     if (rg == 0.0) continue;
     double* orow = o_w1 + i * d_;
-    for (size_t j = 0; j < d_; ++j) orow[j] += rg * x[j];
+    vec::simd::MulAdd(rg, x, orow, d_);
   }
 }
 

@@ -3,8 +3,22 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/vector_ops.h"
 
 namespace rain {
+
+namespace {
+
+/// w . x over d features plus the trailing intercept — the one dot
+/// sequence shared by Logits, the HVP body, and the shard-exact
+/// coefficient kernels (paired paths must round identically).
+inline double DotIntercept(const double* w, const double* x, size_t d,
+                           bool fit_intercept) {
+  const double z = vec::simd::Dot(w, x, d);
+  return fit_intercept ? z + w[d] : z;
+}
+
+}  // namespace
 
 void SoftmaxInPlace(double* z, int k) {
   double m = z[0];
@@ -37,9 +51,7 @@ void SoftmaxRegression::Logits(const double* x, double* logits) const {
   const size_t bs = BlockSize();
   for (int c = 0; c < c_; ++c) {
     const double* w = theta_.data() + static_cast<size_t>(c) * bs;
-    double z = fit_intercept_ ? w[d_] : 0.0;
-    for (size_t j = 0; j < d_; ++j) z += w[j] * x[j];
-    logits[c] = z;
+    logits[c] = DotIntercept(w, x, d_, fit_intercept_);
   }
 }
 
@@ -63,7 +75,7 @@ void SoftmaxRegression::AddExampleLossGradient(const double* x, int y,
   for (int c = 0; c < c_; ++c) {
     const double coef = p[c] - (c == y ? 1.0 : 0.0);
     double* g = grad->data() + static_cast<size_t>(c) * bs;
-    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    vec::simd::MulAdd(coef, x, g, d_);
     if (fit_intercept_) g[d_] += coef;
   }
 }
@@ -81,7 +93,9 @@ void SoftmaxRegression::AddProbaGradient(const double* x, const Vec& class_weigh
     const double coef = p[c] * (class_weights[c] - wp);
     if (coef == 0.0) continue;
     double* g = grad->data() + static_cast<size_t>(c) * bs;
-    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    // ELEMENTWISE MulAdd: the per-row addend stays bitwise identical
+    // across backends, preserving AccumulateProbaGradients' pin.
+    vec::simd::MulAdd(coef, x, g, d_);
     if (fit_intercept_) g[d_] += coef;
   }
 }
@@ -101,12 +115,11 @@ void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
           if (!data.active(i)) continue;
           const double* x = data.row(i);
           PredictProba(x, p.data());
-          // a_c = V_c . x~
+          // a_c = V_c . x~ — the same kernel HvpCoeffs uses, so the
+          // sharded replay reproduces this body's bits exactly.
           for (int c = 0; c < c_; ++c) {
             const double* vc = v.data() + static_cast<size_t>(c) * bs;
-            double av = fit_intercept_ ? vc[d_] : 0.0;
-            for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
-            a[c] = av;
+            a[c] = DotIntercept(vc, x, d_, fit_intercept_);
           }
           double s = 0.0;
           for (int c = 0; c < c_; ++c) s += p[c] * a[c];
@@ -114,7 +127,7 @@ void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
           for (int c = 0; c < c_; ++c) {
             const double coef = p[c] * (a[c] - s);
             double* o = acc->data() + static_cast<size_t>(c) * bs;
-            for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
+            vec::simd::MulAdd(coef, x, o, d_);
             if (fit_intercept_) o[d_] += coef;
           }
         }
@@ -139,7 +152,7 @@ void SoftmaxRegression::ApplyLossGradCoeffs(const double* x, const double* coeff
   for (int c = 0; c < c_; ++c) {
     const double coef = coeffs[c];
     double* g = grad->data() + static_cast<size_t>(c) * bs;
-    for (size_t j = 0; j < d_; ++j) g[j] += coef * x[j];
+    vec::simd::MulAdd(coef, x, g, d_);
     if (fit_intercept_) g[d_] += coef;
   }
 }
@@ -150,11 +163,10 @@ void SoftmaxRegression::HvpCoeffs(const double* x, int /*y*/, const Vec& v,
   std::vector<double> p(c_);
   std::vector<double> a(c_);
   PredictProba(x, p.data());
+  // Same dot + intercept sequence as the HessianVectorProduct body.
   for (int c = 0; c < c_; ++c) {
     const double* vc = v.data() + static_cast<size_t>(c) * bs;
-    double av = fit_intercept_ ? vc[d_] : 0.0;
-    for (size_t j = 0; j < d_; ++j) av += vc[j] * x[j];
-    a[c] = av;
+    a[c] = DotIntercept(vc, x, d_, fit_intercept_);
   }
   double s = 0.0;
   for (int c = 0; c < c_; ++c) s += p[c] * a[c];
@@ -167,7 +179,7 @@ void SoftmaxRegression::ApplyHvpCoeffs(const double* x, const double* coeffs,
   for (int c = 0; c < c_; ++c) {
     const double coef = coeffs[c];
     double* o = out->data() + static_cast<size_t>(c) * bs;
-    for (size_t j = 0; j < d_; ++j) o[j] += coef * x[j];
+    vec::simd::MulAdd(coef, x, o, d_);
     if (fit_intercept_) o[d_] += coef;
   }
 }

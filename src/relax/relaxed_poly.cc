@@ -51,121 +51,143 @@ RelaxedPoly::RelaxedPoly(const PolyArena* arena, std::vector<PolyId> roots,
   std::sort(variables_.begin(), variables_.end());
   variables_.erase(std::unique(variables_.begin(), variables_.end()),
                    variables_.end());
+
+  // Flatten the reachable nodes into the execution tape so the sweeps
+  // run over contiguous arrays instead of arena nodes.
+  const size_t m = order_.size();
+  tape_op_.resize(m);
+  tape_const_.assign(m, 0.0);
+  tape_var_.assign(m, 0);
+  child_start_.assign(m + 1, 0);
+  size_t total_children = 0;
+  for (size_t i = 0; i < m; ++i) {
+    total_children += arena_->node(order_[i]).children.size();
+  }
+  child_idx_.reserve(total_children);
+  for (size_t i = 0; i < m; ++i) {
+    const PolyNode& n = arena_->node(order_[i]);
+    tape_op_[i] = static_cast<uint8_t>(n.op);
+    if (n.op == PolyOp::kConst) tape_const_[i] = n.value;
+    if (n.op == PolyOp::kVar) tape_var_[i] = n.var;
+    for (const PolyId c : n.children) child_idx_.push_back(local_[c]);
+    child_start_[i + 1] = static_cast<int32_t>(child_idx_.size());
+  }
 }
 
 void RelaxedPoly::Forward(const Vec& var_values, Vec* values) const {
-  values->resize(order_.size());
-  for (size_t i = 0; i < order_.size(); ++i) {
-    const PolyNode& n = arena_->node(order_[i]);
+  const size_t m = tape_op_.size();
+  values->resize(m);
+  double* vals = values->data();
+  // The n-ary ops (AND/MUL/OR/ADD) run through the SHAPED-REDUCTION
+  // gather kernels: the result depends only on the child-value sequence,
+  // never on the sweep order or backend, so batch entries stay bitwise
+  // identical to single-root sweeps.
+  for (size_t i = 0; i < m; ++i) {
+    const int32_t* kids = child_idx_.data() + child_start_[i];
+    const size_t k = static_cast<size_t>(child_start_[i + 1] - child_start_[i]);
     double v = 0.0;
-    switch (n.op) {
+    switch (static_cast<PolyOp>(tape_op_[i])) {
       case PolyOp::kConst:
-        v = n.value;
+        v = tape_const_[i];
         break;
       case PolyOp::kVar:
-        v = var_values[n.var];
+        v = var_values[tape_var_[i]];
         break;
       case PolyOp::kAnd:
-      case PolyOp::kMul: {
-        v = 1.0;
-        for (PolyId c : n.children) v *= (*values)[local_[c]];
+      case PolyOp::kMul:
+        v = vec::simd::GatherProd(vals, kids, k);
         break;
-      }
-      case PolyOp::kOr: {
+      case PolyOp::kOr:
         if (mode_ == RelaxMode::kLinearOr) {
-          for (PolyId c : n.children) v += (*values)[local_[c]];
-          break;
+          v = vec::simd::GatherSum(vals, kids, k);
+        } else {
+          v = 1.0 - vec::simd::GatherProdOneMinus(vals, kids, k);
         }
-        double prod = 1.0;
-        for (PolyId c : n.children) prod *= 1.0 - (*values)[local_[c]];
-        v = 1.0 - prod;
         break;
-      }
       case PolyOp::kNot:
-        v = 1.0 - (*values)[local_[n.children[0]]];
+        v = 1.0 - vals[kids[0]];
         break;
-      case PolyOp::kAdd: {
-        for (PolyId c : n.children) v += (*values)[local_[c]];
+      case PolyOp::kAdd:
+        v = vec::simd::GatherSum(vals, kids, k);
         break;
-      }
       case PolyOp::kDiv: {
-        const double den = (*values)[local_[n.children[1]]];
-        v = den == 0.0 ? 0.0 : (*values)[local_[n.children[0]]] / den;
+        const double den = vals[kids[1]];
+        v = den == 0.0 ? 0.0 : vals[kids[0]] / den;
         break;
       }
     }
-    (*values)[i] = v;
+    vals[i] = v;
   }
 }
 
 void RelaxedPoly::Backward(const Vec& values, PolyId root, Vec* var_grad) const {
-  Vec adjoint(order_.size(), 0.0);
+  const size_t m = tape_op_.size();
+  Vec adjoint(m, 0.0);
   adjoint[local_[root]] = 1.0;
   var_grad->assign(arena_->num_vars(), 0.0);
 
-  // Reverse sweep (order_ is children-first, so iterate backwards).
-  // Products use prefix/suffix accumulation to stay correct when child
-  // values are exactly zero.
+  // Reverse sweep over the tape (children-first order, so iterate
+  // backwards). Products use prefix/suffix accumulation to stay correct
+  // when child values are exactly zero.
   Vec prefix, suffix;
-  for (size_t i = order_.size(); i-- > 0;) {
+  for (size_t i = m; i-- > 0;) {
     const double adj = adjoint[i];
     if (adj == 0.0) continue;
-    const PolyNode& n = arena_->node(order_[i]);
-    switch (n.op) {
+    const int32_t* kids = child_idx_.data() + child_start_[i];
+    const size_t k = static_cast<size_t>(child_start_[i + 1] - child_start_[i]);
+    switch (static_cast<PolyOp>(tape_op_[i])) {
       case PolyOp::kConst:
         break;
       case PolyOp::kVar:
-        (*var_grad)[n.var] += adj;
+        (*var_grad)[tape_var_[i]] += adj;
         break;
       case PolyOp::kAnd:
       case PolyOp::kMul: {
-        const size_t k = n.children.size();
         prefix.assign(k + 1, 1.0);
         suffix.assign(k + 1, 1.0);
         for (size_t j = 0; j < k; ++j) {
-          prefix[j + 1] = prefix[j] * values[local_[n.children[j]]];
+          prefix[j + 1] = prefix[j] * values[kids[j]];
         }
         for (size_t j = k; j-- > 0;) {
-          suffix[j] = suffix[j + 1] * values[local_[n.children[j]]];
+          suffix[j] = suffix[j + 1] * values[kids[j]];
         }
         for (size_t j = 0; j < k; ++j) {
-          adjoint[local_[n.children[j]]] += adj * prefix[j] * suffix[j + 1];
+          adjoint[kids[j]] += adj * prefix[j] * suffix[j + 1];
         }
         break;
       }
       case PolyOp::kOr: {
         if (mode_ == RelaxMode::kLinearOr) {
-          for (PolyId c : n.children) adjoint[local_[c]] += adj;
+          for (size_t j = 0; j < k; ++j) adjoint[kids[j]] += adj;
           break;
         }
         // out = 1 - prod(1 - c_j); d out/d c_j = prod_{m!=j} (1 - c_m).
-        const size_t k = n.children.size();
         prefix.assign(k + 1, 1.0);
         suffix.assign(k + 1, 1.0);
         for (size_t j = 0; j < k; ++j) {
-          prefix[j + 1] = prefix[j] * (1.0 - values[local_[n.children[j]]]);
+          prefix[j + 1] = prefix[j] * (1.0 - values[kids[j]]);
         }
         for (size_t j = k; j-- > 0;) {
-          suffix[j] = suffix[j + 1] * (1.0 - values[local_[n.children[j]]]);
+          suffix[j] = suffix[j + 1] * (1.0 - values[kids[j]]);
         }
         for (size_t j = 0; j < k; ++j) {
-          adjoint[local_[n.children[j]]] += adj * prefix[j] * suffix[j + 1];
+          adjoint[kids[j]] += adj * prefix[j] * suffix[j + 1];
         }
         break;
       }
       case PolyOp::kNot:
-        adjoint[local_[n.children[0]]] -= adj;
+        adjoint[kids[0]] -= adj;
         break;
       case PolyOp::kAdd: {
-        for (PolyId c : n.children) adjoint[local_[c]] += adj;
+        for (size_t j = 0; j < k; ++j) adjoint[kids[j]] += adj;
         break;
       }
       case PolyOp::kDiv: {
-        const double num = values[local_[n.children[0]]];
-        const double den = values[local_[n.children[1]]];
+        const double num = values[kids[0]];
+        const double den = values[kids[1]];
         if (den != 0.0) {
-          adjoint[local_[n.children[0]]] += adj / den;
-          adjoint[local_[n.children[1]]] -= adj * num / (den * den);
+          adjoint[kids[0]] += adj / den;
+          adjoint[kids[1]] -= adj * num / (den * den);
         }
         break;
       }

@@ -108,6 +108,19 @@ class RelaxedPoly {
   /// Dense local index per arena node (-1 = unreachable).
   std::vector<int32_t> local_;
   std::vector<VarId> variables_;
+
+  /// Flattened execution tape over `order_`: per-node op plus payload
+  /// (kConst value / kVar id) and a contiguous int32 child-index array,
+  /// so the sweeps never chase arena pointers and the n-ary ops can run
+  /// through the vec::simd gather kernels (SHAPED-REDUCTION class:
+  /// bitwise identical across backends for a given child sequence).
+  std::vector<uint8_t> tape_op_;
+  std::vector<double> tape_const_;
+  std::vector<VarId> tape_var_;
+  /// Children of tape node i live at child_idx_[child_start_[i] ..
+  /// child_start_[i+1]) as local (tape) indices.
+  std::vector<int32_t> child_start_;
+  std::vector<int32_t> child_idx_;
 };
 
 }  // namespace rain

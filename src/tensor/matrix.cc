@@ -20,12 +20,7 @@ void Matrix::SetRow(size_t r, const Vec& v) {
 Vec Matrix::MatVec(const Vec& x) const {
   RAIN_CHECK(x.size() == cols_) << "MatVec shape mismatch";
   Vec out(rows_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    double acc = 0.0;
-    for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-    out[r] = acc;
-  }
+  vec::simd::Gemv(data_.data(), rows_, cols_, x.data(), out.data());
   return out;
 }
 
@@ -33,13 +28,10 @@ Vec Matrix::MatVec(const Vec& x, int parallelism) const {
   RAIN_CHECK(x.size() == cols_) << "MatVec shape mismatch";
   if (parallelism <= 1 || rows_ * cols_ < vec::kParallelGrain) return MatVec(x);
   Vec out(rows_, 0.0);
+  // Row partitioning: each out[r] is a pure function of (row r, x), so
+  // the chunking leaves the result bitwise identical to sequential.
   ParallelFor(parallelism, rows_, [this, &x, &out](size_t begin, size_t end, size_t) {
-    for (size_t r = begin; r < end; ++r) {
-      const double* row = Row(r);
-      double acc = 0.0;
-      for (size_t c = 0; c < cols_; ++c) acc += row[c] * x[c];
-      out[r] = acc;
-    }
+    vec::simd::Gemv(Row(begin), end - begin, cols_, x.data(), out.data() + begin);
   });
   return out;
 }
@@ -47,12 +39,7 @@ Vec Matrix::MatVec(const Vec& x, int parallelism) const {
 Vec Matrix::MatTVec(const Vec& x) const {
   RAIN_CHECK(x.size() == rows_) << "MatTVec shape mismatch";
   Vec out(cols_, 0.0);
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* row = Row(r);
-    const double xr = x[r];
-    if (xr == 0.0) continue;
-    for (size_t c = 0; c < cols_; ++c) out[c] += xr * row[c];
-  }
+  vec::simd::GemvT(data_.data(), rows_, cols_, x.data(), out.data());
   return out;
 }
 
@@ -62,12 +49,8 @@ Vec Matrix::MatTVec(const Vec& x, int parallelism) const {
   Vec out(cols_, 0.0);
   vec::ParallelAccumulate(
       parallelism, rows_, &out, [this, &x](size_t begin, size_t end, Vec* acc) {
-        for (size_t r = begin; r < end; ++r) {
-          const double* row = Row(r);
-          const double xr = x[r];
-          if (xr == 0.0) continue;
-          for (size_t c = 0; c < cols_; ++c) (*acc)[c] += xr * row[c];
-        }
+        vec::simd::GemvT(Row(begin), end - begin, cols_, x.data() + begin,
+                         acc->data());
       });
   return out;
 }
@@ -75,24 +58,10 @@ Vec Matrix::MatTVec(const Vec& x, int parallelism) const {
 Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism) {
   RAIN_CHECK(a.cols() == b.rows()) << "MatMul shape mismatch";
   Matrix out(a.rows(), b.cols());
-  // Block sizes chosen so one a-block row plus the touched b-rows stay in L1.
-  constexpr size_t kBlockK = 64;
   const size_t n = b.cols();
   const size_t k_total = a.cols();
   ParallelFor(parallelism, a.rows(), [&](size_t begin, size_t end, size_t) {
-    for (size_t k0 = 0; k0 < k_total; k0 += kBlockK) {
-      const size_t k1 = std::min(k_total, k0 + kBlockK);
-      for (size_t r = begin; r < end; ++r) {
-        const double* arow = a.Row(r);
-        double* orow = out.Row(r);
-        for (size_t k = k0; k < k1; ++k) {
-          const double av = arow[k];
-          if (av == 0.0) continue;
-          const double* brow = b.Row(k);
-          for (size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
-        }
-      }
-    }
+    vec::simd::Gemm(a.Row(begin), end - begin, k_total, b.Row(0), n, out.Row(begin));
   });
   return out;
 }

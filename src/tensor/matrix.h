@@ -36,14 +36,17 @@ class Matrix {
   const Vec& data() const { return data_; }
   Vec& data() { return data_; }
 
-  /// out = this * x  (rows() results). The parallel overload partitions
-  /// output rows across `parallelism` chunks — disjoint writes, so the
-  /// result is bitwise identical to the sequential kernel.
+  /// out = this * x (rows() results), via the vec::simd::Gemv
+  /// micro-kernel (REDUCTION class: per-row dots, deterministic per
+  /// backend). The parallel overload partitions output rows across
+  /// `parallelism` chunks — disjoint writes and per-row-pure values, so
+  /// the result is bitwise identical to the sequential kernel.
   Vec MatVec(const Vec& x) const;
   Vec MatVec(const Vec& x, int parallelism) const;
-  /// out = this^T * x (cols() results). The parallel overload reduces
-  /// per-chunk column accumulators in chunk order (deterministic for a
-  /// fixed `parallelism`, ε-close to sequential).
+  /// out = this^T * x (cols() results), via vec::simd::GemvT
+  /// (ELEMENTWISE class: bitwise identical across backends). The parallel
+  /// overload reduces per-chunk column accumulators in chunk order
+  /// (deterministic for a fixed `parallelism`, ε-close to sequential).
   Vec MatTVec(const Vec& x) const;
   Vec MatTVec(const Vec& x, int parallelism) const;
 
@@ -53,9 +56,10 @@ class Matrix {
   Vec data_;
 };
 
-/// out = a * b. Cache-blocked i-k-j kernel; the parallel path partitions
-/// rows of `a` across chunks (disjoint output blocks, bitwise identical to
-/// the sequential result for any `parallelism`).
+/// out = a * b, via the cache-blocked vec::simd::Gemm micro-kernel
+/// (ELEMENTWISE class: bitwise identical across backends); the parallel
+/// path partitions rows of `a` across chunks (disjoint output blocks,
+/// bitwise identical to the sequential result for any `parallelism`).
 Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism = 1);
 
 }  // namespace rain

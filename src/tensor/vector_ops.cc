@@ -1,5 +1,6 @@
 #include "tensor/vector_ops.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -25,6 +26,60 @@ double DotScalar(const double* x, const double* y, size_t n) {
 
 void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+// --------------------------------------------------------------------------
+// Scalar fallbacks for the SHAPED-REDUCTION kernels. These replicate the
+// AVX2 lane shape exactly — four virtual lane accumulators filled in
+// stride-4 steps, combined as (l0+l1)+(l2+l3) (resp. products), scalar
+// tail folded afterwards — so both backends produce identical bits.
+// --------------------------------------------------------------------------
+
+double Dot2Scalar(const double* a, const double* x, const double* b,
+                  const double* y, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t j = 0; j < 4; ++j) {
+      lane[j] += a[i + j] * x[i + j] + b[i + j] * y[i + j];
+    }
+  }
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += a[i] * x[i] + b[i] * y[i];
+  return total;
+}
+
+double GatherSumScalar(const double* v, const int32_t* idx, size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t j = 0; j < 4; ++j) lane[j] += v[idx[i + j]];
+  }
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]];
+  return total;
+}
+
+double GatherProdScalar(const double* v, const int32_t* idx, size_t n) {
+  double lane[4] = {1.0, 1.0, 1.0, 1.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t j = 0; j < 4; ++j) lane[j] *= v[idx[i + j]];
+  }
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= v[idx[i]];
+  return total;
+}
+
+double GatherProdOneMinusScalar(const double* v, const int32_t* idx, size_t n) {
+  double lane[4] = {1.0, 1.0, 1.0, 1.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t j = 0; j < 4; ++j) lane[j] *= 1.0 - v[idx[i + j]];
+  }
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= 1.0 - v[idx[i]];
+  return total;
 }
 
 #ifdef RAIN_SIMD_X86
@@ -70,6 +125,152 @@ __attribute__((target("avx2,fma"))) void AxpyAvx2(double alpha, const double* x,
   for (; i < n; ++i) y[i] = __builtin_fma(alpha, x[i], y[i]);
 }
 
+/// ELEMENTWISE kernels are compiled with target("avx2") only — no FMA —
+/// so neither the vector body nor the scalar tail can contract the
+/// multiply-add into a single rounding: every element gets the exact
+/// round(y + round(alpha*x)) sequence of the plain scalar loop, making
+/// the AVX2 path bitwise identical to the fallback.
+__attribute__((target("avx2"))) void MulAddAvx2(double alpha, const double* x,
+                                                double* y, size_t n) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d prod = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), prod));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+/// Four chained multiply-adds per pass over y, for the Gemm inner loop:
+/// y[i] receives round(y + round(a0*b0)), then a1*b1, a2*b2, a3*b3 — the
+/// identical per-element rounding sequence as four sequential MulAdd
+/// calls, but with one load/store of y instead of four.
+__attribute__((target("avx2"))) void MulAdd4Avx2(const double* alpha,
+                                                 const double* b0,
+                                                 const double* b1,
+                                                 const double* b2,
+                                                 const double* b3, double* y,
+                                                 size_t n) {
+  const __m256d va0 = _mm256_set1_pd(alpha[0]);
+  const __m256d va1 = _mm256_set1_pd(alpha[1]);
+  const __m256d va2 = _mm256_set1_pd(alpha[2]);
+  const __m256d va3 = _mm256_set1_pd(alpha[3]);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256d acc = _mm256_loadu_pd(y + i);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va0, _mm256_loadu_pd(b0 + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va1, _mm256_loadu_pd(b1 + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va2, _mm256_loadu_pd(b2 + i)));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(va3, _mm256_loadu_pd(b3 + i)));
+    _mm256_storeu_pd(y + i, acc);
+  }
+  for (; i < n; ++i) {
+    // Separate statements keep each term's mul and add distinct
+    // roundings, exactly like the sequential MulAdd tail.
+    y[i] += alpha[0] * b0[i];
+    y[i] += alpha[1] * b1[i];
+    y[i] += alpha[2] * b2[i];
+    y[i] += alpha[3] * b3[i];
+  }
+}
+
+__attribute__((target("avx2"))) void MulAdd2Avx2(double a0, const double* x0,
+                                                 double a1, const double* x1,
+                                                 double* y, size_t n) {
+  const __m256d va0 = _mm256_set1_pd(a0);
+  const __m256d va1 = _mm256_set1_pd(a1);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(_mm256_mul_pd(va0, _mm256_loadu_pd(x0 + i)),
+                                    _mm256_mul_pd(va1, _mm256_loadu_pd(x1 + i)));
+    _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), t));
+  }
+  for (; i < n; ++i) y[i] += a0 * x0[i] + a1 * x1[i];
+}
+
+__attribute__((target("avx2"))) double Dot2Avx2(const double* a, const double* x,
+                                                const double* b, const double* y,
+                                                size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d t = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                                  _mm256_loadu_pd(x + i)),
+                                    _mm256_mul_pd(_mm256_loadu_pd(b + i),
+                                                  _mm256_loadu_pd(y + i)));
+    acc = _mm256_add_pd(acc, t);
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += a[i] * x[i] + b[i] * y[i];
+  return total;
+}
+
+__attribute__((target("avx2,fma"))) void GemvAvx2(const double* a, size_t rows,
+                                                  size_t cols, const double* x,
+                                                  double* out) {
+  for (size_t r = 0; r < rows; ++r) out[r] = DotAvx2(a + r * cols, x, cols);
+}
+
+// The masked gather form (all-ones mask, zero source) is used instead of
+// _mm256_i32gather_pd: the unmasked intrinsic seeds its destination with
+// _mm256_undefined_pd(), which gcc's -Wmaybe-uninitialized flags under
+// -Werror. Semantics are identical — every lane is gathered.
+__attribute__((target("avx2"))) inline __m256d GatherPd(const double* v,
+                                                        __m128i vi) {
+  const __m256d all = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  return _mm256_mask_i32gather_pd(_mm256_setzero_pd(), v, vi, all, 8);
+}
+
+__attribute__((target("avx2"))) double GatherSumAvx2(const double* v,
+                                                     const int32_t* idx, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_add_pd(acc, GatherPd(v, vi));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]];
+  return total;
+}
+
+__attribute__((target("avx2"))) double GatherProdAvx2(const double* v,
+                                                      const int32_t* idx,
+                                                      size_t n) {
+  __m256d acc = _mm256_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_mul_pd(acc, GatherPd(v, vi));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= v[idx[i]];
+  return total;
+}
+
+__attribute__((target("avx2"))) double GatherProdOneMinusAvx2(const double* v,
+                                                              const int32_t* idx,
+                                                              size_t n) {
+  const __m256d ones = _mm256_set1_pd(1.0);
+  __m256d acc = ones;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_mul_pd(acc, _mm256_sub_pd(ones, GatherPd(v, vi)));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= 1.0 - v[idx[i]];
+  return total;
+}
+
 bool CpuHasAvx2Fma() {
   return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
 }
@@ -85,23 +286,6 @@ bool UseSimd() {
 #endif
 }
 
-double DotRange(const double* x, const double* y, size_t n) {
-#ifdef RAIN_SIMD_X86
-  if (UseSimd()) return DotAvx2(x, y, n);
-#endif
-  return DotScalar(x, y, n);
-}
-
-void AxpyRange(double alpha, const double* x, double* y, size_t n) {
-#ifdef RAIN_SIMD_X86
-  if (UseSimd()) {
-    AxpyAvx2(alpha, x, y, n);
-    return;
-  }
-#endif
-  AxpyScalar(alpha, x, y, n);
-}
-
 }  // namespace
 
 namespace simd {
@@ -112,26 +296,163 @@ bool ForceScalar(bool force) {
   return g_force_scalar.exchange(force, std::memory_order_relaxed);
 }
 
+double Dot(const double* x, const double* y, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) return DotAvx2(x, y, n);
+#endif
+  return DotScalar(x, y, n);
+}
+
+void Axpy(double alpha, const double* x, double* y, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) {
+    AxpyAvx2(alpha, x, y, n);
+    return;
+  }
+#endif
+  AxpyScalar(alpha, x, y, n);
+}
+
+void MulAdd(double alpha, const double* x, double* y, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) {
+    MulAddAvx2(alpha, x, y, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void MulAdd2(double a0, const double* x0, double a1, const double* x1, double* y,
+             size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) {
+    MulAdd2Avx2(a0, x0, a1, x1, y, n);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < n; ++i) y[i] += a0 * x0[i] + a1 * x1[i];
+}
+
+double Dot2(const double* a, const double* x, const double* b, const double* y,
+            size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) return Dot2Avx2(a, x, b, y, n);
+#endif
+  return Dot2Scalar(a, x, b, y, n);
+}
+
+void Gemv(const double* a, size_t rows, size_t cols, const double* x, double* out) {
+#ifdef RAIN_SIMD_X86
+  if (UseSimd()) {
+    GemvAvx2(a, rows, cols, x, out);
+    return;
+  }
+#endif
+  for (size_t r = 0; r < rows; ++r) out[r] = DotScalar(a + r * cols, x, cols);
+}
+
+void GemvT(const double* a, size_t rows, size_t cols, const double* x, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) continue;
+    MulAdd(xr, a + r * cols, out, cols);
+  }
+}
+
+void Gemm(const double* a, size_t a_rows, size_t k, const double* b, size_t n,
+          double* out) {
+  // Block sizes chosen so one a-block row plus the touched b-rows stay in
+  // L1. The loop order (k-block outer, then a-row, then k) matches the
+  // pre-SIMD Matrix kernel exactly; with the ELEMENTWISE MulAdd row
+  // update the output bits match it too.
+  constexpr size_t kBlockK = 64;
+  for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
+    const size_t k1 = std::min(k, k0 + kBlockK);
+    for (size_t r = 0; r < a_rows; ++r) {
+      const double* arow = a + r * k;
+      double* orow = out + r * n;
+      size_t kk = k0;
+#ifdef RAIN_SIMD_X86
+      if (UseSimd()) {
+        // Fuse four k-steps per pass over the output row: each element
+        // still receives the same separate-mul-then-add sequence in the
+        // same kk order, so the bits match the sequential loop below,
+        // while the row is loaded/stored once instead of four times. A
+        // zero coefficient drops to the sequential loop (which skips it,
+        // as the pre-SIMD kernel did) — rare in dense products.
+        for (; kk + 4 <= k1; kk += 4) {
+          const double* alpha = arow + kk;
+          if (alpha[0] == 0.0 || alpha[1] == 0.0 || alpha[2] == 0.0 ||
+              alpha[3] == 0.0) {
+            break;
+          }
+          MulAdd4Avx2(alpha, b + kk * n, b + (kk + 1) * n, b + (kk + 2) * n,
+                      b + (kk + 3) * n, orow, n);
+        }
+      }
+#endif
+      for (; kk < k1; ++kk) {
+        const double av = arow[kk];
+        if (av == 0.0) continue;
+        MulAdd(av, b + kk * n, orow, n);
+      }
+    }
+  }
+}
+
+namespace {
+
+// Below this length the vpgatherdpd setup costs more than it saves
+// (typical small-arity AND/OR nodes), so the dispatched path uses the
+// shaped scalar loop instead. The cutoff cannot affect results: both
+// loops produce the identical fixed lane shape for a given n, so the
+// choice is invisible bit-for-bit.
+constexpr size_t kGatherSimdMin = 16;
+
+}  // namespace
+
+double GatherSum(const double* v, const int32_t* idx, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (n >= kGatherSimdMin && UseSimd()) return GatherSumAvx2(v, idx, n);
+#endif
+  return GatherSumScalar(v, idx, n);
+}
+
+double GatherProd(const double* v, const int32_t* idx, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (n >= kGatherSimdMin && UseSimd()) return GatherProdAvx2(v, idx, n);
+#endif
+  return GatherProdScalar(v, idx, n);
+}
+
+double GatherProdOneMinus(const double* v, const int32_t* idx, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (n >= kGatherSimdMin && UseSimd()) return GatherProdOneMinusAvx2(v, idx, n);
+#endif
+  return GatherProdOneMinusScalar(v, idx, n);
+}
+
 }  // namespace simd
 
 Vec Zeros(size_t n) { return Vec(n, 0.0); }
 
 double Dot(const Vec& x, const Vec& y) {
   RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
-  return DotRange(x.data(), y.data(), x.size());
+  return simd::Dot(x.data(), y.data(), x.size());
 }
 
 double Dot(const Vec& x, const Vec& y, int parallelism) {
   RAIN_CHECK(x.size() == y.size()) << "Dot size mismatch";
   if (parallelism <= 1 || x.size() < kParallelGrain) return Dot(x, y);
   return ParallelSum(parallelism, x.size(), [&x, &y](size_t begin, size_t end) {
-    return DotRange(x.data() + begin, y.data() + begin, end - begin);
+    return simd::Dot(x.data() + begin, y.data() + begin, end - begin);
   });
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y) {
   RAIN_CHECK(x.size() == y->size()) << "Axpy size mismatch";
-  AxpyRange(alpha, x.data(), y->data(), x.size());
+  simd::Axpy(alpha, x.data(), y->data(), x.size());
 }
 
 void Axpy(double alpha, const Vec& x, Vec* y, int parallelism) {
@@ -141,7 +462,7 @@ void Axpy(double alpha, const Vec& x, Vec* y, int parallelism) {
     return;
   }
   ParallelFor(parallelism, x.size(), [alpha, &x, y](size_t begin, size_t end, size_t) {
-    AxpyRange(alpha, x.data() + begin, y->data() + begin, end - begin);
+    simd::Axpy(alpha, x.data() + begin, y->data() + begin, end - begin);
   });
 }
 

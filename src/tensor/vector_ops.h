@@ -2,6 +2,7 @@
 #define RAIN_TENSOR_VECTOR_OPS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -23,19 +24,37 @@ namespace vec {
 /// fork/join handshake costs more than the arithmetic it would spread.
 constexpr size_t kParallelGrain = 4096;
 
-/// \brief Runtime-dispatched SIMD backend for the innermost Dot/Axpy
-/// kernels (first bite of the ROADMAP SIMD item).
+/// \brief Runtime-dispatched SIMD backend for the innermost range
+/// kernels (Dot/Axpy plus the GEMV/GEMTV/GEMM and gather micro-kernels
+/// behind Matrix, the per-model coefficient passes, and RelaxedPoly).
 ///
-/// On x86-64 with AVX2+FMA the element loops run 256-bit vectorized with
-/// a fixed-shape lane reduction; everywhere else (or when forced) the
-/// scalar loops run unchanged. The backend is a per-process constant, so
-/// the deterministic-chunk contract is untouched: results remain a pure
-/// function of (inputs, parallelism knob, backend), and Axpy stays
-/// bitwise chunk-invariant on both backends (the vector path computes
-/// every element with a single fused rounding, tail included, so an
-/// element's value never depends on which chunk it landed in). Dot's
-/// lane grouping differs from the scalar fold at rounding level — the
-/// same latitude chunked reductions already have across knob values.
+/// On x86-64 with AVX2+FMA the element loops run 256-bit vectorized;
+/// everywhere else (or when forced) the scalar fallbacks run. The
+/// backend is a per-process constant, so the deterministic-chunk
+/// contract is untouched: results remain a pure function of (inputs,
+/// parallelism knob, backend).
+///
+/// Determinism taxonomy — each kernel documents which class it is in:
+///  * ELEMENTWISE (MulAdd, MulAdd2): every output element is computed
+///    with the exact rounding sequence of the scalar loop (separate
+///    multiply and add roundings, no fusion, no cross-lane ops), so the
+///    AVX2 path is bitwise identical to the scalar path. These carry the
+///    shard-exact "replay the sequential multiply-add sequence"
+///    contracts in src/ml.
+///  * FUSED-ELEMENTWISE (Axpy): one fused rounding per element on AVX2,
+///    two roundings on scalar — backends differ at rounding level but
+///    each is chunk-invariant (an element's bits never depend on which
+///    chunk it landed in).
+///  * REDUCTION (Dot, Gemv): the AVX2 lane accumulators combine in a
+///    fixed shape — (l0+l1)+(l2+l3), scalar tail folded after — that
+///    depends only on n, never on alignment or scheduling. Deterministic
+///    per backend; differs from the scalar left-fold at rounding level
+///    (the same latitude chunked reductions already have across knob
+///    values).
+///  * SHAPED-REDUCTION (Dot2, GatherSum, GatherProd, GatherProdOneMinus):
+///    the scalar fallback replicates the AVX2 lane shape exactly (four
+///    virtual lanes, same combine order), so these reductions are
+///    bitwise identical across backends too.
 namespace simd {
 /// "avx2-fma" or "scalar" — whatever dispatch selected for this process.
 const char* Backend();
@@ -43,6 +62,56 @@ const char* Backend();
 /// Returns the previous setting. Not intended for concurrent flipping
 /// while kernels run (tests toggle it around call sites).
 bool ForceScalar(bool force);
+
+/// REDUCTION: returns dot(x, y) over n elements.
+double Dot(const double* x, const double* y, size_t n);
+
+/// FUSED-ELEMENTWISE: y[i] += alpha * x[i] (single fused rounding per
+/// element on AVX2).
+void Axpy(double alpha, const double* x, double* y, size_t n);
+
+/// ELEMENTWISE: y[i] += alpha * x[i] with separate multiply and add
+/// roundings — bitwise identical across backends. Use for accumulation
+/// passes whose per-row addends must replay exactly (gradients, HVP
+/// coefficient applies, chunk partials that are later reduced in order).
+void MulAdd(double alpha, const double* x, double* y, size_t n);
+
+/// ELEMENTWISE: y[i] += a0 * x0[i] + a1 * x1[i], evaluated per element as
+/// round(y + round(round(a0*x0) + round(a1*x1))) — the exact sequence of
+/// the scalar statement `y[i] += a0*x0[i] + a1*x1[i]`. Bitwise identical
+/// across backends. This is the MLP R-backward rank-2 update.
+void MulAdd2(double a0, const double* x0, double a1, const double* x1, double* y,
+             size_t n);
+
+/// SHAPED-REDUCTION: returns sum_i (a[i]*x[i] + b[i]*y[i]) with a fixed
+/// four-lane shape replicated bitwise by the scalar fallback. This is the
+/// MLP R-forward two-operand row reduction.
+double Dot2(const double* a, const double* x, const double* b, const double* y,
+            size_t n);
+
+/// REDUCTION (GEMV): out[r] = dot(a_row_r, x) for r in [0, rows); `a` is
+/// row-major rows x cols. Row values are pure functions of (row, x), so
+/// any row partitioning is bitwise-invariant.
+void Gemv(const double* a, size_t rows, size_t cols, const double* x, double* out);
+
+/// ELEMENTWISE (GEMTV): out[c] += sum_r x[r] * a[r][c], accumulated row
+/// by row with MulAdd (rows with x[r] == 0 skipped) — bitwise identical
+/// across backends and to the pre-SIMD scalar loops.
+void GemvT(const double* a, size_t rows, size_t cols, const double* x, double* out);
+
+/// ELEMENTWISE (GEMM): out += a * b for row-major blocks (a is
+/// a_rows x k, b is k x n, out is a_rows x n), cache-blocked over k with
+/// MulAdd row updates — bitwise identical across backends and to the
+/// pre-SIMD blocked loops.
+void Gemm(const double* a, size_t a_rows, size_t k, const double* b, size_t n,
+          double* out);
+
+/// SHAPED-REDUCTION: returns sum_i v[idx[i]].
+double GatherSum(const double* v, const int32_t* idx, size_t n);
+/// SHAPED-REDUCTION: returns prod_i v[idx[i]].
+double GatherProd(const double* v, const int32_t* idx, size_t n);
+/// SHAPED-REDUCTION: returns prod_i (1 - v[idx[i]]).
+double GatherProdOneMinus(const double* v, const int32_t* idx, size_t n);
 }  // namespace simd
 
 /// out = 0 vector of length n.

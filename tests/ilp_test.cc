@@ -168,6 +168,162 @@ TEST(IlpSolverTest, RandomizationSamplesDifferentOptima) {
 }
 
 // ---------------------------------------------------------------------------
+// Warm starts.
+// ---------------------------------------------------------------------------
+
+/// Chain cover: x_i + x_{i+1} >= 1, alternating costs. Big enough that
+/// branch-and-bound does real work.
+IlpProblem ChainCover(int n) {
+  IlpProblem p;
+  std::vector<int> vars;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(p.AddVar(i % 2 == 0 ? 1.1 : 1.0));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    p.AddCardinality({vars[i], vars[i + 1]}, ConstraintSense::kGe, 1.0);
+  }
+  return p;
+}
+
+TEST(IlpSolverTest, WarmStartSameOptimumFewerNodes) {
+  const IlpProblem p = ChainCover(16);
+  auto cold = SolveIlp(p, NoRandom());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(cold->optimal);
+  EXPECT_FALSE(cold->warm_start_used);
+
+  IlpSolveOptions opts = NoRandom();
+  opts.warm_start = cold->values;
+  auto warm = SolveIlp(p, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->optimal);
+  EXPECT_TRUE(warm->warm_start_used);
+  EXPECT_DOUBLE_EQ(warm->objective, cold->objective);
+  // Seeding the incumbent can only tighten the bound pruning.
+  EXPECT_LE(warm->nodes_explored, cold->nodes_explored);
+}
+
+TEST(IlpSolverTest, WarmStartSurvivesBudgetExhaustion) {
+  // 3000 vars, exactly 1500 ones: the cheap-first dive assigns zeros and
+  // cannot reach a leaf before the budget check fires (every 1024 nodes),
+  // so a 1-node budget starves the cold solver.
+  IlpProblem p;
+  std::vector<int> vars;
+  for (int i = 0; i < 3000; ++i) vars.push_back(p.AddVar(1.0));
+  p.AddCardinality(vars, ConstraintSense::kEq, 1500.0);
+  IlpSolveOptions opts = NoRandom();
+  opts.max_nodes = 1;
+  auto starved = SolveIlp(p, opts);
+  EXPECT_FALSE(starved.ok()) << "no incumbent within budget must error";
+
+  // A feasible warm start turns the same starved run into a usable
+  // anytime answer.
+  opts.warm_start.assign(p.num_vars(), 0);
+  for (int i = 0; i < 1500; ++i) opts.warm_start[i] = 1;
+  auto warm = SolveIlp(p, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->feasible);
+  EXPECT_TRUE(warm->warm_start_used);
+  EXPECT_FALSE(warm->optimal);
+  EXPECT_DOUBLE_EQ(warm->objective, p.ObjectiveValue(opts.warm_start));
+}
+
+TEST(IlpSolverTest, InfeasibleOrWrongSizeWarmStartIgnored) {
+  const IlpProblem p = ChainCover(8);
+  IlpSolveOptions opts = NoRandom();
+  opts.warm_start.assign(p.num_vars(), 0);  // violates every cover
+  auto sol = SolveIlp(p, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_FALSE(sol->warm_start_used);
+  EXPECT_TRUE(sol->optimal);
+
+  opts.warm_start.assign(p.num_vars() + 3, 1);  // wrong size
+  auto sol2 = SolveIlp(p, opts);
+  ASSERT_TRUE(sol2.ok());
+  EXPECT_FALSE(sol2->warm_start_used);
+  EXPECT_DOUBLE_EQ(sol2->objective, sol->objective);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-coupling decomposition.
+// ---------------------------------------------------------------------------
+
+/// Fig. 8 "both"-shaped instance: one-hot binary rows plus two
+/// overlapping cardinality couplings over the class-1 vars. Current
+/// prediction is class 0 everywhere, so flipping row r costs 1.
+struct BothShaped {
+  IlpProblem p;
+  std::vector<int> cls1;  // class-1 var of each row
+  int c1 = -1, c2 = -1;   // coupling constraint indices
+};
+
+BothShaped MakeBothShaped(double rhs2 = 2.0) {
+  BothShaped b;
+  for (int r = 0; r < 8; ++r) {
+    const int v0 = b.p.AddVar(0.0);
+    const int v1 = b.p.AddVar(1.0);
+    b.p.AddCardinality({v0, v1}, ConstraintSense::kEq, 1.0);
+    b.cls1.push_back(v1);
+  }
+  // Coupling 1: rows 0..5 contribute 3; coupling 2: rows 3..7 contribute 2.
+  // With a/b/c counts in {0..2}/{3..5}/{6..7}: a+b=3, b+c=2, cost 5-b,
+  // so the optimum takes b=2 -> cost 3.
+  b.p.AddCardinality({b.cls1[0], b.cls1[1], b.cls1[2], b.cls1[3], b.cls1[4],
+                      b.cls1[5]},
+                     ConstraintSense::kEq, 3.0);
+  b.c1 = static_cast<int>(b.p.num_constraints()) - 1;
+  b.p.AddCardinality({b.cls1[3], b.cls1[4], b.cls1[5], b.cls1[6], b.cls1[7]},
+                     ConstraintSense::kEq, rhs2);
+  b.c2 = static_cast<int>(b.p.num_constraints()) - 1;
+  return b;
+}
+
+TEST(IlpSolverTest, MultiCouplingDecompositionMatchesBnb) {
+  BothShaped b = MakeBothShaped();
+  auto bnb = SolveIlp(b.p, NoRandom());
+  ASSERT_TRUE(bnb.ok());
+  ASSERT_TRUE(bnb->optimal);
+  EXPECT_DOUBLE_EQ(bnb->objective, 3.0);
+
+  IlpSolveOptions opts = NoRandom();
+  opts.coupling_constraints = {b.c1, b.c2};
+  auto dec = SolveIlp(b.p, opts);
+  ASSERT_TRUE(dec.ok());
+  EXPECT_TRUE(dec->optimal);
+  EXPECT_TRUE(dec->used_decomposition);
+  EXPECT_DOUBLE_EQ(dec->objective, 3.0);
+  EXPECT_TRUE(b.p.IsFeasible(dec->values));
+}
+
+TEST(IlpSolverTest, MultiCouplingInfeasibleTargetDetected) {
+  // Coupling 2 demands more class-1 rows than its 5 members can supply.
+  BothShaped b = MakeBothShaped(/*rhs2=*/6.0);
+  IlpSolveOptions opts = NoRandom();
+  opts.coupling_constraints = {b.c1, b.c2};
+  auto dec = SolveIlp(b.p, opts);
+  // Infeasibility surfaces as an error, matching the BnB convention.
+  ASSERT_FALSE(dec.ok());
+  EXPECT_TRUE(dec.status().IsResourceExhausted());
+}
+
+TEST(IlpSolverTest, MultiCouplingRandomizedSamplesDistinctOptima) {
+  std::set<std::vector<uint8_t>> seen;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    BothShaped b = MakeBothShaped();
+    IlpSolveOptions opts;
+    opts.randomize = true;
+    opts.seed = seed;
+    opts.coupling_constraints = {b.c1, b.c2};
+    auto sol = SolveIlp(b.p, opts);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_DOUBLE_EQ(sol->objective, 3.0);
+    EXPECT_TRUE(b.p.IsFeasible(sol->values));
+    seen.insert(sol->values);
+  }
+  EXPECT_GT(seen.size(), 1u) << "multi-coupling DP must sample distinct optima";
+}
+
+// ---------------------------------------------------------------------------
 // Tiresias encoding tests.
 // ---------------------------------------------------------------------------
 
@@ -281,6 +437,46 @@ TEST_F(TiresiasFixture, RatioWithModelDenominatorUnsupported) {
 
 TEST_F(TiresiasFixture, EmptyComplaintListRejected) {
   EXPECT_FALSE(EncodeTiresias(&arena, preds, {}).ok());
+}
+
+TEST_F(TiresiasFixture, ComplaintConstraintsRecordedAndWarmStartFeasible) {
+  // count = 3 while current count is 2: the greedy repair must reach a
+  // feasible candidate (one flip), which the solver then uses to seed
+  // its incumbent.
+  std::vector<PolyId> terms;
+  for (int64_t r = 0; r < 4; ++r) terms.push_back(arena.Var(PredVar{0, r, 1}));
+  const PolyId count = arena.Add(terms);
+  auto enc = EncodeTiresias(&arena, preds, {{count, ConstraintSense::kEq, 3.0}});
+  ASSERT_TRUE(enc.ok());
+  ASSERT_EQ(enc->complaint_constraints.size(), 1u);
+  EXPECT_EQ(enc->complaint_constraints[0], enc->coupling_constraint);
+
+  const std::vector<uint8_t> warm = BuildTiresiasWarmStart(*enc);
+  ASSERT_EQ(warm.size(), enc->problem.num_vars());
+  EXPECT_TRUE(enc->problem.IsFeasible(warm));
+
+  IlpSolveOptions opts = NoRandom();
+  opts.warm_start = warm;
+  auto sol = SolveIlp(enc->problem, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_TRUE(sol->warm_start_used);
+  EXPECT_DOUBLE_EQ(sol->objective, 1.0);
+}
+
+TEST_F(TiresiasFixture, WarmStartEmptyWhenEncodingHasAuxVars) {
+  // An AND introduces a Tseitin auxiliary, which the repair cannot
+  // assign: the builder must decline rather than hand back a bogus
+  // candidate.
+  const PolyId both = arena.And(
+      {arena.Var(PredVar{0, 1, 1}), arena.Var(PredVar{0, 2, 1})});
+  auto enc = EncodeTiresias(&arena, preds, {{both, ConstraintSense::kEq, 0.0}});
+  ASSERT_TRUE(enc.ok());
+  if (enc->problem.num_vars() == 0) GTEST_SKIP();
+  const std::vector<uint8_t> warm = BuildTiresiasWarmStart(*enc);
+  if (!warm.empty()) {
+    // Acceptable only if the encoding turned out aux-free AND feasible.
+    EXPECT_TRUE(enc->problem.IsFeasible(warm));
+  }
 }
 
 }  // namespace
