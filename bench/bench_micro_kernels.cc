@@ -1,23 +1,42 @@
 /// Microbenchmarks of the vec::simd dispatch layer and the kernels built
-/// on it: scalar-vs-SIMD timings for Dot/Axpy/GEMV/GEMM, the ml
-/// coefficient passes (logistic/softmax/MLP HVPs), and the relaxed
-/// polynomial sweeps. Self-driven (no external benchmark framework):
-/// each row times the same closure under ForceScalar(true) and under the
-/// runtime-dispatched backend, and reports the speedup. Rows stream to
-/// BENCH_micro.json (baseline under bench/baselines/).
+/// on it: scalar-vs-SIMD timings for Dot/Axpy/GEMV/GEMM (packed and
+/// unpacked), the ml coefficient passes (logistic/softmax/MLP HVPs), the
+/// relaxed polynomial sweeps, and the batched multi-root GradientBatch.
+/// Self-driven (no external benchmark framework): each row times the same
+/// closure under a baseline configuration (usually ForceScalar(true)) and
+/// under the dispatched backend, and reports the speedup. A per-backend
+/// sweep re-times the hottest kernels under every tier the CPU supports
+/// (ForceBackend). Rows stream to BENCH_micro.json (baseline under
+/// bench/baselines/); the leading meta row records the active backend,
+/// the one-core flag, and the hardware concurrency so recorded numbers
+/// are interpretable later.
 ///
 /// `--verify` skips the timings and instead runs the determinism-contract
-/// checks (fast enough for the CI scale-smoke leg):
-///   * ELEMENTWISE (MulAdd/MulAdd2) and SHAPED-REDUCTION (Dot2, gathers)
-///     kernels must match the scalar fallback BITWISE;
-///   * REDUCTION kernels (Dot, Gemv) must be deterministic per backend
-///     and within 1e-9 relative of scalar;
+/// checks under EVERY available backend tier (fast enough for the CI
+/// scale-smoke leg, which runs it under RAIN_SIMD=scalar and
+/// RAIN_SIMD=avx2 in addition to the unconstrained pass):
+///   * ELEMENTWISE kernels (MulAdd, MulAdd2, MulAdd4, Mul, Gather,
+///     ScatterAxpy, GemvT, Gemm, GemmPacked) must match the scalar
+///     fallback BITWISE;
+///   * SHAPED-REDUCTION kernels (Dot2, GatherSum, GatherProd,
+///     GatherProdOneMinus, GatherDot) must match the shaped scalar
+///     fallback BITWISE, including at every n around kGatherSimdCutoff;
+///   * REDUCTION kernels (Dot, Gemv, GemmNT) must be deterministic per
+///     backend and within 1e-9 relative of scalar; GemmNT must equal the
+///     per-row Dot loop BITWISE;
 ///   * the row-partitioned Matrix paths (MatVec, MatMul) must be BITWISE
-///     identical across 1/2/8 workers.
+///     identical across 1/2/8 workers;
+///   * RelaxedPoly::GradientBatch — built entirely from ELEMENTWISE and
+///     SHAPED-REDUCTION kernels — must be BITWISE identical across
+///     backends, across 1/2/8 sweep workers, and to the single-root
+///     Gradient path.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -56,47 +75,70 @@ Vec RandomVec(size_t n, uint64_t seed) {
   return v;
 }
 
-/// Seconds per call of fn(), timed over enough repetitions to fill
-/// ~80ms of wall-clock (best of 3 batches).
-template <typename Fn>
-double TimePerCall(Fn&& fn) {
-  // Calibrate the batch size.
-  int reps = 1;
-  for (;;) {
-    Timer t;
-    for (int i = 0; i < reps; ++i) fn();
-    if (t.ElapsedSeconds() > 0.02 || reps >= (1 << 22)) break;
-    reps *= 4;
-  }
-  double best = 1e100;
-  for (int batch = 0; batch < 3; ++batch) {
-    Timer t;
-    for (int i = 0; i < reps; ++i) fn();
-    best = std::min(best, t.ElapsedSeconds() / reps);
-  }
-  return best;
-}
-
 volatile double g_sink = 0.0;
 
 struct KernelRow {
   std::string kernel;
   int64_t n = 0;
-  double scalar_s = 0.0;
+  double base_s = 0.0;
   double simd_s = 0.0;
+  /// What base_s measured: "scalar" (ForceScalar) unless a row compares
+  /// against a different reference (gemm_packed measures against the
+  /// unpacked Gemm under the SAME backend).
+  std::string baseline = "scalar";
+  /// Backend the simd_s column ran under (the dispatched one, or the
+  /// per-backend sweep's forced tier).
+  std::string backend;
 };
 
-/// Times fn() under the scalar fallback and under the dispatched backend.
+/// Interleaved A/B timing: calibrates the batch size on fa (pass the
+/// slower side there), then alternates fa/fb batches so slow drift on a
+/// shared host — frequency scaling, a noisy neighbour — hits both columns
+/// alike instead of skewing the ratio. Returns {best_a, best_b} per call.
+template <typename FA, typename FB>
+std::pair<double, double> TimePair(FA&& fa, FB&& fb) {
+  int reps = 1;
+  for (;;) {
+    Timer t;
+    for (int i = 0; i < reps; ++i) fa();
+    if (t.ElapsedSeconds() > 0.02 || reps >= (1 << 22)) break;
+    reps *= 4;
+  }
+  double best_a = 1e100, best_b = 1e100;
+  for (int batch = 0; batch < 5; ++batch) {
+    {
+      Timer t;
+      for (int i = 0; i < reps; ++i) fa();
+      best_a = std::min(best_a, t.ElapsedSeconds() / reps);
+    }
+    {
+      Timer t;
+      for (int i = 0; i < reps; ++i) fb();
+      best_b = std::min(best_b, t.ElapsedSeconds() / reps);
+    }
+  }
+  return {best_a, best_b};
+}
+
+/// Times fn() under the scalar fallback and under the dispatched backend,
+/// in interleaved batches (see TimePair).
 template <typename Fn>
 KernelRow TimeKernel(const std::string& kernel, int64_t n, Fn&& fn) {
   KernelRow row;
   row.kernel = kernel;
   row.n = n;
-  const bool prev = vec::simd::ForceScalar(true);
-  row.scalar_s = TimePerCall(fn);
-  vec::simd::ForceScalar(false);
-  row.simd_s = TimePerCall(fn);
+  const bool prev = vec::simd::ForceScalar(false);
+  std::tie(row.base_s, row.simd_s) = TimePair(
+      [&] {
+        vec::simd::ForceScalar(true);
+        fn();
+      },
+      [&] {
+        vec::simd::ForceScalar(false);
+        fn();
+      });
   vec::simd::ForceScalar(prev);
+  row.backend = vec::simd::Backend();
   return row;
 }
 
@@ -122,6 +164,51 @@ PolyId MakeJoinPoly(PolyArena* arena, int side) {
     }
   }
   return arena->Add(std::move(pairs));
+}
+
+/// \brief Multi-root workload shaped like a batched complaint set: a pool
+/// of shared high-fan-in AND terms over SHARED var nodes, each AND OR-ed
+/// into many roots.
+///
+/// The 512 var nodes are created once and referenced by every AND that
+/// samples them (PolyArena::Var does not dedupe, so sharing must happen
+/// at construction). That gives the DAG fan-in in both directions: each
+/// AND gathers `arity` shared vars (forward GatherProd runs the SIMD
+/// path) and each var's CSR parent list spans ~pool*arity/512 ANDs, each
+/// AND's list ~half the roots (the batched reverse sweep's GatherDot
+/// runs the SIMD gathers). The shared edge-weight pass is amortized
+/// across all roots — the case the batched adjoint tape is built for.
+std::vector<PolyId> MakeSharedComplaints(PolyArena* arena, size_t num_roots,
+                                         size_t pool, size_t per_root,
+                                         size_t arity) {
+  Rng rng(29);
+  constexpr size_t kVars = 512;
+  std::vector<PolyId> vars(kVars);
+  for (size_t v = 0; v < kVars; ++v) {
+    vars[v] = arena->Var(PredVar{0, static_cast<int64_t>(v), 1});
+  }
+  std::vector<PolyId> ands(pool);
+  std::vector<size_t> pick(kVars);
+  for (size_t v = 0; v < kVars; ++v) pick[v] = v;
+  for (size_t t = 0; t < pool; ++t) {
+    // Partial Fisher-Yates: the first `arity` entries of pick become a
+    // distinct random sample, so an AND never repeats a child.
+    std::vector<PolyId> children;
+    for (size_t j = 0; j < arity && j < kVars; ++j) {
+      std::swap(pick[j], pick[j + rng.UniformInt(kVars - j)]);
+      children.push_back(vars[pick[j]]);
+    }
+    ands[t] = arena->And(std::move(children));
+  }
+  std::vector<PolyId> roots(num_roots);
+  for (size_t r = 0; r < num_roots; ++r) {
+    std::vector<PolyId> terms;
+    for (size_t j = 0; j < per_root; ++j) {
+      terms.push_back(ands[(r * 37 + j * 13) % pool]);
+    }
+    roots[r] = arena->Or(std::move(terms));
+  }
+  return roots;
 }
 
 // ---------------------------------------------------------------- timings
@@ -166,6 +253,37 @@ int RunTimings() {
       vec::simd::Gemm(a.data(), m, k, b.data(), n2, out.data());
     }));
   }
+  // Packed vs unpacked GEMM under the SAME (dispatched) backend: the row
+  // isolates the cache-blocking/packing win, not the SIMD win. Sized so
+  // the B operand (k x n doubles) overflows L2 — that is where the
+  // unpacked kernel starts re-streaming B from L3/DRAM every a-row pass
+  // and packing pays for itself (below L2 size the packing memcpy is pure
+  // overhead and the unpacked kernel is the right call — Gemm stays
+  // available for that reason).
+  struct GemmShape {
+    size_t m, k, n;
+  };
+  for (const GemmShape s : {GemmShape{256, 256, 4096},
+                            GemmShape{192, 384, 8192}}) {
+    const size_t m = s.m, k = s.k, n2 = s.n;
+    const Vec a = RandomVec(m * k, 7), b = RandomVec(k * n2, 8);
+    Vec out(m * n2);
+    KernelRow row;
+    row.kernel = "gemm_packed";
+    row.n = static_cast<int64_t>(m * k * n2);
+    row.baseline = "gemm_unpacked";
+    row.backend = vec::simd::Backend();
+    std::tie(row.base_s, row.simd_s) = TimePair(
+        [&] {
+          std::fill(out.begin(), out.end(), 0.0);
+          vec::simd::Gemm(a.data(), m, k, b.data(), n2, out.data());
+        },
+        [&] {
+          std::fill(out.begin(), out.end(), 0.0);
+          vec::simd::GemmPacked(a.data(), m, k, b.data(), n2, out.data());
+        });
+    rows.push_back(row);
+  }
   {
     Dataset d = RandomDataset(2000, 17, 2, 1);
     LogisticRegression m(17);
@@ -209,19 +327,91 @@ int RunTimings() {
       g_sink = poly.Gradient(probs, &grad);
     }));
   }
+  {
+    // Batched multi-root reverse sweep over shared high-fan-in structure
+    // (one shared forward + edge-weight pass, per-root GatherDot sweeps).
+    PolyArena arena;
+    const std::vector<PolyId> roots =
+        MakeSharedComplaints(&arena, /*num_roots=*/48, /*pool=*/384,
+                             /*per_root=*/160, /*arity=*/32);
+    RelaxedPoly poly(&arena, roots);
+    Vec probs = RandomVec(arena.num_vars(), 30);
+    for (double& p : probs) p = 0.5 + 0.4 * std::tanh(p);
+    std::vector<Vec> grads;
+    rows.push_back(
+        TimeKernel("gradient_batch", static_cast<int64_t>(roots.size()), [&] {
+          poly.GradientBatch(probs, &grads, /*parallelism=*/1);
+        }));
+  }
 
-  TablePrinter table({"kernel", "n", "scalar us", "simd us", "speedup"});
+  // Per-backend sweep: the same hot kernels re-timed under every tier the
+  // CPU supports, so a recorded baseline shows the whole ladder (and a
+  // host where a tier regresses shows up as a row, not a mystery).
+  for (const char* tier : {"scalar", "avx2", "avx512"}) {
+    if (!vec::simd::ForceBackend(tier)) continue;
+    {
+      const size_t n = 16384;
+      const Vec x = RandomVec(n, 1), y = RandomVec(n, 2);
+      KernelRow row;
+      row.kernel = "dot_backend";
+      row.n = static_cast<int64_t>(n);
+      row.backend = vec::simd::Backend();
+      std::tie(row.base_s, row.simd_s) = TimePair(
+          [&] {
+            vec::simd::ForceScalar(true);
+            g_sink = vec::simd::Dot(x.data(), y.data(), n);
+          },
+          [&] {
+            vec::simd::ForceScalar(false);
+            g_sink = vec::simd::Dot(x.data(), y.data(), n);
+          });
+      vec::simd::ForceScalar(false);
+      rows.push_back(row);
+    }
+    {
+      const size_t m = 192, k = 192, n2 = 192;
+      const Vec a = RandomVec(m * k, 7), b = RandomVec(k * n2, 8);
+      Vec out(m * n2);
+      KernelRow row;
+      row.kernel = "gemm_packed_backend";
+      row.n = static_cast<int64_t>(m * k * n2);
+      row.backend = vec::simd::Backend();
+      std::tie(row.base_s, row.simd_s) = TimePair(
+          [&] {
+            vec::simd::ForceScalar(true);
+            std::fill(out.begin(), out.end(), 0.0);
+            vec::simd::GemmPacked(a.data(), m, k, b.data(), n2, out.data());
+          },
+          [&] {
+            vec::simd::ForceScalar(false);
+            std::fill(out.begin(), out.end(), 0.0);
+            vec::simd::GemmPacked(a.data(), m, k, b.data(), n2, out.data());
+          });
+      vec::simd::ForceScalar(false);
+      rows.push_back(row);
+    }
+  }
+  vec::simd::ForceBackend(nullptr);
+
+  TablePrinter table(
+      {"kernel", "backend", "n", "base us", "simd us", "speedup", "vs"});
   EmitJson json("BENCH_micro.json");
+  json.Row(StrFormat("{\"section\": \"meta\", \"backend\": \"%s\", "
+                     "\"one_core\": %s, \"hardware_concurrency\": %u}",
+                     SimdBackend(), one_core ? "true" : "false",
+                     std::thread::hardware_concurrency()));
   for (const KernelRow& r : rows) {
-    const double speedup = r.simd_s > 0.0 ? r.scalar_s / r.simd_s : 0.0;
-    table.AddRow({r.kernel, StrFormat("%lld", static_cast<long long>(r.n)),
-                  StrFormat("%.3f", r.scalar_s * 1e6),
-                  StrFormat("%.3f", r.simd_s * 1e6), StrFormat("%.2fx", speedup)});
+    const double speedup = r.simd_s > 0.0 ? r.base_s / r.simd_s : 0.0;
+    table.AddRow({r.kernel, r.backend,
+                  StrFormat("%lld", static_cast<long long>(r.n)),
+                  StrFormat("%.3f", r.base_s * 1e6),
+                  StrFormat("%.3f", r.simd_s * 1e6),
+                  StrFormat("%.2fx", speedup), r.baseline});
     json.Row(StrFormat("{\"kernel\": \"%s\", \"n\": %lld, \"scalar_s\": %.9f, "
-                       "\"simd_s\": %.9f, \"speedup\": %.3f, \"backend\": "
-                       "\"%s\", \"one_core\": %s}",
-                       r.kernel.c_str(), static_cast<long long>(r.n), r.scalar_s,
-                       r.simd_s, speedup, vec::simd::Backend(),
+                       "\"simd_s\": %.9f, \"speedup\": %.3f, \"baseline\": "
+                       "\"%s\", \"backend\": \"%s\", \"one_core\": %s}",
+                       r.kernel.c_str(), static_cast<long long>(r.n), r.base_s,
+                       r.simd_s, speedup, r.baseline.c_str(), r.backend.c_str(),
                        one_core ? "true" : "false"));
   }
   json.Close();
@@ -244,9 +434,31 @@ bool BitwiseEq(const Vec& a, const Vec& b) {
   return std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
 }
 
-int RunVerify() {
-  std::printf("vec::simd determinism contracts (backend: %s)\n",
-              vec::simd::Backend());
+/// The determinism-contract table (mirrors the taxonomy in
+/// tensor/vector_ops.h) — printed once so a CI log states what the
+/// checks below enforce.
+void PrintContractTable() {
+  TablePrinter t({"class", "kernels", "cross-backend contract"});
+  t.AddRow({"ELEMENTWISE",
+            "MulAdd MulAdd2 MulAdd4 Mul Gather ScatterAxpy GemvT Gemm "
+            "GemmPacked",
+            "bitwise identical on every tier"});
+  t.AddRow({"FUSED-ELEMENTWISE", "Axpy",
+            "per-tier deterministic; avx512 == avx2-fma"});
+  t.AddRow({"REDUCTION", "Dot Gemv GemmNT",
+            "per-tier deterministic; avx512 == avx2-fma; scalar 1e-9 rel"});
+  t.AddRow({"SHAPED-REDUCTION",
+            "Dot2 GatherSum GatherProd GatherProdOneMinus GatherDot",
+            "bitwise identical on every tier (shaped scalar fallback)"});
+  t.AddRow({"(composites)", "MatVec MatMul GradientBatch",
+            "bitwise invariant across 1/2/8 workers and backends"});
+  std::printf("%s\n", t.ToText().c_str());
+}
+
+/// All contract checks under the CURRENT dispatch state. `tier` labels
+/// the printed check lines.
+void RunVerifyOnce(const std::string& tier) {
+  const std::string tag = " [" + tier + "]";
   const size_t kN = 1037;  // odd length exercises the scalar tails
   const Vec x = RandomVec(kN, 11), y = RandomVec(kN, 12);
   std::vector<int32_t> idx(kN);
@@ -267,7 +479,7 @@ int RunVerify() {
     vec::simd::ForceScalar(false);
     vec::simd::MulAdd(1.7, x.data(), b.data(), kN);
     vec::simd::ForceScalar(prev);
-    Check(BitwiseEq(a, b), "MulAdd scalar == simd (bitwise)");
+    Check(BitwiseEq(a, b), "MulAdd scalar == simd (bitwise)" + tag);
   }
   {
     Vec a = y, b = y;
@@ -276,38 +488,164 @@ int RunVerify() {
     vec::simd::ForceScalar(false);
     vec::simd::MulAdd2(1.3, x.data(), -0.7, y.data(), b.data(), kN);
     vec::simd::ForceScalar(prev);
-    Check(BitwiseEq(a, b), "MulAdd2 scalar == simd (bitwise)");
+    Check(BitwiseEq(a, b), "MulAdd2 scalar == simd (bitwise)" + tag);
+  }
+  {
+    const Vec b0 = RandomVec(kN, 41), b1 = RandomVec(kN, 42),
+              b2 = RandomVec(kN, 43), b3 = RandomVec(kN, 44);
+    const double coef[4] = {1.1, -0.3, 0.0, 2.7};  // zero exercises no-skip
+    Vec a = y, b = y;
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::MulAdd4(coef, b0.data(), b1.data(), b2.data(), b3.data(),
+                       a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::MulAdd4(coef, b0.data(), b1.data(), b2.data(), b3.data(),
+                       b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    // MulAdd4 must also equal four sequential MulAdds (its contract).
+    Vec c = y;
+    for (int j = 0; j < 4; ++j) {
+      const double* bs[4] = {b0.data(), b1.data(), b2.data(), b3.data()};
+      vec::simd::MulAdd(coef[j], bs[j], c.data(), kN);
+    }
+    Check(BitwiseEq(a, b) && BitwiseEq(a, c),
+          "MulAdd4 scalar == simd == 4x MulAdd (bitwise)" + tag);
+  }
+  {
+    Vec a(kN), b(kN);
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::Mul(x.data(), y.data(), a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::Mul(x.data(), y.data(), b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(a, b), "Mul scalar == simd (bitwise)" + tag);
+  }
+  {
+    Vec a(kN), b(kN);
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::Gather(probs.data(), idx.data(), a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::Gather(probs.data(), idx.data(), b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(a, b), "Gather scalar == simd (bitwise)" + tag);
+  }
+  {
+    Vec a = y, b = y;
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::ScatterAxpy(0.9, x.data(), idx.data(), a.data(), kN);
+    vec::simd::ForceScalar(false);
+    vec::simd::ScatterAxpy(0.9, x.data(), idx.data(), b.data(), kN);
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(a, b),
+          "ScatterAxpy scalar == simd (bitwise, dup idx)" + tag);
+  }
+
+  // GEMM family: Gemm, GemmPacked and the scalar fallback must agree
+  // bitwise — including zero-laden A (the zero-skip contract).
+  {
+    const size_t m = 37, k = 53, n2 = 41;
+    Vec a = RandomVec(m * k, 45);
+    {
+      Rng rng(46);  // ~25% exact zeros, in-run and at block edges
+      for (double& v : a) {
+        if (rng.UniformInt(4) == 0) v = 0.0;
+      }
+    }
+    const Vec b = RandomVec(k * n2, 47);
+    Vec o1(m * n2, 0.1), o2(m * n2, 0.1), o3(m * n2, 0.1);
+    vec::simd::Gemm(a.data(), m, k, b.data(), n2, o1.data());
+    vec::simd::GemmPacked(a.data(), m, k, b.data(), n2, o2.data());
+    const bool prev = vec::simd::ForceScalar(true);
+    vec::simd::GemmPacked(a.data(), m, k, b.data(), n2, o3.data());
+    vec::simd::ForceScalar(prev);
+    Check(BitwiseEq(o1, o2) && BitwiseEq(o1, o3),
+          "GemmPacked == Gemm == scalar (bitwise, zeros)" + tag);
+  }
+  // GemmNT must equal the per-row Dot loop bitwise (it IS the Dot kernel
+  // per element — this is what lets the model HVPs batch their
+  // projections without changing a bit).
+  {
+    const size_t m = 23, n2 = 17, k = 61, lda = 64, ldb = 70;
+    const Vec a = RandomVec(m * lda, 48), b = RandomVec(n2 * ldb, 49);
+    Vec o1(m * n2), o2(m * n2);
+    vec::simd::GemmNT(a.data(), m, lda, b.data(), n2, ldb, k, o1.data(), n2);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n2; ++j) {
+        o2[i * n2 + j] =
+            vec::simd::Dot(a.data() + i * lda, b.data() + j * ldb, k);
+      }
+    }
+    Check(BitwiseEq(o1, o2), "GemmNT == per-row Dot (bitwise)" + tag);
   }
 
   // SHAPED-REDUCTION: scalar fallback replicates the lane shape, bitwise.
   {
     const bool prev = vec::simd::ForceScalar(true);
-    const double s_dot2 = vec::simd::Dot2(x.data(), y.data(), y.data(), x.data(), kN);
+    const double s_dot2 =
+        vec::simd::Dot2(x.data(), y.data(), y.data(), x.data(), kN);
     const double s_gs = vec::simd::GatherSum(probs.data(), idx.data(), kN);
     const double s_gp = vec::simd::GatherProd(probs.data(), idx.data(), kN);
-    const double s_gm = vec::simd::GatherProdOneMinus(probs.data(), idx.data(), kN);
+    const double s_gm =
+        vec::simd::GatherProdOneMinus(probs.data(), idx.data(), kN);
+    const double s_gd =
+        vec::simd::GatherDot(probs.data(), idx.data(), x.data(), kN);
     vec::simd::ForceScalar(false);
     Check(s_dot2 == vec::simd::Dot2(x.data(), y.data(), y.data(), x.data(), kN),
-          "Dot2 scalar == simd (bitwise)");
+          "Dot2 scalar == simd (bitwise)" + tag);
     Check(s_gs == vec::simd::GatherSum(probs.data(), idx.data(), kN),
-          "GatherSum scalar == simd (bitwise)");
+          "GatherSum scalar == simd (bitwise)" + tag);
     Check(s_gp == vec::simd::GatherProd(probs.data(), idx.data(), kN),
-          "GatherProd scalar == simd (bitwise)");
+          "GatherProd scalar == simd (bitwise)" + tag);
     Check(s_gm == vec::simd::GatherProdOneMinus(probs.data(), idx.data(), kN),
-          "GatherProdOneMinus scalar == simd (bitwise)");
+          "GatherProdOneMinus scalar == simd (bitwise)" + tag);
+    Check(s_gd == vec::simd::GatherDot(probs.data(), idx.data(), x.data(), kN),
+          "GatherDot scalar == simd (bitwise)" + tag);
     vec::simd::ForceScalar(prev);
+  }
+  // Cutoff boundary: every n around kGatherSimdCutoff must be bitwise
+  // identical on both sides of the dispatch (the cutoff is a pure
+  // performance knob — tensor_test pins the same property per kernel).
+  {
+    bool ok = true;
+    for (size_t n = vec::kGatherSimdCutoff - 3;
+         n <= vec::kGatherSimdCutoff + 3; ++n) {
+      const bool prev = vec::simd::ForceScalar(true);
+      const double gs = vec::simd::GatherSum(probs.data(), idx.data(), n);
+      const double gp = vec::simd::GatherProd(probs.data(), idx.data(), n);
+      const double gd =
+          vec::simd::GatherDot(probs.data(), idx.data(), x.data(), n);
+      vec::simd::ForceScalar(false);
+      ok = ok && gs == vec::simd::GatherSum(probs.data(), idx.data(), n) &&
+           gp == vec::simd::GatherProd(probs.data(), idx.data(), n) &&
+           gd == vec::simd::GatherDot(probs.data(), idx.data(), x.data(), n);
+      vec::simd::ForceScalar(prev);
+    }
+    Check(ok, "gathers bitwise at kGatherSimdCutoff +- 3" + tag);
+  }
+  // PrefixSuffixProducts is scalar on every tier; pin prefix[j]*suffix[j+1]
+  // against the direct leave-one-out products.
+  {
+    const size_t k = 13;
+    Vec pre(k + 1), suf(k + 1);
+    vec::simd::PrefixSuffixProducts(probs.data(), k, pre.data(), suf.data());
+    bool ok = pre[0] == 1.0 && suf[k] == 1.0;
+    for (size_t j = 0; ok && j + 1 <= k; ++j) {
+      ok = pre[j + 1] == pre[j] * probs[j] &&
+           suf[k - 1 - j] == suf[k - j] * probs[k - 1 - j];
+    }
+    Check(ok, "PrefixSuffixProducts running products exact" + tag);
   }
 
   // REDUCTION: deterministic per backend, 1e-9-relative across backends.
   {
     const double d1 = vec::simd::Dot(x.data(), y.data(), kN);
     const double d2 = vec::simd::Dot(x.data(), y.data(), kN);
-    Check(d1 == d2, "Dot deterministic (same backend, bitwise)");
+    Check(d1 == d2, "Dot deterministic (same backend, bitwise)" + tag);
     const bool prev = vec::simd::ForceScalar(true);
     const double ds = vec::simd::Dot(x.data(), y.data(), kN);
     vec::simd::ForceScalar(prev);
     Check(std::fabs(d1 - ds) <= 1e-9 * (1.0 + std::fabs(ds)),
-          "Dot scalar ~= simd (1e-9 relative)");
+          "Dot scalar ~= simd (1e-9 relative)" + tag);
   }
 
   // Worker-count invariance of the row-partitioned Matrix paths.
@@ -323,7 +661,7 @@ int RunVerify() {
     const Vec v = RandomVec(c, 16);
     const Vec seq = m.MatVec(v);
     Check(BitwiseEq(seq, m.MatVec(v, 2)) && BitwiseEq(seq, m.MatVec(v, 8)),
-          "MatVec bitwise across 1/2/8 workers");
+          "MatVec bitwise across 1/2/8 workers" + tag);
     Matrix b(c, r);
     {
       Rng rng(17);
@@ -335,7 +673,41 @@ int RunVerify() {
     const Matrix p2 = MatMul(m, b, 2);
     const Matrix p8 = MatMul(m, b, 8);
     Check(BitwiseEq(p1.data(), p2.data()) && BitwiseEq(p1.data(), p8.data()),
-          "MatMul bitwise across 1/2/8 workers");
+          "MatMul bitwise across 1/2/8 workers" + tag);
+  }
+
+  // GradientBatch composes only ELEMENTWISE + SHAPED-REDUCTION kernels,
+  // so the whole pass is bitwise invariant: across backends, across
+  // sweep worker counts, and vs the single-root Gradient path.
+  {
+    PolyArena arena;
+    const std::vector<PolyId> roots =
+        MakeSharedComplaints(&arena, /*num_roots=*/12, /*pool=*/64,
+                             /*per_root=*/40, /*arity=*/20);
+    RelaxedPoly poly(&arena, roots);
+    Vec probs2 = RandomVec(arena.num_vars(), 31);
+    for (double& p : probs2) p = 0.5 + 0.4 * std::tanh(p);
+    std::vector<Vec> g1, g2, g8, gs;
+    const std::vector<double> v1 = poly.GradientBatch(probs2, &g1, 1);
+    const std::vector<double> v2 = poly.GradientBatch(probs2, &g2, 2);
+    const std::vector<double> v8 = poly.GradientBatch(probs2, &g8, 8);
+    const bool prev = vec::simd::ForceScalar(true);
+    const std::vector<double> vs = poly.GradientBatch(probs2, &gs, 1);
+    vec::simd::ForceScalar(prev);
+    bool ok = v1 == v2 && v1 == v8 && v1 == vs;
+    for (size_t r = 0; ok && r < roots.size(); ++r) {
+      ok = BitwiseEq(g1[r], g2[r]) && BitwiseEq(g1[r], g8[r]) &&
+           BitwiseEq(g1[r], gs[r]);
+    }
+    Check(ok, "GradientBatch bitwise: workers 1/2/8 + scalar" + tag);
+    // Gradient on the SAME object shares the tape (and so the GatherDot
+    // lane shapes) with the batch path — bitwise equal to entry 0. A
+    // separately constructed single-root tape has narrower parent lists,
+    // so it is only 1e-12-near (relax_test covers that).
+    Vec grad;
+    const double val = poly.Gradient(probs2, &grad);
+    Check(val == v1[0] && BitwiseEq(grad, g1[0]),
+          "Gradient == GradientBatch entry 0 (bitwise)" + tag);
   }
 
   // Shard-exact ml coefficient passes: the sharded mean must replay the
@@ -356,9 +728,22 @@ int RunVerify() {
       close = std::fabs(direct[i] - scalar[i]) <=
               1e-9 * (1.0 + std::fabs(scalar[i]));
     }
-    Check(close, "Logistic HVP scalar ~= simd (1e-9 relative)");
+    Check(close, "Logistic HVP scalar ~= simd (1e-9 relative)" + tag);
   }
+}
 
+int RunVerify() {
+  std::printf("vec::simd determinism contracts (dispatched backend: %s)\n",
+              vec::simd::Backend());
+  PrintContractTable();
+  // Run the full check set under every tier this CPU can execute. The
+  // RAIN_SIMD cap applies inside ForceBackend's dispatch, so a CI leg
+  // running under RAIN_SIMD=scalar simply sees fewer tiers.
+  for (const char* tier : {"scalar", "avx2", "avx512"}) {
+    if (!vec::simd::ForceBackend(tier)) continue;
+    RunVerifyOnce(vec::simd::Backend());
+  }
+  vec::simd::ForceBackend(nullptr);
   std::printf("%s\n", g_failures == 0 ? "ALL CHECKS PASSED" : "FAILURES");
   return g_failures == 0 ? 0 : 1;
 }

@@ -126,9 +126,11 @@ int main(int argc, char** argv) {
   json.Row(StrFormat(
       "{\"section\": \"meta\", \"scale\": %g, \"seed\": %llu, "
       "\"adult_train\": %zu, \"dblp_train\": %zu, \"point_complaints\": %zu, "
-      "\"hardware_concurrency\": %u, \"repeats\": %d}",
+      "\"hardware_concurrency\": %u, \"repeats\": %d, \"one_core\": %s, "
+      "\"simd_backend\": \"%s\"}",
       flags.scale, static_cast<unsigned long long>(flags.seed), dims.adult_train,
-      dims.dblp_train, dims.point_complaints, hw, repeats));
+      dims.dblp_train, dims.point_complaints, hw, repeats,
+      OneCoreMachine() ? "true" : "false", SimdBackend()));
 
   scale::ScaleConfig config;
   config.scale = flags.scale;

@@ -7,6 +7,8 @@
 #include <thread>
 #include <utility>
 
+#include "tensor/vector_ops.h"
+
 namespace rain {
 namespace bench {
 
@@ -34,6 +36,8 @@ int BenchThreads() {
   const int hw = static_cast<int>(std::thread::hardware_concurrency());
   return hw >= 1 ? hw : 1;
 }
+
+const char* SimdBackend() { return vec::simd::Backend(); }
 
 bool OneCoreMachine() {
   static const bool one_core = [] {

@@ -54,6 +54,14 @@ int BenchThreads();
 /// baselines are recognizable.
 bool OneCoreMachine();
 
+/// \brief The active vec::simd backend name ("avx512", "avx2-fma",
+/// "scalar") for JSON meta rows.
+///
+/// Timings depend on the SIMD tier the dispatcher picked (and on any
+/// RAIN_SIMD cap in effect), so recorded baselines must say which tier
+/// produced them — same reasoning as the one-core tag.
+const char* SimdBackend();
+
 /// One debugger run of one method. `ok == false` records solver/budget
 /// failures (e.g. the TwoStep ILP timing out, Section 6.3).
 struct MethodRun {

@@ -87,18 +87,40 @@ void LogisticRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   vec::ParallelAccumulate(
       RowParallelism(data.size()), data.size(), out,
       [this, &data, &v](size_t begin, size_t end, Vec* acc) {
-        for (size_t i = begin; i < end; ++i) {
-          if (!data.active(i)) continue;
-          const double* x = data.row(i);
-          const double p1 = Sigmoid(Margin(x));
-          const double s = p1 * (1.0 - p1);
-          // (x~ . v) — the same kernel HvpCoeffs uses, so the sharded
-          // replay reproduces this body's bits exactly.
-          double xv = vec::simd::Dot(v.data(), x, d_);
-          if (fit_intercept_) xv += v[d_];
-          const double coef = s * xv;
-          vec::simd::MulAdd(coef, x, acc->data(), d_);
-          if (fit_intercept_) (*acc)[d_] += coef;
+        // Runs of consecutive active rows form contiguous feature blocks,
+        // so the two per-row dots batch into Gemv calls over the run.
+        // Every Gemv element is the Dot kernel (with the operand order
+        // commuted — per-element products are rounding-identical), so the
+        // bits match the former per-row Margin / dot calls exactly, and
+        // HvpCoeffs' sharded replay still reproduces this body.
+        constexpr size_t kHvpBlock = 64;
+        double z_blk[kHvpBlock];
+        double xv_blk[kHvpBlock];
+        size_t i = begin;
+        while (i < end) {
+          if (!data.active(i)) {
+            ++i;
+            continue;
+          }
+          size_t r1 = i;
+          while (r1 < end && r1 - i < kHvpBlock && data.active(r1)) ++r1;
+          const size_t nb = r1 - i;
+          const double* xb = data.row(i);
+          vec::simd::Gemv(xb, nb, d_, theta_.data(), z_blk);
+          vec::simd::Gemv(xb, nb, d_, v.data(), xv_blk);
+          for (size_t r = 0; r < nb; ++r) {
+            const double* x = xb + r * d_;
+            const double margin =
+                fit_intercept_ ? z_blk[r] + theta_[d_] : z_blk[r];
+            const double p1 = Sigmoid(margin);
+            const double s = p1 * (1.0 - p1);
+            double xv = xv_blk[r];
+            if (fit_intercept_) xv += v[d_];
+            const double coef = s * xv;
+            vec::simd::MulAdd(coef, x, acc->data(), d_);
+            if (fit_intercept_) (*acc)[d_] += coef;
+          }
+          i = r1;
         }
       });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());

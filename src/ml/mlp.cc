@@ -132,69 +132,110 @@ void Mlp::HessianVectorProduct(const Dataset& data, const Vec& v, double l2,
   const double* v_w2 = v.data() + OffW2();
   const double* v_b2 = v.data() + OffB2();
 
+  const double* w1 = theta_.data() + OffW1();
+  const double* b1 = theta_.data() + OffB1();
+  const double* b2 = theta_.data() + OffB2();
+
   vec::ParallelAccumulate(
       RowParallelism(data.size()), data.size(), out,
       [&](size_t begin, size_t end, Vec* acc) {
-        Forward f;
-        for (size_t n = begin; n < end; ++n) {
-          if (!data.active(n)) continue;
-          const double* x = data.row(n);
-          const int y = data.label(n);
-          RunForward(x, &f);
-
-          // --- R-forward pass: directional derivatives along v.
-          // Same Dot/Dot2 kernels as HvpCoeffs, so the sharded replay
-          // reproduces this body's bits exactly. ---
-          Vec rz1(h_, 0.0);
-          for (size_t i = 0; i < h_; ++i) {
-            const double* vrow = v_w1 + i * d_;
-            rz1[i] = v_b1[i] + vec::simd::Dot(vrow, x, d_);
+        // Runs of consecutive active rows batch the three per-row matrix
+        // projections — z1 = X W1^T, R{z1} = X V1^T and z2 = A1 W2^T —
+        // into GemmNT calls over the run (the packed-GEMM layer's batched
+        // projection kernel). Every GemmNT element is the Dot kernel with
+        // the operand order commuted (per-element products are
+        // rounding-identical), and the bias adds happen afterwards in the
+        // same position, so each row's forward/R-forward values are
+        // bitwise what RunForward and the former per-row loops produced —
+        // HvpCoeffs' sharded replay still reproduces this body exactly.
+        constexpr size_t kHvpRows = 16;
+        const size_t cc = static_cast<size_t>(c_);
+        std::vector<double> z1_blk(kHvpRows * h_);
+        std::vector<double> rz1_blk(kHvpRows * h_);
+        std::vector<double> a1_blk(kHvpRows * h_);
+        std::vector<double> ra1_blk(kHvpRows * h_);
+        std::vector<double> z2_blk(kHvpRows * cc);
+        Vec p(cc), rz2(cc), dz2(cc), rdz2(cc), rda1(h_);
+        size_t n = begin;
+        while (n < end) {
+          if (!data.active(n)) {
+            ++n;
+            continue;
           }
-          Vec ra1(h_);
-          for (size_t i = 0; i < h_; ++i) ra1[i] = f.z1[i] > 0.0 ? rz1[i] : 0.0;
-          Vec rz2(c_, 0.0);
-          for (int k = 0; k < c_; ++k) {
-            const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-            const double* wrow = w2 + static_cast<size_t>(k) * h_;
-            rz2[k] = v_b2[k] + vec::simd::Dot2(vrow, f.a1.data(), wrow,
-                                               ra1.data(), h_);
-          }
+          size_t r1 = n;
+          while (r1 < end && r1 - n < kHvpRows && data.active(r1)) ++r1;
+          const size_t nb = r1 - n;
+          const double* xb = data.row(n);
 
-          // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
-          Vec dz2 = f.p;
-          dz2[y] -= 1.0;
-          double prz = 0.0;
-          for (int k = 0; k < c_; ++k) prz += f.p[k] * rz2[k];
-          Vec rdz2(c_);
-          for (int k = 0; k < c_; ++k) rdz2[k] = f.p[k] * (rz2[k] - prz);
-
-          // --- R-backward pass. ---
-          // RdW2 = rdz2 (x) a1 + dz2 (x) ra1; Rdb2 = rdz2.
-          double* o_w1 = acc->data() + OffW1();
-          double* o_b1 = acc->data() + OffB1();
-          double* o_w2 = acc->data() + OffW2();
-          double* o_b2 = acc->data() + OffB2();
-
-          Vec rda1(h_, 0.0);  // R{da1} = W2^T rdz2 + V2^T dz2
-          for (int k = 0; k < c_; ++k) {
-            o_b2[k] += rdz2[k];
-            double* orow = o_w2 + static_cast<size_t>(k) * h_;
-            const double* wrow = w2 + static_cast<size_t>(k) * h_;
-            const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
-            // ELEMENTWISE MulAdd2 keeps each element's rounding identical
-            // to the former interleaved two-term statements.
-            vec::simd::MulAdd2(rdz2[k], f.a1.data(), dz2[k], ra1.data(),
-                               orow, h_);
-            vec::simd::MulAdd2(rdz2[k], wrow, dz2[k], vrow, rda1.data(), h_);
+          // --- Batched forward + R-forward projections. ---
+          vec::simd::GemmNT(xb, nb, d_, w1, h_, d_, d_, z1_blk.data(), h_);
+          vec::simd::GemmNT(xb, nb, d_, v_w1, h_, d_, d_, rz1_blk.data(), h_);
+          for (size_t r = 0; r < nb; ++r) {
+            double* z1 = z1_blk.data() + r * h_;
+            double* a1 = a1_blk.data() + r * h_;
+            double* rz1 = rz1_blk.data() + r * h_;
+            double* ra1 = ra1_blk.data() + r * h_;
+            for (size_t i = 0; i < h_; ++i) {
+              z1[i] = b1[i] + z1[i];
+              a1[i] = z1[i] > 0.0 ? z1[i] : 0.0;
+              rz1[i] = v_b1[i] + rz1[i];
+              ra1[i] = z1[i] > 0.0 ? rz1[i] : 0.0;
+            }
           }
-          // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
-          for (size_t i = 0; i < h_; ++i) {
-            const double rg = f.z1[i] > 0.0 ? rda1[i] : 0.0;
-            o_b1[i] += rg;
-            if (rg == 0.0) continue;
-            double* orow = o_w1 + i * d_;
-            vec::simd::MulAdd(rg, x, orow, d_);
+          vec::simd::GemmNT(a1_blk.data(), nb, h_, w2, cc, h_, h_,
+                            z2_blk.data(), cc);
+
+          for (size_t r = 0; r < nb; ++r) {
+            const double* x = xb + r * d_;
+            const int y = data.label(n + r);
+            const double* z1 = z1_blk.data() + r * h_;
+            const double* a1 = a1_blk.data() + r * h_;
+            const double* ra1 = ra1_blk.data() + r * h_;
+            for (size_t k = 0; k < cc; ++k) p[k] = b2[k] + z2_blk[r * cc + k];
+            SoftmaxInPlace(p.data(), c_);
+            // R{z2} keeps the per-row Dot2 kernel (two-operand reduction,
+            // no GEMM shape) — same as HvpCoeffs.
+            for (int k = 0; k < c_; ++k) {
+              const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+              const double* wrow = w2 + static_cast<size_t>(k) * h_;
+              rz2[k] = v_b2[k] + vec::simd::Dot2(vrow, a1, wrow, ra1, h_);
+            }
+
+            // dz2 = p - e_y; R{dz2} = R{p} = (diag(p) - p p^T) rz2.
+            for (size_t k = 0; k < cc; ++k) dz2[k] = p[k];
+            dz2[y] -= 1.0;
+            double prz = 0.0;
+            for (int k = 0; k < c_; ++k) prz += p[k] * rz2[k];
+            for (int k = 0; k < c_; ++k) rdz2[k] = p[k] * (rz2[k] - prz);
+
+            // --- R-backward pass. ---
+            // RdW2 = rdz2 (x) a1 + dz2 (x) ra1; Rdb2 = rdz2.
+            double* o_w1 = acc->data() + OffW1();
+            double* o_b1 = acc->data() + OffB1();
+            double* o_w2 = acc->data() + OffW2();
+            double* o_b2 = acc->data() + OffB2();
+
+            rda1.assign(h_, 0.0);  // R{da1} = W2^T rdz2 + V2^T dz2
+            for (int k = 0; k < c_; ++k) {
+              o_b2[k] += rdz2[k];
+              double* orow = o_w2 + static_cast<size_t>(k) * h_;
+              const double* wrow = w2 + static_cast<size_t>(k) * h_;
+              const double* vrow = v_w2 + static_cast<size_t>(k) * h_;
+              // ELEMENTWISE MulAdd2 keeps each element's rounding identical
+              // to the former interleaved two-term statements.
+              vec::simd::MulAdd2(rdz2[k], a1, dz2[k], ra1, orow, h_);
+              vec::simd::MulAdd2(rdz2[k], wrow, dz2[k], vrow, rda1.data(), h_);
+            }
+            // R{dz1} = R{da1} .* relu'(z1); relu'' = 0 a.e.
+            for (size_t i = 0; i < h_; ++i) {
+              const double rg = z1[i] > 0.0 ? rda1[i] : 0.0;
+              o_b1[i] += rg;
+              if (rg == 0.0) continue;
+              double* orow = o_w1 + i * d_;
+              vec::simd::MulAdd(rg, x, orow, d_);
+            }
           }
+          n = r1;
         }
       });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());

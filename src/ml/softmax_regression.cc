@@ -109,27 +109,56 @@ void SoftmaxRegression::HessianVectorProduct(const Dataset& data, const Vec& v,
   vec::ParallelAccumulate(
       RowParallelism(data.size()), data.size(), out,
       [this, &data, &v, bs](size_t begin, size_t end, Vec* acc) {
-        std::vector<double> p(c_);
-        std::vector<double> a(c_);
-        for (size_t i = begin; i < end; ++i) {
-          if (!data.active(i)) continue;
-          const double* x = data.row(i);
-          PredictProba(x, p.data());
-          // a_c = V_c . x~ — the same kernel HvpCoeffs uses, so the
-          // sharded replay reproduces this body's bits exactly.
-          for (int c = 0; c < c_; ++c) {
-            const double* vc = v.data() + static_cast<size_t>(c) * bs;
-            a[c] = DotIntercept(vc, x, d_, fit_intercept_);
+        // Runs of consecutive active rows batch the per-row logits and
+        // V-projections into two GemmNT calls over the run (a = feature
+        // rows, b = per-class weight rows with stride bs). Every GemmNT
+        // element is the Dot kernel behind DotIntercept (operand order
+        // commuted — per-element products are rounding-identical), and
+        // the intercept add happens afterwards in the same position, so
+        // the bits match the former per-row calls exactly and HvpCoeffs'
+        // sharded replay still reproduces this body.
+        constexpr size_t kHvpRows = 32;
+        const size_t cc = static_cast<size_t>(c_);
+        std::vector<double> logit_blk(kHvpRows * cc);
+        std::vector<double> a_blk(kHvpRows * cc);
+        std::vector<double> p(cc);
+        std::vector<double> a(cc);
+        size_t i = begin;
+        while (i < end) {
+          if (!data.active(i)) {
+            ++i;
+            continue;
           }
-          double s = 0.0;
-          for (int c = 0; c < c_; ++c) s += p[c] * a[c];
-          // Row c of (d^2 l) V = p_c (a_c - s) x~
-          for (int c = 0; c < c_; ++c) {
-            const double coef = p[c] * (a[c] - s);
-            double* o = acc->data() + static_cast<size_t>(c) * bs;
-            vec::simd::MulAdd(coef, x, o, d_);
-            if (fit_intercept_) o[d_] += coef;
+          size_t r1 = i;
+          while (r1 < end && r1 - i < kHvpRows && data.active(r1)) ++r1;
+          const size_t nb = r1 - i;
+          const double* xb = data.row(i);
+          vec::simd::GemmNT(xb, nb, d_, theta_.data(), cc, bs, d_,
+                            logit_blk.data(), cc);
+          vec::simd::GemmNT(xb, nb, d_, v.data(), cc, bs, d_, a_blk.data(), cc);
+          for (size_t r = 0; r < nb; ++r) {
+            const double* x = xb + r * d_;
+            for (int c = 0; c < c_; ++c) {
+              const double z = logit_blk[r * cc + c];
+              p[c] = fit_intercept_
+                         ? z + theta_[static_cast<size_t>(c) * bs + d_]
+                         : z;
+              const double az = a_blk[r * cc + c];
+              a[c] = fit_intercept_ ? az + v[static_cast<size_t>(c) * bs + d_]
+                                    : az;
+            }
+            SoftmaxInPlace(p.data(), c_);
+            double s = 0.0;
+            for (int c = 0; c < c_; ++c) s += p[c] * a[c];
+            // Row c of (d^2 l) V = p_c (a_c - s) x~
+            for (int c = 0; c < c_; ++c) {
+              const double coef = p[c] * (a[c] - s);
+              double* o = acc->data() + static_cast<size_t>(c) * bs;
+              vec::simd::MulAdd(coef, x, o, d_);
+              if (fit_intercept_) o[d_] += coef;
+            }
           }
+          i = r1;
         }
       });
   const double inv_n = 1.0 / static_cast<double>(data.num_active());

@@ -72,6 +72,45 @@ RelaxedPoly::RelaxedPoly(const PolyArena* arena, std::vector<PolyId> roots,
     for (const PolyId c : n.children) child_idx_.push_back(local_[c]);
     child_start_[i + 1] = static_cast<int32_t>(child_idx_.size());
   }
+
+  // Invert the child index into the CSR parent index the reverse sweep
+  // gathers over. Edge order within a node's parent list is ascending
+  // (parent, child-position) — a pure function of the tape layout — so
+  // the GatherDot lane shape per node is deterministic.
+  const size_t num_edges = child_idx_.size();
+  parent_start_.assign(m + 1, 0);
+  for (const int32_t c : child_idx_) parent_start_[c + 1]++;
+  for (size_t i = 0; i < m; ++i) parent_start_[i + 1] += parent_start_[i];
+  parent_node_.resize(num_edges);
+  parent_wpos_.resize(num_edges);
+  std::vector<int32_t> fill(parent_start_.begin(), parent_start_.end() - 1);
+  for (size_t i = 0; i < m; ++i) {
+    for (int32_t p = child_start_[i]; p < child_start_[i + 1]; ++p) {
+      const int32_t child = child_idx_[p];
+      const int32_t e = fill[child]++;
+      parent_node_[e] = static_cast<int32_t>(i);
+      parent_wpos_[e] = p;
+    }
+  }
+
+  // Var-node positions for the gradient writeback (ascending tape order).
+  for (size_t i = 0; i < m; ++i) {
+    if (static_cast<PolyOp>(tape_op_[i]) == PolyOp::kVar) {
+      var_nodes_.push_back(static_cast<int32_t>(i));
+      var_ids_.push_back(static_cast<int32_t>(tape_var_[i]));
+    }
+  }
+
+  // Smallest tape index reachable from each node (children have lower
+  // indices, so one ascending pass suffices). Bounds the reverse sweep.
+  minreach_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    int32_t mr = static_cast<int32_t>(i);
+    for (int32_t p = child_start_[i]; p < child_start_[i + 1]; ++p) {
+      mr = std::min(mr, minreach_[child_idx_[p]]);
+    }
+    minreach_[i] = mr;
+  }
 }
 
 void RelaxedPoly::Forward(const Vec& var_values, Vec* values) const {
@@ -120,79 +159,107 @@ void RelaxedPoly::Forward(const Vec& var_values, Vec* values) const {
   }
 }
 
-void RelaxedPoly::Backward(const Vec& values, PolyId root, Vec* var_grad) const {
+void RelaxedPoly::ComputeEdgeWeights(const Vec& values, Vec* w_csr) const {
   const size_t m = tape_op_.size();
-  Vec adjoint(m, 0.0);
-  adjoint[local_[root]] = 1.0;
-  var_grad->assign(arena_->num_vars(), 0.0);
-
-  // Reverse sweep over the tape (children-first order, so iterate
-  // backwards). Products use prefix/suffix accumulation to stay correct
-  // when child values are exactly zero.
-  Vec prefix, suffix;
-  for (size_t i = m; i-- > 0;) {
-    const double adj = adjoint[i];
-    if (adj == 0.0) continue;
-    const int32_t* kids = child_idx_.data() + child_start_[i];
-    const size_t k = static_cast<size_t>(child_start_[i + 1] - child_start_[i]);
+  const size_t num_edges = child_idx_.size();
+  // Weights are produced in child_idx_ layout (where a node's edges are
+  // contiguous) and permuted into parent order at the end; both layouts
+  // are per-call scratch.
+  Vec w(num_edges, 0.0);
+  Vec cvals, prefix, suffix;
+  for (size_t i = 0; i < m; ++i) {
+    const int32_t cs = child_start_[i];
+    const int32_t* kids = child_idx_.data() + cs;
+    const size_t k = static_cast<size_t>(child_start_[i + 1] - cs);
+    if (k == 0) continue;
+    double* wi = w.data() + cs;
     switch (static_cast<PolyOp>(tape_op_[i])) {
       case PolyOp::kConst:
-        break;
       case PolyOp::kVar:
-        (*var_grad)[tape_var_[i]] += adj;
         break;
       case PolyOp::kAnd:
       case PolyOp::kMul: {
-        prefix.assign(k + 1, 1.0);
-        suffix.assign(k + 1, 1.0);
-        for (size_t j = 0; j < k; ++j) {
-          prefix[j + 1] = prefix[j] * values[kids[j]];
-        }
-        for (size_t j = k; j-- > 0;) {
-          suffix[j] = suffix[j + 1] * values[kids[j]];
-        }
-        for (size_t j = 0; j < k; ++j) {
-          adjoint[kids[j]] += adj * prefix[j] * suffix[j + 1];
-        }
+        // d(prod c)/d(c_j) = prefix[j] * suffix[j+1] — leave-one-out
+        // products, correct even when child values are exactly zero.
+        cvals.resize(k);
+        vec::simd::Gather(values.data(), kids, cvals.data(), k);
+        prefix.resize(k + 1);
+        suffix.resize(k + 1);
+        vec::simd::PrefixSuffixProducts(cvals.data(), k, prefix.data(),
+                                        suffix.data());
+        vec::simd::Mul(prefix.data(), suffix.data() + 1, wi, k);
         break;
       }
       case PolyOp::kOr: {
         if (mode_ == RelaxMode::kLinearOr) {
-          for (size_t j = 0; j < k; ++j) adjoint[kids[j]] += adj;
+          for (size_t j = 0; j < k; ++j) wi[j] = 1.0;
           break;
         }
         // out = 1 - prod(1 - c_j); d out/d c_j = prod_{m!=j} (1 - c_m).
-        prefix.assign(k + 1, 1.0);
-        suffix.assign(k + 1, 1.0);
-        for (size_t j = 0; j < k; ++j) {
-          prefix[j + 1] = prefix[j] * (1.0 - values[kids[j]]);
-        }
-        for (size_t j = k; j-- > 0;) {
-          suffix[j] = suffix[j + 1] * (1.0 - values[kids[j]]);
-        }
-        for (size_t j = 0; j < k; ++j) {
-          adjoint[kids[j]] += adj * prefix[j] * suffix[j + 1];
-        }
+        cvals.resize(k);
+        vec::simd::Gather(values.data(), kids, cvals.data(), k);
+        for (size_t j = 0; j < k; ++j) cvals[j] = 1.0 - cvals[j];
+        prefix.resize(k + 1);
+        suffix.resize(k + 1);
+        vec::simd::PrefixSuffixProducts(cvals.data(), k, prefix.data(),
+                                        suffix.data());
+        vec::simd::Mul(prefix.data(), suffix.data() + 1, wi, k);
         break;
       }
       case PolyOp::kNot:
-        adjoint[kids[0]] -= adj;
+        wi[0] = -1.0;
         break;
-      case PolyOp::kAdd: {
-        for (size_t j = 0; j < k; ++j) adjoint[kids[j]] += adj;
+      case PolyOp::kAdd:
+        for (size_t j = 0; j < k; ++j) wi[j] = 1.0;
         break;
-      }
       case PolyOp::kDiv: {
         const double num = values[kids[0]];
         const double den = values[kids[1]];
         if (den != 0.0) {
-          adjoint[kids[0]] += adj / den;
-          adjoint[kids[1]] -= adj * num / (den * den);
+          wi[0] = 1.0 / den;
+          wi[1] = -(num / (den * den));
         }
+        // den == 0: weights stay 0 (the forward value is pinned to 0
+        // there, matching the pre-tape sweep's skip).
         break;
       }
     }
   }
+  // Permute into CSR parent order so each node's incoming weights are
+  // contiguous for the GatherDot sweep.
+  w_csr->resize(num_edges);
+  vec::simd::Gather(w.data(), parent_wpos_.data(), w_csr->data(), num_edges);
+}
+
+void RelaxedPoly::ReverseSweep(const Vec& w_csr, int32_t root_local,
+                               Vec* var_grad) const {
+  const size_t m = tape_op_.size();
+  Vec adjoint(m, 0.0);
+  adjoint[root_local] = 1.0;
+  // Children-first topological order puts every parent at a higher tape
+  // index than its child, so one descending pass sees all of a node's
+  // parent adjoints before it fills the node: adjoint[i] is a single
+  // batched gather over the CSR parent list instead of k scatters from
+  // each parent. Nodes above the root keep adjoint 0 and contribute
+  // nothing, exactly like the scatter formulation's zero-skip.
+  const double* w = w_csr.data();
+  const size_t lo = static_cast<size_t>(minreach_[root_local]);
+  for (size_t i = static_cast<size_t>(root_local); i-- > lo;) {
+    const int32_t ps = parent_start_[i];
+    const size_t np = static_cast<size_t>(parent_start_[i + 1] - ps);
+    if (np == 0) continue;
+    adjoint[i] = vec::simd::GatherDot(adjoint.data(), parent_node_.data() + ps,
+                                      w + ps, np);
+  }
+  // Writeback: gather the var-node adjoints into a contiguous block, then
+  // scatter-add onto the dense gradient (+= 1.0 * adjoint is exact, and
+  // duplicate VarIds accumulate in ascending tape order).
+  var_grad->assign(arena_->num_vars(), 0.0);
+  const size_t nv = var_nodes_.size();
+  if (nv == 0) return;
+  Vec vadj(nv);
+  vec::simd::Gather(adjoint.data(), var_nodes_.data(), vadj.data(), nv);
+  vec::simd::ScatterAxpy(1.0, vadj.data(), var_ids_.data(), var_grad->data(), nv);
 }
 
 double RelaxedPoly::Evaluate(const Vec& var_values) const {
@@ -208,7 +275,9 @@ double RelaxedPoly::Gradient(const Vec& var_values, Vec* var_grad) const {
   RAIN_CHECK(var_values.size() >= arena_->num_vars());
   Vec values;
   Forward(var_values, &values);
-  Backward(values, roots_[0], var_grad);
+  Vec w_csr;
+  ComputeEdgeWeights(values, &w_csr);
+  ReverseSweep(w_csr, local_[roots_[0]], var_grad);
   return values[local_[roots_[0]]];
 }
 
@@ -230,11 +299,16 @@ std::vector<double> RelaxedPoly::GradientBatch(const Vec& var_values,
   if (roots_.empty()) return {};
   Vec values;
   Forward(var_values, &values);
+  // One edge-weight pass shared by every root: the expensive per-node
+  // leave-one-out products are root-independent, so a batch of R roots
+  // pays for them once instead of R times.
+  Vec w_csr;
+  ComputeEdgeWeights(values, &w_csr);
   std::vector<double> out(roots_.size());
   // Per-root reverse sweeps are independent (each writes only its own
   // slot), so any chunking of the root range produces identical results.
   ParallelForEach(parallelism, roots_.size(), [&](size_t k) {
-    Backward(values, roots_[k], &(*var_grads)[k]);
+    ReverseSweep(w_csr, local_[roots_[k]], &(*var_grads)[k]);
     out[k] = values[local_[roots_[k]]];
   });
   return out;

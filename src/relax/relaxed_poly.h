@@ -34,8 +34,11 @@ enum class RelaxMode : uint8_t {
 ///     `HolisticRanker` chains into model probability gradients);
 ///   - `EvaluateBatch` / `GradientBatch` serve a whole complaint set at
 ///     once: node values are computed by ONE shared forward sweep (a node
-///     feeding five complaints is evaluated once, not five times), and the
-///     per-root reverse sweeps — mutually independent — are dispatched
+///     feeding five complaints is evaluated once, not five times), the
+///     local edge derivatives (the prefix/suffix leave-one-out products
+///     for MUL/OR nodes) are computed ONCE per call and shared by every
+///     root, and the per-root reverse sweeps — mutually independent
+///     batched adjoint gathers over the CSR parent tape — are dispatched
 ///     across the thread pool. Results are merged in root order, so they
 ///     are bitwise-independent of the worker count.
 class RelaxedPoly {
@@ -60,7 +63,9 @@ class RelaxedPoly {
 
   /// Writes d(first root)/d(var_values[v]) into (*var_grad)[v] for every
   /// variable (zero for unreachable ones) and returns the forward value.
-  /// var_grad is resized to arena->num_vars().
+  /// var_grad is resized to arena->num_vars(). Shares the tape-reverse
+  /// code path with GradientBatch, so the result is bitwise identical to
+  /// batch entry k when roots[k] == this root.
   double Gradient(const Vec& var_values, Vec* var_grad) const;
 
   /// \brief Forward values of every root under `var_values`, from one
@@ -71,17 +76,25 @@ class RelaxedPoly {
   /// never on sweep order.
   std::vector<double> EvaluateBatch(const Vec& var_values) const;
 
-  /// \brief Per-root gradients with one shared forward sweep and parallel
-  /// reverse sweeps.
+  /// \brief Per-root gradients with one shared forward sweep, one shared
+  /// edge-weight pass, and parallel batched-gather reverse sweeps.
   ///
   /// Writes d(roots[k])/d(var) into (*var_grads)[k] (each resized dense to
   /// arena->num_vars(); zero for variables the root does not reach) and
-  /// returns the forward value of every root. The reverse sweeps are
-  /// independent per root and dispatched over `parallelism` workers;
-  /// because each root's sweep touches only its own output slot, the
-  /// result is a pure function of (arena, roots, var_values) — bitwise
-  /// identical for every `parallelism` value, with <= 1 running the sweeps
-  /// inline on the calling thread.
+  /// returns the forward value of every root.
+  ///
+  /// The local derivative of every tape edge (parent, child) depends only
+  /// on the forward values — never on the root — so the prefix/suffix
+  /// leave-one-out products behind the MUL/OR derivatives are computed
+  /// once per call and amortized across all roots; each root's reverse
+  /// sweep is then a descending pass that fills adjoint[i] with one
+  /// GatherDot over the CSR parent list (SHAPED-REDUCTION: bitwise
+  /// identical across backends). The sweeps are independent per root and
+  /// dispatched over `parallelism` workers; because each root's sweep
+  /// touches only its own output slot, the result is a pure function of
+  /// (arena, roots, var_values) — bitwise identical for every
+  /// `parallelism` value, with <= 1 running the sweeps inline on the
+  /// calling thread.
   std::vector<double> GradientBatch(const Vec& var_values,
                                     std::vector<Vec>* var_grads,
                                     int parallelism = 1) const;
@@ -96,9 +109,17 @@ class RelaxedPoly {
 
  private:
   void Forward(const Vec& var_values, Vec* values) const;
-  /// Reverse sweep seeded at `root`, accumulating into `var_grad`
-  /// (assigned dense-zero first). `values` is a Forward() result.
-  void Backward(const Vec& values, PolyId root, Vec* var_grad) const;
+  /// Writes the local derivative d(node)/d(child) of every tape edge into
+  /// `w_csr`, ordered by the CSR *parent* layout (entry e weights the
+  /// edge (parent_node_[e] -> its child)). `values` is a Forward()
+  /// result. Root-independent: computed once per gradient call.
+  void ComputeEdgeWeights(const Vec& values, Vec* w_csr) const;
+  /// Reverse sweep seeded at tape index `root_local`: descending over the
+  /// tape, adjoint[i] = GatherDot(adjoint, parents(i), w_csr) — parents
+  /// always have higher tape indices in the children-first order — then
+  /// the var-node adjoints are written back into `var_grad` (assigned
+  /// dense-zero first) via Gather + ScatterAxpy.
+  void ReverseSweep(const Vec& w_csr, int32_t root_local, Vec* var_grad) const;
 
   const PolyArena* arena_;
   std::vector<PolyId> roots_;
@@ -121,6 +142,24 @@ class RelaxedPoly {
   /// child_start_[i+1]) as local (tape) indices.
   std::vector<int32_t> child_start_;
   std::vector<int32_t> child_idx_;
+  /// CSR *parent* index over the same edges, built once at flatten time:
+  /// the parents of tape node i live at parent_node_[parent_start_[i] ..
+  /// parent_start_[i+1]), and parent_wpos_[e] is the position of edge e
+  /// in the child_idx_ layout (where ComputeEdgeWeights produces the
+  /// weight before it is permuted into parent order). This is what turns
+  /// the reverse sweep's per-node scatter into level-batched gathers.
+  std::vector<int32_t> parent_start_;
+  std::vector<int32_t> parent_node_;
+  std::vector<int32_t> parent_wpos_;
+  /// Tape indices of kVar nodes (ascending) and their VarIds as int32,
+  /// for the Gather + ScatterAxpy gradient writeback.
+  std::vector<int32_t> var_nodes_;
+  std::vector<int32_t> var_ids_;
+  /// minreach_[i] = smallest tape index reachable from node i. Every
+  /// descendant of i lies in [minreach_[i], i], so a root's reverse sweep
+  /// stops there instead of scanning to 0 — for a batch of structurally
+  /// disjoint complaints each sweep only walks its own contiguous block.
+  std::vector<int32_t> minreach_;
 };
 
 }  // namespace rain

@@ -60,8 +60,13 @@ Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism) {
   Matrix out(a.rows(), b.cols());
   const size_t n = b.cols();
   const size_t k_total = a.cols();
+  // Row partitioning over a; each worker runs the packed cache-blocked
+  // kernel on its row block. GemmPacked accumulates every output element's
+  // k-terms in ascending k order with the same roundings as Gemm and the
+  // scalar loops, so the split is bitwise-invariant across worker counts.
   ParallelFor(parallelism, a.rows(), [&](size_t begin, size_t end, size_t) {
-    vec::simd::Gemm(a.Row(begin), end - begin, k_total, b.Row(0), n, out.Row(begin));
+    vec::simd::GemmPacked(a.Row(begin), end - begin, k_total, b.Row(0), n,
+                          out.Row(begin));
   });
   return out;
 }

@@ -56,10 +56,11 @@ class Matrix {
   Vec data_;
 };
 
-/// out = a * b, via the cache-blocked vec::simd::Gemm micro-kernel
-/// (ELEMENTWISE class: bitwise identical across backends); the parallel
-/// path partitions rows of `a` across chunks (disjoint output blocks,
-/// bitwise identical to the sequential result for any `parallelism`).
+/// out = a * b, via the packed cache-blocked vec::simd::GemmPacked
+/// micro-kernel (ELEMENTWISE class: bitwise identical across backends,
+/// and to the unpacked Gemm reference); the parallel path partitions rows
+/// of `a` across chunks (disjoint output blocks, bitwise identical to the
+/// sequential result for any `parallelism`).
 Matrix MatMul(const Matrix& a, const Matrix& b, int parallelism = 1);
 
 }  // namespace rain

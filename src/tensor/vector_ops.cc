@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -16,7 +18,95 @@ namespace rain {
 namespace vec {
 namespace {
 
+// --------------------------------------------------------------------------
+// Tier selection. Three tiers, ordered; the active tier is the minimum of
+// (best CPU-supported tier, RAIN_SIMD env cap, ForceBackend cap), with
+// ForceScalar trumping everything. All state is relaxed-atomic: the tier
+// is a per-process constant in production (env read once), and the test
+// hooks toggle it only around call sites.
+// --------------------------------------------------------------------------
+
+constexpr int kTierScalar = 0;
+constexpr int kTierAvx2 = 1;
+constexpr int kTierAvx512 = 2;
+
 std::atomic<bool> g_force_scalar{false};
+std::atomic<int> g_forced_cap{-1};  // -1 = no ForceBackend cap
+std::atomic<int> g_env_cap{-2};     // -2 = RAIN_SIMD not read yet, -1 = unset
+
+int DetectBestTier() {
+#ifdef RAIN_SIMD_X86
+  if (__builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return kTierAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return kTierAvx2;
+  }
+#endif
+  return kTierScalar;
+}
+
+int BestTier() {
+  static const int best = DetectBestTier();
+  return best;
+}
+
+/// Parses a tier name; -1 for unrecognized.
+int ParseTierName(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return kTierScalar;
+  if (std::strcmp(name, "avx2") == 0 || std::strcmp(name, "avx2-fma") == 0) {
+    return kTierAvx2;
+  }
+  if (std::strcmp(name, "avx512") == 0) return kTierAvx512;
+  return -1;
+}
+
+/// Reads RAIN_SIMD. Unrecognized values get a one-time stderr note and
+/// behave as unset; a recognized tier above what the CPU supports gets a
+/// one-time clamp note (the min in ActiveTier does the clamping).
+int ReadEnvCap() {
+  const char* env = std::getenv("RAIN_SIMD");
+  if (env == nullptr || env[0] == '\0') return -1;
+  const int tier = ParseTierName(env);
+  if (tier < 0) {
+    std::fprintf(stderr,
+                 "RAIN_SIMD='%s' not recognized (expected avx512|avx2|scalar); "
+                 "using runtime dispatch\n",
+                 env);
+    return -1;
+  }
+  if (tier > BestTier()) {
+    std::fprintf(stderr,
+                 "RAIN_SIMD='%s' exceeds CPU support; clamping to the best "
+                 "supported tier\n",
+                 env);
+  }
+  return tier;
+}
+
+int EnvCap() {
+  int v = g_env_cap.load(std::memory_order_relaxed);
+  if (v == -2) {
+    v = ReadEnvCap();
+    g_env_cap.store(v, std::memory_order_relaxed);
+  }
+  return v;
+}
+
+int ActiveTier() {
+  if (g_force_scalar.load(std::memory_order_relaxed)) return kTierScalar;
+  int tier = BestTier();
+  const int env = EnvCap();
+  if (env >= 0 && env < tier) tier = env;
+  const int forced = g_forced_cap.load(std::memory_order_relaxed);
+  if (forced >= 0 && forced < tier) tier = forced;
+  return tier;
+}
+
+// --------------------------------------------------------------------------
+// Scalar kernels.
+// --------------------------------------------------------------------------
 
 double DotScalar(const double* x, const double* y, size_t n) {
   double acc = 0.0;
@@ -28,11 +118,33 @@ void AxpyScalar(double alpha, const double* x, double* y, size_t n) {
   for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
+void MulAddScalar(double alpha, const double* x, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void MulAdd4Scalar(const double* a, const double* b0, const double* b1,
+                   const double* b2, const double* b3, double* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    // Separate statements keep each term's mul and add distinct
+    // roundings — the exact chain of four sequential MulAdd calls.
+    y[i] += a[0] * b0[i];
+    y[i] += a[1] * b1[i];
+    y[i] += a[2] * b2[i];
+    y[i] += a[3] * b3[i];
+  }
+}
+
+void MulScalar(const double* a, const double* b, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
+}
+
 // --------------------------------------------------------------------------
 // Scalar fallbacks for the SHAPED-REDUCTION kernels. These replicate the
-// AVX2 lane shape exactly — four virtual lane accumulators filled in
+// SIMD lane shape exactly — four virtual lane accumulators filled in
 // stride-4 steps, combined as (l0+l1)+(l2+l3) (resp. products), scalar
-// tail folded afterwards — so both backends produce identical bits.
+// tail folded afterwards — so all backends produce identical bits. (The
+// avx512 tier consumes eight elements per step as two sequential
+// four-lane rounds, which is the same chain.)
 // --------------------------------------------------------------------------
 
 double Dot2Scalar(const double* a, const double* x, const double* b,
@@ -82,7 +194,27 @@ double GatherProdOneMinusScalar(const double* v, const int32_t* idx, size_t n) {
   return total;
 }
 
+double GatherDotScalar(const double* v, const int32_t* idx, const double* w,
+                       size_t n) {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (size_t j = 0; j < 4; ++j) lane[j] += v[idx[i + j]] * w[i + j];
+  }
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]] * w[i];
+  return total;
+}
+
+void GatherScalar(const double* v, const int32_t* idx, double* out, size_t n) {
+  for (size_t i = 0; i < n; ++i) out[i] = v[idx[i]];
+}
+
 #ifdef RAIN_SIMD_X86
+
+// ==========================================================================
+// AVX2/FMA tier.
+// ==========================================================================
 
 /// 2x-unrolled AVX2/FMA dot with a fixed-shape reduction: the two
 /// running 4-lane accumulators are added, then the four lanes combine as
@@ -129,7 +261,9 @@ __attribute__((target("avx2,fma"))) void AxpyAvx2(double alpha, const double* x,
 /// so neither the vector body nor the scalar tail can contract the
 /// multiply-add into a single rounding: every element gets the exact
 /// round(y + round(alpha*x)) sequence of the plain scalar loop, making
-/// the AVX2 path bitwise identical to the fallback.
+/// the AVX2 path bitwise identical to the fallback. (The build also sets
+/// -ffp-contract=off globally, which is what keeps the avx512 variants —
+/// whose target does include FMA hardware — from contracting.)
 __attribute__((target("avx2"))) void MulAddAvx2(double alpha, const double* x,
                                                 double* y, size_t n) {
   const __m256d va = _mm256_set1_pd(alpha);
@@ -141,7 +275,7 @@ __attribute__((target("avx2"))) void MulAddAvx2(double alpha, const double* x,
   for (; i < n; ++i) y[i] += alpha * x[i];
 }
 
-/// Four chained multiply-adds per pass over y, for the Gemm inner loop:
+/// Four chained multiply-adds per pass over y, for the GEMM inner loop:
 /// y[i] receives round(y + round(a0*b0)), then a1*b1, a2*b2, a3*b3 — the
 /// identical per-element rounding sequence as four sequential MulAdd
 /// calls, but with one load/store of y instead of four.
@@ -186,6 +320,16 @@ __attribute__((target("avx2"))) void MulAdd2Avx2(double a0, const double* x0,
     _mm256_storeu_pd(y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), t));
   }
   for (; i < n; ++i) y[i] += a0 * x0[i] + a1 * x1[i];
+}
+
+__attribute__((target("avx2"))) void MulAvx2(const double* a, const double* b,
+                                             double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(out + i,
+                     _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+  }
+  for (; i < n; ++i) out[i] = a[i] * b[i];
 }
 
 __attribute__((target("avx2"))) double Dot2Avx2(const double* a, const double* x,
@@ -271,41 +415,417 @@ __attribute__((target("avx2"))) double GatherProdOneMinusAvx2(const double* v,
   return total;
 }
 
-bool CpuHasAvx2Fma() {
-  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+__attribute__((target("avx2"))) double GatherDotAvx2(const double* v,
+                                                     const int32_t* idx,
+                                                     const double* w, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(GatherPd(v, vi), _mm256_loadu_pd(w + i)));
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]] * w[i];
+  return total;
 }
+
+__attribute__((target("avx2"))) void GatherAvx2(const double* v,
+                                                const int32_t* idx, double* out,
+                                                size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    _mm256_storeu_pd(out + i, GatherPd(v, vi));
+  }
+  for (; i < n; ++i) out[i] = v[idx[i]];
+}
+
+// gcc's AVX-512 intrinsic headers seed several destinations with
+// _mm512_undefined_pd() internally (even the plain 512->256 cast), which
+// the middle-end flags as -Wmaybe-uninitialized when inlined here under
+// -Werror (gcc PR 105593). The lanes in question are all fully written;
+// suppress the bogus diagnostic for this section only.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#endif
+
+// ==========================================================================
+// AVX-512 tier. Every kernel here is constructed to be BITWISE IDENTICAL
+// to its avx2-fma counterpart: a 512-bit accumulator is treated as the
+// avx2 tier's two 256-bit accumulators side by side (same per-lane
+// chains), shaped reductions consume eight elements per step as two
+// sequential four-lane rounds (same chain as two avx2 rounds), and
+// elementwise kernels keep the separate mul/add roundings. The wider
+// registers buy instruction count, never different bits — so a host
+// upgrade (or RAIN_SIMD forcing) can never change results vs avx2-fma.
+// ==========================================================================
+
+#define RAIN_TARGET_AVX512 "avx512f,avx512dq,avx512vl,avx2,fma"
+
+// Half extraction via cast/shuffle rather than _mm512_extractf64x4_pd:
+// gcc 12's extract intrinsic routes through _mm256_undefined_pd(), which
+// -Wmaybe-uninitialized flags under -Werror. Same lanes, same zero cost.
+__attribute__((target("avx512f,avx512dq,avx512vl,avx2,fma"))) inline __m256d
+Lo256(__m512d v) {
+  return _mm512_castpd512_pd256(v);
+}
+
+__attribute__((target("avx512f,avx512dq,avx512vl,avx2,fma"))) inline __m256d
+Hi256(__m512d v) {
+  return _mm512_castpd512_pd256(_mm512_shuffle_f64x2(v, v, 0xEE));
+}
+
+// Masked form for the same reason as GatherPd above: the unmasked
+// _mm512_i32gather_pd seeds its destination with an undefined value that
+// gcc's -Wmaybe-uninitialized flags under -Werror. All eight lanes gather.
+__attribute__((target(RAIN_TARGET_AVX512))) inline __m512d Gather8Pd(
+    const double* v, __m256i vi) {
+  return _mm512_mask_i32gather_pd(_mm512_setzero_pd(), static_cast<__mmask8>(0xFF),
+                                  vi, v, 8);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double Dot512(const double* x,
+                                                          const double* y,
+                                                          size_t n) {
+  // One 512-bit accumulator == DotAvx2's (acc0 | acc1) pair: lane j
+  // carries the chain of elements i ≡ j (mod 8), exactly as avx2.
+  __m512d acc01 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc01 = _mm512_fmadd_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i), acc01);
+  }
+  __m256d acc0 = Lo256(acc01);
+  const __m256d acc1 = Hi256(acc01);
+  if (i + 4 <= n) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), acc0);
+    i += 4;
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total = __builtin_fma(x[i], y[i], total);
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void Axpy512(double alpha,
+                                                         const double* x,
+                                                         double* y, size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(
+        y + i, _mm512_fmadd_pd(va, _mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i)));
+  }
+  if (i + 4 <= n) {
+    const __m256d va4 = _mm256_set1_pd(alpha);
+    _mm256_storeu_pd(y + i, _mm256_fmadd_pd(va4, _mm256_loadu_pd(x + i),
+                                            _mm256_loadu_pd(y + i)));
+    i += 4;
+  }
+  for (; i < n; ++i) y[i] = __builtin_fma(alpha, x[i], y[i]);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void MulAdd512(double alpha,
+                                                           const double* x,
+                                                           double* y, size_t n) {
+  const __m512d va = _mm512_set1_pd(alpha);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d prod = _mm512_mul_pd(va, _mm512_loadu_pd(x + i));
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), prod));
+  }
+  // Remainder (< 8) through the avx2 kernel: same separate-rounding
+  // elementwise contract, and its tail cannot contract (no FMA target).
+  if (i < n) MulAddAvx2(alpha, x + i, y + i, n - i);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void MulAdd2_512(
+    double a0, const double* x0, double a1, const double* x1, double* y,
+    size_t n) {
+  const __m512d va0 = _mm512_set1_pd(a0);
+  const __m512d va1 = _mm512_set1_pd(a1);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d t = _mm512_add_pd(_mm512_mul_pd(va0, _mm512_loadu_pd(x0 + i)),
+                                    _mm512_mul_pd(va1, _mm512_loadu_pd(x1 + i)));
+    _mm512_storeu_pd(y + i, _mm512_add_pd(_mm512_loadu_pd(y + i), t));
+  }
+  if (i < n) MulAdd2Avx2(a0, x0 + i, a1, x1 + i, y + i, n - i);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void MulAdd4_512(
+    const double* alpha, const double* b0, const double* b1, const double* b2,
+    const double* b3, double* y, size_t n) {
+  const __m512d va0 = _mm512_set1_pd(alpha[0]);
+  const __m512d va1 = _mm512_set1_pd(alpha[1]);
+  const __m512d va2 = _mm512_set1_pd(alpha[2]);
+  const __m512d va3 = _mm512_set1_pd(alpha[3]);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m512d acc = _mm512_loadu_pd(y + i);
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(va0, _mm512_loadu_pd(b0 + i)));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(va1, _mm512_loadu_pd(b1 + i)));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(va2, _mm512_loadu_pd(b2 + i)));
+    acc = _mm512_add_pd(acc, _mm512_mul_pd(va3, _mm512_loadu_pd(b3 + i)));
+    _mm512_storeu_pd(y + i, acc);
+  }
+  if (i < n) MulAdd4Avx2(alpha, b0 + i, b1 + i, b2 + i, b3 + i, y + i, n - i);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void Mul512(const double* a,
+                                                        const double* b,
+                                                        double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(out + i,
+                     _mm512_mul_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i)));
+  }
+  if (i < n) MulAvx2(a + i, b + i, out + i, n - i);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double Dot2_512(const double* a,
+                                                            const double* x,
+                                                            const double* b,
+                                                            const double* y,
+                                                            size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d t = _mm512_add_pd(_mm512_mul_pd(_mm512_loadu_pd(a + i),
+                                                  _mm512_loadu_pd(x + i)),
+                                    _mm512_mul_pd(_mm512_loadu_pd(b + i),
+                                                  _mm512_loadu_pd(y + i)));
+    // Two sequential four-lane rounds — the same chain as two avx2
+    // iterations over i and i+4.
+    acc = _mm256_add_pd(acc, Lo256(t));
+    acc = _mm256_add_pd(acc, Hi256(t));
+  }
+  if (i + 4 <= n) {
+    const __m256d t = _mm256_add_pd(_mm256_mul_pd(_mm256_loadu_pd(a + i),
+                                                  _mm256_loadu_pd(x + i)),
+                                    _mm256_mul_pd(_mm256_loadu_pd(b + i),
+                                                  _mm256_loadu_pd(y + i)));
+    acc = _mm256_add_pd(acc, t);
+    i += 4;
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += a[i] * x[i] + b[i] * y[i];
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void Gemv512(const double* a,
+                                                         size_t rows, size_t cols,
+                                                         const double* x,
+                                                         double* out) {
+  for (size_t r = 0; r < rows; ++r) out[r] = Dot512(a + r * cols, x, cols);
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double GatherSum512(
+    const double* v, const int32_t* idx, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d g = Gather8Pd(v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i)));
+    acc = _mm256_add_pd(acc, Lo256(g));
+    acc = _mm256_add_pd(acc, Hi256(g));
+  }
+  if (i + 4 <= n) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_add_pd(acc, GatherPd(v, vi));
+    i += 4;
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]];
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double GatherProd512(
+    const double* v, const int32_t* idx, size_t n) {
+  __m256d acc = _mm256_set1_pd(1.0);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d g = Gather8Pd(v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i)));
+    acc = _mm256_mul_pd(acc, Lo256(g));
+    acc = _mm256_mul_pd(acc, Hi256(g));
+  }
+  if (i + 4 <= n) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_mul_pd(acc, GatherPd(v, vi));
+    i += 4;
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= v[idx[i]];
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double GatherProdOneMinus512(
+    const double* v, const int32_t* idx, size_t n) {
+  const __m512d ones8 = _mm512_set1_pd(1.0);
+  const __m256d ones4 = _mm256_set1_pd(1.0);
+  __m256d acc = ones4;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d g = Gather8Pd(v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i)));
+    const __m512d t = _mm512_sub_pd(ones8, g);
+    acc = _mm256_mul_pd(acc, Lo256(t));
+    acc = _mm256_mul_pd(acc, Hi256(t));
+  }
+  if (i + 4 <= n) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_mul_pd(acc, _mm256_sub_pd(ones4, GatherPd(v, vi)));
+    i += 4;
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] * lane[1]) * (lane[2] * lane[3]);
+  for (; i < n; ++i) total *= 1.0 - v[idx[i]];
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) double GatherDot512(
+    const double* v, const int32_t* idx, const double* w, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m512d g = Gather8Pd(v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i)));
+    const __m512d t = _mm512_mul_pd(g, _mm512_loadu_pd(w + i));
+    acc = _mm256_add_pd(acc, Lo256(t));
+    acc = _mm256_add_pd(acc, Hi256(t));
+  }
+  if (i + 4 <= n) {
+    const __m128i vi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(GatherPd(v, vi), _mm256_loadu_pd(w + i)));
+    i += 4;
+  }
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, acc);
+  double total = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < n; ++i) total += v[idx[i]] * w[i];
+  return total;
+}
+
+__attribute__((target(RAIN_TARGET_AVX512))) void Gather512(const double* v,
+                                                           const int32_t* idx,
+                                                           double* out, size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm512_storeu_pd(
+        out + i,
+        Gather8Pd(v, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i))));
+  }
+  if (i < n) GatherAvx2(v, idx + i, out + i, n - i);
+}
+
+#undef RAIN_TARGET_AVX512
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 #endif  // RAIN_SIMD_X86
 
-bool UseSimd() {
+/// Dispatches the MulAdd4 register tile for a known tier (hoisted out of
+/// the GEMM inner loops so the atomic reads happen once per call).
+inline void MulAdd4Tier(int tier, const double* a, const double* b0,
+                        const double* b1, const double* b2, const double* b3,
+                        double* y, size_t n) {
 #ifdef RAIN_SIMD_X86
-  static const bool available = CpuHasAvx2Fma();
-  return available && !g_force_scalar.load(std::memory_order_relaxed);
+  if (tier >= kTierAvx512) {
+    MulAdd4_512(a, b0, b1, b2, b3, y, n);
+    return;
+  }
+  if (tier >= kTierAvx2) {
+    MulAdd4Avx2(a, b0, b1, b2, b3, y, n);
+    return;
+  }
 #else
-  return false;
+  (void)tier;
 #endif
+  MulAdd4Scalar(a, b0, b1, b2, b3, y, n);
+}
+
+inline void MulAddTier(int tier, double alpha, const double* x, double* y,
+                       size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (tier >= kTierAvx512) {
+    MulAdd512(alpha, x, y, n);
+    return;
+  }
+  if (tier >= kTierAvx2) {
+    MulAddAvx2(alpha, x, y, n);
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  MulAddScalar(alpha, x, y, n);
 }
 
 }  // namespace
 
 namespace simd {
 
-const char* Backend() { return UseSimd() ? "avx2-fma" : "scalar"; }
+const char* Backend() {
+  switch (ActiveTier()) {
+    case kTierAvx512:
+      return "avx512";
+    case kTierAvx2:
+      return "avx2-fma";
+    default:
+      return "scalar";
+  }
+}
 
 bool ForceScalar(bool force) {
   return g_force_scalar.exchange(force, std::memory_order_relaxed);
 }
 
+bool ForceBackend(const char* tier) {
+  if (tier == nullptr || tier[0] == '\0') {
+    g_forced_cap.store(-1, std::memory_order_relaxed);
+    return true;
+  }
+  const int requested = ParseTierName(tier);
+  if (requested < 0) {
+    g_forced_cap.store(-1, std::memory_order_relaxed);
+    return false;
+  }
+  g_forced_cap.store(requested, std::memory_order_relaxed);
+  return ActiveTier() == requested;
+}
+
+void ReloadBackendEnv() {
+  g_env_cap.store(ReadEnvCap(), std::memory_order_relaxed);
+}
+
 double Dot(const double* x, const double* y, size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (UseSimd()) return DotAvx2(x, y, n);
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) return Dot512(x, y, n);
+  if (tier >= kTierAvx2) return DotAvx2(x, y, n);
 #endif
   return DotScalar(x, y, n);
 }
 
 void Axpy(double alpha, const double* x, double* y, size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (UseSimd()) {
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) {
+    Axpy512(alpha, x, y, n);
+    return;
+  }
+  if (tier >= kTierAvx2) {
     AxpyAvx2(alpha, x, y, n);
     return;
   }
@@ -314,19 +834,18 @@ void Axpy(double alpha, const double* x, double* y, size_t n) {
 }
 
 void MulAdd(double alpha, const double* x, double* y, size_t n) {
-#ifdef RAIN_SIMD_X86
-  if (UseSimd()) {
-    MulAddAvx2(alpha, x, y, n);
-    return;
-  }
-#endif
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  MulAddTier(ActiveTier(), alpha, x, y, n);
 }
 
 void MulAdd2(double a0, const double* x0, double a1, const double* x1, double* y,
              size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (UseSimd()) {
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) {
+    MulAdd2_512(a0, x0, a1, x1, y, n);
+    return;
+  }
+  if (tier >= kTierAvx2) {
     MulAdd2Avx2(a0, x0, a1, x1, y, n);
     return;
   }
@@ -334,17 +853,44 @@ void MulAdd2(double a0, const double* x0, double a1, const double* x1, double* y
   for (size_t i = 0; i < n; ++i) y[i] += a0 * x0[i] + a1 * x1[i];
 }
 
+void MulAdd4(const double* a, const double* b0, const double* b1,
+             const double* b2, const double* b3, double* y, size_t n) {
+  MulAdd4Tier(ActiveTier(), a, b0, b1, b2, b3, y, n);
+}
+
+void Mul(const double* a, const double* b, double* out, size_t n) {
+#ifdef RAIN_SIMD_X86
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) {
+    Mul512(a, b, out, n);
+    return;
+  }
+  if (tier >= kTierAvx2) {
+    MulAvx2(a, b, out, n);
+    return;
+  }
+#endif
+  MulScalar(a, b, out, n);
+}
+
 double Dot2(const double* a, const double* x, const double* b, const double* y,
             size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (UseSimd()) return Dot2Avx2(a, x, b, y, n);
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) return Dot2_512(a, x, b, y, n);
+  if (tier >= kTierAvx2) return Dot2Avx2(a, x, b, y, n);
 #endif
   return Dot2Scalar(a, x, b, y, n);
 }
 
 void Gemv(const double* a, size_t rows, size_t cols, const double* x, double* out) {
 #ifdef RAIN_SIMD_X86
-  if (UseSimd()) {
+  const int tier = ActiveTier();
+  if (tier >= kTierAvx512) {
+    Gemv512(a, rows, cols, x, out);
+    return;
+  }
+  if (tier >= kTierAvx2) {
     GemvAvx2(a, rows, cols, x, out);
     return;
   }
@@ -353,10 +899,11 @@ void Gemv(const double* a, size_t rows, size_t cols, const double* x, double* ou
 }
 
 void GemvT(const double* a, size_t rows, size_t cols, const double* x, double* out) {
+  const int tier = ActiveTier();
   for (size_t r = 0; r < rows; ++r) {
     const double xr = x[r];
     if (xr == 0.0) continue;
-    MulAdd(xr, a + r * cols, out, cols);
+    MulAddTier(tier, xr, a + r * cols, out, cols);
   }
 }
 
@@ -367,14 +914,14 @@ void Gemm(const double* a, size_t a_rows, size_t k, const double* b, size_t n,
   // pre-SIMD Matrix kernel exactly; with the ELEMENTWISE MulAdd row
   // update the output bits match it too.
   constexpr size_t kBlockK = 64;
+  const int tier = ActiveTier();
   for (size_t k0 = 0; k0 < k; k0 += kBlockK) {
     const size_t k1 = std::min(k, k0 + kBlockK);
     for (size_t r = 0; r < a_rows; ++r) {
       const double* arow = a + r * k;
       double* orow = out + r * n;
       size_t kk = k0;
-#ifdef RAIN_SIMD_X86
-      if (UseSimd()) {
+      if (tier >= kTierAvx2) {
         // Fuse four k-steps per pass over the output row: each element
         // still receives the same separate-mul-then-add sequence in the
         // same kk order, so the bits match the sequential loop below,
@@ -387,50 +934,175 @@ void Gemm(const double* a, size_t a_rows, size_t k, const double* b, size_t n,
               alpha[3] == 0.0) {
             break;
           }
-          MulAdd4Avx2(alpha, b + kk * n, b + (kk + 1) * n, b + (kk + 2) * n,
+          MulAdd4Tier(tier, alpha, b + kk * n, b + (kk + 1) * n, b + (kk + 2) * n,
                       b + (kk + 3) * n, orow, n);
         }
       }
-#endif
       for (; kk < k1; ++kk) {
         const double av = arow[kk];
         if (av == 0.0) continue;
-        MulAdd(av, b + kk * n, orow, n);
+        MulAddTier(tier, av, b + kk * n, orow, n);
       }
     }
   }
 }
 
-namespace {
+void GemmPacked(const double* a, size_t a_rows, size_t k, const double* b,
+                size_t n, double* out) {
+  if (a_rows == 0 || k == 0 || n == 0) return;
+  // Panel sizes: a KC x NC B-panel (kGemmKc * kGemmNc doubles = 384 KiB)
+  // stays L2-resident while every row of `a` sweeps over it, and the
+  // MulAdd4 inner pass touches 4 panel rows + 1 output row segment
+  // (5 * NC doubles = 10 KiB), comfortably L1-resident. Per output
+  // element the k-terms still accumulate in ascending k order (k0 blocks
+  // ascending, kk ascending inside), so the bits equal Gemm's — and the
+  // scalar reference's — exactly.
+  constexpr size_t kGemmKc = 192;
+  constexpr size_t kGemmNc = 256;
+  thread_local std::vector<double> panel;
+  panel.resize(kGemmKc * kGemmNc);
+  const int tier = ActiveTier();
+  for (size_t jc = 0; jc < n; jc += kGemmNc) {
+    const size_t nc = std::min(kGemmNc, n - jc);
+    for (size_t k0 = 0; k0 < k; k0 += kGemmKc) {
+      const size_t kc = std::min(kGemmKc, k - k0);
+      // Pack B[k0 .. k0+kc) x [jc .. jc+nc) into a contiguous panel so
+      // the register tile streams dense rows regardless of n.
+      for (size_t kk = 0; kk < kc; ++kk) {
+        std::memcpy(panel.data() + kk * nc, b + (k0 + kk) * n + jc,
+                    nc * sizeof(double));
+      }
+      for (size_t r = 0; r < a_rows; ++r) {
+        const double* arow = a + r * k + k0;
+        double* orow = out + r * n + jc;
+        // Per-panel sparsity check: one scan of the row's coefficient
+        // block decides between the unconditional MulAdd4 fast loop and
+        // the per-coefficient loop that preserves the zero-skip.
+        bool has_zero = false;
+        for (size_t kk = 0; kk < kc; ++kk) {
+          if (arow[kk] == 0.0) {
+            has_zero = true;
+            break;
+          }
+        }
+        size_t kk = 0;
+        if (!has_zero) {
+          for (; kk + 4 <= kc; kk += 4) {
+            const double* p = panel.data() + kk * nc;
+            MulAdd4Tier(tier, arow + kk, p, p + nc, p + 2 * nc, p + 3 * nc, orow,
+                        nc);
+          }
+        }
+        for (; kk < kc; ++kk) {
+          const double av = arow[kk];
+          if (av == 0.0) continue;
+          MulAddTier(tier, av, panel.data() + kk * nc, orow, nc);
+        }
+      }
+    }
+  }
+}
 
-// Below this length the vpgatherdpd setup costs more than it saves
-// (typical small-arity AND/OR nodes), so the dispatched path uses the
-// shaped scalar loop instead. The cutoff cannot affect results: both
-// loops produce the identical fixed lane shape for a given n, so the
-// choice is invisible bit-for-bit.
-constexpr size_t kGatherSimdMin = 16;
-
-}  // namespace
+void GemmNT(const double* a, size_t m, size_t lda, const double* b, size_t n,
+            size_t ldb, size_t k, double* out, size_t ldo) {
+  // Tile over b-rows so a block of b stays cache-resident while the
+  // a-rows stream past it; every element is one Dot, so the tiling is
+  // bitwise-invisible.
+  constexpr size_t kTileB = 16;
+  for (size_t jb = 0; jb < n; jb += kTileB) {
+    const size_t je = std::min(n, jb + kTileB);
+    for (size_t i = 0; i < m; ++i) {
+      const double* ai = a + i * lda;
+      double* orow = out + i * ldo;
+      for (size_t j = jb; j < je; ++j) orow[j] = Dot(ai, b + j * ldb, k);
+    }
+  }
+}
 
 double GatherSum(const double* v, const int32_t* idx, size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (n >= kGatherSimdMin && UseSimd()) return GatherSumAvx2(v, idx, n);
+  if (n >= kGatherSimdCutoff) {
+    const int tier = ActiveTier();
+    if (tier >= kTierAvx512) return GatherSum512(v, idx, n);
+    if (tier >= kTierAvx2) return GatherSumAvx2(v, idx, n);
+  }
 #endif
   return GatherSumScalar(v, idx, n);
 }
 
 double GatherProd(const double* v, const int32_t* idx, size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (n >= kGatherSimdMin && UseSimd()) return GatherProdAvx2(v, idx, n);
+  if (n >= kGatherSimdCutoff) {
+    const int tier = ActiveTier();
+    if (tier >= kTierAvx512) return GatherProd512(v, idx, n);
+    if (tier >= kTierAvx2) return GatherProdAvx2(v, idx, n);
+  }
 #endif
   return GatherProdScalar(v, idx, n);
 }
 
 double GatherProdOneMinus(const double* v, const int32_t* idx, size_t n) {
 #ifdef RAIN_SIMD_X86
-  if (n >= kGatherSimdMin && UseSimd()) return GatherProdOneMinusAvx2(v, idx, n);
+  if (n >= kGatherSimdCutoff) {
+    const int tier = ActiveTier();
+    if (tier >= kTierAvx512) return GatherProdOneMinus512(v, idx, n);
+    if (tier >= kTierAvx2) return GatherProdOneMinusAvx2(v, idx, n);
+  }
 #endif
   return GatherProdOneMinusScalar(v, idx, n);
+}
+
+double GatherDot(const double* v, const int32_t* idx, const double* w, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (n >= kGatherSimdCutoff) {
+    const int tier = ActiveTier();
+    if (tier >= kTierAvx512) return GatherDot512(v, idx, w, n);
+    if (tier >= kTierAvx2) return GatherDotAvx2(v, idx, w, n);
+  }
+#endif
+  return GatherDotScalar(v, idx, w, n);
+}
+
+void Gather(const double* v, const int32_t* idx, double* out, size_t n) {
+#ifdef RAIN_SIMD_X86
+  if (n >= kGatherSimdCutoff) {
+    const int tier = ActiveTier();
+    if (tier >= kTierAvx512) {
+      Gather512(v, idx, out, n);
+      return;
+    }
+    if (tier >= kTierAvx2) {
+      GatherAvx2(v, idx, out, n);
+      return;
+    }
+  }
+#endif
+  GatherScalar(v, idx, out, n);
+}
+
+void ScatterAxpy(double alpha, const double* x, const int32_t* idx, double* y,
+                 size_t n) {
+  // The products vectorize; the scatter side stays a scalar loop in
+  // ascending i order so duplicate indices accumulate deterministically.
+  // Each element gets round(y + round(alpha * x)) — the plain scalar
+  // statement's two roundings — on every backend.
+  constexpr size_t kBlock = 128;
+  double prod[kBlock];
+  size_t i = 0;
+  while (i < n) {
+    const size_t len = std::min(kBlock, n - i);
+    for (size_t j = 0; j < len; ++j) prod[j] = alpha * x[i + j];
+    for (size_t j = 0; j < len; ++j) y[idx[i + j]] += prod[j];
+    i += len;
+  }
+}
+
+void PrefixSuffixProducts(const double* c, size_t k, double* prefix,
+                          double* suffix) {
+  prefix[0] = 1.0;
+  for (size_t j = 0; j < k; ++j) prefix[j + 1] = prefix[j] * c[j];
+  suffix[k] = 1.0;
+  for (size_t j = k; j-- > 0;) suffix[j] = suffix[j + 1] * c[j];
 }
 
 }  // namespace simd

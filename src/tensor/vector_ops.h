@@ -24,50 +24,93 @@ namespace vec {
 /// fork/join handshake costs more than the arithmetic it would spread.
 constexpr size_t kParallelGrain = 4096;
 
+/// \brief Below this many gathered elements the dispatched gather kernels
+/// (GatherSum/GatherProd/GatherProdOneMinus/GatherDot/Gather) run the
+/// shaped scalar loop instead of vpgatherdpd: the gather-instruction setup
+/// costs more than it saves on typical small-arity AND/OR nodes.
+///
+/// Shared by the RelaxedPoly forward sweep and the batched adjoint
+/// reverse sweep — one constant, so the two sweeps can never drift apart.
+/// The cutoff cannot affect results: both sides of the boundary produce
+/// the identical fixed lane shape for a given n, so the choice is
+/// invisible bit-for-bit (pinned by tensor_test's cutoff-boundary test).
+constexpr size_t kGatherSimdCutoff = 16;
+
 /// \brief Runtime-dispatched SIMD backend for the innermost range
 /// kernels (Dot/Axpy plus the GEMV/GEMTV/GEMM and gather micro-kernels
 /// behind Matrix, the per-model coefficient passes, and RelaxedPoly).
 ///
-/// On x86-64 with AVX2+FMA the element loops run 256-bit vectorized;
-/// everywhere else (or when forced) the scalar fallbacks run. The
-/// backend is a per-process constant, so the deterministic-chunk
-/// contract is untouched: results remain a pure function of (inputs,
-/// parallelism knob, backend).
+/// Three tiers, selected once per process from CPUID:
+///   * `avx512`  — 512-bit AVX-512F/DQ/VL variants. The wider registers
+///     carry the SAME lane-accumulator chains as the avx2-fma tier (a
+///     512-bit accumulator is exactly the avx2 tier's two 256-bit
+///     accumulators side by side), so every kernel is bitwise identical
+///     to the avx2-fma tier — upgrading a host never changes results.
+///   * `avx2-fma` — 256-bit AVX2+FMA variants.
+///   * `scalar`  — plain loops; bit-compatible with the SIMD tiers for
+///     the ELEMENTWISE and SHAPED-REDUCTION classes below.
+///
+/// The `RAIN_SIMD` environment variable (`avx512|avx2|scalar`) caps the
+/// tier, e.g. `RAIN_SIMD=avx2` forces the avx2-fma kernels on an AVX-512
+/// host and `RAIN_SIMD=scalar` forces the fallbacks everywhere. A
+/// requested tier the CPU cannot run clamps down to the best supported
+/// one (with a one-time stderr note), so CI can force `avx2` on
+/// heterogeneous runners. The backend is a per-process constant, so the
+/// deterministic-chunk contract is untouched: results remain a pure
+/// function of (inputs, parallelism knob, backend).
 ///
 /// Determinism taxonomy — each kernel documents which class it is in:
-///  * ELEMENTWISE (MulAdd, MulAdd2): every output element is computed
-///    with the exact rounding sequence of the scalar loop (separate
-///    multiply and add roundings, no fusion, no cross-lane ops), so the
-///    AVX2 path is bitwise identical to the scalar path. These carry the
-///    shard-exact "replay the sequential multiply-add sequence"
+///  * ELEMENTWISE (MulAdd, MulAdd2, MulAdd4, Mul, Gather, ScatterAxpy):
+///    every output element is computed with the exact rounding sequence
+///    of the scalar loop (separate multiply and add roundings, no fusion,
+///    no cross-lane ops), so every tier is bitwise identical. These carry
+///    the shard-exact "replay the sequential multiply-add sequence"
 ///    contracts in src/ml.
-///  * FUSED-ELEMENTWISE (Axpy): one fused rounding per element on AVX2,
-///    two roundings on scalar — backends differ at rounding level but
-///    each is chunk-invariant (an element's bits never depend on which
-///    chunk it landed in).
-///  * REDUCTION (Dot, Gemv): the AVX2 lane accumulators combine in a
-///    fixed shape — (l0+l1)+(l2+l3), scalar tail folded after — that
+///  * FUSED-ELEMENTWISE (Axpy): one fused rounding per element on the
+///    SIMD tiers, two roundings on scalar — scalar differs at rounding
+///    level but each tier is chunk-invariant (an element's bits never
+///    depend on which chunk it landed in), and avx512 == avx2-fma.
+///  * REDUCTION (Dot, Gemv, GemmNT): the SIMD lane accumulators combine
+///    in a fixed shape — (l0+l1)+(l2+l3), scalar tail folded after — that
 ///    depends only on n, never on alignment or scheduling. Deterministic
-///    per backend; differs from the scalar left-fold at rounding level
-///    (the same latitude chunked reductions already have across knob
-///    values).
-///  * SHAPED-REDUCTION (Dot2, GatherSum, GatherProd, GatherProdOneMinus):
-///    the scalar fallback replicates the AVX2 lane shape exactly (four
-///    virtual lanes, same combine order), so these reductions are
-///    bitwise identical across backends too.
+///    per tier and bitwise identical between avx512 and avx2-fma; the
+///    scalar left-fold differs at rounding level (the same latitude
+///    chunked reductions already have across knob values).
+///  * SHAPED-REDUCTION (Dot2, GatherSum, GatherProd, GatherProdOneMinus,
+///    GatherDot): the scalar fallback replicates the SIMD lane shape
+///    exactly (four virtual lanes, same combine order; the avx512 tier
+///    processes eight elements per step as two sequential four-lane
+///    rounds), so these reductions are bitwise identical across all
+///    three tiers.
 namespace simd {
-/// "avx2-fma" or "scalar" — whatever dispatch selected for this process.
+/// "avx512", "avx2-fma" or "scalar" — whatever dispatch (plus any
+/// RAIN_SIMD / ForceBackend / ForceScalar override) selects right now.
 const char* Backend();
+
 /// Test hook: true forces the scalar fallback regardless of CPU support.
 /// Returns the previous setting. Not intended for concurrent flipping
 /// while kernels run (tests toggle it around call sites).
 bool ForceScalar(bool force);
 
+/// \brief Test/bench hook: cap the dispatch at the named tier
+/// (`"avx512"`, `"avx2"`, `"scalar"`), or clear the cap with `nullptr`
+/// or `""`.
+///
+/// Returns true when the active backend now equals the request (i.e. the
+/// CPU supports it); false when the request was clamped to a lower tier
+/// or the name was not recognized (the cap is cleared in that case).
+/// Like ForceScalar, not intended for concurrent flipping.
+bool ForceBackend(const char* tier);
+
+/// Re-reads the RAIN_SIMD environment variable (normally read once,
+/// lazily). Exists so tests can exercise the env round-trip in-process.
+void ReloadBackendEnv();
+
 /// REDUCTION: returns dot(x, y) over n elements.
 double Dot(const double* x, const double* y, size_t n);
 
 /// FUSED-ELEMENTWISE: y[i] += alpha * x[i] (single fused rounding per
-/// element on AVX2).
+/// element on the SIMD tiers).
 void Axpy(double alpha, const double* x, double* y, size_t n);
 
 /// ELEMENTWISE: y[i] += alpha * x[i] with separate multiply and add
@@ -82,6 +125,20 @@ void MulAdd(double alpha, const double* x, double* y, size_t n);
 /// across backends. This is the MLP R-backward rank-2 update.
 void MulAdd2(double a0, const double* x0, double a1, const double* x1, double* y,
              size_t n);
+
+/// ELEMENTWISE: four chained multiply-adds per pass over y — y[i]
+/// receives round(y + round(a[0]*b0[i])), then a[1]*b1, a[2]*b2, a[3]*b3:
+/// the identical per-element rounding sequence as four sequential MulAdd
+/// calls, but with one load/store of y instead of four. This is the GEMM
+/// register tile; callers that need the zero-skip must check a[j] != 0
+/// themselves (GemmPacked does).
+void MulAdd4(const double* a, const double* b0, const double* b1,
+             const double* b2, const double* b3, double* y, size_t n);
+
+/// ELEMENTWISE: out[i] = a[i] * b[i] (one rounding per element, bitwise
+/// identical across backends). Used by the reverse-sweep edge-weight
+/// builder to fuse prefix and suffix product arrays.
+void Mul(const double* a, const double* b, double* out, size_t n);
 
 /// SHAPED-REDUCTION: returns sum_i (a[i]*x[i] + b[i]*y[i]) with a fixed
 /// four-lane shape replicated bitwise by the scalar fallback. This is the
@@ -100,11 +157,42 @@ void Gemv(const double* a, size_t rows, size_t cols, const double* x, double* ou
 void GemvT(const double* a, size_t rows, size_t cols, const double* x, double* out);
 
 /// ELEMENTWISE (GEMM): out += a * b for row-major blocks (a is
-/// a_rows x k, b is k x n, out is a_rows x n), cache-blocked over k with
-/// MulAdd row updates — bitwise identical across backends and to the
-/// pre-SIMD blocked loops.
+/// a_rows x k, b is k x n, out is a_rows x n), k-blocked with MulAdd4
+/// row updates — bitwise identical across backends and to the pre-SIMD
+/// blocked loops. Kept as the unpacked reference for GemmPacked (same
+/// bits, different memory behavior); new callers should prefer
+/// GemmPacked.
 void Gemm(const double* a, size_t a_rows, size_t k, const double* b, size_t n,
           double* out);
+
+/// \brief ELEMENTWISE (packed cache-blocked GEMM): out += a * b, same
+/// shapes and the exact same bits as Gemm — per output element the
+/// k-terms accumulate in ascending k order with separate multiply and
+/// add roundings — but with an explicit (KC x NC) B-panel packing buffer
+/// so the MulAdd4 register tile streams contiguous panel rows that stay
+/// resident in L1/L2 across every row of `a`.
+///
+/// The zero-skip contract is preserved via a per-panel sparsity check:
+/// each a-row's coefficient block is scanned once per panel; blocks with
+/// no zeros take the unconditional MulAdd4 fast loop, blocks with zeros
+/// drop to the per-coefficient loop that skips them — exactly the terms
+/// the sequential kernel skips, so the bits match it (including the
+/// -0.0 cases skipping preserves).
+void GemmPacked(const double* a, size_t a_rows, size_t k, const double* b,
+                size_t n, double* out);
+
+/// \brief REDUCTION (GEMM-NT): out[i*ldo + j] = dot(a_i, b_j) where a_i
+/// is row i of `a` (m rows, stride lda) and b_j is row j of `b` (n rows,
+/// stride ldb), both of length k.
+///
+/// Every output element is computed by the Dot kernel — same fixed lane
+/// shape — so the result is bitwise identical to the per-row Dot loops
+/// it replaces, at any tile size. The loops are tiled over b-rows so a
+/// block of b stays cache-resident while the a-rows stream: this is the
+/// batched projection kernel behind the blocked model HVPs (a = example
+/// rows, b = weight rows).
+void GemmNT(const double* a, size_t m, size_t lda, const double* b, size_t n,
+            size_t ldb, size_t k, double* out, size_t ldo);
 
 /// SHAPED-REDUCTION: returns sum_i v[idx[i]].
 double GatherSum(const double* v, const int32_t* idx, size_t n);
@@ -112,6 +200,38 @@ double GatherSum(const double* v, const int32_t* idx, size_t n);
 double GatherProd(const double* v, const int32_t* idx, size_t n);
 /// SHAPED-REDUCTION: returns prod_i (1 - v[idx[i]]).
 double GatherProdOneMinus(const double* v, const int32_t* idx, size_t n);
+
+/// SHAPED-REDUCTION: returns sum_i v[idx[i]] * w[i], each term rounded
+/// separately (multiply then lane add, no fusion), four-lane shape. This
+/// is the batched adjoint gather: v = adjoints, idx = CSR parent list,
+/// w = edge weights.
+double GatherDot(const double* v, const int32_t* idx, const double* w, size_t n);
+
+/// ELEMENTWISE (gather-copy): out[i] = v[idx[i]] — a pure permutation
+/// load, bitwise identical across backends by construction.
+void Gather(const double* v, const int32_t* idx, double* out, size_t n);
+
+/// \brief ELEMENTWISE (ordered scatter): y[idx[i]] += alpha * x[i] with
+/// separate multiply and add roundings, applied in ascending i order.
+///
+/// Duplicate indices accumulate in order, so the result is a pure
+/// function of the argument arrays on every backend — the scatter side
+/// stays a scalar loop (a vectorized scatter would need conflict
+/// detection to keep duplicate-index order); SIMD tiers vectorize the
+/// alpha*x products. Used for the reverse-sweep variable-grad writeback.
+void ScatterAxpy(double alpha, const double* x, const int32_t* idx, double* y,
+                 size_t n);
+
+/// \brief Prefix/suffix running products: prefix[0] = 1, prefix[j+1] =
+/// prefix[j] * c[j]; suffix[k] = 1, suffix[j] = suffix[j+1] * c[j].
+/// `prefix` and `suffix` must hold k+1 doubles.
+///
+/// The scans are inherently sequential (scalar on every backend — one
+/// rounding per step, identical everywhere); combine with Mul to produce
+/// the leave-one-out products d(prod)/d(c_j) = prefix[j] * suffix[j+1]
+/// the reverse sweep uses for MUL/OR nodes.
+void PrefixSuffixProducts(const double* c, size_t k, double* prefix,
+                          double* suffix);
 }  // namespace simd
 
 /// out = 0 vector of length n.

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <cstring>
 #include <memory>
 
 #include "common/rng.h"
@@ -404,6 +405,62 @@ TEST(MlpTest, CloneKeepsParallelism) {
   m.set_parallelism(4);
   std::unique_ptr<Model> clone = m.Clone();
   EXPECT_EQ(clone->parallelism(), 4);
+}
+
+/// \brief The blocked HVP bodies batch runs of consecutive ACTIVE rows
+/// into Gemv/GemmNT projections; the per-row HvpCoeffs + ApplyHvpCoeffs
+/// replay must still reproduce the direct path BITWISE (the sharded
+/// debugging paths depend on it).
+///
+/// The hole pattern is chosen against the block caps (64 logistic, 32
+/// softmax, 16 MLP): a hole at row 0, a short run, a run of exactly 64,
+/// a triple hole, a run longer than every cap (block restarts mid-run),
+/// and a hole at the last row.
+void CheckHvpMatchesCoeffReplayBitwise(Model* model, uint64_t seed) {
+  Dataset data = RandomDataset(200, 7, model->num_classes(), seed);
+  for (size_t hole : {0u, 5u, 70u, 71u, 72u, 127u, 199u}) data.Deactivate(hole);
+  Rng rng(seed + 1);
+  Vec v(model->num_params());
+  for (double& x : v) x = rng.Gaussian();
+  const double l2 = 1e-3;
+
+  Vec direct;
+  model->HessianVectorProduct(data, v, l2, &direct);
+
+  ASSERT_GT(model->hvp_coeff_size(), 0u);
+  Vec coeffs(model->hvp_coeff_size());
+  Vec replay(model->num_params(), 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    if (!data.active(i)) continue;
+    model->HvpCoeffs(data.row(i), data.label(i), v, coeffs.data());
+    model->ApplyHvpCoeffs(data.row(i), coeffs.data(), &replay);
+  }
+  // Same mean + regularizer statements as HessianVectorProduct.
+  const double inv_n = 1.0 / static_cast<double>(data.num_active());
+  for (double& o : replay) o *= inv_n;
+  vec::Axpy(2.0 * l2, v, &replay);
+
+  ASSERT_EQ(replay.size(), direct.size());
+  EXPECT_EQ(std::memcmp(replay.data(), direct.data(),
+                        direct.size() * sizeof(double)),
+            0);
+}
+
+TEST(LogisticTest, HvpMatchesCoeffReplayBitwiseWithHoles) {
+  LogisticRegression m(7);
+  RandomizeParams(&m, 91);
+  CheckHvpMatchesCoeffReplayBitwise(&m, 92);
+}
+
+TEST(SoftmaxTest, HvpMatchesCoeffReplayBitwiseWithHoles) {
+  SoftmaxRegression m(7, 4);
+  RandomizeParams(&m, 93);
+  CheckHvpMatchesCoeffReplayBitwise(&m, 94);
+}
+
+TEST(MlpTest, HvpMatchesCoeffReplayBitwiseWithHoles) {
+  Mlp m(7, 9, 4, /*seed=*/95);
+  CheckHvpMatchesCoeffReplayBitwise(&m, 96);
 }
 
 TEST(TrainerTest, ParallelTrainingReachesSequentialLoss) {

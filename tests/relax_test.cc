@@ -343,5 +343,94 @@ TEST(RelaxedPolyBatchTest, EmptyAndDuplicateRoots) {
   EXPECT_DOUBLE_EQ(dup_grads[0][0], 1.0);
 }
 
+TEST(RelaxedPolyBatchTest, GradientBatchBitwiseAcrossBackends) {
+  // The whole batched gradient path — shared forward sweep, shared
+  // edge-weight pass, per-root GatherDot reverse sweeps, Gather +
+  // ScatterAxpy writeback — composes only ELEMENTWISE and
+  // SHAPED-REDUCTION kernels, so the results are one bit pattern on
+  // every SIMD tier and under the scalar fallback.
+  for (uint64_t seed : {51u, 52u}) {
+    BatchCase c = MakeBatchCase(seed, /*nv=*/8, /*num_roots=*/7);
+    RelaxedPoly batch(&c.arena, c.roots);
+    std::vector<Vec> ref_grads;
+    const std::vector<double> ref_vals =
+        batch.GradientBatch(c.vals, &ref_grads, 1);
+    for (const char* tier : {"scalar", "avx2", "avx512"}) {
+      if (!vec::simd::ForceBackend(tier)) continue;
+      std::vector<Vec> grads;
+      const std::vector<double> vals = batch.GradientBatch(c.vals, &grads, 1);
+      EXPECT_EQ(vals, ref_vals) << tier;
+      ASSERT_EQ(grads.size(), ref_grads.size());
+      for (size_t k = 0; k < grads.size(); ++k) {
+        EXPECT_EQ(grads[k], ref_grads[k]) << tier << " root " << k;
+      }
+    }
+    vec::simd::ForceBackend(nullptr);
+    const bool prev = vec::simd::ForceScalar(true);
+    std::vector<Vec> grads;
+    const std::vector<double> vals = batch.GradientBatch(c.vals, &grads, 1);
+    vec::simd::ForceScalar(prev);
+    EXPECT_EQ(vals, ref_vals) << "ForceScalar";
+    for (size_t k = 0; k < grads.size(); ++k) {
+      EXPECT_EQ(grads[k], ref_grads[k]) << "ForceScalar root " << k;
+    }
+  }
+}
+
+TEST(RelaxedPolyBatchTest, GradientSharesTapeReverseWithBatchEntryZero) {
+  // Gradient and GradientBatch run the same ComputeEdgeWeights +
+  // ReverseSweep code on the same tape, so on the SAME object the
+  // single-root result is bitwise equal to batch entry 0 (a separately
+  // constructed single-root tape has narrower parent lists and is only
+  // 1e-12-near; GradientBatchMatchesSingleRootGradients covers that).
+  for (uint64_t seed : {55u, 56u, 57u}) {
+    BatchCase c = MakeBatchCase(seed);
+    RelaxedPoly batch(&c.arena, c.roots);
+    std::vector<Vec> grads;
+    const std::vector<double> vals = batch.GradientBatch(c.vals, &grads);
+    Vec g;
+    const double v = batch.Gradient(c.vals, &g);
+    EXPECT_EQ(v, vals[0]) << "seed " << seed;
+    EXPECT_EQ(g, grads[0]) << "seed " << seed;
+  }
+}
+
+TEST(RelaxedPolyBatchTest, Fig5CountWorkloadBatchGradients) {
+  // The Fig. 5 DBLP encode shape: COUNT(*) complaints relax to ADD over
+  // per-row prediction vars, several complaints sharing rows. The batched
+  // gradient of an ADD root is the 0/1 reachability indicator — and
+  // shared rows must get it from ONE edge-weight pass.
+  PolyArena a;
+  std::vector<PolyId> vars;
+  for (int64_t r = 0; r < 300; ++r) {
+    vars.push_back(a.Var(PredVar{0, r, 1}));
+  }
+  std::vector<PolyId> roots;
+  for (int q = 0; q < 6; ++q) {
+    // Query q counts rows [25*q, 25*q + 150): adjacent queries overlap.
+    std::vector<PolyId> terms(vars.begin() + 25 * q,
+                              vars.begin() + 25 * q + 150);
+    roots.push_back(a.Add(std::move(terms)));
+  }
+  RelaxedPoly batch(&a, roots);
+  Rng rng(58);
+  Vec vals(a.num_vars());
+  for (double& v : vals) v = rng.Uniform(0.05, 0.95);
+  std::vector<Vec> grads;
+  const std::vector<double> sums = batch.GradientBatch(vals, &grads, 4);
+  ASSERT_EQ(sums.size(), roots.size());
+  for (int q = 0; q < 6; ++q) {
+    double expect = 0.0;
+    for (int r = 25 * q; r < 25 * q + 150; ++r) expect += vals[static_cast<size_t>(r)];
+    EXPECT_NEAR(sums[static_cast<size_t>(q)], expect, 1e-9) << "query " << q;
+    for (int r = 0; r < 300; ++r) {
+      const bool in_window = r >= 25 * q && r < 25 * q + 150;
+      EXPECT_EQ(grads[static_cast<size_t>(q)][static_cast<size_t>(r)],
+                in_window ? 1.0 : 0.0)
+          << "query " << q << " row " << r;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace rain

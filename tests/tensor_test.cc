@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/rng.h"
@@ -174,9 +176,57 @@ class ForceScalarGuard {
 
 TEST(SimdTest, BackendReportsAndForceScalarWorks) {
   const std::string backend = vec::simd::Backend();
-  EXPECT_TRUE(backend == "avx2-fma" || backend == "scalar") << backend;
+  EXPECT_TRUE(backend == "avx512" || backend == "avx2-fma" ||
+              backend == "scalar")
+      << backend;
   ForceScalarGuard guard(true);
   EXPECT_STREQ(vec::simd::Backend(), "scalar");
+}
+
+TEST(SimdTest, ForceBackendRoundTrip) {
+  const std::string dispatched = vec::simd::Backend();
+  // "scalar" is always available; success means the cap is active.
+  EXPECT_TRUE(vec::simd::ForceBackend("scalar"));
+  EXPECT_STREQ(vec::simd::Backend(), "scalar");
+  // A higher tier succeeds only when the CPU has it; either way the
+  // reported backend must be a real tier, never the raw request.
+  const bool has_avx512 = vec::simd::ForceBackend("avx512");
+  if (has_avx512) {
+    EXPECT_STREQ(vec::simd::Backend(), "avx512");
+  }
+  // Unknown names clear the cap and report failure.
+  EXPECT_FALSE(vec::simd::ForceBackend("sse9000"));
+  EXPECT_EQ(vec::simd::Backend(), dispatched);
+  // nullptr clears the cap back to runtime dispatch.
+  vec::simd::ForceBackend("scalar");
+  vec::simd::ForceBackend(nullptr);
+  EXPECT_EQ(vec::simd::Backend(), dispatched);
+  // ForceScalar trumps any cap.
+  vec::simd::ForceBackend("avx2");
+  ForceScalarGuard guard(true);
+  EXPECT_STREQ(vec::simd::Backend(), "scalar");
+  vec::simd::ForceBackend(nullptr);
+}
+
+TEST(SimdTest, RainSimdEnvRoundTrip) {
+  const std::string dispatched = vec::simd::Backend();
+  ASSERT_EQ(setenv("RAIN_SIMD", "scalar", 1), 0);
+  vec::simd::ReloadBackendEnv();
+  EXPECT_STREQ(vec::simd::Backend(), "scalar");
+  // An env cap above the CPU's best tier clamps down instead of lying.
+  ASSERT_EQ(setenv("RAIN_SIMD", "avx512", 1), 0);
+  vec::simd::ReloadBackendEnv();
+  const std::string capped = vec::simd::Backend();
+  EXPECT_TRUE(capped == "avx512" || capped == "avx2-fma" ||
+              capped == "scalar")
+      << capped;
+  // Unrecognized values fall back to runtime dispatch.
+  ASSERT_EQ(setenv("RAIN_SIMD", "definitely-not-a-tier", 1), 0);
+  vec::simd::ReloadBackendEnv();
+  EXPECT_EQ(vec::simd::Backend(), dispatched);
+  ASSERT_EQ(unsetenv("RAIN_SIMD"), 0);
+  vec::simd::ReloadBackendEnv();
+  EXPECT_EQ(vec::simd::Backend(), dispatched);
 }
 
 TEST(SimdTest, ScalarFallbackBitwiseMatchesReferenceLoops) {
@@ -204,8 +254,8 @@ TEST(SimdTest, ScalarFallbackBitwiseMatchesReferenceLoops) {
 }
 
 TEST(SimdTest, SimdPathDeterministicAndNearScalar) {
-  if (std::string(vec::simd::Backend()) != "avx2-fma") {
-    GTEST_SKIP() << "no AVX2/FMA on this host";
+  if (std::string(vec::simd::Backend()) == "scalar") {
+    GTEST_SKIP() << "no SIMD tier on this host";
   }
   const size_t n = 4099;  // odd: exercises the vector tail
   Vec x(n), y(n);
@@ -242,6 +292,210 @@ TEST(SimdTest, AxpyChunkInvariantUnderSimd) {
     Vec par_out = y;
     vec::Axpy(0.25, x, &par_out, par);
     EXPECT_EQ(par_out, seq) << "parallelism=" << par;
+  }
+}
+
+// --------------------------------------- kernel determinism contracts
+
+/// Runs `fn` under every backend tier this CPU supports (always at least
+/// "scalar"), restoring runtime dispatch afterwards.
+template <typename Fn>
+void ForEachTier(Fn&& fn) {
+  for (const char* tier : {"scalar", "avx2", "avx512"}) {
+    if (!vec::simd::ForceBackend(tier)) continue;
+    fn(vec::simd::Backend());
+  }
+  vec::simd::ForceBackend(nullptr);
+}
+
+Vec RandomVecT(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  Vec v(n);
+  for (double& x : v) x = rng.Uniform(-2.0, 2.0);
+  return v;
+}
+
+bool SameBits(const Vec& a, const Vec& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(SimdTest, MulAdd4BitwiseEqualsFourMulAddsOnEveryTier) {
+  const size_t n = 1003;  // odd: covers the 256- and 512-bit tails
+  const Vec b0 = RandomVecT(n, 60), b1 = RandomVecT(n, 61),
+            b2 = RandomVecT(n, 62), b3 = RandomVecT(n, 63);
+  const Vec y0 = RandomVecT(n, 64);
+  const double coef[4] = {1.7, -0.4, 0.0, 3.1};
+  Vec ref = y0;  // scalar four-statement reference
+  {
+    ForceScalarGuard guard(true);
+    vec::simd::MulAdd4(coef, b0.data(), b1.data(), b2.data(), b3.data(),
+                       ref.data(), n);
+  }
+  ForEachTier([&](const char* tier) {
+    Vec got = y0;
+    vec::simd::MulAdd4(coef, b0.data(), b1.data(), b2.data(), b3.data(),
+                       got.data(), n);
+    EXPECT_TRUE(SameBits(got, ref)) << tier;
+    Vec seq = y0;
+    const double* bs[4] = {b0.data(), b1.data(), b2.data(), b3.data()};
+    for (int j = 0; j < 4; ++j) vec::simd::MulAdd(coef[j], bs[j], seq.data(), n);
+    EXPECT_TRUE(SameBits(seq, ref)) << tier << " vs 4x MulAdd";
+  });
+}
+
+TEST(SimdTest, MulGatherScatterAxpyBitwiseOnEveryTier) {
+  const size_t n = 517;
+  const Vec x = RandomVecT(n, 65), y = RandomVecT(n, 66);
+  std::vector<int32_t> idx(n);
+  Rng rng(67);
+  for (size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<int32_t>(rng.UniformInt(n));  // duplicates likely
+  }
+  Vec mul_ref(n), gather_ref(n), scatter_ref;
+  {
+    ForceScalarGuard guard(true);
+    vec::simd::Mul(x.data(), y.data(), mul_ref.data(), n);
+    vec::simd::Gather(x.data(), idx.data(), gather_ref.data(), n);
+    scatter_ref = y;
+    vec::simd::ScatterAxpy(0.81, x.data(), idx.data(), scatter_ref.data(), n);
+  }
+  ForEachTier([&](const char* tier) {
+    Vec mul_got(n), gather_got(n), scatter_got = y;
+    vec::simd::Mul(x.data(), y.data(), mul_got.data(), n);
+    vec::simd::Gather(x.data(), idx.data(), gather_got.data(), n);
+    vec::simd::ScatterAxpy(0.81, x.data(), idx.data(), scatter_got.data(), n);
+    EXPECT_TRUE(SameBits(mul_got, mul_ref)) << tier;
+    EXPECT_TRUE(SameBits(gather_got, gather_ref)) << tier;
+    EXPECT_TRUE(SameBits(scatter_got, scatter_ref)) << tier;
+  });
+}
+
+TEST(SimdTest, GemmPackedBitwiseMatchesGemmOnEveryTier) {
+  // Sizes straddle the packing panel boundaries (kc=192, nc=256) and the
+  // 4-row register tile; ~25% exact zeros exercise the zero-skip path in
+  // both kernels.
+  for (const size_t m : {1u, 5u, 64u}) {
+    for (const size_t k : {3u, 200u}) {
+      for (const size_t n : {1u, 7u, 300u}) {
+        Vec a = RandomVecT(m * k, 70 + m + k);
+        Rng rng(71 + n);
+        for (double& v : a) {
+          if (rng.UniformInt(4) == 0) v = 0.0;
+        }
+        const Vec b = RandomVecT(k * n, 72 + n);
+        Vec ref(m * n, 0.25);
+        {
+          ForceScalarGuard guard(true);
+          vec::simd::Gemm(a.data(), m, k, b.data(), n, ref.data());
+        }
+        ForEachTier([&](const char* tier) {
+          Vec unpacked(m * n, 0.25), packed(m * n, 0.25);
+          vec::simd::Gemm(a.data(), m, k, b.data(), n, unpacked.data());
+          vec::simd::GemmPacked(a.data(), m, k, b.data(), n, packed.data());
+          EXPECT_TRUE(SameBits(unpacked, ref))
+              << tier << " m=" << m << " k=" << k << " n=" << n;
+          EXPECT_TRUE(SameBits(packed, ref))
+              << tier << " m=" << m << " k=" << k << " n=" << n;
+        });
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, MatMulBitwiseAcrossWorkersAndBackends) {
+  // Matrix::MatMul routes through GemmPacked; the product must be one
+  // bit pattern across 1/2/8 workers and every backend tier (zeros
+  // included — the zero-skip must not depend on the row partition).
+  Matrix a = RandomMatrix(61, 83, 81);
+  {
+    Rng rng(82);
+    for (size_t r = 0; r < 61; ++r) {
+      for (size_t c = 0; c < 83; ++c) {
+        if (rng.UniformInt(5) == 0) a.At(r, c) = 0.0;
+      }
+    }
+  }
+  Matrix b = RandomMatrix(83, 59, 83);
+  const Matrix ref = MatMul(a, b, 1);
+  ForEachTier([&](const char* tier) {
+    for (int par : {1, 2, 8}) {
+      const Matrix out = MatMul(a, b, par);
+      EXPECT_TRUE(SameBits(out.data(), ref.data()))
+          << tier << " parallelism=" << par;
+    }
+  });
+  ForceScalarGuard guard(true);
+  const Matrix scalar = MatMul(a, b, 4);
+  EXPECT_TRUE(SameBits(scalar.data(), ref.data()));
+}
+
+TEST(SimdTest, GemmNTBitwiseEqualsPerRowDot) {
+  // GemmNT's contract: every output element IS the Dot kernel (this is
+  // what lets the model HVPs batch projections without changing bits).
+  const size_t m = 19, n = 11, k = 157, lda = 160, ldb = 163;
+  const Vec a = RandomVecT(m * lda, 75), b = RandomVecT(n * ldb, 76);
+  ForEachTier([&](const char* tier) {
+    Vec out(m * n);
+    vec::simd::GemmNT(a.data(), m, lda, b.data(), n, ldb, k, out.data(), n);
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(out[i * n + j],
+                  vec::simd::Dot(a.data() + i * lda, b.data() + j * ldb, k))
+            << tier << " i=" << i << " j=" << j;
+      }
+    }
+  });
+}
+
+TEST(SimdTest, GatherKernelsBitwiseAtCutoffBoundary) {
+  // kGatherSimdCutoff is a pure performance knob: for every n around the
+  // boundary, the SIMD gathers and the shaped scalar loop must produce
+  // the same bits (otherwise the cutoff value would leak into results).
+  const size_t kMax = vec::kGatherSimdCutoff + 3;
+  const Vec v = RandomVecT(4 * kMax, 77);
+  Vec probs = v;
+  for (double& p : probs) p = 0.5 + 0.4 * std::tanh(p);
+  const Vec w = RandomVecT(kMax, 78);
+  std::vector<int32_t> idx(kMax);
+  Rng rng(79);
+  for (size_t i = 0; i < kMax; ++i) {
+    idx[i] = static_cast<int32_t>(rng.UniformInt(4 * kMax));
+  }
+  for (size_t n = vec::kGatherSimdCutoff - 3; n <= kMax; ++n) {
+    double sum_ref, prod_ref, one_minus_ref, dot_ref;
+    {
+      ForceScalarGuard guard(true);
+      sum_ref = vec::simd::GatherSum(probs.data(), idx.data(), n);
+      prod_ref = vec::simd::GatherProd(probs.data(), idx.data(), n);
+      one_minus_ref = vec::simd::GatherProdOneMinus(probs.data(), idx.data(), n);
+      dot_ref = vec::simd::GatherDot(probs.data(), idx.data(), w.data(), n);
+    }
+    ForEachTier([&](const char* tier) {
+      EXPECT_EQ(vec::simd::GatherSum(probs.data(), idx.data(), n), sum_ref)
+          << tier << " n=" << n;
+      EXPECT_EQ(vec::simd::GatherProd(probs.data(), idx.data(), n), prod_ref)
+          << tier << " n=" << n;
+      EXPECT_EQ(vec::simd::GatherProdOneMinus(probs.data(), idx.data(), n),
+                one_minus_ref)
+          << tier << " n=" << n;
+      EXPECT_EQ(vec::simd::GatherDot(probs.data(), idx.data(), w.data(), n),
+                dot_ref)
+          << tier << " n=" << n;
+    });
+  }
+}
+
+TEST(SimdTest, PrefixSuffixProductsExactRunningProducts) {
+  const size_t k = 17;
+  const Vec c = RandomVecT(k, 80);
+  Vec pre(k + 1), suf(k + 1);
+  vec::simd::PrefixSuffixProducts(c.data(), k, pre.data(), suf.data());
+  EXPECT_EQ(pre[0], 1.0);
+  EXPECT_EQ(suf[k], 1.0);
+  for (size_t j = 0; j < k; ++j) {
+    EXPECT_EQ(pre[j + 1], pre[j] * c[j]) << j;
+    EXPECT_EQ(suf[j], suf[j + 1] * c[j]) << j;
   }
 }
 
